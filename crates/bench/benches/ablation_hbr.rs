@@ -1,0 +1,72 @@
+//! **Ablation: HBR dynamic scheduling** — the paper's §4.2 mechanism vs
+//! the naive alternative (repeat full evaluation passes until no link
+//! changes). Same bit-exact behaviour, different delta-cycle counts —
+//! the HBR bits are what make the sequential method pay only for actual
+//! signal changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc::{run_fig1_point, NocEngine, RunConfig, SeqNoc};
+use noc_types::NetworkConfig;
+use seqsim::Scheduling;
+use vc_router::IfaceConfig;
+
+fn deltas_for(scheduling: Scheduling, load: f64) -> f64 {
+    let cfg = NetworkConfig::fig1();
+    let mut engine = SeqNoc::with_scheduling(cfg, IfaceConfig::default(), scheduling);
+    let rc = RunConfig {
+        warmup: 200,
+        measure: 1_500,
+        drain: 0,
+        period: 256,
+        backlog_limit: 1 << 20,
+    };
+    let r = run_fig1_point(&mut engine, load, 17, &rc);
+    r.delta.unwrap().avg_deltas_per_cycle()
+}
+
+fn print_comparison() {
+    eprintln!("HBR ablation — average delta cycles per system cycle (36 = minimum):");
+    for load in [0.0f64, 0.06, 0.12] {
+        let hbr = deltas_for(Scheduling::HbrRoundRobin, load);
+        let full = deltas_for(Scheduling::FullPasses, load);
+        eprintln!(
+            "  BE {:.2}: HBR {:.1}, full-passes {:.1}  ({:.2}x saved)",
+            load,
+            hbr,
+            full,
+            full / hbr
+        );
+        assert!(hbr <= full, "HBR must never cost more deltas");
+    }
+}
+
+fn bench_hbr(c: &mut Criterion) {
+    print_comparison();
+    let cfg = NetworkConfig::fig1();
+    let mut group = c.benchmark_group("ablation_hbr_step");
+    group.sample_size(10);
+    for (name, sched) in [
+        ("hbr", Scheduling::HbrRoundRobin),
+        ("full_passes", Scheduling::FullPasses),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut engine = SeqNoc::with_scheduling(cfg, IfaceConfig::default(), sched);
+            let rc = RunConfig {
+                warmup: 0,
+                measure: 200,
+                drain: 0,
+                period: 200,
+                backlog_limit: 1 << 20,
+            };
+            let _ = run_fig1_point(&mut engine, 0.10, 3, &rc);
+            b.iter(|| {
+                engine.step();
+                engine.cycle()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hbr);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! **Ablation: queue depth** — the buffer-size design study of §3
+//! (performance side; see `examples/buffer_sweep.rs` for the latency
+//! tables and `resource_report` for the register cost). Benchmarks the
+//! native engine's cycle cost across queue depths: deeper queues mean
+//! more registers per router but the same per-cycle logic, so the
+//! simulator cost should be nearly flat — the area/energy cost is what
+//! the paper wanted the study for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc::{run_fig1_point, NativeNoc, NocEngine, RunConfig};
+use noc_types::{NetworkConfig, Topology};
+use vc_router::{IfaceConfig, RegisterLayout};
+
+fn bench_depths(c: &mut Criterion) {
+    eprintln!("queue-depth register cost per router:");
+    for d in [2usize, 4, 8] {
+        eprintln!("  depth {d}: {} bits", RegisterLayout::new(d).total_bits());
+    }
+    let mut group = c.benchmark_group("ablation_queue_depth_step");
+    group.sample_size(10);
+    for depth in [2usize, 4, 8] {
+        let cfg = NetworkConfig::new(6, 6, Topology::Torus, depth);
+        group.bench_function(BenchmarkId::from_parameter(depth), |b| {
+            let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+            let rc = RunConfig {
+                warmup: 0,
+                measure: 300,
+                drain: 0,
+                period: 256,
+                backlog_limit: 1 << 20,
+            };
+            let _ = run_fig1_point(&mut engine, 0.10, 3, &rc);
+            b.iter(|| {
+                engine.step();
+                engine.cycle()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depths);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! **Ablation: RNG offload** — §8: "A simple improvement by offloading
+//! the random number generation to the FPGA gave an extra 50% simulation
+//! speed."
+//!
+//! Benchmarks the two random sources (the FPGA's bit-serial LFSR model vs
+//! the software generator) and prints the modelled end-to-end speed-up of
+//! the offload on the 2007 platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use platform::{FpgaTimingModel, PhaseParams, Scenario};
+use traffic::{Lfsr32, SplitMix64};
+
+fn print_model() {
+    let params = PhaseParams::default();
+    let timing = FpgaTimingModel::default();
+    let hw = Scenario::grid6x6(0.10, false);
+    let sw = Scenario { soft_rng: true, ..hw };
+    let cps_hw = params.evaluate(&timing, &hw).cps();
+    let cps_sw = params.evaluate(&timing, &sw).cps();
+    eprintln!(
+        "RNG offload (modelled 2007 platform): {:.1} kHz with FPGA RNG vs {:.1} kHz with rand() \
+         -> {:.0} % faster (paper: ~50 %)",
+        cps_hw / 1e3,
+        cps_sw / 1e3,
+        (cps_hw / cps_sw - 1.0) * 100.0
+    );
+}
+
+fn bench_rng(c: &mut Criterion) {
+    print_model();
+    let mut group = c.benchmark_group("ablation_rng");
+    group.bench_function("lfsr32_next_u32", |b| {
+        let mut r = Lfsr32::new(1);
+        b.iter(|| r.next_u32())
+    });
+    group.bench_function("splitmix64_next_u32", |b| {
+        let mut r = SplitMix64::new(1);
+        b.iter(|| r.next_u32())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! **Ablation: evaluation order** — §4.2 leaves the dynamic scheduler
+//! free to evaluate non-stable blocks in any order; order affects the
+//! number of re-evaluations (Fig 5) but never behaviour. Demonstrated on
+//! the paper's three-block example: topological order needs the fewest
+//! delta cycles, reverse-topological the most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqsim::demo::comb_demo;
+use seqsim::DynamicEngine;
+
+fn deltas_with_order(order: Vec<usize>, cycles: u64) -> u64 {
+    let (spec, _) = comb_demo();
+    let mut eng = DynamicEngine::with_order(spec, order);
+    eng.run(cycles);
+    eng.stats().delta_cycles
+}
+
+fn print_orders() {
+    eprintln!("evaluation-order ablation (paper Fig 5 example, 100 cycles, minimum 300 deltas):");
+    for order in [vec![0usize, 1, 2], vec![1, 2, 0], vec![2, 1, 0]] {
+        let d = deltas_with_order(order.clone(), 100);
+        eprintln!("  order {order:?}: {d} delta cycles");
+    }
+}
+
+fn bench_orders(c: &mut Criterion) {
+    print_orders();
+    let mut group = c.benchmark_group("ablation_schedule_order");
+    for (name, order) in [
+        ("topological", vec![0usize, 1, 2]),
+        ("reverse", vec![2usize, 1, 0]),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| deltas_with_order(order.clone(), 50))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

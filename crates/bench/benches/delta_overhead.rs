@@ -1,0 +1,72 @@
+//! **§6 delta-overhead bench** — "The minimum number of delta cycles per
+//! system cycle is equal to the number of routers [...] The percentage of
+//! extra delta cycles is between 1.5 and 2 times the input load."
+//!
+//! Prints the measured extra-delta fraction across offered loads and
+//! benchmarks the sequential engine's system-cycle step at low vs high
+//! load (the wall-clock effect of re-evaluations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc::{run_fig1_point, NocEngine, RunConfig, SeqNoc};
+use noc_types::NetworkConfig;
+use vc_router::IfaceConfig;
+
+fn measure_extra(load: f64) -> (f64, f64) {
+    let cfg = NetworkConfig::fig1();
+    let mut engine = SeqNoc::new(cfg, IfaceConfig::default());
+    let rc = RunConfig {
+        warmup: 400,
+        measure: 2_500,
+        drain: 0,
+        period: 256,
+        backlog_limit: 1 << 20,
+    };
+    let r = run_fig1_point(&mut engine, load, 31, &rc);
+    let stats = r.delta.expect("seqsim reports deltas");
+    // offered_load already includes both BE and GT flits.
+    (r.throughput.offered_load(), stats.extra_fraction(36))
+}
+
+fn print_overhead_series() {
+    eprintln!("§6 — extra delta cycles vs offered load (paper: 1.5-2x the load):");
+    for load in [0.0f64, 0.04, 0.08, 0.12] {
+        let (offered, extra) = measure_extra(load);
+        let ratio = if offered > 1e-6 { extra / offered } else { 0.0 };
+        eprintln!(
+            "  BE {:.2}: total offered {:.3} flits/cycle/node, extra deltas {:.1} % (ratio {:.2}x)",
+            load,
+            offered,
+            extra * 100.0,
+            ratio
+        );
+    }
+}
+
+fn bench_delta(c: &mut Criterion) {
+    print_overhead_series();
+    let cfg = NetworkConfig::fig1();
+    let mut group = c.benchmark_group("delta_overhead_step");
+    group.sample_size(10);
+    for load in [0.0f64, 0.12] {
+        group.bench_function(BenchmarkId::from_parameter(format!("load{load:.2}")), |b| {
+            let mut engine = SeqNoc::new(cfg, IfaceConfig::default());
+            // Pre-load traffic, then time pure steps.
+            let rc = RunConfig {
+                warmup: 0,
+                measure: 300,
+                drain: 0,
+                period: 256,
+                backlog_limit: 1 << 20,
+            };
+            let _ = run_fig1_point(&mut engine, load, 3, &rc);
+            b.iter(|| {
+                engine.step();
+                engine.cycle()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! **Fig 1 bench** — regenerates one point of "Delay of the GT and BE
+//! packets vs. BE load" (6×6 torus, 2-flit queues) and benchmarks the
+//! cost of producing a Fig 1 data point end to end (generate + load +
+//! simulate + retrieve + analyse), the unit of work the paper needed 29
+//! hours of SystemC time for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc::{fig1_guarantee, run_fig1_point, NativeNoc, RunConfig};
+use noc_types::NetworkConfig;
+use vc_router::IfaceConfig;
+
+fn quick_rc() -> RunConfig {
+    RunConfig {
+        warmup: 500,
+        measure: 4_000,
+        drain: 1_500,
+        period: 512,
+        backlog_limit: 16_384,
+    }
+}
+
+fn print_point_table() {
+    let cfg = NetworkConfig::fig1();
+    let guarantee = fig1_guarantee(cfg);
+    eprintln!("Fig 1 spot-check (guarantee {guarantee} cycles):");
+    for load in [0.02f64, 0.08, 0.14] {
+        let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+        let r = run_fig1_point(&mut engine, load, 1337, &quick_rc());
+        eprintln!(
+            "  BE {:.2}: GT mean {:.1} max {} | BE mean {:.1} | GT max < guarantee: {}",
+            load,
+            r.gt.mean,
+            r.gt.max,
+            r.be.mean,
+            r.gt.max < guarantee
+        );
+        assert!(r.gt.max < guarantee, "GT guarantee violated in bench");
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    print_point_table();
+    let cfg = NetworkConfig::fig1();
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("one_datapoint_6x6_load0.10", |b| {
+        b.iter(|| {
+            let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+            let r = run_fig1_point(&mut engine, 0.10, 7, &quick_rc());
+            assert!(r.gt.count > 0);
+            r.gt.mean
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

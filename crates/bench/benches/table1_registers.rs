@@ -1,0 +1,54 @@
+//! **Table 1 bench** — prints the per-router register budget (the
+//! "extraction of all registers" the sequential method depends on) and
+//! benchmarks the pack/unpack round trip of one router's 2k-bit state
+//! word, the per-delta-cycle memory cost of the software sequential
+//! simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_types::bits::words_for_bits;
+use vc_router::{RegisterLayout, RouterRegs};
+
+fn print_table1() {
+    eprintln!("Table 1 — required registers per router (bits):");
+    for depth in [2usize, 4, 8] {
+        let l = RegisterLayout::new(depth);
+        eprintln!(
+            "  depth {depth}: queues {} + control {} + links {} + stimuli {} = {} bits{}",
+            l.queue_bits(),
+            l.control_bits(),
+            l.link_bits(),
+            l.stimuli_bits(),
+            l.total_bits(),
+            if depth == 4 { "   (paper: 2112)" } else { "" }
+        );
+    }
+}
+
+fn bench_pack(c: &mut Criterion) {
+    print_table1();
+    let depth = 4;
+    let layout = RegisterLayout::new(depth);
+    let regs = RouterRegs::new();
+    let mut words = vec![0u64; words_for_bits(layout.state_bits())];
+    let mut group = c.benchmark_group("table1_state_word");
+    group.bench_function("pack_2k_bits", |b| {
+        b.iter(|| {
+            regs.pack(depth, &mut words);
+            words[0]
+        })
+    });
+    group.bench_function("unpack_2k_bits", |b| {
+        regs.pack(depth, &mut words);
+        b.iter(|| RouterRegs::unpack(depth, &words))
+    });
+    group.bench_function("roundtrip", |b| {
+        b.iter(|| {
+            regs.pack(depth, &mut words);
+            RouterRegs::unpack(depth, &words)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! **Table 2 bench** — prints the FPGA resource model for the 256-router
+//! build against the paper's synthesis report and benchmarks the
+//! capacity search (max routers per device), the planning computation a
+//! user runs when porting the simulator to another FPGA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use platform::{FpgaDevice, ResourceModel};
+
+fn print_table2() {
+    let m = ResourceModel::paper_build();
+    let dev = FpgaDevice::virtex2_8000();
+    eprintln!("Table 2 — FPGA resource usage (256 routers):");
+    for (row, paper) in m.table2().iter().zip(ResourceModel::paper_table2()) {
+        eprintln!(
+            "  {:<26} CLB {:>5} (paper {:>5})   RAM {:>3} (paper {:>3})",
+            row.block, row.clb, paper.clb, row.ram, paper.ram
+        );
+    }
+    let (clb, ram) = m.totals();
+    eprintln!(
+        "  total: CLB {} ({:.0} %, paper 15 %), RAM {} ({:.0} %, paper 82 %)",
+        clb,
+        100.0 * clb as f64 / dev.slices as f64,
+        ram,
+        100.0 * ram as f64 / dev.brams as f64
+    );
+    eprintln!(
+        "  direct instantiation max (6-bit datapath): {} routers (paper ~24)",
+        m.max_direct_routers(&dev, 6)
+    );
+}
+
+fn bench_resources(c: &mut Criterion) {
+    print_table2();
+    let m = ResourceModel::paper_build();
+    let dev = FpgaDevice::virtex2_8000();
+    c.bench_function("table2_capacity_search", |b| {
+        b.iter(|| m.max_sequential_routers(&dev))
+    });
+}
+
+criterion_group!(benches, bench_resources);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! **Table 3 bench** — "Simulated clock cycles per second": criterion
+//! times one simulated system cycle of the 6×6 NoC under load on each
+//! software engine (VHDL-like netlist, SystemC-like kernel, sequential
+//! method, native), and prints the modelled FPGA rows alongside.
+//!
+//! The paper's ordering must hold: rtl slowest, then the cycle kernel,
+//! then the native simulator; the FPGA (modelled) beats its
+//! contemporaneous software by 80–300×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cyclesim::CycleNoc;
+use noc::{NativeNoc, NocEngine, SeqNoc};
+use noc_types::{Flit, NetworkConfig};
+use platform::{FpgaTimingModel, PhaseParams};
+use rtl_kernel::RtlNoc;
+use traffic::SplitMix64;
+use vc_router::{IfaceConfig, StimEntry};
+
+/// Keep an engine busy: top up every node's BE rings so cycles always
+/// move traffic.
+fn top_up(engine: &mut dyn NocEngine, rng: &mut SplitMix64) {
+    let cfg = engine.config();
+    let n = cfg.num_nodes();
+    for node in 0..n {
+        for vc in 0..2usize {
+            while engine.stim_free(node, vc) > 8 {
+                let dest = cfg.shape.coord(noc_types::NodeId(
+                    rng.below(n as u64) as u16,
+                ));
+                let spec = noc_types::PacketSpec {
+                    src: noc_types::NodeId(node as u16),
+                    dest,
+                    class: noc_types::TrafficClass::BestEffort,
+                    flits: 5,
+                };
+                let seq = rng.next_u32() as u16;
+                for f in spec.flitise(|i| if i == 0 { seq } else { 0xAB }) {
+                    engine.push_stim(node, vc, StimEntry { ts: 0, flit: f });
+                }
+            }
+        }
+    }
+    let _ = Flit::from_bits(0);
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let cfg = NetworkConfig::fig1();
+    let icfg = IfaceConfig::default();
+
+    // Modelled FPGA rows for the printed table.
+    let timing = FpgaTimingModel::default();
+    let params = PhaseParams::default();
+    eprintln!("Table 3 — modelled FPGA rows (paper: avg 22 kHz, fastest 61.6 kHz):");
+    eprintln!(
+        "  FPGA average {:.1} kHz, fastest {:.1} kHz, theoretical max {:.1} kHz",
+        params.table3_fpga_average(&timing) / 1e3,
+        params.table3_fpga_fastest(&timing) / 1e3,
+        timing.max_sim_freq_hz(36.0) / 1e3
+    );
+    eprintln!("  criterion rows below are this machine's software engines (per system cycle).");
+
+    let mut group = c.benchmark_group("table3_engine_cycle");
+    group.sample_size(10);
+
+    macro_rules! bench_engine {
+        ($name:expr, $mk:expr) => {
+            group.bench_function(BenchmarkId::from_parameter($name), |b| {
+                let mut engine = $mk;
+                let mut rng = SplitMix64::new(99);
+                let mut drain_clock = 0u64;
+                top_up(&mut engine, &mut rng);
+                b.iter(|| {
+                    engine.step();
+                    drain_clock += 1;
+                    if drain_clock % 512 == 0 {
+                        // Keep rings from under/overrunning.
+                        let n = engine.config().num_nodes();
+                        for node in 0..n {
+                            let _ = engine.drain_delivered(node);
+                            let _ = engine.drain_access(node);
+                        }
+                        top_up(&mut engine, &mut rng);
+                    }
+                    engine.cycle()
+                });
+            });
+        };
+    }
+
+    bench_engine!("rtl_vhdl_like", RtlNoc::new(cfg, icfg));
+    bench_engine!("systemc_like", CycleNoc::new(cfg, icfg));
+    bench_engine!("sequential_sw", SeqNoc::new(cfg, icfg));
+    bench_engine!("native", NativeNoc::new(cfg, icfg));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

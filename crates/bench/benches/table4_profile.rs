@@ -1,0 +1,63 @@
+//! **Table 4 bench** — prints the modelled phase profile of the
+//! ARM+FPGA control loop (the paper's ranges) and benchmarks one full
+//! five-phase simulation period of the software runner, the unit whose
+//! phase split the measured host profile reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc::{run, NativeNoc, RunConfig};
+use noc_types::NetworkConfig;
+use platform::{FpgaTimingModel, PhaseParams, Scenario};
+use traffic::{BeConfig, GtAllocator, StimuliGenerator, TrafficConfig};
+use vc_router::IfaceConfig;
+
+fn print_table4() {
+    let params = PhaseParams::default();
+    let timing = FpgaTimingModel::default();
+    eprintln!("Table 4 — modelled phase shares (paper ranges in brackets):");
+    let names = ["generate", "load", "simulate", "retrieve", "analyse"];
+    let paper = ["45-65%", "10-20%", "0-2%", "5-15%", "5-40%"];
+    for (label, sc) in [
+        ("light", Scenario::grid6x6(0.05, false)),
+        ("heavy", Scenario::grid6x6(0.14, true)),
+    ] {
+        let shares = params.evaluate(&timing, &sc).shares();
+        let row: Vec<String> = names
+            .iter()
+            .zip(shares.iter())
+            .zip(paper.iter())
+            .map(|((n, s), p)| format!("{n} {:.0}% [{p}]", s * 100.0))
+            .collect();
+        eprintln!("  {label}: {}", row.join("  "));
+    }
+}
+
+fn bench_period(c: &mut Criterion) {
+    print_table4();
+    let cfg = NetworkConfig::fig1();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("five_phase_period_512_cycles", |b| {
+        b.iter(|| {
+            let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+            let gt = GtAllocator::new(cfg).auto_streams((2, 1), 2048, 128);
+            let mut gen = StimuliGenerator::new(TrafficConfig {
+                net: cfg,
+                be: BeConfig::fig1(0.10),
+                gt_streams: gt,
+                seed: 5,
+            });
+            let rc = RunConfig {
+                warmup: 0,
+                measure: 512,
+                drain: 0,
+                period: 512,
+                backlog_limit: 16_384,
+            };
+            run(&mut engine, &mut gen, &rc).cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_period);
+criterion_main!(benches);

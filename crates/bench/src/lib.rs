@@ -1,0 +1,2 @@
+//! Criterion benchmark harness — see the `benches/` directory; one
+//! bench target per paper table/figure plus the design-choice ablations.

@@ -1,0 +1,332 @@
+//! Dynamic-schedule engine for systems with combinatorial boundaries
+//! (paper §4.2, Fig 5).
+//!
+//! Links have a single memory slot plus a Has-Been-Read bit. Each system
+//! cycle starts by clearing every HBR bit, which guarantees each block is
+//! evaluated at least once ("this is necessary as a router might change its
+//! outputs independent of its inputs"). A round-robin scheduler then picks
+//! non-stable blocks — a block is stable when it has been evaluated and all
+//! links adjacent to it (inputs *and* outputs) carry the valid bit — until
+//! the whole system is stable, at which point the state banks are swapped
+//! and simulated time advances.
+
+use crate::block::SystemSpec;
+use crate::counters::DeltaStats;
+use crate::side::SideMem;
+use crate::state::StateMemory;
+use crate::links::LinkMemory;
+use crate::trace::{ScheduleTrace, TraceEvent};
+
+/// Scheduling policy of the sequential simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduling {
+    /// The paper's scheduler: HBR status bits + round-robin over
+    /// non-stable blocks.
+    HbrRoundRobin,
+    /// Ablation baseline: repeat full evaluation passes over all blocks
+    /// until a pass changes no link value (no HBR bookkeeping; typically
+    /// many more delta cycles).
+    FullPasses,
+}
+
+/// A host-visible checkpoint of a running engine.
+///
+/// Paper §5.1: "All registers and memory of the FPGA design, via the
+/// memory interface, are available in the address map of the ARM9
+/// processor" — the host can read and later rewrite the complete
+/// simulator state. Snapshots capture the state memory, the link memory,
+/// the side (BRAM) memory and the scheduler position; restoring one
+/// resumes a bit-identical simulation.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    state: StateMemory,
+    links: LinkMemory,
+    side: SideMem,
+    rr_pos: usize,
+    cycle: u64,
+    stats: DeltaStats,
+}
+
+/// Sequential engine with the paper's dynamic (HBR-driven) schedule.
+pub struct DynamicEngine {
+    spec: SystemSpec,
+    state: StateMemory,
+    links: LinkMemory,
+    side: SideMem,
+    scheduling: Scheduling,
+    /// Base evaluation order (a permutation of block ids); the round-robin
+    /// scan walks this order.
+    order: Vec<usize>,
+    /// Position in `order` where the next round-robin scan starts.
+    rr_pos: usize,
+    evaluated: Vec<bool>,
+    cycle: u64,
+    stats: DeltaStats,
+    trace: Option<ScheduleTrace>,
+    in_buf: Vec<u64>,
+    out_buf: Vec<u64>,
+    /// Delta-cycle budget per system cycle, as a multiple of the block
+    /// count; exceeded means a non-converging combinational loop.
+    cap_factor: usize,
+}
+
+impl DynamicEngine {
+    /// Build an engine over `spec` with round-robin base order `0..n`.
+    pub fn new(spec: SystemSpec) -> Self {
+        let order = (0..spec.blocks().len()).collect();
+        Self::with_order(spec, order)
+    }
+
+    /// Build an engine with an explicit base order (a permutation of block
+    /// ids). Evaluation order affects only the delta-cycle count, never the
+    /// simulated behaviour; the tests verify both properties.
+    pub fn with_order(spec: SystemSpec, order: Vec<usize>) -> Self {
+        spec.validate();
+        assert_eq!(order.len(), spec.blocks().len(), "order must cover all blocks");
+        {
+            let mut seen = vec![false; order.len()];
+            for &b in &order {
+                assert!(!seen[b], "duplicate block {b} in order");
+                seen[b] = true;
+            }
+        }
+        let state_bits: Vec<usize> = spec
+            .blocks()
+            .iter()
+            .map(|b| spec.kinds()[b.kind].state_bits())
+            .collect();
+        let mut state = StateMemory::new(&state_bits);
+        for (b, inst) in spec.blocks().iter().enumerate() {
+            spec.kinds()[inst.kind].reset(state.cur_mut(b));
+            state.copy_cur_to_next(b);
+        }
+        let links = LinkMemory::new(spec.links());
+        let per_block_caps: Vec<Vec<usize>> = spec
+            .blocks()
+            .iter()
+            .map(|b| spec.kinds()[b.kind].side_rings())
+            .collect();
+        let side = SideMem::new(&per_block_caps);
+        let max_ports = spec
+            .blocks()
+            .iter()
+            .map(|b| b.inputs.len().max(b.outputs.len()))
+            .max()
+            .unwrap_or(0);
+        let n = spec.blocks().len();
+        DynamicEngine {
+            spec,
+            state,
+            links,
+            side,
+            scheduling: Scheduling::HbrRoundRobin,
+            order,
+            rr_pos: 0,
+            evaluated: vec![false; n],
+            cycle: 0,
+            stats: DeltaStats::default(),
+            trace: None,
+            in_buf: vec![0; max_ports],
+            out_buf: vec![0; max_ports],
+            cap_factor: 64,
+        }
+    }
+
+    /// Select the scheduling policy (default [`Scheduling::HbrRoundRobin`]).
+    pub fn set_scheduling(&mut self, s: Scheduling) {
+        self.scheduling = s;
+    }
+
+    /// Enable schedule tracing (Fig 5 reproduction).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(ScheduleTrace::default());
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&ScheduleTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Is block `b` stable? (evaluated, and every adjacent link read.)
+    fn stable(&self, b: usize) -> bool {
+        if !self.evaluated[b] {
+            return false;
+        }
+        let inst = &self.spec.blocks()[b];
+        inst.inputs.iter().chain(inst.outputs.iter()).all(|&l| self.links.hbr(l))
+    }
+
+    /// Evaluate block `b` once (one delta cycle). Returns `true` when any
+    /// output link value changed.
+    fn eval_block(&mut self, b: usize, delta: u32) -> bool {
+        let inst = &self.spec.blocks()[b];
+        for (i, &l) in inst.inputs.iter().enumerate() {
+            self.in_buf[i] = self.links.value(l);
+        }
+        let kind = &self.spec.kinds()[inst.kind];
+        let n_out = inst.outputs.len();
+        let (cur, next) = self.state.cur_and_next_mut(b);
+        kind.eval(
+            inst.instance_of_kind,
+            cur,
+            &self.in_buf[..inst.inputs.len()],
+            self.cycle,
+            next,
+            &mut self.out_buf[..n_out],
+            &mut self.side.view(b),
+        );
+        let re_evaluation = self.evaluated[b];
+        self.evaluated[b] = true;
+        for &l in &inst.inputs {
+            self.links.mark_read(l);
+        }
+        let mut changed = Vec::new();
+        for (o, &l) in inst.outputs.iter().enumerate() {
+            if self.links.write(l, self.out_buf[o]) {
+                changed.push(l);
+            }
+            // Dangling outputs have no reader; auto-read keeps the writer
+            // from looking eternally unstable.
+            if self.spec.links()[l].consumer.is_none() {
+                self.links.mark_read(l);
+            }
+        }
+        let any_changed = !changed.is_empty();
+        if let Some(t) = self.trace.as_mut() {
+            t.events.push(TraceEvent {
+                system_cycle: self.cycle,
+                delta,
+                block: b,
+                changed_links: changed,
+                re_evaluation,
+            });
+        }
+        any_changed
+    }
+
+    /// Simulate one system cycle: reset HBR bits, evaluate until stable,
+    /// swap the state banks.
+    pub fn step(&mut self) {
+        let n = self.spec.blocks().len();
+        self.links.reset_hbr();
+        self.evaluated.iter_mut().for_each(|e| *e = false);
+        let cap = (self.cap_factor * n) as u32;
+        let mut delta: u32 = 0;
+        match self.scheduling {
+            Scheduling::HbrRoundRobin => loop {
+                // Round-robin scan for the first non-stable block.
+                let mut found = None;
+                for i in 0..n {
+                    let b = self.order[(self.rr_pos + i) % n];
+                    if !self.stable(b) {
+                        found = Some((i, b));
+                        break;
+                    }
+                }
+                let Some((i, b)) = found else { break };
+                self.rr_pos = (self.rr_pos + i + 1) % n;
+                self.eval_block(b, delta);
+                delta += 1;
+                assert!(
+                    delta < cap,
+                    "system did not stabilise within {cap} delta cycles in cycle {} — \
+                     non-converging combinational dependency",
+                    self.cycle
+                );
+            },
+            Scheduling::FullPasses => loop {
+                let mut pass_changed = false;
+                for i in 0..n {
+                    let b = self.order[i];
+                    pass_changed |= self.eval_block(b, delta);
+                    delta += 1;
+                    assert!(delta < cap, "FullPasses did not converge");
+                }
+                if !pass_changed {
+                    break;
+                }
+            },
+        }
+        self.state.swap();
+        self.stats.record_cycle(delta as u64, n as u64);
+        self.cycle += 1;
+    }
+
+    /// Simulate `n` system cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Current system cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current value of link `l`.
+    pub fn link_value(&self, l: usize) -> u64 {
+        self.links.value(l)
+    }
+
+    /// Host write to an external link (between system cycles).
+    pub fn set_external(&mut self, l: usize, value: u64) {
+        self.links.write_external(l, value);
+    }
+
+    /// Current register state of block `b` (host peek over the memory
+    /// interface).
+    pub fn peek_state(&self, b: usize) -> &[u64] {
+        self.state.cur(b)
+    }
+
+    /// Delta statistics so far.
+    pub fn stats(&self) -> &DeltaStats {
+        &self.stats
+    }
+
+    /// Reset accumulated statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = DeltaStats::default();
+    }
+
+    /// Capture a checkpoint (between system cycles).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            state: self.state.clone(),
+            links: self.links.clone(),
+            side: self.side.clone(),
+            rr_pos: self.rr_pos,
+            cycle: self.cycle,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Restore a checkpoint taken from this engine (or an identically
+    /// built one). Subsequent simulation is bit-identical to the
+    /// original run.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        self.state = snap.state.clone();
+        self.links = snap.links.clone();
+        self.side = snap.side.clone();
+        self.rr_pos = snap.rr_pos;
+        self.cycle = snap.cycle;
+        self.stats = snap.stats.clone();
+        self.evaluated.iter_mut().for_each(|e| *e = false);
+    }
+
+    /// Side memory (host reads results).
+    pub fn side(&self) -> &SideMem {
+        &self.side
+    }
+
+    /// Mutable side memory (host writes stimuli).
+    pub fn side_mut(&mut self) -> &mut SideMem {
+        &mut self.side
+    }
+
+    /// The system specification.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+}

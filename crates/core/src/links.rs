@@ -1,0 +1,174 @@
+//! The link memory with Has-Been-Read status bits (paper §4.2).
+//!
+//! "For the links we have a separate memory, where every link has only a
+//! single memory position and not two as for the registers. Per memory
+//! position one additional status bit is stored. This bit indicates whether
+//! the last written value Has Been Read (HBR) from this link."
+//!
+//! Link *values* persist across system cycles; only the HBR bits are reset
+//! at the start of each system cycle.
+
+use crate::block::{LinkDriver, LinkSpec};
+
+/// Single-banked link memory with per-link HBR bits.
+#[derive(Debug, Clone)]
+pub struct LinkMemory {
+    values: Vec<u64>,
+    widths: Vec<usize>,
+    hbr: Vec<bool>,
+    /// Links that never participate in stability tracking: constant and
+    /// external links have no block driver and dangling links no consumer,
+    /// but consts/externals still get an HBR bit so their consumer's first
+    /// read of the cycle is observable.
+    drivers: Vec<LinkDriver>,
+}
+
+impl LinkMemory {
+    /// Build the link memory from the system's link specs, at reset values.
+    pub fn new(specs: &[LinkSpec]) -> Self {
+        LinkMemory {
+            values: specs.iter().map(|s| s.reset_value).collect(),
+            widths: specs.iter().map(|s| s.width).collect(),
+            hbr: vec![false; specs.len()],
+            drivers: specs.iter().map(|s| s.driver).collect(),
+        }
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the memory holds no links.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Current value of link `l`.
+    #[inline]
+    pub fn value(&self, l: usize) -> u64 {
+        self.values[l]
+    }
+
+    /// Width in bits of link `l`.
+    #[inline]
+    pub fn width(&self, l: usize) -> usize {
+        self.widths[l]
+    }
+
+    /// HBR bit of link `l`.
+    #[inline]
+    pub fn hbr(&self, l: usize) -> bool {
+        self.hbr[l]
+    }
+
+    /// Mark link `l` as read (consumer evaluated with its current value).
+    #[inline]
+    pub fn mark_read(&mut self, l: usize) {
+        self.hbr[l] = true;
+    }
+
+    /// Write `value` to link `l` after a block evaluation.
+    ///
+    /// Implements the paper's rule: "if the router writes a value to a
+    /// link, which is not equal to the current value in the memory, it will
+    /// reset this link's status bit to zero." Returns `true` when the value
+    /// changed (the consumer must be re-evaluated).
+    #[inline]
+    pub fn write(&mut self, l: usize, value: u64) -> bool {
+        debug_assert!(
+            self.widths[l] == 64 || value < (1u64 << self.widths[l]),
+            "link {l} value wider than {} bits",
+            self.widths[l]
+        );
+        if self.values[l] != value {
+            self.values[l] = value;
+            self.hbr[l] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Host write to an external link (ARM writing an FPGA register).
+    /// Clears HBR when the value changes so the consumer re-evaluates.
+    pub fn write_external(&mut self, l: usize, value: u64) {
+        assert!(
+            matches!(self.drivers[l], LinkDriver::External),
+            "link {l} is not external"
+        );
+        self.write(l, value);
+    }
+
+    /// Reset all HBR bits to zero — the start of a system cycle ("Every
+    /// system cycle is started by resetting all status bits to zero").
+    pub fn reset_hbr(&mut self) {
+        self.hbr.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// True when every HBR bit is set — the stability condition half that
+    /// lives in link memory.
+    pub fn all_read(&self) -> bool {
+        self.hbr.iter().all(|&b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::LinkDriver;
+
+    fn specs() -> Vec<LinkSpec> {
+        vec![
+            LinkSpec {
+                width: 21,
+                driver: LinkDriver::Block { block: 0, port: 0 },
+                consumer: Some((1, 0)),
+                reset_value: 0,
+            },
+            LinkSpec {
+                width: 4,
+                driver: LinkDriver::Const(0xF),
+                consumer: Some((0, 0)),
+                reset_value: 0xF,
+            },
+        ]
+    }
+
+    #[test]
+    fn write_same_value_keeps_hbr() {
+        let mut m = LinkMemory::new(&specs());
+        m.mark_read(0);
+        assert!(!m.write(0, 0)); // unchanged
+        assert!(m.hbr(0));
+    }
+
+    #[test]
+    fn write_new_value_clears_hbr() {
+        let mut m = LinkMemory::new(&specs());
+        m.mark_read(0);
+        assert!(m.write(0, 5));
+        assert!(!m.hbr(0));
+        assert_eq!(m.value(0), 5);
+    }
+
+    #[test]
+    fn values_persist_across_hbr_reset() {
+        let mut m = LinkMemory::new(&specs());
+        m.write(0, 7);
+        m.mark_read(0);
+        m.mark_read(1);
+        assert!(m.all_read());
+        m.reset_hbr();
+        assert!(!m.all_read());
+        assert_eq!(m.value(0), 7); // value survives the cycle boundary
+        assert_eq!(m.value(1), 0xF);
+    }
+
+    #[test]
+    #[should_panic(expected = "not external")]
+    fn external_write_to_block_link_rejected() {
+        let mut m = LinkMemory::new(&specs());
+        m.write_external(0, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Side memory: the FPGA's BRAM cyclic buffers (paper §5.2).
+//!
+//! "The stimuli are buffered per virtual channel (VC) in cyclic buffers in
+//! the FPGA. The output values of the network are stored per router [...]
+//! in a cyclic buffer. The data in the buffers has a timestamp and can be
+//! read or written by the ARM9."
+//!
+//! Blocks address these rings with read/write *pointers held in their
+//! register state*, which keeps block evaluation idempotent under the
+//! dynamic scheduler's re-evaluation: a re-run reads the same slots and
+//! rewrites the same slots, and pointers only advance via the next-state
+//! bank. The host (the "ARM") reads and writes slots directly, mirroring
+//! the memory-interface access of the real platform.
+
+/// Ring storage for all block instances: `rings[block][ring][slot]`.
+///
+/// Rings are plain word arrays; *cyclic* semantics (wrap-around, fill
+/// level) are implemented by the pointer registers of the owning block and
+/// by the host, exactly as on the FPGA where BRAM is dumb storage.
+#[derive(Debug, Clone, Default)]
+pub struct SideMem {
+    rings: Vec<Vec<Vec<u64>>>,
+}
+
+impl SideMem {
+    /// Build side memory with the given ring capacities per block.
+    pub fn new(per_block_caps: &[Vec<usize>]) -> Self {
+        SideMem {
+            rings: per_block_caps
+                .iter()
+                .map(|caps| caps.iter().map(|&c| vec![0u64; c]).collect())
+                .collect(),
+        }
+    }
+
+    /// A mutable view scoped to one block (what its `eval` receives).
+    #[inline]
+    pub fn view(&mut self, block: usize) -> SideView<'_> {
+        SideView {
+            rings: &mut self.rings[block],
+        }
+    }
+
+    /// Host read of `(block, ring, slot)`.
+    #[inline]
+    pub fn read(&self, block: usize, ring: usize, slot: usize) -> u64 {
+        let r = &self.rings[block][ring];
+        r[slot % r.len()]
+    }
+
+    /// Host write of `(block, ring, slot)`.
+    #[inline]
+    pub fn write(&mut self, block: usize, ring: usize, slot: usize, value: u64) {
+        let r = &mut self.rings[block][ring];
+        let len = r.len();
+        r[slot % len] = value;
+    }
+
+    /// Capacity of `(block, ring)` in words.
+    #[inline]
+    pub fn capacity(&self, block: usize, ring: usize) -> usize {
+        self.rings[block][ring].len()
+    }
+}
+
+/// One block's slice of the side memory.
+#[derive(Debug)]
+pub struct SideView<'a> {
+    rings: &'a mut Vec<Vec<u64>>,
+}
+
+impl SideView<'_> {
+    /// Read `(ring, slot)` (slot reduced modulo capacity).
+    #[inline]
+    pub fn read(&self, ring: usize, slot: usize) -> u64 {
+        let r = &self.rings[ring];
+        r[slot % r.len()]
+    }
+
+    /// Write `(ring, slot)` (slot reduced modulo capacity).
+    #[inline]
+    pub fn write(&mut self, ring: usize, slot: usize, value: u64) {
+        let r = &mut self.rings[ring];
+        let len = r.len();
+        r[slot % len] = value;
+    }
+
+    /// Capacity of `ring` in words.
+    #[inline]
+    pub fn capacity(&self, ring: usize) -> usize {
+        self.rings[ring].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_roundtrip() {
+        let mut m = SideMem::new(&[vec![8, 4], vec![16]]);
+        assert_eq!(m.capacity(0, 0), 8);
+        assert_eq!(m.capacity(1, 0), 16);
+        m.write(0, 1, 3, 0xABCD);
+        assert_eq!(m.read(0, 1, 3), 0xABCD);
+        // Blocks do not alias.
+        assert_eq!(m.read(1, 0, 3), 0);
+    }
+
+    #[test]
+    fn view_and_host_see_same_storage() {
+        let mut m = SideMem::new(&[vec![4]]);
+        {
+            let mut v = m.view(0);
+            v.write(0, 6, 9); // 6 % 4 == 2
+            assert_eq!(v.read(0, 2), 9);
+            assert_eq!(v.capacity(0), 4);
+        }
+        assert_eq!(m.read(0, 0, 2), 9);
+        m.write(0, 0, 2, 11);
+        assert_eq!(m.view(0).read(0, 6), 11);
+    }
+}

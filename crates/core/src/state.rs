@@ -1,0 +1,190 @@
+//! The double-buffered state memory (paper §4.1, Fig 2b).
+//!
+//! "In the memory, both the old and new version of the register values are
+//! stored. [...] this copy action is performed by switching the offset
+//! pointer of the current state and new state. In the even system cycles
+//! the registers R1..3 are the current state and R′1..3 are the next state.
+//! In the odd system cycles, R′1..3 are the current state and R1..3 are the
+//! next state."
+//!
+//! One bank holds the concatenated register words of every block instance;
+//! the two banks live in one allocation and are selected by an offset —
+//! the software equivalent of the paper's pointer switch.
+
+use noc_types::bits::words_for_bits;
+
+/// Double-buffered, bit-packed register memory for all block instances.
+#[derive(Debug, Clone)]
+pub struct StateMemory {
+    words: Vec<u64>,
+    /// Word offset of each block within a bank.
+    offsets: Vec<usize>,
+    /// Word count of each block.
+    lens: Vec<usize>,
+    /// Words per bank.
+    bank_words: usize,
+    /// Which bank is "current" (0 or 1) — the offset pointer.
+    cur: usize,
+}
+
+impl StateMemory {
+    /// Allocate a state memory for blocks with the given state widths in
+    /// bits. Both banks are zeroed.
+    pub fn new(state_bits: &[usize]) -> Self {
+        let mut offsets = Vec::with_capacity(state_bits.len());
+        let mut lens = Vec::with_capacity(state_bits.len());
+        let mut off = 0usize;
+        for &bits in state_bits {
+            let w = words_for_bits(bits);
+            offsets.push(off);
+            lens.push(w);
+            off += w;
+        }
+        StateMemory {
+            words: vec![0; off * 2],
+            offsets,
+            lens,
+            bank_words: off,
+            cur: 0,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Words per bank (the FPGA memory depth × width, in `u64` units).
+    pub fn bank_words(&self) -> usize {
+        self.bank_words
+    }
+
+    /// Current-state words of block `b` (read side of a delta cycle).
+    #[inline]
+    pub fn cur(&self, b: usize) -> &[u64] {
+        let start = self.cur * self.bank_words + self.offsets[b];
+        &self.words[start..start + self.lens[b]]
+    }
+
+    /// Next-state words of block `b` (write side of a delta cycle).
+    #[inline]
+    pub fn next_mut(&mut self, b: usize) -> &mut [u64] {
+        let start = (self.cur ^ 1) * self.bank_words + self.offsets[b];
+        &mut self.words[start..start + self.lens[b]]
+    }
+
+    /// Current- and next-state words of block `b` simultaneously.
+    ///
+    /// This is the FPGA's dual-port access: the evaluation reads the old
+    /// word while writing the new word of the same block.
+    #[inline]
+    pub fn cur_and_next_mut(&mut self, b: usize) -> (&[u64], &mut [u64]) {
+        let len = self.lens[b];
+        if len == 0 {
+            return (&[], &mut []);
+        }
+        let cur_start = self.cur * self.bank_words + self.offsets[b];
+        let next_start = (self.cur ^ 1) * self.bank_words + self.offsets[b];
+        debug_assert_ne!(cur_start, next_start);
+        if cur_start < next_start {
+            let (lo, hi) = self.words.split_at_mut(next_start);
+            (&lo[cur_start..cur_start + len], &mut hi[..len])
+        } else {
+            let (lo, hi) = self.words.split_at_mut(cur_start);
+            let cur = &hi[..len];
+            let next = &mut lo[next_start..next_start + len];
+            // Reborrow in the right order for the return type.
+            (cur, next)
+        }
+    }
+
+    /// Write directly into the *current* bank of block `b` (reset only).
+    pub fn cur_mut(&mut self, b: usize) -> &mut [u64] {
+        let start = self.cur * self.bank_words + self.offsets[b];
+        &mut self.words[start..start + self.lens[b]]
+    }
+
+    /// Switch the offset pointer: next becomes current. O(1), no copy —
+    /// the paper's bank swap.
+    #[inline]
+    pub fn swap(&mut self) {
+        self.cur ^= 1;
+    }
+
+    /// Copy the current bank of block `b` into its next bank. Used at
+    /// reset so that an un-evaluated block carries its state forward.
+    pub fn copy_cur_to_next(&mut self, b: usize) {
+        let cur_start = self.cur * self.bank_words + self.offsets[b];
+        let next_start = (self.cur ^ 1) * self.bank_words + self.offsets[b];
+        let len = self.lens[b];
+        let (a, bnk) = if cur_start < next_start {
+            let (lo, hi) = self.words.split_at_mut(next_start);
+            (&lo[cur_start..cur_start + len], &mut hi[..len])
+        } else {
+            let (lo, hi) = self.words.split_at_mut(cur_start);
+            (&hi[..len], &mut lo[next_start..next_start + len])
+        };
+        bnk.copy_from_slice(a);
+    }
+
+    /// Total size of both banks in bits (FPGA BRAM footprint of the state
+    /// memory).
+    pub fn total_bits(&self) -> usize {
+        self.words.len() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_and_swap() {
+        let mut m = StateMemory::new(&[70, 1, 128]);
+        assert_eq!(m.num_blocks(), 3);
+        assert_eq!(m.bank_words(), 2 + 1 + 2);
+        m.cur_mut(0)[0] = 0xAA;
+        m.next_mut(0)[0] = 0xBB;
+        assert_eq!(m.cur(0)[0], 0xAA);
+        m.swap();
+        assert_eq!(m.cur(0)[0], 0xBB);
+        m.swap();
+        assert_eq!(m.cur(0)[0], 0xAA);
+    }
+
+    #[test]
+    fn cur_and_next_are_distinct() {
+        let mut m = StateMemory::new(&[64, 64]);
+        m.cur_mut(1)[0] = 7;
+        let (cur, next) = m.cur_and_next_mut(1);
+        assert_eq!(cur[0], 7);
+        next[0] = 9;
+        assert_eq!(m.cur(1)[0], 7);
+        m.swap();
+        assert_eq!(m.cur(1)[0], 9);
+        // After swap the roles reverse (cur bank index 1).
+        let (cur, next) = m.cur_and_next_mut(1);
+        assert_eq!(cur[0], 9);
+        next[0] = 11;
+        m.swap();
+        assert_eq!(m.cur(1)[0], 11);
+    }
+
+    #[test]
+    fn copy_cur_to_next_carries_state() {
+        let mut m = StateMemory::new(&[64]);
+        m.cur_mut(0)[0] = 42;
+        m.copy_cur_to_next(0);
+        m.swap();
+        assert_eq!(m.cur(0)[0], 42);
+    }
+
+    #[test]
+    fn blocks_do_not_alias() {
+        let mut m = StateMemory::new(&[64, 64, 64]);
+        m.cur_mut(0)[0] = 1;
+        m.cur_mut(1)[0] = 2;
+        m.cur_mut(2)[0] = 3;
+        assert_eq!((m.cur(0)[0], m.cur(1)[0], m.cur(2)[0]), (1, 2, 3));
+    }
+}

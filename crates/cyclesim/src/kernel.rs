@@ -1,0 +1,292 @@
+//! The cycle-based kernel: two-phase signals, clocked and combinational
+//! processes, delta cycles.
+//!
+//! Semantics (mirroring SystemC's `sc_signal` + `SC_METHOD`):
+//!
+//! * A **signal** holds a current value; writes go to a pending buffer
+//!   (`request_update`) and become visible only after the running delta's
+//!   evaluate phase finishes.
+//! * A **clocked process** runs once per clock cycle, at the edge, and
+//!   observes the settled pre-edge signal values.
+//! * A **combinational process** declares a sensitivity list and is
+//!   re-evaluated in the next delta whenever any of those signals changed
+//!   value.
+//! * One clock cycle = the clocked evaluate phase, an update phase, then
+//!   delta cycles (evaluate woken comb processes → update) until no
+//!   signal changes.
+
+/// Signal handle.
+pub type SigId = usize;
+/// Process handle.
+pub type ProcId = usize;
+
+/// The signal table handed to processes: current values are readable,
+/// writes are buffered until the update phase.
+#[derive(Debug, Default)]
+pub struct SignalBus {
+    values: Vec<u64>,
+    pending: Vec<(SigId, u64)>,
+}
+
+impl SignalBus {
+    /// Read the settled value of a signal.
+    #[inline]
+    pub fn read(&self, s: SigId) -> u64 {
+        self.values[s]
+    }
+
+    /// Request an update (visible after this delta's update phase).
+    #[inline]
+    pub fn write(&mut self, s: SigId, v: u64) {
+        self.pending.push((s, v));
+    }
+}
+
+type ProcFn = Box<dyn FnMut(&mut SignalBus)>;
+
+/// Kernel activity counters (the *why* of Table 3's ordering).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Clock cycles simulated.
+    pub cycles: u64,
+    /// Delta cycles executed (including the clocked phase).
+    pub deltas: u64,
+    /// Process activations.
+    pub activations: u64,
+    /// Signal update events (value actually changed).
+    pub updates: u64,
+}
+
+/// The cycle-based simulation kernel.
+pub struct Kernel {
+    bus: SignalBus,
+    clocked: Vec<ProcFn>,
+    comb: Vec<ProcFn>,
+    /// Sensitivity: signal -> combinational processes to wake.
+    sens: Vec<Vec<ProcId>>,
+    stats: KernelStats,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// Empty kernel.
+    pub fn new() -> Self {
+        Kernel {
+            bus: SignalBus::default(),
+            clocked: Vec::new(),
+            comb: Vec::new(),
+            sens: Vec::new(),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Create a signal with an initial value.
+    pub fn signal(&mut self, init: u64) -> SigId {
+        self.bus.values.push(init);
+        self.sens.push(Vec::new());
+        self.bus.values.len() - 1
+    }
+
+    /// Register a clocked process (runs every cycle at the edge).
+    pub fn clocked(&mut self, f: impl FnMut(&mut SignalBus) + 'static) -> ProcId {
+        self.clocked.push(Box::new(f));
+        self.clocked.len() - 1
+    }
+
+    /// Register a combinational process with its sensitivity list.
+    pub fn comb(
+        &mut self,
+        sensitivity: &[SigId],
+        f: impl FnMut(&mut SignalBus) + 'static,
+    ) -> ProcId {
+        self.comb.push(Box::new(f));
+        let id = self.comb.len() - 1;
+        for &s in sensitivity {
+            self.sens[s].push(id);
+        }
+        id
+    }
+
+    /// Apply pending writes; returns the comb processes woken by actual
+    /// value changes.
+    fn update_phase(&mut self, woken: &mut [bool]) -> bool {
+        let mut any = false;
+        for (s, v) in core::mem::take(&mut self.bus.pending) {
+            if self.bus.values[s] != v {
+                self.bus.values[s] = v;
+                self.stats.updates += 1;
+                for &p in &self.sens[s] {
+                    if !woken[p] {
+                        woken[p] = true;
+                        any = true;
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// Run delta cycles until no signal changes.
+    fn settle_from(&mut self, mut woken: Vec<bool>) {
+        loop {
+            let run_list: Vec<ProcId> = woken
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &w)| w.then_some(i))
+                .collect();
+            if run_list.is_empty() {
+                break;
+            }
+            woken.iter_mut().for_each(|w| *w = false);
+            self.stats.deltas += 1;
+            for p in run_list {
+                self.stats.activations += 1;
+                (self.comb[p])(&mut self.bus);
+            }
+            let mut next = vec![false; self.comb.len()];
+            self.update_phase(&mut next);
+            woken = next;
+        }
+    }
+
+    /// Initialisation: evaluate every combinational process once and
+    /// settle (SystemC's elaboration + initial delta).
+    pub fn initialize(&mut self) {
+        let all = vec![true; self.comb.len()];
+        self.settle_from(all);
+    }
+
+    /// Simulate one clock cycle.
+    pub fn clock_cycle(&mut self) {
+        self.stats.cycles += 1;
+        self.stats.deltas += 1;
+        // Evaluate phase: all clocked processes observe pre-edge values.
+        for p in self.clocked.iter_mut() {
+            self.stats.activations += 1;
+            (p)(&mut self.bus);
+        }
+        // Update phase + comb settling.
+        let mut woken = vec![false; self.comb.len()];
+        self.update_phase(&mut woken);
+        self.settle_from(woken);
+    }
+
+    /// Host write outside simulation (applied immediately; wakes nobody —
+    /// clocked processes see it at the next edge, like an ARM register
+    /// write between simulation periods).
+    pub fn poke(&mut self, s: SigId, v: u64) {
+        self.bus.values[s] = v;
+    }
+
+    /// Host read of a settled signal.
+    pub fn peek(&self, s: SigId) -> u64 {
+        self.bus.values[s]
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn two_phase_signals_hide_writes_within_a_delta() {
+        let mut k = Kernel::new();
+        let a = k.signal(1);
+        let b = k.signal(0);
+        // comb: b := a + 10.
+        k.comb(&[a], move |bus| {
+            let v = bus.read(a) + 10;
+            bus.write(b, v);
+        });
+        k.initialize();
+        assert_eq!(k.peek(b), 11);
+        // clocked: a := a + 1 each cycle.
+        k.clocked(move |bus| {
+            let v = bus.read(a) + 1;
+            bus.write(a, v);
+        });
+        k.clock_cycle();
+        assert_eq!(k.peek(a), 2);
+        assert_eq!(k.peek(b), 12);
+    }
+
+    #[test]
+    fn comb_chain_settles_through_deltas() {
+        let mut k = Kernel::new();
+        let s: Vec<SigId> = (0..4).map(|i| k.signal(if i == 0 { 5 } else { 0 })).collect();
+        for i in 0..3 {
+            let (from, to) = (s[i], s[i + 1]);
+            k.comb(&[from], move |bus| {
+                let v = bus.read(from) * 2;
+                bus.write(to, v);
+            });
+        }
+        k.initialize();
+        assert_eq!(k.peek(s[3]), 40);
+        k.poke(s[0], 1);
+        // Poke wakes nobody; a clocked writer is needed to propagate.
+        let (s0, s1) = (s[0], s[1]);
+        k.clocked(move |bus| {
+            let v = bus.read(s0);
+            bus.write(s1, v * 2);
+        });
+        k.clock_cycle();
+        assert_eq!(k.peek(s[3]), 8);
+    }
+
+    #[test]
+    fn clocked_processes_see_pre_edge_values() {
+        // Swap registers through signals: a classic two-phase test — both
+        // processes must read the old value of the other.
+        let mut k = Kernel::new();
+        let a = k.signal(1);
+        let b = k.signal(2);
+        k.clocked(move |bus| {
+            let v = bus.read(b);
+            bus.write(a, v);
+        });
+        k.clocked(move |bus| {
+            let v = bus.read(a);
+            bus.write(b, v);
+        });
+        k.clock_cycle();
+        assert_eq!((k.peek(a), k.peek(b)), (2, 1));
+        k.clock_cycle();
+        assert_eq!((k.peek(a), k.peek(b)), (1, 2));
+    }
+
+    #[test]
+    fn stable_writes_wake_nothing() {
+        let mut k = Kernel::new();
+        let a = k.signal(7);
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        k.comb(&[a], move |bus| {
+            *h.borrow_mut() += 1;
+            let _ = bus.read(a);
+        });
+        k.clocked(move |bus| {
+            bus.write(a, 7); // same value every cycle
+        });
+        k.initialize();
+        assert_eq!(*hits.borrow(), 1);
+        for _ in 0..5 {
+            k.clock_cycle();
+        }
+        // Never woken again: the value never changed.
+        assert_eq!(*hits.borrow(), 1);
+        assert_eq!(k.stats().cycles, 5);
+    }
+}

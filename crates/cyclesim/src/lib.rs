@@ -1,0 +1,28 @@
+//! # cyclesim — a SystemC-like cycle-based simulation kernel
+//!
+//! The software baseline the paper measured at 215 simulated cycles per
+//! second (Table 3, "SystemC"). This crate rebuilds that *modelling
+//! style*: modules with clocked processes (`SC_METHOD` sensitive to the
+//! clock edge) and combinational processes (sensitive to their input
+//! signals), communicating through two-phase signals — every write is
+//! buffered and applied at the end of a delta cycle, exactly like
+//! `sc_signal`'s request/update mechanism.
+//!
+//! * [`kernel`] — signals, processes, sensitivity lists, the
+//!   evaluate/update delta loop and the clock driver.
+//! * [`model`] — the NoC modelled SystemC-style: one module per router
+//!   (one clocked process, two combinational processes exporting the
+//!   room and forward wires), implementing the same bit-exact router
+//!   semantics as every other engine.
+
+#![warn(missing_docs)]
+// Positional `for i in 0..n` loops indexing several parallel arrays are
+// the natural shape for port/node-indexed hardware code; iterator zips
+// would obscure which port is which.
+#![allow(clippy::needless_range_loop)]
+
+pub mod kernel;
+pub mod model;
+
+pub use kernel::{Kernel, KernelStats, ProcId, SigId, SignalBus};
+pub use model::CycleNoc;

@@ -1,0 +1,110 @@
+//! Offered-vs-accepted throughput analysis — the saturation behaviour
+//! behind Fig 1's load axis ("If the network is overloaded with traffic
+//! and it does not accept data on virtual channels for a longer time,
+//! this is reported to the user and simulation is stopped", §5.3).
+
+use crate::engine::NocEngine;
+use crate::runner::{run, RunConfig, RunReport};
+use stats::Series;
+use traffic::{BeConfig, StimuliGenerator, TrafficConfig};
+
+/// One point of a saturation sweep.
+#[derive(Debug, Clone)]
+pub struct SaturationPoint {
+    /// Offered BE load (flits/cycle/node).
+    pub offered: f64,
+    /// Accepted (injected) load measured.
+    pub accepted: f64,
+    /// Delivered load measured.
+    pub delivered: f64,
+    /// Mean BE packet latency (generation → tail delivery).
+    pub be_mean: f64,
+    /// The runner declared the network overloaded.
+    pub saturated: bool,
+}
+
+/// Sweep BE-only uniform-random traffic over `loads` on fresh engines
+/// produced by `mk_engine`.
+pub fn saturation_sweep(
+    mk_engine: &mut dyn FnMut() -> Box<dyn NocEngine>,
+    loads: &[f64],
+    seed: u64,
+    rc: &RunConfig,
+) -> Vec<SaturationPoint> {
+    loads
+        .iter()
+        .map(|&load| {
+            let mut engine = mk_engine();
+            let cfg = engine.config();
+            let mut gen = StimuliGenerator::new(TrafficConfig {
+                net: cfg,
+                be: BeConfig::fig1(load),
+                gt_streams: Vec::new(),
+                seed,
+            });
+            let r: RunReport = run(engine.as_mut(), &mut gen, rc);
+            SaturationPoint {
+                offered: load,
+                accepted: r.throughput.accepted_load(),
+                delivered: r.throughput.delivered_load(),
+                be_mean: r.be.mean,
+                saturated: r.saturated,
+            }
+        })
+        .collect()
+}
+
+/// The lowest offered load at which the network stops accepting the
+/// offered traffic (accepted < `(1 - tol) ×` offered, or the overload
+/// stop triggers). `None` if the sweep never saturates.
+pub fn saturation_load(points: &[SaturationPoint], tol: f64) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| p.saturated || p.accepted < p.offered * (1.0 - tol))
+        .map(|p| p.offered)
+}
+
+/// Render a sweep as a CSV-exportable series.
+pub fn to_series(points: &[SaturationPoint]) -> Series {
+    let mut s = Series::new("offered", &["accepted", "delivered", "be_mean"]);
+    for p in points {
+        s.push(p.offered, &[p.accepted, p.delivered, p.be_mean]);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::NativeNoc;
+    use noc_types::{NetworkConfig, Topology};
+    use vc_router::IfaceConfig;
+
+    #[test]
+    fn sweep_shows_linear_region_then_saturation() {
+        let cfg = NetworkConfig::new(4, 4, Topology::Torus, 2);
+        let rc = RunConfig {
+            warmup: 500,
+            measure: 3_000,
+            drain: 1_000,
+            period: 256,
+            backlog_limit: 2_048,
+        };
+        let loads = [0.05, 0.15, 0.60, 0.90];
+        let mut mk = || -> Box<dyn NocEngine> {
+            Box::new(NativeNoc::new(cfg, IfaceConfig::default()))
+        };
+        let pts = saturation_sweep(&mut mk, &loads, 11, &rc);
+        // Linear region: accepted tracks offered.
+        assert!((pts[0].accepted - pts[0].offered).abs() / pts[0].offered < 0.15);
+        assert!((pts[1].accepted - pts[1].offered).abs() / pts[1].offered < 0.15);
+        // Saturated region: the network cannot accept 0.9 flits/cycle/node.
+        let sat = saturation_load(&pts, 0.10).expect("0.9 load must saturate");
+        assert!(sat > 0.15 && sat <= 0.90, "saturation at {sat}");
+        // Latency explodes past saturation.
+        assert!(pts[3].be_mean > 4.0 * pts[0].be_mean || pts[3].saturated);
+        // CSV export works.
+        let csv = to_series(&pts).to_csv();
+        assert!(csv.lines().count() == 5);
+    }
+}

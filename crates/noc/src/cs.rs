@@ -1,0 +1,497 @@
+//! The circuit-switched network (paper §2's second NoC), assembled on the
+//! **static** sequential engine — a registered-boundary system in the
+//! sense of §4.1, the cheap half of the paper's method — plus a native
+//! reference implementation for differential testing.
+//!
+//! The host plays the configuration network: it claims dimension-ordered
+//! paths link by link, writes the routers' connection tables through
+//! external (host-written) links, then streams data words end to end at
+//! full link bandwidth — one word per cycle per circuit, one registered
+//! hop of latency per router, no arbitration and no flow control.
+
+use crate::wiring::Wiring;
+use noc_types::{Coord, Direction, NetworkConfig, Port, NUM_PORTS};
+use seqsim::{StaticEngine, SystemSpec};
+use std::collections::HashSet;
+use vc_router::circuit::{
+    cs_cfg_encode, cs_clock, cs_offer, cs_path, CsRouterBlock, CsRouterRegs, CS_IN_CFG,
+    CS_IN_WRPTR, CS_RING_OUT, CS_RING_STIM,
+};
+use vc_router::{IfaceConfig, IfaceRings, OutEntry, StimEntry};
+
+/// A configured circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    /// Source node coordinate.
+    pub src: Coord,
+    /// Destination node coordinate.
+    pub dest: Coord,
+    /// Links claimed, as (node index, output port).
+    pub links: Vec<(usize, Port)>,
+}
+
+impl Circuit {
+    /// Router hops from source to destination.
+    pub fn hops(&self) -> usize {
+        self.links.len() - 1
+    }
+}
+
+/// Why a circuit could not be configured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsError {
+    /// A link on the path is already claimed by another circuit.
+    LinkBusy(usize, Port),
+    /// The source node already sources a circuit (one stream ring each).
+    SourceBusy(usize),
+}
+
+/// Common connection-table bookkeeping for both backends.
+#[derive(Debug, Clone)]
+struct CsState {
+    cfg: NetworkConfig,
+    conn: Vec<[Option<Port>; NUM_PORTS]>,
+    claimed: HashSet<(usize, Port)>,
+    sources: HashSet<usize>,
+}
+
+impl CsState {
+    fn new(cfg: NetworkConfig) -> Self {
+        CsState {
+            cfg,
+            conn: vec![[None; NUM_PORTS]; cfg.num_nodes()],
+            claimed: HashSet::new(),
+            sources: HashSet::new(),
+        }
+    }
+
+    /// Claim a path and update connection tables. Returns the circuit and
+    /// the list of nodes whose tables changed.
+    fn configure(&mut self, src: Coord, dest: Coord) -> Result<(Circuit, Vec<usize>), CsError> {
+        assert_ne!(src, dest);
+        let path = cs_path(&self.cfg, src, dest);
+        let links: Vec<(usize, Port)> = path
+            .iter()
+            .map(|&(c, p)| (self.cfg.shape.node_id(c).index(), p))
+            .collect();
+        let src_node = links[0].0;
+        if self.sources.contains(&src_node) {
+            return Err(CsError::SourceBusy(src_node));
+        }
+        for &(n, p) in &links {
+            if self.claimed.contains(&(n, p)) {
+                return Err(CsError::LinkBusy(n, p));
+            }
+        }
+        // Commit: the first router connects its first output to Local
+        // (the stream source); each later router connects to the port the
+        // data arrives on (opposite of the previous output direction).
+        let mut touched = Vec::with_capacity(links.len());
+        let mut in_port = Port::Local;
+        for &(n, out) in &links {
+            self.conn[n][out.index()] = Some(in_port);
+            self.claimed.insert((n, out));
+            touched.push(n);
+            if let Some(d) = out.direction() {
+                in_port = Port::from_index(d.opposite().index());
+            }
+        }
+        self.sources.insert(src_node);
+        Ok((Circuit { src, dest, links }, touched))
+    }
+
+    /// Release a circuit. Returns the nodes whose tables changed.
+    fn teardown(&mut self, c: &Circuit) -> Vec<usize> {
+        let mut touched = Vec::with_capacity(c.links.len());
+        for &(n, out) in &c.links {
+            self.conn[n][out.index()] = None;
+            self.claimed.remove(&(n, out));
+            touched.push(n);
+        }
+        self.sources
+            .remove(&self.cfg.shape.node_id(c.src).index());
+        touched
+    }
+}
+
+/// The circuit-switched NoC on the static sequential engine.
+pub struct CsNoc {
+    state: CsState,
+    iface_cfg: IfaceConfig,
+    engine: StaticEngine,
+    cfg_links: Vec<usize>,
+    wr_links: Vec<usize>,
+    host_wr: Vec<u16>,
+    out_rd: Vec<u16>,
+}
+
+impl CsNoc {
+    /// Build the network (static schedule: every block evaluated exactly
+    /// once per system cycle).
+    pub fn new(cfg: NetworkConfig, iface_cfg: IfaceConfig) -> Self {
+        iface_cfg.validate();
+        let n = cfg.num_nodes();
+        let wiring = Wiring::new(&cfg);
+        let mut spec = SystemSpec::new();
+        let kind = spec.add_kind(Box::new(CsRouterBlock::new(iface_cfg)));
+        let blocks: Vec<usize> = (0..n).map(|_| spec.add_block(kind)).collect();
+        for r in 0..n {
+            for d in 0..4 {
+                match wiring.neighbour(r, d) {
+                    Some(nb) => {
+                        let opp = Direction::from_index(d).opposite().index();
+                        spec.wire((blocks[r], d), (blocks[nb], opp));
+                    }
+                    None => {
+                        spec.sink((blocks[r], d));
+                        spec.tie_off((blocks[r], d), 0);
+                    }
+                }
+            }
+        }
+        let cfg_links: Vec<usize> = (0..n)
+            .map(|r| spec.external((blocks[r], CS_IN_CFG), 0))
+            .collect();
+        let wr_links: Vec<usize> = (0..n)
+            .map(|r| spec.external((blocks[r], CS_IN_WRPTR), 0))
+            .collect();
+        CsNoc {
+            state: CsState::new(cfg),
+            iface_cfg,
+            engine: StaticEngine::new(spec),
+            cfg_links,
+            wr_links,
+            host_wr: vec![0; n],
+            out_rd: vec![0; n],
+        }
+    }
+
+    fn sync_conn(&mut self, touched: &[usize]) {
+        for &n in touched {
+            self.engine
+                .set_external(self.cfg_links[n], cs_cfg_encode(&self.state.conn[n]));
+        }
+    }
+
+    /// Configure a dimension-ordered circuit from `src` to `dest`.
+    pub fn configure_circuit(&mut self, src: Coord, dest: Coord) -> Result<Circuit, CsError> {
+        let (c, touched) = self.state.configure(src, dest)?;
+        self.sync_conn(&touched);
+        Ok(c)
+    }
+
+    /// Tear a circuit down, freeing its links.
+    pub fn teardown(&mut self, c: &Circuit) {
+        let touched = self.state.teardown(c);
+        self.sync_conn(&touched);
+    }
+
+    /// Queue a data word at `node`'s stream source, to enter the circuit
+    /// at or after `ts`. Returns false when the ring is full.
+    pub fn push_word(&mut self, node: usize, ts: u64, data: u16) -> bool {
+        let regs = CsRouterRegs::unpack(self.engine.peek_state(node));
+        let fill = self.host_wr[node].wrapping_sub(regs.stim_rd);
+        if fill as usize >= self.iface_cfg.stim_cap {
+            return false;
+        }
+        let entry = StimEntry {
+            ts,
+            flit: noc_types::Flit {
+                kind: noc_types::FlitKind::Body,
+                payload: data,
+            },
+        };
+        self.engine.side_mut().write(
+            node,
+            CS_RING_STIM,
+            self.host_wr[node] as usize,
+            entry.to_bits(),
+        );
+        self.host_wr[node] = self.host_wr[node].wrapping_add(1);
+        self.engine
+            .set_external(self.wr_links[node], self.host_wr[node] as u64);
+        true
+    }
+
+    /// Drain the words delivered at `node`.
+    pub fn drain_delivered(&mut self, node: usize) -> Vec<OutEntry> {
+        let regs = CsRouterRegs::unpack(self.engine.peek_state(node));
+        let rd = &mut self.out_rd[node];
+        let pending =
+            crate::engine::ring_pending(*rd, regs.out_wr, self.iface_cfg.out_cap, "cs output");
+        let mut out = Vec::with_capacity(pending);
+        for _ in 0..pending {
+            out.push(OutEntry::from_bits(self.engine.side().read(
+                node,
+                CS_RING_OUT,
+                *rd as usize,
+            )));
+            *rd = rd.wrapping_add(1);
+        }
+        out
+    }
+
+    /// Simulate `n` system cycles.
+    pub fn run(&mut self, n: u64) {
+        self.engine.run(n);
+    }
+
+    /// Current system cycle.
+    pub fn cycle(&self) -> u64 {
+        self.engine.cycle()
+    }
+
+    /// The underlying static engine (delta statistics: exactly N per
+    /// cycle — the §4.1 property).
+    pub fn engine(&self) -> &StaticEngine {
+        &self.engine
+    }
+}
+
+/// Native reference implementation of the circuit-switched network.
+pub struct CsNativeNoc {
+    state: CsState,
+    iface_cfg: IfaceConfig,
+    wiring: Wiring,
+    regs: Vec<CsRouterRegs>,
+    rings: Vec<IfaceRings>,
+    host_wr: Vec<u16>,
+    out_rd: Vec<u16>,
+    cycle: u64,
+}
+
+impl CsNativeNoc {
+    /// Build the network.
+    pub fn new(cfg: NetworkConfig, iface_cfg: IfaceConfig) -> Self {
+        iface_cfg.validate();
+        let n = cfg.num_nodes();
+        CsNativeNoc {
+            state: CsState::new(cfg),
+            iface_cfg,
+            wiring: Wiring::new(&cfg),
+            regs: vec![CsRouterRegs::new(); n],
+            rings: (0..n).map(|_| IfaceRings::new(&iface_cfg)).collect(),
+            host_wr: vec![0; n],
+            out_rd: vec![0; n],
+            cycle: 0,
+        }
+    }
+
+    /// Configure a circuit (same claiming rules as [`CsNoc`]).
+    pub fn configure_circuit(&mut self, src: Coord, dest: Coord) -> Result<Circuit, CsError> {
+        let (c, _) = self.state.configure(src, dest)?;
+        Ok(c)
+    }
+
+    /// Tear a circuit down.
+    pub fn teardown(&mut self, c: &Circuit) {
+        let _ = self.state.teardown(c);
+    }
+
+    /// Queue a data word at `node`'s stream source.
+    pub fn push_word(&mut self, node: usize, ts: u64, data: u16) -> bool {
+        let fill = self.host_wr[node].wrapping_sub(self.regs[node].stim_rd);
+        if fill as usize >= self.iface_cfg.stim_cap {
+            return false;
+        }
+        let entry = StimEntry {
+            ts,
+            flit: noc_types::Flit {
+                kind: noc_types::FlitKind::Body,
+                payload: data,
+            },
+        };
+        let slot = self.host_wr[node] as usize % self.iface_cfg.stim_cap;
+        self.rings[node].stim[0][slot] = entry.to_bits();
+        self.host_wr[node] = self.host_wr[node].wrapping_add(1);
+        true
+    }
+
+    /// Simulate one system cycle.
+    pub fn step(&mut self) {
+        let n = self.state.cfg.num_nodes();
+        // Offers (functions of state) and current output registers.
+        let offers: Vec<(u64, bool)> = (0..n)
+            .map(|r| cs_offer(&self.regs[r], &self.iface_cfg, &self.rings[r], self.cycle))
+            .collect();
+        let outs: Vec<[u64; NUM_PORTS]> = (0..n).map(|r| self.regs[r].out_reg).collect();
+        for r in 0..n {
+            let mut inputs = [0u64; NUM_PORTS];
+            for (d, slot) in inputs.iter_mut().enumerate().take(4) {
+                if let Some(nb) = self.wiring.neighbour(r, d) {
+                    *slot = outs[nb][Direction::from_index(d).opposite().index()];
+                }
+            }
+            inputs[Port::Local.index()] = offers[r].0;
+            let cycle = self.cycle;
+            let out_cap = self.iface_cfg.out_cap;
+            let mut captured = None;
+            let mut next = cs_clock(&self.regs[r], &inputs, offers[r].1, |w| captured = Some(w));
+            if let Some(w) = captured {
+                let (_, data) = vc_router::circuit::cs_word_decode(w);
+                let slot = self.regs[r].out_wr as usize % out_cap;
+                self.rings[r].out[slot] = OutEntry {
+                    cycle,
+                    vc: 0,
+                    flit: noc_types::Flit {
+                        kind: noc_types::FlitKind::Body,
+                        payload: data,
+                    },
+                }
+                .to_bits();
+                next.out_wr = self.regs[r].out_wr.wrapping_add(1);
+            }
+            next.conn = self.state.conn[r];
+            next.stim_wr_shadow = self.host_wr[r];
+            self.regs[r] = next;
+        }
+        self.cycle += 1;
+    }
+
+    /// Simulate `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Drain delivered words at `node`.
+    pub fn drain_delivered(&mut self, node: usize) -> Vec<OutEntry> {
+        let rd = &mut self.out_rd[node];
+        let pending = crate::engine::ring_pending(
+            *rd,
+            self.regs[node].out_wr,
+            self.iface_cfg.out_cap,
+            "cs output",
+        );
+        let mut out = Vec::with_capacity(pending);
+        for _ in 0..pending {
+            out.push(OutEntry::from_bits(
+                self.rings[node].out[*rd as usize % self.iface_cfg.out_cap],
+            ));
+            *rd = rd.wrapping_add(1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::Topology;
+
+    fn cfg() -> NetworkConfig {
+        NetworkConfig::new(4, 4, Topology::Torus, 4)
+    }
+
+    #[test]
+    fn stream_arrives_in_order_at_full_bandwidth() {
+        let net = cfg();
+        let mut cs = CsNoc::new(net, IfaceConfig::default());
+        let c = cs
+            .configure_circuit(Coord::new(0, 0), Coord::new(2, 1))
+            .unwrap();
+        assert_eq!(c.hops(), 3);
+        for i in 0..50u16 {
+            assert!(cs.push_word(0, 0, 0x100 + i));
+        }
+        cs.run(70);
+        let dest = net.shape.node_id(Coord::new(2, 1)).index();
+        let got = cs.drain_delivered(dest);
+        assert_eq!(got.len(), 50);
+        // In order.
+        let data: Vec<u16> = got.iter().map(|o| o.flit.payload).collect();
+        let expect: Vec<u16> = (0..50).map(|i| 0x100 + i).collect();
+        assert_eq!(data, expect);
+        // Full bandwidth: consecutive delivery cycles.
+        assert!(got.windows(2).all(|w| w[1].cycle == w[0].cycle + 1));
+        // Latency: shadow (1) + offer pick + one registered hop per
+        // router + capture.
+        let first = got[0].cycle;
+        assert!(
+            (c.hops() as u64 + 1..=c.hops() as u64 + 4).contains(&first),
+            "first delivery at cycle {first} for {} hops",
+            c.hops()
+        );
+    }
+
+    #[test]
+    fn conflicting_circuits_rejected_and_freed_by_teardown() {
+        let net = cfg();
+        let mut cs = CsNoc::new(net, IfaceConfig::default());
+        let a = cs
+            .configure_circuit(Coord::new(0, 0), Coord::new(2, 0))
+            .unwrap();
+        // Same east links -> busy.
+        let err = cs
+            .configure_circuit(Coord::new(0, 0), Coord::new(3, 0))
+            .unwrap_err();
+        assert!(matches!(err, CsError::SourceBusy(_)));
+        let err = cs
+            .configure_circuit(Coord::new(1, 0), Coord::new(3, 0))
+            .unwrap_err();
+        assert!(matches!(err, CsError::LinkBusy(..)));
+        // Disjoint circuit is fine.
+        cs.configure_circuit(Coord::new(0, 2), Coord::new(2, 2))
+            .unwrap();
+        // After teardown the links are reusable.
+        cs.teardown(&a);
+        cs.configure_circuit(Coord::new(1, 0), Coord::new(3, 0))
+            .unwrap();
+    }
+
+    #[test]
+    fn static_and_native_cs_engines_agree() {
+        let net = cfg();
+        let mut a = CsNoc::new(net, IfaceConfig::default());
+        let mut b = CsNativeNoc::new(net, IfaceConfig::default());
+        for (src, dest) in [
+            (Coord::new(0, 0), Coord::new(3, 2)),
+            (Coord::new(1, 1), Coord::new(1, 3)),
+            (Coord::new(2, 2), Coord::new(0, 2)),
+        ] {
+            a.configure_circuit(src, dest).unwrap();
+            b.configure_circuit(src, dest).unwrap();
+            let s = net.shape.node_id(src).index();
+            for i in 0..40u16 {
+                assert!(a.push_word(s, (i as u64) * 2, 0x55 ^ i));
+                assert!(b.push_word(s, (i as u64) * 2, 0x55 ^ i));
+            }
+        }
+        a.run(150);
+        b.run(150);
+        for node in 0..net.num_nodes() {
+            assert_eq!(
+                a.drain_delivered(node),
+                b.drain_delivered(node),
+                "node {node} differs"
+            );
+        }
+        // Static engine: exactly N delta cycles per system cycle.
+        let stats = a.engine().stats();
+        assert_eq!(stats.delta_cycles, 150 * net.num_nodes() as u64);
+    }
+
+    #[test]
+    fn crossing_circuits_share_a_router_without_interference() {
+        // Two circuits through the same router on different ports.
+        let net = NetworkConfig::new(5, 5, Topology::Mesh, 4);
+        let mut cs = CsNoc::new(net, IfaceConfig::default());
+        // West->East through (2,2) and South->North through (2,2).
+        cs.configure_circuit(Coord::new(0, 2), Coord::new(4, 2)).unwrap();
+        cs.configure_circuit(Coord::new(2, 0), Coord::new(2, 4)).unwrap();
+        let s1 = net.shape.node_id(Coord::new(0, 2)).index();
+        let s2 = net.shape.node_id(Coord::new(2, 0)).index();
+        for i in 0..30u16 {
+            cs.push_word(s1, 0, i);
+            cs.push_word(s2, 0, 0x8000 | i);
+        }
+        cs.run(60);
+        let d1 = cs.drain_delivered(net.shape.node_id(Coord::new(4, 2)).index());
+        let d2 = cs.drain_delivered(net.shape.node_id(Coord::new(2, 4)).index());
+        assert_eq!(d1.len(), 30);
+        assert_eq!(d2.len(), 30);
+        assert!(d1.iter().all(|o| o.flit.payload & 0x8000 == 0));
+        assert!(d2.iter().all(|o| o.flit.payload & 0x8000 != 0));
+    }
+}

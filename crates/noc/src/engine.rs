@@ -1,0 +1,127 @@
+//! The engine abstraction every simulation backend implements.
+//!
+//! The host side (the paper's ARM software) sees the same interface on
+//! every backend: push timestamped stimuli into per-VC rings, step system
+//! cycles, drain delivered-output and access-delay rings. Ring pointers
+//! follow the free-running 16-bit convention of
+//! [`vc_router::regs::IfaceRegs`].
+
+use noc_types::NetworkConfig;
+use seqsim::DeltaStats;
+use vc_router::{AccEntry, OutEntry, StimEntry};
+
+/// A delivered flit with its destination node attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivered {
+    /// Node whose local port delivered the flit.
+    pub node: usize,
+    /// The output-ring record.
+    pub entry: OutEntry,
+}
+
+/// A bit- and cycle-accurate NoC simulation backend.
+pub trait NocEngine {
+    /// Engine name for reports ("native", "seqsim", "systemc", "rtl").
+    fn name(&self) -> &'static str;
+
+    /// The simulated network's configuration.
+    fn config(&self) -> NetworkConfig;
+
+    /// Current system cycle.
+    fn cycle(&self) -> u64;
+
+    /// Simulate one system cycle.
+    fn step(&mut self);
+
+    /// Capacity of every stimuli ring in entries.
+    fn stim_capacity(&self) -> usize;
+
+    /// Free entries in the stimuli ring of `(node, vc)`.
+    fn stim_free(&self, node: usize, vc: usize) -> usize;
+
+    /// Push one stimulus; returns `false` (and pushes nothing) when the
+    /// ring is full.
+    fn push_stim(&mut self, node: usize, vc: usize, entry: StimEntry) -> bool;
+
+    /// Drain all new delivered-output records of `node`.
+    fn drain_delivered(&mut self, node: usize) -> Vec<OutEntry>;
+
+    /// Drain all new access-delay records of `node`.
+    fn drain_access(&mut self, node: usize) -> Vec<AccEntry>;
+
+    /// Probe the settled forward-link word on `node`'s output in
+    /// direction `dir` as of the last completed cycle (the paper's "log
+    /// the traffic of a specific link", §5.2). `None` where unsupported
+    /// or at a mesh edge.
+    fn probe_link(&self, node: usize, dir: usize) -> Option<vc_router::OutEntry> {
+        let _ = (node, dir);
+        None
+    }
+
+    /// Delta-cycle statistics (sequential simulator only).
+    fn delta_stats(&self) -> Option<DeltaStats> {
+        None
+    }
+
+    /// Reset delta-cycle statistics after warm-up (no-op where
+    /// unsupported).
+    fn reset_delta_stats(&mut self) {}
+
+    /// Simulate `n` system cycles.
+    fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+/// Host-side ring pointer bookkeeping shared by the backends.
+#[derive(Debug, Clone)]
+pub struct HostPtrs {
+    /// Host write pointer per (node, VC) stimuli ring.
+    pub stim_wr: Vec<[u16; noc_types::NUM_VCS]>,
+    /// Host read pointer per node output ring.
+    pub out_rd: Vec<u16>,
+    /// Host read pointer per node access-delay ring.
+    pub acc_rd: Vec<u16>,
+}
+
+impl HostPtrs {
+    /// Zeroed pointers for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        HostPtrs {
+            stim_wr: vec![[0; noc_types::NUM_VCS]; n],
+            out_rd: vec![0; n],
+            acc_rd: vec![0; n],
+        }
+    }
+}
+
+/// Count of entries between a host pointer and a device pointer, with an
+/// overrun check against the ring capacity.
+#[inline]
+pub fn ring_pending(host_rd: u16, dev_wr: u16, cap: usize, what: &str) -> usize {
+    let pending = dev_wr.wrapping_sub(host_rd) as usize;
+    assert!(
+        pending <= cap,
+        "{what} ring overrun: {pending} pending > capacity {cap} — drain more often"
+    );
+    pending
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pending_wraps() {
+        assert_eq!(ring_pending(65530, 4, 8192, "out"), 10);
+        assert_eq!(ring_pending(5, 5, 8192, "out"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overrun")]
+    fn ring_overrun_detected() {
+        let _ = ring_pending(0, 300, 256, "out");
+    }
+}

@@ -1,0 +1,57 @@
+//! # noc — network assembly and the unified simulation harness
+//!
+//! Builds the paper's Network-on-Chip (§2) on top of each simulation
+//! engine and drives it with the five-phase control loop of §5.3:
+//!
+//! * [`wiring`] — the neighbour/link structure of a torus or mesh;
+//! * [`engine`] — the [`NocEngine`] trait every backend implements
+//!   (native, sequential/FPGA-style, SystemC-like, VHDL-like) plus the
+//!   host-side ring pointer bookkeeping;
+//! * [`native`] — the hand-written reference engine (plain structs, two
+//!   evaluation passes per cycle) — the golden model;
+//! * [`seq`] — the sequential simulator backend: one
+//!   [`seqsim::DynamicEngine`] running [`vc_router::RouterBlock`]s, the
+//!   software twin of the paper's FPGA design (Fig 7);
+//! * [`runner`] — the five-phase loop (generate / load / simulate /
+//!   retrieve / analyse) with phase profiling and latency analysis;
+//! * [`diff`] — the differential harness asserting that every engine
+//!   produces bit-identical delivered-flit streams.
+//!
+//! ```
+//! use noc::{NocEngine, NativeNoc};
+//! use noc_types::{Coord, Flit, NetworkConfig, Topology};
+//! use vc_router::{IfaceConfig, StimEntry};
+//!
+//! // A 3x3 torus; send one single-flit packet from node 0 to (2,1).
+//! let cfg = NetworkConfig::new(3, 3, Topology::Torus, 4);
+//! let mut net = NativeNoc::new(cfg, IfaceConfig::default());
+//! let flit = Flit::head_tail(Coord::new(2, 1), 0);
+//! assert!(net.push_stim(0, 0, StimEntry { ts: 0, flit }));
+//! net.run(10);
+//! let dest = cfg.shape.node_id(Coord::new(2, 1)).index();
+//! let delivered = net.drain_delivered(dest);
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(delivered[0].flit, flit);
+//! ```
+
+#![warn(missing_docs)]
+// Positional `for i in 0..n` loops indexing several parallel arrays are
+// the natural shape for port/node-indexed hardware code; iterator zips
+// would obscure which port is which.
+#![allow(clippy::needless_range_loop)]
+
+pub mod analysis;
+pub mod cs;
+pub mod diff;
+pub mod engine;
+pub mod native;
+pub mod runner;
+pub mod seq;
+pub mod wiring;
+
+pub use cs::{Circuit, CsError, CsNativeNoc, CsNoc};
+pub use engine::NocEngine;
+pub use native::NativeNoc;
+pub use runner::{fig1_guarantee, run, run_fig1_point, RunConfig, RunReport};
+pub use seq::SeqNoc;
+pub use wiring::Wiring;

@@ -1,0 +1,360 @@
+//! The five-phase simulation loop (paper §5.3).
+//!
+//! "After all routes are determined, a loop is started that has five
+//! phases. 1) generating the traffic for each node in a stimuli table [...]
+//! 2) The generated stimuli have to be written into the input buffers [...]
+//! 3) After filling the buffers we start the simulation [...] and evaluate
+//! x system cycles [...] 4) After a single simulation period, we have to
+//! empty the output buffers [...] 5) After the data is retrieved [...] it
+//! is analyzed and the desired statistics are stored."
+//!
+//! The loop also reproduces the paper's back-pressure handling: stimuli
+//! that do not fit in the rings stay in a host-side backlog and are
+//! written later; a network that stops accepting traffic for too long is
+//! reported as overloaded and the simulation stops (§5.3).
+
+use crate::engine::NocEngine;
+use noc_types::{Reassembler, TrafficClass, NUM_VCS};
+use seqsim::DeltaStats;
+use stats::{LatencyStats, LatencySummary, PhaseProfiler, ThroughputCounter};
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+use traffic::{OfferedPacket, StimuliGenerator};
+use vc_router::StimEntry;
+
+/// Runner parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Warm-up cycles (excluded from statistics).
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Extra cycles to let in-flight packets drain after generation stops.
+    pub drain: u64,
+    /// Simulation period: cycles per generate/load/simulate/retrieve/
+    /// analyse round (the paper fixes it to the stimuli-buffer size).
+    pub period: u64,
+    /// Host backlog (flits per node-VC) beyond which the network is
+    /// declared overloaded and the run stops early.
+    pub backlog_limit: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            warmup: 2_000,
+            measure: 10_000,
+            drain: 4_000,
+            period: 512,
+            backlog_limit: 8_192,
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Engine name.
+    pub engine: &'static str,
+    /// GT packet latency (generation to tail delivery).
+    pub gt: LatencySummary,
+    /// BE packet latency.
+    pub be: LatencySummary,
+    /// Access delay of injected head flits (paper's dedicated log buffer).
+    pub access: LatencySummary,
+    /// Traffic volumes over the measurement window.
+    pub throughput: ThroughputCounter,
+    /// Wall-clock share per phase (Table 4's software-side equivalent).
+    pub profile: Vec<(&'static str, Duration, f64)>,
+    /// Delta-cycle statistics over the measurement window (sequential
+    /// engine only).
+    pub delta: Option<DeltaStats>,
+    /// The network stopped accepting the offered load.
+    pub saturated: bool,
+    /// Offered packets never delivered (in-flight or lost at stop).
+    pub unmatched: usize,
+    /// Total wall-clock time.
+    pub wall: Duration,
+    /// System cycles simulated.
+    pub cycles: u64,
+}
+
+impl RunReport {
+    /// Simulated clock cycles per wall-clock second — the paper's Table 3
+    /// metric.
+    pub fn cps(&self) -> f64 {
+        self.cycles as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Drive `engine` with `gen`'s traffic through the five-phase loop.
+pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfig) -> RunReport {
+    let cfg = engine.config();
+    let n = cfg.num_nodes();
+    let started = Instant::now();
+    let mut prof = PhaseProfiler::new();
+
+    let mut journal: HashMap<(u16, u16), OfferedPacket> = HashMap::new();
+    let mut reasm: Vec<Reassembler> = (0..n).map(|_| Reassembler::new()).collect();
+    let mut backlog: Vec<[VecDeque<StimEntry>; NUM_VCS]> =
+        (0..n).map(|_| core::array::from_fn(|_| VecDeque::new())).collect();
+
+    let mut gt = LatencyStats::new();
+    let mut be = LatencyStats::new();
+    let mut access = LatencyStats::new();
+    let mut tp = ThroughputCounter {
+        nodes: n as u64,
+        ..Default::default()
+    };
+    let mut pushed_flits: u64 = 0;
+    let mut saturated = false;
+    let mut delta_reset_done = false;
+
+    let gen_end = rc.warmup + rc.measure;
+    let total_end = gen_end + rc.drain;
+    let meas = |ts: u64| ts >= rc.warmup && ts < gen_end;
+
+    let mut t0 = 0u64;
+    while t0 < total_end && !saturated {
+        let t1 = (t0 + rc.period).min(total_end);
+
+        // Phase 1: generate (while the traffic window is open).
+        if t0 < gen_end {
+            let w = prof.time("generate", || gen.generate(t0, t1.min(gen_end)));
+            for p in &w.offered {
+                journal.insert((p.src.0, p.seq), *p);
+                if meas(p.ts) {
+                    tp.offered_flits += p.flits as u64;
+                }
+            }
+            for (node, rings) in w.stim.into_iter().enumerate() {
+                for (vc, entries) in rings.into_iter().enumerate() {
+                    backlog[node][vc].extend(entries);
+                }
+            }
+        }
+
+        // Phase 2: load stimuli into the device rings (back-pressure:
+        // whatever does not fit stays in the backlog).
+        prof.time("load", || {
+            for node in 0..n {
+                for vc in 0..NUM_VCS {
+                    while let Some(&e) = backlog[node][vc].front() {
+                        if engine.push_stim(node, vc, e) {
+                            backlog[node][vc].pop_front();
+                            pushed_flits += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if backlog[node][vc].len() > rc.backlog_limit {
+                        saturated = true;
+                    }
+                }
+            }
+        });
+
+        // Phase 3: simulate one period.
+        if !delta_reset_done && t0 >= rc.warmup {
+            engine.reset_delta_stats();
+            delta_reset_done = true;
+        }
+        prof.time("simulate", || engine.run(t1 - t0));
+
+        // Phase 4: retrieve the output and access-delay buffers.
+        let mut retrieved: Vec<(usize, Vec<vc_router::OutEntry>)> = Vec::with_capacity(n);
+        let mut acc_entries = Vec::new();
+        prof.time("retrieve", || {
+            for node in 0..n {
+                retrieved.push((node, engine.drain_delivered(node)));
+                acc_entries.extend(engine.drain_access(node));
+            }
+        });
+
+        // Phase 5: analyse.
+        prof.time("analyse", || {
+            for a in &acc_entries {
+                if meas(a.ts) {
+                    access.record(a.delay);
+                }
+            }
+            for (node, entries) in retrieved {
+                for e in entries {
+                    reasm[node].push(e.cycle, e.vc, e.flit);
+                }
+                for pkt in reasm[node].drain_completed() {
+                    let seq = pkt.first_body.unwrap_or(0);
+                    let offered = journal
+                        .remove(&(pkt.src_tag as u16, seq))
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "delivered packet (src {}, seq {seq}) was never offered",
+                                pkt.src_tag
+                            )
+                        });
+                    assert_eq!(
+                        pkt.flits as u16, offered.flits,
+                        "packet length corrupted in flight"
+                    );
+                    assert_eq!(
+                        engine.config().shape.node_id(offered.dest).index(),
+                        node,
+                        "packet delivered to the wrong node"
+                    );
+                    // Volumes and latencies are attributed to the
+                    // measurement window by *offer* time, so delivered
+                    // rates stay comparable to offered rates.
+                    if meas(offered.ts) {
+                        tp.delivered_packets += 1;
+                        tp.delivered_flits += pkt.flits as u64;
+                        let latency = pkt.tail_cycle - offered.ts;
+                        match offered.class {
+                            TrafficClass::GuaranteedThroughput => gt.record(latency),
+                            TrafficClass::BestEffort => be.record(latency),
+                        }
+                    }
+                }
+            }
+        });
+
+        t0 = t1;
+    }
+
+    // Injected = pushed minus what still sits in the device rings.
+    let cap = engine.stim_capacity();
+    let ring_fill: u64 = (0..n)
+        .map(|node| {
+            (0..NUM_VCS)
+                .map(|vc| (cap - engine.stim_free(node, vc)) as u64)
+                .sum::<u64>()
+        })
+        .sum();
+    tp.injected_flits = pushed_flits.saturating_sub(ring_fill);
+    tp.cycles = rc.measure;
+    tp.gen_cycles = gen_end;
+
+    RunReport {
+        engine: engine.name(),
+        gt: gt.summary(),
+        be: be.summary(),
+        access: access.summary(),
+        throughput: tp,
+        profile: prof.rows(),
+        delta: engine.delta_stats(),
+        saturated,
+        unmatched: journal.len(),
+        wall: started.elapsed(),
+        cycles: engine.cycle(),
+    }
+}
+
+/// Convenience: route, allocate and run the paper's Fig 1 workload at one
+/// BE load point on a given engine.
+pub fn run_fig1_point(
+    engine: &mut dyn NocEngine,
+    be_load: f64,
+    seed: u64,
+    rc: &RunConfig,
+) -> RunReport {
+    let cfg = engine.config();
+    let mut alloc = traffic::GtAllocator::new(cfg);
+    let gt_streams = alloc.auto_streams((2, 1), 2048, 128);
+    let tcfg = traffic::TrafficConfig {
+        net: cfg,
+        be: traffic::BeConfig::fig1(be_load),
+        gt_streams,
+        seed,
+    };
+    let mut gen = StimuliGenerator::new(tcfg);
+    run(engine, &mut gen, rc)
+}
+
+/// The analytic GT guarantee for the Fig 1 workload on `cfg`'s network
+/// (the worst admitted stream).
+pub fn fig1_guarantee(cfg: noc_types::NetworkConfig) -> u64 {
+    let mut alloc = traffic::GtAllocator::new(cfg);
+    alloc
+        .auto_streams((2, 1), 2048, 128)
+        .iter()
+        .map(|s| s.guarantee())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Check used by tests: was anything delivered at all?
+pub fn delivered_something(r: &RunReport) -> bool {
+    r.throughput.delivered_packets > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::NativeNoc;
+    use noc_types::{NetworkConfig, Topology};
+    use vc_router::IfaceConfig;
+
+    fn small_run(load: f64) -> RunReport {
+        let cfg = NetworkConfig::new(4, 4, Topology::Torus, 2);
+        let mut e = NativeNoc::new(cfg, IfaceConfig::default());
+        let rc = RunConfig {
+            warmup: 500,
+            measure: 3_000,
+            drain: 2_000,
+            period: 256,
+            backlog_limit: 4_096,
+        };
+        run_fig1_point(&mut e, load, 7, &rc)
+    }
+
+    #[test]
+    fn fig1_point_runs_and_measures() {
+        let r = small_run(0.05);
+        assert!(!r.saturated, "4x4 at BE 0.05 must not saturate");
+        assert!(r.gt.count > 0, "GT packets measured");
+        assert!(r.be.count > 0, "BE packets measured");
+        // GT packets are much larger, hence slower (paper Fig 1 note).
+        assert!(r.gt.mean > r.be.mean);
+        // Everything offered in the window got delivered after drain.
+        assert!(
+            r.unmatched < 20,
+            "{} packets left in flight",
+            r.unmatched
+        );
+        assert!(r.cps() > 0.0);
+    }
+
+    #[test]
+    fn zero_be_load_still_runs_gt() {
+        let r = small_run(0.0);
+        assert!(r.gt.count > 0);
+        assert_eq!(r.be.count, 0);
+    }
+
+    #[test]
+    fn profile_phases_are_all_present() {
+        let r = small_run(0.05);
+        let names: Vec<&str> = r.profile.iter().map(|p| p.0).collect();
+        for phase in ["generate", "load", "simulate", "retrieve", "analyse"] {
+            assert!(names.contains(&phase), "missing phase {phase}");
+        }
+        let share_sum: f64 = r.profile.iter().map(|p| p.2).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_is_detected() {
+        // BE load near 1.0 must saturate a 4x4 torus quickly.
+        let cfg = NetworkConfig::new(4, 4, Topology::Torus, 2);
+        let mut e = NativeNoc::new(cfg, IfaceConfig::default());
+        let rc = RunConfig {
+            warmup: 0,
+            measure: 20_000,
+            drain: 0,
+            period: 256,
+            backlog_limit: 512,
+        };
+        let r = run_fig1_point(&mut e, 0.9, 3, &rc);
+        assert!(r.saturated, "0.9 load must overload the network");
+        assert!(r.cycles < 20_000, "saturation must stop the run early");
+    }
+}

@@ -1,0 +1,66 @@
+//! Neighbour tables for network construction.
+
+use noc_types::{Direction, NetworkConfig};
+
+/// Precomputed neighbour table: `neigh[node][dir]` is the node on the
+/// other end of the link leaving `node` in direction `dir`, or `None` at a
+/// mesh edge.
+#[derive(Debug, Clone)]
+pub struct Wiring {
+    /// Neighbour node index per node per direction.
+    pub neigh: Vec<[Option<usize>; 4]>,
+}
+
+impl Wiring {
+    /// Build the table for a network configuration.
+    pub fn new(cfg: &NetworkConfig) -> Self {
+        let neigh = cfg
+            .shape
+            .coords()
+            .map(|c| {
+                core::array::from_fn(|d| {
+                    cfg.topology
+                        .neighbour(cfg.shape, c, Direction::from_index(d))
+                        .map(|n| cfg.shape.node_id(n).index())
+                })
+            })
+            .collect();
+        Wiring { neigh }
+    }
+
+    /// The neighbour of `node` in direction index `d`.
+    #[inline]
+    pub fn neighbour(&self, node: usize, d: usize) -> Option<usize> {
+        self.neigh[node][d]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::Topology;
+
+    #[test]
+    fn torus_is_fully_connected_and_symmetric() {
+        let cfg = NetworkConfig::new(4, 3, Topology::Torus, 4);
+        let w = Wiring::new(&cfg);
+        for node in 0..12 {
+            for d in 0..4 {
+                let n = w.neighbour(node, d).expect("torus link");
+                let opp = Direction::from_index(d).opposite().index();
+                assert_eq!(w.neighbour(n, opp), Some(node));
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_has_edges() {
+        let cfg = NetworkConfig::new(3, 3, Topology::Mesh, 4);
+        let w = Wiring::new(&cfg);
+        // Corner (0,0) = node 0: no south, no west.
+        assert_eq!(w.neighbour(0, Direction::South.index()), None);
+        assert_eq!(w.neighbour(0, Direction::West.index()), None);
+        assert!(w.neighbour(0, Direction::North.index()).is_some());
+        assert!(w.neighbour(0, Direction::East.index()).is_some());
+    }
+}

@@ -1,0 +1,212 @@
+//! Buffer/router energy model — the design-study motivation of paper §3:
+//! "we found that buffers require a relatively large amount of area and
+//! energy. So we would like to redo the simulation of Figure 1 with
+//! different buffer sizes and investigate what the effect of buffer size
+//! on performance and energy consumption is."
+//!
+//! A simple activity-based model in the style of Orion/Bono-era NoC
+//! energy estimators, in 130 nm-class units (pJ): each flit event costs
+//! a buffer write + a buffer read (scaling with queue depth — larger
+//! RAM/FF arrays burn more per access), a crossbar traversal, an
+//! arbitration decision and a link traversal; idle routers pay leakage
+//! proportional to their register count. The absolute joules are
+//! calibrated constants; the *relative* conclusions (buffers dominate,
+//! energy grows with depth) are the reproducible content.
+
+use serde::{Deserialize, Serialize};
+use vc_router::RegisterLayout;
+
+/// Per-event energy coefficients (pJ, 130 nm-class defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Buffer write at queue depth 4 (scales with depth^0.5 — wordline/
+    /// bitline growth).
+    pub buf_write_pj: f64,
+    /// Buffer read at queue depth 4.
+    pub buf_read_pj: f64,
+    /// One crossbar traversal.
+    pub crossbar_pj: f64,
+    /// One arbitration decision.
+    pub arbiter_pj: f64,
+    /// One inter-router link traversal.
+    pub link_pj: f64,
+    /// Leakage per register bit per cycle.
+    pub leak_pj_per_bit_cycle: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            buf_write_pj: 1.1,
+            buf_read_pj: 0.9,
+            crossbar_pj: 0.6,
+            arbiter_pj: 0.2,
+            link_pj: 0.8,
+            leak_pj_per_bit_cycle: 0.0002,
+        }
+    }
+}
+
+/// Energy estimate of a simulated interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Buffer (queue) energy, nJ.
+    pub buffer_nj: f64,
+    /// Crossbar + arbitration energy, nJ.
+    pub switch_nj: f64,
+    /// Link energy, nJ.
+    pub link_nj: f64,
+    /// Leakage, nJ.
+    pub leakage_nj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.buffer_nj + self.switch_nj + self.link_nj + self.leakage_nj
+    }
+
+    /// Energy per delivered flit in pJ.
+    pub fn per_flit_pj(&self, delivered_flits: u64) -> f64 {
+        if delivered_flits == 0 {
+            0.0
+        } else {
+            self.total_nj() * 1e3 / delivered_flits as f64
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Depth scaling of a buffer access (relative to depth 4).
+    fn depth_scale(depth: usize) -> f64 {
+        (depth as f64 / 4.0).sqrt()
+    }
+
+    /// Estimate the network energy of an interval.
+    ///
+    /// * `nodes`, `queue_depth` — network parameters;
+    /// * `cycles` — simulated cycles;
+    /// * `flit_hops` — total flit-hop events (each is one buffer write +
+    ///   read + crossbar + arbitration + link);
+    /// * `delivered_flits`, `injected_flits` — endpoint events (local
+    ///   port traversals, no inter-router link).
+    pub fn estimate(
+        &self,
+        nodes: usize,
+        queue_depth: usize,
+        cycles: u64,
+        flit_hops: u64,
+        injected_flits: u64,
+        delivered_flits: u64,
+    ) -> EnergyReport {
+        let ds = Self::depth_scale(queue_depth);
+        let buf_event = (self.buf_write_pj + self.buf_read_pj) * ds;
+        let endpoint_events = injected_flits + delivered_flits;
+        let buffer_pj = buf_event * (flit_hops + endpoint_events) as f64;
+        let switch_pj =
+            (self.crossbar_pj + self.arbiter_pj) * (flit_hops + delivered_flits) as f64;
+        let link_pj = self.link_pj * flit_hops as f64;
+        let bits = RegisterLayout::new(queue_depth).total_bits() as f64;
+        let leak_pj = self.leak_pj_per_bit_cycle * bits * nodes as f64 * cycles as f64;
+        EnergyReport {
+            buffer_nj: buffer_pj / 1e3,
+            switch_nj: switch_pj / 1e3,
+            link_nj: link_pj / 1e3,
+            leakage_nj: leak_pj / 1e3,
+        }
+    }
+
+    /// Convenience: estimate from a runner report, using the average hop
+    /// count of the workload.
+    pub fn estimate_run(
+        &self,
+        report: &noc_types_run::RunLike,
+        queue_depth: usize,
+        avg_hops: f64,
+    ) -> EnergyReport {
+        self.estimate(
+            report.nodes,
+            queue_depth,
+            report.cycles,
+            (report.delivered_flits as f64 * avg_hops) as u64,
+            report.injected_flits,
+            report.delivered_flits,
+        )
+    }
+}
+
+/// Minimal view of a run for energy estimation (decouples this crate
+/// from the runner's report type).
+pub mod noc_types_run {
+    /// The counters energy estimation needs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct RunLike {
+        /// Network size.
+        pub nodes: usize,
+        /// Simulated cycles.
+        pub cycles: u64,
+        /// Flits injected at local ports.
+        pub injected_flits: u64,
+        /// Flits delivered at local ports.
+        pub delivered_flits: u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(flits: u64) -> noc_types_run::RunLike {
+        noc_types_run::RunLike {
+            nodes: 36,
+            cycles: 10_000,
+            injected_flits: flits,
+            delivered_flits: flits,
+        }
+    }
+
+    #[test]
+    fn buffers_dominate_dynamic_energy() {
+        // The §3 observation that motivated the study.
+        let p = EnergyParams::default();
+        let e = p.estimate_run(&run(50_000), 4, 3.0);
+        assert!(e.buffer_nj > e.switch_nj);
+        assert!(e.buffer_nj > e.link_nj);
+    }
+
+    #[test]
+    fn deeper_buffers_cost_more_energy() {
+        let p = EnergyParams::default();
+        let e2 = p.estimate_run(&run(50_000), 2, 3.0);
+        let e8 = p.estimate_run(&run(50_000), 8, 3.0);
+        assert!(e8.total_nj() > e2.total_nj());
+        // Both dynamic (access scaling) and static (leakage over more
+        // bits) grow.
+        assert!(e8.buffer_nj > e2.buffer_nj);
+        assert!(e8.leakage_nj > e2.leakage_nj);
+    }
+
+    #[test]
+    fn energy_scales_with_traffic_and_idle_network_only_leaks() {
+        let p = EnergyParams::default();
+        let light = p.estimate_run(&run(5_000), 4, 3.0);
+        let heavy = p.estimate_run(&run(50_000), 4, 3.0);
+        assert!(heavy.total_nj() > light.total_nj());
+        let idle = p.estimate_run(&run(0), 4, 3.0);
+        assert_eq!(idle.buffer_nj, 0.0);
+        assert!(idle.leakage_nj > 0.0);
+        assert_eq!(idle.per_flit_pj(0), 0.0);
+    }
+
+    #[test]
+    fn per_flit_energy_is_plausible() {
+        // 130 nm NoC routers land in the tens of pJ per flit-hop.
+        let p = EnergyParams::default();
+        let e = p.estimate_run(&run(50_000), 4, 3.0);
+        let per_flit = e.per_flit_pj(50_000);
+        assert!(
+            (5.0..100.0).contains(&per_flit),
+            "unrealistic {per_flit} pJ/flit"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # platform — the ARM9 + Virtex-II FPGA platform model
+//!
+//! The paper's evaluation numbers that depend on the physical platform
+//! (Tables 2, 3 and 4, and the §6/§7 frequency arithmetic) are produced
+//! by three models, all parameterised by the paper's published platform
+//! constants (86 MHz ARM9, 32-bit memory interface, 6.6 MHz FPGA logic
+//! clock, 2 FPGA cycles per delta cycle, Virtex-II 8000 capacity):
+//!
+//! * [`timing`] — delta-cycle rate and maximum simulation frequency
+//!   (§6: "3.3 · 10⁶ / 36 = 91.6 kHz for a 6-by-6 network");
+//! * [`phases`] — the five-phase control loop's cost model: stimulus
+//!   generation, buffer load, FPGA simulation (overlapped), result
+//!   retrieval and analysis — reproducing Table 4's profile and Table 3's
+//!   FPGA rows, including the §8 RNG-offload ablation;
+//! * [`resources`] — CLB and BlockRAM usage of the simulator design
+//!   (Table 2) and of direct full-network instantiation (§4's "size
+//!   limitation of approximately 24 routers").
+//!
+//! Everything that *can* be computed from the implemented design (state
+//! bits, memory geometry) is; the logic-complexity coefficients are
+//! calibrated against the paper's synthesis report and documented as
+//! such.
+
+//! ```
+//! use platform::FpgaTimingModel;
+//!
+//! // §6: "3.3e6 / 36 = 91.6 kHz for a 6-by-6 network".
+//! let t = FpgaTimingModel::default();
+//! let f = t.max_sim_freq_hz(36.0);
+//! assert!((f - 91_666.0).abs() < 100.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod phases;
+pub mod resources;
+pub mod timing;
+
+pub use energy::{EnergyParams, EnergyReport};
+pub use phases::{PhaseBreakdown, PhaseParams, Scenario};
+pub use resources::{FpgaDevice, ResourceModel, ResourceRow};
+pub use timing::FpgaTimingModel;

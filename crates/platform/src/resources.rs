@@ -1,0 +1,299 @@
+//! FPGA resource model — Table 2 ("FPGA resource usage, 256 routers"),
+//! Table 1 (via [`vc_router::RegisterLayout`]) and §4's direct-
+//! instantiation limit ("initial synthesis tests showed a size limitation
+//! of approximately 24 routers in a Virtex-II 8000").
+//!
+//! BlockRAM counts are *computed* from the implemented memory geometry
+//! (state memory, link memory, stimuli/result buffers). CLB counts use
+//! logic-complexity estimates — LUT counts derived from mux/compare
+//! widths with coefficients calibrated against the paper's synthesis
+//! report — and are labelled as calibrated estimates in the experiment
+//! write-up.
+
+use noc_types::NUM_QUEUES;
+use serde::{Deserialize, Serialize};
+use vc_router::RegisterLayout;
+
+/// An FPGA device's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Device name.
+    pub name: &'static str,
+    /// CLB slices available.
+    pub slices: usize,
+    /// 18-kbit BlockRAMs available.
+    pub brams: usize,
+}
+
+impl FpgaDevice {
+    /// The paper's Xilinx Virtex-II 8000 (XC2V8000).
+    pub const fn virtex2_8000() -> Self {
+        FpgaDevice {
+            name: "Virtex-II 8000",
+            slices: 46_592,
+            brams: 168,
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRow {
+    /// Design block name.
+    pub block: &'static str,
+    /// CLB slices used.
+    pub clb: usize,
+    /// 18-kbit BlockRAMs used.
+    pub ram: usize,
+}
+
+/// Usable bits in an 18-kbit BlockRAM (parity bits excluded).
+const BRAM_BITS: usize = 16 * 1024;
+
+/// Resource model of the sequential simulator design.
+#[derive(Debug, Clone)]
+pub struct ResourceModel {
+    /// Number of routers the build supports.
+    pub nodes: usize,
+    /// Register layout (Table 1) of one router.
+    pub layout: RegisterLayout,
+    /// Stimuli-buffer entries per VC ring in the FPGA build (the paper
+    /// sizes these to the simulation period; the software harness uses
+    /// larger rings for convenience).
+    pub stim_entries: usize,
+    /// Output-buffer entries per router in the FPGA build.
+    pub out_entries: usize,
+    /// Bits per buffer entry (timestamped flit record).
+    pub entry_bits: usize,
+}
+
+impl ResourceModel {
+    /// The paper's build: 256 routers, depth-4 queues.
+    pub fn paper_build() -> Self {
+        ResourceModel {
+            nodes: 256,
+            layout: RegisterLayout::new(4),
+            stim_entries: 32,
+            out_entries: 64,
+            entry_bits: 40,
+        }
+    }
+
+    /// BlockRAMs for the double-buffered state memory: `2 × nodes` words
+    /// of `state_bits` each, banked into 18-kbit BlockRAMs.
+    pub fn state_memory_brams(&self) -> usize {
+        let bits = 2 * self.nodes * self.layout.state_bits();
+        bits.div_ceil(BRAM_BITS)
+    }
+
+    /// BlockRAMs for the stimuli rings and injection-side bookkeeping.
+    pub fn stimuli_brams(&self) -> usize {
+        let bits = self.nodes * noc_types::NUM_VCS * self.stim_entries * self.entry_bits;
+        bits.div_ceil(BRAM_BITS)
+    }
+
+    /// BlockRAMs for the link memory + HBR bits + output/access buffers
+    /// (the "Network" block of Table 2).
+    pub fn network_brams(&self) -> usize {
+        let link_bits = self.nodes * (self.layout.link_bits() / 2 + 8); // out-half + HBR bits
+        let out_bits = self.nodes * self.out_entries * self.entry_bits;
+        (link_bits + out_bits / 4).div_ceil(BRAM_BITS)
+    }
+
+    /// CLB slices of the shared router logic (crossbar muxes, arbiters,
+    /// queue management, route computation). Calibrated estimate.
+    pub fn router_clb(&self) -> usize {
+        // 5 output muxes, 21 bits wide, 20:1 -> ~2 LUT4 levels per bit.
+        let crossbar = 5 * 21 * NUM_QUEUES / 4;
+        // Arbiters: two-level round-robin over 20 requesters x 5 outputs.
+        let arbiters = 5 * (NUM_QUEUES * 6);
+        // Queue pointers/compare + enqueue steering + route units.
+        let queues = NUM_QUEUES * 14;
+        let route = 5 * 40;
+        (crossbar + arbiters + queues + route) / 2 + 300 // LUT pairs -> slices + control FSM
+    }
+
+    /// CLB slices of the stimuli interface logic. Calibrated estimate.
+    pub fn stimuli_clb(&self) -> usize {
+        // Per-VC ring pointer arithmetic, timestamp compare, RR pick,
+        // packing/unpacking of 64-bit entries.
+        540
+    }
+
+    /// CLB slices of the network glue (link-memory addressing, HBR
+    /// bookkeeping, topology mux). Scales with the topology mux width.
+    pub fn network_clb(&self) -> usize {
+        1600 + self.nodes * 2
+    }
+
+    /// CLB slices of the hardware RNG farm (paper: 2021, no BlockRAM —
+    /// wide parallel LFSRs serving all stimuli channels).
+    pub fn rng_clb(&self) -> usize {
+        2021
+    }
+
+    /// CLB slices of the global control (scheduler, address generation,
+    /// host interface decode).
+    pub fn control_clb(&self) -> usize {
+        500 + (self.nodes.ilog2() as usize) * 16
+    }
+
+    /// The rows of Table 2.
+    pub fn table2(&self) -> Vec<ResourceRow> {
+        vec![
+            ResourceRow {
+                block: "Router",
+                clb: self.router_clb(),
+                ram: self.state_memory_brams(),
+            },
+            ResourceRow {
+                block: "Stimuli interface",
+                clb: self.stimuli_clb(),
+                ram: self.stimuli_brams(),
+            },
+            ResourceRow {
+                block: "Network",
+                clb: self.network_clb(),
+                ram: self.network_brams(),
+            },
+            ResourceRow {
+                block: "Random number generator",
+                clb: self.rng_clb(),
+                ram: 0,
+            },
+            ResourceRow {
+                block: "Global control",
+                clb: self.control_clb(),
+                ram: 0,
+            },
+        ]
+    }
+
+    /// The paper's Table 2 for side-by-side reporting.
+    pub fn paper_table2() -> Vec<ResourceRow> {
+        vec![
+            ResourceRow { block: "Router", clb: 1762, ram: 61 },
+            ResourceRow { block: "Stimuli interface", clb: 540, ram: 62 },
+            ResourceRow { block: "Network", clb: 2103, ram: 16 },
+            ResourceRow { block: "Random number generator", clb: 2021, ram: 0 },
+            ResourceRow { block: "Global control", clb: 627, ram: 0 },
+        ]
+    }
+
+    /// Total (CLB, BlockRAM) of the simulator design.
+    pub fn totals(&self) -> (usize, usize) {
+        self.table2()
+            .iter()
+            .fold((0, 0), |(c, r), row| (c + row.clb, r + row.ram))
+    }
+
+    /// Slices of ONE directly instantiated router (logic + its own
+    /// registers as flip-flops), at a given datapath width in bits.
+    /// §4's feasibility test used a reduced 6-bit datapath.
+    pub fn direct_router_slices(&self, payload_bits: usize) -> usize {
+        // Logic scales roughly with datapath width; control does not.
+        let scale = payload_bits as f64 / 16.0;
+        let logic = (self.router_clb() as f64 * (0.4 + 0.6 * scale)) as usize;
+        // Registers: 2 flip-flops per slice; queue bits scale with width.
+        let queue_bits = (self.layout.queue_bits() as f64 * (payload_bits as f64 + 2.0)
+            / 18.0) as usize;
+        let ff = queue_bits + self.layout.control_bits();
+        logic + ff / 2
+    }
+
+    /// Maximum routers that fit as a direct (non-time-multiplexed)
+    /// instantiation on `dev`, at the given datapath width. §4: "a size
+    /// limitation of approximately 24 routers in a Virtex-II 8000 [...]
+    /// with a reduced data-path of 6-bit".
+    pub fn max_direct_routers(&self, dev: &FpgaDevice, payload_bits: usize) -> usize {
+        let per = self.direct_router_slices(payload_bits);
+        // Interconnect/tri-state pressure: the paper names tri-state
+        // buffers as the second bottleneck; derate usable slices.
+        let usable = (dev.slices as f64 * 0.85) as usize;
+        usable / per
+    }
+
+    /// Maximum routers the *sequential* simulator supports on `dev`
+    /// (BlockRAM-limited, §6: "the limiting factor of the design is the
+    /// number of RAM-blocks").
+    pub fn max_sequential_routers(&self, dev: &FpgaDevice) -> usize {
+        let mut n = self.nodes;
+        loop {
+            let m = ResourceModel { nodes: n, ..self.clone() };
+            let (clb, ram) = m.totals();
+            if clb <= dev.slices && ram <= dev.brams {
+                return n;
+            }
+            if n <= 2 {
+                return 0;
+            }
+            n -= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_magnitudes_match_paper() {
+        let m = ResourceModel::paper_build();
+        let dev = FpgaDevice::virtex2_8000();
+        let (clb, ram) = m.totals();
+        // Paper: 7053 CLB (15 %), 139 BRAM (82 %).
+        assert!((5_000..10_000).contains(&clb), "clb {clb}");
+        assert!((110..168).contains(&ram), "ram {ram}");
+        let clb_frac = clb as f64 / dev.slices as f64;
+        let ram_frac = ram as f64 / dev.brams as f64;
+        assert!(clb_frac < 0.25, "clb frac {clb_frac}");
+        assert!(ram_frac > 0.60, "ram frac {ram_frac}");
+        // The paper's central observation: RAM, not logic, limits.
+        assert!(ram_frac > 2.0 * clb_frac);
+    }
+
+    #[test]
+    fn state_memory_dominates_router_ram() {
+        let m = ResourceModel::paper_build();
+        // Paper row "Router": 61 BlockRAMs — the double-buffered state
+        // memory of 256 routers.
+        let b = m.state_memory_brams();
+        assert!((50..80).contains(&b), "state brams {b}");
+    }
+
+    #[test]
+    fn direct_instantiation_caps_in_paper_range() {
+        let m = ResourceModel::paper_build();
+        let dev = FpgaDevice::virtex2_8000();
+        // §4: ~24 routers at a 6-bit datapath.
+        let max6 = m.max_direct_routers(&dev, 6);
+        assert!((16..36).contains(&max6), "6-bit direct max {max6}");
+        // Full 16-bit datapath fits even fewer.
+        let max16 = m.max_direct_routers(&dev, 16);
+        assert!(max16 < max6);
+        // The sequential simulator fits an order of magnitude more.
+        let seq = m.max_sequential_routers(&dev);
+        assert!(seq >= 7 * max6, "sequential {seq} vs direct {max6}");
+    }
+
+    #[test]
+    fn sequential_supports_256_routers() {
+        let m = ResourceModel::paper_build();
+        let dev = FpgaDevice::virtex2_8000();
+        assert_eq!(m.max_sequential_routers(&dev), 256);
+    }
+
+    #[test]
+    fn smaller_fpga_reduces_router_count() {
+        // §6: "It would be possible to simulate the design in smaller
+        // FPGAs, but it would reduce the maximum number of routers."
+        let m = ResourceModel::paper_build();
+        let small = FpgaDevice {
+            name: "half",
+            slices: 23_296,
+            brams: 84,
+        };
+        let n = m.max_sequential_routers(&small);
+        assert!((64..256).contains(&n), "half-size device supports {n}");
+    }
+}

@@ -1,0 +1,80 @@
+//! FPGA timing: from delta cycles to wall-clock simulation frequency.
+//!
+//! Paper §5.2: "In the current implementation reading the values from
+//! memory takes 1 cycle. Evaluation of the combinatorial logic and
+//! writing the result in memory takes another cycle. In total a delta
+//! cycle equals 2 FPGA cycles." §6: "The router design is synthesized for
+//! a frequency of 6.6 MHz, which gives a delta cycle frequency of
+//! 3.3 MHz. This limits the maximum simulation frequency of the simulator
+//! to 3.3 · 10⁶ / 36 = 91.6 kHz for a 6-by-6 network."
+
+use serde::{Deserialize, Serialize};
+
+/// The FPGA-side timing constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaTimingModel {
+    /// Synthesised logic clock in Hz (paper: 6.6 MHz).
+    pub f_logic_hz: f64,
+    /// FPGA clock cycles per delta cycle (paper: 2 — one memory read,
+    /// one evaluate+write).
+    pub cycles_per_delta: f64,
+}
+
+impl Default for FpgaTimingModel {
+    fn default() -> Self {
+        FpgaTimingModel {
+            f_logic_hz: 6.6e6,
+            cycles_per_delta: 2.0,
+        }
+    }
+}
+
+impl FpgaTimingModel {
+    /// Delta cycles the FPGA executes per second (paper: 3.3 MHz).
+    pub fn delta_rate_hz(&self) -> f64 {
+        self.f_logic_hz / self.cycles_per_delta
+    }
+
+    /// Maximum simulation frequency given the average number of delta
+    /// cycles per system cycle (= number of routers + re-evaluations).
+    pub fn max_sim_freq_hz(&self, deltas_per_cycle: f64) -> f64 {
+        assert!(deltas_per_cycle > 0.0);
+        self.delta_rate_hz() / deltas_per_cycle
+    }
+
+    /// FPGA seconds needed to simulate `cycles` system cycles.
+    pub fn sim_seconds(&self, cycles: u64, deltas_per_cycle: f64) -> f64 {
+        cycles as f64 / self.max_sim_freq_hz(deltas_per_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let t = FpgaTimingModel::default();
+        assert!((t.delta_rate_hz() - 3.3e6).abs() < 1.0);
+        // §6: 91.6 kHz for 6x6 at the delta minimum.
+        let f = t.max_sim_freq_hz(36.0);
+        assert!((f - 91_666.0).abs() < 100.0, "got {f}");
+    }
+
+    #[test]
+    fn reevaluations_slow_the_simulator_down() {
+        let t = FpgaTimingModel::default();
+        // 20% extra delta cycles (heavy load) cost ~17% frequency.
+        let f0 = t.max_sim_freq_hz(36.0);
+        let f1 = t.max_sim_freq_hz(36.0 * 1.2);
+        assert!(f1 < f0);
+        assert!((f0 / f1 - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sim_seconds_scale_linearly() {
+        let t = FpgaTimingModel::default();
+        let s = t.sim_seconds(91_666, 36.0);
+        assert!((s - 1.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,293 @@
+//! The router as a sequential-simulator block.
+//!
+//! One [`RouterBlock`] kind serves every router instance (the paper's
+//! shared-implementation principle); the per-instance coordinate comes
+//! from the evaluation's instance index, just as the FPGA's scheduler-
+//! generated memory address selects which router's registers are loaded.
+//!
+//! Block ports (all four-neighbour; the Local port and its stimuli
+//! interface are internal to the block, matching Table 1 which accounts
+//! stimuli-interface registers to the router):
+//!
+//! | dir             | inputs                  | outputs              |
+//! |-----------------|-------------------------|----------------------|
+//! | 0..4 (N,E,S,W)  | forward link in (21 b)  | forward link out     |
+//! | 4..8 (N,E,S,W)  | room in (4 b)           | room out             |
+//! | 8..12           | stimuli wr-ptrs (16 b, host-written) | —       |
+//!
+//! Side-memory rings: 0..4 = per-VC stimuli rings, 4 = delivered-output
+//! ring, 5 = access-delay ring.
+
+use crate::clock::clock;
+use crate::comb::{comb_fwd, comb_room, comb_select, transfers, RouterInputs};
+use crate::iface::{iface_clock, iface_pick, IfaceConfig, IfaceStore};
+use crate::layout::RegisterLayout;
+use crate::regs::RouterRegs;
+use crate::routing::RouterCtx;
+use noc_types::flit::{room_from_bits, room_to_bits, LINK_FWD_BITS, LINK_ROOM_BITS};
+use noc_types::{Coord, LinkFwd, NetworkConfig, Port, NUM_VCS};
+use seqsim::{BlockKind, SideView};
+
+/// Index of the per-VC stimuli rings in the block's side memory.
+pub const RING_STIM0: usize = 0;
+/// Index of the delivered-output ring.
+pub const RING_OUT: usize = 4;
+/// Index of the access-delay ring.
+pub const RING_ACC: usize = 5;
+
+/// Input-port index of the first forward link (then N,E,S,W).
+pub const IN_FWD0: usize = 0;
+/// Input-port index of the first room link.
+pub const IN_ROOM0: usize = 4;
+/// Input-port index of the first stimuli write-pointer register.
+pub const IN_WRPTR0: usize = 8;
+/// Output-port index of the first forward link.
+pub const OUT_FWD0: usize = 0;
+/// Output-port index of the first room link.
+pub const OUT_ROOM0: usize = 4;
+
+/// The shared router implementation for the sequential simulator.
+#[derive(Debug, Clone)]
+pub struct RouterBlock {
+    cfg: NetworkConfig,
+    iface_cfg: IfaceConfig,
+    coords: Vec<Coord>,
+    layout: RegisterLayout,
+}
+
+impl RouterBlock {
+    /// Build the shared kind for `cfg`'s network. `coords[i]` is the
+    /// coordinate of instance `i`; instances must be added to the system
+    /// in the same order.
+    pub fn new(cfg: NetworkConfig, iface_cfg: IfaceConfig, coords: Vec<Coord>) -> Self {
+        iface_cfg.validate();
+        let layout = RegisterLayout::new(cfg.router.queue_depth);
+        RouterBlock {
+            cfg,
+            iface_cfg,
+            coords,
+            layout,
+        }
+    }
+
+    /// The register layout of one instance.
+    pub fn layout(&self) -> &RegisterLayout {
+        &self.layout
+    }
+
+    /// The interface ring configuration.
+    pub fn iface_cfg(&self) -> &IfaceConfig {
+        &self.iface_cfg
+    }
+
+    /// Decode the register file from a state peek (host-side).
+    pub fn peek_regs(&self, state: &[u64]) -> RouterRegs {
+        RouterRegs::unpack(self.cfg.router.queue_depth, state)
+    }
+}
+
+/// [`IfaceStore`] adapter over the block's side-memory view.
+struct SideStore<'a, 'b> {
+    view: &'a mut SideView<'b>,
+}
+
+impl IfaceStore for SideStore<'_, '_> {
+    fn stim_read(&self, vc: usize, slot: usize) -> u64 {
+        self.view.read(RING_STIM0 + vc, slot)
+    }
+    fn out_write(&mut self, slot: usize, value: u64) {
+        self.view.write(RING_OUT, slot, value);
+    }
+    fn acc_write(&mut self, slot: usize, value: u64) {
+        self.view.write(RING_ACC, slot, value);
+    }
+}
+
+impl BlockKind for RouterBlock {
+    fn name(&self) -> &str {
+        "vc-router"
+    }
+
+    fn state_bits(&self) -> usize {
+        self.layout.state_bits()
+    }
+
+    fn input_widths(&self) -> Vec<usize> {
+        let mut w = vec![LINK_FWD_BITS; 4];
+        w.extend([LINK_ROOM_BITS; 4]);
+        w.extend([16usize; 4]);
+        w
+    }
+
+    fn output_widths(&self) -> Vec<usize> {
+        let mut w = vec![LINK_FWD_BITS; 4];
+        w.extend([LINK_ROOM_BITS; 4]);
+        w
+    }
+
+    fn side_rings(&self) -> Vec<usize> {
+        let mut rings = vec![self.iface_cfg.stim_cap; NUM_VCS];
+        rings.push(self.iface_cfg.out_cap);
+        rings.push(self.iface_cfg.acc_cap);
+        rings
+    }
+
+    fn reset(&self, state: &mut [u64]) {
+        RouterRegs::new().pack(self.cfg.router.queue_depth, state);
+    }
+
+    fn eval(
+        &self,
+        instance: usize,
+        cur: &[u64],
+        inputs: &[u64],
+        cycle: u64,
+        next: &mut [u64],
+        outputs: &mut [u64],
+        side: &mut SideView<'_>,
+    ) {
+        let depth = self.cfg.router.queue_depth;
+        let regs = RouterRegs::unpack(depth, cur);
+        let ctx = RouterCtx {
+            coord: self.coords[instance],
+            shape: self.cfg.shape,
+            topology: self.cfg.topology,
+            depth,
+        };
+
+        // Assemble the wires.
+        let mut rin = RouterInputs::idle();
+        for d in 0..4 {
+            rin.fwd_in[d] = LinkFwd::from_bits(inputs[IN_FWD0 + d]);
+            rin.room_in[d] = room_from_bits(inputs[IN_ROOM0 + d]);
+        }
+        // room_in[Local] stays all-true: the capture ring always accepts.
+
+        // G(x): room outputs, f(registered state).
+        let room_out = comb_room(&regs, depth);
+
+        // Stimuli interface offers at most one flit onto the local link.
+        let mut store = SideStore { view: side };
+        let pick = iface_pick(
+            &regs.iface,
+            &self.iface_cfg,
+            &store,
+            &room_out[Port::Local.index()],
+            cycle,
+        );
+        if let Some((vc, entry)) = pick {
+            rin.fwd_in[Port::Local.index()] = LinkFwd::flit(vc, entry.flit);
+        }
+
+        // F(x) output half: arbitration and forward links.
+        let sel = comb_select(&regs, &ctx);
+        let trans = transfers(&sel, &rin.room_in);
+        let fwd = comb_fwd(&regs, &trans);
+
+        for d in 0..4 {
+            outputs[OUT_FWD0 + d] = fwd[d].to_bits();
+            outputs[OUT_ROOM0 + d] = room_to_bits(room_out[d]);
+        }
+
+        // F(x) register-update half.
+        let mut next_regs = regs;
+        clock(&mut next_regs, &ctx, &rin, Some(&sel));
+        let wr_inputs: [u16; NUM_VCS] =
+            core::array::from_fn(|v| inputs[IN_WRPTR0 + v] as u16);
+        iface_clock(
+            &mut next_regs.iface,
+            &self.iface_cfg,
+            &mut store,
+            pick,
+            fwd[Port::Local.index()],
+            wr_inputs,
+            cycle,
+        );
+        next_regs.pack(depth, next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::bits::words_for_bits;
+    use noc_types::{Flit, Topology};
+    use seqsim::SideMem;
+
+    /// A single router block evaluated standalone: inject a HeadTail via
+    /// the stimuli ring addressed to this router itself; it must come back
+    /// out of the output ring two hops of latency later.
+    #[test]
+    fn standalone_block_loops_local_packet() {
+        let cfg = NetworkConfig::new(2, 2, Topology::Torus, 4);
+        let iface_cfg = IfaceConfig::default();
+        let coords: Vec<Coord> = cfg.shape.coords().collect();
+        let block = RouterBlock::new(cfg, iface_cfg, coords);
+        let words = words_for_bits(block.state_bits());
+        let mut cur = vec![0u64; words];
+        let mut next = vec![0u64; words];
+        block.reset(&mut cur);
+        let mut side = SideMem::new(&[block.side_rings()]);
+        // Host: write one stimulus into vc 2's ring for router 0 = (0,0),
+        // destined to itself.
+        let entry = crate::iface::StimEntry {
+            ts: 0,
+            flit: Flit::head_tail(Coord::new(0, 0), 0),
+        };
+        side.write(0, RING_STIM0 + 2, 0, entry.to_bits());
+        let mut inputs = vec![0u64; 12];
+        inputs[IN_WRPTR0 + 2] = 1; // host wr pointer = 1
+        let mut outputs = vec![0u64; 8];
+        let mut delivered = None;
+        for cycle in 0..6u64 {
+            block.eval(0, &cur, &inputs, cycle, &mut next, &mut outputs, &mut side.view(0));
+            core::mem::swap(&mut cur, &mut next);
+            let regs = block.peek_regs(&cur);
+            if regs.iface.out_wr > 0 && delivered.is_none() {
+                delivered = Some(cycle);
+            }
+        }
+        // Cycle 0: wr shadow latches. Cycle 1: pick -> local queue.
+        // Cycle 2: local queue -> local output, captured.
+        let regs = block.peek_regs(&cur);
+        assert_eq!(regs.iface.out_wr, 1, "exactly one flit must be captured");
+        assert_eq!(delivered, Some(2));
+        let out = crate::iface::OutEntry::from_bits(side.read(0, RING_OUT, 0));
+        assert_eq!(out.vc, 2);
+        assert_eq!(out.flit, entry.flit);
+        assert_eq!(out.cycle, 2);
+        // Access delay was logged: injected at cycle 1, ts 0 -> delay 1.
+        assert_eq!(regs.iface.acc_wr, 1);
+        let acc = crate::iface::AccEntry::from_bits(side.read(0, RING_ACC, 0));
+        assert_eq!(acc.delay, 1);
+        // No neighbour traffic was produced.
+        assert!(outputs[OUT_FWD0..OUT_FWD0 + 4].iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn eval_is_idempotent_under_reevaluation() {
+        // Re-running eval with identical inputs must produce identical
+        // next-state, outputs and side-memory effects (the §4.2 contract).
+        let cfg = NetworkConfig::new(2, 2, Topology::Torus, 4);
+        let block = RouterBlock::new(cfg, IfaceConfig::default(), cfg.shape.coords().collect());
+        let words = words_for_bits(block.state_bits());
+        let mut cur = vec![0u64; words];
+        block.reset(&mut cur);
+        let mut side = SideMem::new(&[block.side_rings()]);
+        let entry = crate::iface::StimEntry {
+            ts: 0,
+            flit: Flit::head_tail(Coord::new(1, 0), 0),
+        };
+        side.write(0, RING_STIM0, 0, entry.to_bits());
+        let mut inputs = vec![0u64; 12];
+        inputs[IN_WRPTR0] = 1;
+        let mut next_a = vec![0u64; words];
+        let mut next_b = vec![0u64; words];
+        let mut out_a = vec![0u64; 8];
+        let mut out_b = vec![0u64; 8];
+        block.eval(0, &cur, &inputs, 0, &mut next_a, &mut out_a, &mut side.view(0));
+        block.eval(0, &cur, &inputs, 0, &mut next_b, &mut out_b, &mut side.view(0));
+        assert_eq!(next_a, next_b);
+        assert_eq!(out_a, out_b);
+    }
+}

@@ -1,0 +1,405 @@
+//! The circuit-switched router — the paper's second network (§2: "we
+//! have defined two networks (packet-switched and circuit-switched) [...]
+//! the approach can also be used for the circuit-switched network", after
+//! Wolkotte et al., "An energy-efficient reconfigurable circuit-switched
+//! Network-on-Chip", RAW 2005).
+//!
+//! A circuit-switched router holds a *connection table*: each output port
+//! is statically connected to at most one input port. Once circuits are
+//! configured (by the host, modelling the configuration network), data
+//! words stream through without buffering, arbitration or flow control —
+//! one registered hop per router, guaranteed full link bandwidth.
+//!
+//! Because every output is a *register* (`out_reg[o]`, loaded from the
+//! connected input each cycle), the circuit-switched router has
+//! **registered boundaries**: its outputs are functions of state alone,
+//! so the sequential simulator can run it with the cheap *static*
+//! schedule of paper §4.1 — no HBR bits, no re-evaluations — in contrast
+//! to the packet-switched router, which needs §4.2's dynamic schedule.
+//! The two case studies together exercise both halves of the method.
+
+use crate::iface::{IfaceConfig, IfaceStore, OutEntry, StimEntry};
+use noc_types::bits::{BitReader, BitWriter};
+use noc_types::{Coord, Flit, FlitKind, NetworkConfig, Port, NUM_PORTS};
+use seqsim::{BlockKind, SideView};
+
+/// Bits of a circuit-switched link word: valid (1) + data (16).
+pub const CS_LINK_BITS: usize = 17;
+
+/// Bits of the connection-table configuration word: 5 outputs × (valid
+/// (1) + input port (3)).
+pub const CS_CFG_BITS: usize = NUM_PORTS * 4;
+
+/// Encode a link word.
+#[inline]
+pub fn cs_word(valid: bool, data: u16) -> u64 {
+    ((valid as u64) << 16) | data as u64
+}
+
+/// Decode a link word into `(valid, data)`.
+#[inline]
+pub fn cs_word_decode(bits: u64) -> (bool, u16) {
+    ((bits >> 16) & 1 != 0, (bits & 0xFFFF) as u16)
+}
+
+/// Encode a connection table (per output: the connected input port).
+pub fn cs_cfg_encode(conn: &[Option<Port>; NUM_PORTS]) -> u64 {
+    conn.iter().enumerate().fold(0u64, |acc, (o, c)| {
+        let nibble = match c {
+            Some(p) => 0x8 | p.index() as u64,
+            None => 0,
+        };
+        acc | (nibble << (o * 4))
+    })
+}
+
+/// Decode a connection table. The 3-bit port field has three undefined
+/// encodings (5–7); they decode to "unconnected", as hardware treating
+/// them as a disabled entry would.
+pub fn cs_cfg_decode(bits: u64) -> [Option<Port>; NUM_PORTS] {
+    core::array::from_fn(|o| {
+        let nibble = (bits >> (o * 4)) & 0xF;
+        let port = (nibble & 0x7) as usize;
+        (nibble & 0x8 != 0 && port < NUM_PORTS).then(|| Port::from_index(port))
+    })
+}
+
+/// The circuit-switched router's register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsRouterRegs {
+    /// Connection table: `conn[out]` = connected input port.
+    pub conn: [Option<Port>; NUM_PORTS],
+    /// Output pipeline registers (one registered hop per router),
+    /// encoded link words.
+    pub out_reg: [u64; NUM_PORTS],
+    /// Stream-source ring read pointer.
+    pub stim_rd: u16,
+    /// Host write-pointer shadow.
+    pub stim_wr_shadow: u16,
+    /// Capture-ring write pointer.
+    pub out_wr: u16,
+}
+
+impl Default for CsRouterRegs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CsRouterRegs {
+    /// Reset state: no connections, idle outputs.
+    pub const fn new() -> Self {
+        CsRouterRegs {
+            conn: [None; NUM_PORTS],
+            out_reg: [0; NUM_PORTS],
+            stim_rd: 0,
+            stim_wr_shadow: 0,
+            out_wr: 0,
+        }
+    }
+
+    /// State bits of one router (Table 1 analogue for the CS network).
+    pub const fn state_bits() -> usize {
+        NUM_PORTS * 4 + NUM_PORTS * CS_LINK_BITS + 16 + 16 + 16
+    }
+
+    /// Pack into state-memory words (field order: conn, out_reg,
+    /// stim_rd, stim_wr_shadow, out_wr).
+    pub fn pack(&self, words: &mut [u64]) {
+        let mut w = BitWriter::new(words);
+        w.put(CS_CFG_BITS, cs_cfg_encode(&self.conn));
+        for &r in &self.out_reg {
+            w.put(CS_LINK_BITS, r);
+        }
+        w.put(16, self.stim_rd as u64);
+        w.put(16, self.stim_wr_shadow as u64);
+        w.put(16, self.out_wr as u64);
+    }
+
+    /// Unpack from state-memory words.
+    pub fn unpack(words: &[u64]) -> Self {
+        let mut r = BitReader::new(words);
+        let conn = cs_cfg_decode(r.take(CS_CFG_BITS));
+        let out_reg = core::array::from_fn(|_| r.take(CS_LINK_BITS));
+        CsRouterRegs {
+            conn,
+            out_reg,
+            stim_rd: r.take(16) as u16,
+            stim_wr_shadow: r.take(16) as u16,
+            out_wr: r.take(16) as u16,
+        }
+    }
+}
+
+/// The combinational+clock semantics shared by every engine simulating
+/// the CS router. `inputs[p]` are the incoming link words (index 4 =
+/// the local source offer). Returns the next register file; `capture` is
+/// called for a word delivered at the local output this cycle.
+pub fn cs_clock(
+    regs: &CsRouterRegs,
+    inputs: &[u64; NUM_PORTS],
+    local_consumed: bool,
+    mut capture: impl FnMut(u64),
+) -> CsRouterRegs {
+    let mut next = *regs;
+    // Deliver the local output register (capture side).
+    let local = regs.out_reg[Port::Local.index()];
+    if cs_word_decode(local).0 {
+        capture(local);
+    }
+    // Pipeline: every output register loads from its connected input.
+    for o in 0..NUM_PORTS {
+        next.out_reg[o] = match regs.conn[o] {
+            Some(p) => inputs[p.index()],
+            None => 0,
+        };
+    }
+    if local_consumed {
+        next.stim_rd = next.stim_rd.wrapping_add(1);
+    }
+    next
+}
+
+/// The local source offer: the head of the stream ring if due. Returns
+/// `(link word, consumed)`.
+pub fn cs_offer(
+    regs: &CsRouterRegs,
+    cfg: &IfaceConfig,
+    store: &dyn IfaceStore,
+    cycle: u64,
+) -> (u64, bool) {
+    let pending = regs.stim_wr_shadow.wrapping_sub(regs.stim_rd);
+    if pending == 0 {
+        return (0, false);
+    }
+    let entry = StimEntry::from_bits(store.stim_read(0, regs.stim_rd as usize % cfg.stim_cap));
+    if entry.ts <= cycle {
+        (cs_word(true, entry.flit.payload), true)
+    } else {
+        (0, false)
+    }
+}
+
+/// The circuit-switched router as a sequential-simulator block.
+///
+/// Ports: inputs 0..4 = neighbour links (17 b), input 4 = configuration
+/// word (20 b, host-written), input 5 = stimuli write pointer (16 b,
+/// host-written); outputs 0..4 = neighbour links.
+///
+/// All outputs are registered, so a network of these blocks is a
+/// registered-boundary system in the sense of paper §4.1 and can run on
+/// [`seqsim::StaticEngine`].
+#[derive(Debug, Clone)]
+pub struct CsRouterBlock {
+    iface_cfg: IfaceConfig,
+}
+
+/// Side-memory ring index of the stream-source ring.
+pub const CS_RING_STIM: usize = 0;
+/// Side-memory ring index of the capture ring.
+pub const CS_RING_OUT: usize = 1;
+/// Input-port index of the configuration word.
+pub const CS_IN_CFG: usize = 4;
+/// Input-port index of the stimuli write pointer.
+pub const CS_IN_WRPTR: usize = 5;
+
+struct CsStore<'a, 'b> {
+    view: &'a mut SideView<'b>,
+}
+
+impl IfaceStore for CsStore<'_, '_> {
+    fn stim_read(&self, _vc: usize, slot: usize) -> u64 {
+        self.view.read(CS_RING_STIM, slot)
+    }
+    fn out_write(&mut self, slot: usize, value: u64) {
+        self.view.write(CS_RING_OUT, slot, value);
+    }
+    fn acc_write(&mut self, _slot: usize, _value: u64) {
+        unreachable!("CS interface has no access-delay ring");
+    }
+}
+
+impl CsRouterBlock {
+    /// Build the shared kind.
+    pub fn new(iface_cfg: IfaceConfig) -> Self {
+        iface_cfg.validate();
+        CsRouterBlock { iface_cfg }
+    }
+}
+
+impl BlockKind for CsRouterBlock {
+    fn name(&self) -> &str {
+        "cs-router"
+    }
+
+    fn state_bits(&self) -> usize {
+        CsRouterRegs::state_bits()
+    }
+
+    fn input_widths(&self) -> Vec<usize> {
+        vec![
+            CS_LINK_BITS,
+            CS_LINK_BITS,
+            CS_LINK_BITS,
+            CS_LINK_BITS,
+            CS_CFG_BITS,
+            16,
+        ]
+    }
+
+    fn output_widths(&self) -> Vec<usize> {
+        vec![CS_LINK_BITS; 4]
+    }
+
+    fn side_rings(&self) -> Vec<usize> {
+        vec![self.iface_cfg.stim_cap, self.iface_cfg.out_cap]
+    }
+
+    fn reset(&self, state: &mut [u64]) {
+        CsRouterRegs::new().pack(state);
+    }
+
+    fn eval(
+        &self,
+        _instance: usize,
+        cur: &[u64],
+        inputs: &[u64],
+        cycle: u64,
+        next: &mut [u64],
+        outputs: &mut [u64],
+        side: &mut SideView<'_>,
+    ) {
+        let regs = CsRouterRegs::unpack(cur);
+        let mut store = CsStore { view: side };
+        let (offer, consumed) = cs_offer(&regs, &self.iface_cfg, &store, cycle);
+        let mut link_in = [0u64; NUM_PORTS];
+        link_in[..4].copy_from_slice(&inputs[..4]);
+        link_in[Port::Local.index()] = offer;
+
+        let out_cap = self.iface_cfg.out_cap;
+        let mut captured: Option<u64> = None;
+        let mut next_regs = cs_clock(&regs, &link_in, consumed, |w| captured = Some(w));
+
+        // Expose the *combinational* values (`Fi(x)` of paper Fig 2); the
+        // static engine's double-banked link memory is the boundary
+        // register, giving one registered hop per router exactly like the
+        // native model's `out_reg`.
+        outputs[..4].copy_from_slice(&next_regs.out_reg[..4]);
+        if let Some(w) = captured {
+            let (_, data) = cs_word_decode(w);
+            store.out_write(
+                regs.out_wr as usize % out_cap,
+                OutEntry {
+                    cycle,
+                    vc: 0,
+                    flit: Flit {
+                        kind: FlitKind::Body,
+                        payload: data,
+                    },
+                }
+                .to_bits(),
+            );
+            next_regs.out_wr = regs.out_wr.wrapping_add(1);
+        }
+        // Configuration and pointer registers load from the host links.
+        next_regs.conn = cs_cfg_decode(inputs[CS_IN_CFG]);
+        next_regs.stim_wr_shadow = inputs[CS_IN_WRPTR] as u16;
+        next_regs.pack(next);
+    }
+}
+
+/// Compute the dimension-ordered path of a circuit from `src` to `dest`:
+/// the (node, output port) links it claims, ending with the Local
+/// delivery port.
+pub fn cs_path(cfg: &NetworkConfig, src: Coord, dest: Coord) -> Vec<(Coord, Port)> {
+    let mut path = Vec::new();
+    let mut cur = src;
+    for _ in 0..=cfg.shape.num_nodes() {
+        let ctx = crate::routing::RouterCtx::new(cfg, cur);
+        let (port, _) = crate::routing::route(&ctx, dest, 0);
+        path.push((cur, port));
+        if port == Port::Local {
+            return path;
+        }
+        cur = cfg
+            .topology
+            .neighbour(cfg.shape, cur, port.direction().expect("non-local"))
+            .expect("route used a missing link");
+    }
+    unreachable!("routing did not terminate");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_and_cfg_roundtrip() {
+        for data in [0u16, 1, 0xFFFF, 0xA5A5] {
+            for valid in [false, true] {
+                assert_eq!(cs_word_decode(cs_word(valid, data)), (valid, data));
+            }
+        }
+        let conn = [
+            Some(Port::Local),
+            None,
+            Some(Port::North),
+            Some(Port::West),
+            Some(Port::East),
+        ];
+        assert_eq!(cs_cfg_decode(cs_cfg_encode(&conn)), conn);
+    }
+
+    #[test]
+    fn regs_pack_roundtrip() {
+        let mut r = CsRouterRegs::new();
+        r.conn[1] = Some(Port::South);
+        r.conn[4] = Some(Port::East);
+        r.out_reg[2] = cs_word(true, 0xBEEF);
+        r.stim_rd = 7;
+        r.stim_wr_shadow = 9;
+        r.out_wr = 1000;
+        let mut words = vec![0u64; noc_types::bits::words_for_bits(CsRouterRegs::state_bits())];
+        r.pack(&mut words);
+        assert_eq!(CsRouterRegs::unpack(&words), r);
+    }
+
+    #[test]
+    fn pipeline_forwards_one_hop_per_cycle() {
+        let mut regs = CsRouterRegs::new();
+        regs.conn[Port::East.index()] = Some(Port::West);
+        let mut inputs = [0u64; NUM_PORTS];
+        inputs[Port::West.index()] = cs_word(true, 42);
+        let next = cs_clock(&regs, &inputs, false, |_| panic!("no local delivery"));
+        assert_eq!(next.out_reg[Port::East.index()], cs_word(true, 42));
+        // Unconnected outputs stay idle.
+        assert_eq!(next.out_reg[Port::North.index()], 0);
+    }
+
+    #[test]
+    fn local_delivery_captures() {
+        let mut regs = CsRouterRegs::new();
+        regs.conn[Port::Local.index()] = Some(Port::North);
+        regs.out_reg[Port::Local.index()] = cs_word(true, 7);
+        let mut got = Vec::new();
+        let _ = cs_clock(&regs, &[0; NUM_PORTS], false, |w| got.push(w));
+        assert_eq!(got, vec![cs_word(true, 7)]);
+    }
+
+    #[test]
+    fn cs_state_is_small() {
+        // §7.1: "systolic algorithms with many equal parts with a small
+        // state space" — the CS router's state is ~20x smaller than the
+        // packet-switched router's.
+        let ps = crate::layout::RegisterLayout::new(4).state_bits();
+        assert!(CsRouterRegs::state_bits() * 10 < ps);
+    }
+
+    #[test]
+    fn path_follows_dimension_order() {
+        let cfg = NetworkConfig::new(4, 4, noc_types::Topology::Mesh, 4);
+        let p = cs_path(&cfg, Coord::new(0, 0), Coord::new(2, 1));
+        let ports: Vec<Port> = p.iter().map(|e| e.1).collect();
+        assert_eq!(ports, vec![Port::East, Port::East, Port::North, Port::Local]);
+    }
+}

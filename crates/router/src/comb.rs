@@ -1,0 +1,285 @@
+//! The router's combinational circuitry.
+//!
+//! Split exactly as the paper's Fig 4 splits a router into `G(x)` and
+//! `F(x)`:
+//!
+//! * [`comb_room`] — the `G(x)` half: the flow-control (room) outputs,
+//!   a function of *registered state only* (queue occupancies);
+//! * [`comb_select`] + [`transfers`] + [`comb_fwd`] — the output half of
+//!   `F(x)`: crossbar arbitration and the forward-link outputs, functions
+//!   of registered state *and* the incoming room wires — the combinational
+//!   path across the router boundary that §4.2's dynamic schedule exists
+//!   to handle.
+//!
+//! All functions are pure; every engine calls the same code.
+
+use crate::regs::RouterRegs;
+use crate::routing::{route, RouterCtx};
+use noc_types::{LinkFwd, Port, NUM_PORTS, NUM_QUEUES, NUM_VCS};
+
+/// The wires entering a router in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterInputs {
+    /// Forward link per input port (index 4 = Local, driven by the
+    /// stimuli interface).
+    pub fwd_in: [LinkFwd; NUM_PORTS],
+    /// Room per *output* port and VC, from the downstream neighbour
+    /// (index 4 = Local; the stimuli interface always has room).
+    pub room_in: [[bool; NUM_VCS]; NUM_PORTS],
+}
+
+impl RouterInputs {
+    /// Quiescent inputs: no flits, full room everywhere.
+    pub fn idle() -> Self {
+        RouterInputs {
+            fwd_in: [LinkFwd::IDLE; NUM_PORTS],
+            room_in: [[true; NUM_VCS]; NUM_PORTS],
+        }
+    }
+}
+
+/// Crossbar arbitration result: per output port, the granted `(vc, queue)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// Grant per output port (None = no candidate).
+    pub per_out: [Option<(u8, u8)>; NUM_PORTS],
+}
+
+/// Room outputs, per *input* port and VC: can the queue accept a flit?
+///
+/// Purely registered (occupancy < depth): a full queue signals no room
+/// even if it dequeues this cycle, which keeps the signal graph acyclic —
+/// the property §4.2's convergence relies on.
+#[inline]
+pub fn comb_room(regs: &RouterRegs, depth: usize) -> [[bool; NUM_VCS]; NUM_PORTS] {
+    core::array::from_fn(|p| {
+        core::array::from_fn(|v| regs.queues[p * NUM_VCS + v].occupancy() < depth)
+    })
+}
+
+/// The request of queue `q`: the (output port, output VC) its head flit
+/// needs, plus whether that head is a packet head (competing for a free
+/// VC) or a body/tail (following its worm).
+#[inline]
+fn request(regs: &RouterRegs, ctx: &RouterCtx, q: usize) -> Option<(usize, usize, bool)> {
+    let front = regs.queues[q].front()?;
+    if front.kind.is_head() {
+        let in_vc = (q % NUM_VCS) as u8;
+        let (port, out_vc) = route(ctx, front.dest(), in_vc);
+        debug_assert!(
+            regs.owned_by(q as u8).is_none(),
+            "queue {q} has a head flit at front while owning an output VC"
+        );
+        Some((port.index(), out_vc as usize, true))
+    } else {
+        let (out, vc) = regs
+            .owned_by(q as u8)
+            .expect("body/tail flit at queue front without an owned output VC");
+        Some((out, vc, false))
+    }
+}
+
+/// Crossbar arbitration (a function of registered state only).
+///
+/// Per output port: a VC-level round-robin scans the four VCs starting at
+/// `outer_rr[out]`; the first VC with a candidate wins the port this
+/// cycle. A VC's candidate is the owning queue of `(out, vc)` if the worm
+/// is established, otherwise the first head-flit queue requesting
+/// `(out, vc)` in queue-level round-robin order from `inner_rr[out][vc]`.
+pub fn comb_select(regs: &RouterRegs, ctx: &RouterCtx) -> Selection {
+    // Requests of all 20 queues, computed once.
+    let req: [Option<(usize, usize, bool)>; NUM_QUEUES] =
+        core::array::from_fn(|q| request(regs, ctx, q));
+    let mut per_out = [None; NUM_PORTS];
+    for (out, slot) in per_out.iter_mut().enumerate() {
+        for k in 0..NUM_VCS {
+            let vc = (regs.outer_rr[out] as usize + k) % NUM_VCS;
+            let candidate: Option<u8> = match regs.owner_of(out, vc) {
+                Some(owner_q) => {
+                    // The worm is established: only the owner may send.
+                    if regs.queues[owner_q as usize].is_empty() {
+                        None
+                    } else {
+                        debug_assert_eq!(
+                            req[owner_q as usize],
+                            Some((out, vc, false)),
+                            "owner queue's front flit must follow its worm"
+                        );
+                        Some(owner_q)
+                    }
+                }
+                None => {
+                    // Free VC: heads compete, queue-level round-robin.
+                    let start = regs.inner_rr[out * NUM_VCS + vc] as usize;
+                    (0..NUM_QUEUES)
+                        .map(|j| (start + j) % NUM_QUEUES)
+                        .find(|&q| req[q] == Some((out, vc, true)))
+                        .map(|q| q as u8)
+                }
+            };
+            if let Some(q) = candidate {
+                *slot = Some((vc as u8, q));
+                break;
+            }
+        }
+    }
+    Selection { per_out }
+}
+
+/// Which grants actually transfer a flit this cycle: a grant proceeds only
+/// when the downstream room wire for its (output, VC) is high. This is
+/// where the incoming room wires enter the data path.
+#[inline]
+pub fn transfers(sel: &Selection, room_in: &[[bool; NUM_VCS]; NUM_PORTS]) -> [Option<(u8, u8)>; NUM_PORTS] {
+    core::array::from_fn(|out| {
+        sel.per_out[out].filter(|&(vc, _)| room_in[out][vc as usize])
+    })
+}
+
+/// Forward-link outputs: the head-of-queue flit of each transferring
+/// grant, labelled with its output VC.
+#[inline]
+pub fn comb_fwd(regs: &RouterRegs, trans: &[Option<(u8, u8)>; NUM_PORTS]) -> [LinkFwd; NUM_PORTS] {
+    core::array::from_fn(|out| match trans[out] {
+        Some((vc, q)) => LinkFwd::flit(
+            vc,
+            regs.queues[q as usize]
+                .front()
+                .expect("granted queue must have a flit"),
+        ),
+        None => LinkFwd::IDLE,
+    })
+}
+
+/// Convenience: is the local output port (towards the stimuli interface)
+/// delivering a flit given these transfers?
+#[inline]
+pub fn local_delivery(regs: &RouterRegs, trans: &[Option<(u8, u8)>; NUM_PORTS]) -> LinkFwd {
+    comb_fwd(regs, trans)[Port::Local.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::{Coord, Flit, NetworkConfig, Topology};
+
+    fn ctx6() -> RouterCtx {
+        RouterCtx::new(&NetworkConfig::new(6, 6, Topology::Torus, 4), Coord::new(1, 1))
+    }
+
+    fn push(regs: &mut RouterRegs, ctx: &RouterCtx, port: usize, vc: usize, f: Flit) {
+        regs.queues[port * NUM_VCS + vc].push(ctx.depth, f);
+    }
+
+    #[test]
+    fn room_tracks_occupancy() {
+        let ctx = ctx6();
+        let mut regs = RouterRegs::new();
+        let room = comb_room(&regs, ctx.depth);
+        assert!(room.iter().flatten().all(|&r| r));
+        for _ in 0..4 {
+            push(&mut regs, &ctx, 2, 3, Flit::head(Coord::new(0, 0), 0));
+        }
+        let room = comb_room(&regs, ctx.depth);
+        assert!(!room[2][3]);
+        assert!(room[2][2]);
+    }
+
+    #[test]
+    fn head_routes_and_wins_free_vc() {
+        let ctx = ctx6();
+        let mut regs = RouterRegs::new();
+        // Head at West input, vc 2 (GT), destined (3,1): goes East on vc 2.
+        push(&mut regs, &ctx, Port::West.index(), 2, Flit::head(Coord::new(3, 1), 7));
+        let sel = comb_select(&regs, &ctx);
+        assert_eq!(
+            sel.per_out[Port::East.index()],
+            Some((2, (Port::West.index() * NUM_VCS + 2) as u8))
+        );
+        // Everything else idle.
+        for out in [Port::North, Port::South, Port::West, Port::Local] {
+            assert_eq!(sel.per_out[out.index()], None);
+        }
+    }
+
+    #[test]
+    fn transfer_blocked_without_room() {
+        let ctx = ctx6();
+        let mut regs = RouterRegs::new();
+        push(&mut regs, &ctx, 0, 2, Flit::head(Coord::new(3, 1), 7));
+        let sel = comb_select(&regs, &ctx);
+        let mut room = [[true; NUM_VCS]; NUM_PORTS];
+        room[Port::East.index()][2] = false;
+        let t = transfers(&sel, &room);
+        assert_eq!(t[Port::East.index()], None);
+        let fwd = comb_fwd(&regs, &t);
+        assert_eq!(fwd[Port::East.index()], LinkFwd::IDLE);
+        // With room, the flit goes out.
+        let t = transfers(&sel, &[[true; NUM_VCS]; NUM_PORTS]);
+        let fwd = comb_fwd(&regs, &t);
+        assert!(fwd[Port::East.index()].valid);
+        assert_eq!(fwd[Port::East.index()].vc, 2);
+    }
+
+    #[test]
+    fn vc_round_robin_rotates_across_competing_vcs() {
+        let ctx = ctx6();
+        let mut regs = RouterRegs::new();
+        // Two GT heads from different inputs, both to (3,1) but on vc 2 and 3.
+        push(&mut regs, &ctx, Port::West.index(), 2, Flit::head(Coord::new(3, 1), 1));
+        push(&mut regs, &ctx, Port::North.index(), 3, Flit::head(Coord::new(3, 1), 2));
+        // outer_rr at 0 scans 0,1,2,3 -> vc2 first.
+        let sel = comb_select(&regs, &ctx);
+        assert_eq!(sel.per_out[Port::East.index()].unwrap().0, 2);
+        // outer_rr at 3 -> vc3 first.
+        regs.outer_rr[Port::East.index()] = 3;
+        let sel = comb_select(&regs, &ctx);
+        assert_eq!(sel.per_out[Port::East.index()].unwrap().0, 3);
+    }
+
+    #[test]
+    fn queue_round_robin_breaks_head_ties() {
+        let ctx = ctx6();
+        let mut regs = RouterRegs::new();
+        // Two BE heads, same vc 1, both to (3,1) (no wrap going east: vc1).
+        push(&mut regs, &ctx, Port::West.index(), 1, Flit::head(Coord::new(3, 1), 1));
+        push(&mut regs, &ctx, Port::South.index(), 1, Flit::head(Coord::new(3, 1), 2));
+        let q_west = (Port::West.index() * NUM_VCS + 1) as u8;
+        let q_south = (Port::South.index() * NUM_VCS + 1) as u8;
+        let e = Port::East.index();
+        let sel = comb_select(&regs, &ctx);
+        assert_eq!(sel.per_out[e], Some((1, q_south))); // queue 9 < 13, rr at 0
+        regs.inner_rr[e * NUM_VCS + 1] = q_south + 1;
+        let sel = comb_select(&regs, &ctx);
+        assert_eq!(sel.per_out[e], Some((1, q_west)));
+    }
+
+    #[test]
+    fn owner_locks_out_new_heads_on_same_vc() {
+        let ctx = ctx6();
+        let mut regs = RouterRegs::new();
+        let q_owner = (Port::North.index() * NUM_VCS + 1) as u8;
+        regs.owner[Port::East.index() * NUM_VCS + 1] = crate::regs::owner_encode(Some(q_owner));
+        // Competing head on the owned (East, vc1).
+        push(&mut regs, &ctx, Port::West.index(), 1, Flit::head(Coord::new(3, 1), 1));
+        // Owner's queue holds a body flit.
+        push(
+            &mut regs,
+            &ctx,
+            Port::North.index(),
+            1,
+            Flit {
+                kind: noc_types::FlitKind::Body,
+                payload: 9,
+            },
+        );
+        let sel = comb_select(&regs, &ctx);
+        assert_eq!(sel.per_out[Port::East.index()], Some((1, q_owner)));
+        // Owner empty: the VC yields nothing (head may not steal the worm).
+        let mut regs2 = RouterRegs::new();
+        regs2.owner[Port::East.index() * NUM_VCS + 1] = crate::regs::owner_encode(Some(q_owner));
+        push(&mut regs2, &ctx, Port::West.index(), 1, Flit::head(Coord::new(3, 1), 1));
+        let sel = comb_select(&regs2, &ctx);
+        assert_eq!(sel.per_out[Port::East.index()], None);
+    }
+}

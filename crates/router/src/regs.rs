@@ -1,0 +1,260 @@
+//! The router's register file, as a plain struct (used directly by the
+//! native engine) plus bit-exact packing into state-memory words (used by
+//! the sequential simulator — the paper's "extraction of all registers in
+//! the design and their mapping on a memory position").
+
+use crate::queue::{FlitQueue, MAX_QUEUE_DEPTH};
+use noc_types::bits::{ceil_log2, BitReader, BitWriter};
+use noc_types::{NUM_PORTS, NUM_QUEUES, NUM_VCS};
+
+/// Registers of the stimuli interface attached to a router's Local port
+/// (paper §5.2, Table 1 "Stimuli interfaces").
+///
+/// All ring pointers are free-running 16-bit counters; the slot index is
+/// `ptr % capacity` and the fill level `wr.wrapping_sub(rd)` — the
+/// standard hardware idiom that distinguishes full from empty without an
+/// extra flag (capacities are < 2^15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IfaceRegs {
+    /// Read pointer into the per-VC stimuli ring.
+    pub stim_rd: [u16; NUM_VCS],
+    /// Registered shadow of the host-written stimuli write pointers (a
+    /// synchroniser stage: host writes become visible one cycle later).
+    pub stim_wr_shadow: [u16; NUM_VCS],
+    /// Write pointer into the delivered-output ring.
+    pub out_wr: u16,
+    /// Write pointer into the access-delay log ring.
+    pub acc_wr: u16,
+    /// Round-robin pointer over VCs for injection.
+    pub vc_rr: u8,
+}
+
+/// The complete register file of one router + stimuli interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterRegs {
+    /// Input queues, indexed `port * NUM_VCS + vc`.
+    pub queues: [FlitQueue; NUM_QUEUES],
+    /// Wormhole owner per (output port, VC), indexed `out * NUM_VCS + vc`:
+    /// bit 5 = valid, bits 4..0 = owning queue index.
+    pub owner: [u8; NUM_QUEUES],
+    /// Queue-level round-robin pointer per (output port, VC) for head
+    /// arbitration, indexed `out * NUM_VCS + vc`, values `0..NUM_QUEUES`.
+    pub inner_rr: [u8; NUM_QUEUES],
+    /// VC-level round-robin pointer per output port, values `0..NUM_VCS`.
+    pub outer_rr: [u8; NUM_PORTS],
+    /// Stimuli interface registers.
+    pub iface: IfaceRegs,
+}
+
+/// Encoding of an owner entry: `None` or a queue index.
+#[inline]
+pub fn owner_encode(o: Option<u8>) -> u8 {
+    match o {
+        Some(q) => 0x20 | q,
+        None => 0,
+    }
+}
+
+/// Decode an owner entry.
+#[inline]
+pub fn owner_decode(bits: u8) -> Option<u8> {
+    if bits & 0x20 != 0 {
+        Some(bits & 0x1F)
+    } else {
+        None
+    }
+}
+
+impl Default for RouterRegs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouterRegs {
+    /// Reset-state register file (all queues empty, all arbiters at 0,
+    /// no owners).
+    pub const fn new() -> Self {
+        RouterRegs {
+            queues: [FlitQueue::new(); NUM_QUEUES],
+            owner: [0; NUM_QUEUES],
+            inner_rr: [0; NUM_QUEUES],
+            outer_rr: [0; NUM_PORTS],
+            iface: IfaceRegs {
+                stim_rd: [0; NUM_VCS],
+                stim_wr_shadow: [0; NUM_VCS],
+                out_wr: 0,
+                acc_wr: 0,
+                vc_rr: 0,
+            },
+        }
+    }
+
+    /// Wormhole owner of `(out, vc)`.
+    #[inline]
+    pub fn owner_of(&self, out: usize, vc: usize) -> Option<u8> {
+        owner_decode(self.owner[out * NUM_VCS + vc])
+    }
+
+    /// The (output, VC) currently owned by queue `q`, if any. At most one
+    /// pair can be owned by a queue (a queue's packets are sequential).
+    pub fn owned_by(&self, q: u8) -> Option<(usize, usize)> {
+        for out in 0..NUM_PORTS {
+            for vc in 0..NUM_VCS {
+                if self.owner_of(out, vc) == Some(q) {
+                    return Some((out, vc));
+                }
+            }
+        }
+        None
+    }
+
+    /// Pack the register file into state-memory words. `words` must hold
+    /// at least [`state_bits`](crate::layout::RegisterLayout::state_bits)
+    /// bits; the field order is fixed and documented in
+    /// [`layout`](crate::layout).
+    pub fn pack(&self, depth: usize, words: &mut [u64]) {
+        let mut w = BitWriter::new(words);
+        let pw = ceil_log2(depth);
+        let ow = ceil_log2(depth + 1);
+        for q in &self.queues {
+            let (slots, rd, wr, occ) = q.raw();
+            for &s in slots.iter().take(depth) {
+                w.put(18, s as u64);
+            }
+            w.put(pw, rd as u64);
+            w.put(pw, wr as u64);
+            w.put(ow, occ as u64);
+        }
+        for &o in &self.owner {
+            w.put(6, o as u64);
+        }
+        for &r in &self.inner_rr {
+            w.put(5, r as u64);
+        }
+        for &r in &self.outer_rr {
+            w.put(2, r as u64);
+        }
+        for &p in &self.iface.stim_rd {
+            w.put(16, p as u64);
+        }
+        for &p in &self.iface.stim_wr_shadow {
+            w.put(16, p as u64);
+        }
+        w.put(16, self.iface.out_wr as u64);
+        w.put(16, self.iface.acc_wr as u64);
+        w.put(2, self.iface.vc_rr as u64);
+    }
+
+    /// Unpack a register file from state-memory words.
+    pub fn unpack(depth: usize, words: &[u64]) -> Self {
+        let mut r = BitReader::new(words);
+        let pw = ceil_log2(depth);
+        let ow = ceil_log2(depth + 1);
+        let mut regs = RouterRegs::new();
+        for q in regs.queues.iter_mut() {
+            let mut slots = [0u32; MAX_QUEUE_DEPTH];
+            for s in slots.iter_mut().take(depth) {
+                *s = r.take(18) as u32;
+            }
+            let rd = r.take(pw) as u8;
+            let wr = r.take(pw) as u8;
+            let occ = r.take(ow) as u8;
+            *q = FlitQueue::from_raw(slots, rd, wr, occ);
+        }
+        for o in regs.owner.iter_mut() {
+            *o = r.take(6) as u8;
+        }
+        for rr in regs.inner_rr.iter_mut() {
+            *rr = r.take(5) as u8;
+        }
+        for rr in regs.outer_rr.iter_mut() {
+            *rr = r.take(2) as u8;
+        }
+        for p in regs.iface.stim_rd.iter_mut() {
+            *p = r.take(16) as u16;
+        }
+        for p in regs.iface.stim_wr_shadow.iter_mut() {
+            *p = r.take(16) as u16;
+        }
+        regs.iface.out_wr = r.take(16) as u16;
+        regs.iface.acc_wr = r.take(16) as u16;
+        regs.iface.vc_rr = r.take(2) as u8;
+        regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::RegisterLayout;
+    use noc_types::bits::words_for_bits;
+    use noc_types::{Flit, FlitKind};
+
+    fn scrambled(depth: usize) -> RouterRegs {
+        let mut r = RouterRegs::new();
+        for (i, q) in r.queues.iter_mut().enumerate() {
+            for j in 0..(i % (depth + 1)) {
+                q.push(
+                    depth,
+                    Flit {
+                        kind: FlitKind::Body,
+                        payload: (i * 31 + j) as u16,
+                    },
+                );
+            }
+        }
+        for (i, o) in r.owner.iter_mut().enumerate() {
+            *o = owner_encode(if i % 3 == 0 { Some((i % 20) as u8) } else { None });
+        }
+        for (i, rr) in r.inner_rr.iter_mut().enumerate() {
+            *rr = (i % 20) as u8;
+        }
+        for (i, rr) in r.outer_rr.iter_mut().enumerate() {
+            *rr = (i % 4) as u8;
+        }
+        r.iface.stim_rd = [1, 2000, 65535, 4];
+        r.iface.stim_wr_shadow = [5, 6, 7, 40000];
+        r.iface.out_wr = 777;
+        r.iface.acc_wr = 888;
+        r.iface.vc_rr = 3;
+        r
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for depth in [2usize, 4, 8] {
+            let layout = RegisterLayout::new(depth);
+            let regs = scrambled(depth);
+            let mut words = vec![0u64; words_for_bits(layout.state_bits())];
+            regs.pack(depth, &mut words);
+            let back = RouterRegs::unpack(depth, &words);
+            // Compare via repack: slots beyond `depth` are don't-care.
+            let mut words2 = vec![0u64; words.len()];
+            back.pack(depth, &mut words2);
+            assert_eq!(words, words2, "depth {depth}");
+            assert_eq!(back.owner, regs.owner);
+            assert_eq!(back.iface, regs.iface);
+            for (a, b) in back.queues.iter().zip(regs.queues.iter()) {
+                assert_eq!(a.occupancy(), b.occupancy());
+                assert_eq!(a.front(), b.front());
+            }
+        }
+    }
+
+    #[test]
+    fn owner_encoding() {
+        assert_eq!(owner_decode(owner_encode(None)), None);
+        for q in 0..20u8 {
+            assert_eq!(owner_decode(owner_encode(Some(q))), Some(q));
+        }
+    }
+
+    #[test]
+    fn owned_by_reverse_lookup() {
+        let mut r = RouterRegs::new();
+        r.owner[2 * NUM_VCS + 3] = owner_encode(Some(7));
+        assert_eq!(r.owned_by(7), Some((2, 3)));
+        assert_eq!(r.owned_by(8), None);
+    }
+}

@@ -1,0 +1,282 @@
+//! Route computation: dimension-ordered (X then Y) routing on torus or
+//! mesh, with the output-VC choice that keeps wormhole switching
+//! deadlock-free.
+//!
+//! * GT packets (VCs 2/3) keep their VC end-to-end; the GT stream
+//!   allocator guarantees at most one stream per (link, VC), so GT worms
+//!   never block each other and cannot deadlock.
+//! * BE packets on a torus use the classic *dateline* discipline on the
+//!   BE VC pair {0,1}: a packet travels on VC 0 while its remaining path
+//!   in the current dimension still has to cross the wrap-around edge and
+//!   on VC 1 from the wrapping hop onwards. Within each unidirectional
+//!   ring this orders the channel dependencies acyclically; together with
+//!   dimension-ordered routing the full channel dependency graph is a DAG.
+//! * BE packets on a mesh keep their injected VC (dimension-ordered
+//!   routing is already acyclic without wrap links).
+
+use noc_types::{Coord, NetworkConfig, Port, Shape, Topology, GT_VCS, NUM_VCS};
+
+/// Per-router constants: position and network parameters. In the FPGA
+/// these are the router's address and the software-selected topology
+/// (paper §7.1), not registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterCtx {
+    /// This router's coordinate.
+    pub coord: Coord,
+    /// Network shape.
+    pub shape: Shape,
+    /// Torus or mesh.
+    pub topology: Topology,
+    /// Input queue depth in flits.
+    pub depth: usize,
+}
+
+impl RouterCtx {
+    /// Build the context for the router at `coord` in `cfg`'s network.
+    pub fn new(cfg: &NetworkConfig, coord: Coord) -> Self {
+        RouterCtx {
+            coord,
+            shape: cfg.shape,
+            topology: cfg.topology,
+            depth: cfg.router.queue_depth,
+        }
+    }
+}
+
+/// Direction and wrap decision within one dimension: returns
+/// `(positive?, crosses_wrap_edge_on_path, this_hop_wraps)`.
+fn dim_step(cur: u8, dest: u8, n: u8, torus: bool) -> (bool, bool, bool) {
+    debug_assert_ne!(cur, dest);
+    let fwd = (dest as i32 - cur as i32).rem_euclid(n as i32) as u8; // hops going +
+    let bwd = n - fwd; // hops going -
+    let positive = if !torus {
+        dest > cur
+    } else if fwd != bwd {
+        fwd < bwd
+    } else {
+        // Tie on an even ring: deterministic tie-break towards +.
+        true
+    };
+    if !torus {
+        return (positive, false, false);
+    }
+    let (crosses, hop_wraps) = if positive {
+        (dest < cur, cur == n - 1)
+    } else {
+        (dest > cur, cur == 0)
+    };
+    (positive, crosses, hop_wraps)
+}
+
+/// Compute the output port and output VC for a head flit currently at
+/// `ctx.coord`, destined for `dest`, travelling on input VC `in_vc`.
+///
+/// Returns `(Port::Local, in_vc)` when the flit has arrived.
+pub fn route(ctx: &RouterCtx, dest: Coord, in_vc: u8) -> (Port, u8) {
+    debug_assert!((in_vc as usize) < NUM_VCS);
+    let torus = ctx.topology == Topology::Torus;
+    let c = ctx.coord;
+    if c == dest {
+        return (Port::Local, in_vc);
+    }
+    let (port, crosses, hop_wraps) = if c.x != dest.x {
+        let (pos, crosses, hop_wraps) = dim_step(c.x, dest.x, ctx.shape.w, torus);
+        (if pos { Port::East } else { Port::West }, crosses, hop_wraps)
+    } else {
+        let (pos, crosses, hop_wraps) = dim_step(c.y, dest.y, ctx.shape.h, torus);
+        (if pos { Port::North } else { Port::South }, crosses, hop_wraps)
+    };
+    let out_vc = if GT_VCS.contains(&in_vc) {
+        // GT streams keep their reserved VC end-to-end.
+        in_vc
+    } else if torus {
+        // Dateline: VC 0 strictly before the wrap edge, VC 1 from the
+        // wrapping hop onwards (and for paths that never wrap).
+        if crosses && !hop_wraps {
+            0
+        } else {
+            1
+        }
+    } else {
+        // Mesh: keep the injected BE VC.
+        in_vc
+    };
+    (port, out_vc)
+}
+
+/// Analytic latency guarantee for a GT packet (paper Fig 1's "Guarantee"
+/// line), in cycles.
+///
+/// Rationale: the VC-level round-robin at each output port serves an
+/// active VC at least once every [`NUM_VCS`] cycles, so once the worm is
+/// established each additional flit arrives within `NUM_VCS` cycles; the
+/// head pays at most `NUM_VCS + 2` per hop (arbitration round + crossbar
+/// traversal + downstream enqueue). One `NUM_VCS + 2` term covers
+/// injection at the source's local port.
+pub fn gt_guarantee(hops: usize, flits: usize) -> u64 {
+    ((hops + 1) * (NUM_VCS + 2) + (flits - 1) * NUM_VCS) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::{NetworkConfig, BE_VCS};
+
+    fn ctx(cfg: &NetworkConfig, x: u8, y: u8) -> RouterCtx {
+        RouterCtx::new(cfg, Coord::new(x, y))
+    }
+
+    /// Walk a packet from `src` to `dest` using `route` at every hop;
+    /// returns (hops, the (coord, port, vc) trail).
+    fn walk(cfg: &NetworkConfig, src: Coord, dest: Coord, inj_vc: u8) -> Vec<(Coord, Port, u8)> {
+        let mut trail = Vec::new();
+        let mut cur = src;
+        let mut vc = inj_vc;
+        for _ in 0..64 {
+            let (port, out_vc) = route(&ctx(cfg, cur.x, cur.y), dest, vc);
+            trail.push((cur, port, out_vc));
+            if port == Port::Local {
+                return trail;
+            }
+            cur = cfg
+                .topology
+                .neighbour(cfg.shape, cur, port.direction().unwrap())
+                .expect("route chose a non-existent link");
+            vc = out_vc;
+        }
+        panic!("routing did not terminate: {src} -> {dest}");
+    }
+
+    #[test]
+    fn routes_terminate_and_are_minimal_torus() {
+        let cfg = NetworkConfig::new(6, 6, Topology::Torus, 4);
+        for s in cfg.shape.coords() {
+            for d in cfg.shape.coords() {
+                let trail = walk(&cfg, s, d, 0);
+                let hops = trail.len() - 1;
+                assert_eq!(
+                    hops,
+                    cfg.topology.distance(cfg.shape, s, d),
+                    "{s}->{d} not minimal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routes_terminate_and_are_minimal_mesh() {
+        let cfg = NetworkConfig::new(5, 3, Topology::Mesh, 4);
+        for s in cfg.shape.coords() {
+            for d in cfg.shape.coords() {
+                let trail = walk(&cfg, s, d, 1);
+                assert_eq!(trail.len() - 1, cfg.topology.distance(cfg.shape, s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_order_x_before_y() {
+        let cfg = NetworkConfig::new(6, 6, Topology::Torus, 4);
+        let trail = walk(&cfg, Coord::new(0, 0), Coord::new(2, 2), 0);
+        let ports: Vec<Port> = trail.iter().map(|t| t.1).collect();
+        assert_eq!(
+            ports,
+            vec![Port::East, Port::East, Port::North, Port::North, Port::Local]
+        );
+    }
+
+    #[test]
+    fn gt_keeps_vc() {
+        let cfg = NetworkConfig::new(6, 6, Topology::Torus, 4);
+        for gt_vc in GT_VCS {
+            let trail = walk(&cfg, Coord::new(5, 5), Coord::new(1, 0), gt_vc);
+            assert!(trail.iter().all(|t| t.2 == gt_vc));
+        }
+    }
+
+    #[test]
+    fn be_dateline_on_wrapping_path() {
+        let cfg = NetworkConfig::new(6, 6, Topology::Torus, 4);
+        // 5 -> 1 going east wraps at the 5->0 edge.
+        let trail = walk(&cfg, Coord::new(5, 0), Coord::new(1, 0), 0);
+        let vcs: Vec<u8> = trail.iter().map(|t| t.2).collect();
+        // Hop 5->0 wraps: vc1 from the wrapping hop onwards.
+        assert_eq!(vcs[0], 1, "wrapping hop uses vc1");
+        assert!(vcs.iter().all(|&v| BE_VCS.contains(&v)));
+        // 2 -> 0 going west from x=2 never wraps: all vc1.
+        let trail = walk(&cfg, Coord::new(2, 0), Coord::new(0, 0), 0);
+        assert!(trail.iter().all(|t| t.2 == 1));
+        // 4 -> 1 going east: 4,5 wrap at 5; hop at 4 is pre-edge -> vc0,
+        // hop at 5 wraps -> vc1, hop at 0 -> vc1.
+        let trail = walk(&cfg, Coord::new(4, 0), Coord::new(1, 0), 0);
+        let vcs: Vec<u8> = trail.iter().map(|t| t.2).collect();
+        assert_eq!(&vcs[..3], &[0, 1, 1]);
+    }
+
+    #[test]
+    fn be_dateline_channel_dependencies_acyclic() {
+        // Enumerate every (directed link, vc) -> (next link, vc) dependency
+        // generated by all BE routes and verify the graph is a DAG.
+        let cfg = NetworkConfig::new(4, 4, Topology::Torus, 4);
+        use std::collections::{HashMap, HashSet};
+        type Chan = (Coord, Port, u8);
+        let mut edges: HashSet<(Chan, Chan)> = HashSet::new();
+        for s in cfg.shape.coords() {
+            for d in cfg.shape.coords() {
+                if s == d {
+                    continue;
+                }
+                let trail = walk(&cfg, s, d, 0);
+                for w in trail.windows(2) {
+                    if w[1].1 == Port::Local {
+                        continue;
+                    }
+                    let a = (w[0].0, w[0].1, w[0].2);
+                    let b = (w[1].0, w[1].1, w[1].2);
+                    edges.insert((a, b));
+                }
+            }
+        }
+        // Kahn's algorithm.
+        let mut indeg: HashMap<Chan, usize> = HashMap::new();
+        let mut adj: HashMap<Chan, Vec<Chan>> = HashMap::new();
+        for &(a, b) in &edges {
+            indeg.entry(a).or_insert(0);
+            *indeg.entry(b).or_insert(0) += 1;
+            adj.entry(a).or_default().push(b);
+        }
+        let mut queue: Vec<_> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&k, _)| k)
+            .collect();
+        let mut seen = 0;
+        while let Some(n) = queue.pop() {
+            seen += 1;
+            for m in adj.get(&n).cloned().unwrap_or_default() {
+                let d = indeg.get_mut(&m).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(m);
+                }
+            }
+        }
+        assert_eq!(seen, indeg.len(), "BE channel dependency graph has a cycle");
+    }
+
+    #[test]
+    fn guarantee_magnitude_matches_fig1() {
+        // 6x6 torus, max 6 hops, 128-flit GT packet: the paper's guarantee
+        // line sits around 500-600 cycles.
+        let g = gt_guarantee(6, 128);
+        assert!((450..650).contains(&g), "guarantee {g} out of Fig 1 range");
+    }
+
+    #[test]
+    fn arrived_packet_goes_local() {
+        let cfg = NetworkConfig::new(6, 6, Topology::Torus, 4);
+        let (p, v) = route(&ctx(&cfg, 2, 3), Coord::new(2, 3), 2);
+        assert_eq!(p, Port::Local);
+        assert_eq!(v, 2);
+    }
+}

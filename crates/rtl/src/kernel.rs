@@ -1,0 +1,335 @@
+//! The event-driven kernel (VHDL simulation semantics).
+//!
+//! * A **signal** holds a value; a write is a *transaction* scheduled for
+//!   the next delta cycle (or a future time). A transaction whose value
+//!   differs from the current one becomes an **event**, waking every
+//!   process sensitive to the signal.
+//! * A **process** has a sensitivity list; when woken it runs to
+//!   completion, reading settled signal values and scheduling new
+//!   transactions.
+//! * Time only advances when no delta work remains; the **event
+//!   calendar** then delivers the next timed transactions (here: the
+//!   free-running clock and any `schedule_after` writes).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Signal handle.
+pub type SigId = usize;
+/// Process handle.
+pub type ProcId = usize;
+
+/// Kernel activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventStats {
+    /// Current simulation time (abstract units).
+    pub time: u64,
+    /// Signal events (value changes) delivered.
+    pub events: u64,
+    /// Process activations.
+    pub activations: u64,
+    /// Delta cycles executed.
+    pub deltas: u64,
+}
+
+/// Context handed to a running process.
+pub struct ProcCtx<'a> {
+    values: &'a [u64],
+    delta_writes: &'a mut Vec<(SigId, u64)>,
+    timed: &'a mut BinaryHeap<Reverse<(u64, u64, SigId, u64)>>,
+    time: u64,
+    seq: &'a mut u64,
+}
+
+impl ProcCtx<'_> {
+    /// Read the settled value of a signal.
+    #[inline]
+    pub fn read(&self, s: SigId) -> u64 {
+        self.values[s]
+    }
+
+    /// Schedule a transaction for the next delta cycle (VHDL `<=`).
+    #[inline]
+    pub fn write(&mut self, s: SigId, v: u64) {
+        self.delta_writes.push((s, v));
+    }
+
+    /// Schedule a transaction `delay` time units ahead (VHDL
+    /// `<= ... after`).
+    pub fn write_after(&mut self, s: SigId, v: u64, delay: u64) {
+        *self.seq += 1;
+        self.timed.push(Reverse((self.time + delay, *self.seq, s, v)));
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+}
+
+type ProcFn = Box<dyn FnMut(&mut ProcCtx)>;
+
+/// The event-driven simulation kernel.
+pub struct EventKernel {
+    values: Vec<u64>,
+    sens: Vec<Vec<ProcId>>,
+    procs: Vec<ProcFn>,
+    timed: BinaryHeap<Reverse<(u64, u64, SigId, u64)>>,
+    seq: u64,
+    /// Free-running clock: (signal, half period). Toggles are generated
+    /// lazily instead of flooding the calendar.
+    clock: Option<(SigId, u64, u64)>,
+    stats: EventStats,
+}
+
+impl Default for EventKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventKernel {
+    /// Empty kernel.
+    pub fn new() -> Self {
+        EventKernel {
+            values: Vec::new(),
+            sens: Vec::new(),
+            procs: Vec::new(),
+            timed: BinaryHeap::new(),
+            seq: 0,
+            clock: None,
+            stats: EventStats::default(),
+        }
+    }
+
+    /// Create a signal.
+    pub fn signal(&mut self, init: u64) -> SigId {
+        self.values.push(init);
+        self.sens.push(Vec::new());
+        self.values.len() - 1
+    }
+
+    /// Register a process with its sensitivity list.
+    pub fn process(
+        &mut self,
+        sensitivity: &[SigId],
+        f: impl FnMut(&mut ProcCtx) + 'static,
+    ) -> ProcId {
+        self.procs.push(Box::new(f));
+        let id = self.procs.len() - 1;
+        for &s in sensitivity {
+            self.sens[s].push(id);
+        }
+        id
+    }
+
+    /// Install the free-running clock on `sig` with the given half
+    /// period. The first rising edge happens at `half_period`.
+    pub fn add_clock(&mut self, sig: SigId, half_period: u64) {
+        assert!(self.clock.is_none(), "one clock supported");
+        assert!(half_period > 0);
+        self.clock = Some((sig, half_period, half_period));
+    }
+
+    /// Apply a set of transactions at the current time; run the resulting
+    /// delta cascade to quiescence.
+    fn deltas(&mut self, initial: Vec<(SigId, u64)>) {
+        let mut writes = initial;
+        while !writes.is_empty() {
+            // Update phase: turn transactions into events.
+            let mut woken: Vec<bool> = vec![false; self.procs.len()];
+            let mut any = false;
+            for (s, v) in writes.drain(..) {
+                if self.values[s] != v {
+                    self.values[s] = v;
+                    self.stats.events += 1;
+                    for &p in &self.sens[s] {
+                        if !woken[p] {
+                            woken[p] = true;
+                            any = true;
+                        }
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            // Evaluate phase.
+            self.stats.deltas += 1;
+            let mut next = Vec::new();
+            for (p, w) in woken.iter().enumerate() {
+                if *w {
+                    self.stats.activations += 1;
+                    let mut ctx = ProcCtx {
+                        values: &self.values,
+                        delta_writes: &mut next,
+                        timed: &mut self.timed,
+                        time: self.stats.time,
+                        seq: &mut self.seq,
+                    };
+                    (self.procs[p])(&mut ctx);
+                }
+            }
+            writes = next;
+        }
+    }
+
+    /// Advance to the next point in time with activity and process it.
+    /// Returns `false` when the calendar is empty (no clock, nothing
+    /// scheduled).
+    pub fn advance(&mut self) -> bool {
+        // Earliest of: calendar head, next clock toggle.
+        let cal = self.timed.peek().map(|Reverse((t, ..))| *t);
+        let clk = self.clock.map(|(_, _, next)| next);
+        let t = match (cal, clk) {
+            (None, None) => return false,
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (Some(a), Some(b)) => a.min(b),
+        };
+        self.stats.time = t;
+        let mut writes = Vec::new();
+        while let Some(Reverse((wt, _, s, v))) = self.timed.peek().copied() {
+            if wt > t {
+                break;
+            }
+            self.timed.pop();
+            writes.push((s, v));
+        }
+        if let Some((sig, half, next)) = self.clock {
+            if next == t {
+                let cur = self.values[sig];
+                writes.push((sig, cur ^ 1));
+                self.clock = Some((sig, half, next + half));
+            }
+        }
+        self.deltas(writes);
+        true
+    }
+
+    /// Advance through `n` full clock periods (2n toggles).
+    pub fn advance_cycles(&mut self, n: u64) {
+        assert!(self.clock.is_some(), "no clock installed");
+        for _ in 0..2 * n {
+            assert!(self.advance(), "calendar ran dry");
+        }
+    }
+
+    /// Host write: immediate, no events (an ARM register write between
+    /// simulation periods).
+    pub fn poke(&mut self, s: SigId, v: u64) {
+        self.values[s] = v;
+    }
+
+    /// Host read of a settled signal.
+    pub fn peek(&self, s: SigId) -> u64 {
+        self.values[s]
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> EventStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_toggles_and_time_advances() {
+        let mut k = EventKernel::new();
+        let clk = k.signal(0);
+        k.add_clock(clk, 5);
+        let edges = Rc::new(RefCell::new(Vec::new()));
+        let e = edges.clone();
+        k.process(&[clk], move |ctx| {
+            e.borrow_mut().push((ctx.time(), ctx.read(clk)));
+        });
+        k.advance_cycles(2);
+        assert_eq!(
+            *edges.borrow(),
+            vec![(5, 1), (10, 0), (15, 1), (20, 0)]
+        );
+        assert_eq!(k.stats().time, 20);
+    }
+
+    #[test]
+    fn delta_cascade_settles_combinational_chain() {
+        let mut k = EventKernel::new();
+        let clk = k.signal(0);
+        let a = k.signal(0);
+        let b = k.signal(100);
+        let c = k.signal(100);
+        k.add_clock(clk, 5);
+        // Clocked: a := a + 1 on rising edge.
+        k.process(&[clk], move |ctx| {
+            if ctx.read(clk) == 1 {
+                let v = ctx.read(a) + 1;
+                ctx.write(a, v);
+            }
+        });
+        // Comb chain: b := a * 2; c := b + 1.
+        k.process(&[a], move |ctx| {
+            let v = ctx.read(a) * 2;
+            ctx.write(b, v);
+        });
+        k.process(&[b], move |ctx| {
+            let v = ctx.read(b) + 1;
+            ctx.write(c, v);
+        });
+        k.advance_cycles(3);
+        assert_eq!(k.peek(a), 3);
+        assert_eq!(k.peek(b), 6);
+        assert_eq!(k.peek(c), 7);
+        // Each cycle: clk event + a event + b event + c event (plus the
+        // falling edge). Events were counted.
+        assert!(k.stats().events >= 3 * 4);
+    }
+
+    #[test]
+    fn equal_value_transaction_is_not_an_event() {
+        let mut k = EventKernel::new();
+        let clk = k.signal(0);
+        let a = k.signal(7);
+        k.add_clock(clk, 5);
+        let wakes = Rc::new(RefCell::new(0));
+        let w = wakes.clone();
+        k.process(&[clk], move |ctx| {
+            if ctx.read(clk) == 1 {
+                ctx.write(a, 7); // unchanged value
+            }
+        });
+        k.process(&[a], move |_ctx| {
+            *w.borrow_mut() += 1;
+        });
+        k.advance_cycles(4);
+        assert_eq!(*wakes.borrow(), 0);
+    }
+
+    #[test]
+    fn write_after_arrives_on_time() {
+        let mut k = EventKernel::new();
+        let clk = k.signal(0);
+        let pulse = k.signal(0);
+        k.add_clock(clk, 5);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        // At the first rising edge (t=5), schedule pulse := 1 after 7
+        // (t=12, between edges).
+        let mut armed = false;
+        k.process(&[clk], move |ctx| {
+            if ctx.read(clk) == 1 && !armed {
+                armed = true;
+                ctx.write_after(pulse, 1, 7);
+            }
+        });
+        k.process(&[pulse], move |ctx| {
+            s.borrow_mut().push(ctx.time());
+        });
+        k.advance_cycles(3);
+        assert_eq!(*seen.borrow(), vec![12]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # rtl-kernel — an event-driven, signal-level simulation kernel
+//!
+//! The slowest, finest-grained baseline of the paper's Table 3 ("VHDL",
+//! 10–17 simulated cycles per second). This crate rebuilds the VHDL
+//! *simulation semantics*: signals carrying events, processes with
+//! sensitivity lists, a delta-cycle cascade per time step and a timed
+//! event calendar driving the clock.
+//!
+//! * [`kernel`] — the event kernel: signals, processes, sensitivity,
+//!   scheduled transactions, delta cascades, the event calendar and the
+//!   clock generator.
+//! * [`netlist`] — the NoC described at netlist granularity: ~38
+//!   processes and ~40 signals per router (one process per input queue,
+//!   per-output arbiter and forward-mux processes, per-port room
+//!   processes, a switch-control process and the stimuli interface),
+//!   implementing the same bit-exact semantics as every other engine.
+//!
+//! The per-signal event traffic is what makes this style slow — each
+//! moving flit touches a dozen signals, each waking several processes —
+//! and that slowness is the paper's motivation for the FPGA simulator.
+
+#![warn(missing_docs)]
+// Positional `for i in 0..n` loops indexing several parallel arrays are
+// the natural shape for port/node-indexed hardware code; iterator zips
+// would obscure which port is which.
+#![allow(clippy::needless_range_loop)]
+
+pub mod kernel;
+pub mod netlist;
+
+pub use kernel::{EventKernel, EventStats, ProcId, SigId};
+pub use netlist::RtlNoc;

@@ -1,0 +1,164 @@
+//! Fixed-bucket histograms for latency distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `u64` samples with uniform buckets plus an overflow
+/// bucket, keeping exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Histogram with `buckets` buckets of `bucket_width` each; samples at
+    /// or beyond `buckets * bucket_width` land in the overflow bucket.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0 && buckets > 0);
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = (v / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact minimum (None when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum (None when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate `q`-quantile (0..=1): upper edge of the bucket holding
+    /// the quantile sample; exact `max` for q = 1.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                // Bucket upper edge, clamped so a quantile never exceeds
+                // the exact maximum (matters for sparse populations).
+                return Some((((i + 1) as u64) * self.bucket_width - 1).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Samples that exceeded the bucketed range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Merge another histogram with identical geometry.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bucket_width, other.bucket_width);
+        assert_eq!(self.buckets.len(), other.buckets.len());
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let mut h = Histogram::new(10, 10);
+        for v in [5u64, 15, 15, 95, 250] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(250));
+        assert_eq!(h.overflow(), 1);
+        assert!((h.mean() - 76.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(1, 1000);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(49));
+        assert_eq!(h.quantile(1.0), Some(99));
+        assert_eq!(h.quantile(0.01), Some(0));
+        assert_eq!(Histogram::new(1, 10).quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new(10, 10);
+        let mut b = Histogram::new(10, 10);
+        a.record(5);
+        b.record(95);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(1000));
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(10, 10);
+        let b = Histogram::new(5, 10);
+        a.merge(&b);
+    }
+}

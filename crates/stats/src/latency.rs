@@ -1,0 +1,114 @@
+//! Per-class latency recording — the Fig 1 measurement ("the mean and the
+//! maximal latency of packets").
+
+use crate::histogram::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates packet latencies for one traffic class.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    hist: Histogram,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyStats {
+    /// Recorder with 1-cycle resolution up to 16384 cycles (overflow
+    /// beyond — latencies that large mean saturation anyway).
+    pub fn new() -> Self {
+        LatencyStats {
+            hist: Histogram::new(1, 16384),
+        }
+    }
+
+    /// Record one packet latency in cycles.
+    pub fn record(&mut self, latency: u64) {
+        self.hist.record(latency);
+    }
+
+    /// Number of packets recorded.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Summary snapshot.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.hist.count(),
+            mean: self.hist.mean(),
+            min: self.hist.min().unwrap_or(0),
+            max: self.hist.max().unwrap_or(0),
+            p50: self.hist.quantile(0.5).unwrap_or(0),
+            p99: self.hist.quantile(0.99).unwrap_or(0),
+        }
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Merge another recorder.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.hist.merge(&other.hist);
+    }
+}
+
+/// Summary statistics of a latency population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Packets measured.
+    pub count: u64,
+    /// Mean latency in cycles.
+    pub mean: f64,
+    /// Minimum latency.
+    pub min: u64,
+    /// Maximum latency.
+    pub max: u64,
+    /// Median (approximate).
+    pub p50: u64,
+    /// 99th percentile (approximate).
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_population() {
+        let mut l = LatencyStats::new();
+        for v in [10u64, 20, 30, 40, 100] {
+            l.record(v);
+        }
+        let s = l.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 40.0).abs() < 1e-9);
+        assert_eq!(s.p50, 30);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = LatencyStats::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        a.record(1);
+        b.record(99);
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!((s.count, s.min, s.max), (2, 1, 99));
+    }
+}

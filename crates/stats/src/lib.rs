@@ -1,0 +1,33 @@
+//! # stats — measurement and reporting for the NoC experiments
+//!
+//! The analysis half of the paper's §5.3 step 5 ("After the data is
+//! retrieved from the FPGA it is analyzed and the desired statistics are
+//! stored"):
+//!
+//! * [`histogram`] — fixed-bucket latency histograms with exact min/max
+//!   and approximate percentiles;
+//! * [`latency`] — per-class latency recorders (GT mean/max, BE mean —
+//!   the Fig 1 series);
+//! * [`throughput`] — flit/packet counters and offered-vs-accepted load;
+//! * [`profile`] — wall-clock phase profiler for the five-phase loop
+//!   (Table 4);
+//! * [`table`] — plain-text table rendering used by every example and
+//!   bench to print paper-style tables;
+//! * [`series`] — (x, y…) series collection and CSV export for the
+//!   figure-reproducing sweeps.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod latency;
+pub mod profile;
+pub mod series;
+pub mod table;
+pub mod throughput;
+
+pub use histogram::Histogram;
+pub use latency::{LatencyStats, LatencySummary};
+pub use profile::PhaseProfiler;
+pub use series::Series;
+pub use table::Table;
+pub use throughput::ThroughputCounter;

@@ -1,0 +1,93 @@
+//! Named (x, y…) series with CSV export — the data behind each figure
+//! reproduction (Fig 1's four curves, the delta-overhead sweep, …).
+
+use serde::{Deserialize, Serialize};
+
+/// A multi-column series: one x column and several named y columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    x_name: String,
+    y_names: Vec<String>,
+    rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl Series {
+    /// New series with an x-axis name and y-column names.
+    pub fn new(x_name: &str, y_names: &[&str]) -> Self {
+        Series {
+            x_name: x_name.to_string(),
+            y_names: y_names.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, ys: &[f64]) {
+        assert_eq!(ys.len(), self.y_names.len(), "column count mismatch");
+        self.rows.push((x, ys.to_vec()));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, in insertion order.
+    pub fn rows(&self) -> &[(f64, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// One y column by name.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.y_names.iter().position(|n| n == name)?;
+        Some(self.rows.iter().map(|(_, ys)| ys[idx]).collect())
+    }
+
+    /// Render as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_name);
+        for n in &self.y_names {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        for (x, ys) in &self.rows {
+            out.push_str(&format!("{x}"));
+            for y in ys {
+                out.push_str(&format!(",{y}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_export() {
+        let mut s = Series::new("load", &["gt_mean", "gt_max", "be_mean"]);
+        s.push(0.02, &[250.0, 400.0, 30.0]);
+        s.push(0.10, &[300.0, 500.0, 80.0]);
+        assert_eq!(s.len(), 2);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("load,gt_mean,gt_max,be_mean\n"));
+        assert!(csv.contains("0.1,300,500,80"));
+        assert_eq!(s.column("be_mean"), Some(vec![30.0, 80.0]));
+        assert_eq!(s.column("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn column_mismatch_rejected() {
+        Series::new("x", &["a"]).push(0.0, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text table rendering — every example and bench prints its
+//! paper-style table through this.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of string slices.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                // Left-align: pad to width (skip trailing pad on last col).
+                if i + 1 < cols {
+                    for _ in cell.chars().count()..widths[i] {
+                        line.push(' ');
+                    }
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `prec` decimals.
+pub fn fmt_f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1} %", v * 100.0)
+}
+
+/// Format a frequency in adaptive units (Hz/kHz/MHz).
+pub fn fmt_hz(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2} MHz", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1} kHz", v / 1e3)
+    } else {
+        format!("{v:.1} Hz")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "bits"]);
+        t.row_str(&["queues", "1440"]);
+        t.row_str(&["a-very-long-name", "7"]);
+        let s = t.render();
+        assert!(s.starts_with("Demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Columns align: "bits" and "1440" start at the same offset.
+        let off = lines[1].find("bits").unwrap();
+        assert_eq!(lines[3].find("1440").unwrap(), off);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_rejected() {
+        Table::new("t", &["a", "b"]).row_str(&["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(0.1234), "12.3 %");
+        assert_eq!(fmt_hz(22_000.0), "22.0 kHz");
+        assert_eq!(fmt_hz(3_300_000.0), "3.30 MHz");
+        assert_eq!(fmt_hz(15.0), "15.0 Hz");
+    }
+}

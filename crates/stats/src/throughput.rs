@@ -1,0 +1,93 @@
+//! Flit/packet throughput accounting (offered vs accepted vs delivered
+//! load).
+
+use serde::{Deserialize, Serialize};
+
+/// Counts traffic volumes over a measured interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThroughputCounter {
+    /// Flits offered by the generators (with timestamps in the interval).
+    pub offered_flits: u64,
+    /// Flits that actually entered the network.
+    pub injected_flits: u64,
+    /// Flits delivered at local output ports.
+    pub delivered_flits: u64,
+    /// Packets delivered completely.
+    pub delivered_packets: u64,
+    /// Cycles in the measured interval.
+    pub cycles: u64,
+    /// Cycles of the whole traffic-generation span (injection happens
+    /// throughout it, not only the measured interval).
+    pub gen_cycles: u64,
+    /// Number of network nodes.
+    pub nodes: u64,
+}
+
+impl ThroughputCounter {
+    /// Offered load per node in flits/cycle.
+    pub fn offered_load(&self) -> f64 {
+        self.per_node_rate(self.offered_flits)
+    }
+
+    /// Accepted (injected) load per node in flits/cycle, over the
+    /// generation span.
+    pub fn accepted_load(&self) -> f64 {
+        let span = if self.gen_cycles > 0 { self.gen_cycles } else { self.cycles };
+        if span == 0 || self.nodes == 0 {
+            0.0
+        } else {
+            self.injected_flits as f64 / (span as f64 * self.nodes as f64)
+        }
+    }
+
+    /// Delivered load per node in flits/cycle.
+    pub fn delivered_load(&self) -> f64 {
+        self.per_node_rate(self.delivered_flits)
+    }
+
+    fn per_node_rate(&self, flits: u64) -> f64 {
+        if self.cycles == 0 || self.nodes == 0 {
+            0.0
+        } else {
+            flits as f64 / (self.cycles as f64 * self.nodes as f64)
+        }
+    }
+
+    /// True when the network accepted essentially everything offered
+    /// (within `tol` relative).
+    pub fn is_stable(&self, tol: f64) -> bool {
+        if self.offered_flits == 0 {
+            return true;
+        }
+        self.injected_flits as f64 >= self.offered_flits as f64 * (1.0 - tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads() {
+        let t = ThroughputCounter {
+            offered_flits: 720,
+            injected_flits: 700,
+            delivered_flits: 690,
+            delivered_packets: 138,
+            cycles: 1000,
+            gen_cycles: 1000,
+            nodes: 36,
+        };
+        assert!((t.offered_load() - 0.02).abs() < 1e-9);
+        assert!(t.accepted_load() < t.offered_load());
+        assert!(t.is_stable(0.05));
+        assert!(!t.is_stable(0.01));
+    }
+
+    #[test]
+    fn empty_is_stable_zero() {
+        let t = ThroughputCounter::default();
+        assert_eq!(t.offered_load(), 0.0);
+        assert!(t.is_stable(0.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Best-effort traffic configuration and arrival process.
+//!
+//! Fig 1's x-axis is "BE load per PE [fraction of channel capacity]": each
+//! processing element offers `load` flits per cycle on average, grouped
+//! into packets of `packet_flits` flits (10-byte BE packets = 5 flits).
+//! Arrivals are Bernoulli per cycle, sampled as geometric gaps so the
+//! generator cost scales with the number of packets, not cycles.
+
+use crate::patterns::DestPattern;
+use crate::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Best-effort traffic parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeConfig {
+    /// Offered load per PE as a fraction of channel capacity (flits per
+    /// cycle), the Fig 1 x-axis (0..=1, paper sweeps 0..0.14).
+    pub load: f64,
+    /// Packet length in flits (paper: 5 for 10-byte BE packets).
+    pub packet_flits: u16,
+    /// Destination pattern.
+    pub pattern: DestPattern,
+}
+
+impl BeConfig {
+    /// The paper's Fig 1 BE traffic at a given load.
+    pub fn fig1(load: f64) -> Self {
+        BeConfig {
+            load,
+            packet_flits: 5,
+            pattern: DestPattern::UniformRandom,
+        }
+    }
+
+    /// Per-cycle packet-arrival probability.
+    pub fn packet_rate(&self) -> f64 {
+        assert!(self.load >= 0.0 && self.load <= 1.0, "load out of range");
+        self.load / self.packet_flits as f64
+    }
+
+    /// Sample the gap (in cycles) to the next packet arrival: geometric
+    /// with success probability [`packet_rate`](Self::packet_rate).
+    /// Returns `None` when the load is zero.
+    pub fn sample_gap(&self, rng: &mut SplitMix64) -> Option<u64> {
+        let p = self.packet_rate();
+        if p <= 0.0 {
+            return None;
+        }
+        // Inverse-transform sampling of a geometric distribution.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let gap = (u.max(1e-300).ln() / (1.0 - p).ln()).floor() as u64 + 1;
+        Some(gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_gaps_match_rate() {
+        let be = BeConfig::fig1(0.10); // p = 0.02 packets/cycle
+        let mut rng = SplitMix64::new(3);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| be.sample_gap(&mut rng).unwrap()).sum();
+        let rate = n as f64 / total as f64;
+        assert!(
+            (rate - 0.02).abs() < 0.001,
+            "measured packet rate {rate}, expected 0.02"
+        );
+    }
+
+    #[test]
+    fn zero_load_generates_nothing() {
+        let be = BeConfig::fig1(0.0);
+        let mut rng = SplitMix64::new(3);
+        assert_eq!(be.sample_gap(&mut rng), None);
+    }
+
+    #[test]
+    fn gaps_are_at_least_one() {
+        let be = BeConfig::fig1(0.9);
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..1000 {
+            assert!(be.sample_gap(&mut rng).unwrap() >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "load out of range")]
+    fn overload_rejected() {
+        let _ = BeConfig::fig1(1.5).packet_rate();
+    }
+}

@@ -1,0 +1,234 @@
+//! Guaranteed-throughput stream allocation.
+//!
+//! Paper §2.1: "Due to the predictable round-robin arbitration the router
+//! is able to handle guaranteed throughput (GT) traffic, if one single
+//! data stream is assigned per VC." The allocator walks each requested
+//! stream's route and claims one GT virtual channel (VC 2 or 3) on every
+//! directed link it uses — including the source's injection and the
+//! destination's delivery port — refusing streams that would share a
+//! (link, VC) pair.
+
+use crate::rng::SplitMix64;
+use noc_types::{Coord, NetworkConfig, NodeId, Port, GT_VCS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use vc_router::{gt_guarantee, route, RouterCtx};
+
+/// An admitted guaranteed-throughput stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GtStream {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination coordinate.
+    pub dest: Coord,
+    /// Reserved virtual channel (2 or 3).
+    pub vc: u8,
+    /// Packet emission period in cycles.
+    pub period: u64,
+    /// Packet length in flits (paper: 128 for 256-byte GT packets).
+    pub flits: u16,
+    /// Hop count of the stream's route.
+    pub hops: u16,
+}
+
+impl GtStream {
+    /// The analytic worst-case packet latency of this stream (the Fig 1
+    /// "Guarantee" line).
+    pub fn guarantee(&self) -> u64 {
+        gt_guarantee(self.hops as usize, self.flits as usize)
+    }
+}
+
+/// Greedy (link, VC) reservation table for GT streams.
+#[derive(Debug, Clone)]
+pub struct GtAllocator {
+    cfg: NetworkConfig,
+    /// Claimed (node, output port, vc) triples — a directed link is
+    /// identified by its driving router and output port.
+    used: HashSet<(NodeId, Port, u8)>,
+}
+
+impl GtAllocator {
+    /// Fresh allocator for a network.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        GtAllocator {
+            cfg,
+            used: HashSet::new(),
+        }
+    }
+
+    /// The links (as (node, out-port)) a stream from `src` to `dest` uses
+    /// on GT VC `vc`, including the delivery port at the destination.
+    fn path(&self, src: Coord, dest: Coord, vc: u8) -> Vec<(NodeId, Port)> {
+        let mut links = Vec::new();
+        let mut cur = src;
+        for _ in 0..=self.cfg.shape.num_nodes() {
+            let ctx = RouterCtx::new(&self.cfg, cur);
+            let (port, out_vc) = route(&ctx, dest, vc);
+            debug_assert_eq!(out_vc, vc, "GT streams keep their VC");
+            links.push((self.cfg.shape.node_id(cur), port));
+            if port == Port::Local {
+                return links;
+            }
+            cur = self
+                .cfg
+                .topology
+                .neighbour(self.cfg.shape, cur, port.direction().expect("non-local"))
+                .expect("route used a missing link");
+        }
+        unreachable!("route did not terminate");
+    }
+
+    /// Try to admit a stream; returns the allocated stream on success.
+    pub fn try_add(
+        &mut self,
+        src: Coord,
+        dest: Coord,
+        period: u64,
+        flits: u16,
+    ) -> Option<GtStream> {
+        assert_ne!(src, dest, "a GT stream needs distinct endpoints");
+        for &vc in &GT_VCS {
+            let path = self.path(src, dest, vc);
+            let free = path.iter().all(|&(n, p)| !self.used.contains(&(n, p, vc)));
+            if free {
+                for &(n, p) in &path {
+                    self.used.insert((n, p, vc));
+                }
+                let hops = (path.len() - 1) as u16;
+                // Admission control: the stream's sustained rate must not
+                // exceed the guaranteed VC service rate (1 / NUM_VCS).
+                assert!(
+                    (flits as u64) * (noc_types::NUM_VCS as u64) <= period,
+                    "stream rate exceeds the guaranteed VC service rate"
+                );
+                return Some(GtStream {
+                    src: self.cfg.shape.node_id(src),
+                    dest,
+                    vc,
+                    period,
+                    flits,
+                    hops,
+                });
+            }
+        }
+        None
+    }
+
+    /// The paper-style default workload: every node sources one stream to
+    /// the node `offset` away (dimension-ordered), admitting as many as the
+    /// VC budget allows. With offset (2, 1) on a torus every east link
+    /// carries exactly two streams — one on each GT VC — and every north
+    /// link one, so all streams admit.
+    pub fn auto_streams(&mut self, offset: (u8, u8), period: u64, flits: u16) -> Vec<GtStream> {
+        let shape = self.cfg.shape;
+        let mut streams = Vec::new();
+        for src in shape.coords() {
+            let dest = Coord::new(
+                (src.x + offset.0) % shape.w,
+                (src.y + offset.1) % shape.h,
+            );
+            if dest == src {
+                continue;
+            }
+            if let Some(s) = self.try_add(src, dest, period, flits) {
+                streams.push(s);
+            }
+        }
+        streams
+    }
+
+    /// Random-partner streams (for stress tests): each node tries up to
+    /// `tries` random partners until one admits.
+    pub fn random_streams(
+        &mut self,
+        rng: &mut SplitMix64,
+        period: u64,
+        flits: u16,
+        tries: usize,
+    ) -> Vec<GtStream> {
+        let shape = self.cfg.shape;
+        let mut streams = Vec::new();
+        for src in shape.coords() {
+            for _ in 0..tries {
+                let dest = shape.coord(NodeId(rng.below(shape.num_nodes() as u64) as u16));
+                if dest == src {
+                    continue;
+                }
+                if let Some(s) = self.try_add(src, dest, period, flits) {
+                    streams.push(s);
+                    break;
+                }
+            }
+        }
+        streams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::Topology;
+
+    fn cfg() -> NetworkConfig {
+        NetworkConfig::new(6, 6, Topology::Torus, 2)
+    }
+
+    #[test]
+    fn offset_pattern_fully_allocates_6x6() {
+        let mut alloc = GtAllocator::new(cfg());
+        let streams = alloc.auto_streams((2, 1), 2048, 128);
+        assert_eq!(streams.len(), 36, "every node must get its stream");
+        // Each stream has 3 hops (2 east + 1 north).
+        assert!(streams.iter().all(|s| s.hops == 3));
+        // Both GT VCs are in use.
+        assert!(streams.iter().any(|s| s.vc == 2));
+        assert!(streams.iter().any(|s| s.vc == 3));
+    }
+
+    #[test]
+    fn conflicting_streams_rejected() {
+        let mut alloc = GtAllocator::new(cfg());
+        // Three identical streams: two fit (VC 2 and VC 3), third fails.
+        let a = alloc.try_add(Coord::new(0, 0), Coord::new(3, 0), 2048, 128);
+        let b = alloc.try_add(Coord::new(0, 0), Coord::new(3, 0), 2048, 128);
+        let c = alloc.try_add(Coord::new(0, 0), Coord::new(3, 0), 2048, 128);
+        assert!(a.is_some() && b.is_some());
+        assert_ne!(a.unwrap().vc, b.unwrap().vc);
+        assert!(c.is_none());
+    }
+
+    #[test]
+    fn partial_overlap_uses_other_vc() {
+        let mut alloc = GtAllocator::new(cfg());
+        let a = alloc.try_add(Coord::new(0, 0), Coord::new(2, 0), 2048, 128).unwrap();
+        // Shares the (1,0)->(2,0) east link.
+        let b = alloc.try_add(Coord::new(1, 0), Coord::new(3, 0), 2048, 128).unwrap();
+        assert_eq!(a.vc, 2);
+        assert_eq!(b.vc, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the guaranteed")]
+    fn overrate_stream_rejected() {
+        let mut alloc = GtAllocator::new(cfg());
+        let _ = alloc.try_add(Coord::new(0, 0), Coord::new(2, 0), 100, 128);
+    }
+
+    #[test]
+    fn guarantee_scales_with_hops_and_flits() {
+        let mut alloc = GtAllocator::new(cfg());
+        let s = alloc.try_add(Coord::new(0, 0), Coord::new(3, 2), 4096, 128).unwrap();
+        assert_eq!(s.hops, 5);
+        assert!(s.guarantee() > 128 * 4);
+        assert!(s.guarantee() < 700);
+    }
+
+    #[test]
+    fn random_streams_mostly_admit() {
+        let mut alloc = GtAllocator::new(cfg());
+        let mut rng = SplitMix64::new(11);
+        let streams = alloc.random_streams(&mut rng, 2048, 128, 8);
+        assert!(streams.len() >= 30, "only {} admitted", streams.len());
+    }
+}

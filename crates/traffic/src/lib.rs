@@ -1,0 +1,55 @@
+//! # traffic — workload generation for the NoC simulators
+//!
+//! Implements the paper's stimuli-generation phase (§5.3, step 1: "We
+//! start by generating the traffic for each node in a stimuli table. Any
+//! data pattern can be generated as the generation is done in software."):
+//!
+//! * [`rng`] — the FPGA's hardware random number generator modelled as a
+//!   Galois LFSR (§5.3: "The generation process uses a random number
+//!   generator on the FPGA"), plus a fast software RNG for host-side use.
+//! * [`patterns`] — destination patterns: uniform random, transpose,
+//!   bit-complement, hotspot, nearest-neighbour.
+//! * [`gt`] — guaranteed-throughput stream allocation: one stream per VC
+//!   per link (§2.1), with per-stream latency guarantees.
+//! * [`be`] — best-effort injection processes (Bernoulli per-cycle
+//!   arrivals at a configured fraction of channel capacity).
+//! * [`stimuli`] — assembly of timestamped per-(node, VC) stimuli tables,
+//!   generated in windows like the paper's simulation periods, plus the
+//!   offered-packet journal the analysis phase matches deliveries against.
+
+//! ```
+//! use noc_types::{NetworkConfig, Topology};
+//! use traffic::{BeConfig, GtAllocator, StimuliGenerator, TrafficConfig};
+//!
+//! let net = NetworkConfig::new(6, 6, Topology::Torus, 2);
+//! // One guaranteed-throughput stream per node, one VC per stream.
+//! let gt = GtAllocator::new(net).auto_streams((2, 1), 2048, 128);
+//! assert_eq!(gt.len(), 36);
+//! // Timestamped stimuli for the first simulation period.
+//! let mut gen = StimuliGenerator::new(TrafficConfig {
+//!     net,
+//!     be: BeConfig::fig1(0.10),
+//!     gt_streams: gt,
+//!     seed: 42,
+//! });
+//! let window = gen.generate(0, 512);
+//! assert!(!window.offered.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+// Positional `for i in 0..n` loops indexing several parallel arrays are
+// the natural shape for port/node-indexed hardware code; iterator zips
+// would obscure which port is which.
+#![allow(clippy::needless_range_loop)]
+
+pub mod be;
+pub mod gt;
+pub mod patterns;
+pub mod rng;
+pub mod stimuli;
+
+pub use be::BeConfig;
+pub use gt::{GtAllocator, GtStream};
+pub use patterns::DestPattern;
+pub use rng::{Lfsr32, SplitMix64};
+pub use stimuli::{OfferedPacket, StimuliGenerator, TrafficConfig};

@@ -1,0 +1,146 @@
+//! Destination patterns for best-effort traffic.
+//!
+//! The paper's FPGA simulator exists precisely to "observe the NoC
+//! behavior under a large variety of traffic patterns" (§1); these are the
+//! standard patterns of the NoC literature.
+
+use crate::rng::SplitMix64;
+use noc_types::{Coord, Shape};
+use serde::{Deserialize, Serialize};
+
+/// A destination pattern: maps a source to a destination, possibly
+/// randomly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DestPattern {
+    /// Uniform random over all nodes except the source.
+    UniformRandom,
+    /// Matrix transpose: `(x, y) -> (y, x)`. Sources on the diagonal send
+    /// to the diagonally opposite node instead (self-sends carry no load).
+    Transpose,
+    /// Bit/coordinate complement: `(x, y) -> (w-1-x, h-1-y)`.
+    BitComplement,
+    /// A fraction `hot_frac` of packets go to `hot`, the rest uniform
+    /// random.
+    Hotspot {
+        /// The hotspot destination.
+        hot: Coord,
+        /// Fraction of traffic aimed at the hotspot (0..=1).
+        hot_frac: f64,
+    },
+    /// Nearest neighbour: always one hop east (with wrap), the
+    /// lowest-stress pattern.
+    NearestNeighbour,
+}
+
+impl DestPattern {
+    /// Pick the destination for a packet from `src`.
+    pub fn dest(&self, shape: Shape, src: Coord, rng: &mut SplitMix64) -> Coord {
+        match *self {
+            DestPattern::UniformRandom => uniform_not_self(shape, src, rng),
+            DestPattern::Transpose => {
+                let mut d = Coord::new(src.y.min(shape.w - 1), src.x.min(shape.h - 1));
+                if d == src {
+                    d = Coord::new(shape.w - 1 - src.x, shape.h - 1 - src.y);
+                }
+                if d == src {
+                    // Centre of an odd square: fall back to uniform.
+                    d = uniform_not_self(shape, src, rng);
+                }
+                d
+            }
+            DestPattern::BitComplement => {
+                let d = Coord::new(shape.w - 1 - src.x, shape.h - 1 - src.y);
+                if d == src {
+                    uniform_not_self(shape, src, rng)
+                } else {
+                    d
+                }
+            }
+            DestPattern::Hotspot { hot, hot_frac } => {
+                if hot != src && rng.chance(hot_frac) {
+                    hot
+                } else {
+                    uniform_not_self(shape, src, rng)
+                }
+            }
+            DestPattern::NearestNeighbour => Coord::new((src.x + 1) % shape.w, src.y),
+        }
+    }
+}
+
+fn uniform_not_self(shape: Shape, src: Coord, rng: &mut SplitMix64) -> Coord {
+    let n = shape.num_nodes() as u64;
+    debug_assert!(n >= 2);
+    loop {
+        let d = shape.coord(noc_types::NodeId(rng.below(n) as u16));
+        if d != src {
+            return d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_never_self_and_covers_all() {
+        let shape = Shape::new(4, 4);
+        let src = Coord::new(1, 2);
+        let mut rng = SplitMix64::new(5);
+        let mut hit = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let d = DestPattern::UniformRandom.dest(shape, src, &mut rng);
+            assert_ne!(d, src);
+            hit.insert(d);
+        }
+        assert_eq!(hit.len(), 15);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let shape = Shape::new(6, 6);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(
+            DestPattern::Transpose.dest(shape, Coord::new(1, 4), &mut rng),
+            Coord::new(4, 1)
+        );
+        // Diagonal sources do not self-send.
+        let d = DestPattern::Transpose.dest(shape, Coord::new(2, 2), &mut rng);
+        assert_ne!(d, Coord::new(2, 2));
+    }
+
+    #[test]
+    fn complement_mirrors() {
+        let shape = Shape::new(6, 6);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(
+            DestPattern::BitComplement.dest(shape, Coord::new(0, 0), &mut rng),
+            Coord::new(5, 5)
+        );
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let shape = Shape::new(4, 4);
+        let hot = Coord::new(3, 3);
+        let p = DestPattern::Hotspot { hot, hot_frac: 0.5 };
+        let mut rng = SplitMix64::new(2);
+        let hits = (0..4000)
+            .filter(|_| p.dest(shape, Coord::new(0, 0), &mut rng) == hot)
+            .count();
+        let frac = hits as f64 / 4000.0;
+        // 0.5 directed + uniform residue also occasionally hits it.
+        assert!((0.45..0.62).contains(&frac), "hot frac {frac}");
+    }
+
+    #[test]
+    fn nearest_neighbour_wraps() {
+        let shape = Shape::new(4, 4);
+        let mut rng = SplitMix64::new(3);
+        assert_eq!(
+            DestPattern::NearestNeighbour.dest(shape, Coord::new(3, 1), &mut rng),
+            Coord::new(0, 1)
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Random number generators.
+//!
+//! [`Lfsr32`] models the FPGA-resident hardware RNG the paper offloads
+//! stimulus randomness to ("Reading a 32 bit random number from the FPGA
+//! is noticeably faster compared to the standard rand() function in C",
+//! §5.3; "A simple improvement by offloading the random number generation
+//! to the FPGA gave an extra 50% simulation speed", §8): a 32-bit Galois
+//! LFSR, one step per bit, exactly what a handful of LUTs implements.
+//!
+//! [`SplitMix64`] is the fast, well-distributed software generator used
+//! for everything where hardware fidelity does not matter (seeding,
+//! shuffling, payload fill).
+
+/// A 32-bit maximal-length Galois LFSR (taps 32, 30, 26, 25 — polynomial
+/// `0xA3000000` reversed form `0xA3000000`? The canonical maximal mask
+/// used here is `0xA3000000`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lfsr32 {
+    state: u32,
+}
+
+/// Feedback mask for the maximal-length polynomial
+/// x^32 + x^31 + x^29 + x^28 + 1 (Galois form).
+const LFSR_MASK: u32 = 0xA300_0000;
+
+impl Lfsr32 {
+    /// Seed the LFSR. A zero seed is mapped to a fixed non-zero value
+    /// (the all-zero state is the LFSR's only fixed point).
+    pub fn new(seed: u32) -> Self {
+        Lfsr32 {
+            state: if seed == 0 { 0xDEAD_BEEF } else { seed },
+        }
+    }
+
+    /// Advance one bit.
+    #[inline]
+    pub fn step(&mut self) -> u32 {
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb != 0 {
+            self.state ^= LFSR_MASK;
+        }
+        lsb
+    }
+
+    /// Produce the next 32-bit word (32 LFSR steps, as the FPGA register
+    /// exposes it).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let mut w = 0u32;
+        for i in 0..32 {
+            w |= self.step() << i;
+        }
+        w
+    }
+
+    /// Uniform value in `0..n` by rejection-free modulo (adequate for
+    /// stimulus generation; bias < 2^-24 for the n used here).
+    #[inline]
+    pub fn below(&mut self, n: u32) -> u32 {
+        debug_assert!(n > 0);
+        self.next_u32() % n
+    }
+
+    /// Bernoulli event with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u32() as f64) < p * (u32::MAX as f64 + 1.0)
+    }
+
+    /// Current raw state (for host/FPGA co-simulation checks).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+}
+
+/// SplitMix64 — the standard 64-bit mixing generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `0..n`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Lemire's multiply-shift reduction.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Bernoulli event with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr_is_deterministic_and_nonzero() {
+        let mut a = Lfsr32::new(42);
+        let mut b = Lfsr32::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+            assert_ne!(a.state(), 0);
+        }
+        let mut c = Lfsr32::new(43);
+        assert_ne!(a.next_u32(), c.next_u32());
+    }
+
+    #[test]
+    fn lfsr_zero_seed_handled() {
+        let mut z = Lfsr32::new(0);
+        assert_ne!(z.state(), 0);
+        z.next_u32();
+        assert_ne!(z.state(), 0);
+    }
+
+    #[test]
+    fn lfsr_period_is_long() {
+        // The state must not recur within a modest horizon (full period is
+        // 2^32 - 1 for a maximal polynomial; we spot-check 100k steps).
+        let mut l = Lfsr32::new(1);
+        let start = l.state();
+        for i in 0..100_000 {
+            l.step();
+            assert_ne!(l.state(), start, "LFSR state recurred after {i} steps");
+        }
+    }
+
+    #[test]
+    fn lfsr_bits_are_balanced() {
+        let mut l = Lfsr32::new(7);
+        let ones: u32 = (0..2000).map(|_| l.next_u32().count_ones()).sum();
+        let total = 2000 * 32;
+        let frac = ones as f64 / total as f64;
+        assert!((0.47..0.53).contains(&frac), "bit balance {frac}");
+    }
+
+    #[test]
+    fn splitmix_below_is_in_range_and_covers() {
+        let mut r = SplitMix64::new(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_estimates_probability() {
+        let mut r = SplitMix64::new(1234);
+        let hits = (0..100_000).filter(|_| r.chance(0.1)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((0.09..0.11).contains(&p), "p = {p}");
+        let mut l = Lfsr32::new(77);
+        let hits = (0..100_000).filter(|_| l.chance(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((0.28..0.32).contains(&p), "lfsr p = {p}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Bit-field packing into `u64` word arrays.
+//!
+//! The sequential simulator (paper §4, Fig 2b) concatenates *all* registers
+//! of a block into one wide memory word ("the inputs and output signals of
+//! all registers are concatenated into two memory words: old and new").
+//! This module provides the primitives to read and write arbitrary-width
+//! fields (1..=64 bits) at arbitrary bit offsets in a `[u64]` backing store,
+//! plus cursor types for sequential, layout-driven access.
+
+/// Read `width` bits starting at absolute bit `offset` from `words`.
+///
+/// `width` must be in `1..=64`. Fields may straddle a word boundary.
+///
+/// # Panics
+/// Panics if `width` is 0 or greater than 64, or if the field extends past
+/// the end of `words`.
+#[inline]
+pub fn get_bits(words: &[u64], offset: usize, width: usize) -> u64 {
+    assert!((1..=64).contains(&width), "field width {width} out of range");
+    let word = offset / 64;
+    let bit = offset % 64;
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    if bit + width <= 64 {
+        (words[word] >> bit) & mask
+    } else {
+        let lo_bits = 64 - bit;
+        let lo = words[word] >> bit;
+        let hi = words[word + 1] << lo_bits;
+        (lo | hi) & mask
+    }
+}
+
+/// Write the low `width` bits of `value` at absolute bit `offset` in `words`.
+///
+/// Bits of `value` above `width` must be zero (checked with a debug
+/// assertion, masked in release builds).
+///
+/// # Panics
+/// Panics if `width` is 0 or greater than 64, or if the field extends past
+/// the end of `words`.
+#[inline]
+pub fn set_bits(words: &mut [u64], offset: usize, width: usize, value: u64) {
+    assert!((1..=64).contains(&width), "field width {width} out of range");
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    debug_assert_eq!(value & !mask, 0, "value wider than declared field");
+    let value = value & mask;
+    let word = offset / 64;
+    let bit = offset % 64;
+    if bit + width <= 64 {
+        words[word] = (words[word] & !(mask << bit)) | (value << bit);
+    } else {
+        let lo_bits = 64 - bit;
+        words[word] = (words[word] & !(mask << bit)) | (value << bit);
+        let hi_mask = mask >> lo_bits;
+        words[word + 1] = (words[word + 1] & !hi_mask) | (value >> lo_bits);
+    }
+}
+
+/// Number of `u64` words needed to hold `bits` bits.
+#[inline]
+pub const fn words_for_bits(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// Sequential bit reader over a word slice.
+///
+/// Used by block implementations to unpack their register state in layout
+/// order. Each `take` advances the cursor by the field width.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader positioned at bit 0.
+    #[inline]
+    pub fn new(words: &'a [u64]) -> Self {
+        Self { words, pos: 0 }
+    }
+
+    /// Create a reader positioned at `offset` bits.
+    #[inline]
+    pub fn at(words: &'a [u64], offset: usize) -> Self {
+        Self { words, pos: offset }
+    }
+
+    /// Current bit position.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read the next `width` bits and advance.
+    #[inline]
+    pub fn take(&mut self, width: usize) -> u64 {
+        let v = get_bits(self.words, self.pos, width);
+        self.pos += width;
+        v
+    }
+
+    /// Read the next bit as a `bool` and advance.
+    #[inline]
+    pub fn take_bool(&mut self) -> bool {
+        self.take(1) != 0
+    }
+}
+
+/// Sequential bit writer over a mutable word slice.
+#[derive(Debug)]
+pub struct BitWriter<'a> {
+    words: &'a mut [u64],
+    pos: usize,
+}
+
+impl<'a> BitWriter<'a> {
+    /// Create a writer positioned at bit 0.
+    #[inline]
+    pub fn new(words: &'a mut [u64]) -> Self {
+        Self { words, pos: 0 }
+    }
+
+    /// Create a writer positioned at `offset` bits.
+    #[inline]
+    pub fn at(words: &'a mut [u64], offset: usize) -> Self {
+        Self { words, pos: offset }
+    }
+
+    /// Current bit position.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Write the low `width` bits of `value` and advance.
+    #[inline]
+    pub fn put(&mut self, width: usize, value: u64) {
+        set_bits(self.words, self.pos, width, value);
+        self.pos += width;
+    }
+
+    /// Write a single bit and advance.
+    #[inline]
+    pub fn put_bool(&mut self, value: bool) {
+        self.put(1, value as u64);
+    }
+}
+
+/// Width in bits of the minimal unsigned field that can hold `n` distinct
+/// values (`0..n`). `ceil_log2(1) == 1` so that even a constant field
+/// occupies a register bit, matching hardware practice.
+#[inline]
+pub const fn ceil_log2(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_word_roundtrip() {
+        let mut w = [0u64; 2];
+        set_bits(&mut w, 3, 7, 0b101_1010);
+        assert_eq!(get_bits(&w, 3, 7), 0b101_1010);
+        // Neighbouring bits untouched.
+        assert_eq!(get_bits(&w, 0, 3), 0);
+        assert_eq!(get_bits(&w, 10, 10), 0);
+    }
+
+    #[test]
+    fn straddling_roundtrip() {
+        let mut w = [0u64; 3];
+        set_bits(&mut w, 60, 21, 0x1F_FFFF);
+        assert_eq!(get_bits(&w, 60, 21), 0x1F_FFFF);
+        set_bits(&mut w, 60, 21, 0x0A_BCDE);
+        assert_eq!(get_bits(&w, 60, 21), 0x0A_BCDE);
+        assert_eq!(get_bits(&w, 0, 60), 0);
+    }
+
+    #[test]
+    fn full_word_field() {
+        let mut w = [0u64; 2];
+        set_bits(&mut w, 32, 64, u64::MAX);
+        assert_eq!(get_bits(&w, 32, 64), u64::MAX);
+        assert_eq!(get_bits(&w, 0, 32), 0);
+        assert_eq!(get_bits(&w, 96, 32), 0);
+    }
+
+    #[test]
+    fn writer_reader_cursor_agree() {
+        let mut w = [0u64; 4];
+        {
+            let mut wr = BitWriter::new(&mut w);
+            wr.put(5, 17);
+            wr.put_bool(true);
+            wr.put(64, 0xDEAD_BEEF_CAFE_F00D);
+            wr.put(18, 0x2_FFFF);
+            assert_eq!(wr.position(), 5 + 1 + 64 + 18);
+        }
+        let mut rd = BitReader::new(&w);
+        assert_eq!(rd.take(5), 17);
+        assert!(rd.take_bool());
+        assert_eq!(rd.take(64), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(rd.take(18), 0x2_FFFF);
+    }
+
+    #[test]
+    fn overwrite_clears_old_value() {
+        let mut w = [u64::MAX; 2];
+        set_bits(&mut w, 10, 12, 0);
+        assert_eq!(get_bits(&w, 10, 12), 0);
+        assert_eq!(get_bits(&w, 0, 10), 0x3FF);
+        assert_eq!(get_bits(&w, 22, 12), 0xFFF);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(16), 4);
+        assert_eq!(ceil_log2(17), 5);
+        assert_eq!(ceil_log2(20), 5);
+        assert_eq!(ceil_log2(256), 8);
+    }
+
+    #[test]
+    fn words_for_bits_values() {
+        assert_eq!(words_for_bits(0), 0);
+        assert_eq!(words_for_bits(1), 1);
+        assert_eq!(words_for_bits(64), 1);
+        assert_eq!(words_for_bits(65), 2);
+        assert_eq!(words_for_bits(2112), 33);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        let w = [0u64; 1];
+        let _ = get_bits(&w, 0, 0);
+    }
+}

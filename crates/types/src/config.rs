@@ -1,0 +1,120 @@
+//! Router and network configuration shared by all simulation engines.
+
+use crate::topology::{Shape, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Number of router ports (N, E, S, W, Local). Paper §2.1: "The router has
+/// five input and five output ports".
+pub const NUM_PORTS: usize = 5;
+
+/// Number of virtual channels per port. Paper §2.1: "four VCs per port".
+pub const NUM_VCS: usize = 4;
+
+/// Number of input queues per router (one per port per VC). Paper §2.1:
+/// "The crossbar is asymmetric and has 20 inputs, one input for every
+/// queue, and five outputs".
+pub const NUM_QUEUES: usize = NUM_PORTS * NUM_VCS;
+
+/// Virtual channels reserved for best-effort traffic. Two VCs form the
+/// dateline pair that keeps dimension-ordered wormhole routing deadlock-free
+/// on torus rings (packets start on the first and switch to the second once
+/// their remaining path no longer crosses the wrap-around edge).
+pub const BE_VCS: [u8; 2] = [0, 1];
+
+/// Virtual channels reserved for guaranteed-throughput streams. Paper §2.1:
+/// "the router is able to handle guaranteed throughput traffic, if one
+/// single data stream is assigned per VC".
+pub const GT_VCS: [u8; 2] = [2, 3];
+
+/// Per-router configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Input queue depth in flits. Paper default is 4 ("they are buffered
+    /// in four flit deep queues"); Figure 1 uses 2 ("queue size 2 flits").
+    pub queue_depth: usize,
+}
+
+impl RouterConfig {
+    /// The paper's default router (4-flit queues).
+    pub const fn paper_default() -> Self {
+        Self { queue_depth: 4 }
+    }
+
+    /// The Figure 1 router (2-flit queues).
+    pub const fn fig1() -> Self {
+        Self { queue_depth: 2 }
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Whole-network configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Grid shape (`w × h`, at most 256 routers).
+    pub shape: Shape,
+    /// Torus or mesh.
+    pub topology: Topology,
+    /// Router parameters.
+    pub router: RouterConfig,
+}
+
+impl NetworkConfig {
+    /// Convenience constructor.
+    pub fn new(w: u8, h: u8, topology: Topology, queue_depth: usize) -> Self {
+        Self {
+            shape: Shape::new(w, h),
+            topology,
+            router: RouterConfig { queue_depth },
+        }
+    }
+
+    /// The paper's Figure 1 configuration: 6×6 torus, 2-flit queues.
+    pub fn fig1() -> Self {
+        Self::new(6, 6, Topology::Torus, 2)
+    }
+
+    /// The paper's maximum configuration: 16×16 torus (256 routers),
+    /// 4-flit queues.
+    pub fn paper_max() -> Self {
+        Self::new(16, 16, Topology::Torus, 4)
+    }
+
+    /// Number of routers in the network.
+    pub fn num_nodes(&self) -> usize {
+        self.shape.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(NUM_PORTS, 5);
+        assert_eq!(NUM_VCS, 4);
+        assert_eq!(NUM_QUEUES, 20);
+        // GT and BE VCs partition the VC space.
+        let mut all: Vec<u8> = BE_VCS.iter().chain(GT_VCS.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fig1_config() {
+        let c = NetworkConfig::fig1();
+        assert_eq!(c.num_nodes(), 36);
+        assert_eq!(c.router.queue_depth, 2);
+        assert_eq!(c.topology, Topology::Torus);
+    }
+
+    #[test]
+    fn paper_max_is_256_routers() {
+        assert_eq!(NetworkConfig::paper_max().num_nodes(), 256);
+    }
+}

@@ -1,0 +1,261 @@
+//! Flit and link-word encodings.
+//!
+//! The flit is the atomic unit of the wormhole network (paper §2.1: "The
+//! flits (atomic unit) of a packet are labelled with their VC number").
+//! Every engine in the workspace must agree on these encodings bit for bit;
+//! the differential tests compare raw encoded words across engines.
+//!
+//! * Flit: 18 bits = 2-bit [`FlitKind`] + 16-bit payload. With the default
+//!   4-flit-deep queues and 20 queues this yields the paper's Table 1
+//!   "Input queues 1440 bits" (20 × 4 × 18).
+//! * Forward link word: 21 bits = valid(1) + VC(2) + flit(18).
+//! * Backward (flow-control) link word: 4 bits, one *room* bit per VC.
+
+use crate::geom::Coord;
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in a flit payload.
+pub const PAYLOAD_BITS: usize = 16;
+/// Number of bits in an encoded flit (kind + payload).
+pub const FLIT_BITS: usize = 2 + PAYLOAD_BITS;
+/// Number of bits in an encoded forward link word (valid + vc + flit).
+pub const LINK_FWD_BITS: usize = 1 + 2 + FLIT_BITS;
+/// Number of bits in an encoded backward link word (room bit per VC).
+pub const LINK_ROOM_BITS: usize = crate::config::NUM_VCS;
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet; payload carries the header.
+    Head = 0,
+    /// Intermediate flit; payload carries data.
+    Body = 1,
+    /// Last flit of a multi-flit packet.
+    Tail = 2,
+    /// Single-flit packet (header and tail in one).
+    HeadTail = 3,
+}
+
+impl FlitKind {
+    /// Kind from its 2-bit encoding.
+    #[inline]
+    pub const fn from_bits(b: u64) -> FlitKind {
+        match b & 0b11 {
+            0 => FlitKind::Head,
+            1 => FlitKind::Body,
+            2 => FlitKind::Tail,
+            _ => FlitKind::HeadTail,
+        }
+    }
+
+    /// True for `Head` and `HeadTail`.
+    #[inline]
+    pub const fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True for `Tail` and `HeadTail`.
+    #[inline]
+    pub const fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// An 18-bit flit: 2-bit kind + 16-bit payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Flit {
+    /// Position of the flit within its packet.
+    pub kind: FlitKind,
+    /// 16-bit payload; for head flits this is the encoded header.
+    pub payload: u16,
+}
+
+impl Flit {
+    /// Construct a head flit addressed to `dest` carrying the 8-bit source
+    /// tag `src_tag` (the linear node id of the sender).
+    ///
+    /// Header layout (16 bits): `dest_x[3:0] | dest_y[7:4] | src_tag[15:8]`.
+    /// 4+4 destination bits support the paper's 256-router maximum.
+    #[inline]
+    pub fn head(dest: Coord, src_tag: u8) -> Flit {
+        debug_assert!(dest.x < 16 && dest.y < 16, "dest out of 16x16 range");
+        Flit {
+            kind: FlitKind::Head,
+            payload: (dest.x as u16 & 0xF)
+                | ((dest.y as u16 & 0xF) << 4)
+                | ((src_tag as u16) << 8),
+        }
+    }
+
+    /// Construct a single-flit (head+tail) packet header.
+    #[inline]
+    pub fn head_tail(dest: Coord, src_tag: u8) -> Flit {
+        Flit {
+            kind: FlitKind::HeadTail,
+            ..Flit::head(dest, src_tag)
+        }
+    }
+
+    /// Destination coordinate decoded from a head flit's payload.
+    #[inline]
+    pub const fn dest(self) -> Coord {
+        Coord {
+            x: (self.payload & 0xF) as u8,
+            y: ((self.payload >> 4) & 0xF) as u8,
+        }
+    }
+
+    /// Source tag decoded from a head flit's payload.
+    #[inline]
+    pub const fn src_tag(self) -> u8 {
+        (self.payload >> 8) as u8
+    }
+
+    /// Encode to the 18-bit representation.
+    #[inline]
+    pub const fn to_bits(self) -> u64 {
+        ((self.kind as u64) << PAYLOAD_BITS) | self.payload as u64
+    }
+
+    /// Decode from the 18-bit representation.
+    #[inline]
+    pub const fn from_bits(b: u64) -> Flit {
+        Flit {
+            kind: FlitKind::from_bits(b >> PAYLOAD_BITS),
+            payload: (b & 0xFFFF) as u16,
+        }
+    }
+}
+
+/// A forward link word: an optional flit labelled with its VC.
+///
+/// Encoding (21 bits): `flit[17:0] | vc[19:18] | valid[20]`. The idle word
+/// encodes as all zeros so that reset link memory reads as "no flit".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkFwd {
+    /// Whether a flit is present on the link this cycle.
+    pub valid: bool,
+    /// Virtual channel the flit travels on (`0..NUM_VCS`).
+    pub vc: u8,
+    /// The flit; meaningless when `valid` is false (encoded as zeros).
+    pub flit: Flit,
+}
+
+impl LinkFwd {
+    /// The idle link word (no flit).
+    pub const IDLE: LinkFwd = LinkFwd {
+        valid: false,
+        vc: 0,
+        flit: Flit {
+            kind: FlitKind::Head,
+            payload: 0,
+        },
+    };
+
+    /// A valid link word carrying `flit` on `vc`.
+    #[inline]
+    pub fn flit(vc: u8, flit: Flit) -> LinkFwd {
+        debug_assert!((vc as usize) < crate::config::NUM_VCS);
+        LinkFwd {
+            valid: true,
+            vc,
+            flit,
+        }
+    }
+
+    /// Encode to the 21-bit representation. Invalid words canonicalise to 0
+    /// so all engines produce identical idle-link bits.
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        if !self.valid {
+            return 0;
+        }
+        (1 << (FLIT_BITS + 2)) | ((self.vc as u64) << FLIT_BITS) | self.flit.to_bits()
+    }
+
+    /// Decode from the 21-bit representation.
+    #[inline]
+    pub fn from_bits(b: u64) -> LinkFwd {
+        let valid = (b >> (FLIT_BITS + 2)) & 1 != 0;
+        if !valid {
+            return LinkFwd::IDLE;
+        }
+        LinkFwd {
+            valid,
+            vc: ((b >> FLIT_BITS) & 0b11) as u8,
+            flit: Flit::from_bits(b),
+        }
+    }
+}
+
+/// Encode per-VC room bits (`room[v]` = downstream input queue `v` can
+/// accept a flit) into a 4-bit backward link word.
+#[inline]
+pub fn room_to_bits(room: [bool; crate::config::NUM_VCS]) -> u64 {
+    room.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &r)| acc | ((r as u64) << i))
+}
+
+/// Decode a 4-bit backward link word into per-VC room bits.
+#[inline]
+pub fn room_from_bits(b: u64) -> [bool; crate::config::NUM_VCS] {
+    core::array::from_fn(|i| (b >> i) & 1 != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_roundtrip_all_kinds() {
+        for kind in [FlitKind::Head, FlitKind::Body, FlitKind::Tail, FlitKind::HeadTail] {
+            for payload in [0u16, 1, 0xFFFF, 0xA5A5] {
+                let f = Flit { kind, payload };
+                assert_eq!(Flit::from_bits(f.to_bits()), f);
+                assert!(f.to_bits() < (1 << FLIT_BITS));
+            }
+        }
+    }
+
+    #[test]
+    fn head_encoding_roundtrip() {
+        let h = Flit::head(Coord::new(13, 7), 0xC3);
+        assert_eq!(h.dest(), Coord::new(13, 7));
+        assert_eq!(h.src_tag(), 0xC3);
+        assert!(h.kind.is_head());
+        assert!(!h.kind.is_tail());
+        let ht = Flit::head_tail(Coord::new(0, 15), 0);
+        assert!(ht.kind.is_head() && ht.kind.is_tail());
+        assert_eq!(ht.dest(), Coord::new(0, 15));
+    }
+
+    #[test]
+    fn link_word_roundtrip() {
+        let w = LinkFwd::flit(3, Flit { kind: FlitKind::Body, payload: 0x1234 });
+        assert_eq!(LinkFwd::from_bits(w.to_bits()), w);
+        assert!(w.to_bits() < (1 << LINK_FWD_BITS));
+        assert_eq!(LinkFwd::IDLE.to_bits(), 0);
+        assert_eq!(LinkFwd::from_bits(0), LinkFwd::IDLE);
+    }
+
+    #[test]
+    fn invalid_word_canonicalises() {
+        // A "stale" invalid word with garbage flit bits encodes to 0.
+        let w = LinkFwd {
+            valid: false,
+            vc: 2,
+            flit: Flit { kind: FlitKind::Tail, payload: 0xDEAD },
+        };
+        assert_eq!(w.to_bits(), 0);
+    }
+
+    #[test]
+    fn room_bits_roundtrip() {
+        for pattern in 0..16u64 {
+            let room = room_from_bits(pattern);
+            assert_eq!(room_to_bits(room), pattern);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Router coordinates, ports and directions.
+//!
+//! The Kavaldjiev router has five ports (paper §2.1): four neighbour ports
+//! (North, East, South, West) and one Local port towards the processing
+//! element / stimuli interface.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D router coordinate. The paper's networks are `w × h` grids of up to
+/// 256 routers, so 4 bits per axis (16×16) suffice for the head-flit
+/// encoding; `u8` leaves headroom for experiments beyond the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column, `0..w`, increasing eastwards.
+    pub x: u8,
+    /// Row, `0..h`, increasing northwards.
+    pub y: u8,
+}
+
+impl Coord {
+    /// Construct a coordinate.
+    #[inline]
+    pub const fn new(x: u8, y: u8) -> Self {
+        Self { x, y }
+    }
+}
+
+impl core::fmt::Display for Coord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// Linear router/node index within a network (row-major: `y * w + x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The linear index as `usize` for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One of the four neighbour directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Direction {
+    /// Towards increasing `y`.
+    North = 0,
+    /// Towards increasing `x`.
+    East = 1,
+    /// Towards decreasing `y`.
+    South = 2,
+    /// Towards decreasing `x`.
+    West = 3,
+}
+
+impl Direction {
+    /// All four directions in index order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// The opposite direction (the port a neighbour receives us on).
+    #[inline]
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// Index `0..4`, identical to the corresponding [`Port`] index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Direction from index `0..4`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 4`.
+    #[inline]
+    pub const fn from_index(i: usize) -> Direction {
+        match i {
+            0 => Direction::North,
+            1 => Direction::East,
+            2 => Direction::South,
+            3 => Direction::West,
+            _ => panic!("direction index out of range"),
+        }
+    }
+}
+
+/// A router port: four neighbour ports plus the Local port.
+///
+/// Port indices are `North=0, East=1, South=2, West=3, Local=4`; the first
+/// four coincide with [`Direction`] indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Port {
+    /// Neighbour port towards increasing `y`.
+    North = 0,
+    /// Neighbour port towards increasing `x`.
+    East = 1,
+    /// Neighbour port towards decreasing `y`.
+    South = 2,
+    /// Neighbour port towards decreasing `x`.
+    West = 3,
+    /// Port towards the processing element / stimuli interface.
+    Local = 4,
+}
+
+impl Port {
+    /// All five ports in index order.
+    pub const ALL: [Port; 5] = [Port::North, Port::East, Port::South, Port::West, Port::Local];
+
+    /// Index `0..5`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Port from index `0..5`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 5`.
+    #[inline]
+    pub const fn from_index(i: usize) -> Port {
+        match i {
+            0 => Port::North,
+            1 => Port::East,
+            2 => Port::South,
+            3 => Port::West,
+            4 => Port::Local,
+            _ => panic!("port index out of range"),
+        }
+    }
+
+    /// The neighbour direction of this port, or `None` for `Local`.
+    #[inline]
+    pub const fn direction(self) -> Option<Direction> {
+        match self {
+            Port::North => Some(Direction::North),
+            Port::East => Some(Direction::East),
+            Port::South => Some(Direction::South),
+            Port::West => Some(Direction::West),
+            Port::Local => None,
+        }
+    }
+}
+
+impl From<Direction> for Port {
+    #[inline]
+    fn from(d: Direction) -> Port {
+        Port::from_index(d.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_port_indices_coincide() {
+        for d in Direction::ALL {
+            assert_eq!(Port::from(d).index(), d.index());
+        }
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn port_roundtrip() {
+        for p in Port::ALL {
+            assert_eq!(Port::from_index(p.index()), p);
+        }
+        assert_eq!(Port::Local.direction(), None);
+        assert_eq!(Port::East.direction(), Some(Direction::East));
+    }
+}

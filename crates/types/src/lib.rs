@@ -1,0 +1,36 @@
+//! # noc-types — shared bit-exact types for the SoC/NoC simulators
+//!
+//! This crate defines everything that must be agreed upon *bit for bit* by
+//! every simulation engine in the workspace (native, sequential/FPGA-style,
+//! SystemC-like, VHDL-like):
+//!
+//! * [`bits`] — packing and unpacking of arbitrary-width bit fields into
+//!   `u64` word arrays, the representation used by the sequential
+//!   simulator's state memory (Wolkotte et al., §4).
+//! * [`flit`] — the 18-bit flit encoding (2-bit kind + 16-bit payload) and
+//!   the 21-bit forward-link word (valid + VC + flit) used on router links.
+//! * [`packet`] — packetisation (flitisation) and reassembly, including the
+//!   head-flit destination/source encoding that supports the paper's
+//!   256-router maximum.
+//! * [`geom`] — router coordinates, ports and directions for the 5-port
+//!   router (North, East, South, West, Local).
+//! * [`topology`] — torus and mesh topologies of arbitrary 2-D shape
+//!   (paper §7.1: "1-by-2 to any 2 dimensional size with a maximum number
+//!   of 256 routers").
+//! * [`config`] — router and network configuration (queue depth, shape,
+//!   topology) shared by all engines.
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod config;
+pub mod flit;
+pub mod geom;
+pub mod packet;
+pub mod topology;
+
+pub use config::{NetworkConfig, RouterConfig, BE_VCS, GT_VCS, NUM_PORTS, NUM_QUEUES, NUM_VCS};
+pub use flit::{Flit, FlitKind, LinkFwd};
+pub use geom::{Coord, Direction, NodeId, Port};
+pub use packet::{PacketSpec, Reassembler, TrafficClass};
+pub use topology::{Shape, Topology};

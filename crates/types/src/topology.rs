@@ -1,0 +1,204 @@
+//! Network shapes and topologies (torus and mesh).
+//!
+//! Paper §7.1: "The topology of a network can either be a torus or a mesh,
+//! which is determined by software. [...] The software on the ARM can change
+//! the network size from 1-by-2 to any 2 dimensional size with a maximum
+//! number of 256 routers."
+
+use crate::geom::{Coord, Direction, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Rectangular network shape `w × h`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    /// Number of columns (routers along `x`).
+    pub w: u8,
+    /// Number of rows (routers along `y`).
+    pub h: u8,
+}
+
+impl Shape {
+    /// Construct a shape. The paper's simulator supports 2..=256 routers.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero or the router count exceeds 256.
+    pub fn new(w: u8, h: u8) -> Self {
+        assert!(w >= 1 && h >= 1, "degenerate shape {w}x{h}");
+        assert!(
+            (w as usize) * (h as usize) >= 2,
+            "network needs at least 2 routers (paper supports 1-by-2 up)"
+        );
+        assert!(
+            (w as usize) * (h as usize) <= 256,
+            "paper's simulator supports at most 256 routers"
+        );
+        Self { w, h }
+    }
+
+    /// Total number of routers.
+    #[inline]
+    pub const fn num_nodes(&self) -> usize {
+        self.w as usize * self.h as usize
+    }
+
+    /// Linear node id of a coordinate (row-major).
+    #[inline]
+    pub const fn node_id(&self, c: Coord) -> NodeId {
+        NodeId(c.y as u16 * self.w as u16 + c.x as u16)
+    }
+
+    /// Coordinate of a linear node id.
+    #[inline]
+    pub const fn coord(&self, n: NodeId) -> Coord {
+        Coord {
+            x: (n.0 % self.w as u16) as u8,
+            y: (n.0 / self.w as u16) as u8,
+        }
+    }
+
+    /// Iterate over all coordinates in node-id order.
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        let shape = *self;
+        (0..shape.num_nodes()).map(move |i| shape.coord(NodeId(i as u16)))
+    }
+}
+
+impl core::fmt::Display for Shape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}", self.w, self.h)
+    }
+}
+
+/// Interconnect topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topology {
+    /// 2-D torus: all neighbour links exist, edges wrap around.
+    Torus,
+    /// 2-D mesh: no wrap-around links; edge ports are tied off.
+    Mesh,
+}
+
+impl Topology {
+    /// The neighbour of `c` in direction `d`, or `None` when the link does
+    /// not exist (mesh edge).
+    pub fn neighbour(self, shape: Shape, c: Coord, d: Direction) -> Option<Coord> {
+        let (w, h) = (shape.w, shape.h);
+        match self {
+            Topology::Torus => Some(match d {
+                Direction::North => Coord::new(c.x, (c.y + 1) % h),
+                Direction::South => Coord::new(c.x, (c.y + h - 1) % h),
+                Direction::East => Coord::new((c.x + 1) % w, c.y),
+                Direction::West => Coord::new((c.x + w - 1) % w, c.y),
+            }),
+            Topology::Mesh => match d {
+                Direction::North if c.y + 1 < h => Some(Coord::new(c.x, c.y + 1)),
+                Direction::South if c.y > 0 => Some(Coord::new(c.x, c.y - 1)),
+                Direction::East if c.x + 1 < w => Some(Coord::new(c.x + 1, c.y)),
+                Direction::West if c.x > 0 => Some(Coord::new(c.x - 1, c.y)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Hop distance between two coordinates under dimension-ordered routing.
+    pub fn distance(self, shape: Shape, a: Coord, b: Coord) -> usize {
+        let dim = |p: u8, q: u8, n: u8| -> usize {
+            let d = (p as i32 - q as i32).unsigned_abs() as usize;
+            match self {
+                Topology::Mesh => d,
+                Topology::Torus => d.min(n as usize - d),
+            }
+        };
+        dim(a.x, b.x, shape.w) + dim(a.y, b.y, shape.h)
+    }
+
+    /// Maximum hop distance between any pair (network diameter).
+    pub fn diameter(self, shape: Shape) -> usize {
+        let dim = |n: u8| -> usize {
+            match self {
+                Topology::Mesh => n as usize - 1,
+                Topology::Torus => n as usize / 2,
+            }
+        };
+        dim(shape.w) + dim(shape.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_coord_roundtrip() {
+        let s = Shape::new(6, 6);
+        for c in s.coords() {
+            assert_eq!(s.coord(s.node_id(c)), c);
+        }
+        assert_eq!(s.num_nodes(), 36);
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let s = Shape::new(4, 3);
+        let t = Topology::Torus;
+        assert_eq!(
+            t.neighbour(s, Coord::new(3, 0), Direction::East),
+            Some(Coord::new(0, 0))
+        );
+        assert_eq!(
+            t.neighbour(s, Coord::new(0, 0), Direction::South),
+            Some(Coord::new(0, 2))
+        );
+    }
+
+    #[test]
+    fn mesh_edges_are_unconnected() {
+        let s = Shape::new(4, 3);
+        let m = Topology::Mesh;
+        assert_eq!(m.neighbour(s, Coord::new(3, 0), Direction::East), None);
+        assert_eq!(m.neighbour(s, Coord::new(0, 0), Direction::South), None);
+        assert_eq!(
+            m.neighbour(s, Coord::new(0, 0), Direction::North),
+            Some(Coord::new(0, 1))
+        );
+    }
+
+    #[test]
+    fn torus_neighbour_is_symmetric() {
+        let s = Shape::new(5, 4);
+        let t = Topology::Torus;
+        for c in s.coords() {
+            for d in Direction::ALL {
+                let n = t.neighbour(s, c, d).unwrap();
+                assert_eq!(t.neighbour(s, n, d.opposite()), Some(c));
+            }
+        }
+    }
+
+    #[test]
+    fn distances() {
+        let s = Shape::new(6, 6);
+        assert_eq!(
+            Topology::Torus.distance(s, Coord::new(0, 0), Coord::new(5, 5)),
+            2
+        );
+        assert_eq!(
+            Topology::Mesh.distance(s, Coord::new(0, 0), Coord::new(5, 5)),
+            10
+        );
+        assert_eq!(Topology::Torus.diameter(s), 6);
+        assert_eq!(Topology::Mesh.diameter(s), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversize_network_rejected() {
+        let _ = Shape::new(17, 16);
+    }
+
+    #[test]
+    fn paper_min_size_accepted() {
+        let s = Shape::new(2, 1); // "1-by-2"
+        assert_eq!(s.num_nodes(), 2);
+    }
+}

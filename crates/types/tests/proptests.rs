@@ -1,0 +1,100 @@
+//! Property tests for the bit-exact primitives everything else builds
+//! on: arbitrary-width bit fields, flit/link encodings, packetisation.
+
+use noc_types::bits::{get_bits, set_bits, words_for_bits};
+use noc_types::{Coord, Flit, FlitKind, LinkFwd, NodeId, PacketSpec, Reassembler, TrafficClass};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bit_field_roundtrip_and_isolation(
+        offset in 0usize..200,
+        width in 1usize..=64,
+        value: u64,
+        background: u64,
+    ) {
+        let words = words_for_bits(offset + width).max(4);
+        let mut buf = vec![background; words];
+        let snapshot = buf.clone();
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        set_bits(&mut buf, offset, width, value & mask);
+        // The field reads back.
+        prop_assert_eq!(get_bits(&buf, offset, width), value & mask);
+        // Bits before and after are untouched.
+        if offset > 0 {
+            prop_assert_eq!(
+                get_bits(&buf, 0, offset.min(64)),
+                get_bits(&snapshot, 0, offset.min(64))
+            );
+        }
+        let after = offset + width;
+        if after + 8 <= words * 64 {
+            prop_assert_eq!(get_bits(&buf, after, 8), get_bits(&snapshot, after, 8));
+        }
+    }
+
+    #[test]
+    fn adjacent_fields_do_not_interfere(
+        w1 in 1usize..=21,
+        w2 in 1usize..=21,
+        v1: u64,
+        v2: u64,
+    ) {
+        let mut buf = vec![0u64; 2];
+        let m1 = (1u64 << w1) - 1;
+        let m2 = (1u64 << w2) - 1;
+        set_bits(&mut buf, 0, w1, v1 & m1);
+        set_bits(&mut buf, w1, w2, v2 & m2);
+        prop_assert_eq!(get_bits(&buf, 0, w1), v1 & m1);
+        prop_assert_eq!(get_bits(&buf, w1, w2), v2 & m2);
+    }
+
+    #[test]
+    fn flit_and_link_word_roundtrip(kind in 0u8..4, payload: u16, vc in 0u8..4) {
+        let f = Flit {
+            kind: FlitKind::from_bits(kind as u64),
+            payload,
+        };
+        prop_assert_eq!(Flit::from_bits(f.to_bits()), f);
+        let w = LinkFwd::flit(vc, f);
+        prop_assert_eq!(LinkFwd::from_bits(w.to_bits()), w);
+    }
+
+    #[test]
+    fn packets_survive_flitise_reassemble(
+        src in 0u16..256,
+        dx in 0u8..16,
+        dy in 0u8..16,
+        flits in 1usize..200,
+        vc in 0u8..4,
+        seed: u16,
+    ) {
+        let spec = PacketSpec {
+            src: NodeId(src),
+            dest: Coord::new(dx, dy),
+            class: TrafficClass::BestEffort,
+            flits,
+        };
+        let stream = spec.flitise(|i| seed.wrapping_add(i as u16));
+        prop_assert_eq!(stream.len(), flits);
+        let mut r = Reassembler::new();
+        for (i, f) in stream.iter().enumerate() {
+            r.push(i as u64, vc, *f);
+        }
+        prop_assert_eq!(r.completed.len(), 1);
+        let p = &r.completed[0];
+        prop_assert_eq!(p.src_tag, src as u8);
+        prop_assert_eq!(p.flits, flits);
+        prop_assert_eq!(p.vc, vc);
+        if flits > 1 {
+            prop_assert_eq!(p.first_body, Some(seed));
+        }
+    }
+
+    #[test]
+    fn head_flit_addressing_roundtrips(x in 0u8..16, y in 0u8..16, tag: u8) {
+        let h = Flit::head(Coord::new(x, y), tag);
+        prop_assert_eq!(h.dest(), Coord::new(x, y));
+        prop_assert_eq!(h.src_tag(), tag);
+    }
+}

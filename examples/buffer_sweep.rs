@@ -1,0 +1,101 @@
+//! **Queue-depth ablation** — the design study that motivated the
+//! simulator in the first place (paper §3: "we found that buffers require
+//! a relatively large amount of area and energy. So we would like to redo
+//! the simulation of Figure 1 with different buffer sizes and investigate
+//! what the effect of buffer size on performance [...] is").
+//!
+//! Reruns the Fig 1 workload for queue depths 2, 4 and 8 at several BE
+//! loads and reports latency plus the register cost per router of each
+//! depth (the performance/area trade-off).
+//!
+//! ```text
+//! cargo run --release --example buffer_sweep
+//! ```
+
+use noc::{run_fig1_point, NativeNoc, RunConfig};
+use noc_types::{NetworkConfig, Topology};
+use platform::energy::noc_types_run::RunLike;
+use platform::EnergyParams;
+use rayon::prelude::*;
+use stats::Table;
+use vc_router::{IfaceConfig, RegisterLayout};
+
+fn main() {
+    let rc = RunConfig {
+        warmup: 2_000,
+        measure: 20_000,
+        drain: 5_000,
+        period: 512,
+        backlog_limit: 16_384,
+    };
+    let depths = [2usize, 4, 8];
+    let loads = [0.05f64, 0.10, 0.14];
+
+    let results: Vec<(usize, f64, noc::RunReport)> = depths
+        .iter()
+        .flat_map(|&d| loads.iter().map(move |&l| (d, l)))
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(depth, load)| {
+            let cfg = NetworkConfig::new(6, 6, Topology::Torus, depth);
+            let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+            (depth, load, run_fig1_point(&mut engine, load, 2024, &rc))
+        })
+        .collect();
+
+    let energy = EnergyParams::default();
+    let mut t = Table::new(
+        "Queue-depth ablation — Fig 1 workload, 6x6 torus (energy model: platform::energy)",
+        &[
+            "depth", "regs/router", "BE load", "GT mean", "GT max", "BE mean", "BE p99",
+            "delivered", "pJ/flit",
+        ],
+    );
+    for (depth, load, r) in &results {
+        let e = energy.estimate_run(
+            &RunLike {
+                nodes: 36,
+                cycles: r.throughput.cycles,
+                injected_flits: r.throughput.injected_flits,
+                delivered_flits: r.throughput.delivered_flits,
+            },
+            *depth,
+            3.0, // mean hop count of the Fig 1 workload
+        );
+        t.row(&[
+            depth.to_string(),
+            RegisterLayout::new(*depth).total_bits().to_string(),
+            format!("{load:.2}"),
+            format!("{:.1}", r.gt.mean),
+            r.gt.max.to_string(),
+            format!("{:.1}", r.be.mean),
+            r.be.p99.to_string(),
+            r.throughput.delivered_packets.to_string(),
+            format!("{:.1}", e.per_flit_pj(r.throughput.delivered_flits)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // The trade-off statement the study was after.
+    let gt_at = |d: usize, l: f64| {
+        results
+            .iter()
+            .find(|(dd, ll, _)| *dd == d && (*ll - l).abs() < 1e-9)
+            .map(|(_, _, r)| r.gt.mean)
+            .unwrap()
+    };
+    let l2 = RegisterLayout::new(2).total_bits();
+    let l8 = RegisterLayout::new(8).total_bits();
+    println!(
+        "deeper buffers cost {:.1}x the registers (depth 8 vs 2: {} vs {} bits)",
+        l8 as f64 / l2 as f64,
+        l8,
+        l2
+    );
+    println!(
+        "and improve GT mean latency at 0.14 load by {:.1} cycles ({:.1} -> {:.1})",
+        gt_at(2, 0.14) - gt_at(8, 0.14),
+        gt_at(2, 0.14),
+        gt_at(8, 0.14)
+    );
+}

@@ -1,0 +1,88 @@
+//! **Figure 1 reproduction** — "Delay of the GT and BE packets vs. BE
+//! load for 6-by-6 network (queue size 2 flits)".
+//!
+//! Sweeps the offered best-effort load from 0 to 0.14 of channel capacity
+//! per PE on a 6×6 torus with 2-flit queues, one 256-byte GT stream per
+//! node, 10-byte BE packets with uniform random destinations — and prints
+//! the four series of the figure: the analytic guarantee, GT mean, GT max
+//! and BE mean latency.
+//!
+//! ```text
+//! cargo run --release --example latency_sweep [--csv]
+//! ```
+
+use noc::{fig1_guarantee, run_fig1_point, NativeNoc, RunConfig};
+use noc_types::NetworkConfig;
+use rayon::prelude::*;
+use stats::{Series, Table};
+use vc_router::IfaceConfig;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let cfg = NetworkConfig::fig1(); // 6x6 torus, 2-flit queues
+    let guarantee = fig1_guarantee(cfg) as f64;
+    let rc = RunConfig {
+        warmup: 3_000,
+        measure: 30_000,
+        drain: 6_000,
+        period: 512,
+        backlog_limit: 16_384,
+    };
+    let loads: Vec<f64> = (0..=14).map(|i| i as f64 / 100.0).collect();
+
+    // The sweep points are independent — a rayon parallel map, one
+    // engine per point.
+    let mut points: Vec<(f64, noc::RunReport)> = loads
+        .par_iter()
+        .map(|&load| {
+            let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+            (load, run_fig1_point(&mut engine, load, 1337, &rc))
+        })
+        .collect();
+    points.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut series = Series::new("be_load", &["guarantee", "gt_mean", "gt_max", "be_mean"]);
+    let mut table = Table::new(
+        "Figure 1 — GT/BE latency vs BE load (6x6 torus, queue depth 2)",
+        &["BE load", "Guarantee", "GT mean", "GT max", "BE mean", "saturated"],
+    );
+    for (load, r) in &points {
+        series.push(*load, &[guarantee, r.gt.mean, r.gt.max as f64, r.be.mean]);
+        table.row(&[
+            format!("{load:.2}"),
+            format!("{guarantee:.0}"),
+            format!("{:.1}", r.gt.mean),
+            format!("{}", r.gt.max),
+            if r.be.count > 0 {
+                format!("{:.1}", r.be.mean)
+            } else {
+                "-".into()
+            },
+            format!("{}", r.saturated),
+        ]);
+    }
+    if csv {
+        print!("{}", series.to_csv());
+    } else {
+        println!("{}", table.render());
+        // The properties the paper's figure exhibits.
+        let gt_max_peak = points.iter().map(|(_, r)| r.gt.max).max().unwrap();
+        println!("paper shape checks:");
+        println!(
+            "  GT max ({} cycles) stays below the guarantee ({:.0}): {}",
+            gt_max_peak,
+            guarantee,
+            gt_max_peak as f64 <= guarantee
+        );
+        let first = &points.first().unwrap().1;
+        let last = &points.last().unwrap().1;
+        println!(
+            "  GT latency rises with BE load: {:.1} -> {:.1}",
+            first.gt.mean, last.gt.mean
+        );
+        println!(
+            "  GT latency exceeds BE latency (larger packets): {:.1} vs {:.1}",
+            last.gt.mean, last.be.mean
+        );
+    }
+}

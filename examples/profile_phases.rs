@@ -1,0 +1,107 @@
+//! **Table 4 reproduction** — "Profile information": the share of time
+//! spent in each of the five simulation phases.
+//!
+//! Two views are printed:
+//!
+//! 1. the *platform model* (ARM9 at 86 MHz + memory interface + FPGA),
+//!    which reproduces the paper's ranges — generation dominates because
+//!    the 2004 ARM is slow relative to the FPGA simulator;
+//! 2. the *measured host profile* of this repository's software runner,
+//!    where the simulate phase dominates instead (a 2026 CPU generates
+//!    stimuli far faster than it can cycle-accurately simulate) — the
+//!    same loop, opposite bottleneck, which is exactly the contrast the
+//!    paper's FPGA created.
+//!
+//! ```text
+//! cargo run --release --example profile_phases
+//! ```
+
+use noc::{run_fig1_point, NativeNoc, RunConfig};
+use noc_types::NetworkConfig;
+use platform::{FpgaTimingModel, PhaseParams, Scenario};
+use stats::table::fmt_pct;
+use stats::Table;
+use vc_router::IfaceConfig;
+
+fn main() {
+    let params = PhaseParams::default();
+    let timing = FpgaTimingModel::default();
+    let scenarios = [
+        ("light load, light analysis", Scenario::grid6x6(0.05, false)),
+        ("mid load, light analysis", Scenario::grid6x6(0.10, false)),
+        ("mid load, heavy analysis", Scenario::grid6x6(0.10, true)),
+        ("high load, heavy analysis", Scenario::grid6x6(0.14, true)),
+    ];
+
+    let mut lo = [f64::MAX; 5];
+    let mut hi = [f64::MIN; 5];
+    let mut t = Table::new(
+        "Table 4 (model) — time share per phase, ARM9 + Virtex-II platform",
+        &["Scenario", "generate", "load", "simulate", "retrieve", "analyse", "cps"],
+    );
+    for (name, sc) in &scenarios {
+        let b = params.evaluate(&timing, sc);
+        let s = b.shares();
+        for i in 0..5 {
+            lo[i] = lo[i].min(s[i]);
+            hi[i] = hi[i].max(s[i]);
+        }
+        t.row(&[
+            name.to_string(),
+            fmt_pct(s[0]),
+            fmt_pct(s[1]),
+            fmt_pct(s[2]),
+            fmt_pct(s[3]),
+            fmt_pct(s[4]),
+            format!("{:.1} kHz", b.cps() / 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut ranges = Table::new(
+        "Modelled ranges vs paper",
+        &["Simulation step", "this model", "paper"],
+    );
+    let paper = ["45-65 %", "10-20 %", "0-2 %", "5-15 %", "5-40 %"];
+    let names = [
+        "Generate stimuli (ARM)",
+        "Load stimuli (ARM / FPGA)",
+        "Simulation (FPGA)",
+        "Retrieve results (ARM / FPGA)",
+        "Analyze results (ARM)",
+    ];
+    for i in 0..5 {
+        ranges.row(&[
+            names[i].into(),
+            format!("{:.0}-{:.0} %", lo[i] * 100.0, hi[i] * 100.0),
+            paper[i].into(),
+        ]);
+    }
+    println!("{}", ranges.render());
+
+    // Measured host-side profile of the software runner.
+    let cfg = NetworkConfig::fig1();
+    let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+    let rc = RunConfig {
+        warmup: 1_000,
+        measure: 10_000,
+        drain: 2_000,
+        period: 512,
+        backlog_limit: 16_384,
+    };
+    let r = run_fig1_point(&mut engine, 0.10, 11, &rc);
+    let mut host = Table::new(
+        "Measured host profile (this machine, native engine, 6x6 @ BE 0.10)",
+        &["Phase", "share"],
+    );
+    for (name, _, share) in &r.profile {
+        host.row(&[name.to_string(), fmt_pct(*share)]);
+    }
+    println!("{}", host.render());
+    println!(
+        "note: on 2026 hardware the simulate phase dominates ({}), while the",
+        fmt_pct(r.profile.iter().find(|p| p.0 == "simulate").map(|p| p.2).unwrap_or(0.0))
+    );
+    println!("paper's ARM9 spent most time generating stimuli — the asymmetry the");
+    println!("FPGA offload exploited in 2007 and a fast CPU removes today.");
+}

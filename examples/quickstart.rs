@@ -1,0 +1,58 @@
+//! Quickstart: build a NoC, offer mixed GT + BE traffic, print latency
+//! statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use noc::{run_fig1_point, NativeNoc, RunConfig};
+use noc_types::{NetworkConfig, Topology};
+use stats::table::{fmt_f, fmt_hz};
+use vc_router::IfaceConfig;
+
+fn main() {
+    // A 4x4 torus with the paper's default 4-flit queues.
+    let cfg = NetworkConfig::new(4, 4, Topology::Torus, 4);
+    let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+
+    // One GT stream per node plus 5% best-effort load, seeded.
+    let rc = RunConfig {
+        warmup: 1_000,
+        measure: 10_000,
+        drain: 3_000,
+        period: 512,
+        backlog_limit: 8_192,
+    };
+    let report = run_fig1_point(&mut engine, 0.05, 42, &rc);
+
+    println!("network        : {} {:?}", cfg.shape, cfg.topology);
+    println!("engine         : {}", report.engine);
+    println!("cycles         : {}", report.cycles);
+    println!("wall           : {:.3} s", report.wall.as_secs_f64());
+    println!("speed          : {}", fmt_hz(report.cps()));
+    println!();
+    println!(
+        "GT packets     : {:>6}   mean {:>7} max {:>5}",
+        report.gt.count,
+        fmt_f(report.gt.mean, 1),
+        report.gt.max
+    );
+    println!(
+        "BE packets     : {:>6}   mean {:>7} max {:>5}",
+        report.be.count,
+        fmt_f(report.be.mean, 1),
+        report.be.max
+    );
+    println!(
+        "access delay   : mean {} cycles (p99 {})",
+        fmt_f(report.access.mean, 1),
+        report.access.p99
+    );
+    println!(
+        "delivered      : {} packets / {} flits",
+        report.throughput.delivered_packets, report.throughput.delivered_flits
+    );
+    println!("saturated      : {}", report.saturated);
+    assert!(!report.saturated);
+    assert!(report.gt.count > 0 && report.be.count > 0);
+}

@@ -1,0 +1,125 @@
+//! **Tables 1 & 2 reproduction** — per-router register budget and FPGA
+//! resource usage, plus the §4 direct-instantiation limit.
+//!
+//! Table 1 is computed exactly from the implemented register layout;
+//! Table 2's BlockRAM column is computed from the memory geometry and its
+//! CLB column from calibrated logic estimates (see
+//! `platform::resources`). The paper's synthesis numbers are printed
+//! alongside.
+//!
+//! ```text
+//! cargo run --release --example resource_report
+//! ```
+
+use platform::{FpgaDevice, ResourceModel};
+use stats::Table;
+use vc_router::RegisterLayout;
+
+fn main() {
+    // ---- Table 1 ----
+    let mut t1 = Table::new(
+        "Table 1 — required registers per router (bits)",
+        &["Group", "this repo (depth 4)", "paper", "depth 2", "depth 8"],
+    );
+    let l4 = RegisterLayout::new(4);
+    let l2 = RegisterLayout::new(2);
+    let l8 = RegisterLayout::new(8);
+    for (((g4, gp), g2), g8) in l4
+        .groups()
+        .iter()
+        .zip(RegisterLayout::paper_groups())
+        .zip(l2.groups())
+        .zip(l8.groups())
+    {
+        t1.row(&[
+            g4.name.to_string(),
+            g4.bits.to_string(),
+            gp.bits.to_string(),
+            g2.bits.to_string(),
+            g8.bits.to_string(),
+        ]);
+    }
+    t1.row(&[
+        "Total".into(),
+        l4.total_bits().to_string(),
+        "2112".into(),
+        l2.total_bits().to_string(),
+        l8.total_bits().to_string(),
+    ]);
+    println!("{}", t1.render());
+
+    // ---- Table 2 ----
+    let model = ResourceModel::paper_build();
+    let dev = FpgaDevice::virtex2_8000();
+    let mut t2 = Table::new(
+        "Table 2 — FPGA resource usage (256 routers, Virtex-II 8000)",
+        &["Block", "CLB (model)", "CLB (paper)", "RAM (model)", "RAM (paper)"],
+    );
+    for (m, p) in model.table2().iter().zip(ResourceModel::paper_table2()) {
+        t2.row(&[
+            m.block.to_string(),
+            m.clb.to_string(),
+            p.clb.to_string(),
+            m.ram.to_string(),
+            p.ram.to_string(),
+        ]);
+    }
+    let (clb, ram) = model.totals();
+    t2.row(&[
+        "Total".into(),
+        format!("{clb} ({:.0} %)", 100.0 * clb as f64 / dev.slices as f64),
+        "7053 (15 %)".into(),
+        format!("{ram} ({:.0} %)", 100.0 * ram as f64 / dev.brams as f64),
+        "139 (82 %)".into(),
+    ]);
+    println!("{}", t2.render());
+    println!(
+        "limiting factor: BlockRAM ({:.0} % used vs {:.0} % CLB) — the paper's central observation",
+        100.0 * ram as f64 / dev.brams as f64,
+        100.0 * clb as f64 / dev.slices as f64
+    );
+    println!();
+
+    // ---- §4: direct instantiation vs the sequential method ----
+    let mut t3 = Table::new(
+        "Direct instantiation vs sequential simulation (Virtex-II 8000)",
+        &["Approach", "max routers", "paper"],
+    );
+    t3.row(&[
+        "direct, 6-bit datapath".into(),
+        model.max_direct_routers(&dev, 6).to_string(),
+        "~24".into(),
+    ]);
+    t3.row(&[
+        "direct, 16-bit datapath".into(),
+        model.max_direct_routers(&dev, 16).to_string(),
+        "-".into(),
+    ]);
+    t3.row(&[
+        "sequential simulator".into(),
+        model.max_sequential_routers(&dev).to_string(),
+        "256".into(),
+    ]);
+    println!("{}", t3.render());
+
+    // ---- §6: smaller FPGAs ----
+    let mut t4 = Table::new(
+        "Sequential-simulator capacity on smaller devices (§6)",
+        &["Device", "slices", "BRAM", "max routers"],
+    );
+    for (name, slices, brams) in [
+        ("Virtex-II 8000", 46_592usize, 168usize),
+        ("Virtex-II 4000", 23_040, 120),
+        ("Virtex-II 2000", 10_752, 56),
+        ("Virtex-II 1000", 5_120, 40),
+    ] {
+        let dev = FpgaDevice { name: "d", slices, brams };
+        t4.row(&[
+            name.into(),
+            slices.to_string(),
+            brams.to_string(),
+            model.max_sequential_routers(&dev).to_string(),
+        ]);
+    }
+    println!("{}", t4.render());
+}

@@ -1,0 +1,57 @@
+//! **Figures 2–5 reproduction** — the paper's running examples of the
+//! sequential simulation method.
+//!
+//! * Fig 2/3: the three-block system with *registered* boundaries,
+//!   simulated with the static schedule — each block evaluated exactly
+//!   once per system cycle, state banks swapped by the offset pointer.
+//! * Fig 4/5: the three-block system with *combinatorial* boundaries,
+//!   simulated with the dynamic (HBR) schedule — re-evaluations appear
+//!   whenever a link value changes after its consumer already read it,
+//!   and their number depends on the evaluation order.
+//!
+//! ```text
+//! cargo run --release --example schedule_trace
+//! ```
+
+use seqsim::demo::{comb_demo, registered_demo};
+use seqsim::{DynamicEngine, StaticEngine};
+
+fn main() {
+    println!("== Fig 3: static schedule, registered boundaries ==");
+    let (spec, regs) = registered_demo([1, 2, 3]);
+    let mut eng = StaticEngine::new(spec);
+    eng.enable_trace();
+    eng.run(3);
+    println!("{}", eng.trace().unwrap().render());
+    println!(
+        "registers after 3 cycles: R1={} R2={} R3={}",
+        eng.link_value(regs[0]),
+        eng.link_value(regs[1]),
+        eng.link_value(regs[2])
+    );
+    println!(
+        "delta cycles: {} (3 blocks x 3 cycles — no re-evaluation possible)",
+        eng.stats().delta_cycles
+    );
+
+    println!();
+    println!("== Fig 5: dynamic schedule, combinatorial boundaries ==");
+    for order in [vec![0usize, 1, 2], vec![2, 1, 0]] {
+        let (spec, _) = comb_demo();
+        let mut eng = DynamicEngine::with_order(spec, order.clone());
+        eng.enable_trace();
+        eng.run(3);
+        let trace = eng.trace().unwrap();
+        println!("-- evaluation order {order:?} --");
+        println!("{}", trace.render());
+        println!(
+            "delta cycles: {} (minimum 9); re-evaluations at {:?}",
+            eng.stats().delta_cycles,
+            trace.re_evaluations()
+        );
+        println!();
+    }
+    println!("The behaviour is identical for both orders (verified by the");
+    println!("test suite); only the delta-cycle count differs — the paper's");
+    println!("point about the dynamic schedule's evaluation-order freedom.");
+}

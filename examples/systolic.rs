@@ -1,0 +1,49 @@
+//! **Systolic-array case study** (paper §7.1) — the sequential simulation
+//! framework applied to a non-NoC design: an output-stationary systolic
+//! matrix multiplier ("systolic algorithms with many equal parts with a
+//! small state space").
+//!
+//! ```text
+//! cargo run --release --example systolic
+//! ```
+
+use seqsim::systolic::{reference_multiply, SystolicArray};
+use stats::Table;
+
+fn main() {
+    let n = 8;
+    let a: Vec<Vec<u16>> = (0..n)
+        .map(|r| (0..n).map(|c| (r * 31 + c * 7 + 1) as u16).collect())
+        .collect();
+    let b: Vec<Vec<u16>> = (0..n)
+        .map(|r| (0..n).map(|c| (r * 13 + c * 3 + 2) as u16).collect())
+        .collect();
+
+    let mut arr = SystolicArray::new(n);
+    let got = arr.multiply(&a, &b);
+    let want = reference_multiply(&a, &b);
+    assert_eq!(got, want);
+
+    let stats = arr.stats();
+    let mut t = Table::new(
+        &format!("{n}x{n} output-stationary systolic multiply on the static sequential engine"),
+        &["metric", "value"],
+    );
+    t.row(&["result verified vs reference".into(), "true".into()]);
+    t.row(&["system cycles".into(), stats.system_cycles.to_string()]);
+    t.row(&["delta cycles".into(), stats.delta_cycles.to_string()]);
+    t.row(&[
+        "delta cycles / system cycle".into(),
+        format!(
+            "{:.1} (= n^2 = {}, the static-schedule minimum)",
+            stats.avg_deltas_per_cycle(),
+            n * n
+        ),
+    ]);
+    t.row(&[
+        "PE state".into(),
+        "40-bit accumulator only — operand pipelining lives in the link memory".into(),
+    ]);
+    println!("{}", t.render());
+    println!("C[0][0] = {}, C[{m}][{m}] = {}", got[0][0], got[n - 1][n - 1], m = n - 1);
+}

@@ -1,0 +1,30 @@
+//! # soc-sim — sequential bit/cycle-accurate SoC (NoC) simulation
+//!
+//! Meta-crate re-exporting the full public API of the workspace, a Rust
+//! reproduction of Wolkotte, Hölzenspies and Smit, *"Using an FPGA for Fast
+//! Bit Accurate SoC Simulation"*, IPDPS 2007.
+//!
+//! See the individual crates for the pieces:
+//!
+//! * [`seqsim`] — the paper's contribution: the sequential simulation
+//!   framework (double-buffered state memory, HBR link memory, static and
+//!   dynamic schedulers).
+//! * [`vc_router`] — the bit-accurate virtual-channel wormhole router.
+//! * [`rtl_kernel`] / [`cyclesim`] — the VHDL-like and SystemC-like
+//!   baseline simulation kernels.
+//! * [`noc`] — network assembly over all engines and the unified `NocSim`
+//!   API.
+//! * [`traffic`], [`stats`], [`platform`] — traffic generation, statistics
+//!   and the ARM+FPGA platform model.
+
+#![warn(missing_docs)]
+
+pub use cyclesim;
+pub use noc;
+pub use noc_types;
+pub use platform;
+pub use rtl_kernel;
+pub use seqsim;
+pub use stats;
+pub use traffic;
+pub use vc_router;

@@ -1,0 +1,63 @@
+//! Every block kind in the repository must satisfy the sequential
+//! simulator's evaluation contract (determinism under re-evaluation,
+//! outputs within declared widths) — checked mechanically by
+//! `seqsim::check` over random probe vectors. This is the verification
+//! half of the paper's "automatic transformations should be possible"
+//! remark about the register extraction.
+
+use noc_types::{NetworkConfig, Topology};
+use seqsim::check::{check_block, random_probes};
+use seqsim::demo::{CombDemoKind, RegisteredDemoKind};
+use seqsim::systolic::SystolicPe;
+use seqsim::BlockKind;
+use vc_router::circuit::CsRouterBlock;
+use vc_router::{IfaceConfig, RouterBlock};
+
+fn assert_clean(kind: &dyn BlockKind, instances: usize) {
+    for instance in 0..instances {
+        let probes = random_probes(kind, 24, 0xC0FFEE + instance as u64);
+        let v = check_block(kind, instance, &probes);
+        assert!(
+            v.is_empty(),
+            "{} instance {instance} violates the contract: {v:?}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn packet_router_block_satisfies_contract() {
+    for depth in [2usize, 4, 8] {
+        let cfg = NetworkConfig::new(3, 3, Topology::Torus, depth);
+        let block = RouterBlock::new(cfg, IfaceConfig::default(), cfg.shape.coords().collect());
+        // Reset-state probes for every instance position; random-state
+        // probes would violate the router's own structural invariants
+        // (e.g. owner pointing at a queue whose front is a head flit), so
+        // the generator alternates reset and random *inputs* instead.
+        let probes: Vec<_> = random_probes(&block, 16, depth as u64)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0) // keep the reset-state probes
+            .map(|(_, p)| p)
+            .collect();
+        for instance in 0..9 {
+            let v = check_block(&block, instance, &probes);
+            assert!(v.is_empty(), "depth {depth} instance {instance}: {v:?}");
+        }
+    }
+}
+
+#[test]
+fn circuit_router_block_satisfies_contract() {
+    let block = CsRouterBlock::new(IfaceConfig::default());
+    assert_clean(&block, 1);
+}
+
+#[test]
+fn demo_and_systolic_blocks_satisfy_contract() {
+    assert_clean(&RegisteredDemoKind::new(0), 1);
+    assert_clean(&RegisteredDemoKind::new(1), 1);
+    assert_clean(&CombDemoKind::new(0), 1);
+    assert_clean(&CombDemoKind::new(1), 1);
+    assert_clean(&SystolicPe, 1);
+}

@@ -1,0 +1,68 @@
+//! Figure 1 shape checks — the qualitative properties of the paper's
+//! latency plot must hold on the Fig 1 configuration (6×6 torus, 2-flit
+//! queues): the GT guarantee is never violated, latencies rise with BE
+//! load, GT packets (256 B) are slower than BE packets (10 B), and the
+//! guarantee line is flat.
+
+use noc::{fig1_guarantee, run_fig1_point, NativeNoc, RunConfig};
+use noc_types::NetworkConfig;
+use vc_router::IfaceConfig;
+
+fn rc() -> RunConfig {
+    RunConfig {
+        warmup: 1_000,
+        measure: 8_000,
+        drain: 3_000,
+        period: 512,
+        backlog_limit: 16_384,
+    }
+}
+
+#[test]
+fn fig1_shape_holds() {
+    let cfg = NetworkConfig::fig1();
+    let guarantee = fig1_guarantee(cfg);
+    assert!(
+        (450..650).contains(&guarantee),
+        "guarantee {guarantee} outside the paper's plot range"
+    );
+    let loads = [0.0f64, 0.07, 0.14];
+    let reports: Vec<_> = loads
+        .iter()
+        .map(|&l| {
+            let mut e = NativeNoc::new(cfg, IfaceConfig::default());
+            run_fig1_point(&mut e, l, 99, &rc())
+        })
+        .collect();
+
+    for (l, r) in loads.iter().zip(&reports) {
+        assert!(!r.saturated, "saturated at BE load {l}");
+        assert!(r.gt.count > 50, "too few GT packets at {l}");
+        // The headline guarantee: "the maximum GT latency never exceeds
+        // the guaranteed latency".
+        assert!(
+            r.gt.max <= guarantee,
+            "GT max {} exceeds guarantee {guarantee} at load {l}",
+            r.gt.max
+        );
+    }
+    // Latencies rise with BE load.
+    assert!(reports[0].gt.mean < reports[1].gt.mean);
+    assert!(reports[1].gt.mean < reports[2].gt.mean);
+    assert!(reports[1].be.mean < reports[2].be.mean);
+    // "the latency of the GT packets is higher than the latency of the BE
+    // traffic because the GT packets are larger".
+    assert!(reports[2].gt.mean > 5.0 * reports[2].be.mean);
+}
+
+#[test]
+fn be_only_network_has_low_latency() {
+    // Without GT interference, light BE traffic crosses in near-minimal
+    // time: ~hops + serialization + injection overhead.
+    let cfg = NetworkConfig::fig1();
+    let mut e = NativeNoc::new(cfg, IfaceConfig::default());
+    let r = run_fig1_point(&mut e, 0.02, 5, &rc());
+    // run_fig1_point always adds GT streams; judge the BE class only.
+    assert!(r.be.count > 100);
+    assert!(r.be.mean < 30.0, "BE mean {} too high at 2% load", r.be.mean);
+}

@@ -1,0 +1,62 @@
+//! The guaranteed-throughput property across configurations: for every
+//! admitted GT stream, the measured worst-case packet latency stays below
+//! the analytic guarantee regardless of BE interference — the property
+//! Fig 1 plots and §2.1 argues from the round-robin arbitration.
+
+use noc::{run, NativeNoc, RunConfig};
+use noc_types::{NetworkConfig, Topology};
+use traffic::{BeConfig, GtAllocator, StimuliGenerator, TrafficConfig};
+use vc_router::IfaceConfig;
+
+fn check_guarantee(net: NetworkConfig, be_load: f64, seed: u64) {
+    let mut alloc = GtAllocator::new(net);
+    let streams = alloc.auto_streams((2, 1), 2048, 128);
+    assert!(!streams.is_empty());
+    let worst_guarantee = streams.iter().map(|s| s.guarantee()).max().unwrap();
+    let mut gen = StimuliGenerator::new(TrafficConfig {
+        net,
+        be: BeConfig::fig1(be_load),
+        gt_streams: streams,
+        seed,
+    });
+    let mut engine = NativeNoc::new(net, IfaceConfig::default());
+    let rc = RunConfig {
+        warmup: 1_000,
+        measure: 8_000,
+        drain: 3_000,
+        period: 512,
+        backlog_limit: 16_384,
+    };
+    let r = run(&mut engine, &mut gen, &rc);
+    assert!(r.gt.count > 30, "too few GT packets measured");
+    assert!(
+        r.gt.max <= worst_guarantee,
+        "GT max {} exceeds guarantee {} (net {:?}, BE {})",
+        r.gt.max,
+        worst_guarantee,
+        net,
+        be_load
+    );
+}
+
+#[test]
+fn guarantee_holds_on_fig1_network_high_load() {
+    check_guarantee(NetworkConfig::fig1(), 0.14, 1);
+}
+
+#[test]
+fn guarantee_holds_with_deep_queues() {
+    check_guarantee(NetworkConfig::new(6, 6, Topology::Torus, 8), 0.14, 2);
+}
+
+#[test]
+fn guarantee_holds_on_small_torus() {
+    check_guarantee(NetworkConfig::new(4, 4, Topology::Torus, 2), 0.12, 3);
+}
+
+#[test]
+fn guarantee_holds_across_seeds() {
+    for seed in [10u64, 20, 30] {
+        check_guarantee(NetworkConfig::fig1(), 0.10, seed);
+    }
+}

@@ -1,0 +1,113 @@
+//! Link probing (paper §5.2: "Two extra cyclic buffers make it possible
+//! to log 1) the traffic of a specific link ..."): every engine exposes
+//! the settled forward-link word of any directed link; the probed streams
+//! must agree bit-for-bit across engines, and link utilisation must track
+//! offered load.
+
+use cyclesim::CycleNoc;
+use noc::{NativeNoc, NocEngine, SeqNoc};
+use noc_types::{NetworkConfig, Topology};
+use rtl_kernel::RtlNoc;
+use traffic::{BeConfig, StimuliGenerator, TrafficConfig};
+use vc_router::IfaceConfig;
+
+fn probe_trace(engine: &mut dyn NocEngine, t: &TrafficConfig, cycles: u64) -> Vec<Option<(u8, u64)>> {
+    use std::collections::VecDeque;
+    let mut gen = StimuliGenerator::new(t.clone());
+    let n = engine.config().num_nodes();
+    let mut backlog: Vec<[VecDeque<vc_router::StimEntry>; 4]> =
+        (0..n).map(|_| core::array::from_fn(|_| VecDeque::new())).collect();
+    let mut trace = Vec::with_capacity(cycles as usize);
+    for cycle in 0..cycles {
+        if cycle % 128 == 0 {
+            let w = gen.generate(cycle, (cycle + 128).min(cycles));
+            for (node, rings) in w.stim.into_iter().enumerate() {
+                for (vc, entries) in rings.into_iter().enumerate() {
+                    backlog[node][vc].extend(entries);
+                }
+            }
+            for (node, rings) in backlog.iter_mut().enumerate() {
+                for (vc, ring) in rings.iter_mut().enumerate() {
+                    while let Some(&e) = ring.front() {
+                        if engine.push_stim(node, vc, e) {
+                            ring.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        engine.step();
+        // Probe the east output of node 0 every cycle.
+        trace.push(
+            engine
+                .probe_link(0, noc_types::Direction::East.index())
+                .map(|o| (o.vc, o.flit.to_bits())),
+        );
+        let n = engine.config().num_nodes();
+        for node in 0..n {
+            let _ = engine.drain_delivered(node);
+            let _ = engine.drain_access(node);
+        }
+    }
+    trace
+}
+
+#[test]
+fn probed_link_streams_agree_across_engines() {
+    let net = NetworkConfig::new(3, 3, Topology::Torus, 2);
+    let t = TrafficConfig {
+        net,
+        be: BeConfig::fig1(0.3),
+        gt_streams: Vec::new(),
+        seed: 42,
+    };
+    let icfg = IfaceConfig::default();
+    let a = probe_trace(&mut NativeNoc::new(net, icfg), &t, 600);
+    assert!(
+        a.iter().filter(|p| p.is_some()).count() > 20,
+        "probe saw almost no traffic — vacuous"
+    );
+    let b = probe_trace(&mut SeqNoc::new(net, icfg), &t, 600);
+    assert_eq!(a, b, "native vs seqsim probe");
+    let c = probe_trace(&mut CycleNoc::new(net, icfg), &t, 600);
+    assert_eq!(a, c, "native vs systemc probe");
+    let d = probe_trace(&mut RtlNoc::new(net, icfg), &t, 600);
+    assert_eq!(a, d, "native vs rtl probe");
+}
+
+#[test]
+fn link_utilisation_tracks_offered_load() {
+    let net = NetworkConfig::new(4, 4, Topology::Torus, 4);
+    let icfg = IfaceConfig::default();
+    let mut utils = Vec::new();
+    for load in [0.05f64, 0.30] {
+        let t = TrafficConfig {
+            net,
+            be: BeConfig::fig1(load),
+            gt_streams: Vec::new(),
+            seed: 9,
+        };
+        let trace = probe_trace(&mut NativeNoc::new(net, icfg), &t, 2_000);
+        let busy = trace.iter().filter(|p| p.is_some()).count() as f64;
+        utils.push(busy / trace.len() as f64);
+    }
+    assert!(
+        utils[1] > 2.0 * utils[0],
+        "utilisation {utils:?} did not scale with load"
+    );
+}
+
+#[test]
+fn idle_link_probes_none() {
+    let net = NetworkConfig::new(3, 3, Topology::Torus, 4);
+    let mut e = NativeNoc::new(net, IfaceConfig::default());
+    assert!(e.probe_link(0, 1).is_none(), "probe before any cycle");
+    e.run(10);
+    for node in 0..9 {
+        for dir in 0..4 {
+            assert!(e.probe_link(node, dir).is_none(), "idle link carried a flit");
+        }
+    }
+}

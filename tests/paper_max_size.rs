@@ -1,0 +1,62 @@
+//! The paper's maximum configuration: 256 routers (16×16 torus), the size
+//! the Virtex-II 8000 build supports ("can simulate any size of network
+//! from 2 to 256 routers", §6). Smoke-checks both the native and the
+//! sequential engine at full scale.
+
+use noc::{run, NativeNoc, RunConfig, SeqNoc};
+use noc_types::NetworkConfig;
+use traffic::{BeConfig, StimuliGenerator, TrafficConfig};
+use vc_router::IfaceConfig;
+
+fn traffic(net: NetworkConfig) -> TrafficConfig {
+    TrafficConfig {
+        net,
+        be: BeConfig::fig1(0.05),
+        gt_streams: Vec::new(),
+        seed: 256,
+    }
+}
+
+#[test]
+fn native_runs_256_routers() {
+    let net = NetworkConfig::paper_max();
+    assert_eq!(net.num_nodes(), 256);
+    let mut e = NativeNoc::new(net, IfaceConfig::default());
+    let rc = RunConfig {
+        warmup: 0,
+        measure: 400,
+        drain: 600,
+        period: 128,
+        backlog_limit: 8_192,
+    };
+    let mut gen = StimuliGenerator::new(traffic(net));
+    let r = run(&mut e, &mut gen, &rc);
+    assert!(!r.saturated);
+    assert!(r.throughput.delivered_packets > 100);
+    assert_eq!(r.unmatched, 0, "flits lost at full scale");
+}
+
+#[test]
+fn seqsim_runs_256_routers_with_minimum_delta_floor() {
+    let net = NetworkConfig::paper_max();
+    let mut e = SeqNoc::new(net, IfaceConfig::default());
+    let rc = RunConfig {
+        warmup: 0,
+        measure: 120,
+        drain: 0,
+        period: 64,
+        backlog_limit: 8_192,
+    };
+    let mut gen = StimuliGenerator::new(traffic(net));
+    let r = run(&mut e, &mut gen, &rc);
+    let d = r.delta.expect("delta stats");
+    assert_eq!(d.system_cycles, 120);
+    assert!(d.delta_cycles >= 120 * 256, "below the delta floor");
+    // Sparse traffic: modest re-evaluation overhead.
+    assert!(d.extra_fraction(256) < 0.5);
+    // The paper's §6 frequency arithmetic at this scale: 3.3 MHz / 256 =
+    // 12.9 kHz ceiling.
+    let timing = platform::FpgaTimingModel::default();
+    let f = timing.max_sim_freq_hz(d.avg_deltas_per_cycle());
+    assert!(f < 13_000.0 && f > 8_000.0, "256-router ceiling {f} Hz");
+}

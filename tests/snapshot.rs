@@ -1,0 +1,94 @@
+//! Checkpoint/restore of the sequential simulator — the paper's platform
+//! exposes the complete simulator state (state memory, link memory,
+//! buffers, pointers) in the host's address map (§5.1); reading it out
+//! and writing it back must resume a bit-identical simulation.
+
+use noc::{NocEngine, SeqNoc};
+use noc_types::{NetworkConfig, Topology};
+use traffic::{BeConfig, StimuliGenerator, TrafficConfig};
+use vc_router::{IfaceConfig, OutEntry};
+
+fn load_window(e: &mut SeqNoc, gen: &mut StimuliGenerator, t0: u64, t1: u64) {
+    let w = gen.generate(t0, t1);
+    for (node, rings) in w.stim.into_iter().enumerate() {
+        for (vc, entries) in rings.into_iter().enumerate() {
+            for entry in entries {
+                assert!(e.push_stim(node, vc, entry), "ring full");
+            }
+        }
+    }
+}
+
+fn drain_all(e: &mut SeqNoc, n: usize) -> Vec<Vec<OutEntry>> {
+    (0..n).map(|node| e.drain_delivered(node)).collect()
+}
+
+#[test]
+fn restore_resumes_bit_identically() {
+    let net = NetworkConfig::new(3, 3, Topology::Torus, 2);
+    let t = TrafficConfig {
+        net,
+        be: BeConfig::fig1(0.2),
+        gt_streams: Vec::new(),
+        seed: 314,
+    };
+    let mut e = SeqNoc::new(net, IfaceConfig::default());
+    let mut gen = StimuliGenerator::new(t);
+    let n = net.num_nodes();
+
+    // Phase 1: run 400 cycles, drain, checkpoint mid-flight (packets are
+    // in queues, worms are open).
+    load_window(&mut e, &mut gen, 0, 400);
+    e.run(400);
+    let _ = drain_all(&mut e, n);
+    let snap = e.snapshot();
+    let gen_snap = gen.clone();
+
+    // Phase 2a: continue 400 cycles, record everything.
+    load_window(&mut e, &mut gen, 400, 800);
+    e.run(400);
+    let first = drain_all(&mut e, n);
+    let stats_first = e.delta_stats().unwrap();
+
+    // Phase 2b: rewind and replay.
+    e.restore(&snap);
+    let mut gen = gen_snap;
+    assert_eq!(e.cycle(), 400);
+    load_window(&mut e, &mut gen, 400, 800);
+    e.run(400);
+    let second = drain_all(&mut e, n);
+    let stats_second = e.delta_stats().unwrap();
+
+    assert_eq!(first, second, "replay diverged from the original run");
+    assert_eq!(
+        stats_first.delta_cycles, stats_second.delta_cycles,
+        "delta accounting diverged"
+    );
+}
+
+#[test]
+fn snapshot_is_independent_of_later_mutation() {
+    let net = NetworkConfig::new(2, 2, Topology::Torus, 4);
+    let mut e = SeqNoc::new(net, IfaceConfig::default());
+    let snap0 = e.snapshot();
+    // Mutate heavily after the snapshot.
+    let t = TrafficConfig {
+        net,
+        be: BeConfig::fig1(0.4),
+        gt_streams: Vec::new(),
+        seed: 9,
+    };
+    let mut gen = StimuliGenerator::new(t);
+    load_window(&mut e, &mut gen, 0, 300);
+    e.run(300);
+    let _ = drain_all(&mut e, 4);
+    // Restore to the pristine state: everything reads as reset.
+    e.restore(&snap0);
+    assert_eq!(e.cycle(), 0);
+    for node in 0..4 {
+        let regs = e.peek_regs(node);
+        assert!(regs.queues.iter().all(|q| q.is_empty()));
+        assert_eq!(regs.iface.out_wr, 0);
+        assert!(e.drain_delivered(node).is_empty());
+    }
+}
