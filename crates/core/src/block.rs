@@ -220,7 +220,13 @@ impl SystemSpec {
             consumer: Some((to.0, to.1)),
             reset_value: value,
         });
-        assert_eq!(self.blocks[to.0].inputs[to.1], usize::MAX, "input ({},{}) already wired", to.0, to.1);
+        assert_eq!(
+            self.blocks[to.0].inputs[to.1],
+            usize::MAX,
+            "input ({},{}) already wired",
+            to.0,
+            to.1
+        );
         self.blocks[to.0].inputs[to.1] = id;
         id
     }
@@ -235,7 +241,13 @@ impl SystemSpec {
             consumer: Some((to.0, to.1)),
             reset_value,
         });
-        assert_eq!(self.blocks[to.0].inputs[to.1], usize::MAX, "input ({},{}) already wired", to.0, to.1);
+        assert_eq!(
+            self.blocks[to.0].inputs[to.1],
+            usize::MAX,
+            "input ({},{}) already wired",
+            to.0,
+            to.1
+        );
         self.blocks[to.0].inputs[to.1] = id;
         id
     }
@@ -254,7 +266,13 @@ impl SystemSpec {
             consumer: None,
             reset_value: 0,
         });
-        assert_eq!(self.blocks[from.0].outputs[from.1], usize::MAX, "output ({},{}) already wired", from.0, from.1);
+        assert_eq!(
+            self.blocks[from.0].outputs[from.1],
+            usize::MAX,
+            "output ({},{}) already wired",
+            from.0,
+            from.1
+        );
         self.blocks[from.0].outputs[from.1] = id;
         id
     }

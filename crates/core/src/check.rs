@@ -75,8 +75,24 @@ pub fn check_block(kind: &dyn BlockKind, instance: usize, probes: &[Probe]) -> V
         let mut next_b = vec![0u64; words];
         let mut out_a = vec![0u64; n_out];
         let mut out_b = vec![0u64; n_out];
-        kind.eval(instance, &p.cur, &p.inputs, p.cycle, &mut next_a, &mut out_a, &mut side.view(0));
-        kind.eval(instance, &p.cur, &p.inputs, p.cycle, &mut next_b, &mut out_b, &mut side.view(0));
+        kind.eval(
+            instance,
+            &p.cur,
+            &p.inputs,
+            p.cycle,
+            &mut next_a,
+            &mut out_a,
+            &mut side.view(0),
+        );
+        kind.eval(
+            instance,
+            &p.cur,
+            &p.inputs,
+            p.cycle,
+            &mut next_b,
+            &mut out_b,
+            &mut side.view(0),
+        );
         if next_a != next_b {
             violations.push(Violation::NextStateDiffers { probe: pi });
         }
@@ -208,7 +224,9 @@ mod tests {
         };
         let probes = random_probes(&k, 4, 3);
         let v = check_block(&k, 0, &probes);
-        assert!(v.iter().any(|v| matches!(v, Violation::OutputsDiffer { .. })));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::OutputsDiffer { .. })));
     }
 
     /// A block that writes wider than its declared output.

@@ -300,7 +300,11 @@ mod tests {
             let mut eng = DynamicEngine::new(spec);
             eng.run(cycles);
             let expect = comb_demo_reference(cycles);
-            let got = [comb_state(&eng, 0), comb_state(&eng, 1), comb_state(&eng, 2)];
+            let got = [
+                comb_state(&eng, 0),
+                comb_state(&eng, 1),
+                comb_state(&eng, 2),
+            ];
             assert_eq!(got, expect, "after {cycles} cycles");
         }
     }
@@ -313,7 +317,11 @@ mod tests {
             let mut eng = DynamicEngine::with_order(spec, order.to_vec());
             eng.run(25);
             let expect = comb_demo_reference(25);
-            let got = [comb_state(&eng, 0), comb_state(&eng, 1), comb_state(&eng, 2)];
+            let got = [
+                comb_state(&eng, 0),
+                comb_state(&eng, 1),
+                comb_state(&eng, 2),
+            ];
             assert_eq!(got, expect, "order {order:?}");
         }
     }
@@ -333,10 +341,7 @@ mod tests {
             trace.render()
         );
         // Minimum one eval per block plus the re-evaluations.
-        assert_eq!(
-            trace.events.len() as u64,
-            eng.stats().delta_cycles,
-        );
+        assert_eq!(trace.events.len() as u64, eng.stats().delta_cycles,);
         assert!(eng.stats().delta_cycles > 3);
     }
 

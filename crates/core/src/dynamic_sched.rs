@@ -12,9 +12,10 @@
 
 use crate::block::SystemSpec;
 use crate::counters::DeltaStats;
+use crate::instrument::KernelInstr;
+use crate::links::LinkMemory;
 use crate::side::SideMem;
 use crate::state::StateMemory;
-use crate::links::LinkMemory;
 use crate::trace::{ScheduleTrace, TraceEvent};
 
 /// Scheduling policy of the sequential simulator.
@@ -63,6 +64,7 @@ pub struct DynamicEngine {
     cycle: u64,
     stats: DeltaStats,
     trace: Option<ScheduleTrace>,
+    instr: KernelInstr,
     in_buf: Vec<u64>,
     out_buf: Vec<u64>,
     /// Delta-cycle budget per system cycle, as a multiple of the block
@@ -82,7 +84,11 @@ impl DynamicEngine {
     /// simulated behaviour; the tests verify both properties.
     pub fn with_order(spec: SystemSpec, order: Vec<usize>) -> Self {
         spec.validate();
-        assert_eq!(order.len(), spec.blocks().len(), "order must cover all blocks");
+        assert_eq!(
+            order.len(),
+            spec.blocks().len(),
+            "order must cover all blocks"
+        );
         {
             let mut seen = vec![false; order.len()];
             for &b in &order {
@@ -126,6 +132,7 @@ impl DynamicEngine {
             cycle: 0,
             stats: DeltaStats::default(),
             trace: None,
+            instr: KernelInstr::disabled(),
             in_buf: vec![0; max_ports],
             out_buf: vec![0; max_ports],
             cap_factor: 64,
@@ -142,9 +149,20 @@ impl DynamicEngine {
         self.trace = Some(ScheduleTrace::default());
     }
 
+    /// Enable schedule tracing with an event cap: once `limit` events
+    /// are held, further events are dropped and counted.
+    pub fn enable_trace_limited(&mut self, limit: usize) {
+        self.trace = Some(ScheduleTrace::with_limit(limit));
+    }
+
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&ScheduleTrace> {
         self.trace.as_ref()
+    }
+
+    /// Attach metrics/tracing instrumentation (see [`KernelInstr`]).
+    pub fn set_instrumentation(&mut self, instr: KernelInstr) {
+        self.instr = instr;
     }
 
     /// Is block `b` stable? (evaluated, and every adjacent link read.)
@@ -153,7 +171,10 @@ impl DynamicEngine {
             return false;
         }
         let inst = &self.spec.blocks()[b];
-        inst.inputs.iter().chain(inst.outputs.iter()).all(|&l| self.links.hbr(l))
+        inst.inputs
+            .iter()
+            .chain(inst.outputs.iter())
+            .all(|&l| self.links.hbr(l))
     }
 
     /// Evaluate block `b` once (one delta cycle). Returns `true` when any
@@ -192,8 +213,9 @@ impl DynamicEngine {
             }
         }
         let any_changed = !changed.is_empty();
+        self.instr.record_eval(self.cycle, delta, b, re_evaluation);
         if let Some(t) = self.trace.as_mut() {
-            t.events.push(TraceEvent {
+            t.push(TraceEvent {
                 system_cycle: self.cycle,
                 delta,
                 block: b,
@@ -249,6 +271,7 @@ impl DynamicEngine {
         }
         self.state.swap();
         self.stats.record_cycle(delta as u64, n as u64);
+        self.instr.record_cycle(self.cycle, delta as u64, n as u64);
         self.cycle += 1;
     }
 

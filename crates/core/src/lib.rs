@@ -69,6 +69,7 @@ pub mod check;
 pub mod counters;
 pub mod demo;
 pub mod dynamic_sched;
+pub mod instrument;
 pub mod links;
 pub mod side;
 pub mod state;
@@ -79,6 +80,7 @@ pub mod trace;
 pub use block::{BlockId, BlockInst, BlockKind, KindId, LinkDriver, LinkId, LinkSpec, SystemSpec};
 pub use counters::DeltaStats;
 pub use dynamic_sched::{DynamicEngine, Scheduling, Snapshot};
+pub use instrument::KernelInstr;
 pub use links::LinkMemory;
 pub use side::{SideMem, SideView};
 pub use state::StateMemory;

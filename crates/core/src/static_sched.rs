@@ -17,6 +17,7 @@
 
 use crate::block::{LinkDriver, SystemSpec};
 use crate::counters::DeltaStats;
+use crate::instrument::KernelInstr;
 use crate::side::SideMem;
 use crate::state::StateMemory;
 use crate::trace::{ScheduleTrace, TraceEvent};
@@ -33,6 +34,7 @@ pub struct StaticEngine {
     cycle: u64,
     stats: DeltaStats,
     trace: Option<ScheduleTrace>,
+    instr: KernelInstr,
     in_buf: Vec<u64>,
     out_buf: Vec<u64>,
 }
@@ -50,7 +52,11 @@ impl StaticEngine {
     /// the tests verify it.
     pub fn with_order(spec: SystemSpec, order: Vec<usize>) -> Self {
         spec.validate();
-        assert_eq!(order.len(), spec.blocks().len(), "order must cover all blocks");
+        assert_eq!(
+            order.len(),
+            spec.blocks().len(),
+            "order must cover all blocks"
+        );
         {
             let mut seen = vec![false; order.len()];
             for &b in &order {
@@ -92,6 +98,7 @@ impl StaticEngine {
             cycle: 0,
             stats: DeltaStats::default(),
             trace: None,
+            instr: KernelInstr::disabled(),
             in_buf: vec![0; max_ports],
             out_buf: vec![0; max_ports],
         }
@@ -102,9 +109,20 @@ impl StaticEngine {
         self.trace = Some(ScheduleTrace::default());
     }
 
+    /// Enable schedule tracing with an event cap: once `limit` events
+    /// are held, further events are dropped and counted.
+    pub fn enable_trace_limited(&mut self, limit: usize) {
+        self.trace = Some(ScheduleTrace::with_limit(limit));
+    }
+
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&ScheduleTrace> {
         self.trace.as_ref()
+    }
+
+    /// Attach metrics/tracing instrumentation (see [`KernelInstr`]).
+    pub fn set_instrumentation(&mut self, instr: KernelInstr) {
+        self.instr = instr;
     }
 
     /// Simulate one system cycle.
@@ -135,8 +153,9 @@ impl StaticEngine {
                 }
                 self.links_next[l] = self.out_buf[o];
             }
+            self.instr.record_eval(self.cycle, delta as u32, b, false);
             if let Some(t) = self.trace.as_mut() {
-                t.events.push(TraceEvent {
+                t.push(TraceEvent {
                     system_cycle: self.cycle,
                     delta: delta as u32,
                     block: b,
@@ -154,6 +173,7 @@ impl StaticEngine {
         core::mem::swap(&mut self.links_cur, &mut self.links_next);
         self.state.swap();
         self.stats.record_cycle(n as u64, n as u64);
+        self.instr.record_cycle(self.cycle, n as u64, n as u64);
         self.cycle += 1;
     }
 

@@ -133,12 +133,20 @@ impl SystolicArray {
         for t in 0..total as u64 {
             for r in 0..n {
                 let k = t as i64 - r as i64;
-                let v = if (0..n as i64).contains(&k) { a[r][k as usize] } else { 0 };
+                let v = if (0..n as i64).contains(&k) {
+                    a[r][k as usize]
+                } else {
+                    0
+                };
                 self.engine.set_external(self.a_feed[r], v as u64);
             }
             for c in 0..n {
                 let k = t as i64 - c as i64;
-                let v = if (0..n as i64).contains(&k) { b[k as usize][c] } else { 0 };
+                let v = if (0..n as i64).contains(&k) {
+                    b[k as usize][c]
+                } else {
+                    0
+                };
                 self.engine.set_external(self.b_feed[c], v as u64);
             }
             self.engine.step();

@@ -225,7 +225,9 @@ mod tests {
     #[test]
     fn comb_chain_settles_through_deltas() {
         let mut k = Kernel::new();
-        let s: Vec<SigId> = (0..4).map(|i| k.signal(if i == 0 { 5 } else { 0 })).collect();
+        let s: Vec<SigId> = (0..4)
+            .map(|i| k.signal(if i == 0 { 5 } else { 0 }))
+            .collect();
         for i in 0..3 {
             let (from, to) = (s[i], s[i + 1]);
             k.comb(&[from], move |bus| {

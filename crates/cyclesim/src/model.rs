@@ -18,6 +18,7 @@
 //! Table 3 measures.
 
 use crate::kernel::{Kernel, KernelStats, SigId};
+use noc_types::flit::{room_from_bits, room_to_bits};
 use noc_types::{Direction, LinkFwd, NetworkConfig, Port, NUM_PORTS, NUM_VCS};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -26,7 +27,6 @@ use vc_router::{
     comb_fwd, comb_room, comb_select, transfers, AccEntry, IfaceConfig, IfaceRings, OutEntry,
     RouterCtx, RouterInputs, RouterRegs, StimEntry,
 };
-use noc_types::flit::{room_from_bits, room_to_bits};
 
 /// The SystemC-like NoC engine.
 pub struct CycleNoc {
@@ -70,8 +70,9 @@ impl CycleNoc {
             .collect();
 
         // Module state.
-        let regs: Vec<Rc<RefCell<RouterRegs>>> =
-            (0..n).map(|_| Rc::new(RefCell::new(RouterRegs::new()))).collect();
+        let regs: Vec<Rc<RefCell<RouterRegs>>> = (0..n)
+            .map(|_| Rc::new(RefCell::new(RouterRegs::new())))
+            .collect();
         let rings: Vec<Rc<RefCell<IfaceRings>>> = (0..n)
             .map(|_| Rc::new(RefCell::new(IfaceRings::new(&iface_cfg))))
             .collect();
@@ -149,13 +150,8 @@ impl CycleNoc {
                     let (pick, sel, fwd_local) = {
                         let regs = regs.borrow();
                         let room_local = comb_room(&regs, depth)[Port::Local.index()];
-                        let pick = iface_pick(
-                            &regs.iface,
-                            &icfg,
-                            &*rings.borrow(),
-                            &room_local,
-                            cycle,
-                        );
+                        let pick =
+                            iface_pick(&regs.iface, &icfg, &*rings.borrow(), &room_local, cycle);
                         let sel = comb_select(&regs, &ctx);
                         let trans = transfers(&sel, &rin.room_in);
                         (pick, sel, comb_fwd(&regs, &trans)[Port::Local.index()])
@@ -165,8 +161,7 @@ impl CycleNoc {
                     }
                     let mut regs = regs.borrow_mut();
                     vc_router::clock::clock(&mut regs, &ctx, &rin, Some(&sel));
-                    let wr_vals: [u16; NUM_VCS] =
-                        core::array::from_fn(|v| bus.read(wr[v]) as u16);
+                    let wr_vals: [u16; NUM_VCS] = core::array::from_fn(|v| bus.read(wr[v]) as u16);
                     iface_clock(
                         &mut regs.iface,
                         &icfg,
@@ -272,7 +267,9 @@ impl noc::NocEngine for CycleNoc {
         let rings = self.rings[node].borrow();
         let mut out = Vec::with_capacity(pending);
         for _ in 0..pending {
-            out.push(OutEntry::from_bits(rings.out[*rd as usize % self.iface_cfg.out_cap]));
+            out.push(OutEntry::from_bits(
+                rings.out[*rd as usize % self.iface_cfg.out_cap],
+            ));
             *rd = rd.wrapping_add(1);
         }
         out
@@ -285,7 +282,9 @@ impl noc::NocEngine for CycleNoc {
         let rings = self.rings[node].borrow();
         let mut out = Vec::with_capacity(pending);
         for _ in 0..pending {
-            out.push(AccEntry::from_bits(rings.acc[*rd as usize % self.iface_cfg.acc_cap]));
+            out.push(AccEntry::from_bits(
+                rings.acc[*rd as usize % self.iface_cfg.acc_cap],
+            ));
             *rd = rd.wrapping_add(1);
         }
         out

@@ -91,9 +91,8 @@ mod tests {
             backlog_limit: 2_048,
         };
         let loads = [0.05, 0.15, 0.60, 0.90];
-        let mut mk = || -> Box<dyn NocEngine> {
-            Box::new(NativeNoc::new(cfg, IfaceConfig::default()))
-        };
+        let mut mk =
+            || -> Box<dyn NocEngine> { Box::new(NativeNoc::new(cfg, IfaceConfig::default())) };
         let pts = saturation_sweep(&mut mk, &loads, 11, &rc);
         // Linear region: accepted tracks offered.
         assert!((pts[0].accepted - pts[0].offered).abs() / pts[0].offered < 0.15);

@@ -108,8 +108,7 @@ impl CsState {
             self.claimed.remove(&(n, out));
             touched.push(n);
         }
-        self.sources
-            .remove(&self.cfg.shape.node_id(c.src).index());
+        self.sources.remove(&self.cfg.shape.node_id(c.src).index());
         touched
     }
 }
@@ -478,8 +477,10 @@ mod tests {
         let net = NetworkConfig::new(5, 5, Topology::Mesh, 4);
         let mut cs = CsNoc::new(net, IfaceConfig::default());
         // West->East through (2,2) and South->North through (2,2).
-        cs.configure_circuit(Coord::new(0, 2), Coord::new(4, 2)).unwrap();
-        cs.configure_circuit(Coord::new(2, 0), Coord::new(2, 4)).unwrap();
+        cs.configure_circuit(Coord::new(0, 2), Coord::new(4, 2))
+            .unwrap();
+        cs.configure_circuit(Coord::new(2, 0), Coord::new(2, 4))
+            .unwrap();
         let s1 = net.shape.node_id(Coord::new(0, 2)).index();
         let s2 = net.shape.node_id(Coord::new(2, 0)).index();
         for i in 0..30u16 {

@@ -36,8 +36,9 @@ pub fn collect_trace(
 ) -> Trace {
     let n = engine.config().num_nodes();
     let mut gen = StimuliGenerator::new(tcfg.clone());
-    let mut backlog: Vec<[VecDeque<StimEntry>; NUM_VCS]> =
-        (0..n).map(|_| core::array::from_fn(|_| VecDeque::new())).collect();
+    let mut backlog: Vec<[VecDeque<StimEntry>; NUM_VCS]> = (0..n)
+        .map(|_| core::array::from_fn(|_| VecDeque::new()))
+        .collect();
     let mut trace = Trace {
         delivered: vec![Vec::new(); n],
         access: vec![Vec::new(); n],
@@ -70,10 +71,7 @@ pub fn collect_trace(
         }
         t0 = t1;
     }
-    trace.backlog_left = backlog
-        .iter()
-        .flat_map(|r| r.iter().map(|q| q.len()))
-        .sum();
+    trace.backlog_left = backlog.iter().flat_map(|r| r.iter().map(|q| q.len())).sum();
     trace
 }
 
@@ -145,7 +143,10 @@ mod tests {
         let mut seq = SeqNoc::new(net, IfaceConfig::default());
         let a = collect_trace(&mut native, &t, 3_000, 256);
         let b = collect_trace(&mut seq, &t, 3_000, 256);
-        assert!(a.delivered.iter().any(|d| !d.is_empty()), "no traffic delivered");
+        assert!(
+            a.delivered.iter().any(|d| !d.is_empty()),
+            "no traffic delivered"
+        );
         assert_traces_equal("native", &a, "seqsim", &b);
     }
 

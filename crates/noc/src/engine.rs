@@ -58,6 +58,21 @@ pub trait NocEngine {
         None
     }
 
+    /// Per-VC occupancy of `node`'s input queues, summed over the five
+    /// input ports, as of the last completed cycle (a host "memory peek"
+    /// at the FIFO counters). `None` where unsupported.
+    fn vc_occupancy(&self, node: usize) -> Option<[u32; noc_types::NUM_VCS]> {
+        let _ = node;
+        None
+    }
+
+    /// Attach metrics/tracing instrumentation to the engine's internals
+    /// (the sequential backend wires its delta-cycle kernel to the
+    /// registry under an `engine` label). No-op where unsupported.
+    fn attach_instrumentation(&mut self, registry: &simtrace::Registry, tracer: &simtrace::Tracer) {
+        let _ = (registry, tracer);
+    }
+
     /// Delta-cycle statistics (sequential simulator only).
     fn delta_stats(&self) -> Option<DeltaStats> {
         None

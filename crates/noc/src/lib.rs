@@ -14,6 +14,10 @@
 //!   software twin of the paper's FPGA design (Fig 7);
 //! * [`runner`] — the five-phase loop (generate / load / simulate /
 //!   retrieve / analyse) with phase profiling and latency analysis;
+//! * [`obs`] — observability for a run: occupancy gauges, link-activity
+//!   counters and backlog watermarks sampled into a [`simtrace`]
+//!   registry, phase spans in a [`simtrace::Tracer`] (§5.2's monitoring
+//!   blocks, in software);
 //! * [`diff`] — the differential harness asserting that every engine
 //!   produces bit-identical delivered-flit streams.
 //!
@@ -45,6 +49,7 @@ pub mod cs;
 pub mod diff;
 pub mod engine;
 pub mod native;
+pub mod obs;
 pub mod runner;
 pub mod seq;
 pub mod wiring;
@@ -52,6 +57,7 @@ pub mod wiring;
 pub use cs::{Circuit, CsError, CsNativeNoc, CsNoc};
 pub use engine::NocEngine;
 pub use native::NativeNoc;
-pub use runner::{fig1_guarantee, run, run_fig1_point, RunConfig, RunReport};
+pub use obs::{NocObserver, RunInstr};
+pub use runner::{fig1_guarantee, run, run_fig1_point, run_instrumented, RunConfig, RunReport};
 pub use seq::SeqNoc;
 pub use wiring::Wiring;

@@ -15,11 +15,11 @@
 use crate::engine::{ring_pending, HostPtrs, NocEngine};
 use crate::wiring::Wiring;
 use noc_types::{Direction, LinkFwd, NetworkConfig, Port, NUM_PORTS, NUM_VCS};
+use vc_router::iface::{iface_clock, iface_pick};
 use vc_router::{
     comb_fwd, comb_room, comb_select, transfers, AccEntry, IfaceConfig, IfaceRings, OutEntry,
     RouterCtx, RouterInputs, RouterRegs, Selection, StimEntry,
 };
-use vc_router::iface::{iface_clock, iface_pick};
 
 /// The native (plain-struct) NoC engine.
 pub struct NativeNoc {
@@ -73,7 +73,12 @@ impl NativeNoc {
             cycle: 0,
             rooms: vec![[[true; NUM_VCS]; NUM_PORTS]; n],
             room_ins: vec![[[true; NUM_VCS]; NUM_PORTS]; n],
-            sels: vec![Selection { per_out: [None; NUM_PORTS] }; n],
+            sels: vec![
+                Selection {
+                    per_out: [None; NUM_PORTS]
+                };
+                n
+            ],
             fwds: vec![[LinkFwd::IDLE; NUM_PORTS]; n],
             picks: vec![None; n],
         }
@@ -168,9 +173,23 @@ impl NocEngine for NativeNoc {
         Some(vc_router::OutEntry {
             cycle: self.cycle - 1,
             vc: w.vc,
-            flit: if w.valid { w.flit } else { noc_types::Flit::from_bits(0) },
+            flit: if w.valid {
+                w.flit
+            } else {
+                noc_types::Flit::from_bits(0)
+            },
         })
         .filter(|_| w.valid)
+    }
+
+    fn vc_occupancy(&self, node: usize) -> Option<[u32; NUM_VCS]> {
+        let mut occ = [0u32; NUM_VCS];
+        for p in 0..NUM_PORTS {
+            for (vc, o) in occ.iter_mut().enumerate() {
+                *o += self.regs[node].queues[p * NUM_VCS + vc].occupancy() as u32;
+            }
+        }
+        Some(occ)
     }
 
     fn stim_capacity(&self) -> usize {
@@ -256,7 +275,11 @@ mod tests {
         // Latency = access (1 shadow + pick) + hops + delivery.
         let acc = e.drain_access(src);
         assert_eq!(acc.len(), 1);
-        assert!(got[0].cycle >= 3 && got[0].cycle <= 8, "cycle {}", got[0].cycle);
+        assert!(
+            got[0].cycle >= 3 && got[0].cycle <= 8,
+            "cycle {}",
+            got[0].cycle
+        );
     }
 
     #[test]
@@ -291,12 +314,26 @@ mod tests {
         // Timestamps far in the future: nothing injects, ring fills up.
         for i in 0..cap {
             assert!(
-                e.push_stim(0, 0, StimEntry { ts: 1 << 30, flit: f }),
+                e.push_stim(
+                    0,
+                    0,
+                    StimEntry {
+                        ts: 1 << 30,
+                        flit: f
+                    }
+                ),
                 "push {i} failed early"
             );
         }
         assert_eq!(e.stim_free(0, 0), 0);
-        assert!(!e.push_stim(0, 0, StimEntry { ts: 1 << 30, flit: f }));
+        assert!(!e.push_stim(
+            0,
+            0,
+            StimEntry {
+                ts: 1 << 30,
+                flit: f
+            }
+        ));
         e.run(4);
         // Still full: entries are not due.
         assert_eq!(e.stim_free(0, 0), 0);

@@ -14,8 +14,10 @@
 //! reported as overloaded and the simulation stops (§5.3).
 
 use crate::engine::NocEngine;
+use crate::obs::{NocObserver, RunInstr};
 use noc_types::{Reassembler, TrafficClass, NUM_VCS};
 use seqsim::DeltaStats;
+use simtrace::lbl;
 use stats::{LatencyStats, LatencySummary, PhaseProfiler, ThroughputCounter};
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -69,6 +71,9 @@ pub struct RunReport {
     /// Delta-cycle statistics over the measurement window (sequential
     /// engine only).
     pub delta: Option<DeltaStats>,
+    /// Metrics snapshot (JSON) when the run was instrumented
+    /// ([`run_instrumented`]); `None` for plain runs.
+    pub metrics: Option<String>,
     /// The network stopped accepting the offered load.
     pub saturated: bool,
     /// Offered packets never delivered (in-flight or lost at stop).
@@ -89,15 +94,36 @@ impl RunReport {
 
 /// Drive `engine` with `gen`'s traffic through the five-phase loop.
 pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfig) -> RunReport {
+    run_instrumented(engine, gen, rc, &RunInstr::disabled())
+}
+
+/// [`run`] with observability: every phase of every period becomes a
+/// tracer span, the engine's kernel instrumentation is attached to the
+/// registry, the network is sampled during the simulate phase, and the
+/// report carries a metrics snapshot.
+pub fn run_instrumented(
+    engine: &mut dyn NocEngine,
+    gen: &mut StimuliGenerator,
+    rc: &RunConfig,
+    instr: &RunInstr,
+) -> RunReport {
     let cfg = engine.config();
     let n = cfg.num_nodes();
     let started = Instant::now();
     let mut prof = PhaseProfiler::new();
 
+    let observer = if instr.enabled() {
+        engine.attach_instrumentation(&instr.registry, &instr.tracer);
+        Some(NocObserver::new(&instr.registry, instr.tracer.clone(), n))
+    } else {
+        None
+    };
+
     let mut journal: HashMap<(u16, u16), OfferedPacket> = HashMap::new();
     let mut reasm: Vec<Reassembler> = (0..n).map(|_| Reassembler::new()).collect();
-    let mut backlog: Vec<[VecDeque<StimEntry>; NUM_VCS]> =
-        (0..n).map(|_| core::array::from_fn(|_| VecDeque::new())).collect();
+    let mut backlog: Vec<[VecDeque<StimEntry>; NUM_VCS]> = (0..n)
+        .map(|_| core::array::from_fn(|_| VecDeque::new()))
+        .collect();
 
     let mut gt = LatencyStats::new();
     let mut be = LatencyStats::new();
@@ -120,6 +146,8 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
 
         // Phase 1: generate (while the traffic window is open).
         if t0 < gen_end {
+            let mut span = instr.tracer.span("phase.generate", "runner");
+            span.arg("t0", t0);
             let w = prof.time("generate", || gen.generate(t0, t1.min(gen_end)));
             for p in &w.offered {
                 journal.insert((p.src.0, p.seq), *p);
@@ -136,42 +164,72 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
 
         // Phase 2: load stimuli into the device rings (back-pressure:
         // whatever does not fit stays in the backlog).
-        prof.time("load", || {
-            for node in 0..n {
-                for vc in 0..NUM_VCS {
-                    while let Some(&e) = backlog[node][vc].front() {
-                        if engine.push_stim(node, vc, e) {
-                            backlog[node][vc].pop_front();
-                            pushed_flits += 1;
-                        } else {
-                            break;
+        {
+            let _span = instr.tracer.span("phase.load", "runner");
+            prof.time("load", || {
+                for node in 0..n {
+                    for vc in 0..NUM_VCS {
+                        while let Some(&e) = backlog[node][vc].front() {
+                            if engine.push_stim(node, vc, e) {
+                                backlog[node][vc].pop_front();
+                                pushed_flits += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        if backlog[node][vc].len() > rc.backlog_limit {
+                            saturated = true;
                         }
                     }
-                    if backlog[node][vc].len() > rc.backlog_limit {
-                        saturated = true;
-                    }
                 }
-            }
-        });
+            });
+        }
+        if let Some(obs) = observer.as_ref() {
+            let queued: u64 = backlog
+                .iter()
+                .flat_map(|rings| rings.iter())
+                .map(|q| q.len() as u64)
+                .sum();
+            obs.record_backlog(queued);
+        }
 
         // Phase 3: simulate one period.
         if !delta_reset_done && t0 >= rc.warmup {
             engine.reset_delta_stats();
             delta_reset_done = true;
         }
-        prof.time("simulate", || engine.run(t1 - t0));
+        {
+            let mut span = instr.tracer.span("phase.simulate", "runner");
+            span.arg("cycles", t1 - t0);
+            prof.time("simulate", || match observer.as_ref() {
+                Some(obs) if instr.sample_every > 0 => {
+                    let mut c = t0;
+                    while c < t1 {
+                        let chunk = instr.sample_every.min(t1 - c);
+                        engine.run(chunk);
+                        c += chunk;
+                        obs.sample(engine);
+                    }
+                }
+                _ => engine.run(t1 - t0),
+            });
+        }
 
         // Phase 4: retrieve the output and access-delay buffers.
         let mut retrieved: Vec<(usize, Vec<vc_router::OutEntry>)> = Vec::with_capacity(n);
         let mut acc_entries = Vec::new();
-        prof.time("retrieve", || {
-            for node in 0..n {
-                retrieved.push((node, engine.drain_delivered(node)));
-                acc_entries.extend(engine.drain_access(node));
-            }
-        });
+        {
+            let _span = instr.tracer.span("phase.retrieve", "runner");
+            prof.time("retrieve", || {
+                for node in 0..n {
+                    retrieved.push((node, engine.drain_delivered(node)));
+                    acc_entries.extend(engine.drain_access(node));
+                }
+            });
+        }
 
         // Phase 5: analyse.
+        let _analyse_span = instr.tracer.span("phase.analyse", "runner");
         prof.time("analyse", || {
             for a in &acc_entries {
                 if meas(a.ts) {
@@ -233,6 +291,36 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
     tp.cycles = rc.measure;
     tp.gen_cycles = gen_end;
 
+    let delta = engine.delta_stats();
+    let metrics = if instr.enabled() {
+        // Publish the run-level aggregates so a snapshot alone tells the
+        // whole story: delta-cycle accounting (measurement window) and
+        // the saturation verdict.
+        if let Some(d) = delta.as_ref() {
+            let labels = [("engine", lbl(engine.name()))];
+            let r = &instr.registry;
+            r.gauge("run.delta.system_cycles", &labels)
+                .set(d.system_cycles as i64);
+            r.gauge("run.delta.delta_cycles", &labels)
+                .set(d.delta_cycles as i64);
+            r.gauge("run.delta.re_evaluations", &labels)
+                .set(d.re_evaluations as i64);
+            r.gauge("run.delta.max_deltas_in_cycle", &labels)
+                .set(d.max_deltas_in_cycle as i64);
+        }
+        instr
+            .registry
+            .gauge("run.saturated", &[])
+            .set(saturated as i64);
+        instr
+            .registry
+            .gauge("run.cycles", &[])
+            .set(engine.cycle() as i64);
+        Some(instr.registry.snapshot_json())
+    } else {
+        None
+    };
+
     RunReport {
         engine: engine.name(),
         gt: gt.summary(),
@@ -240,7 +328,8 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
         access: access.summary(),
         throughput: tp,
         profile: prof.rows(),
-        delta: engine.delta_stats(),
+        delta,
+        metrics,
         saturated,
         unmatched: journal.len(),
         wall: started.elapsed(),
@@ -315,11 +404,7 @@ mod tests {
         // GT packets are much larger, hence slower (paper Fig 1 note).
         assert!(r.gt.mean > r.be.mean);
         // Everything offered in the window got delivered after drain.
-        assert!(
-            r.unmatched < 20,
-            "{} packets left in flight",
-            r.unmatched
-        );
+        assert!(r.unmatched < 20, "{} packets left in flight", r.unmatched);
         assert!(r.cps() > 0.0);
     }
 

@@ -202,6 +202,26 @@ impl NocEngine for SeqNoc {
         })
     }
 
+    fn vc_occupancy(&self, node: usize) -> Option<[u32; NUM_VCS]> {
+        let regs = self.peek_regs(node);
+        let mut occ = [0u32; NUM_VCS];
+        for p in 0..noc_types::NUM_PORTS {
+            for (vc, o) in occ.iter_mut().enumerate() {
+                *o += regs.queues[p * NUM_VCS + vc].occupancy() as u32;
+            }
+        }
+        Some(occ)
+    }
+
+    fn attach_instrumentation(&mut self, registry: &simtrace::Registry, tracer: &simtrace::Tracer) {
+        self.engine
+            .set_instrumentation(seqsim::KernelInstr::with_registry(
+                registry,
+                tracer.clone(),
+                "seqsim",
+            ));
+    }
+
     fn stim_capacity(&self) -> usize {
         self.iface_cfg.stim_cap
     }
@@ -298,7 +318,14 @@ mod tests {
         let cfg = NetworkConfig::new(3, 2, Topology::Mesh, 2);
         let mut e = SeqNoc::new(cfg, IfaceConfig::default());
         let dest = Coord::new(2, 1);
-        e.push_stim(0, 1, StimEntry { ts: 0, flit: Flit::head_tail(dest, 0) });
+        e.push_stim(
+            0,
+            1,
+            StimEntry {
+                ts: 0,
+                flit: Flit::head_tail(dest, 0),
+            },
+        );
         e.run(16);
         let got = e.drain_delivered(cfg.shape.node_id(dest).index());
         assert_eq!(got.len(), 1);

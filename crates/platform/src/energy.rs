@@ -13,11 +13,10 @@
 //! calibrated constants; the *relative* conclusions (buffers dominate,
 //! energy grows with depth) are the reproducible content.
 
-use serde::{Deserialize, Serialize};
 use vc_router::RegisterLayout;
 
 /// Per-event energy coefficients (pJ, 130 nm-class defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// Buffer write at queue depth 4 (scales with depth^0.5 — wordline/
     /// bitline growth).
@@ -48,7 +47,7 @@ impl Default for EnergyParams {
 }
 
 /// Energy estimate of a simulated interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// Buffer (queue) energy, nJ.
     pub buffer_nj: f64,
@@ -103,8 +102,7 @@ impl EnergyParams {
         let buf_event = (self.buf_write_pj + self.buf_read_pj) * ds;
         let endpoint_events = injected_flits + delivered_flits;
         let buffer_pj = buf_event * (flit_hops + endpoint_events) as f64;
-        let switch_pj =
-            (self.crossbar_pj + self.arbiter_pj) * (flit_hops + delivered_flits) as f64;
+        let switch_pj = (self.crossbar_pj + self.arbiter_pj) * (flit_hops + delivered_flits) as f64;
         let link_pj = self.link_pj * flit_hops as f64;
         let bits = RegisterLayout::new(queue_depth).total_bits() as f64;
         let leak_pj = self.leak_pj_per_bit_cycle * bits * nodes as f64 * cycles as f64;

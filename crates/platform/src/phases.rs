@@ -26,10 +26,9 @@
 //!   for "complex simulations", §6).
 
 use crate::timing::FpgaTimingModel;
-use serde::{Deserialize, Serialize};
 
 /// Calibrated ARM-side cost coefficients.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseParams {
     /// ARM clock (paper: 86 MHz).
     pub f_arm_hz: f64,
@@ -65,7 +64,7 @@ impl Default for PhaseParams {
 }
 
 /// One evaluation scenario of the co-simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
     /// Routers in the network.
     pub nodes: usize,
@@ -98,7 +97,7 @@ impl Scenario {
 }
 
 /// Modelled time per phase, per simulated system cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseBreakdown {
     /// Stimulus generation (ARM), seconds/cycle.
     pub generate: f64,
@@ -254,7 +253,11 @@ mod tests {
         // simulate 0–2 %
         assert!(hi[2] < 0.05, "sim visible {}", hi[2]);
         // retrieve 5–15 %
-        assert!(lo[3] > 0.02 && hi[3] < 0.25, "retrieve {:?}", (lo[3], hi[3]));
+        assert!(
+            lo[3] > 0.02 && hi[3] < 0.25,
+            "retrieve {:?}",
+            (lo[3], hi[3])
+        );
         // analyse 5–40 %
         assert!(lo[4] > 0.02 && hi[4] < 0.50, "analyse {:?}", (lo[4], hi[4]));
     }

@@ -11,11 +11,10 @@
 //! write-up.
 
 use noc_types::NUM_QUEUES;
-use serde::{Deserialize, Serialize};
 use vc_router::RegisterLayout;
 
 /// An FPGA device's capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FpgaDevice {
     /// Device name.
     pub name: &'static str,
@@ -37,7 +36,7 @@ impl FpgaDevice {
 }
 
 /// One row of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceRow {
     /// Design block name.
     pub block: &'static str,
@@ -172,11 +171,31 @@ impl ResourceModel {
     /// The paper's Table 2 for side-by-side reporting.
     pub fn paper_table2() -> Vec<ResourceRow> {
         vec![
-            ResourceRow { block: "Router", clb: 1762, ram: 61 },
-            ResourceRow { block: "Stimuli interface", clb: 540, ram: 62 },
-            ResourceRow { block: "Network", clb: 2103, ram: 16 },
-            ResourceRow { block: "Random number generator", clb: 2021, ram: 0 },
-            ResourceRow { block: "Global control", clb: 627, ram: 0 },
+            ResourceRow {
+                block: "Router",
+                clb: 1762,
+                ram: 61,
+            },
+            ResourceRow {
+                block: "Stimuli interface",
+                clb: 540,
+                ram: 62,
+            },
+            ResourceRow {
+                block: "Network",
+                clb: 2103,
+                ram: 16,
+            },
+            ResourceRow {
+                block: "Random number generator",
+                clb: 2021,
+                ram: 0,
+            },
+            ResourceRow {
+                block: "Global control",
+                clb: 627,
+                ram: 0,
+            },
         ]
     }
 
@@ -195,8 +214,8 @@ impl ResourceModel {
         let scale = payload_bits as f64 / 16.0;
         let logic = (self.router_clb() as f64 * (0.4 + 0.6 * scale)) as usize;
         // Registers: 2 flip-flops per slice; queue bits scale with width.
-        let queue_bits = (self.layout.queue_bits() as f64 * (payload_bits as f64 + 2.0)
-            / 18.0) as usize;
+        let queue_bits =
+            (self.layout.queue_bits() as f64 * (payload_bits as f64 + 2.0) / 18.0) as usize;
         let ff = queue_bits + self.layout.control_bits();
         logic + ff / 2
     }
@@ -219,7 +238,10 @@ impl ResourceModel {
     pub fn max_sequential_routers(&self, dev: &FpgaDevice) -> usize {
         let mut n = self.nodes;
         loop {
-            let m = ResourceModel { nodes: n, ..self.clone() };
+            let m = ResourceModel {
+                nodes: n,
+                ..self.clone()
+            };
             let (clb, ram) = m.totals();
             if clb <= dev.slices && ram <= dev.brams {
                 return n;

@@ -8,10 +8,8 @@
 //! 3.3 MHz. This limits the maximum simulation frequency of the simulator
 //! to 3.3 · 10⁶ / 36 = 91.6 kHz for a 6-by-6 network."
 
-use serde::{Deserialize, Serialize};
-
 /// The FPGA-side timing constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaTimingModel {
     /// Synthesised logic clock in Hz (paper: 6.6 MHz).
     pub f_logic_hz: f64,

@@ -192,8 +192,7 @@ impl BlockKind for RouterBlock {
         // F(x) register-update half.
         let mut next_regs = regs;
         clock(&mut next_regs, &ctx, &rin, Some(&sel));
-        let wr_inputs: [u16; NUM_VCS] =
-            core::array::from_fn(|v| inputs[IN_WRPTR0 + v] as u16);
+        let wr_inputs: [u16; NUM_VCS] = core::array::from_fn(|v| inputs[IN_WRPTR0 + v] as u16);
         iface_clock(
             &mut next_regs.iface,
             &self.iface_cfg,
@@ -240,7 +239,15 @@ mod tests {
         let mut outputs = vec![0u64; 8];
         let mut delivered = None;
         for cycle in 0..6u64 {
-            block.eval(0, &cur, &inputs, cycle, &mut next, &mut outputs, &mut side.view(0));
+            block.eval(
+                0,
+                &cur,
+                &inputs,
+                cycle,
+                &mut next,
+                &mut outputs,
+                &mut side.view(0),
+            );
             core::mem::swap(&mut cur, &mut next);
             let regs = block.peek_regs(&cur);
             if regs.iface.out_wr > 0 && delivered.is_none() {
@@ -285,8 +292,24 @@ mod tests {
         let mut next_b = vec![0u64; words];
         let mut out_a = vec![0u64; 8];
         let mut out_b = vec![0u64; 8];
-        block.eval(0, &cur, &inputs, 0, &mut next_a, &mut out_a, &mut side.view(0));
-        block.eval(0, &cur, &inputs, 0, &mut next_b, &mut out_b, &mut side.view(0));
+        block.eval(
+            0,
+            &cur,
+            &inputs,
+            0,
+            &mut next_a,
+            &mut out_a,
+            &mut side.view(0),
+        );
+        block.eval(
+            0,
+            &cur,
+            &inputs,
+            0,
+            &mut next_b,
+            &mut out_b,
+            &mut side.view(0),
+        );
         assert_eq!(next_a, next_b);
         assert_eq!(out_a, out_b);
     }

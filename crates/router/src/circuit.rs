@@ -400,6 +400,9 @@ mod tests {
         let cfg = NetworkConfig::new(4, 4, noc_types::Topology::Mesh, 4);
         let p = cs_path(&cfg, Coord::new(0, 0), Coord::new(2, 1));
         let ports: Vec<Port> = p.iter().map(|e| e.1).collect();
-        assert_eq!(ports, vec![Port::East, Port::East, Port::North, Port::Local]);
+        assert_eq!(
+            ports,
+            vec![Port::East, Port::East, Port::North, Port::Local]
+        );
     }
 }

@@ -17,7 +17,12 @@ use noc_types::{NUM_PORTS, NUM_QUEUES, NUM_VCS};
 /// [`comb_select`](crate::comb::comb_select) on the *same* register state
 /// (engines that already computed it pass it in to avoid recomputation;
 /// pass `None` to recompute here).
-pub fn clock(regs: &mut RouterRegs, ctx: &RouterCtx, inputs: &RouterInputs, sel: Option<&Selection>) {
+pub fn clock(
+    regs: &mut RouterRegs,
+    ctx: &RouterCtx,
+    inputs: &RouterInputs,
+    sel: Option<&Selection>,
+) {
     let owned_sel;
     let sel = match sel {
         Some(s) => s,
@@ -77,7 +82,10 @@ mod tests {
     use noc_types::{Coord, Flit, FlitKind, LinkFwd, NetworkConfig, Port, Topology};
 
     fn ctx6() -> RouterCtx {
-        RouterCtx::new(&NetworkConfig::new(6, 6, Topology::Torus, 4), Coord::new(1, 1))
+        RouterCtx::new(
+            &NetworkConfig::new(6, 6, Topology::Torus, 4),
+            Coord::new(1, 1),
+        )
     }
 
     /// Step one isolated router: returns the forward outputs it produced.

@@ -130,10 +130,11 @@ pub fn comb_select(regs: &RouterRegs, ctx: &RouterCtx) -> Selection {
 /// when the downstream room wire for its (output, VC) is high. This is
 /// where the incoming room wires enter the data path.
 #[inline]
-pub fn transfers(sel: &Selection, room_in: &[[bool; NUM_VCS]; NUM_PORTS]) -> [Option<(u8, u8)>; NUM_PORTS] {
-    core::array::from_fn(|out| {
-        sel.per_out[out].filter(|&(vc, _)| room_in[out][vc as usize])
-    })
+pub fn transfers(
+    sel: &Selection,
+    room_in: &[[bool; NUM_VCS]; NUM_PORTS],
+) -> [Option<(u8, u8)>; NUM_PORTS] {
+    core::array::from_fn(|out| sel.per_out[out].filter(|&(vc, _)| room_in[out][vc as usize]))
 }
 
 /// Forward-link outputs: the head-of-queue flit of each transferring
@@ -164,7 +165,10 @@ mod tests {
     use noc_types::{Coord, Flit, NetworkConfig, Topology};
 
     fn ctx6() -> RouterCtx {
-        RouterCtx::new(&NetworkConfig::new(6, 6, Topology::Torus, 4), Coord::new(1, 1))
+        RouterCtx::new(
+            &NetworkConfig::new(6, 6, Topology::Torus, 4),
+            Coord::new(1, 1),
+        )
     }
 
     fn push(regs: &mut RouterRegs, ctx: &RouterCtx, port: usize, vc: usize, f: Flit) {
@@ -190,7 +194,13 @@ mod tests {
         let ctx = ctx6();
         let mut regs = RouterRegs::new();
         // Head at West input, vc 2 (GT), destined (3,1): goes East on vc 2.
-        push(&mut regs, &ctx, Port::West.index(), 2, Flit::head(Coord::new(3, 1), 7));
+        push(
+            &mut regs,
+            &ctx,
+            Port::West.index(),
+            2,
+            Flit::head(Coord::new(3, 1), 7),
+        );
         let sel = comb_select(&regs, &ctx);
         assert_eq!(
             sel.per_out[Port::East.index()],
@@ -226,8 +236,20 @@ mod tests {
         let ctx = ctx6();
         let mut regs = RouterRegs::new();
         // Two GT heads from different inputs, both to (3,1) but on vc 2 and 3.
-        push(&mut regs, &ctx, Port::West.index(), 2, Flit::head(Coord::new(3, 1), 1));
-        push(&mut regs, &ctx, Port::North.index(), 3, Flit::head(Coord::new(3, 1), 2));
+        push(
+            &mut regs,
+            &ctx,
+            Port::West.index(),
+            2,
+            Flit::head(Coord::new(3, 1), 1),
+        );
+        push(
+            &mut regs,
+            &ctx,
+            Port::North.index(),
+            3,
+            Flit::head(Coord::new(3, 1), 2),
+        );
         // outer_rr at 0 scans 0,1,2,3 -> vc2 first.
         let sel = comb_select(&regs, &ctx);
         assert_eq!(sel.per_out[Port::East.index()].unwrap().0, 2);
@@ -242,8 +264,20 @@ mod tests {
         let ctx = ctx6();
         let mut regs = RouterRegs::new();
         // Two BE heads, same vc 1, both to (3,1) (no wrap going east: vc1).
-        push(&mut regs, &ctx, Port::West.index(), 1, Flit::head(Coord::new(3, 1), 1));
-        push(&mut regs, &ctx, Port::South.index(), 1, Flit::head(Coord::new(3, 1), 2));
+        push(
+            &mut regs,
+            &ctx,
+            Port::West.index(),
+            1,
+            Flit::head(Coord::new(3, 1), 1),
+        );
+        push(
+            &mut regs,
+            &ctx,
+            Port::South.index(),
+            1,
+            Flit::head(Coord::new(3, 1), 2),
+        );
         let q_west = (Port::West.index() * NUM_VCS + 1) as u8;
         let q_south = (Port::South.index() * NUM_VCS + 1) as u8;
         let e = Port::East.index();
@@ -261,7 +295,13 @@ mod tests {
         let q_owner = (Port::North.index() * NUM_VCS + 1) as u8;
         regs.owner[Port::East.index() * NUM_VCS + 1] = crate::regs::owner_encode(Some(q_owner));
         // Competing head on the owned (East, vc1).
-        push(&mut regs, &ctx, Port::West.index(), 1, Flit::head(Coord::new(3, 1), 1));
+        push(
+            &mut regs,
+            &ctx,
+            Port::West.index(),
+            1,
+            Flit::head(Coord::new(3, 1), 1),
+        );
         // Owner's queue holds a body flit.
         push(
             &mut regs,
@@ -278,7 +318,13 @@ mod tests {
         // Owner empty: the VC yields nothing (head may not steal the worm).
         let mut regs2 = RouterRegs::new();
         regs2.owner[Port::East.index() * NUM_VCS + 1] = crate::regs::owner_encode(Some(q_owner));
-        push(&mut regs2, &ctx, Port::West.index(), 1, Flit::head(Coord::new(3, 1), 1));
+        push(
+            &mut regs2,
+            &ctx,
+            Port::West.index(),
+            1,
+            Flit::head(Coord::new(3, 1), 1),
+        );
         let sel = comb_select(&regs2, &ctx);
         assert_eq!(sel.per_out[Port::East.index()], None);
     }

@@ -213,7 +213,8 @@ pub fn iface_pick(
         if pending == 0 || !room_local[v] {
             continue;
         }
-        let entry = StimEntry::from_bits(store.stim_read(v, regs.stim_rd[v] as usize % cfg.stim_cap));
+        let entry =
+            StimEntry::from_bits(store.stim_read(v, regs.stim_rd[v] as usize % cfg.stim_cap));
         if entry.ts <= cycle {
             return Some((v as u8, entry));
         }
@@ -347,8 +348,22 @@ mod tests {
         let (mut regs, cfg, mut rings) = setup();
         let f = Flit::head(Coord::new(2, 2), 9);
         let pick = Some((1u8, StimEntry { ts: 5, flit: f }));
-        let delivered = LinkFwd::flit(3, Flit { kind: FlitKind::Tail, payload: 7 });
-        iface_clock(&mut regs, &cfg, &mut rings, pick, delivered, [4, 5, 6, 7], 12);
+        let delivered = LinkFwd::flit(
+            3,
+            Flit {
+                kind: FlitKind::Tail,
+                payload: 7,
+            },
+        );
+        iface_clock(
+            &mut regs,
+            &cfg,
+            &mut rings,
+            pick,
+            delivered,
+            [4, 5, 6, 7],
+            12,
+        );
         assert_eq!(regs.stim_rd[1], 1);
         assert_eq!(regs.vc_rr, 2);
         assert_eq!(regs.acc_wr, 1);

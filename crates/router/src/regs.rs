@@ -205,7 +205,11 @@ mod tests {
             }
         }
         for (i, o) in r.owner.iter_mut().enumerate() {
-            *o = owner_encode(if i % 3 == 0 { Some((i % 20) as u8) } else { None });
+            *o = owner_encode(if i % 3 == 0 {
+                Some((i % 20) as u8)
+            } else {
+                None
+            });
         }
         for (i, rr) in r.inner_rr.iter_mut().enumerate() {
             *rr = (i % 20) as u8;

@@ -81,10 +81,18 @@ pub fn route(ctx: &RouterCtx, dest: Coord, in_vc: u8) -> (Port, u8) {
     }
     let (port, crosses, hop_wraps) = if c.x != dest.x {
         let (pos, crosses, hop_wraps) = dim_step(c.x, dest.x, ctx.shape.w, torus);
-        (if pos { Port::East } else { Port::West }, crosses, hop_wraps)
+        (
+            if pos { Port::East } else { Port::West },
+            crosses,
+            hop_wraps,
+        )
     } else {
         let (pos, crosses, hop_wraps) = dim_step(c.y, dest.y, ctx.shape.h, torus);
-        (if pos { Port::North } else { Port::South }, crosses, hop_wraps)
+        (
+            if pos { Port::North } else { Port::South },
+            crosses,
+            hop_wraps,
+        )
     };
     let out_vc = if GT_VCS.contains(&in_vc) {
         // GT streams keep their reserved VC end-to-end.
@@ -181,7 +189,13 @@ mod tests {
         let ports: Vec<Port> = trail.iter().map(|t| t.1).collect();
         assert_eq!(
             ports,
-            vec![Port::East, Port::East, Port::North, Port::North, Port::Local]
+            vec![
+                Port::East,
+                Port::East,
+                Port::North,
+                Port::North,
+                Port::Local
+            ]
         );
     }
 

@@ -58,7 +58,8 @@ impl ProcCtx<'_> {
     /// `<= ... after`).
     pub fn write_after(&mut self, s: SigId, v: u64, delay: u64) {
         *self.seq += 1;
-        self.timed.push(Reverse((self.time + delay, *self.seq, s, v)));
+        self.timed
+            .push(Reverse((self.time + delay, *self.seq, s, v)));
     }
 
     /// Current simulation time.
@@ -249,10 +250,7 @@ mod tests {
             e.borrow_mut().push((ctx.time(), ctx.read(clk)));
         });
         k.advance_cycles(2);
-        assert_eq!(
-            *edges.borrow(),
-            vec![(5, 1), (10, 0), (15, 1), (20, 0)]
-        );
+        assert_eq!(*edges.borrow(), vec![(5, 1), (10, 0), (15, 1), (20, 0)]);
         assert_eq!(k.stats().time, 20);
     }
 

@@ -166,18 +166,23 @@ impl RtlNoc {
         let ctrl: Vec<[SigId; NUM_PORTS]> = (0..n)
             .map(|_| core::array::from_fn(|_| k.signal(ctrl_pack([None; 4], [0; 4], 0))))
             .collect();
-        let cand: Vec<[SigId; NUM_QUEUES]> =
-            (0..n).map(|_| core::array::from_fn(|_| k.signal(0))).collect();
-        let sel: Vec<[SigId; NUM_PORTS]> =
-            (0..n).map(|_| core::array::from_fn(|_| k.signal(0))).collect();
-        let fwd: Vec<[SigId; NUM_PORTS]> =
-            (0..n).map(|_| core::array::from_fn(|_| k.signal(0))).collect();
-        let room: Vec<[SigId; NUM_PORTS]> =
-            (0..n).map(|_| core::array::from_fn(|_| k.signal(0xF))).collect();
+        let cand: Vec<[SigId; NUM_QUEUES]> = (0..n)
+            .map(|_| core::array::from_fn(|_| k.signal(0)))
+            .collect();
+        let sel: Vec<[SigId; NUM_PORTS]> = (0..n)
+            .map(|_| core::array::from_fn(|_| k.signal(0)))
+            .collect();
+        let fwd: Vec<[SigId; NUM_PORTS]> = (0..n)
+            .map(|_| core::array::from_fn(|_| k.signal(0)))
+            .collect();
+        let room: Vec<[SigId; NUM_PORTS]> = (0..n)
+            .map(|_| core::array::from_fn(|_| k.signal(0xF)))
+            .collect();
         let offer: Vec<SigId> = (0..n).map(|_| k.signal(0)).collect();
         let iface_ver: Vec<SigId> = (0..n).map(|_| k.signal(0)).collect();
-        let wr_sigs: Vec<[SigId; NUM_VCS]> =
-            (0..n).map(|_| core::array::from_fn(|_| k.signal(0))).collect();
+        let wr_sigs: Vec<[SigId; NUM_VCS]> = (0..n)
+            .map(|_| core::array::from_fn(|_| k.signal(0)))
+            .collect();
 
         let iface: Vec<Rc<RefCell<IfaceState>>> = (0..n)
             .map(|_| {
@@ -321,8 +326,7 @@ impl RtlNoc {
 
             // VC-selector processes (comb): VC-level round-robin.
             for o in 0..NUM_PORTS {
-                let cands: [SigId; NUM_VCS] =
-                    core::array::from_fn(|v| cand[r][o * NUM_VCS + v]);
+                let cands: [SigId; NUM_VCS] = core::array::from_fn(|v| cand[r][o * NUM_VCS + v]);
                 let my_ctrl = ctrl[r][o];
                 let out = sel[r][o];
                 let mut sens: Vec<SigId> = cands.to_vec();
@@ -383,8 +387,7 @@ impl RtlNoc {
                         let c = ctx.read(ctrls[o]);
                         let mut owner: [Option<u8>; NUM_VCS] =
                             core::array::from_fn(|v| ctrl_owner(c, v));
-                        let mut inner: [u8; NUM_VCS] =
-                            core::array::from_fn(|v| ctrl_inner(c, v));
+                        let mut inner: [u8; NUM_VCS] = core::array::from_fn(|v| ctrl_inner(c, v));
                         let mut outer = ctrl_outer(c);
                         if let Some((vc, q)) = sel_unpack(ctx.read(sels[o])) {
                             let room_ok = if rooms[o] == usize::MAX {
@@ -396,8 +399,7 @@ impl RtlNoc {
                                 let f = q_st_front(ctx.read(sts[q as usize]))
                                     .expect("granted queue has a front flit");
                                 if f.kind.is_head() {
-                                    inner[vc as usize] =
-                                        ((q as usize + 1) % NUM_QUEUES) as u8;
+                                    inner[vc as usize] = ((q as usize + 1) % NUM_QUEUES) as u8;
                                 }
                                 if f.kind.is_tail() {
                                     owner[vc as usize] = None;
@@ -422,8 +424,7 @@ impl RtlNoc {
                 k.process(&[ver, my_room, cnt], move |ctx| {
                     let st = st.borrow();
                     let room_local = room_from_bits(ctx.read(my_room));
-                    let pick =
-                        iface_pick(&st.regs, &icfg, &st.rings, &room_local, ctx.read(cnt));
+                    let pick = iface_pick(&st.regs, &icfg, &st.rings, &room_local, ctx.read(cnt));
                     let word = match pick {
                         Some((vc, e)) => LinkFwd::flit(vc, e.flit).to_bits(),
                         None => 0,
@@ -447,8 +448,7 @@ impl RtlNoc {
                     let room_local = room_from_bits(ctx.read(my_room));
                     let pick = iface_pick(&st.regs, &icfg, &st.rings, &room_local, cycle);
                     let delivered = LinkFwd::from_bits(ctx.read(local_fwd));
-                    let wr_vals: [u16; NUM_VCS] =
-                        core::array::from_fn(|v| ctx.read(wr[v]) as u16);
+                    let wr_vals: [u16; NUM_VCS] = core::array::from_fn(|v| ctx.read(wr[v]) as u16);
                     let IfaceState { regs, rings } = &mut *st;
                     iface_clock(regs, &icfg, rings, pick, delivered, wr_vals, cycle);
                     ctx.write(ver, cycle.wrapping_add(1));

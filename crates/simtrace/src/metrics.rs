@@ -1,0 +1,416 @@
+//! A lightweight metrics registry: counters, gauges and histograms with
+//! labels, exported as a deterministic JSON snapshot.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Hist`]) are cheap `Arc`-backed
+//! atomics that instrumented code holds directly — the hot path is one
+//! relaxed atomic op, no lookup, no lock. The registry only keeps the
+//! name/label metadata needed to render snapshots. Handles created with
+//! `*::detached()` update a private cell that no snapshot observes, so
+//! instrumentation can be threaded unconditionally and wired to a
+//! registry only when observability is wanted.
+
+use crate::json;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not connected to any registry (updates are kept but
+    /// never exported).
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the latest sampled value, tracking the maximum ever
+/// set (the watermark).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+    peak: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A gauge not connected to any registry.
+    pub fn detached() -> Self {
+        Gauge {
+            value: Arc::new(AtomicI64::new(0)),
+            peak: Arc::new(AtomicI64::new(i64::MIN)),
+        }
+    }
+
+    /// Set the current value (also advances the watermark).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever set (0 if never set).
+    pub fn peak(&self) -> i64 {
+        let p = self.peak.load(Ordering::Relaxed);
+        if p == i64::MIN {
+            0
+        } else {
+            p
+        }
+    }
+}
+
+/// Histogram over `u64` samples with power-of-two buckets: bucket `i`
+/// counts samples whose value needs exactly `i` significant bits
+/// (bucket 0 holds the value 0). Exact count/sum/min/max on the side.
+#[derive(Debug)]
+struct HistCell {
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A histogram handle.
+#[derive(Debug, Clone)]
+pub struct Hist(Arc<HistCell>);
+
+impl Hist {
+    /// A histogram not connected to any registry.
+    pub fn detached() -> Self {
+        Hist(Arc::new(HistCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = 64 - v.leading_zeros() as usize;
+        let c = &self.0;
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.0.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+}
+
+/// A metric's identity: name plus sorted `key=value` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &[(&str, String)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        json::write_str(out, &self.name);
+        if !self.labels.is_empty() {
+            out.push_str(",\"labels\":{");
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_str(out, k);
+                out.push(':');
+                json::write_str(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(MetricId, Counter)>,
+    gauges: Vec<(MetricId, Gauge)>,
+    hists: Vec<(MetricId, Hist)>,
+}
+
+/// The metrics registry. Cloning shares the underlying store.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter `name` with `labels`. Repeated calls
+    /// with the same identity return handles to the same counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, String)]) -> Counter {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, c)) = inner.counters.iter().find(|(i, _)| *i == id) {
+            return c.clone();
+        }
+        let c = Counter::detached();
+        inner.counters.push((id, c.clone()));
+        c
+    }
+
+    /// Get or register the gauge `name` with `labels`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, String)]) -> Gauge {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, g)) = inner.gauges.iter().find(|(i, _)| *i == id) {
+            return g.clone();
+        }
+        let g = Gauge::detached();
+        inner.gauges.push((id, g.clone()));
+        g
+    }
+
+    /// Get or register the histogram `name` with `labels`.
+    pub fn hist(&self, name: &str, labels: &[(&str, String)]) -> Hist {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, h)) = inner.hists.iter().find(|(i, _)| *i == id) {
+            return h.clone();
+        }
+        let h = Hist::detached();
+        inner.hists.push((id, h.clone()));
+        h
+    }
+
+    /// Render a deterministic JSON snapshot of every registered metric
+    /// (sorted by name, then labels).
+    pub fn snapshot_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"counters\":[");
+        let mut counters: Vec<_> = inner.counters.iter().collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (i, (id, c)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            id.write_json(&mut out);
+            out.push_str(",\"value\":");
+            out.push_str(&c.get().to_string());
+            out.push('}');
+        }
+        out.push_str("],\"gauges\":[");
+        let mut gauges: Vec<_> = inner.gauges.iter().collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        for (i, (id, g)) in gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            id.write_json(&mut out);
+            out.push_str(",\"value\":");
+            out.push_str(&g.get().to_string());
+            out.push_str(",\"peak\":");
+            out.push_str(&g.peak().to_string());
+            out.push('}');
+        }
+        out.push_str("],\"histograms\":[");
+        let mut hists: Vec<_> = inner.hists.iter().collect();
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        for (i, (id, h)) in hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            id.write_json(&mut out);
+            let count = h.count();
+            out.push_str(",\"count\":");
+            out.push_str(&count.to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&h.0.sum.load(Ordering::Relaxed).to_string());
+            if count > 0 {
+                out.push_str(",\"min\":");
+                out.push_str(&h.0.min.load(Ordering::Relaxed).to_string());
+                out.push_str(",\"max\":");
+                out.push_str(&h.0.max.load(Ordering::Relaxed).to_string());
+            }
+            out.push_str(",\"buckets\":[");
+            let mut first = true;
+            for (b, cell) in h.0.buckets.iter().enumerate() {
+                let n = cell.load(Ordering::Relaxed);
+                if n > 0 {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    // Upper bound of the power-of-two bucket (inclusive).
+                    let le = if b == 0 { 0 } else { (1u128 << b) - 1 };
+                    out.push_str("{\"le\":");
+                    out.push_str(&le.to_string());
+                    out.push_str(",\"count\":");
+                    out.push_str(&n.to_string());
+                    out.push('}');
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the snapshot to a file.
+    pub fn write_snapshot(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.snapshot_json())
+    }
+
+    /// Number of registered metrics (all kinds).
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.counters.len() + inner.gauges.len() + inner.hists.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current value of a registered counter (tests and reports).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, String)]) -> Option<u64> {
+        let id = MetricId::new(name, labels);
+        let inner = self.inner.lock().unwrap();
+        inner
+            .counters
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, c)| c.get())
+    }
+
+    /// Current value of a registered gauge.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, String)]) -> Option<i64> {
+        let id = MetricId::new(name, labels);
+        let inner = self.inner.lock().unwrap();
+        inner
+            .gauges
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, g)| g.get())
+    }
+}
+
+/// Format a `usize`-like label value (convenience for per-node/per-VC
+/// label construction).
+pub fn lbl(v: impl ToString) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_identity_is_shared() {
+        let r = Registry::new();
+        let a = r.counter("evals", &[("engine", lbl("dyn"))]);
+        let b = r.counter("evals", &[("engine", lbl("dyn"))]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(r.counter_value("evals", &[("engine", lbl("dyn"))]), Some(4));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn gauge_tracks_watermark() {
+        let g = Gauge::detached();
+        g.set(5);
+        g.set(12);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.peak(), 12);
+    }
+
+    #[test]
+    fn hist_buckets_and_stats() {
+        let h = Hist::detached();
+        for v in [0u64, 1, 2, 3, 800] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 161.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_valid_and_deterministic() {
+        let r = Registry::new();
+        r.counter("z.last", &[]).add(9);
+        r.counter("a.first", &[("node", lbl(3)), ("vc", lbl(1))])
+            .inc();
+        r.gauge("occ", &[("node", lbl(0))]).set(7);
+        r.hist("lat", &[]).record(1000);
+        let s1 = r.snapshot_json();
+        let s2 = r.snapshot_json();
+        assert_eq!(s1, s2);
+        crate::json::validate(&s1).expect("snapshot must be valid JSON");
+        // Sorted: a.first before z.last.
+        assert!(s1.find("a.first").unwrap() < s1.find("z.last").unwrap());
+        assert!(s1.contains("\"peak\":7"));
+        assert!(s1.contains("\"le\":1023"));
+    }
+
+    #[test]
+    fn detached_metrics_never_reach_snapshots() {
+        let r = Registry::new();
+        let c = Counter::detached();
+        c.add(100);
+        assert!(r.is_empty());
+        assert!(!r.snapshot_json().contains("100"));
+    }
+}

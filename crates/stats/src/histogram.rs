@@ -1,10 +1,8 @@
 //! Fixed-bucket histograms for latency distributions.
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram over `u64` samples with uniform buckets plus an overflow
 /// bucket, keeping exact count/sum/min/max.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     bucket_width: u64,
     buckets: Vec<u64>,
@@ -91,6 +89,52 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Interpolated percentile `p` (0..=100): the bucket holding rank
+    /// `p/100 * count` is located exactly from the bucket counts, then
+    /// the value is linearly interpolated within that bucket's range by
+    /// the rank's position among the bucket's samples. `p = 0` is the
+    /// exact minimum; a rank falling in the overflow bucket reports the
+    /// exact maximum. `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        if p == 0.0 {
+            return Some(self.min as f64);
+        }
+        let rank = p / 100.0 * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let prev = cum;
+            cum += b;
+            if cum as f64 >= rank {
+                let lo = (i as u64 * self.bucket_width) as f64;
+                let v = lo + self.bucket_width as f64 * (rank - prev as f64) / b as f64;
+                return Some(v.clamp(self.min as f64, self.max as f64));
+            }
+        }
+        Some(self.max as f64)
+    }
+
+    /// Interpolated median.
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Interpolated 90th percentile.
+    pub fn p90(&self) -> Option<f64> {
+        self.percentile(90.0)
+    }
+
+    /// Interpolated 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(99.0)
+    }
+
     /// Samples that exceeded the bucketed range.
     pub fn overflow(&self) -> u64 {
         self.overflow
@@ -138,6 +182,56 @@ mod tests {
         assert_eq!(h.quantile(1.0), Some(99));
         assert_eq!(h.quantile(0.01), Some(0));
         assert_eq!(Histogram::new(1, 10).quantile(0.5), None);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        // 100 uniform samples 0..100 in width-10 buckets: every rank
+        // boundary lands exactly where the uniform distribution puts it.
+        let mut h = Histogram::new(10, 10);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert!((h.p50().unwrap() - 50.0).abs() < 1e-9);
+        assert!((h.p90().unwrap() - 90.0).abs() < 1e-9);
+        assert!((h.p99().unwrap() - 99.0).abs() < 1e-9);
+        assert!((h.percentile(25.0).unwrap() - 25.0).abs() < 1e-9);
+        // Half-way through a single bucket's samples: half-way through
+        // the bucket's range.
+        assert!((h.percentile(45.0).unwrap() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        let mut h = Histogram::new(10, 10);
+        for v in [5u64, 15, 15, 95, 250] {
+            h.record(v);
+        }
+        // p = 0 is the exact minimum; 100 the exact maximum.
+        assert_eq!(h.percentile(0.0), Some(5.0));
+        assert_eq!(h.percentile(100.0), Some(250.0));
+        // Rank in the overflow bucket clamps to the exact maximum.
+        assert_eq!(h.percentile(99.0), Some(250.0));
+        // Interpolation never leaves [min, max].
+        let p10 = h.percentile(10.0).unwrap();
+        assert!((5.0..=250.0).contains(&p10));
+        // Empty histogram has no percentiles.
+        assert_eq!(Histogram::new(1, 4).percentile(50.0), None);
+    }
+
+    #[test]
+    fn skewed_population_percentiles() {
+        // 99 fast samples in one bucket + 1 slow outlier: the p99 rank
+        // (99 of 100) still falls in the fast bucket, p50 interpolates
+        // half-way through it.
+        let mut h = Histogram::new(10, 100);
+        for _ in 0..99 {
+            h.record(4);
+        }
+        h.record(900);
+        assert!((h.p50().unwrap() - 10.0 * 50.0 / 99.0).abs() < 1e-9);
+        assert!(h.p99().unwrap() <= 10.0);
+        assert_eq!(h.percentile(100.0), Some(900.0));
     }
 
     #[test]

@@ -2,7 +2,6 @@
 //! maximal latency of packets").
 
 use crate::histogram::Histogram;
-use serde::{Deserialize, Serialize};
 
 /// Accumulates packet latencies for one traffic class.
 #[derive(Debug, Clone)]
@@ -35,15 +34,18 @@ impl LatencyStats {
         self.hist.count()
     }
 
-    /// Summary snapshot.
+    /// Summary snapshot. Percentiles are bucket-interpolated
+    /// ([`Histogram::percentile`]) and reported in whole cycles.
     pub fn summary(&self) -> LatencySummary {
+        let pct = |p: f64| self.hist.percentile(p).unwrap_or(0.0) as u64;
         LatencySummary {
             count: self.hist.count(),
             mean: self.hist.mean(),
             min: self.hist.min().unwrap_or(0),
             max: self.hist.max().unwrap_or(0),
-            p50: self.hist.quantile(0.5).unwrap_or(0),
-            p99: self.hist.quantile(0.99).unwrap_or(0),
+            p50: pct(50.0),
+            p90: pct(90.0),
+            p99: pct(99.0),
         }
     }
 
@@ -59,7 +61,7 @@ impl LatencyStats {
 }
 
 /// Summary statistics of a latency population.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {
     /// Packets measured.
     pub count: u64,
@@ -69,9 +71,11 @@ pub struct LatencySummary {
     pub min: u64,
     /// Maximum latency.
     pub max: u64,
-    /// Median (approximate).
+    /// Median (bucket-interpolated).
     pub p50: u64,
-    /// 99th percentile (approximate).
+    /// 90th percentile (bucket-interpolated).
+    pub p90: u64,
+    /// 99th percentile (bucket-interpolated).
     pub p99: u64,
 }
 
@@ -91,6 +95,21 @@ mod tests {
         assert_eq!(s.max, 100);
         assert!((s.mean - 40.0).abs() < 1e-9);
         assert_eq!(s.p50, 30);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_population() {
+        let mut l = LatencyStats::new();
+        for v in 1..=100u64 {
+            l.record(v);
+        }
+        let s = l.summary();
+        // 1-cycle buckets: rank p lands at the upper edge of the bucket
+        // holding value p.
+        assert_eq!(s.p50, 51);
+        assert_eq!(s.p90, 91);
+        assert_eq!(s.p99, 100);
     }
 
     #[test]

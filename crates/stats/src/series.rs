@@ -1,10 +1,8 @@
 //! Named (x, y…) series with CSV export — the data behind each figure
 //! reproduction (Fig 1's four curves, the delta-overhead sweep, …).
 
-use serde::{Deserialize, Serialize};
-
 /// A multi-column series: one x column and several named y columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     x_name: String,
     y_names: Vec<String>,

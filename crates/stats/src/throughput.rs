@@ -1,10 +1,8 @@
 //! Flit/packet throughput accounting (offered vs accepted vs delivered
 //! load).
 
-use serde::{Deserialize, Serialize};
-
 /// Counts traffic volumes over a measured interval.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ThroughputCounter {
     /// Flits offered by the generators (with timestamps in the interval).
     pub offered_flits: u64,
@@ -32,7 +30,11 @@ impl ThroughputCounter {
     /// Accepted (injected) load per node in flits/cycle, over the
     /// generation span.
     pub fn accepted_load(&self) -> f64 {
-        let span = if self.gen_cycles > 0 { self.gen_cycles } else { self.cycles };
+        let span = if self.gen_cycles > 0 {
+            self.gen_cycles
+        } else {
+            self.cycles
+        };
         if span == 0 || self.nodes == 0 {
             0.0
         } else {

@@ -8,10 +8,9 @@
 
 use crate::patterns::DestPattern;
 use crate::rng::SplitMix64;
-use serde::{Deserialize, Serialize};
 
 /// Best-effort traffic parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BeConfig {
     /// Offered load per PE as a fraction of channel capacity (flits per
     /// cycle), the Fig 1 x-axis (0..=1, paper sweeps 0..0.14).

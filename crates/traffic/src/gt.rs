@@ -10,12 +10,11 @@
 
 use crate::rng::SplitMix64;
 use noc_types::{Coord, NetworkConfig, NodeId, Port, GT_VCS};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use vc_router::{gt_guarantee, route, RouterCtx};
 
 /// An admitted guaranteed-throughput stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GtStream {
     /// Source node.
     pub src: NodeId,
@@ -124,10 +123,7 @@ impl GtAllocator {
         let shape = self.cfg.shape;
         let mut streams = Vec::new();
         for src in shape.coords() {
-            let dest = Coord::new(
-                (src.x + offset.0) % shape.w,
-                (src.y + offset.1) % shape.h,
-            );
+            let dest = Coord::new((src.x + offset.0) % shape.w, (src.y + offset.1) % shape.h);
             if dest == src {
                 continue;
             }
@@ -201,9 +197,13 @@ mod tests {
     #[test]
     fn partial_overlap_uses_other_vc() {
         let mut alloc = GtAllocator::new(cfg());
-        let a = alloc.try_add(Coord::new(0, 0), Coord::new(2, 0), 2048, 128).unwrap();
+        let a = alloc
+            .try_add(Coord::new(0, 0), Coord::new(2, 0), 2048, 128)
+            .unwrap();
         // Shares the (1,0)->(2,0) east link.
-        let b = alloc.try_add(Coord::new(1, 0), Coord::new(3, 0), 2048, 128).unwrap();
+        let b = alloc
+            .try_add(Coord::new(1, 0), Coord::new(3, 0), 2048, 128)
+            .unwrap();
         assert_eq!(a.vc, 2);
         assert_eq!(b.vc, 3);
     }
@@ -218,7 +218,9 @@ mod tests {
     #[test]
     fn guarantee_scales_with_hops_and_flits() {
         let mut alloc = GtAllocator::new(cfg());
-        let s = alloc.try_add(Coord::new(0, 0), Coord::new(3, 2), 4096, 128).unwrap();
+        let s = alloc
+            .try_add(Coord::new(0, 0), Coord::new(3, 2), 4096, 128)
+            .unwrap();
         assert_eq!(s.hops, 5);
         assert!(s.guarantee() > 128 * 4);
         assert!(s.guarantee() < 700);

@@ -6,11 +6,10 @@
 
 use crate::rng::SplitMix64;
 use noc_types::{Coord, Shape};
-use serde::{Deserialize, Serialize};
 
 /// A destination pattern: maps a source to a destination, possibly
 /// randomly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DestPattern {
     /// Uniform random over all nodes except the source.
     UniformRandom,

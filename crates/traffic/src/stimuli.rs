@@ -10,10 +10,7 @@
 use crate::be::BeConfig;
 use crate::gt::GtStream;
 use crate::rng::{Lfsr32, SplitMix64};
-use noc_types::{
-    Coord, NetworkConfig, NodeId, PacketSpec, TrafficClass, NUM_VCS,
-};
-use serde::{Deserialize, Serialize};
+use noc_types::{Coord, NetworkConfig, NodeId, PacketSpec, TrafficClass, NUM_VCS};
 use vc_router::StimEntry;
 
 /// Complete traffic description for a run.
@@ -30,7 +27,7 @@ pub struct TrafficConfig {
 }
 
 /// One offered packet, journal entry for latency analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OfferedPacket {
     /// Generation timestamp (earliest injection cycle).
     pub ts: u64,
@@ -141,7 +138,11 @@ impl StimuliGenerator {
                 }
                 if t >= t0 {
                     let src = shape.coord(NodeId(node as u16));
-                    let dest = self.cfg.be.pattern.dest(shape, src, &mut self.node_rng[node]);
+                    let dest = self
+                        .cfg
+                        .be
+                        .pattern
+                        .dest(shape, src, &mut self.node_rng[node]);
                     let ring_vc = if self.be_toggle[node] { 1 } else { 0 };
                     self.be_toggle[node] = !self.be_toggle[node];
                     events[node].push((
@@ -152,7 +153,11 @@ impl StimuliGenerator {
                         ring_vc,
                     ));
                 }
-                let gap = self.cfg.be.sample_gap(&mut self.node_rng[node]).expect("load > 0");
+                let gap = self
+                    .cfg
+                    .be
+                    .sample_gap(&mut self.node_rng[node])
+                    .expect("load > 0");
                 self.next_be[node] = Some(t + gap);
             }
         }
@@ -177,7 +182,9 @@ impl StimuliGenerator {
         // Emit flits, per node in timestamp order (ring FIFOs require
         // non-decreasing timestamps per VC).
         let mut win = Window {
-            stim: (0..n).map(|_| core::array::from_fn(|_| Vec::new())).collect(),
+            stim: (0..n)
+                .map(|_| core::array::from_fn(|_| Vec::new()))
+                .collect(),
             offered: Vec::new(),
         };
         for node in 0..n {
@@ -192,13 +199,7 @@ impl StimuliGenerator {
                     flits: flits as usize,
                 };
                 let rng = &mut self.payload_rng[node];
-                let packet = spec.flitise(|i| {
-                    if i == 0 {
-                        seq
-                    } else {
-                        rng.next_u32() as u16
-                    }
-                });
+                let packet = spec.flitise(|i| if i == 0 { seq } else { rng.next_u32() as u16 });
                 for f in packet {
                     win.stim[node][ring_vc as usize].push(StimEntry { ts, flit: f });
                 }
@@ -260,8 +261,12 @@ mod tests {
         // Same seed, one big window: identical offered set.
         let mut b = StimuliGenerator::new(traffic(0.08, true));
         let big = b.generate(0, 2000);
-        let mut merged: Vec<OfferedPacket> =
-            w1.offered.iter().chain(w2.offered.iter()).copied().collect();
+        let mut merged: Vec<OfferedPacket> = w1
+            .offered
+            .iter()
+            .chain(w2.offered.iter())
+            .copied()
+            .collect();
         let key = |p: &OfferedPacket| (p.src, p.seq);
         merged.sort_by_key(key);
         let mut whole = big.offered.clone();

@@ -16,10 +16,17 @@
 /// the end of `words`.
 #[inline]
 pub fn get_bits(words: &[u64], offset: usize, width: usize) -> u64 {
-    assert!((1..=64).contains(&width), "field width {width} out of range");
+    assert!(
+        (1..=64).contains(&width),
+        "field width {width} out of range"
+    );
     let word = offset / 64;
     let bit = offset % 64;
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     if bit + width <= 64 {
         (words[word] >> bit) & mask
     } else {
@@ -40,8 +47,15 @@ pub fn get_bits(words: &[u64], offset: usize, width: usize) -> u64 {
 /// the end of `words`.
 #[inline]
 pub fn set_bits(words: &mut [u64], offset: usize, width: usize, value: u64) {
-    assert!((1..=64).contains(&width), "field width {width} out of range");
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    assert!(
+        (1..=64).contains(&width),
+        "field width {width} out of range"
+    );
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     debug_assert_eq!(value & !mask, 0, "value wider than declared field");
     let value = value & mask;
     let word = offset / 64;

@@ -1,7 +1,6 @@
 //! Router and network configuration shared by all simulation engines.
 
 use crate::topology::{Shape, Topology};
-use serde::{Deserialize, Serialize};
 
 /// Number of router ports (N, E, S, W, Local). Paper §2.1: "The router has
 /// five input and five output ports".
@@ -27,7 +26,7 @@ pub const BE_VCS: [u8; 2] = [0, 1];
 pub const GT_VCS: [u8; 2] = [2, 3];
 
 /// Per-router configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RouterConfig {
     /// Input queue depth in flits. Paper default is 4 ("they are buffered
     /// in four flit deep queues"); Figure 1 uses 2 ("queue size 2 flits").
@@ -53,7 +52,7 @@ impl Default for RouterConfig {
 }
 
 /// Whole-network configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NetworkConfig {
     /// Grid shape (`w × h`, at most 256 routers).
     pub shape: Shape,

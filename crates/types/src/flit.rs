@@ -12,7 +12,6 @@
 //! * Backward (flow-control) link word: 4 bits, one *room* bit per VC.
 
 use crate::geom::Coord;
-use serde::{Deserialize, Serialize};
 
 /// Number of bits in a flit payload.
 pub const PAYLOAD_BITS: usize = 16;
@@ -24,7 +23,7 @@ pub const LINK_FWD_BITS: usize = 1 + 2 + FLIT_BITS;
 pub const LINK_ROOM_BITS: usize = crate::config::NUM_VCS;
 
 /// Position of a flit within its packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum FlitKind {
     /// First flit of a multi-flit packet; payload carries the header.
@@ -63,7 +62,7 @@ impl FlitKind {
 }
 
 /// An 18-bit flit: 2-bit kind + 16-bit payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Flit {
     /// Position of the flit within its packet.
     pub kind: FlitKind,
@@ -82,9 +81,7 @@ impl Flit {
         debug_assert!(dest.x < 16 && dest.y < 16, "dest out of 16x16 range");
         Flit {
             kind: FlitKind::Head,
-            payload: (dest.x as u16 & 0xF)
-                | ((dest.y as u16 & 0xF) << 4)
-                | ((src_tag as u16) << 8),
+            payload: (dest.x as u16 & 0xF) | ((dest.y as u16 & 0xF) << 4) | ((src_tag as u16) << 8),
         }
     }
 
@@ -132,7 +129,7 @@ impl Flit {
 ///
 /// Encoding (21 bits): `flit[17:0] | vc[19:18] | valid[20]`. The idle word
 /// encodes as all zeros so that reset link memory reads as "no flit".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkFwd {
     /// Whether a flit is present on the link this cycle.
     pub valid: bool,
@@ -210,7 +207,12 @@ mod tests {
 
     #[test]
     fn flit_roundtrip_all_kinds() {
-        for kind in [FlitKind::Head, FlitKind::Body, FlitKind::Tail, FlitKind::HeadTail] {
+        for kind in [
+            FlitKind::Head,
+            FlitKind::Body,
+            FlitKind::Tail,
+            FlitKind::HeadTail,
+        ] {
             for payload in [0u16, 1, 0xFFFF, 0xA5A5] {
                 let f = Flit { kind, payload };
                 assert_eq!(Flit::from_bits(f.to_bits()), f);
@@ -233,7 +235,13 @@ mod tests {
 
     #[test]
     fn link_word_roundtrip() {
-        let w = LinkFwd::flit(3, Flit { kind: FlitKind::Body, payload: 0x1234 });
+        let w = LinkFwd::flit(
+            3,
+            Flit {
+                kind: FlitKind::Body,
+                payload: 0x1234,
+            },
+        );
         assert_eq!(LinkFwd::from_bits(w.to_bits()), w);
         assert!(w.to_bits() < (1 << LINK_FWD_BITS));
         assert_eq!(LinkFwd::IDLE.to_bits(), 0);
@@ -246,7 +254,10 @@ mod tests {
         let w = LinkFwd {
             valid: false,
             vc: 2,
-            flit: Flit { kind: FlitKind::Tail, payload: 0xDEAD },
+            flit: Flit {
+                kind: FlitKind::Tail,
+                payload: 0xDEAD,
+            },
         };
         assert_eq!(w.to_bits(), 0);
     }

@@ -4,12 +4,10 @@
 //! (North, East, South, West) and one Local port towards the processing
 //! element / stimuli interface.
 
-use serde::{Deserialize, Serialize};
-
 /// A 2-D router coordinate. The paper's networks are `w × h` grids of up to
 /// 256 routers, so 4 bits per axis (16×16) suffice for the head-flit
 /// encoding; `u8` leaves headroom for experiments beyond the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Coord {
     /// Column, `0..w`, increasing eastwards.
     pub x: u8,
@@ -32,7 +30,7 @@ impl core::fmt::Display for Coord {
 }
 
 /// Linear router/node index within a network (row-major: `y * w + x`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -50,7 +48,7 @@ impl core::fmt::Display for NodeId {
 }
 
 /// One of the four neighbour directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Direction {
     /// Towards increasing `y`.
@@ -109,7 +107,7 @@ impl Direction {
 ///
 /// Port indices are `North=0, East=1, South=2, West=3, Local=4`; the first
 /// four coincide with [`Direction`] indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Port {
     /// Neighbour port towards increasing `y`.
@@ -126,7 +124,13 @@ pub enum Port {
 
 impl Port {
     /// All five ports in index order.
-    pub const ALL: [Port; 5] = [Port::North, Port::East, Port::South, Port::West, Port::Local];
+    pub const ALL: [Port; 5] = [
+        Port::North,
+        Port::East,
+        Port::South,
+        Port::West,
+        Port::Local,
+    ];
 
     /// Index `0..5`.
     #[inline]

@@ -5,14 +5,13 @@
 //! 256-byte GT packets and 10-byte BE packets (§2.1, Fig 1); with 16-bit
 //! flit payloads these are 128 and 5 flits respectively.
 
+use crate::config::NUM_VCS;
 use crate::flit::{Flit, FlitKind};
 use crate::geom::{Coord, NodeId};
-use crate::config::NUM_VCS;
-use serde::{Deserialize, Serialize};
 
 /// Service class of a packet (paper §2: GT and BE traffic are handled
 /// simultaneously).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrafficClass {
     /// Guaranteed-throughput stream traffic (reserved VC per stream).
     GuaranteedThroughput,
@@ -47,7 +46,7 @@ impl TrafficClass {
 }
 
 /// Description of a packet to inject.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PacketSpec {
     /// Source node.
     pub src: NodeId,
@@ -87,7 +86,7 @@ impl PacketSpec {
 }
 
 /// A packet reconstructed at a destination.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReceivedPacket {
     /// Source tag from the head flit (the sender's linear node id).
     pub src_tag: u8,
@@ -287,7 +286,14 @@ mod tests {
     #[should_panic]
     fn body_without_head_panics() {
         let mut r = Reassembler::new();
-        r.push(0, 0, Flit { kind: FlitKind::Body, payload: 0 });
+        r.push(
+            0,
+            0,
+            Flit {
+                kind: FlitKind::Body,
+                payload: 0,
+            },
+        );
     }
 
     #[test]

@@ -6,10 +6,9 @@
 //! number of 256 routers."
 
 use crate::geom::{Coord, Direction, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Rectangular network shape `w × h`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Shape {
     /// Number of columns (routers along `x`).
     pub w: u8,
@@ -70,7 +69,7 @@ impl core::fmt::Display for Shape {
 }
 
 /// Interconnect topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Topology {
     /// 2-D torus: all neighbour links exist, edges wrap around.
     Torus,

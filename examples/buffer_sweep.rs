@@ -16,7 +16,7 @@ use noc::{run_fig1_point, NativeNoc, RunConfig};
 use noc_types::{NetworkConfig, Topology};
 use platform::energy::noc_types_run::RunLike;
 use platform::EnergyParams;
-use rayon::prelude::*;
+use soc_sim::par_map;
 use stats::Table;
 use vc_router::{IfaceConfig, RegisterLayout};
 
@@ -31,24 +31,29 @@ fn main() {
     let depths = [2usize, 4, 8];
     let loads = [0.05f64, 0.10, 0.14];
 
-    let results: Vec<(usize, f64, noc::RunReport)> = depths
+    let grid: Vec<(usize, f64)> = depths
         .iter()
         .flat_map(|&d| loads.iter().map(move |&l| (d, l)))
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|(depth, load)| {
-            let cfg = NetworkConfig::new(6, 6, Topology::Torus, depth);
-            let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
-            (depth, load, run_fig1_point(&mut engine, load, 2024, &rc))
-        })
         .collect();
+    let results: Vec<(usize, f64, noc::RunReport)> = par_map(grid, |(depth, load)| {
+        let cfg = NetworkConfig::new(6, 6, Topology::Torus, depth);
+        let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+        (depth, load, run_fig1_point(&mut engine, load, 2024, &rc))
+    });
 
     let energy = EnergyParams::default();
     let mut t = Table::new(
         "Queue-depth ablation — Fig 1 workload, 6x6 torus (energy model: platform::energy)",
         &[
-            "depth", "regs/router", "BE load", "GT mean", "GT max", "BE mean", "BE p99",
-            "delivered", "pJ/flit",
+            "depth",
+            "regs/router",
+            "BE load",
+            "GT mean",
+            "GT max",
+            "BE mean",
+            "BE p99",
+            "delivered",
+            "pJ/flit",
         ],
     );
     for (depth, load, r) in &results {

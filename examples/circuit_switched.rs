@@ -15,7 +15,7 @@
 //! cargo run --release --example circuit_switched
 //! ```
 
-use noc::{run_fig1_point, CsNoc, SeqNoc, RunConfig};
+use noc::{run_fig1_point, CsNoc, RunConfig, SeqNoc};
 use noc_types::{Coord, NetworkConfig, Topology};
 use stats::Table;
 use vc_router::IfaceConfig;
@@ -66,7 +66,10 @@ fn main() {
 
     let mut t = Table::new("circuit-switched streaming", &["metric", "value"]);
     t.row(&["words delivered".into(), total.to_string()]);
-    t.row(&["full link bandwidth (1 word/cycle)".into(), full_bandwidth.to_string()]);
+    t.row(&[
+        "full link bandwidth (1 word/cycle)".into(),
+        full_bandwidth.to_string(),
+    ]);
     t.row(&[
         "setup overhead beyond hop count".into(),
         format!(

@@ -13,7 +13,7 @@
 
 use noc::{fig1_guarantee, run_fig1_point, NativeNoc, RunConfig};
 use noc_types::NetworkConfig;
-use rayon::prelude::*;
+use soc_sim::par_map;
 use stats::{Series, Table};
 use vc_router::IfaceConfig;
 
@@ -30,21 +30,25 @@ fn main() {
     };
     let loads: Vec<f64> = (0..=14).map(|i| i as f64 / 100.0).collect();
 
-    // The sweep points are independent — a rayon parallel map, one
-    // engine per point.
-    let mut points: Vec<(f64, noc::RunReport)> = loads
-        .par_iter()
-        .map(|&load| {
-            let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
-            (load, run_fig1_point(&mut engine, load, 1337, &rc))
-        })
-        .collect();
+    // The sweep points are independent — a parallel map, one engine per
+    // point.
+    let mut points: Vec<(f64, noc::RunReport)> = par_map(loads, |load| {
+        let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+        (load, run_fig1_point(&mut engine, load, 1337, &rc))
+    });
     points.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut series = Series::new("be_load", &["guarantee", "gt_mean", "gt_max", "be_mean"]);
     let mut table = Table::new(
         "Figure 1 — GT/BE latency vs BE load (6x6 torus, queue depth 2)",
-        &["BE load", "Guarantee", "GT mean", "GT max", "BE mean", "saturated"],
+        &[
+            "BE load",
+            "Guarantee",
+            "GT mean",
+            "GT max",
+            "BE mean",
+            "saturated",
+        ],
     );
     for (load, r) in &points {
         series.push(*load, &[guarantee, r.gt.mean, r.gt.max as f64, r.be.mean]);

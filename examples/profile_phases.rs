@@ -37,7 +37,9 @@ fn main() {
     let mut hi = [f64::MIN; 5];
     let mut t = Table::new(
         "Table 4 (model) — time share per phase, ARM9 + Virtex-II platform",
-        &["Scenario", "generate", "load", "simulate", "retrieve", "analyse", "cps"],
+        &[
+            "Scenario", "generate", "load", "simulate", "retrieve", "analyse", "cps",
+        ],
     );
     for (name, sc) in &scenarios {
         let b = params.evaluate(&timing, sc);
@@ -100,7 +102,13 @@ fn main() {
     println!("{}", host.render());
     println!(
         "note: on 2026 hardware the simulate phase dominates ({}), while the",
-        fmt_pct(r.profile.iter().find(|p| p.0 == "simulate").map(|p| p.2).unwrap_or(0.0))
+        fmt_pct(
+            r.profile
+                .iter()
+                .find(|p| p.0 == "simulate")
+                .map(|p| p.2)
+                .unwrap_or(0.0)
+        )
     );
     println!("paper's ARM9 spent most time generating stimuli — the asymmetry the");
     println!("FPGA offload exploited in 2007 and a fast CPU removes today.");

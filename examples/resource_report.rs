@@ -19,7 +19,13 @@ fn main() {
     // ---- Table 1 ----
     let mut t1 = Table::new(
         "Table 1 — required registers per router (bits)",
-        &["Group", "this repo (depth 4)", "paper", "depth 2", "depth 8"],
+        &[
+            "Group",
+            "this repo (depth 4)",
+            "paper",
+            "depth 2",
+            "depth 8",
+        ],
     );
     let l4 = RegisterLayout::new(4);
     let l2 = RegisterLayout::new(2);
@@ -53,7 +59,13 @@ fn main() {
     let dev = FpgaDevice::virtex2_8000();
     let mut t2 = Table::new(
         "Table 2 — FPGA resource usage (256 routers, Virtex-II 8000)",
-        &["Block", "CLB (model)", "CLB (paper)", "RAM (model)", "RAM (paper)"],
+        &[
+            "Block",
+            "CLB (model)",
+            "CLB (paper)",
+            "RAM (model)",
+            "RAM (paper)",
+        ],
     );
     for (m, p) in model.table2().iter().zip(ResourceModel::paper_table2()) {
         t2.row(&[
@@ -113,7 +125,11 @@ fn main() {
         ("Virtex-II 2000", 10_752, 56),
         ("Virtex-II 1000", 5_120, 40),
     ] {
-        let dev = FpgaDevice { name: "d", slices, brams };
+        let dev = FpgaDevice {
+            name: "d",
+            slices,
+            brams,
+        };
         t4.row(&[
             name.into(),
             slices.to_string(),

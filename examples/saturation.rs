@@ -24,13 +24,8 @@ fn main() {
         period: 512,
         backlog_limit: 4_096,
     };
-    let loads: Vec<f64> = [
-        0.02, 0.06, 0.10, 0.14, 0.20, 0.28, 0.36, 0.44, 0.52, 0.60,
-    ]
-    .to_vec();
-    let mut mk = || -> Box<dyn NocEngine> {
-        Box::new(NativeNoc::new(cfg, IfaceConfig::default()))
-    };
+    let loads: Vec<f64> = [0.02, 0.06, 0.10, 0.14, 0.20, 0.28, 0.36, 0.44, 0.52, 0.60].to_vec();
+    let mut mk = || -> Box<dyn NocEngine> { Box::new(NativeNoc::new(cfg, IfaceConfig::default())) };
     let pts = saturation_sweep(&mut mk, &loads, 4242, &rc);
 
     if csv {
@@ -39,7 +34,13 @@ fn main() {
     }
     let mut t = Table::new(
         "BE saturation sweep — 6x6 torus, 2-flit queues, uniform random",
-        &["offered", "accepted", "delivered", "BE mean latency", "overloaded"],
+        &[
+            "offered",
+            "accepted",
+            "delivered",
+            "BE mean latency",
+            "overloaded",
+        ],
     );
     for p in &pts {
         t.row(&[

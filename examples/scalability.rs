@@ -23,7 +23,11 @@ fn main() {
     let mut t = Table::new(
         "Scalability on a Virtex-II 8000 (depth-4 routers, load 0.10, heavy analysis)",
         &[
-            "routers", "direct fits?", "seq BRAM", "seq max sim freq", "co-sim cps",
+            "routers",
+            "direct fits?",
+            "seq BRAM",
+            "seq max sim freq",
+            "co-sim cps",
             "1M-cycle experiment",
         ],
     );
@@ -48,7 +52,11 @@ fn main() {
         let minutes = 1.0e6 / cps / 60.0;
         t.row(&[
             nodes.to_string(),
-            if nodes <= direct_max { "yes".into() } else { format!("no (>{direct_max})") },
+            if nodes <= direct_max {
+                "yes".into()
+            } else {
+                format!("no (>{direct_max})")
+            },
             format!("{ram} ({:.0} %)", 100.0 * ram as f64 / dev.brams as f64),
             fmt_hz(fmax),
             fmt_hz(cps),
@@ -60,14 +68,10 @@ fn main() {
         "per-router state: {} bits; the state memory scales linearly while the shared",
         RegisterLayout::new(4).state_bits()
     );
-    println!(
-        "combinational logic stays constant — \"less then 10% of the logic resources are"
-    );
+    println!("combinational logic stays constant — \"less then 10% of the logic resources are");
     println!("used for combinatorial circuitry of the routers\" (§7.1).");
     println!();
-    println!(
-        "the paper's contrast at 36 routers: SystemC needed 29 h for Fig 1; the same"
-    );
+    println!("the paper's contrast at 36 routers: SystemC needed 29 h for Fig 1; the same");
     println!(
         "experiment at the modelled co-sim rate takes ~{:.1} h of FPGA platform time.",
         {

@@ -69,13 +69,48 @@ fn main() {
         "Table 3 — simulated clock cycles per second (6x6 NoC)",
         &["Block", "engine only", "whole loop", "paper (2004 HW)"],
     );
-    t.row(&["VHDL (event-driven netlist)".into(), fmt_hz(rtl_cps), fmt_hz(rtl_loop), "10-17 Hz".into()]);
-    t.row(&["SystemC (cycle kernel)".into(), fmt_hz(sc_cps), fmt_hz(sc_loop), "215 Hz".into()]);
-    t.row(&["sequential method, software".into(), fmt_hz(seq_cps), "-".into(), "-".into()]);
-    t.row(&["native cycle sim".into(), fmt_hz(native_cps), fmt_hz(native_loop), "-".into()]);
-    t.row(&["FPGA at measured deltas/cycle".into(), fmt_hz(fpga_max), "-".into(), "91.6 kHz (min deltas)".into()]);
-    t.row(&["FPGA average (modelled)".into(), "-".into(), fmt_hz(fpga_avg), "22 kHz".into()]);
-    t.row(&["FPGA fastest (modelled)".into(), "-".into(), fmt_hz(fpga_fast), "61.6 kHz".into()]);
+    t.row(&[
+        "VHDL (event-driven netlist)".into(),
+        fmt_hz(rtl_cps),
+        fmt_hz(rtl_loop),
+        "10-17 Hz".into(),
+    ]);
+    t.row(&[
+        "SystemC (cycle kernel)".into(),
+        fmt_hz(sc_cps),
+        fmt_hz(sc_loop),
+        "215 Hz".into(),
+    ]);
+    t.row(&[
+        "sequential method, software".into(),
+        fmt_hz(seq_cps),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.row(&[
+        "native cycle sim".into(),
+        fmt_hz(native_cps),
+        fmt_hz(native_loop),
+        "-".into(),
+    ]);
+    t.row(&[
+        "FPGA at measured deltas/cycle".into(),
+        fmt_hz(fpga_max),
+        "-".into(),
+        "91.6 kHz (min deltas)".into(),
+    ]);
+    t.row(&[
+        "FPGA average (modelled)".into(),
+        "-".into(),
+        fmt_hz(fpga_avg),
+        "22 kHz".into(),
+    ]);
+    t.row(&[
+        "FPGA fastest (modelled)".into(),
+        "-".into(),
+        fmt_hz(fpga_fast),
+        "61.6 kHz".into(),
+    ]);
     println!("{}", t.render());
 
     println!("ordering check (must match the paper):");
@@ -96,9 +131,7 @@ fn main() {
         22_000.0 / 215.0,
         61_600.0 / 215.0
     );
-    println!(
-        "  this repo, same structure: modelled FPGA avg/fastest over measured-cps-scaled",
-    );
+    println!("  this repo, same structure: modelled FPGA avg/fastest over measured-cps-scaled",);
     println!(
         "  SystemC-equivalent = {:.0}x / {:.0}x (scaled: our kernel on 2026 hardware)",
         fpga_avg / 215.0,

@@ -45,5 +45,10 @@ fn main() {
         "40-bit accumulator only — operand pipelining lives in the link memory".into(),
     ]);
     println!("{}", t.render());
-    println!("C[0][0] = {}, C[{m}][{m}] = {}", got[0][0], got[n - 1][n - 1], m = n - 1);
+    println!(
+        "C[0][0] = {}, C[{m}][{m}] = {}",
+        got[0][0],
+        got[n - 1][n - 1],
+        m = n - 1
+    );
 }

@@ -9,7 +9,7 @@
 
 use noc::{run, NativeNoc, RunConfig};
 use noc_types::{Coord, NetworkConfig, Topology};
-use rayon::prelude::*;
+use soc_sim::par_map;
 use stats::Table;
 use traffic::{BeConfig, DestPattern, StimuliGenerator, TrafficConfig};
 use vc_router::IfaceConfig;
@@ -37,27 +37,31 @@ fn main() {
         ("nearest neighbour", DestPattern::NearestNeighbour),
     ];
 
-    let results: Vec<_> = patterns
-        .par_iter()
-        .map(|(name, pattern)| {
-            let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
-            let mut gen = StimuliGenerator::new(TrafficConfig {
-                net: cfg,
-                be: BeConfig {
-                    load: 0.12,
-                    packet_flits: 5,
-                    pattern: *pattern,
-                },
-                gt_streams: Vec::new(),
-                seed: 77,
-            });
-            (*name, run(&mut engine, &mut gen, &rc))
-        })
-        .collect();
+    let results: Vec<_> = par_map(patterns, |(name, pattern)| {
+        let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+        let mut gen = StimuliGenerator::new(TrafficConfig {
+            net: cfg,
+            be: BeConfig {
+                load: 0.12,
+                packet_flits: 5,
+                pattern,
+            },
+            gt_streams: Vec::new(),
+            seed: 77,
+        });
+        (name, run(&mut engine, &mut gen, &rc))
+    });
 
     let mut t = Table::new(
         "Pattern study — 6x6 torus, BE load 0.12, 5-flit packets",
-        &["pattern", "BE mean", "BE p99", "BE max", "delivered", "overloaded"],
+        &[
+            "pattern",
+            "BE mean",
+            "BE p99",
+            "BE max",
+            "delivered",
+            "overloaded",
+        ],
     );
     for (name, r) in &results {
         t.row(&[
@@ -82,7 +86,9 @@ fn main() {
     println!(
         "  nearest neighbour ({:.1}) is the cheapest pattern: {}",
         mean("nearest neighbour"),
-        results.iter().all(|(_, r)| r.be.mean >= mean("nearest neighbour"))
+        results
+            .iter()
+            .all(|(_, r)| r.be.mean >= mean("nearest neighbour"))
     );
     println!(
         "  hotspot ({:.1}) beats uniform ({:.1}) in mean latency: {}",

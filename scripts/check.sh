@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI: exactly what .github/workflows/ci.yml runs.
+# All checks are offline — the workspace has no external dependencies
+# (crates/bench, which needs criterion, is excluded from the workspace).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

@@ -19,6 +19,10 @@
 
 #![warn(missing_docs)]
 
+pub mod par;
+
+pub use par::par_map;
+
 pub use cyclesim;
 pub use noc;
 pub use noc_types;

@@ -1,0 +1,55 @@
+//! Minimal parallel map over independent work items.
+//!
+//! The figure-reproducing sweeps run one engine per sweep point; the
+//! points are embarrassingly parallel. This is a dependency-free
+//! `std::thread::scope` work-stealing map that bounds the worker count
+//! by the available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item, in parallel, preserving input order in the
+/// result.
+pub fn par_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().unwrap();
+                *out[i].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().unwrap())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let out = par_map((0..100).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(par_map(Vec::<u8>::new(), |x| x).is_empty());
+    }
+}

@@ -1,5 +1,6 @@
-//! Conservation and integrity properties, driven by proptest: across
-//! random network shapes, topologies, queue depths, loads and seeds —
+//! Conservation and integrity properties over generated random
+//! instances: across random network shapes, topologies, queue depths,
+//! loads and seeds —
 //!
 //! * every offered packet is delivered exactly once (no loss, no
 //!   duplication) after the network drains;
@@ -8,43 +9,72 @@
 //!   within a VC (the reassembler panics otherwise);
 //! * the native and sequential engines agree bit-for-bit on every one of
 //!   these random instances.
+//!
+//! Cases come from a deterministic splitmix64 stream, so every failure
+//! reproduces exactly without an external property-testing framework.
 
 use noc::diff::{assert_traces_equal, collect_trace};
 use noc::{run, NativeNoc, RunConfig, SeqNoc};
 use noc_types::{NetworkConfig, Topology};
-use proptest::prelude::*;
 use traffic::{BeConfig, DestPattern, GtAllocator, StimuliGenerator, TrafficConfig};
 use vc_router::IfaceConfig;
 
-fn arb_network() -> impl Strategy<Value = NetworkConfig> {
-    (2u8..=4, 1u8..=4, prop_oneof![Just(Topology::Torus), Just(Topology::Mesh)], 2usize..=8)
-        .prop_filter("at least 2 nodes", |(w, h, _, _)| (*w as usize) * (*h as usize) >= 2)
-        .prop_map(|(w, h, topo, depth)| NetworkConfig::new(w, h, topo, depth))
+/// Deterministic PRNG (splitmix64) for generated test cases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
 }
 
-fn arb_pattern() -> impl Strategy<Value = DestPattern> {
-    prop_oneof![
-        Just(DestPattern::UniformRandom),
-        Just(DestPattern::Transpose),
-        Just(DestPattern::BitComplement),
-        Just(DestPattern::NearestNeighbour),
-    ]
+fn arb_network(rng: &mut Rng) -> NetworkConfig {
+    loop {
+        let w = rng.range(2, 5) as u8;
+        let h = rng.range(1, 5) as u8;
+        if (w as usize) * (h as usize) < 2 {
+            continue;
+        }
+        let topo = if rng.next() & 1 == 0 {
+            Topology::Torus
+        } else {
+            Topology::Mesh
+        };
+        let depth = rng.range(2, 9) as usize;
+        return NetworkConfig::new(w, h, topo, depth);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        .. ProptestConfig::default()
-    })]
+fn arb_pattern(rng: &mut Rng) -> DestPattern {
+    match rng.range(0, 4) {
+        0 => DestPattern::UniformRandom,
+        1 => DestPattern::Transpose,
+        2 => DestPattern::BitComplement,
+        _ => DestPattern::NearestNeighbour,
+    }
+}
 
-    #[test]
-    fn offered_equals_delivered_after_drain(
-        net in arb_network(),
-        load in 0.01f64..0.25,
-        pattern in arb_pattern(),
-        with_gt in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn offered_equals_delivered_after_drain() {
+    let mut rng = Rng(0xC0FFEE);
+    for case in 0..12 {
+        let net = arb_network(&mut rng);
+        let load = 0.01 + rng.unit() * 0.24;
+        let pattern = arb_pattern(&mut rng);
+        let with_gt = rng.next() & 1 == 1;
+        let seed = rng.next();
         let gt_streams = if with_gt {
             GtAllocator::new(net).auto_streams((1, 1), 1024, 16)
         } else {
@@ -52,7 +82,11 @@ proptest! {
         };
         let mut gen = StimuliGenerator::new(TrafficConfig {
             net,
-            be: BeConfig { load, packet_flits: 5, pattern },
+            be: BeConfig {
+                load,
+                packet_flits: 5,
+                pattern,
+            },
             gt_streams,
             seed,
         });
@@ -67,20 +101,23 @@ proptest! {
         let r = run(&mut engine, &mut gen, &rc);
         // Unless genuinely saturated, everything offered must arrive.
         if !r.saturated {
-            prop_assert_eq!(
+            assert_eq!(
                 r.unmatched, 0,
-                "{} packets lost (net {:?}, load {})", r.unmatched, net, load
+                "case {case}: {} packets lost (net {:?}, load {})",
+                r.unmatched, net, load
             );
-            prop_assert!(r.throughput.delivered_packets > 0);
+            assert!(r.throughput.delivered_packets > 0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn native_and_seqsim_agree_on_random_instances(
-        net in arb_network(),
-        load in 0.05f64..0.4,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn native_and_seqsim_agree_on_random_instances() {
+    let mut rng = Rng(0xDECAF);
+    for _ in 0..12 {
+        let net = arb_network(&mut rng);
+        let load = 0.05 + rng.unit() * 0.35;
+        let seed = rng.next();
         let t = TrafficConfig {
             net,
             be: BeConfig::fig1(load),

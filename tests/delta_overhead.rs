@@ -30,7 +30,10 @@ fn idle_network_needs_only_minimum_deltas() {
     let mut engine = SeqNoc::new(cfg, IfaceConfig::default());
     engine.run(200);
     let stats = engine.delta_stats().unwrap();
-    assert_eq!(stats.deltas_last_cycle, 36, "idle cycle must cost exactly N");
+    assert_eq!(
+        stats.deltas_last_cycle, 36,
+        "idle cycle must cost exactly N"
+    );
     assert!(stats.extra_fraction(36) < 0.02, "idle extra {:?}", stats);
 }
 

@@ -27,7 +27,12 @@ fn traffic_for(net: NetworkConfig, load: f64, gt: bool, seed: u64) -> TrafficCon
     }
 }
 
-fn all_traces(net: NetworkConfig, t: &TrafficConfig, cycles: u64, period: u64) -> Vec<(&'static str, Trace)> {
+fn all_traces(
+    net: NetworkConfig,
+    t: &TrafficConfig,
+    cycles: u64,
+    period: u64,
+) -> Vec<(&'static str, Trace)> {
     let icfg = IfaceConfig::default();
     let mut out = Vec::new();
     {

@@ -64,5 +64,9 @@ fn be_only_network_has_low_latency() {
     let r = run_fig1_point(&mut e, 0.02, 5, &rc());
     // run_fig1_point always adds GT streams; judge the BE class only.
     assert!(r.be.count > 100);
-    assert!(r.be.mean < 30.0, "BE mean {} too high at 2% load", r.be.mean);
+    assert!(
+        r.be.mean < 30.0,
+        "BE mean {} too high at 2% load",
+        r.be.mean
+    );
 }

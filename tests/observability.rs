@@ -1,0 +1,122 @@
+//! End-to-end observability: an instrumented five-phase run over the
+//! sequential engine must yield (a) a valid Chrome trace-event document
+//! with spans for all five runner phases plus per-cycle kernel events,
+//! and (b) a valid metrics snapshot carrying delta-cycle counters,
+//! re-evaluation counts and per-VC occupancy gauges.
+
+use noc::{run_instrumented, RunConfig, RunInstr, SeqNoc};
+use noc_types::{NetworkConfig, Topology, NUM_VCS};
+use simtrace::{json, lbl, Registry, Tracer};
+use traffic::{BeConfig, StimuliGenerator, TrafficConfig};
+use vc_router::IfaceConfig;
+
+fn instrumented_mesh_run() -> (RunInstr, noc::RunReport) {
+    let cfg = NetworkConfig::new(4, 4, Topology::Mesh, 2);
+    let mut engine = SeqNoc::new(cfg, IfaceConfig::default());
+    let instr = RunInstr::with(Registry::new(), Tracer::new(), 32);
+    let rc = RunConfig {
+        warmup: 100,
+        measure: 400,
+        drain: 200,
+        period: 128,
+        backlog_limit: 1 << 16,
+    };
+    let tcfg = TrafficConfig {
+        net: cfg,
+        be: BeConfig::fig1(0.10),
+        gt_streams: Vec::new(),
+        seed: 23,
+    };
+    let mut gen = StimuliGenerator::new(tcfg);
+    let report = run_instrumented(&mut engine, &mut gen, &rc, &instr);
+    (instr, report)
+}
+
+#[test]
+fn trace_covers_all_phases_and_kernel_cycles() {
+    let (instr, report) = instrumented_mesh_run();
+    let chrome = instr.tracer.to_chrome_json();
+    json::validate(&chrome).expect("chrome trace must be valid JSON");
+
+    let names = instr.tracer.event_names();
+    for phase in [
+        "phase.generate",
+        "phase.load",
+        "phase.simulate",
+        "phase.retrieve",
+        "phase.analyse",
+    ] {
+        assert!(names.contains(&phase), "missing span {phase}");
+    }
+    let cycles = names.iter().filter(|n| **n == "kernel.cycle").count() as u64;
+    assert_eq!(
+        cycles, report.cycles,
+        "one kernel.cycle instant per simulated cycle"
+    );
+    assert!(
+        names.contains(&"noc.occupancy"),
+        "occupancy counter track missing"
+    );
+    // Every JSONL line is independently valid.
+    for line in instr.tracer.to_jsonl().lines() {
+        json::validate(line).expect("JSONL line must be valid JSON");
+    }
+}
+
+#[test]
+fn metrics_snapshot_has_kernel_and_noc_series() {
+    let (instr, report) = instrumented_mesh_run();
+    let snap = report
+        .metrics
+        .as_ref()
+        .expect("instrumented run has metrics");
+    json::validate(snap).expect("metrics snapshot must be valid JSON");
+
+    let r = &instr.registry;
+    let eng = [("engine", lbl("seqsim"))];
+    let cycles = r.counter_value("kernel.cycles", &eng).unwrap();
+    assert_eq!(cycles, report.cycles);
+    let evals = r.counter_value("kernel.evals", &eng).unwrap();
+    assert!(
+        evals >= cycles * 16,
+        "at least one eval per block per cycle"
+    );
+    let re = r.counter_value("kernel.re_evals", &eng).unwrap();
+    let d = report.delta.as_ref().unwrap();
+    // Counters cover the whole run; DeltaStats only the measurement
+    // window (they are reset after warm-up).
+    assert!(re >= d.re_evaluations);
+    assert!(
+        r.counter_value("kernel.hbr_retries", &eng).unwrap() > 0,
+        "a loaded mesh forces HBR re-evaluations"
+    );
+
+    // Per-VC occupancy gauges exist for every node and VC.
+    for node in 0..16usize {
+        for vc in 0..NUM_VCS {
+            assert!(
+                r.gauge_value("noc.vc_occupancy", &[("node", lbl(node)), ("vc", lbl(vc))])
+                    .is_some(),
+                "missing occupancy gauge node {node} vc {vc}"
+            );
+        }
+    }
+    assert!(snap.contains("\"noc.vc_occupancy\""));
+    assert!(snap.contains("\"kernel.re_evals\""));
+    assert!(snap.contains("\"run.delta.system_cycles\""));
+}
+
+#[test]
+fn plain_run_is_unobserved() {
+    let cfg = NetworkConfig::new(3, 3, Topology::Torus, 2);
+    let mut engine = SeqNoc::new(cfg, IfaceConfig::default());
+    let rc = RunConfig {
+        warmup: 50,
+        measure: 200,
+        drain: 100,
+        period: 128,
+        backlog_limit: 1 << 16,
+    };
+    let r = noc::run_fig1_point(&mut engine, 0.05, 3, &rc);
+    assert!(r.metrics.is_none(), "plain runs carry no metrics snapshot");
+}
