@@ -17,13 +17,21 @@ use crate::links::LinkMemory;
 use crate::side::SideMem;
 use crate::state::StateMemory;
 use crate::trace::{ScheduleTrace, TraceEvent};
+use crate::worklist::Worklist;
 
 /// Scheduling policy of the sequential simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheduling {
     /// The paper's scheduler: HBR status bits + round-robin over
-    /// non-stable blocks.
+    /// non-stable blocks, driven by the incremental [`Worklist`] — O(1)
+    /// scheduler work per delta cycle, same evaluation sequence as the
+    /// naive scan (verified by `tests/worklist_differential.rs`).
     HbrRoundRobin,
+    /// The same scheduler computed the obvious way: a full O(n × links)
+    /// stability rescan per delta cycle. Retained as the differential
+    /// reference for [`HbrRoundRobin`](Scheduling::HbrRoundRobin) and as
+    /// the measurable pre-optimisation baseline.
+    HbrRoundRobinNaive,
     /// Ablation baseline: repeat full evaluation passes over all blocks
     /// until a pass changes no link value (no HBR bookkeeping; typically
     /// many more delta cycles).
@@ -67,6 +75,13 @@ pub struct DynamicEngine {
     instr: KernelInstr,
     in_buf: Vec<u64>,
     out_buf: Vec<u64>,
+    /// Scratch for the links an evaluation changed; only filled while a
+    /// trace is attached (the hot path tracks a bool instead).
+    changed_buf: Vec<usize>,
+    /// Incremental stability tracker (derived state, rebuilt per cycle);
+    /// consulted only under [`Scheduling::HbrRoundRobin`] but kept
+    /// consistent by `eval_block` under every policy.
+    worklist: Worklist,
     /// Delta-cycle budget per system cycle, as a multiple of the block
     /// count; exceeded means a non-converging combinational loop.
     cap_factor: usize,
@@ -120,6 +135,7 @@ impl DynamicEngine {
             .max()
             .unwrap_or(0);
         let n = spec.blocks().len();
+        let worklist = Worklist::new(&spec, &order);
         DynamicEngine {
             spec,
             state,
@@ -135,6 +151,8 @@ impl DynamicEngine {
             instr: KernelInstr::disabled(),
             in_buf: vec![0; max_ports],
             out_buf: vec![0; max_ports],
+            changed_buf: Vec::with_capacity(max_ports),
+            worklist,
             cap_factor: 64,
         }
     }
@@ -198,28 +216,41 @@ impl DynamicEngine {
         );
         let re_evaluation = self.evaluated[b];
         self.evaluated[b] = true;
-        for &l in &inst.inputs {
-            self.links.mark_read(l);
+        if !re_evaluation {
+            self.worklist.on_first_eval(b);
         }
-        let mut changed = Vec::new();
+        for &l in &inst.inputs {
+            if self.links.mark_read(l) {
+                self.worklist.on_read(l);
+            }
+        }
+        let tracing = self.trace.is_some();
+        self.changed_buf.clear();
+        let mut any_changed = false;
         for (o, &l) in inst.outputs.iter().enumerate() {
-            if self.links.write(l, self.out_buf[o]) {
-                changed.push(l);
+            let (changed, rearmed) = self.links.write_tracked(l, self.out_buf[o]);
+            if changed {
+                any_changed = true;
+                if tracing {
+                    self.changed_buf.push(l);
+                }
+            }
+            if rearmed {
+                self.worklist.on_rearm(l);
             }
             // Dangling outputs have no reader; auto-read keeps the writer
             // from looking eternally unstable.
-            if self.spec.links()[l].consumer.is_none() {
-                self.links.mark_read(l);
+            if self.spec.links()[l].consumer.is_none() && self.links.mark_read(l) {
+                self.worklist.on_read(l);
             }
         }
-        let any_changed = !changed.is_empty();
         self.instr.record_eval(self.cycle, delta, b, re_evaluation);
         if let Some(t) = self.trace.as_mut() {
             t.push(TraceEvent {
                 system_cycle: self.cycle,
                 delta,
                 block: b,
-                changed_links: changed,
+                changed_links: self.changed_buf.clone(),
                 re_evaluation,
             });
         }
@@ -232,11 +263,30 @@ impl DynamicEngine {
         let n = self.spec.blocks().len();
         self.links.reset_hbr();
         self.evaluated.iter_mut().for_each(|e| *e = false);
+        self.worklist.begin_cycle();
         let cap = (self.cap_factor * n) as u32;
         let mut delta: u32 = 0;
         match self.scheduling {
-            Scheduling::HbrRoundRobin => loop {
-                // Round-robin scan for the first non-stable block.
+            // Round-robin pick of the first non-stable block — the
+            // incremental tracker's bitset scan returns exactly the
+            // block the naive rescan below would find.
+            Scheduling::HbrRoundRobin => {
+                while let Some(pos) = self.worklist.next_unstable(self.rr_pos) {
+                    let b = self.order[pos];
+                    debug_assert!(!self.stable(b));
+                    self.rr_pos = (pos + 1) % n;
+                    self.eval_block(b, delta);
+                    delta += 1;
+                    assert!(
+                        delta < cap,
+                        "system did not stabilise within {cap} delta cycles in cycle {} — \
+                         non-converging combinational dependency",
+                        self.cycle
+                    );
+                }
+            }
+            Scheduling::HbrRoundRobinNaive => loop {
+                // Reference implementation: full stability rescan per delta.
                 let mut found = None;
                 for i in 0..n {
                     let b = self.order[(self.rr_pos + i) % n];

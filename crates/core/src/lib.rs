@@ -76,6 +76,7 @@ pub mod state;
 pub mod static_sched;
 pub mod systolic;
 pub mod trace;
+pub mod worklist;
 
 pub use block::{BlockId, BlockInst, BlockKind, KindId, LinkDriver, LinkId, LinkSpec, SystemSpec};
 pub use counters::DeltaStats;
@@ -86,3 +87,4 @@ pub use side::{SideMem, SideView};
 pub use state::StateMemory;
 pub use static_sched::StaticEngine;
 pub use trace::{ScheduleTrace, TraceEvent};
+pub use worklist::Worklist;

@@ -63,9 +63,13 @@ impl LinkMemory {
     }
 
     /// Mark link `l` as read (consumer evaluated with its current value).
+    /// Returns `true` when this call flipped the HBR bit 0→1 — the edge the
+    /// incremental stability tracker ([`crate::worklist`]) keys on.
     #[inline]
-    pub fn mark_read(&mut self, l: usize) {
+    pub fn mark_read(&mut self, l: usize) -> bool {
+        let was = self.hbr[l];
         self.hbr[l] = true;
+        !was
     }
 
     /// Write `value` to link `l` after a block evaluation.
@@ -88,6 +92,17 @@ impl LinkMemory {
         } else {
             false
         }
+    }
+
+    /// [`write`](Self::write) variant that additionally reports whether the
+    /// write *re-armed* the link: `(changed, rearmed)` where `rearmed` means
+    /// the HBR bit was set and this write cleared it — the 1→0 edge that
+    /// makes an already-read consumer non-stable again.
+    #[inline]
+    pub fn write_tracked(&mut self, l: usize, value: u64) -> (bool, bool) {
+        let was_read = self.hbr[l];
+        let changed = self.write(l, value);
+        (changed, changed && was_read)
     }
 
     /// Host write to an external link (ARM writing an FPGA register).

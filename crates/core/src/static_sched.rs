@@ -37,6 +37,9 @@ pub struct StaticEngine {
     instr: KernelInstr,
     in_buf: Vec<u64>,
     out_buf: Vec<u64>,
+    /// Scratch for the links an evaluation changed; only filled while a
+    /// trace is attached.
+    changed_buf: Vec<usize>,
 }
 
 impl StaticEngine {
@@ -101,6 +104,7 @@ impl StaticEngine {
             instr: KernelInstr::disabled(),
             in_buf: vec![0; max_ports],
             out_buf: vec![0; max_ports],
+            changed_buf: Vec::with_capacity(max_ports),
         }
     }
 
@@ -146,10 +150,11 @@ impl StaticEngine {
                 &mut self.out_buf[..n_out],
                 &mut self.side.view(b),
             );
-            let mut changed = Vec::new();
+            let tracing = self.trace.is_some();
+            self.changed_buf.clear();
             for (o, &l) in inst.outputs.iter().enumerate() {
-                if self.links_next[l] != self.out_buf[o] {
-                    changed.push(l);
+                if tracing && self.links_next[l] != self.out_buf[o] {
+                    self.changed_buf.push(l);
                 }
                 self.links_next[l] = self.out_buf[o];
             }
@@ -159,7 +164,7 @@ impl StaticEngine {
                     system_cycle: self.cycle,
                     delta: delta as u32,
                     block: b,
-                    changed_links: changed,
+                    changed_links: self.changed_buf.clone(),
                     re_evaluation: false,
                 });
             }

@@ -1,0 +1,233 @@
+//! Incremental stability tracking for the dynamic scheduler.
+//!
+//! The naive §4.2 scheduler re-derives every block's stability predicate —
+//! *evaluated, and every adjacent link Has-Been-Read* — by scanning all
+//! blocks and all their links on every delta cycle: O(deltas × n × links).
+//! This module maintains the same predicate incrementally, in O(1) per HBR
+//! transition, so one delta cycle costs O(1) scheduler work:
+//!
+//! * `pending[b] = (1 if b not yet evaluated) + #(adjacent link occurrences
+//!   whose HBR bit is 0)`. A block is stable exactly when `pending[b] == 0`
+//!   — the naive predicate, counted instead of rescanned.
+//! * A u64-word bitset over *order positions* (not block ids) holds the
+//!   blocks with `pending > 0`; the round-robin pick is a circular
+//!   `trailing_zeros` scan from `rr_pos`, which selects the same block the
+//!   naive scan would.
+//! * A link→adjacent-blocks index, built once from the [`SystemSpec`]
+//!   wiring, translates each HBR edge (`mark_read` 0→1, changed re-write
+//!   1→0) into counter updates.
+//!
+//! The tracker is *derived* state: it is rebuilt from scratch at the start
+//! of each system cycle (right after the HBR reset, when every block is
+//! trivially non-stable), so engine snapshots never contain it and
+//! [`restore`](crate::DynamicEngine::restore) needs no special handling.
+
+use crate::block::{LinkDriver, SystemSpec};
+
+/// No adjacent block in an adjacency slot.
+const NONE: u32 = u32::MAX;
+
+/// Incremental worklist over the non-stable blocks of a [`SystemSpec`].
+#[derive(Debug, Clone)]
+pub struct Worklist {
+    /// Per link: up to two adjacent block ids (producer, consumer), `NONE`
+    /// when absent. A self-loop lists the block twice — stability counts
+    /// link *occurrences*, so the multiplicity matters.
+    adj: Vec<[u32; 2]>,
+    /// Per block: its position in the round-robin order.
+    pos_of: Vec<u32>,
+    /// Per block: `1 + inputs.len() + outputs.len()` — the pending count
+    /// right after an HBR reset (nothing evaluated, nothing read).
+    base_pending: Vec<u32>,
+    /// Per block: outstanding obligations before it is stable.
+    pending: Vec<u32>,
+    /// Bitset over order positions: bit set ⇔ block at that position has
+    /// `pending > 0`.
+    unstable: Vec<u64>,
+    n: usize,
+}
+
+impl Worklist {
+    /// Build the tracker for `spec`, with `order[i]` = block id evaluated
+    /// at round-robin position `i`.
+    pub fn new(spec: &SystemSpec, order: &[usize]) -> Self {
+        let n = spec.blocks().len();
+        debug_assert_eq!(order.len(), n);
+        let mut pos_of = vec![0u32; n];
+        for (pos, &b) in order.iter().enumerate() {
+            pos_of[b] = pos as u32;
+        }
+        let mut adj = vec![[NONE; 2]; spec.links().len()];
+        for (l, s) in spec.links().iter().enumerate() {
+            if let LinkDriver::Block { block, .. } = s.driver {
+                adj[l][0] = block as u32;
+            }
+            if let Some((block, _)) = s.consumer {
+                adj[l][1] = block as u32;
+            }
+        }
+        let base_pending: Vec<u32> = spec
+            .blocks()
+            .iter()
+            .map(|b| 1 + (b.inputs.len() + b.outputs.len()) as u32)
+            .collect();
+        Worklist {
+            adj,
+            pos_of,
+            pending: base_pending.clone(),
+            base_pending,
+            unstable: vec![0; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    /// Reset to the start-of-cycle state: every block unevaluated, every
+    /// HBR bit clear — i.e. every block non-stable with its base pending
+    /// count. Call right after [`LinkMemory::reset_hbr`](crate::LinkMemory::reset_hbr).
+    pub fn begin_cycle(&mut self) {
+        self.pending.copy_from_slice(&self.base_pending);
+        for (i, w) in self.unstable.iter_mut().enumerate() {
+            let lo = i * 64;
+            let bits = (self.n - lo).min(64);
+            *w = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
+        }
+    }
+
+    #[inline]
+    fn dec(&mut self, b: u32) {
+        let b = b as usize;
+        self.pending[b] -= 1;
+        if self.pending[b] == 0 {
+            let pos = self.pos_of[b] as usize;
+            self.unstable[pos / 64] &= !(1u64 << (pos % 64));
+        }
+    }
+
+    #[inline]
+    fn inc(&mut self, b: u32) {
+        let b = b as usize;
+        if self.pending[b] == 0 {
+            let pos = self.pos_of[b] as usize;
+            self.unstable[pos / 64] |= 1u64 << (pos % 64);
+        }
+        self.pending[b] += 1;
+    }
+
+    /// Link `l`'s HBR bit went 0→1 (it was read): one obligation fewer for
+    /// each adjacent block.
+    #[inline]
+    pub fn on_read(&mut self, l: usize) {
+        let [a, b] = self.adj[l];
+        if a != NONE {
+            self.dec(a);
+        }
+        if b != NONE {
+            self.dec(b);
+        }
+    }
+
+    /// Link `l` was re-armed (a changed write cleared its HBR bit): each
+    /// adjacent block owes a read again.
+    #[inline]
+    pub fn on_rearm(&mut self, l: usize) {
+        let [a, b] = self.adj[l];
+        if a != NONE {
+            self.inc(a);
+        }
+        if b != NONE {
+            self.inc(b);
+        }
+    }
+
+    /// Block `b` was evaluated for the first time this cycle.
+    #[inline]
+    pub fn on_first_eval(&mut self, b: usize) {
+        self.dec(b as u32);
+    }
+
+    /// Round-robin pick: the position of the first non-stable block at or
+    /// after `rr_pos` (circularly), or `None` when the system is stable.
+    pub fn next_unstable(&self, rr_pos: usize) -> Option<usize> {
+        if self.n == 0 {
+            return None;
+        }
+        let words = self.unstable.len();
+        let (start_w, start_b) = (rr_pos / 64, rr_pos % 64);
+        // First word: only bits at or after rr_pos.
+        let w = self.unstable[start_w] & (!0u64 << start_b);
+        if w != 0 {
+            return Some(start_w * 64 + w.trailing_zeros() as usize);
+        }
+        // Remaining words, wrapping once past the end.
+        for k in 1..=words {
+            let i = (start_w + k) % words;
+            let mut w = self.unstable[i];
+            if i == start_w {
+                // Wrapped back: only bits before rr_pos remain.
+                w &= !(!0u64 << start_b);
+            }
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+            if i == start_w {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Is any block non-stable? (Used by sanity checks and tests.)
+    pub fn any_unstable(&self) -> bool {
+        self.unstable.iter().any(|&w| w != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::comb_demo;
+
+    #[test]
+    fn begin_cycle_marks_all_unstable() {
+        let (spec, _) = comb_demo();
+        let order: Vec<usize> = (0..spec.blocks().len()).collect();
+        let mut wl = Worklist::new(&spec, &order);
+        wl.begin_cycle();
+        assert!(wl.any_unstable());
+        assert_eq!(wl.next_unstable(0), Some(0));
+        assert_eq!(wl.next_unstable(1), Some(1));
+    }
+
+    #[test]
+    fn scan_wraps_circularly() {
+        let (spec, _) = comb_demo();
+        let n = spec.blocks().len();
+        let order: Vec<usize> = (0..n).collect();
+        let mut wl = Worklist::new(&spec, &order);
+        wl.begin_cycle();
+        // Clear all but position 0; a scan from 1 must wrap to 0.
+        for b in 1..n {
+            while wl.pending[b] > 0 {
+                wl.dec(b as u32);
+            }
+        }
+        assert_eq!(wl.next_unstable(1), Some(0));
+        assert_eq!(wl.next_unstable(0), Some(0));
+    }
+
+    #[test]
+    fn stable_system_yields_none() {
+        let (spec, _) = comb_demo();
+        let n = spec.blocks().len();
+        let order: Vec<usize> = (0..n).collect();
+        let mut wl = Worklist::new(&spec, &order);
+        wl.begin_cycle();
+        for b in 0..n {
+            while wl.pending[b] > 0 {
+                wl.dec(b as u32);
+            }
+        }
+        assert_eq!(wl.next_unstable(0), None);
+        assert!(!wl.any_unstable());
+    }
+}

@@ -257,6 +257,10 @@ pub struct CsNativeNoc {
     host_wr: Vec<u16>,
     out_rd: Vec<u16>,
     cycle: u64,
+    /// Per-cycle scratch (allocation-free step loop): stimuli offers and
+    /// the registered output words of every router.
+    offers_buf: Vec<(u64, bool)>,
+    outs_buf: Vec<[u64; NUM_PORTS]>,
 }
 
 impl CsNativeNoc {
@@ -273,6 +277,8 @@ impl CsNativeNoc {
             host_wr: vec![0; n],
             out_rd: vec![0; n],
             cycle: 0,
+            offers_buf: vec![(0, false); n],
+            outs_buf: vec![[0; NUM_PORTS]; n],
         }
     }
 
@@ -309,11 +315,14 @@ impl CsNativeNoc {
     /// Simulate one system cycle.
     pub fn step(&mut self) {
         let n = self.state.cfg.num_nodes();
-        // Offers (functions of state) and current output registers.
-        let offers: Vec<(u64, bool)> = (0..n)
-            .map(|r| cs_offer(&self.regs[r], &self.iface_cfg, &self.rings[r], self.cycle))
-            .collect();
-        let outs: Vec<[u64; NUM_PORTS]> = (0..n).map(|r| self.regs[r].out_reg).collect();
+        // Offers (functions of state) and current output registers, into
+        // the preallocated scratch buffers.
+        for r in 0..n {
+            self.offers_buf[r] =
+                cs_offer(&self.regs[r], &self.iface_cfg, &self.rings[r], self.cycle);
+            self.outs_buf[r] = self.regs[r].out_reg;
+        }
+        let (offers, outs) = (&self.offers_buf, &self.outs_buf);
         for r in 0..n {
             let mut inputs = [0u64; NUM_PORTS];
             for (d, slot) in inputs.iter_mut().enumerate().take(4) {

@@ -90,6 +90,31 @@ impl RunReport {
     pub fn cps(&self) -> f64 {
         self.cycles as f64 / self.wall.as_secs_f64().max(1e-12)
     }
+
+    /// Simulated cycles per second of the *simulate phase alone*
+    /// (excluding generate/load/retrieve/analyse) — the kernel-throughput
+    /// number the bench harness reports.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        self.profile
+            .iter()
+            .find(|p| p.0 == "simulate")
+            .map(|p| self.cycles as f64 / p.1.as_secs_f64().max(1e-12))
+            .unwrap_or(0.0)
+    }
+
+    /// Delta cycles (= block evaluations) per second of the simulate
+    /// phase; sequential engines only.
+    pub fn deltas_per_sec(&self) -> Option<f64> {
+        self.delta
+            .as_ref()
+            .map(|d| d.avg_deltas_per_cycle() * self.sim_cycles_per_sec())
+    }
+
+    /// Block evaluations per second of the simulate phase (one evaluation
+    /// per delta cycle); sequential engines only.
+    pub fn evals_per_sec(&self) -> Option<f64> {
+        self.deltas_per_sec()
+    }
 }
 
 /// Drive `engine` with `gen`'s traffic through the five-phase loop.
@@ -135,6 +160,9 @@ pub fn run_instrumented(
     let mut pushed_flits: u64 = 0;
     let mut saturated = false;
     let mut delta_reset_done = false;
+    // Retrieval scratch, reused across periods.
+    let mut retrieved: Vec<(usize, Vec<vc_router::OutEntry>)> = Vec::with_capacity(n);
+    let mut acc_entries = Vec::new();
 
     let gen_end = rc.warmup + rc.measure;
     let total_end = gen_end + rc.drain;
@@ -201,7 +229,7 @@ pub fn run_instrumented(
         {
             let mut span = instr.tracer.span("phase.simulate", "runner");
             span.arg("cycles", t1 - t0);
-            prof.time("simulate", || match observer.as_ref() {
+            prof.time_work("simulate", t1 - t0, || match observer.as_ref() {
                 Some(obs) if instr.sample_every > 0 => {
                     let mut c = t0;
                     while c < t1 {
@@ -216,8 +244,8 @@ pub fn run_instrumented(
         }
 
         // Phase 4: retrieve the output and access-delay buffers.
-        let mut retrieved: Vec<(usize, Vec<vc_router::OutEntry>)> = Vec::with_capacity(n);
-        let mut acc_entries = Vec::new();
+        retrieved.clear();
+        acc_entries.clear();
         {
             let _span = instr.tracer.span("phase.retrieve", "runner");
             prof.time("retrieve", || {
@@ -236,7 +264,7 @@ pub fn run_instrumented(
                     access.record(a.delay);
                 }
             }
-            for (node, entries) in retrieved {
+            for (node, entries) in retrieved.drain(..) {
                 for e in entries {
                     reasm[node].push(e.cycle, e.vc, e.flit);
                 }

@@ -57,28 +57,6 @@ pub fn comb_room(regs: &RouterRegs, depth: usize) -> [[bool; NUM_VCS]; NUM_PORTS
     })
 }
 
-/// The request of queue `q`: the (output port, output VC) its head flit
-/// needs, plus whether that head is a packet head (competing for a free
-/// VC) or a body/tail (following its worm).
-#[inline]
-fn request(regs: &RouterRegs, ctx: &RouterCtx, q: usize) -> Option<(usize, usize, bool)> {
-    let front = regs.queues[q].front()?;
-    if front.kind.is_head() {
-        let in_vc = (q % NUM_VCS) as u8;
-        let (port, out_vc) = route(ctx, front.dest(), in_vc);
-        debug_assert!(
-            regs.owned_by(q as u8).is_none(),
-            "queue {q} has a head flit at front while owning an output VC"
-        );
-        Some((port.index(), out_vc as usize, true))
-    } else {
-        let (out, vc) = regs
-            .owned_by(q as u8)
-            .expect("body/tail flit at queue front without an owned output VC");
-        Some((out, vc, false))
-    }
-}
-
 /// Crossbar arbitration (a function of registered state only).
 ///
 /// Per output port: a VC-level round-robin scans the four VCs starting at
@@ -86,10 +64,45 @@ fn request(regs: &RouterRegs, ctx: &RouterCtx, q: usize) -> Option<(usize, usize
 /// cycle. A VC's candidate is the owning queue of `(out, vc)` if the worm
 /// is established, otherwise the first head-flit queue requesting
 /// `(out, vc)` in queue-level round-robin order from `inner_rr[out][vc]`.
+///
+/// The head requests are gathered into one bitmask per `(out, vc)`, so the
+/// queue-level round-robin is a rotate + `trailing_zeros` instead of a
+/// 20-step modular scan — same grant in every case, and near-free when the
+/// router is quiescent (this function runs once per delta cycle in the
+/// sequential engines, so its constant factor dominates their throughput).
 pub fn comb_select(regs: &RouterRegs, ctx: &RouterCtx) -> Selection {
-    // Requests of all 20 queues, computed once.
-    let req: [Option<(usize, usize, bool)>; NUM_QUEUES] =
-        core::array::from_fn(|q| request(regs, ctx, q));
+    // Reverse owner map, built in one pass: queue -> its owned (out, vc).
+    // (A queue owns at most one output VC — its packets are sequential.)
+    let mut owned_of: [Option<(usize, usize)>; NUM_QUEUES] = [None; NUM_QUEUES];
+    for out in 0..NUM_PORTS {
+        for vc in 0..NUM_VCS {
+            if let Some(q) = regs.owner_of(out, vc) {
+                owned_of[q as usize] = Some((out, vc));
+            }
+        }
+    }
+    // req_mask[out * NUM_VCS + vc]: bit q ⇔ queue q's front is a head flit
+    // routed to (out, vc). Body/tail fronts follow their worm instead.
+    let mut req_mask = [0u32; NUM_QUEUES];
+    for q in 0..NUM_QUEUES {
+        let Some(front) = regs.queues[q].front() else {
+            continue;
+        };
+        if front.kind.is_head() {
+            let in_vc = (q % NUM_VCS) as u8;
+            let (port, out_vc) = route(ctx, front.dest(), in_vc);
+            debug_assert!(
+                owned_of[q].is_none(),
+                "queue {q} has a head flit at front while owning an output VC"
+            );
+            req_mask[port.index() * NUM_VCS + out_vc as usize] |= 1 << q;
+        } else {
+            assert!(
+                owned_of[q].is_some(),
+                "body/tail flit at queue front without an owned output VC"
+            );
+        }
+    }
     let mut per_out = [None; NUM_PORTS];
     for (out, slot) in per_out.iter_mut().enumerate() {
         for k in 0..NUM_VCS {
@@ -101,20 +114,25 @@ pub fn comb_select(regs: &RouterRegs, ctx: &RouterCtx) -> Selection {
                         None
                     } else {
                         debug_assert_eq!(
-                            req[owner_q as usize],
-                            Some((out, vc, false)),
+                            owned_of[owner_q as usize],
+                            Some((out, vc)),
                             "owner queue's front flit must follow its worm"
                         );
                         Some(owner_q)
                     }
                 }
                 None => {
-                    // Free VC: heads compete, queue-level round-robin.
-                    let start = regs.inner_rr[out * NUM_VCS + vc] as usize;
-                    (0..NUM_QUEUES)
-                        .map(|j| (start + j) % NUM_QUEUES)
-                        .find(|&q| req[q] == Some((out, vc, true)))
-                        .map(|q| q as u8)
+                    // Free VC: heads compete, queue-level round-robin. The
+                    // doubled mask makes the circular scan from `start` a
+                    // single trailing_zeros.
+                    let m = req_mask[out * NUM_VCS + vc] as u64;
+                    if m == 0 {
+                        None
+                    } else {
+                        let start = regs.inner_rr[out * NUM_VCS + vc] as usize;
+                        let rot = (m | (m << NUM_QUEUES)) >> start;
+                        Some(((start + rot.trailing_zeros() as usize) % NUM_QUEUES) as u8)
+                    }
                 }
             };
             if let Some(q) = candidate {

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Kernel throughput benchmark: builds the harness and writes
+# BENCH_kernel.json (schema soc-sim/bench_kernel/v1) in the repo root.
+#
+#   scripts/bench.sh [--quick] [--out FILE]
+#
+# --quick shrinks every cycle budget to the CI smoke configuration; the
+# output schema is identical. Extra arguments are passed through to the
+# bench_kernel binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin bench_kernel
+exec ./target/release/bench_kernel "$@"

@@ -17,4 +17,8 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> bench smoke (bench_kernel --quick)"
+cargo build --release --bin bench_kernel
+./target/release/bench_kernel --quick --out target/BENCH_kernel_smoke.json
+
 echo "All checks passed."

@@ -1,0 +1,252 @@
+//! Kernel throughput harness — simulated cycles per wall-clock second
+//! for every engine (the software-side counterpart of the paper's
+//! Table 3), written as machine-readable JSON.
+//!
+//! ```text
+//! cargo run --release --bin bench_kernel [--quick] [--out FILE]
+//! ```
+//!
+//! Two workloads per engine on the paper's 6x6 torus (depth 2):
+//!
+//! * `idle` — no traffic; measures the raw evaluation floor.
+//! * `loaded` — the Fig 1 workload (GT streams + BE 0.10, seed 7)
+//!   through the five-phase runner; the reported rate is the *simulate
+//!   phase alone* via [`RunReport::sim_cycles_per_sec`].
+//!
+//! Plus a `seqsim-naive` row (the retained full-rescan scheduler) as the
+//! baseline the incremental worklist is measured against, and an idle
+//! scaling sweep from 2 to 256 routers for the sequential and native
+//! kernels.
+//!
+//! `--quick` shrinks every cycle budget (the CI smoke configuration);
+//! the output schema is identical. The JSON is self-checked with
+//! [`simtrace::json::validate`] before it is written.
+
+use noc::{run_fig1_point, NativeNoc, NocEngine, RunConfig, SeqNoc};
+use noc_types::{NetworkConfig, Topology};
+use seqsim::Scheduling;
+use soc_sim::{cyclesim::CycleNoc, rtl_kernel::RtlNoc};
+use std::fmt::Write as _;
+use std::time::Instant;
+use vc_router::IfaceConfig;
+
+/// One measured configuration.
+struct Row {
+    /// Stable row id, `<engine>/<workload>/<w>x<h>`.
+    id: String,
+    /// Engine id used in the harness (`seqsim-naive` ≠ kernel name).
+    engine: &'static str,
+    /// What the engine reported via [`NocEngine::name`].
+    kernel: &'static str,
+    workload: &'static str,
+    routers: usize,
+    cycles: u64,
+    wall_s: f64,
+    cycles_per_sec: f64,
+    deltas_per_sec: Option<f64>,
+}
+
+/// Engine factory for the 6x6 matrix and the scaling sweep.
+struct EngineSpec {
+    id: &'static str,
+    make: fn(NetworkConfig) -> Box<dyn NocEngine>,
+    /// Idle cycle budget at 6x6 for the full (non-quick) run; loaded
+    /// budgets come from the shared [`RunConfig`].
+    idle_cycles: u64,
+}
+
+fn engines() -> Vec<EngineSpec> {
+    vec![
+        EngineSpec {
+            id: "native",
+            make: |cfg| Box::new(NativeNoc::new(cfg, IfaceConfig::default())),
+            idle_cycles: 50_000,
+        },
+        EngineSpec {
+            id: "seqsim",
+            make: |cfg| Box::new(SeqNoc::new(cfg, IfaceConfig::default())),
+            idle_cycles: 20_000,
+        },
+        EngineSpec {
+            id: "seqsim-naive",
+            make: |cfg| {
+                Box::new(SeqNoc::with_scheduling(
+                    cfg,
+                    IfaceConfig::default(),
+                    Scheduling::HbrRoundRobinNaive,
+                ))
+            },
+            idle_cycles: 5_000,
+        },
+        EngineSpec {
+            id: "cyclesim",
+            make: |cfg| Box::new(CycleNoc::new(cfg, IfaceConfig::default())),
+            idle_cycles: 20_000,
+        },
+        EngineSpec {
+            id: "rtl",
+            make: |cfg| Box::new(RtlNoc::new(cfg, IfaceConfig::default())),
+            idle_cycles: 5_000,
+        },
+    ]
+}
+
+/// Idle throughput: warm up, reset the delta counters, time `cycles`
+/// plain steps.
+fn bench_idle(spec: &EngineSpec, cfg: NetworkConfig, cycles: u64) -> Row {
+    let mut e = (spec.make)(cfg);
+    e.run((cycles / 10).max(100)); // warm-up (decode caches, allocator)
+    e.reset_delta_stats();
+    let start = Instant::now();
+    e.run(cycles);
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let deltas = e
+        .delta_stats()
+        .map(|d| d.delta_cycles as f64 / wall)
+        .filter(|&r| r > 0.0);
+    Row {
+        id: format!("{}/idle/{}x{}", spec.id, cfg.shape.w, cfg.shape.h),
+        engine: spec.id,
+        kernel: e.name(),
+        workload: "idle",
+        routers: cfg.num_nodes(),
+        cycles,
+        wall_s: wall,
+        cycles_per_sec: cycles as f64 / wall,
+        deltas_per_sec: deltas,
+    }
+}
+
+/// Loaded throughput: the Fig 1 workload through the five-phase runner;
+/// the rate is the simulate phase alone (shared measurement path with
+/// the experiments binary).
+fn bench_loaded(spec: &EngineSpec, cfg: NetworkConfig, rc: &RunConfig) -> Row {
+    let mut e = (spec.make)(cfg);
+    let r = run_fig1_point(&mut *e, 0.10, 7, rc);
+    assert!(!r.saturated, "{}: bench workload saturated", spec.id);
+    let sim_wall = r
+        .profile
+        .iter()
+        .find(|p| p.0 == "simulate")
+        .map(|p| p.1.as_secs_f64())
+        .unwrap_or(0.0);
+    Row {
+        id: format!("{}/loaded/{}x{}", spec.id, cfg.shape.w, cfg.shape.h),
+        engine: spec.id,
+        kernel: r.engine,
+        workload: "loaded",
+        routers: cfg.num_nodes(),
+        cycles: r.cycles,
+        wall_s: sim_wall,
+        cycles_per_sec: r.sim_cycles_per_sec(),
+        deltas_per_sec: r.deltas_per_sec(),
+    }
+}
+
+fn push_row(out: &mut String, row: &Row) {
+    out.push_str("    {\"id\": ");
+    simtrace::json::write_str(out, &row.id);
+    out.push_str(", \"engine\": ");
+    simtrace::json::write_str(out, row.engine);
+    out.push_str(", \"kernel\": ");
+    simtrace::json::write_str(out, row.kernel);
+    out.push_str(", \"workload\": ");
+    simtrace::json::write_str(out, row.workload);
+    let _ = write!(
+        out,
+        ", \"routers\": {}, \"cycles\": {}, \"wall_s\": ",
+        row.routers, row.cycles
+    );
+    simtrace::json::write_f64(out, row.wall_s);
+    out.push_str(", \"cycles_per_sec\": ");
+    simtrace::json::write_f64(out, row.cycles_per_sec);
+    out.push_str(", \"deltas_per_sec\": ");
+    match row.deltas_per_sec {
+        Some(d) => simtrace::json::write_f64(out, d),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args[i + 1].clone())
+        .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+    let div = if quick { 10 } else { 1 };
+
+    let cfg = NetworkConfig::fig1();
+    let rc = RunConfig {
+        warmup: 300,
+        measure: 5_000 / div,
+        drain: 0,
+        period: 256,
+        backlog_limit: 1 << 20,
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    eprintln!(
+        "# 6x6 matrix ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    for spec in engines() {
+        let row = bench_idle(&spec, cfg, (spec.idle_cycles / div).max(200));
+        eprintln!("  {:<28} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
+        rows.push(row);
+        let row = bench_loaded(&spec, cfg, &rc);
+        eprintln!("  {:<28} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
+        rows.push(row);
+    }
+
+    // Idle scaling sweep, 2 -> 256 routers (paper §7: the sequential
+    // kernel trades speed for size linearly).
+    let shapes: &[(usize, usize)] = if quick {
+        &[(2, 2), (4, 4), (8, 8)]
+    } else {
+        &[
+            (2, 1),
+            (2, 2),
+            (4, 2),
+            (4, 4),
+            (8, 4),
+            (8, 8),
+            (16, 8),
+            (16, 16),
+        ]
+    };
+    eprintln!("# scaling sweep ({} points)", shapes.len());
+    for spec in engines()
+        .into_iter()
+        .filter(|s| s.id == "seqsim" || s.id == "native")
+    {
+        for &(w, h) in shapes {
+            let swept = NetworkConfig::new(w as u8, h as u8, Topology::Torus, 2);
+            let row = bench_idle(&spec, swept, (4_000 / div).max(200));
+            eprintln!("  {:<28} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"soc-sim/bench_kernel/v1\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str(
+        "  \"workloads\": {\"idle\": \"no traffic\", \"loaded\": \"fig1 GT + BE 0.10, seed 7, simulate phase only\"},\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        push_row(&mut json, row);
+        if i + 1 < rows.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+
+    simtrace::json::validate(&json).expect("bench harness emitted invalid JSON");
+    std::fs::write(&out_path, &json).expect("write bench output");
+    eprintln!("wrote {out_path} ({} rows)", rows.len());
+}

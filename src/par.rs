@@ -2,45 +2,116 @@
 //!
 //! The figure-reproducing sweeps run one engine per sweep point; the
 //! points are embarrassingly parallel. This is a dependency-free
-//! `std::thread::scope` work-stealing map that bounds the worker count
-//! by the available parallelism.
+//! `std::thread::scope` map that bounds the worker count by the available
+//! parallelism.
+//!
+//! Work is claimed in *chunks* through a single atomic index — the old
+//! per-item `Mutex<Option<T>>` input and output slots (two lock round
+//! trips per item) are gone. Each chunk pairs a batch of inputs with the
+//! matching disjoint slice of output slots behind one `Mutex` that its
+//! claiming worker locks exactly once. Panics inside `f` are caught per
+//! item: every other item still completes (no lock is ever poisoned, no
+//! chunk is stranded), and the first panic payload is re-raised unchanged
+//! on the caller's thread.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Apply `f` to every item, in parallel, preserving input order in the
-/// result.
+/// result. A panic in `f` propagates to the caller with its original
+/// payload after all workers have drained the remaining chunks.
 pub fn par_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // ~4 claims per worker: coarse enough that claiming is a rare atomic
+    // op, fine enough to balance uneven item costs.
+    let chunk = items.len().div_ceil(workers * 4).max(1);
+    par_map_chunked(items, chunk, f)
+}
+
+/// [`par_map`] with an explicit chunk size (pinned by tests that need a
+/// deterministic item→chunk assignment).
+pub(crate) fn par_map_chunked<T: Send, U: Send>(
+    items: Vec<T>,
+    chunk: usize,
+    f: impl Fn(T) -> U + Sync,
+) -> Vec<U> {
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
+    assert!(chunk > 0, "chunk size must be positive");
+
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    // Pair each input batch with its disjoint output slice up front.
+    type Task<'a, T, U> = Mutex<(Vec<T>, &'a mut [Option<U>])>;
+    let tasks: Vec<Task<'_, T, U>> = {
+        let mut it = items.into_iter();
+        let mut batches = Vec::with_capacity(n.div_ceil(chunk));
+        loop {
+            let batch: Vec<T> = it.by_ref().take(chunk).collect();
+            if batch.is_empty() {
+                break;
+            }
+            batches.push(batch);
+        }
+        batches
+            .into_iter()
+            .zip(out.chunks_mut(chunk))
+            .map(Mutex::new)
+            .collect()
+    };
+
     let workers = std::thread::available_parallelism()
         .map_or(1, |p| p.get())
-        .min(n);
+        .min(tasks.len());
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // First panic payload from `f`; caught per item so the claiming loop
+    // keeps draining — one bad item never strands the rest of the sweep.
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i].lock().unwrap().take().unwrap();
-                *out[i].lock().unwrap() = Some(f(item));
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= tasks.len() {
+                        break;
+                    }
+                    // Uncontended by construction: the atomic index hands
+                    // each chunk to exactly one worker.
+                    let mut guard = tasks[k].lock().unwrap();
+                    let (batch, slots) = &mut *guard;
+                    for (slot, item) in slots.iter_mut().zip(std::mem::take(batch)) {
+                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            Ok(v) => *slot = Some(v),
+                            Err(p) => {
+                                first_panic.lock().unwrap().get_or_insert(p);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker threads catch item panics");
         }
     });
+    drop(tasks);
+    if let Some(p) = first_panic.into_inner().unwrap() {
+        resume_unwind(p);
+    }
     out.into_iter()
-        .map(|m| m.into_inner().unwrap().unwrap())
+        .map(|slot| slot.expect("every chunk was processed"))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn maps_in_order() {
@@ -51,5 +122,37 @@ mod tests {
     #[test]
     fn empty_is_empty() {
         assert!(par_map(Vec::<u8>::new(), |x| x).is_empty());
+    }
+
+    #[test]
+    fn odd_chunk_sizes_cover_all_items() {
+        for chunk in [1, 3, 7, 64, 1000] {
+            let out = par_map_chunked((0..50).collect::<Vec<i32>>(), chunk, |x| x + 1);
+            assert_eq!(out, (1..51).collect::<Vec<i32>>(), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn panicking_item_propagates_without_poisoning_other_chunks() {
+        let done = AtomicUsize::new(0);
+        // Chunk size 1: the panicking item is alone in its chunk, so every
+        // other item lives in an unrelated chunk and must still complete —
+        // regardless of how many workers the host grants.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_chunked((0..64).collect::<Vec<i32>>(), 1, |x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        let payload = result.expect_err("the item panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("original payload preserved");
+        assert_eq!(msg, "boom at 13");
+        // All 63 non-panicking items ran to completion.
+        assert_eq!(done.load(Ordering::Relaxed), 63);
     }
 }
