@@ -19,6 +19,7 @@ fn deltas_for(scheduling: Scheduling, load: f64) -> f64 {
         drain: 0,
         period: 256,
         backlog_limit: 1 << 20,
+        obs: None,
     };
     let r = run_fig1_point(&mut engine, load, 17, &rc);
     r.delta.unwrap().avg_deltas_per_cycle()
@@ -57,6 +58,7 @@ fn bench_hbr(c: &mut Criterion) {
                 drain: 0,
                 period: 200,
                 backlog_limit: 1 << 20,
+                obs: None,
             };
             let _ = run_fig1_point(&mut engine, 0.10, 3, &rc);
             b.iter(|| {

@@ -28,6 +28,7 @@ fn bench_depths(c: &mut Criterion) {
                 drain: 0,
                 period: 256,
                 backlog_limit: 1 << 20,
+                obs: None,
             };
             let _ = run_fig1_point(&mut engine, 0.10, 3, &rc);
             b.iter(|| {

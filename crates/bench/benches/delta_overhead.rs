@@ -20,6 +20,7 @@ fn measure_extra(load: f64) -> (f64, f64) {
         drain: 0,
         period: 256,
         backlog_limit: 1 << 20,
+        obs: None,
     };
     let r = run_fig1_point(&mut engine, load, 31, &rc);
     let stats = r.delta.expect("seqsim reports deltas");
@@ -57,6 +58,7 @@ fn bench_delta(c: &mut Criterion) {
                 drain: 0,
                 period: 256,
                 backlog_limit: 1 << 20,
+                obs: None,
             };
             let _ = run_fig1_point(&mut engine, load, 3, &rc);
             b.iter(|| {

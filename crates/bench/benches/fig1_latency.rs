@@ -16,6 +16,7 @@ fn quick_rc() -> RunConfig {
         drain: 1_500,
         period: 512,
         backlog_limit: 16_384,
+        obs: None,
     }
 }
 

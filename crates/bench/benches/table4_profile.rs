@@ -52,6 +52,7 @@ fn bench_period(c: &mut Criterion) {
                 drain: 0,
                 period: 512,
                 backlog_limit: 16_384,
+                obs: None,
             };
             run(&mut engine, &mut gen, &rc).cycles
         })

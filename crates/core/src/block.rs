@@ -25,7 +25,12 @@ pub type LinkId = usize;
 /// must therefore be pointer-based and idempotent: read any slot freely,
 /// write slots addressed by pointers held in `cur`, and advance pointers
 /// only through `next`.
-pub trait BlockKind {
+///
+/// Kinds must be [`Send`]: the sharded engine moves each shard's
+/// `SystemSpec` onto a worker thread. (They need not be `Sync` — a shard
+/// is only ever evaluated by one thread at a time, so interior
+/// mutability like a per-kind decode cache stays safe.)
+pub trait BlockKind: Send {
     /// Human-readable kind name (diagnostics, traces).
     fn name(&self) -> &str;
 

@@ -85,6 +85,13 @@ pub struct DynamicEngine {
     /// Delta-cycle budget per system cycle, as a multiple of the block
     /// count; exceeded means a non-converging combinational loop.
     cap_factor: usize,
+    /// Delta cycles spent in the system cycle currently open (between
+    /// [`begin_cycle`](Self::begin_cycle) and
+    /// [`finish_cycle`](Self::finish_cycle)); persists across the
+    /// multiple [`stabilize`](Self::stabilize) calls a sharded cycle
+    /// makes, so the per-cycle budget and the trace's delta numbering
+    /// span the whole cycle.
+    delta_in_cycle: u32,
 }
 
 impl DynamicEngine {
@@ -154,6 +161,7 @@ impl DynamicEngine {
             changed_buf: Vec::with_capacity(max_ports),
             worklist,
             cap_factor: 64,
+            delta_in_cycle: 0,
         }
     }
 
@@ -260,12 +268,37 @@ impl DynamicEngine {
     /// Simulate one system cycle: reset HBR bits, evaluate until stable,
     /// swap the state banks.
     pub fn step(&mut self) {
-        let n = self.spec.blocks().len();
+        self.begin_cycle();
+        self.stabilize();
+        self.finish_cycle();
+    }
+
+    /// Open a system cycle: reset every HBR bit ("Every system cycle is
+    /// started by resetting all status bits to zero"), mark every block
+    /// unevaluated and zero the cycle's delta counter.
+    ///
+    /// [`step`](Self::step) is `begin_cycle`, one
+    /// [`stabilize`](Self::stabilize), then
+    /// [`finish_cycle`](Self::finish_cycle). The sharded engine drives
+    /// the phases itself, interleaving extra `stabilize` calls with
+    /// boundary-value exchanges until no boundary changes.
+    pub fn begin_cycle(&mut self) {
         self.links.reset_hbr();
         self.evaluated.iter_mut().for_each(|e| *e = false);
         self.worklist.begin_cycle();
+        self.delta_in_cycle = 0;
+    }
+
+    /// Evaluate until every block is stable under the configured
+    /// scheduling policy, and return the number of delta cycles this call
+    /// spent. Re-entrant within one system cycle: a later
+    /// [`write_boundary`](Self::write_boundary) may re-arm consumers, and
+    /// the next `stabilize` call evaluates exactly those.
+    pub fn stabilize(&mut self) -> u32 {
+        let n = self.spec.blocks().len();
         let cap = (self.cap_factor * n) as u32;
-        let mut delta: u32 = 0;
+        let before = self.delta_in_cycle;
+        let mut delta = self.delta_in_cycle;
         match self.scheduling {
             // Round-robin pick of the first non-stable block — the
             // incremental tracker's bitset scan returns exactly the
@@ -319,10 +352,42 @@ impl DynamicEngine {
                 }
             },
         }
+        self.delta_in_cycle = delta;
+        delta - before
+    }
+
+    /// Close a system cycle: swap the state banks, record the delta
+    /// accounting and advance simulated time.
+    pub fn finish_cycle(&mut self) {
+        let n = self.spec.blocks().len();
+        let delta = self.delta_in_cycle;
         self.state.swap();
         self.stats.record_cycle(delta as u64, n as u64);
         self.instr.record_cycle(self.cycle, delta as u64, n as u64);
         self.cycle += 1;
+        self.delta_in_cycle = 0;
+    }
+
+    /// Mid-cycle write to an external link carrying a value from another
+    /// engine's boundary (the sharded engine's mailbox application).
+    ///
+    /// Unlike [`set_external`](Self::set_external) — which is only safe
+    /// *between* cycles because the worklist does not observe it — this
+    /// keeps the incremental stability tracker consistent: a changed
+    /// value that clears a read HBR bit re-arms the consumer, so the next
+    /// [`stabilize`](Self::stabilize) call re-evaluates it.
+    pub fn write_boundary(&mut self, l: usize, value: u64) {
+        debug_assert!(
+            matches!(
+                self.spec.links()[l].driver,
+                crate::block::LinkDriver::External
+            ),
+            "boundary link {l} is not host/peer writable"
+        );
+        let (_changed, rearmed) = self.links.write_tracked(l, value);
+        if rearmed {
+            self.worklist.on_rearm(l);
+        }
     }
 
     /// Simulate `n` system cycles.
@@ -386,6 +451,7 @@ impl DynamicEngine {
         self.cycle = snap.cycle;
         self.stats = snap.stats.clone();
         self.evaluated.iter_mut().for_each(|e| *e = false);
+        self.delta_in_cycle = 0;
     }
 
     /// Side memory (host reads results).

@@ -44,8 +44,9 @@ impl KernelInstr {
     }
 
     /// Instrumentation publishing into `registry` under an `engine`
-    /// label, tracing into `tracer`.
-    pub fn with_registry(registry: &Registry, tracer: Tracer, engine: &'static str) -> Self {
+    /// label, tracing into `tracer`. The label is any string — per-shard
+    /// engines pass computed labels like `seqsim.shard3`.
+    pub fn with_registry(registry: &Registry, tracer: Tracer, engine: &str) -> Self {
         let labels = [("engine", lbl(engine))];
         KernelInstr {
             tracer,

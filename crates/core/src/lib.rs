@@ -71,6 +71,7 @@ pub mod demo;
 pub mod dynamic_sched;
 pub mod instrument;
 pub mod links;
+pub mod pool;
 pub mod side;
 pub mod state;
 pub mod static_sched;
@@ -83,6 +84,7 @@ pub use counters::DeltaStats;
 pub use dynamic_sched::{DynamicEngine, Scheduling, Snapshot};
 pub use instrument::KernelInstr;
 pub use links::LinkMemory;
+pub use pool::{ScopedTask, SpinBarrier, ThreadPool};
 pub use side::{SideMem, SideView};
 pub use state::StateMemory;
 pub use static_sched::StaticEngine;

@@ -89,6 +89,7 @@ mod tests {
             drain: 1_000,
             period: 256,
             backlog_limit: 2_048,
+            obs: None,
         };
         let loads = [0.05, 0.15, 0.60, 0.90];
         let mut mk =

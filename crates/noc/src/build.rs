@@ -1,0 +1,202 @@
+//! The unified engine-construction API: [`EngineKind`] names a backend,
+//! [`SimBuilder`] builds it.
+//!
+//! Every place that used to hand-roll a `match` over engine names —
+//! benches, experiments, examples, differential tests — goes through
+//! the builder instead:
+//!
+//! ```
+//! use noc::{EngineKind, SimBuilder};
+//! use noc_types::{NetworkConfig, Topology};
+//!
+//! let cfg = NetworkConfig::new(3, 3, Topology::Torus, 4);
+//! let mut engine = SimBuilder::new(cfg)
+//!     .engine(EngineKind::Sharded { threads: 2 })
+//!     .build();
+//! engine.run(100);
+//! assert_eq!(engine.cycle(), 100);
+//! ```
+//!
+//! The `noc` crate only knows the engines it defines (native, the
+//! sequential-simulator family, the sharded parallel engine). The
+//! SystemC-like and VHDL-like backends live in crates that *depend on*
+//! `noc`, so they cannot be constructed here directly; instead the
+//! builder carries a factory table and those kinds are satisfied by
+//! [`SimBuilder::register`]. The `soc_sim` meta-crate's `sim(cfg)`
+//! pre-registers both, so end users never see the difference.
+
+use crate::engine::NocEngine;
+use crate::native::NativeNoc;
+use crate::seq::SeqNoc;
+use crate::shard::ShardedSeqEngine;
+use noc_types::NetworkConfig;
+use seqsim::Scheduling;
+use vc_router::IfaceConfig;
+
+/// Which simulation backend to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The hand-written reference engine (golden model).
+    Native,
+    /// The sequential simulator (paper scheduling: HBR + round-robin
+    /// worklist).
+    Seq,
+    /// The sequential simulator with the naive full-rescan scheduler
+    /// (ablation baseline).
+    SeqNaive,
+    /// The SystemC-like cycle-callback engine (registered by the
+    /// `cyclesim` crate via [`SimBuilder::register`]).
+    CycleSim,
+    /// The VHDL-like netlist engine (registered by the `rtl` crate via
+    /// [`SimBuilder::register`]).
+    Rtl,
+    /// The sharded parallel delta-cycle engine: `threads` tiles, each on
+    /// its own worker, boundary values exchanged through double-buffered
+    /// mailboxes. Bit-identical to [`EngineKind::Seq`].
+    Sharded {
+        /// Worker/shard count (clamped to the node count; 1 runs inline).
+        threads: usize,
+    },
+}
+
+impl EngineKind {
+    /// Stable identifier, usable as a bench row id or CLI argument.
+    pub fn id(&self) -> &'static str {
+        match self {
+            EngineKind::Native => "native",
+            EngineKind::Seq => "seqsim",
+            EngineKind::SeqNaive => "seqsim-naive",
+            EngineKind::CycleSim => "systemc",
+            EngineKind::Rtl => "rtl",
+            EngineKind::Sharded { .. } => "seqsim-sharded",
+        }
+    }
+}
+
+/// Factory signature external crates register for their engine kinds.
+pub type EngineFactory = fn(NetworkConfig, IfaceConfig) -> Box<dyn NocEngine>;
+
+/// Builder for any [`NocEngine`] backend.
+pub struct SimBuilder {
+    cfg: NetworkConfig,
+    iface: IfaceConfig,
+    kind: EngineKind,
+    factories: Vec<(EngineKind, EngineFactory)>,
+}
+
+impl SimBuilder {
+    /// Start building a simulator of `cfg`'s network. Defaults: the
+    /// sequential engine, default interface rings.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        SimBuilder {
+            cfg,
+            iface: IfaceConfig::default(),
+            kind: EngineKind::Seq,
+            factories: Vec::new(),
+        }
+    }
+
+    /// Select the backend.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Override the host-interface ring configuration.
+    pub fn iface(mut self, iface: IfaceConfig) -> Self {
+        self.iface = iface;
+        self
+    }
+
+    /// Register a factory for an externally-implemented kind
+    /// ([`EngineKind::CycleSim`], [`EngineKind::Rtl`]). Later
+    /// registrations for the same kind win, so a caller can also
+    /// substitute its own engine for a built-in kind.
+    pub fn register(mut self, kind: EngineKind, factory: EngineFactory) -> Self {
+        self.factories.push((kind, factory));
+        self
+    }
+
+    /// Build the engine.
+    ///
+    /// # Panics
+    ///
+    /// For [`EngineKind::CycleSim`] / [`EngineKind::Rtl`] without a
+    /// registered factory — construct through `soc_sim::sim(cfg)` (which
+    /// pre-registers both) or call [`register`](Self::register).
+    pub fn build(self) -> Box<dyn NocEngine> {
+        // Most-recent registration wins, including over built-ins.
+        if let Some((_, f)) = self.factories.iter().rev().find(|(k, _)| *k == self.kind) {
+            return f(self.cfg, self.iface);
+        }
+        match self.kind {
+            EngineKind::Native => Box::new(NativeNoc::new(self.cfg, self.iface)),
+            EngineKind::Seq => Box::new(SeqNoc::new(self.cfg, self.iface)),
+            EngineKind::SeqNaive => Box::new(SeqNoc::with_scheduling(
+                self.cfg,
+                self.iface,
+                Scheduling::HbrRoundRobinNaive,
+            )),
+            EngineKind::Sharded { threads } => {
+                Box::new(ShardedSeqEngine::new(self.cfg, self.iface, threads))
+            }
+            kind @ (EngineKind::CycleSim | EngineKind::Rtl) => panic!(
+                "engine kind {kind:?} is implemented outside the noc crate; \
+                 build it through soc_sim::sim(cfg), or register a factory: \
+                 SimBuilder::new(cfg).register(kind, |cfg, iface| ...)"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::Topology;
+
+    fn cfg() -> NetworkConfig {
+        NetworkConfig::new(3, 2, Topology::Torus, 2)
+    }
+
+    #[test]
+    fn builds_every_builtin_kind() {
+        for (kind, name) in [
+            (EngineKind::Native, "native"),
+            (EngineKind::Seq, "seqsim"),
+            (EngineKind::SeqNaive, "seqsim"),
+            (EngineKind::Sharded { threads: 2 }, "seqsim-sharded"),
+        ] {
+            let mut e = SimBuilder::new(cfg()).engine(kind).build();
+            assert_eq!(e.name(), name, "{kind:?}");
+            e.run(5);
+            assert_eq!(e.cycle(), 5);
+        }
+    }
+
+    #[test]
+    fn iface_override_reaches_the_engine() {
+        let iface = IfaceConfig {
+            stim_cap: 32,
+            ..IfaceConfig::default()
+        };
+        let e = SimBuilder::new(cfg()).iface(iface).build();
+        assert_eq!(e.stim_capacity(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "implemented outside the noc crate")]
+    fn unregistered_external_kind_panics_with_guidance() {
+        let _ = SimBuilder::new(cfg()).engine(EngineKind::CycleSim).build();
+    }
+
+    #[test]
+    fn registered_factory_wins() {
+        let e = SimBuilder::new(cfg())
+            .engine(EngineKind::CycleSim)
+            .register(EngineKind::CycleSim, |cfg, iface| {
+                Box::new(NativeNoc::new(cfg, iface))
+            })
+            .build();
+        assert_eq!(e.name(), "native");
+    }
+}

@@ -45,6 +45,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod analysis;
+pub mod build;
 pub mod cs;
 pub mod diff;
 pub mod engine;
@@ -52,12 +53,19 @@ pub mod native;
 pub mod obs;
 pub mod runner;
 pub mod seq;
+pub mod shard;
 pub mod wiring;
 
+pub use build::{EngineKind, SimBuilder};
 pub use cs::{Circuit, CsError, CsNativeNoc, CsNoc};
 pub use engine::NocEngine;
 pub use native::NativeNoc;
-pub use obs::{NocObserver, RunInstr};
-pub use runner::{fig1_guarantee, run, run_fig1_point, run_instrumented, RunConfig, RunReport};
+#[allow(deprecated)]
+pub use obs::RunInstr;
+pub use obs::{NocObserver, ObsConfig};
+#[allow(deprecated)]
+pub use runner::run_instrumented;
+pub use runner::{fig1_guarantee, run, run_fig1_point, RunConfig, RunReport};
 pub use seq::SeqNoc;
+pub use shard::ShardedSeqEngine;
 pub use wiring::Wiring;

@@ -1,7 +1,7 @@
 //! NoC-level observability: queue-occupancy gauges, link-activity
 //! counters and backlog watermarks published into a [`simtrace`]
-//! registry, plus the [`RunInstr`] bundle the five-phase runner threads
-//! through a run.
+//! registry, plus the [`ObsConfig`] bundle the five-phase runner reads
+//! from [`RunConfig::obs`](crate::runner::RunConfig::obs).
 //!
 //! This is the software equivalent of the paper's monitoring blocks
 //! (§5.2: "we can monitor the internals of the simulated NoC [...] log
@@ -14,15 +14,19 @@ use crate::engine::NocEngine;
 use noc_types::NUM_VCS;
 use simtrace::{lbl, Counter, Gauge, Registry, Tracer};
 
-/// Instrumentation bundle for a five-phase run.
+/// Observability configuration for a five-phase run, carried on
+/// [`RunConfig::obs`](crate::runner::RunConfig::obs).
 ///
-/// [`RunInstr::disabled`] is free: the tracer is a no-op handle and no
-/// sampling happens. An enabled bundle makes the runner wrap every phase
-/// in a tracer span, attach the engine's kernel instrumentation, sample
-/// occupancy/link activity every [`sample_every`](Self::sample_every)
-/// cycles during the simulate phase and put a metrics snapshot on the
-/// [`RunReport`](crate::runner::RunReport).
-pub struct RunInstr {
+/// [`ObsConfig::disabled`] (= `obs: None`) is free: the tracer is a
+/// no-op handle and no sampling happens. An enabled bundle makes the
+/// runner wrap every phase in a tracer span, attach the engine's kernel
+/// instrumentation, sample occupancy/link activity every
+/// [`sample_every`](Self::sample_every) cycles during the simulate phase
+/// and put a metrics snapshot on the
+/// [`RunReport`](crate::runner::RunReport). Clones share the underlying
+/// registry and tracer, so several runs can publish into one snapshot.
+#[derive(Clone)]
+pub struct ObsConfig {
     /// Metrics registry the run publishes into.
     pub registry: Registry,
     /// Event tracer (spans for the five phases, kernel events).
@@ -33,10 +37,10 @@ pub struct RunInstr {
     enabled: bool,
 }
 
-impl RunInstr {
-    /// The no-op bundle used by plain [`run`](crate::runner::run).
+impl ObsConfig {
+    /// The no-op bundle (what `obs: None` means).
     pub fn disabled() -> Self {
-        RunInstr {
+        ObsConfig {
             registry: Registry::new(),
             tracer: Tracer::disabled(),
             sample_every: 0,
@@ -53,7 +57,7 @@ impl RunInstr {
     /// An enabled bundle over caller-supplied handles (share one registry
     /// or tracer across several runs).
     pub fn with(registry: Registry, tracer: Tracer, sample_every: u64) -> Self {
-        RunInstr {
+        ObsConfig {
             registry,
             tracer,
             sample_every,
@@ -67,11 +71,24 @@ impl RunInstr {
     }
 }
 
-impl Default for RunInstr {
+impl Default for ObsConfig {
     fn default() -> Self {
         Self::disabled()
     }
 }
+
+impl std::fmt::Debug for ObsConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsConfig")
+            .field("sample_every", &self.sample_every)
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Former name of [`ObsConfig`].
+#[deprecated(note = "renamed to ObsConfig; pass it via RunConfig.obs")]
+pub type RunInstr = ObsConfig;
 
 /// Periodic sampler of a [`NocEngine`]'s observable state.
 ///
@@ -174,7 +191,7 @@ mod tests {
 
     #[test]
     fn disabled_bundle_is_inert() {
-        let i = RunInstr::disabled();
+        let i = ObsConfig::disabled();
         assert!(!i.enabled());
         assert!(!i.tracer.enabled());
         assert_eq!(i.sample_every, 0);

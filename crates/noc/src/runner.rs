@@ -14,7 +14,7 @@
 //! reported as overloaded and the simulation stops (§5.3).
 
 use crate::engine::NocEngine;
-use crate::obs::{NocObserver, RunInstr};
+use crate::obs::{NocObserver, ObsConfig};
 use noc_types::{Reassembler, TrafficClass, NUM_VCS};
 use seqsim::DeltaStats;
 use simtrace::lbl;
@@ -25,7 +25,7 @@ use traffic::{OfferedPacket, StimuliGenerator};
 use vc_router::StimEntry;
 
 /// Runner parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Warm-up cycles (excluded from statistics).
     pub warmup: u64,
@@ -39,6 +39,10 @@ pub struct RunConfig {
     /// Host backlog (flits per node-VC) beyond which the network is
     /// declared overloaded and the run stops early.
     pub backlog_limit: usize,
+    /// Observability: `None` runs dark (no overhead); `Some` wraps every
+    /// phase in tracer spans, attaches kernel instrumentation, samples
+    /// the network and snapshots metrics onto the report.
+    pub obs: Option<ObsConfig>,
 }
 
 impl Default for RunConfig {
@@ -49,7 +53,16 @@ impl Default for RunConfig {
             drain: 4_000,
             period: 512,
             backlog_limit: 8_192,
+            obs: None,
         }
+    }
+}
+
+impl RunConfig {
+    /// Builder-style: attach an observability bundle.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = Some(obs);
+        self
     }
 }
 
@@ -72,7 +85,7 @@ pub struct RunReport {
     /// engine only).
     pub delta: Option<DeltaStats>,
     /// Metrics snapshot (JSON) when the run was instrumented
-    /// ([`run_instrumented`]); `None` for plain runs.
+    /// ([`RunConfig::obs`]); `None` for plain runs.
     pub metrics: Option<String>,
     /// The network stopped accepting the offered load.
     pub saturated: bool,
@@ -118,20 +131,15 @@ impl RunReport {
 }
 
 /// Drive `engine` with `gen`'s traffic through the five-phase loop.
+///
+/// Observability is part of [`RunConfig`]: with `obs: None` the run is
+/// dark and free of overhead; with `obs: Some(..)` every phase of every
+/// period becomes a tracer span, the engine's kernel instrumentation is
+/// attached to the registry, the network is sampled during the simulate
+/// phase, and the report carries a metrics snapshot.
 pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfig) -> RunReport {
-    run_instrumented(engine, gen, rc, &RunInstr::disabled())
-}
-
-/// [`run`] with observability: every phase of every period becomes a
-/// tracer span, the engine's kernel instrumentation is attached to the
-/// registry, the network is sampled during the simulate phase, and the
-/// report carries a metrics snapshot.
-pub fn run_instrumented(
-    engine: &mut dyn NocEngine,
-    gen: &mut StimuliGenerator,
-    rc: &RunConfig,
-    instr: &RunInstr,
-) -> RunReport {
+    let disabled = ObsConfig::disabled();
+    let instr = rc.obs.as_ref().unwrap_or(&disabled);
     let cfg = engine.config();
     let n = cfg.num_nodes();
     let started = Instant::now();
@@ -365,6 +373,19 @@ pub fn run_instrumented(
     }
 }
 
+/// Former two-entry-point API: [`run`] with a separate instrumentation
+/// argument. Equivalent to `run` with `rc.obs = Some(instr.clone())`.
+#[deprecated(note = "fold the bundle into the config: run(engine, gen, &rc.with_obs(obs))")]
+pub fn run_instrumented(
+    engine: &mut dyn NocEngine,
+    gen: &mut StimuliGenerator,
+    rc: &RunConfig,
+    instr: &ObsConfig,
+) -> RunReport {
+    let rc = rc.clone().with_obs(instr.clone());
+    run(engine, gen, &rc)
+}
+
 /// Convenience: route, allocate and run the paper's Fig 1 workload at one
 /// BE load point on a given engine.
 pub fn run_fig1_point(
@@ -419,6 +440,7 @@ mod tests {
             drain: 2_000,
             period: 256,
             backlog_limit: 4_096,
+            obs: None,
         };
         run_fig1_point(&mut e, load, 7, &rc)
     }
@@ -465,6 +487,7 @@ mod tests {
             drain: 0,
             period: 256,
             backlog_limit: 512,
+            obs: None,
         };
         let r = run_fig1_point(&mut e, 0.9, 3, &rc);
         assert!(r.saturated, "0.9 load must overload the network");

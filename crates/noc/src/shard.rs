@@ -1,0 +1,656 @@
+//! The sharded parallel delta-cycle engine.
+//!
+//! Paper §4.1: blocks separated by *registered* boundaries may be
+//! evaluated "once per system cycle in arbitrary order" — which is the
+//! license for bulk-synchronous parallelism. [`ShardedSeqEngine`]
+//! partitions the router grid into P contiguous tiles, builds one
+//! shard-local [`seqsim::DynamicEngine`] per tile (the cross-shard wires
+//! become sink outputs paired with host-writable external inputs), and
+//! runs each tile's delta-cycle evaluation on its own worker of a
+//! persistent [`seqsim::ThreadPool`].
+//!
+//! Boundary values travel through **double-buffered per-edge
+//! mailboxes**: each cross-shard wire owns two atomic banks, indexed by
+//! the parity of a monotone exchange-round counter, so one round's
+//! readers can never race the next round's writers and a single
+//! [`seqsim::SpinBarrier`] per round is the only synchronisation.
+//! Within a system cycle the shards repeat *stabilise → publish →
+//! barrier → apply* rounds until no boundary value changed anywhere
+//! (`room` words are pure functions of registered state, so the network
+//! settles in at most a few rounds); the state banks then swap at the
+//! system-cycle barrier. Because every block's final evaluation of the
+//! cycle sees exactly the settled input values the single-thread
+//! [`SeqNoc`](crate::seq::SeqNoc) would compute, the engine is
+//! bit-identical to it — `tests/sharded_differential.rs` proves it over
+//! random topologies, shard counts and traffic seeds.
+
+use crate::engine::{ring_pending, HostPtrs, NocEngine};
+use crate::wiring::Wiring;
+use noc_types::{Direction, NetworkConfig, NUM_VCS};
+use seqsim::{DeltaStats, DynamicEngine, KernelInstr, SpinBarrier, SystemSpec, ThreadPool};
+use simtrace::lbl;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use vc_router::block::{
+    IN_FWD0, IN_ROOM0, IN_WRPTR0, OUT_FWD0, OUT_ROOM0, RING_ACC, RING_OUT, RING_STIM0,
+};
+use vc_router::{AccEntry, IfaceConfig, OutEntry, RouterBlock, RouterRegs, StimEntry};
+
+/// Exchange rounds allowed per system cycle before the engine assumes a
+/// non-converging boundary dependency. The router network settles in at
+/// most three (evaluate → room corrections → quiescent confirmation).
+const MAX_ROUNDS_PER_CYCLE: u64 = 64;
+
+/// One cross-shard wire's mailbox: two banks indexed by exchange-round
+/// parity. Producers store into `banks[round & 1]` before the round's
+/// barrier; consumers load the same bank after it. The *other* bank is
+/// the previous round's — still readable, never raced — which is what
+/// lets one barrier per round suffice.
+#[derive(Default)]
+struct EdgeMail {
+    banks: [AtomicU64; 2],
+}
+
+/// One contiguous tile of the grid with its private delta-cycle engine.
+struct Shard {
+    engine: DynamicEngine,
+    /// First global node index of the tile.
+    node_lo: usize,
+    /// Number of nodes in the tile.
+    node_count: usize,
+    /// Queue depth per local node.
+    depths: Vec<usize>,
+    /// External stimuli write-pointer links per local node.
+    wr_links: Vec<[usize; NUM_VCS]>,
+    /// Outgoing forward-link ids per local node (sinks at shard/mesh
+    /// boundaries — still probe-able).
+    fwd_links: Vec<[usize; 4]>,
+    /// Boundary sources: `(edge id, local sink link)` this shard
+    /// publishes each exchange round.
+    outbound: Vec<(usize, usize)>,
+    /// Boundary destinations: `(edge id, local external link)` this
+    /// shard applies after each exchange barrier.
+    inbound: Vec<(usize, usize)>,
+    /// Last published value per `outbound` entry (change detection).
+    last: Vec<u64>,
+    /// Tracer for the per-dispatch span (disabled until instrumented).
+    tracer: simtrace::Tracer,
+    /// Trace track (Chrome tid) this shard's spans render on.
+    track: u64,
+}
+
+/// The sharded parallel sequential-simulator engine.
+///
+/// `P = 1` degenerates to a plain [`SeqNoc`](crate::seq::SeqNoc)-shaped
+/// system evaluated inline (no pool, no mailboxes), so the single-thread
+/// row of a thread sweep measures the same code the unsharded engine
+/// runs.
+pub struct ShardedSeqEngine {
+    cfg: NetworkConfig,
+    iface_cfg: IfaceConfig,
+    shards: Vec<Shard>,
+    /// Worker pool, present only when more than one shard exists.
+    pool: Option<ThreadPool>,
+    barrier: SpinBarrier,
+    edges: Vec<EdgeMail>,
+    /// "Any boundary value changed" consensus flags, one per round
+    /// parity; a publisher stores the round number, a reader compares
+    /// against its own round (monotone rounds make clearing unnecessary).
+    flags: [AtomicU64; 2],
+    /// Next exchange-round number (monotone across cycles and `run`
+    /// calls; starts at 1 so the zero-initialised flags never match).
+    round: u64,
+    /// Global node index → (shard, local node index).
+    node_map: Vec<(usize, usize)>,
+    host: HostPtrs,
+}
+
+impl ShardedSeqEngine {
+    /// Build the engine over `threads` shards (clamped to the node
+    /// count).
+    pub fn new(cfg: NetworkConfig, iface_cfg: IfaceConfig, threads: usize) -> Self {
+        let n = cfg.num_nodes();
+        Self::with_depths(cfg, iface_cfg, &vec![cfg.router.queue_depth; n], threads)
+    }
+
+    /// Heterogeneous variant (paper §7.1): per-node queue depths, as
+    /// [`SeqNoc::with_depths`](crate::seq::SeqNoc::with_depths).
+    pub fn with_depths(
+        cfg: NetworkConfig,
+        iface_cfg: IfaceConfig,
+        depths: &[usize],
+        threads: usize,
+    ) -> Self {
+        iface_cfg.validate();
+        let n = cfg.num_nodes();
+        assert_eq!(depths.len(), n, "one depth per node");
+        assert!(threads >= 1, "at least one shard");
+        let p = threads.min(n).max(1);
+        let bounds: Vec<usize> = (0..=p).map(|s| s * n / p).collect();
+        let mut shard_of = vec![0usize; n];
+        for s in 0..p {
+            for g in bounds[s]..bounds[s + 1] {
+                shard_of[g] = s;
+            }
+        }
+        let wiring = Wiring::new(&cfg);
+        let all_coords: Vec<_> = cfg.shape.coords().collect();
+
+        // Boundary link ids recorded during spec construction, keyed by
+        // (global node, direction): (fwd link, room link).
+        let mut bnd_out: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+        let mut bnd_in: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+
+        let mut shards: Vec<Shard> = Vec::with_capacity(p);
+        for s in 0..p {
+            let lo = bounds[s];
+            let hi = bounds[s + 1];
+            let count = hi - lo;
+            let local_depths: Vec<usize> = depths[lo..hi].to_vec();
+            let mut spec = SystemSpec::new();
+
+            // One shared kind per distinct depth within the shard,
+            // instance coords in local node order (mirrors SeqNoc).
+            let mut distinct: Vec<usize> = Vec::new();
+            for &d in &local_depths {
+                if !distinct.contains(&d) {
+                    distinct.push(d);
+                }
+            }
+            let kinds: Vec<usize> = distinct
+                .iter()
+                .map(|&d| {
+                    let mut kcfg = cfg;
+                    kcfg.router.queue_depth = d;
+                    let coords: Vec<_> = (lo..hi)
+                        .filter(|&g| depths[g] == d)
+                        .map(|g| all_coords[g])
+                        .collect();
+                    spec.add_kind(Box::new(RouterBlock::new(kcfg, iface_cfg, coords)))
+                })
+                .collect();
+            let blocks: Vec<usize> = local_depths
+                .iter()
+                .map(|d| spec.add_block(kinds[distinct.iter().position(|x| x == d).unwrap()]))
+                .collect();
+
+            let mut fwd_links = vec![[usize::MAX; 4]; count];
+            for r in 0..count {
+                let g = lo + r;
+                for d in 0..4 {
+                    let opp = Direction::from_index(d).opposite().index();
+                    match wiring.neighbour(g, d) {
+                        Some(nb) if (lo..hi).contains(&nb) => {
+                            // Intra-shard wire, exactly as SeqNoc builds it.
+                            fwd_links[r][d] = spec
+                                .wire((blocks[r], OUT_FWD0 + d), (blocks[nb - lo], IN_FWD0 + opp));
+                            spec.wire(
+                                (blocks[r], OUT_ROOM0 + d),
+                                (blocks[nb - lo], IN_ROOM0 + opp),
+                            );
+                        }
+                        Some(_) => {
+                            // Cross-shard boundary: the outgoing halves
+                            // become observable sinks (mailbox sources),
+                            // the incoming halves host-writable externals
+                            // (mailbox destinations).
+                            let of = spec.sink((blocks[r], OUT_FWD0 + d));
+                            let or = spec.sink((blocks[r], OUT_ROOM0 + d));
+                            fwd_links[r][d] = of;
+                            bnd_out.insert((g, d), (of, or));
+                            let inf = spec.external((blocks[r], IN_FWD0 + d), 0);
+                            let inr = spec.external((blocks[r], IN_ROOM0 + d), 0);
+                            bnd_in.insert((g, d), (inf, inr));
+                        }
+                        None => {
+                            // Mesh edge, as SeqNoc.
+                            fwd_links[r][d] = spec.sink((blocks[r], OUT_FWD0 + d));
+                            spec.sink((blocks[r], OUT_ROOM0 + d));
+                            spec.tie_off((blocks[r], IN_FWD0 + d), 0);
+                            spec.tie_off((blocks[r], IN_ROOM0 + d), 0);
+                        }
+                    }
+                }
+            }
+            let wr_links: Vec<[usize; NUM_VCS]> = (0..count)
+                .map(|r| core::array::from_fn(|v| spec.external((blocks[r], IN_WRPTR0 + v), 0)))
+                .collect();
+
+            shards.push(Shard {
+                engine: DynamicEngine::new(spec),
+                node_lo: lo,
+                node_count: count,
+                depths: local_depths,
+                wr_links,
+                fwd_links,
+                outbound: Vec::new(),
+                inbound: Vec::new(),
+                last: Vec::new(),
+                tracer: simtrace::Tracer::disabled(),
+                track: 0,
+            });
+        }
+
+        // Pair the boundary halves into mailbox edges. Each directed
+        // cross-shard neighbour relation contributes one forward edge
+        // (flits g→nb) and one room edge (g's queue space, also g→nb).
+        let mut edge_count = 0usize;
+        for g in 0..n {
+            for d in 0..4 {
+                let Some(nb) = wiring.neighbour(g, d) else {
+                    continue;
+                };
+                if shard_of[nb] == shard_of[g] {
+                    continue;
+                }
+                let opp = Direction::from_index(d).opposite().index();
+                let (src_f, src_r) = bnd_out[&(g, d)];
+                let (dst_f, dst_r) = bnd_in[&(nb, opp)];
+                shards[shard_of[g]].outbound.push((edge_count, src_f));
+                shards[shard_of[nb]].inbound.push((edge_count, dst_f));
+                edge_count += 1;
+                shards[shard_of[g]].outbound.push((edge_count, src_r));
+                shards[shard_of[nb]].inbound.push((edge_count, dst_r));
+                edge_count += 1;
+            }
+        }
+        for sh in &mut shards {
+            sh.last = vec![0; sh.outbound.len()];
+        }
+        let edges: Vec<EdgeMail> = (0..edge_count).map(|_| EdgeMail::default()).collect();
+
+        let node_map: Vec<(usize, usize)> = (0..n)
+            .map(|g| (shard_of[g], g - bounds[shard_of[g]]))
+            .collect();
+        ShardedSeqEngine {
+            cfg,
+            iface_cfg,
+            pool: (p > 1).then(|| ThreadPool::new(p)),
+            barrier: SpinBarrier::new(p),
+            edges,
+            flags: [AtomicU64::new(0), AtomicU64::new(0)],
+            round: 1,
+            node_map,
+            host: HostPtrs::new(n),
+            shards,
+        }
+    }
+
+    /// Number of shards (= worker threads when > 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The contiguous global-node range `[lo, hi)` of shard `s`.
+    pub fn shard_range(&self, s: usize) -> (usize, usize) {
+        let sh = &self.shards[s];
+        (sh.node_lo, sh.node_lo + sh.node_count)
+    }
+
+    /// Number of cross-shard boundary links (mailbox edges).
+    pub fn boundary_links(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Device-side register file of one router (host "memory peek"), by
+    /// global node index.
+    pub fn peek_regs(&self, node: usize) -> RouterRegs {
+        let (s, l) = self.node_map[node];
+        RouterRegs::unpack(
+            self.shards[s].depths[l],
+            self.shards[s].engine.peek_state(l),
+        )
+    }
+
+    /// Raw current-state words of one router (bit-exact snapshot
+    /// comparison against the unsharded engine), by global node index.
+    pub fn peek_state(&self, node: usize) -> &[u64] {
+        let (s, l) = self.node_map[node];
+        self.shards[s].engine.peek_state(l)
+    }
+}
+
+/// Worker body: simulate `cycles` system cycles of one shard, exchanging
+/// boundary values with the other workers each round. Returns the next
+/// round number (identical on every worker — the break decision is a
+/// barrier-synchronised consensus).
+fn run_shard(
+    shard: &mut Shard,
+    edges: &[EdgeMail],
+    flags: &[AtomicU64; 2],
+    barrier: &SpinBarrier,
+    mut round: u64,
+    cycles: u64,
+) -> u64 {
+    for _ in 0..cycles {
+        shard.engine.begin_cycle();
+        let mut rounds_this_cycle = 0u64;
+        loop {
+            shard.engine.stabilize();
+            let p = (round & 1) as usize;
+            // Publish: store every boundary value; raise the shared flag
+            // only on change. Relaxed suffices — the barrier's
+            // release/acquire on its generation word orders publishes
+            // before the applies of the same round.
+            for (k, &(e, src)) in shard.outbound.iter().enumerate() {
+                let v = shard.engine.link_value(src);
+                edges[e].banks[p].store(v, Ordering::Relaxed);
+                if shard.last[k] != v {
+                    shard.last[k] = v;
+                    flags[p].store(round, Ordering::Relaxed);
+                }
+            }
+            barrier.wait();
+            let changed = flags[p].load(Ordering::Relaxed) == round;
+            round += 1;
+            rounds_this_cycle += 1;
+            if !changed {
+                break;
+            }
+            assert!(
+                rounds_this_cycle < MAX_ROUNDS_PER_CYCLE,
+                "boundary exchange did not settle within {MAX_ROUNDS_PER_CYCLE} rounds \
+                 in cycle {} — non-converging cross-shard dependency",
+                shard.engine.cycle()
+            );
+            for &(e, dst) in &shard.inbound {
+                shard
+                    .engine
+                    .write_boundary(dst, edges[e].banks[p].load(Ordering::Relaxed));
+            }
+        }
+        shard.engine.finish_cycle();
+    }
+    round
+}
+
+impl NocEngine for ShardedSeqEngine {
+    fn name(&self) -> &'static str {
+        "seqsim-sharded"
+    }
+
+    fn config(&self) -> NetworkConfig {
+        self.cfg
+    }
+
+    fn cycle(&self) -> u64 {
+        self.shards[0].engine.cycle()
+    }
+
+    fn step(&mut self) {
+        self.run(1);
+    }
+
+    fn run(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.shards.len() == 1 {
+            // Degenerate P=1: same spec and schedule as SeqNoc, no pool.
+            self.shards[0].engine.run(n);
+            return;
+        }
+        let pool = self.pool.as_ref().expect("pool exists when sharded");
+        let edges = &self.edges[..];
+        let flags = &self.flags;
+        let barrier = &self.barrier;
+        let round0 = self.round;
+        let round_out = AtomicU64::new(round0);
+        let tasks: Vec<seqsim::ScopedTask<'_>> = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .map(|(i, shard)| {
+                let round_out = &round_out;
+                let t: seqsim::ScopedTask<'_> = Box::new(move || {
+                    let span_tracer = shard.tracer.clone();
+                    let mut span = span_tracer.span_track("shard.run", "shard", shard.track);
+                    span.arg("cycles", n);
+                    let end = run_shard(shard, edges, flags, barrier, round0, n);
+                    if i == 0 {
+                        round_out.store(end, Ordering::Relaxed);
+                    }
+                });
+                t
+            })
+            .collect();
+        pool.run(tasks);
+        self.round = round_out.load(Ordering::Relaxed);
+    }
+
+    fn probe_link(&self, node: usize, dir: usize) -> Option<vc_router::OutEntry> {
+        if self.cycle() == 0 {
+            return None;
+        }
+        let (s, l) = self.node_map[node];
+        let sh = &self.shards[s];
+        let w = noc_types::LinkFwd::from_bits(sh.engine.link_value(sh.fwd_links[l][dir]));
+        w.valid.then(|| vc_router::OutEntry {
+            cycle: self.cycle() - 1,
+            vc: w.vc,
+            flit: w.flit,
+        })
+    }
+
+    fn vc_occupancy(&self, node: usize) -> Option<[u32; NUM_VCS]> {
+        let regs = self.peek_regs(node);
+        let mut occ = [0u32; NUM_VCS];
+        for p in 0..noc_types::NUM_PORTS {
+            for (vc, o) in occ.iter_mut().enumerate() {
+                *o += regs.queues[p * NUM_VCS + vc].occupancy() as u32;
+            }
+        }
+        Some(occ)
+    }
+
+    fn attach_instrumentation(&mut self, registry: &simtrace::Registry, tracer: &simtrace::Tracer) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.engine.set_instrumentation(KernelInstr::with_registry(
+                registry,
+                tracer.clone(),
+                &format!("seqsim-sharded.shard{i}"),
+            ));
+            shard.tracer = tracer.clone();
+            shard.track = (i + 1) as u64;
+            tracer.name_track(shard.track, &format!("shard {i}"));
+            let labels = [("shard", lbl(i))];
+            registry
+                .gauge("shard.nodes", &labels)
+                .set(shard.node_count as i64);
+            registry
+                .gauge("shard.boundary_out", &labels)
+                .set(shard.outbound.len() as i64);
+            registry
+                .gauge("shard.boundary_in", &labels)
+                .set(shard.inbound.len() as i64);
+        }
+    }
+
+    fn stim_capacity(&self) -> usize {
+        self.iface_cfg.stim_cap
+    }
+
+    fn stim_free(&self, node: usize, vc: usize) -> usize {
+        let dev_rd = self.peek_regs(node).iface.stim_rd[vc];
+        let fill = self.host.stim_wr[node][vc].wrapping_sub(dev_rd);
+        self.iface_cfg.stim_cap - fill as usize
+    }
+
+    fn push_stim(&mut self, node: usize, vc: usize, entry: StimEntry) -> bool {
+        if self.stim_free(node, vc) == 0 {
+            return false;
+        }
+        let (s, l) = self.node_map[node];
+        let wr = &mut self.host.stim_wr[node][vc];
+        let sh = &mut self.shards[s];
+        sh.engine
+            .side_mut()
+            .write(l, RING_STIM0 + vc, *wr as usize, entry.to_bits());
+        *wr = wr.wrapping_add(1);
+        sh.engine.set_external(sh.wr_links[l][vc], *wr as u64);
+        true
+    }
+
+    fn drain_delivered(&mut self, node: usize) -> Vec<OutEntry> {
+        let dev = self.peek_regs(node).iface.out_wr;
+        let (s, l) = self.node_map[node];
+        let rd = &mut self.host.out_rd[node];
+        let pending = ring_pending(*rd, dev, self.iface_cfg.out_cap, "output");
+        let mut out = Vec::with_capacity(pending);
+        for _ in 0..pending {
+            out.push(OutEntry::from_bits(self.shards[s].engine.side().read(
+                l,
+                RING_OUT,
+                *rd as usize,
+            )));
+            *rd = rd.wrapping_add(1);
+        }
+        out
+    }
+
+    fn drain_access(&mut self, node: usize) -> Vec<AccEntry> {
+        let dev = self.peek_regs(node).iface.acc_wr;
+        let (s, l) = self.node_map[node];
+        let rd = &mut self.host.acc_rd[node];
+        let pending = ring_pending(*rd, dev, self.iface_cfg.acc_cap, "access-delay");
+        let mut out = Vec::with_capacity(pending);
+        for _ in 0..pending {
+            out.push(AccEntry::from_bits(self.shards[s].engine.side().read(
+                l,
+                RING_ACC,
+                *rd as usize,
+            )));
+            *rd = rd.wrapping_add(1);
+        }
+        out
+    }
+
+    fn delta_stats(&self) -> Option<DeltaStats> {
+        // Aggregate across shards. `system_cycles` advance in lockstep,
+        // so shard 0's count is the engine's; the per-cycle extrema are
+        // summed per-shard extrema — an upper bound, since shards need
+        // not peak in the same cycle.
+        let mut agg = DeltaStats {
+            system_cycles: self.shards[0].engine.stats().system_cycles,
+            ..DeltaStats::default()
+        };
+        for sh in &self.shards {
+            let d = sh.engine.stats();
+            agg.delta_cycles += d.delta_cycles;
+            agg.re_evaluations += d.re_evaluations;
+            agg.deltas_last_cycle += d.deltas_last_cycle;
+            agg.max_deltas_in_cycle += d.max_deltas_in_cycle;
+        }
+        Some(agg)
+    }
+
+    fn reset_delta_stats(&mut self) {
+        for sh in &mut self.shards {
+            sh.engine.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SeqNoc;
+    use noc_types::{Coord, Flit, Topology};
+
+    /// Satellite: a flit crossing a shard edge arrives with *identical*
+    /// latency to the unsharded engine — the mailbox exchange must not
+    /// add or hide a cycle — including the P=1 degenerate case.
+    #[test]
+    fn boundary_crossing_keeps_latency_bit_identical() {
+        let cfg = NetworkConfig::new(3, 2, Topology::Torus, 2);
+        let dest = Coord::new(0, 1); // node 3: other shard than node 0 at P=2
+        let entry = StimEntry {
+            ts: 0,
+            flit: Flit::head_tail(dest, 0),
+        };
+        let dest_node = cfg.shape.node_id(dest).index();
+
+        let mut reference = SeqNoc::new(cfg, IfaceConfig::default());
+        assert!(reference.push_stim(0, 0, entry));
+        reference.run(16);
+        let want = reference.drain_delivered(dest_node);
+        assert_eq!(want.len(), 1, "reference must deliver");
+
+        for threads in [1usize, 2] {
+            let mut e = ShardedSeqEngine::new(cfg, IfaceConfig::default(), threads);
+            if threads == 2 {
+                // The route 0 -> 3 crosses the shard boundary.
+                assert_ne!(e.node_map[0].0, e.node_map[dest_node].0);
+                assert!(e.boundary_links() > 0);
+            }
+            assert!(e.push_stim(0, 0, entry));
+            e.run(16);
+            let got = e.drain_delivered(dest_node);
+            assert_eq!(
+                got, want,
+                "threads={threads}: delivery must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_total() {
+        let cfg = NetworkConfig::new(4, 3, Topology::Torus, 2);
+        for threads in [1usize, 2, 3, 5, 12, 99] {
+            let e = ShardedSeqEngine::new(cfg, IfaceConfig::default(), threads);
+            let p = e.shard_count();
+            assert!(p <= threads && (1..=12).contains(&p));
+            let mut covered = 0;
+            for s in 0..p {
+                let (lo, hi) = e.shard_range(s);
+                assert_eq!(lo, covered, "shards must tile contiguously");
+                assert!(hi > lo, "no empty shards");
+                covered = hi;
+            }
+            assert_eq!(covered, 12);
+        }
+    }
+
+    #[test]
+    fn idle_sharded_matches_seqnoc_state() {
+        let cfg = NetworkConfig::new(3, 3, Topology::Torus, 4);
+        let mut a = SeqNoc::new(cfg, IfaceConfig::default());
+        let mut b = ShardedSeqEngine::new(cfg, IfaceConfig::default(), 3);
+        a.run(25);
+        b.run(25);
+        for node in 0..cfg.num_nodes() {
+            assert_eq!(
+                a.engine().peek_state(node),
+                b.peek_state(node),
+                "node {node} state diverged"
+            );
+        }
+        assert_eq!(b.cycle(), 25);
+    }
+
+    #[test]
+    fn per_shard_instrumentation_publishes_gauges_and_tracks() {
+        let cfg = NetworkConfig::new(3, 2, Topology::Torus, 2);
+        let mut e = ShardedSeqEngine::new(cfg, IfaceConfig::default(), 2);
+        let r = simtrace::Registry::new();
+        let t = simtrace::Tracer::new();
+        e.attach_instrumentation(&r, &t);
+        e.run(8);
+        assert_eq!(
+            r.gauge_value("shard.nodes", &[("shard", lbl(0usize))]),
+            Some(3)
+        );
+        assert_eq!(
+            r.gauge_value("shard.nodes", &[("shard", lbl(1usize))]),
+            Some(3)
+        );
+        assert!(
+            r.counter_value("kernel.cycles", &[("engine", lbl("seqsim-sharded.shard1"))])
+                .unwrap_or(0)
+                >= 8
+        );
+        let chrome = t.to_chrome_json();
+        assert!(chrome.contains("shard.run"), "per-shard spans: {chrome}");
+        assert!(chrome.contains("\"tid\":2"), "per-shard track: {chrome}");
+    }
+}

@@ -17,6 +17,7 @@ fn worklist_and_naive_schedulers_agree_on_a_loaded_network() {
         drain: 800,
         period: 256,
         backlog_limit: 1 << 20,
+        obs: None,
     };
     let mut reports = Vec::new();
     for scheduling in [Scheduling::HbrRoundRobin, Scheduling::HbrRoundRobinNaive] {

@@ -1,0 +1,132 @@
+//! Differential proof of the sharded engine's bit-identity.
+//!
+//! The sharded BSP schedule evaluates each tile independently and only
+//! exchanges boundary values at round barriers; the paper's registered
+//! boundary discipline (§4.1) guarantees the per-cycle fixed point is
+//! unique, so any evaluation order — including the sharded one — must
+//! land on the same settled state. These tests check exactly that:
+//! for random topologies, shard counts P ∈ {1, 2, 3, 4, 7} and traffic
+//! seeds, the delivered-flit streams, access logs *and the final raw
+//! register state of every router* are bit-identical to [`SeqNoc`].
+
+use noc::diff::{assert_traces_equal, collect_trace};
+use noc::{NocEngine, SeqNoc, ShardedSeqEngine};
+use noc_types::{NetworkConfig, Topology};
+use traffic::{BeConfig, GtAllocator, TrafficConfig};
+use vc_router::IfaceConfig;
+
+const SHARD_COUNTS: [usize; 5] = [1, 2, 3, 4, 7];
+
+fn tcfg(net: NetworkConfig, load: f64, with_gt: bool, seed: u64) -> TrafficConfig {
+    let gt_streams = if with_gt {
+        GtAllocator::new(net).auto_streams((1, 1), 1024, 16)
+    } else {
+        Vec::new()
+    };
+    TrafficConfig {
+        net,
+        be: BeConfig::fig1(load),
+        gt_streams,
+        seed,
+    }
+}
+
+/// Run reference and sharded engines over the same traffic and assert
+/// delivered streams, access logs and final state words all agree.
+fn check(net: NetworkConfig, load: f64, with_gt: bool, seed: u64, cycles: u64, threads: usize) {
+    let t = tcfg(net, load, with_gt, seed);
+    let mut reference = SeqNoc::new(net, IfaceConfig::default());
+    let want = collect_trace(&mut reference, &t, cycles, 128);
+
+    let mut sharded = ShardedSeqEngine::new(net, IfaceConfig::default(), threads);
+    let got = collect_trace(&mut sharded, &t, cycles, 128);
+    let label = format!("sharded-p{}", sharded.shard_count());
+    assert_traces_equal("seqsim", &want, &label, &got);
+    for node in 0..net.num_nodes() {
+        assert_eq!(
+            reference.engine().peek_state(node),
+            sharded.peek_state(node),
+            "final state of node {node} diverged ({label}, seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn sharded_matches_seqsim_on_loaded_torus() {
+    let net = NetworkConfig::new(3, 3, Topology::Torus, 2);
+    for threads in SHARD_COUNTS {
+        check(net, 0.15, true, 1234, 1_500, threads);
+    }
+}
+
+#[test]
+fn sharded_matches_seqsim_on_mesh() {
+    let net = NetworkConfig::new(4, 2, Topology::Mesh, 4);
+    for threads in SHARD_COUNTS {
+        check(net, 0.20, false, 77, 1_200, threads);
+    }
+}
+
+#[test]
+fn sharded_matches_seqsim_across_topologies_and_seeds() {
+    // A small randomized sweep: topology shape and seed vary together;
+    // every (shape, seed) pair is exercised at every shard count.
+    let shapes = [
+        (2, 2, Topology::Torus, 2),
+        (5, 2, Topology::Mesh, 2),
+        (3, 4, Topology::Torus, 4),
+        (6, 1, Topology::Mesh, 2),
+    ];
+    for (i, &(w, h, topo, depth)) in shapes.iter().enumerate() {
+        let net = NetworkConfig::new(w, h, topo, depth);
+        let seed = 0x5eed_0000 + 97 * i as u64;
+        for threads in SHARD_COUNTS {
+            check(net, 0.12, i % 2 == 0, seed, 800, threads);
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_seqsim_under_heavy_load() {
+    // Backpressure exercises the room links — the second class of
+    // boundary wires — hard: queues fill and room words toggle often.
+    let net = NetworkConfig::new(3, 3, Topology::Torus, 2);
+    for threads in [2usize, 4] {
+        check(net, 0.45, true, 9001, 2_000, threads);
+    }
+}
+
+#[test]
+fn sharded_heterogeneous_depths_match() {
+    let net = NetworkConfig::new(3, 2, Topology::Torus, 2);
+    let depths = [2usize, 4, 2, 8, 4, 2];
+    let t = tcfg(net, 0.18, false, 4242);
+    let mut reference = SeqNoc::with_depths(net, IfaceConfig::default(), &depths);
+    let want = collect_trace(&mut reference, &t, 1_000, 128);
+    for threads in [1usize, 2, 3] {
+        let mut sharded =
+            ShardedSeqEngine::with_depths(net, IfaceConfig::default(), &depths, threads);
+        let got = collect_trace(&mut sharded, &t, 1_000, 128);
+        assert_traces_equal("seqsim", &want, &format!("sharded-p{threads}"), &got);
+        for node in 0..net.num_nodes() {
+            assert_eq!(
+                reference.engine().peek_state(node),
+                sharded.peek_state(node),
+                "node {node}, threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_delta_stats_aggregate_across_shards() {
+    let net = NetworkConfig::new(3, 3, Topology::Torus, 2);
+    let mut e = ShardedSeqEngine::new(net, IfaceConfig::default(), 3);
+    e.run(50);
+    let stats = e.delta_stats().unwrap();
+    assert_eq!(stats.system_cycles, 50);
+    // At least one evaluation per block per cycle, summed over shards.
+    assert!(stats.delta_cycles >= 50 * 9, "stats {stats:?}");
+    e.reset_delta_stats();
+    assert_eq!(e.delta_stats().unwrap().system_cycles, 0);
+}

@@ -27,6 +27,7 @@ fn main() {
         drain: 5_000,
         period: 512,
         backlog_limit: 16_384,
+        obs: None,
     };
     let depths = [2usize, 4, 8];
     let loads = [0.05f64, 0.10, 0.14];

@@ -96,6 +96,7 @@ fn main() {
         drain: 0,
         period: 256,
         backlog_limit: 1 << 20,
+        obs: None,
     };
     let r = run_fig1_point(&mut ps, 0.10, 3, &rc);
     let d = r.delta.unwrap();

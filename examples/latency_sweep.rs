@@ -27,6 +27,7 @@ fn main() {
         drain: 6_000,
         period: 512,
         backlog_limit: 16_384,
+        obs: None,
     };
     let loads: Vec<f64> = (0..=14).map(|i| i as f64 / 100.0).collect();
 

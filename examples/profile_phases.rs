@@ -90,6 +90,7 @@ fn main() {
         drain: 2_000,
         period: 512,
         backlog_limit: 16_384,
+        obs: None,
     };
     let r = run_fig1_point(&mut engine, 0.10, 11, &rc);
     let mut host = Table::new(

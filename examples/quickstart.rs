@@ -22,6 +22,7 @@ fn main() {
         drain: 3_000,
         period: 512,
         backlog_limit: 8_192,
+        obs: None,
     };
     let report = run_fig1_point(&mut engine, 0.05, 42, &rc);
 

@@ -12,11 +12,10 @@
 //! `kernel.cycle` instant per simulated cycle plus a `kernel.deltas`
 //! counter track, and `noc.occupancy` graphs the queued flits per VC.
 
-use noc::{run_instrumented, NocEngine, RunConfig, RunInstr, SeqNoc};
+use noc::{EngineKind, ObsConfig, RunConfig, SimBuilder};
 use noc_types::{NetworkConfig, Topology};
 use simtrace::{Registry, Tracer};
 use std::path::PathBuf;
-use vc_router::IfaceConfig;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -27,14 +26,15 @@ fn main() {
     );
 
     let cfg = NetworkConfig::new(4, 4, Topology::Mesh, 2);
-    let mut engine = SeqNoc::new(cfg, IfaceConfig::default());
-    let instr = RunInstr::with(Registry::new(), Tracer::new(), 32);
+    let mut engine = SimBuilder::new(cfg).engine(EngineKind::Seq).build();
+    let instr = ObsConfig::with(Registry::new(), Tracer::new(), 32);
     let rc = RunConfig {
         warmup: 200,
         measure: 1_000,
         drain: 500,
         period: 256,
         backlog_limit: 1 << 16,
+        obs: Some(instr.clone()),
     };
     let report = {
         let mut alloc = traffic::GtAllocator::new(cfg);
@@ -46,7 +46,7 @@ fn main() {
             seed: 42,
         };
         let mut gen = traffic::StimuliGenerator::new(tcfg);
-        run_instrumented(&mut engine, &mut gen, &rc, &instr)
+        noc::run(&mut *engine, &mut gen, &rc)
     };
 
     instr.tracer.write_chrome(&trace_path).expect("write trace");

@@ -22,6 +22,7 @@ fn main() {
         drain: 4_000,
         period: 512,
         backlog_limit: 8_192,
+        obs: None,
     };
     let patterns: Vec<(&str, DestPattern)> = vec![
         ("uniform random", DestPattern::UniformRandom),

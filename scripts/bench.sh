@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Kernel throughput benchmark: builds the harness and writes
-# BENCH_kernel.json (schema soc-sim/bench_kernel/v1) in the repo root.
+# BENCH_kernel.json (schema soc-sim/bench_kernel/v2) in the repo root.
+# Every row carries a "threads" field; the seqsim-sharded rows sweep the
+# worker count from 1 to the host's CPU count (--quick: threads 1 and 2).
 #
 #   scripts/bench.sh [--quick] [--out FILE]
 #
-# --quick shrinks every cycle budget to the CI smoke configuration; the
-# output schema is identical. Extra arguments are passed through to the
-# bench_kernel binary.
+# --quick shrinks every cycle budget and the thread sweep to the CI
+# smoke configuration; the output schema is identical. Extra arguments
+# are passed through to the bench_kernel binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -17,6 +17,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> sharded differential suite (bit-identity vs SeqNoc)"
+cargo test -q -p noc --test sharded_differential
+
 echo "==> bench smoke (bench_kernel --quick)"
 cargo build --release --bin bench_kernel
 ./target/release/bench_kernel --quick --out target/BENCH_kernel_smoke.json

@@ -14,25 +14,24 @@
 //!   phase alone* via [`RunReport::sim_cycles_per_sec`].
 //!
 //! Plus a `seqsim-naive` row (the retained full-rescan scheduler) as the
-//! baseline the incremental worklist is measured against, and an idle
+//! baseline the incremental worklist is measured against, an idle
 //! scaling sweep from 2 to 256 routers for the sequential and native
-//! kernels.
+//! kernels, and a `seqsim-sharded` thread sweep (1 → the machine's CPU
+//! count) on both 6x6 workloads. Every row carries a `threads` field
+//! (1 for the single-threaded engines).
 //!
-//! `--quick` shrinks every cycle budget (the CI smoke configuration);
-//! the output schema is identical. The JSON is self-checked with
-//! [`simtrace::json::validate`] before it is written.
+//! `--quick` shrinks every cycle budget and the thread sweep (the CI
+//! smoke configuration); the output schema is identical. The JSON is
+//! self-checked with [`simtrace::json::validate`] before it is written.
 
-use noc::{run_fig1_point, NativeNoc, NocEngine, RunConfig, SeqNoc};
+use noc::{run_fig1_point, EngineKind, NocEngine, RunConfig, RunReport};
 use noc_types::{NetworkConfig, Topology};
-use seqsim::Scheduling;
-use soc_sim::{cyclesim::CycleNoc, rtl_kernel::RtlNoc};
 use std::fmt::Write as _;
 use std::time::Instant;
-use vc_router::IfaceConfig;
 
 /// One measured configuration.
 struct Row {
-    /// Stable row id, `<engine>/<workload>/<w>x<h>`.
+    /// Stable row id, `<engine>/<workload>/<w>x<h>[/tN]`.
     id: String,
     /// Engine id used in the harness (`seqsim-naive` ≠ kernel name).
     engine: &'static str,
@@ -40,61 +39,109 @@ struct Row {
     kernel: &'static str,
     workload: &'static str,
     routers: usize,
+    /// Worker threads evaluating the network (1 for every engine except
+    /// the sharded one).
+    threads: usize,
     cycles: u64,
     wall_s: f64,
     cycles_per_sec: f64,
     deltas_per_sec: Option<f64>,
 }
 
-/// Engine factory for the 6x6 matrix and the scaling sweep.
+/// One engine configuration of the bench matrix.
 struct EngineSpec {
     id: &'static str,
-    make: fn(NetworkConfig) -> Box<dyn NocEngine>,
+    kind: EngineKind,
     /// Idle cycle budget at 6x6 for the full (non-quick) run; loaded
     /// budgets come from the shared [`RunConfig`].
     idle_cycles: u64,
+}
+
+impl EngineSpec {
+    fn make(&self, cfg: NetworkConfig) -> Box<dyn NocEngine> {
+        soc_sim::sim(cfg).engine(self.kind).build()
+    }
+
+    fn threads(&self) -> usize {
+        match self.kind {
+            EngineKind::Sharded { threads } => threads,
+            _ => 1,
+        }
+    }
 }
 
 fn engines() -> Vec<EngineSpec> {
     vec![
         EngineSpec {
             id: "native",
-            make: |cfg| Box::new(NativeNoc::new(cfg, IfaceConfig::default())),
+            kind: EngineKind::Native,
             idle_cycles: 50_000,
         },
         EngineSpec {
             id: "seqsim",
-            make: |cfg| Box::new(SeqNoc::new(cfg, IfaceConfig::default())),
+            kind: EngineKind::Seq,
             idle_cycles: 20_000,
         },
         EngineSpec {
             id: "seqsim-naive",
-            make: |cfg| {
-                Box::new(SeqNoc::with_scheduling(
-                    cfg,
-                    IfaceConfig::default(),
-                    Scheduling::HbrRoundRobinNaive,
-                ))
-            },
+            kind: EngineKind::SeqNaive,
             idle_cycles: 5_000,
         },
         EngineSpec {
             id: "cyclesim",
-            make: |cfg| Box::new(CycleNoc::new(cfg, IfaceConfig::default())),
+            kind: EngineKind::CycleSim,
             idle_cycles: 20_000,
         },
         EngineSpec {
             id: "rtl",
-            make: |cfg| Box::new(RtlNoc::new(cfg, IfaceConfig::default())),
+            kind: EngineKind::Rtl,
             idle_cycles: 5_000,
         },
     ]
 }
 
+/// The sharded engine's thread sweep: 1, 2, 4, ... up to the machine's
+/// CPU count (quick mode: just {1, 2}).
+fn thread_sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        return vec![1, 2];
+    }
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut sweep = vec![1usize];
+    let mut t = 2;
+    while t < cpus {
+        sweep.push(t);
+        t *= 2;
+    }
+    if cpus > 1 {
+        sweep.push(cpus);
+    }
+    // Always include 4: the headline comparison point even when the host
+    // has fewer cores (the schedule still runs, just time-sliced).
+    if !sweep.contains(&4) {
+        sweep.push(4);
+        sweep.sort_unstable();
+    }
+    sweep
+}
+
+fn row_suffix(threads: usize) -> String {
+    if threads == 1 {
+        String::new()
+    } else {
+        format!("/t{threads}")
+    }
+}
+
 /// Idle throughput: warm up, reset the delta counters, time `cycles`
 /// plain steps.
-fn bench_idle(spec: &EngineSpec, cfg: NetworkConfig, cycles: u64) -> Row {
-    let mut e = (spec.make)(cfg);
+fn bench_idle(
+    id: &'static str,
+    mut e: Box<dyn NocEngine>,
+    threads: usize,
+    cfg: NetworkConfig,
+    cycles: u64,
+) -> Row {
     e.run((cycles / 10).max(100)); // warm-up (decode caches, allocator)
     e.reset_delta_stats();
     let start = Instant::now();
@@ -105,11 +152,17 @@ fn bench_idle(spec: &EngineSpec, cfg: NetworkConfig, cycles: u64) -> Row {
         .map(|d| d.delta_cycles as f64 / wall)
         .filter(|&r| r > 0.0);
     Row {
-        id: format!("{}/idle/{}x{}", spec.id, cfg.shape.w, cfg.shape.h),
-        engine: spec.id,
+        id: format!(
+            "{id}/idle/{}x{}{}",
+            cfg.shape.w,
+            cfg.shape.h,
+            row_suffix(threads)
+        ),
+        engine: id,
         kernel: e.name(),
         workload: "idle",
         routers: cfg.num_nodes(),
+        threads,
         cycles,
         wall_s: wall,
         cycles_per_sec: cycles as f64 / wall,
@@ -120,10 +173,15 @@ fn bench_idle(spec: &EngineSpec, cfg: NetworkConfig, cycles: u64) -> Row {
 /// Loaded throughput: the Fig 1 workload through the five-phase runner;
 /// the rate is the simulate phase alone (shared measurement path with
 /// the experiments binary).
-fn bench_loaded(spec: &EngineSpec, cfg: NetworkConfig, rc: &RunConfig) -> Row {
-    let mut e = (spec.make)(cfg);
-    let r = run_fig1_point(&mut *e, 0.10, 7, rc);
-    assert!(!r.saturated, "{}: bench workload saturated", spec.id);
+fn bench_loaded(
+    id: &'static str,
+    mut e: Box<dyn NocEngine>,
+    threads: usize,
+    cfg: NetworkConfig,
+    rc: &RunConfig,
+) -> Row {
+    let r: RunReport = run_fig1_point(&mut *e, 0.10, 7, rc);
+    assert!(!r.saturated, "{id}: bench workload saturated");
     let sim_wall = r
         .profile
         .iter()
@@ -131,11 +189,17 @@ fn bench_loaded(spec: &EngineSpec, cfg: NetworkConfig, rc: &RunConfig) -> Row {
         .map(|p| p.1.as_secs_f64())
         .unwrap_or(0.0);
     Row {
-        id: format!("{}/loaded/{}x{}", spec.id, cfg.shape.w, cfg.shape.h),
-        engine: spec.id,
+        id: format!(
+            "{id}/loaded/{}x{}{}",
+            cfg.shape.w,
+            cfg.shape.h,
+            row_suffix(threads)
+        ),
+        engine: id,
         kernel: r.engine,
         workload: "loaded",
         routers: cfg.num_nodes(),
+        threads,
         cycles: r.cycles,
         wall_s: sim_wall,
         cycles_per_sec: r.sim_cycles_per_sec(),
@@ -154,8 +218,8 @@ fn push_row(out: &mut String, row: &Row) {
     simtrace::json::write_str(out, row.workload);
     let _ = write!(
         out,
-        ", \"routers\": {}, \"cycles\": {}, \"wall_s\": ",
-        row.routers, row.cycles
+        ", \"routers\": {}, \"threads\": {}, \"cycles\": {}, \"wall_s\": ",
+        row.routers, row.threads, row.cycles
     );
     simtrace::json::write_f64(out, row.wall_s);
     out.push_str(", \"cycles_per_sec\": ");
@@ -185,6 +249,7 @@ fn main() {
         drain: 0,
         period: 256,
         backlog_limit: 1 << 20,
+        obs: None,
     };
 
     let mut rows: Vec<Row> = Vec::new();
@@ -193,11 +258,38 @@ fn main() {
         if quick { "quick" } else { "full" }
     );
     for spec in engines() {
-        let row = bench_idle(&spec, cfg, (spec.idle_cycles / div).max(200));
-        eprintln!("  {:<28} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
+        let row = bench_idle(
+            spec.id,
+            spec.make(cfg),
+            spec.threads(),
+            cfg,
+            (spec.idle_cycles / div).max(200),
+        );
+        eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
         rows.push(row);
-        let row = bench_loaded(&spec, cfg, &rc);
-        eprintln!("  {:<28} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
+        let row = bench_loaded(spec.id, spec.make(cfg), spec.threads(), cfg, &rc);
+        eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
+        rows.push(row);
+    }
+
+    // Sharded thread sweep on the 6x6 workloads: the parallel-schedule
+    // scaling curve (threads = shards = workers).
+    let sweep = thread_sweep(quick);
+    eprintln!("# sharded thread sweep (threads in {sweep:?})");
+    for &threads in &sweep {
+        let kind = EngineKind::Sharded { threads };
+        let mk = || soc_sim::sim(cfg).engine(kind).build();
+        let row = bench_idle(
+            "seqsim-sharded",
+            mk(),
+            threads,
+            cfg,
+            (20_000 / div).max(200),
+        );
+        eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
+        rows.push(row);
+        let row = bench_loaded("seqsim-sharded", mk(), threads, cfg, &rc);
+        eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
         rows.push(row);
     }
 
@@ -224,15 +316,26 @@ fn main() {
     {
         for &(w, h) in shapes {
             let swept = NetworkConfig::new(w as u8, h as u8, Topology::Torus, 2);
-            let row = bench_idle(&spec, swept, (4_000 / div).max(200));
-            eprintln!("  {:<28} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
+            let row = bench_idle(
+                spec.id,
+                spec.make(swept),
+                spec.threads(),
+                swept,
+                (4_000 / div).max(200),
+            );
+            eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
             rows.push(row);
         }
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"soc-sim/bench_kernel/v1\",\n");
+    json.push_str("{\n  \"schema\": \"soc-sim/bench_kernel/v2\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
     json.push_str(
         "  \"workloads\": {\"idle\": \"no traffic\", \"loaded\": \"fig1 GT + BE 0.10, seed 7, simulate phase only\"},\n",
     );

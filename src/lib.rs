@@ -23,6 +23,29 @@ pub mod par;
 
 pub use par::par_map;
 
+/// A [`noc::SimBuilder`] with **every** engine kind registered,
+/// including the SystemC-like ([`cyclesim::CycleNoc`]) and VHDL-like
+/// ([`rtl_kernel::RtlNoc`]) backends that live outside the `noc` crate
+/// and are therefore unavailable through `SimBuilder::new` alone.
+///
+/// ```
+/// use noc::EngineKind;
+///
+/// let cfg = noc_types::NetworkConfig::new(3, 3, noc_types::Topology::Torus, 2);
+/// let mut engine = soc_sim::sim(cfg).engine(EngineKind::Rtl).build();
+/// engine.run(10);
+/// assert_eq!(engine.name(), "rtl");
+/// ```
+pub fn sim(cfg: noc_types::NetworkConfig) -> noc::SimBuilder {
+    noc::SimBuilder::new(cfg)
+        .register(noc::EngineKind::CycleSim, |cfg, iface| {
+            Box::new(cyclesim::CycleNoc::new(cfg, iface))
+        })
+        .register(noc::EngineKind::Rtl, |cfg, iface| {
+            Box::new(rtl_kernel::RtlNoc::new(cfg, iface))
+        })
+}
+
 pub use cyclesim;
 pub use noc;
 pub use noc_types;

@@ -11,16 +11,19 @@
 //! matching disjoint slice of output slots behind one `Mutex` that its
 //! claiming worker locks exactly once. Panics inside `f` are caught per
 //! item: every other item still completes (no lock is ever poisoned, no
-//! chunk is stranded), and the first panic payload is re-raised unchanged
-//! on the caller's thread.
+//! chunk is stranded), and the first panic is re-raised on the caller's
+//! thread with a payload naming the item index and the original message
+//! (a bare re-raise of the original payload loses *which* sweep point
+//! failed once the closure's context is gone).
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Apply `f` to every item, in parallel, preserving input order in the
-/// result. A panic in `f` propagates to the caller with its original
-/// payload after all workers have drained the remaining chunks.
+/// result. A panic in `f` propagates to the caller after all workers
+/// have drained the remaining chunks; the re-raised payload is a
+/// `String` of the form `par_map item <i> panicked: <message>`.
 pub fn par_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
     let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
     // ~4 claims per worker: coarse enough that claiming is a rare atomic
@@ -68,9 +71,10 @@ pub(crate) fn par_map_chunked<T: Send, U: Send>(
         .map_or(1, |p| p.get())
         .min(tasks.len());
     let next = AtomicUsize::new(0);
-    // First panic payload from `f`; caught per item so the claiming loop
-    // keeps draining — one bad item never strands the rest of the sweep.
-    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    // First panic from `f` as (item index, message); caught per item so
+    // the claiming loop keeps draining — one bad item never strands the
+    // rest of the sweep.
+    let first_panic: Mutex<Option<(usize, String)>> = Mutex::new(None);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -83,11 +87,19 @@ pub(crate) fn par_map_chunked<T: Send, U: Send>(
                     // each chunk to exactly one worker.
                     let mut guard = tasks[k].lock().unwrap();
                     let (batch, slots) = &mut *guard;
-                    for (slot, item) in slots.iter_mut().zip(std::mem::take(batch)) {
+                    for (off, (slot, item)) in
+                        slots.iter_mut().zip(std::mem::take(batch)).enumerate()
+                    {
                         match catch_unwind(AssertUnwindSafe(|| f(item))) {
                             Ok(v) => *slot = Some(v),
                             Err(p) => {
-                                first_panic.lock().unwrap().get_or_insert(p);
+                                // `p.as_ref()`, not `&p`: a `&Box<dyn Any>`
+                                // coerces to `&dyn Any` *about the Box*,
+                                // and every downcast of that misses.
+                                first_panic
+                                    .lock()
+                                    .unwrap()
+                                    .get_or_insert((k * chunk + off, payload_message(p.as_ref())));
                             }
                         }
                     }
@@ -99,12 +111,25 @@ pub(crate) fn par_map_chunked<T: Send, U: Send>(
         }
     });
     drop(tasks);
-    if let Some(p) = first_panic.into_inner().unwrap() {
-        resume_unwind(p);
+    if let Some((index, msg)) = first_panic.into_inner().unwrap() {
+        resume_unwind(Box::new(format!("par_map item {index} panicked: {msg}")));
     }
     out.into_iter()
         .map(|slot| slot.expect("every chunk was processed"))
         .collect()
+}
+
+/// Extract the human-readable message from a caught panic payload
+/// (`panic!("...")` yields `&str`, `panic!("{x}")` yields `String`;
+/// anything else is opaque).
+fn payload_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -150,9 +175,24 @@ mod tests {
         let payload = result.expect_err("the item panic must propagate");
         let msg = payload
             .downcast_ref::<String>()
-            .expect("original payload preserved");
-        assert_eq!(msg, "boom at 13");
+            .expect("composed String payload");
+        assert_eq!(msg, "par_map item 13 panicked: boom at 13");
         // All 63 non-panicking items ran to completion.
         assert_eq!(done.load(Ordering::Relaxed), 63);
+    }
+
+    #[test]
+    fn panic_message_names_the_item_even_for_str_payloads() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_chunked((0..8).collect::<Vec<i32>>(), 3, |x| {
+                if x == 5 {
+                    panic!("static payload");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("must propagate");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert_eq!(msg, "par_map item 5 panicked: static payload");
     }
 }

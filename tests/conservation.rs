@@ -97,6 +97,7 @@ fn offered_equals_delivered_after_drain() {
             drain: 3_000,
             period: 256,
             backlog_limit: 1 << 14,
+            obs: None,
         };
         let r = run(&mut engine, &mut gen, &rc);
         // Unless genuinely saturated, everything offered must arrive.

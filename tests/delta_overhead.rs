@@ -16,6 +16,7 @@ fn extra_at(load: f64) -> (f64, f64) {
         drain: 0,
         period: 256,
         backlog_limit: 1 << 20,
+        obs: None,
     };
     let r = run_fig1_point(&mut engine, load, 31, &rc);
     (
@@ -66,6 +67,7 @@ fn max_deltas_bounded_by_small_multiple_of_n() {
         drain: 0,
         period: 256,
         backlog_limit: 1 << 20,
+        obs: None,
     };
     let r = run_fig1_point(&mut engine, 0.14, 77, &rc);
     let stats = r.delta.unwrap();

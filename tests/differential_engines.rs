@@ -1,17 +1,15 @@
-//! The central bit-accuracy claim of the paper, enforced across all four
-//! engines: the native reference, the sequential (FPGA-method) simulator,
-//! the SystemC-like model and the VHDL-like netlist must produce
+//! The central bit-accuracy claim of the paper, enforced across all
+//! engines behind the [`SimBuilder`] factory: the native reference, the
+//! sequential (FPGA-method) simulator, its sharded parallel variant, the
+//! SystemC-like model and the VHDL-like netlist must produce
 //! bit-identical delivered-flit streams and access-delay logs for
 //! identical seeded traffic — "without compromising the cycle and bit
 //! level accuracy" (§1).
 
-use cyclesim::CycleNoc;
 use noc::diff::{assert_traces_equal, collect_trace, Trace};
-use noc::{NativeNoc, SeqNoc};
+use noc::EngineKind;
 use noc_types::{NetworkConfig, Topology};
-use rtl_kernel::RtlNoc;
 use traffic::{BeConfig, GtAllocator, TrafficConfig};
-use vc_router::IfaceConfig;
 
 fn traffic_for(net: NetworkConfig, load: f64, gt: bool, seed: u64) -> TrafficConfig {
     let gt_streams = if gt {
@@ -27,31 +25,28 @@ fn traffic_for(net: NetworkConfig, load: f64, gt: bool, seed: u64) -> TrafficCon
     }
 }
 
+const KINDS: [(&str, EngineKind); 6] = [
+    ("native", EngineKind::Native),
+    ("seqsim", EngineKind::Seq),
+    ("seqsim-sharded-p2", EngineKind::Sharded { threads: 2 }),
+    ("seqsim-sharded-p3", EngineKind::Sharded { threads: 3 }),
+    ("systemc", EngineKind::CycleSim),
+    ("rtl", EngineKind::Rtl),
+];
+
 fn all_traces(
     net: NetworkConfig,
     t: &TrafficConfig,
     cycles: u64,
     period: u64,
 ) -> Vec<(&'static str, Trace)> {
-    let icfg = IfaceConfig::default();
-    let mut out = Vec::new();
-    {
-        let mut e = NativeNoc::new(net, icfg);
-        out.push(("native", collect_trace(&mut e, t, cycles, period)));
-    }
-    {
-        let mut e = SeqNoc::new(net, icfg);
-        out.push(("seqsim", collect_trace(&mut e, t, cycles, period)));
-    }
-    {
-        let mut e = CycleNoc::new(net, icfg);
-        out.push(("systemc", collect_trace(&mut e, t, cycles, period)));
-    }
-    {
-        let mut e = RtlNoc::new(net, icfg);
-        out.push(("rtl", collect_trace(&mut e, t, cycles, period)));
-    }
-    out
+    KINDS
+        .iter()
+        .map(|&(name, kind)| {
+            let mut e = soc_sim::sim(net).engine(kind).build();
+            (name, collect_trace(&mut *e, t, cycles, period))
+        })
+        .collect()
 }
 
 fn assert_all_equal(traces: &[(&'static str, Trace)]) {
@@ -66,21 +61,21 @@ fn assert_all_equal(traces: &[(&'static str, Trace)]) {
 }
 
 #[test]
-fn four_engines_agree_torus_mixed_traffic() {
+fn engines_agree_torus_mixed_traffic() {
     let net = NetworkConfig::new(3, 3, Topology::Torus, 2);
     let t = traffic_for(net, 0.10, true, 20_070_326);
     assert_all_equal(&all_traces(net, &t, 2_000, 256));
 }
 
 #[test]
-fn four_engines_agree_mesh_be_traffic() {
+fn engines_agree_mesh_be_traffic() {
     let net = NetworkConfig::new(4, 2, Topology::Mesh, 4);
     let t = traffic_for(net, 0.15, false, 99);
     assert_all_equal(&all_traces(net, &t, 2_000, 128));
 }
 
 #[test]
-fn four_engines_agree_under_heavy_load() {
+fn engines_agree_under_heavy_load() {
     // Near saturation: queues fill, room bits toggle, worms block —
     // the regime where engine divergence would show first.
     let net = NetworkConfig::new(3, 3, Topology::Torus, 2);
@@ -89,7 +84,7 @@ fn four_engines_agree_under_heavy_load() {
 }
 
 #[test]
-fn four_engines_agree_minimal_network() {
+fn engines_agree_minimal_network() {
     // The paper's smallest supported network: 1-by-2.
     let net = NetworkConfig::new(2, 1, Topology::Torus, 4);
     let t = traffic_for(net, 0.3, false, 1);

@@ -15,6 +15,7 @@ fn rc() -> RunConfig {
         drain: 3_000,
         period: 512,
         backlog_limit: 16_384,
+        obs: None,
     }
 }
 

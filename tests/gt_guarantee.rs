@@ -26,6 +26,7 @@ fn check_guarantee(net: NetworkConfig, be_load: f64, seed: u64) {
         drain: 3_000,
         period: 512,
         backlog_limit: 16_384,
+        obs: None,
     };
     let r = run(&mut engine, &mut gen, &rc);
     assert!(r.gt.count > 30, "too few GT packets measured");

@@ -4,22 +4,22 @@
 //! and (b) a valid metrics snapshot carrying delta-cycle counters,
 //! re-evaluation counts and per-VC occupancy gauges.
 
-use noc::{run_instrumented, RunConfig, RunInstr, SeqNoc};
+use noc::{EngineKind, ObsConfig, RunConfig, SimBuilder};
 use noc_types::{NetworkConfig, Topology, NUM_VCS};
 use simtrace::{json, lbl, Registry, Tracer};
 use traffic::{BeConfig, StimuliGenerator, TrafficConfig};
-use vc_router::IfaceConfig;
 
-fn instrumented_mesh_run() -> (RunInstr, noc::RunReport) {
+fn instrumented_mesh_run() -> (ObsConfig, noc::RunReport) {
     let cfg = NetworkConfig::new(4, 4, Topology::Mesh, 2);
-    let mut engine = SeqNoc::new(cfg, IfaceConfig::default());
-    let instr = RunInstr::with(Registry::new(), Tracer::new(), 32);
+    let mut engine = SimBuilder::new(cfg).engine(EngineKind::Seq).build();
+    let instr = ObsConfig::with(Registry::new(), Tracer::new(), 32);
     let rc = RunConfig {
         warmup: 100,
         measure: 400,
         drain: 200,
         period: 128,
         backlog_limit: 1 << 16,
+        obs: Some(instr.clone()),
     };
     let tcfg = TrafficConfig {
         net: cfg,
@@ -28,7 +28,7 @@ fn instrumented_mesh_run() -> (RunInstr, noc::RunReport) {
         seed: 23,
     };
     let mut gen = StimuliGenerator::new(tcfg);
-    let report = run_instrumented(&mut engine, &mut gen, &rc, &instr);
+    let report = noc::run(&mut *engine, &mut gen, &rc);
     (instr, report)
 }
 
@@ -109,14 +109,15 @@ fn metrics_snapshot_has_kernel_and_noc_series() {
 #[test]
 fn plain_run_is_unobserved() {
     let cfg = NetworkConfig::new(3, 3, Topology::Torus, 2);
-    let mut engine = SeqNoc::new(cfg, IfaceConfig::default());
+    let mut engine = SimBuilder::new(cfg).engine(EngineKind::Seq).build();
     let rc = RunConfig {
         warmup: 50,
         measure: 200,
         drain: 100,
         period: 128,
         backlog_limit: 1 << 16,
+        obs: None,
     };
-    let r = noc::run_fig1_point(&mut engine, 0.05, 3, &rc);
+    let r = noc::run_fig1_point(&mut *engine, 0.05, 3, &rc);
     assert!(r.metrics.is_none(), "plain runs carry no metrics snapshot");
 }

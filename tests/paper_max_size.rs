@@ -28,6 +28,7 @@ fn native_runs_256_routers() {
         drain: 600,
         period: 128,
         backlog_limit: 8_192,
+        obs: None,
     };
     let mut gen = StimuliGenerator::new(traffic(net));
     let r = run(&mut e, &mut gen, &rc);
@@ -46,6 +47,7 @@ fn seqsim_runs_256_routers_with_minimum_delta_floor() {
         drain: 0,
         period: 64,
         backlog_limit: 8_192,
+        obs: None,
     };
     let mut gen = StimuliGenerator::new(traffic(net));
     let r = run(&mut e, &mut gen, &rc);
