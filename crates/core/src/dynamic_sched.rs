@@ -12,6 +12,7 @@
 
 use crate::block::SystemSpec;
 use crate::counters::DeltaStats;
+use crate::error::SimError;
 use crate::instrument::KernelInstr;
 use crate::links::LinkMemory;
 use crate::side::SideMem;
@@ -92,6 +93,10 @@ pub struct DynamicEngine {
     /// makes, so the per-cycle budget and the trace's delta numbering
     /// span the whole cycle.
     delta_in_cycle: u32,
+    /// The first error this engine hit. Once set, every further
+    /// `try_*` call returns a clone of it: a diverged engine holds a
+    /// half-settled cycle whose state must not be advanced further.
+    broken: Option<SimError>,
 }
 
 impl DynamicEngine {
@@ -162,7 +167,16 @@ impl DynamicEngine {
             worklist,
             cap_factor: 64,
             delta_in_cycle: 0,
+            broken: None,
         }
+    }
+
+    /// Set the convergence watchdog budget: a system cycle may spend at
+    /// most `cap_factor × blocks` delta cycles before
+    /// [`SimError::Diverged`] is raised (default 64).
+    pub fn set_delta_budget(&mut self, cap_factor: usize) {
+        assert!(cap_factor > 0, "delta budget must be positive");
+        self.cap_factor = cap_factor;
     }
 
     /// Select the scheduling policy (default [`Scheduling::HbrRoundRobin`]).
@@ -267,10 +281,25 @@ impl DynamicEngine {
 
     /// Simulate one system cycle: reset HBR bits, evaluate until stable,
     /// swap the state banks.
+    ///
+    /// Panics if the cycle diverges; use [`try_step`](Self::try_step) to
+    /// receive [`SimError::Diverged`] instead.
     pub fn step(&mut self) {
+        match self.try_step() {
+            Ok(()) => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Simulate one system cycle, surfacing divergence as a typed error
+    /// instead of a panic. After an error the engine is *broken*: the
+    /// half-settled cycle is not committed and every further `try_*`
+    /// call returns the same error (restore a [`Snapshot`] to recover).
+    pub fn try_step(&mut self) -> Result<(), SimError> {
         self.begin_cycle();
-        self.stabilize();
+        self.try_stabilize()?;
         self.finish_cycle();
+        Ok(())
     }
 
     /// Open a system cycle: reset every HBR bit ("Every system cycle is
@@ -294,7 +323,27 @@ impl DynamicEngine {
     /// spent. Re-entrant within one system cycle: a later
     /// [`write_boundary`](Self::write_boundary) may re-arm consumers, and
     /// the next `stabilize` call evaluates exactly those.
+    ///
+    /// Panics if the cycle diverges; use
+    /// [`try_stabilize`](Self::try_stabilize) to receive
+    /// [`SimError::Diverged`] instead.
     pub fn stabilize(&mut self) -> u32 {
+        match self.try_stabilize() {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`stabilize`](Self::stabilize) with the convergence watchdog
+    /// surfacing as a typed error: once `cap_factor × blocks` delta
+    /// cycles have been spent inside one system cycle without reaching
+    /// the fixed point, returns [`SimError::Diverged`] naming the
+    /// still-unstable blocks (identically under all three scheduling
+    /// policies) and marks the engine broken.
+    pub fn try_stabilize(&mut self) -> Result<u32, SimError> {
+        if let Some(e) = &self.broken {
+            return Err(e.clone());
+        }
         let n = self.spec.blocks().len();
         let cap = (self.cap_factor * n) as u32;
         let before = self.delta_in_cycle;
@@ -310,12 +359,9 @@ impl DynamicEngine {
                     self.rr_pos = (pos + 1) % n;
                     self.eval_block(b, delta);
                     delta += 1;
-                    assert!(
-                        delta < cap,
-                        "system did not stabilise within {cap} delta cycles in cycle {} — \
-                         non-converging combinational dependency",
-                        self.cycle
-                    );
+                    if delta >= cap {
+                        return Err(self.diverge(cap, delta));
+                    }
                 }
             }
             Scheduling::HbrRoundRobinNaive => loop {
@@ -332,12 +378,9 @@ impl DynamicEngine {
                 self.rr_pos = (self.rr_pos + i + 1) % n;
                 self.eval_block(b, delta);
                 delta += 1;
-                assert!(
-                    delta < cap,
-                    "system did not stabilise within {cap} delta cycles in cycle {} — \
-                     non-converging combinational dependency",
-                    self.cycle
-                );
+                if delta >= cap {
+                    return Err(self.diverge(cap, delta));
+                }
             },
             Scheduling::FullPasses => loop {
                 let mut pass_changed = false;
@@ -345,7 +388,9 @@ impl DynamicEngine {
                     let b = self.order[i];
                     pass_changed |= self.eval_block(b, delta);
                     delta += 1;
-                    assert!(delta < cap, "FullPasses did not converge");
+                    if delta >= cap {
+                        return Err(self.diverge(cap, delta));
+                    }
                 }
                 if !pass_changed {
                     break;
@@ -353,7 +398,30 @@ impl DynamicEngine {
             },
         }
         self.delta_in_cycle = delta;
-        delta - before
+        Ok(delta - before)
+    }
+
+    /// Record and return the divergence error for the current cycle.
+    fn diverge(&mut self, cap: u32, delta: u32) -> SimError {
+        self.delta_in_cycle = delta;
+        let unstable_blocks: Vec<usize> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|&b| !self.stable(b))
+            .collect();
+        let last_trace = self.trace.as_ref().map_or_else(Vec::new, |t| {
+            let tail = t.events.len().saturating_sub(16);
+            t.events[tail..].to_vec()
+        });
+        let e = SimError::Diverged {
+            cycle: self.cycle,
+            budget: cap,
+            unstable_blocks,
+            last_trace,
+        };
+        self.broken = Some(e.clone());
+        e
     }
 
     /// Close a system cycle: swap the state banks, record the delta
@@ -390,11 +458,26 @@ impl DynamicEngine {
         }
     }
 
-    /// Simulate `n` system cycles.
+    /// Simulate `n` system cycles. Panics on divergence; see
+    /// [`try_run`](Self::try_run).
     pub fn run(&mut self, n: u64) {
         for _ in 0..n {
             self.step();
         }
+    }
+
+    /// Simulate `n` system cycles, stopping at the first
+    /// [`SimError::Diverged`].
+    pub fn try_run(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.try_step()?;
+        }
+        Ok(())
+    }
+
+    /// The first error this engine hit, if it is broken.
+    pub fn error(&self) -> Option<&SimError> {
+        self.broken.as_ref()
     }
 
     /// Current system cycle count.
@@ -452,6 +535,7 @@ impl DynamicEngine {
         self.stats = snap.stats.clone();
         self.evaluated.iter_mut().for_each(|e| *e = false);
         self.delta_in_cycle = 0;
+        self.broken = None;
     }
 
     /// Side memory (host reads results).

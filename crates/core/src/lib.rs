@@ -63,12 +63,16 @@
 // the natural shape for port/node-indexed hardware code; iterator zips
 // would obscure which port is which.
 #![allow(clippy::needless_range_loop)]
+// Library failure paths must be typed (`SimError`), not panics hidden in
+// unwraps. Tests may still unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod block;
 pub mod check;
 pub mod counters;
 pub mod demo;
 pub mod dynamic_sched;
+pub mod error;
 pub mod instrument;
 pub mod links;
 pub mod pool;
@@ -82,9 +86,10 @@ pub mod worklist;
 pub use block::{BlockId, BlockInst, BlockKind, KindId, LinkDriver, LinkId, LinkSpec, SystemSpec};
 pub use counters::DeltaStats;
 pub use dynamic_sched::{DynamicEngine, Scheduling, Snapshot};
+pub use error::SimError;
 pub use instrument::KernelInstr;
 pub use links::LinkMemory;
-pub use pool::{ScopedTask, SpinBarrier, ThreadPool};
+pub use pool::{BarrierPoisoned, ScopedTask, SpinBarrier, ThreadPool};
 pub use side::{SideMem, SideView};
 pub use state::StateMemory;
 pub use static_sched::StaticEngine;

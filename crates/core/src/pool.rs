@@ -49,7 +49,7 @@ impl ThreadPool {
                             job();
                         }
                     })
-                    .expect("spawn pool worker");
+                    .unwrap_or_else(|e| panic!("spawn pool worker: {e}"));
                 Worker {
                     tx,
                     handle: Some(handle),
@@ -94,20 +94,27 @@ impl ThreadPool {
             // different lifetime bounds share one layout.
             let task: Job = unsafe { std::mem::transmute::<ScopedTask<'a>, Job>(task) };
             let tx = done_tx.clone();
-            self.workers[i]
-                .tx
-                .send(Box::new(move || {
-                    let result = catch_unwind(AssertUnwindSafe(task));
-                    // The receiver only disappears if the dispatching
-                    // thread itself panicked; nothing left to report to.
-                    let _ = tx.send(result.err());
-                }))
-                .expect("pool worker alive");
+            let sent = self.workers[i].tx.send(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                // The receiver only disappears if the dispatching
+                // thread itself panicked; nothing left to report to.
+                let _ = tx.send(result.err());
+            }));
+            // A worker loop only exits when its channel is closed, which
+            // happens in Drop; a send can therefore not fail here.
+            if sent.is_err() {
+                unreachable!("pool worker {i} hung up before Drop");
+            }
         }
         drop(done_tx);
         let mut first_panic = None;
         for _ in 0..n {
-            let outcome = done_rx.recv().expect("pool worker completes its task");
+            // Every dispatched job sends exactly one completion (panics
+            // are caught inside the job), so recv cannot fail before all
+            // n completions arrive.
+            let Ok(outcome) = done_rx.recv() else {
+                unreachable!("pool worker dropped its completion channel");
+            };
             if let Some(p) = outcome {
                 first_panic.get_or_insert(p);
             }
@@ -132,6 +139,10 @@ impl Drop for ThreadPool {
         }
     }
 }
+
+/// Marker error: the barrier was poisoned by a failing party.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierPoisoned;
 
 /// A sense-reversing spin barrier for a fixed party count.
 ///
@@ -171,23 +182,36 @@ impl SpinBarrier {
     /// one party per generation (the "leader", the last to arrive).
     ///
     /// # Panics
-    /// Panics when the barrier is [poisoned](Self::poison).
+    /// Panics when the barrier is [poisoned](Self::poison). Use
+    /// [`try_wait`](Self::try_wait) to observe poisoning as a value.
     pub fn wait(&self) -> bool {
-        assert!(!self.poisoned.load(Ordering::Relaxed), "barrier poisoned");
+        match self.try_wait() {
+            Ok(leader) => leader,
+            Err(BarrierPoisoned) => panic!("barrier poisoned"),
+        }
+    }
+
+    /// [`wait`](Self::wait) that reports poisoning instead of panicking:
+    /// returns `Err(BarrierPoisoned)` when the barrier was poisoned
+    /// before or during the wait, letting interlocked workers unwind
+    /// cooperatively after a peer's failure.
+    pub fn try_wait(&self) -> Result<bool, BarrierPoisoned> {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return Err(BarrierPoisoned);
+        }
         let gen = self.generation.load(Ordering::Acquire);
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.parties {
             self.count.store(0, Ordering::Relaxed);
             self.generation
                 .store(gen.wrapping_add(1), Ordering::Release);
-            return true;
+            return Ok(true);
         }
         let mut spins: u32 = 0;
         while self.generation.load(Ordering::Acquire) == gen {
-            assert!(
-                !self.poisoned.load(Ordering::Relaxed),
-                "barrier poisoned while waiting"
-            );
+            if self.poisoned.load(Ordering::Relaxed) {
+                return Err(BarrierPoisoned);
+            }
             spins = spins.wrapping_add(1);
             if spins < SPINS_BEFORE_YIELD {
                 std::hint::spin_loop();
@@ -195,7 +219,7 @@ impl SpinBarrier {
                 std::thread::yield_now();
             }
         }
-        false
+        Ok(false)
     }
 
     /// Mark the barrier broken; current and future waiters panic.

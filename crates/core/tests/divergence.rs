@@ -1,0 +1,61 @@
+//! The convergence watchdog surfaces a non-converging spec as a typed
+//! [`SimError::Diverged`] — identically under every scheduling policy —
+//! instead of spinning or panicking, and the engine stays broken (but
+//! responsive) afterwards.
+
+use seqsim::demo::CombDemoKind;
+use seqsim::{DynamicEngine, Scheduling, SimError, SystemSpec};
+
+/// A single combinational block wired to itself: `x = s ^ x` has no
+/// fixed point while the registered state `s` is non-zero (and the
+/// demo kind resets it to 6), so the delta loop oscillates forever.
+fn oscillator() -> SystemSpec {
+    let mut spec = SystemSpec::new();
+    let comb = spec.add_kind(Box::new(CombDemoKind::new(1)));
+    let b = spec.add_block(comb);
+    spec.wire((b, 0), (b, 0));
+    spec
+}
+
+#[test]
+fn non_converging_spec_surfaces_diverged() {
+    for policy in [
+        Scheduling::HbrRoundRobin,
+        Scheduling::HbrRoundRobinNaive,
+        Scheduling::FullPasses,
+    ] {
+        let mut eng = DynamicEngine::new(oscillator());
+        eng.set_scheduling(policy);
+        eng.set_delta_budget(8);
+        let err = eng.try_step().expect_err("oscillator must diverge");
+        let SimError::Diverged {
+            cycle,
+            budget,
+            unstable_blocks,
+            ..
+        } = &err
+        else {
+            panic!("expected Diverged, got {err} ({policy:?})");
+        };
+        assert_eq!(*cycle, 0, "{policy:?}");
+        assert_eq!(*budget, 8, "budget = cap_factor x blocks ({policy:?})");
+        assert_eq!(unstable_blocks, &[0], "{policy:?}");
+
+        // The engine is sticky-broken: further steps return the same
+        // typed error rather than hanging or corrupting state.
+        let again = eng.try_step().expect_err("broken engine must stay broken");
+        assert_eq!(again.to_string(), err.to_string(), "{policy:?}");
+    }
+}
+
+#[test]
+fn diverged_error_is_reportable() {
+    let mut eng = DynamicEngine::new(oscillator());
+    eng.set_delta_budget(4);
+    let err = eng.try_run(10).expect_err("oscillator must diverge");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("diverge") || msg.contains("Diverged") || msg.contains("delta"),
+        "error message should name the divergence: {msg}"
+    );
+}

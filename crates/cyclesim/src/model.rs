@@ -18,10 +18,12 @@
 //! Table 3 measures.
 
 use crate::kernel::{Kernel, KernelStats, SigId};
+use noc_types::fault::FaultPlan;
 use noc_types::flit::{room_from_bits, room_to_bits};
 use noc_types::{Direction, LinkFwd, NetworkConfig, Port, NUM_PORTS, NUM_VCS};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::Arc;
 use vc_router::iface::{iface_clock, iface_pick};
 use vc_router::{
     comb_fwd, comb_room, comb_select, transfers, AccEntry, IfaceConfig, IfaceRings, OutEntry,
@@ -45,16 +47,40 @@ pub struct CycleNoc {
     acc_rd: Vec<u16>,
     cycle_cell: Rc<Cell<u64>>,
     cycle: u64,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl CycleNoc {
     /// Build and elaborate the model.
     pub fn new(cfg: NetworkConfig, iface_cfg: IfaceConfig) -> Self {
+        Self::with_faults(cfg, iface_cfg, None)
+    }
+
+    /// Build with a deterministic fault plan. Stall windows gate the
+    /// room/forward comb processes and the clocked register update; link
+    /// faults rewrite the forward wires the clocked process consumes —
+    /// the same application points as the native reference.
+    pub fn with_faults(
+        cfg: NetworkConfig,
+        iface_cfg: IfaceConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         iface_cfg.validate();
         let n = cfg.num_nodes();
         let wiring = noc::Wiring::new(&cfg);
         let mut k = Kernel::new();
-        let cycle_cell = Rc::new(Cell::new(0u64));
+        // The comb processes label their outputs "wires for cycle
+        // `cyc + 1`" (they settle *after* edge `cyc`). The elaboration
+        // settle precedes edge 0, so start the cell at MAX and wrap.
+        let cycle_cell = Rc::new(Cell::new(u64::MAX));
+        let nfs: Vec<noc_types::fault::NodeFaults> = (0..n)
+            .map(|r| {
+                faults
+                    .as_ref()
+                    .map(|p| p.node_faults(r))
+                    .unwrap_or_default()
+            })
+            .collect();
 
         // Signals.
         let zero = k.signal(0); // tie-off for mesh edges (no flit, no room)
@@ -99,7 +125,17 @@ impl CycleNoc {
             {
                 let regs = regs[r].clone();
                 let out: [SigId; 4] = room_sigs[r];
+                let nf = nfs[r].clone();
+                let cyc = cycle_cell.clone();
                 k.comb(&[vers[r]], move |bus| {
+                    // A stalled router advertises no room (wires belong
+                    // to the cycle after the edge we just settled from).
+                    if nf.stalled(cyc.get().wrapping_add(1)) {
+                        for d in 0..4 {
+                            bus.write(out[d], 0);
+                        }
+                        return;
+                    }
                     let room = comb_room(&regs.borrow(), depth);
                     for d in 0..4 {
                         bus.write(out[d], room_to_bits(room[d]));
@@ -112,9 +148,17 @@ impl CycleNoc {
                 let regs = regs[r].clone();
                 let room_in: [SigId; 4] = core::array::from_fn(|d| room_in_of(r, d));
                 let out: [SigId; 4] = fwd_sigs[r];
+                let nf = nfs[r].clone();
+                let cyc = cycle_cell.clone();
                 let mut sens = vec![vers[r]];
                 sens.extend_from_slice(&room_in);
                 k.comb(&sens, move |bus| {
+                    if nf.stalled(cyc.get().wrapping_add(1)) {
+                        for d in 0..4 {
+                            bus.write(out[d], 0);
+                        }
+                        return;
+                    }
                     let regs = regs.borrow();
                     let mut rin = [[true; NUM_VCS]; NUM_PORTS];
                     for d in 0..4 {
@@ -140,11 +184,23 @@ impl CycleNoc {
                 let room_in: [SigId; 4] = core::array::from_fn(|d| room_in_of(r, d));
                 let wr: [SigId; NUM_VCS] = wr_sigs[r];
                 let ver = vers[r];
+                let nf = nfs[r].clone();
                 k.clocked(move |bus| {
                     let cycle = cyc.get();
+                    if nf.stalled(cycle) {
+                        // Registers and rings held; the ver bump still
+                        // happens so the comb processes re-settle (their
+                        // outputs stay forced while the window lasts).
+                        bus.write(ver, cycle.wrapping_add(1));
+                        return;
+                    }
                     let mut rin = RouterInputs::idle();
                     for d in 0..4 {
-                        rin.fwd_in[d] = LinkFwd::from_bits(bus.read(fwd_in[d]));
+                        let mut w = bus.read(fwd_in[d]);
+                        if nf.link_faulty(d) {
+                            w = nf.apply_link(d, cycle, w);
+                        }
+                        rin.fwd_in[d] = LinkFwd::from_bits(w);
                         rin.room_in[d] = room_from_bits(bus.read(room_in[d]));
                     }
                     let (pick, sel, fwd_local) = {
@@ -192,6 +248,7 @@ impl CycleNoc {
             acc_rd: vec![0; n],
             cycle_cell,
             cycle: 0,
+            faults,
         }
     }
 
@@ -236,6 +293,21 @@ impl noc::NocEngine for CycleNoc {
             vc: w.vc,
             flit: w.flit,
         })
+    }
+
+    fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    fn vc_occupancy(&self, node: usize) -> Option<[u32; NUM_VCS]> {
+        let regs = self.regs[node].borrow();
+        let mut occ = [0u32; NUM_VCS];
+        for p in 0..NUM_PORTS {
+            for (vc, o) in occ.iter_mut().enumerate() {
+                *o += regs.queues[p * NUM_VCS + vc].occupancy() as u32;
+            }
+        }
+        Some(occ)
     }
 
     fn stim_capacity(&self) -> usize {

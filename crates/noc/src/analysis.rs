@@ -42,7 +42,8 @@ pub fn saturation_sweep(
                 gt_streams: Vec::new(),
                 seed,
             });
-            let r: RunReport = run(engine.as_mut(), &mut gen, rc);
+            let r: RunReport = run(engine.as_mut(), &mut gen, rc)
+                .unwrap_or_else(|e| panic!("saturation sweep run failed at load {load}: {e}"));
             SaturationPoint {
                 offered: load,
                 accepted: r.throughput.accepted_load(),
@@ -90,6 +91,7 @@ mod tests {
             period: 256,
             backlog_limit: 2_048,
             obs: None,
+            check: false,
         };
         let loads = [0.05, 0.15, 0.60, 0.90];
         let mut mk =

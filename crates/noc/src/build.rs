@@ -29,8 +29,10 @@ use crate::engine::NocEngine;
 use crate::native::NativeNoc;
 use crate::seq::SeqNoc;
 use crate::shard::ShardedSeqEngine;
+use noc_types::fault::FaultPlan;
 use noc_types::NetworkConfig;
 use seqsim::Scheduling;
+use std::sync::Arc;
 use vc_router::IfaceConfig;
 
 /// Which simulation backend to build.
@@ -74,24 +76,29 @@ impl EngineKind {
 }
 
 /// Factory signature external crates register for their engine kinds.
-pub type EngineFactory = fn(NetworkConfig, IfaceConfig) -> Box<dyn NocEngine>;
+/// The third argument is the deterministic fault plan, `None` for a
+/// clean run.
+pub type EngineFactory =
+    fn(NetworkConfig, IfaceConfig, Option<Arc<FaultPlan>>) -> Box<dyn NocEngine>;
 
 /// Builder for any [`NocEngine`] backend.
 pub struct SimBuilder {
     cfg: NetworkConfig,
     iface: IfaceConfig,
     kind: EngineKind,
+    faults: Option<Arc<FaultPlan>>,
     factories: Vec<(EngineKind, EngineFactory)>,
 }
 
 impl SimBuilder {
     /// Start building a simulator of `cfg`'s network. Defaults: the
-    /// sequential engine, default interface rings.
+    /// sequential engine, default interface rings, no faults.
     pub fn new(cfg: NetworkConfig) -> Self {
         SimBuilder {
             cfg,
             iface: IfaceConfig::default(),
             kind: EngineKind::Seq,
+            faults: None,
             factories: Vec::new(),
         }
     }
@@ -105,6 +112,19 @@ impl SimBuilder {
     /// Override the host-interface ring configuration.
     pub fn iface(mut self, iface: IfaceConfig) -> Self {
         self.iface = iface;
+        self
+    }
+
+    /// Attach a deterministic fault plan. Every backend applies it at the
+    /// same architectural points, so faulty runs stay bit-identical
+    /// across engines.
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        assert_eq!(
+            plan.num_nodes(),
+            self.cfg.num_nodes(),
+            "fault plan sized for a different network"
+        );
+        self.faults = Some(plan);
         self
     }
 
@@ -127,19 +147,31 @@ impl SimBuilder {
     pub fn build(self) -> Box<dyn NocEngine> {
         // Most-recent registration wins, including over built-ins.
         if let Some((_, f)) = self.factories.iter().rev().find(|(k, _)| *k == self.kind) {
-            return f(self.cfg, self.iface);
+            return f(self.cfg, self.iface, self.faults);
         }
+        let n = self.cfg.num_nodes();
+        let depths = vec![self.cfg.router.queue_depth; n];
         match self.kind {
-            EngineKind::Native => Box::new(NativeNoc::new(self.cfg, self.iface)),
-            EngineKind::Seq => Box::new(SeqNoc::new(self.cfg, self.iface)),
-            EngineKind::SeqNaive => Box::new(SeqNoc::with_scheduling(
+            EngineKind::Native => Box::new(NativeNoc::with_depths_and_faults(
                 self.cfg,
                 self.iface,
-                Scheduling::HbrRoundRobinNaive,
+                &depths,
+                self.faults,
             )),
-            EngineKind::Sharded { threads } => {
-                Box::new(ShardedSeqEngine::new(self.cfg, self.iface, threads))
-            }
+            EngineKind::Seq => Box::new(SeqNoc::with_faults(self.cfg, self.iface, self.faults)),
+            EngineKind::SeqNaive => Box::new(SeqNoc::with_depths_scheduling_faults(
+                self.cfg,
+                self.iface,
+                &depths,
+                Scheduling::HbrRoundRobinNaive,
+                self.faults,
+            )),
+            EngineKind::Sharded { threads } => Box::new(ShardedSeqEngine::with_faults(
+                self.cfg,
+                self.iface,
+                threads,
+                self.faults,
+            )),
             kind @ (EngineKind::CycleSim | EngineKind::Rtl) => panic!(
                 "engine kind {kind:?} is implemented outside the noc crate; \
                  build it through soc_sim::sim(cfg), or register a factory: \
@@ -193,7 +225,7 @@ mod tests {
     fn registered_factory_wins() {
         let e = SimBuilder::new(cfg())
             .engine(EngineKind::CycleSim)
-            .register(EngineKind::CycleSim, |cfg, iface| {
+            .register(EngineKind::CycleSim, |cfg, iface, _faults| {
                 Box::new(NativeNoc::new(cfg, iface))
             })
             .build();

@@ -8,6 +8,7 @@
 //! of skew anywhere fails the comparison.
 
 use crate::engine::NocEngine;
+use crate::fault::InjectApplier;
 use noc_types::NUM_VCS;
 use std::collections::VecDeque;
 use traffic::{StimuliGenerator, TrafficConfig};
@@ -36,6 +37,12 @@ pub fn collect_trace(
 ) -> Trace {
     let n = engine.config().num_nodes();
     let mut gen = StimuliGenerator::new(tcfg.clone());
+    // Injection faults are applied host-side at the stimuli boundary, so
+    // every engine running the same plan sees the identical post-fault
+    // flit streams (the plan decides per packet ordinal, not per batch).
+    let mut inject = engine
+        .fault_plan()
+        .and_then(|p| InjectApplier::from_plan(p, n));
     let mut backlog: Vec<[VecDeque<StimEntry>; NUM_VCS]> = (0..n)
         .map(|_| core::array::from_fn(|_| VecDeque::new()))
         .collect();
@@ -50,20 +57,14 @@ pub fn collect_trace(
         let w = gen.generate(t0, t1);
         for (node, rings) in w.stim.into_iter().enumerate() {
             for (vc, entries) in rings.into_iter().enumerate() {
+                let entries = match inject.as_mut() {
+                    Some(ap) => ap.filter(node, vc, entries),
+                    None => entries,
+                };
                 backlog[node][vc].extend(entries);
             }
         }
-        for (node, rings) in backlog.iter_mut().enumerate() {
-            for (vc, ring) in rings.iter_mut().enumerate() {
-                while let Some(&e) = ring.front() {
-                    if engine.push_stim(node, vc, e) {
-                        ring.pop_front();
-                    } else {
-                        break;
-                    }
-                }
-            }
-        }
+        push_window(engine, &mut backlog, usize::MAX);
         engine.run(t1 - t0);
         for node in 0..n {
             trace.delivered[node].extend(engine.drain_delivered(node));
@@ -73,6 +74,34 @@ pub fn collect_trace(
     }
     trace.backlog_left = backlog.iter().flat_map(|r| r.iter().map(|q| q.len())).sum();
     trace
+}
+
+/// Push backlogged stimuli into the engine's rings in (node, vc) order,
+/// at most `limit` flits per ring, stopping early on a full ring.
+/// Returns the number of flits accepted — the figure the invariant
+/// checker's conservation ledger is built on.
+pub fn push_window(
+    engine: &mut dyn NocEngine,
+    backlog: &mut [[VecDeque<StimEntry>; NUM_VCS]],
+    limit: usize,
+) -> u64 {
+    let mut pushed = 0u64;
+    for (node, rings) in backlog.iter_mut().enumerate() {
+        for (vc, ring) in rings.iter_mut().enumerate() {
+            let mut sent = 0usize;
+            while sent < limit {
+                let Some(&e) = ring.front() else { break };
+                if engine.push_stim(node, vc, e) {
+                    ring.pop_front();
+                    sent += 1;
+                    pushed += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    pushed
 }
 
 /// Assert two traces are bit-identical, with a localised failure message.

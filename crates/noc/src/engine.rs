@@ -6,8 +6,10 @@
 //! follow the free-running 16-bit convention of
 //! [`vc_router::regs::IfaceRegs`].
 
+use noc_types::fault::FaultPlan;
 use noc_types::NetworkConfig;
-use seqsim::DeltaStats;
+use seqsim::{DeltaStats, SimError};
+use std::sync::Arc;
 use vc_router::{AccEntry, OutEntry, StimEntry};
 
 /// A delivered flit with its destination node attached.
@@ -31,7 +33,27 @@ pub trait NocEngine {
     fn cycle(&self) -> u64;
 
     /// Simulate one system cycle.
+    ///
+    /// Panics on an unrecoverable engine failure; engines with fallible
+    /// hot paths implement [`try_step`](Self::try_step) natively and
+    /// derive this from it.
     fn step(&mut self);
+
+    /// Simulate one system cycle, surfacing engine failures
+    /// (non-convergence, shard death) as a typed [`SimError`] instead of
+    /// a panic. Engines without fallible paths inherit this default.
+    fn try_step(&mut self) -> Result<(), SimError> {
+        self.step();
+        Ok(())
+    }
+
+    /// The deterministic fault plan this engine was built with, if any.
+    /// The host uses it to apply injection-level faults upstream of
+    /// [`push_stim`](Self::push_stim) and to pick the right conservation
+    /// invariant.
+    fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        None
+    }
 
     /// Capacity of every stimuli ring in entries.
     fn stim_capacity(&self) -> usize;
@@ -87,6 +109,14 @@ pub trait NocEngine {
         for _ in 0..n {
             self.step();
         }
+    }
+
+    /// Simulate `n` system cycles, stopping at the first [`SimError`].
+    fn try_run(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.try_step()?;
+        }
+        Ok(())
     }
 }
 

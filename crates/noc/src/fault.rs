@@ -1,0 +1,293 @@
+//! Fault-plan construction and the host-side injection fault applier.
+//!
+//! The fault *model* (what a fault is, where it applies) lives in
+//! [`noc_types::fault`] so every engine crate can depend on it; this
+//! module holds the pieces that need the `noc` crate's context:
+//!
+//! * [`random_plan`] — derive a deterministic [`FaultPlan`] from a seed,
+//!   placing link faults only on links that exist in the wiring;
+//! * [`InjectApplier`] — the packet-level drop/corrupt stage applied to
+//!   generated stimuli *before* they enter an engine's host backlog.
+//!
+//! Injection faults run host-side on purpose: the decision is a pure
+//! function of the per-`(node, vc)` packet ordinal and the plan seed, so
+//! applying it once at the stimuli boundary keeps all five engines
+//! bit-identical without teaching each of them about packets (engines
+//! only know flits).
+
+use crate::wiring::Wiring;
+use noc_types::fault::{mix, InjectFaults, LinkFault, LinkFaultKind, Window};
+use noc_types::{NetworkConfig, NUM_VCS};
+use vc_router::StimEntry;
+
+pub use noc_types::fault::{FaultPlan, NodeFaults};
+
+/// Salt mixed into injection-fault decisions so they are decorrelated
+/// from the stall/link placement draws made from the same seed.
+const INJECT_SALT: u64 = 0x1A7E_C7ED_FA17_5EED;
+
+/// Derive a deterministic fault plan for `cfg`'s network from `seed`,
+/// scaled to a run of roughly `cycles` cycles.
+///
+/// The plan is a pure function of `(cfg, seed, cycles)`: one or two
+/// router-stall windows, two or three link faults (stuck-at-idle and
+/// payload bit-flips, only on links present in the topology's wiring),
+/// and modest packet-level drop/corrupt rates at injection. Windows are
+/// placed in the first half of the run so their consequences are
+/// observable before the run ends.
+pub fn random_plan(cfg: &NetworkConfig, seed: u64, cycles: u64) -> FaultPlan {
+    let n = cfg.num_nodes();
+    let wiring = Wiring::new(cfg);
+    let mut plan = FaultPlan::new(n, seed);
+    let horizon = cycles.max(16);
+
+    let stalls = 1 + (mix(seed, 0, 0, 0) % 2) as usize;
+    for i in 0..stalls {
+        let node = (mix(seed, 1, i as u64, 0) % n as u64) as usize;
+        let start = 1 + mix(seed, 1, i as u64, 1) % (horizon / 2).max(1);
+        let len = 1 + mix(seed, 1, i as u64, 2) % (horizon / 4).max(1);
+        plan.add_stall(node, Window::new(start, start + len));
+    }
+
+    let want = 2 + (mix(seed, 2, 0, 0) % 2) as usize;
+    let mut placed = 0usize;
+    for attempt in 0..64u64 {
+        if placed >= want {
+            break;
+        }
+        let h = mix(seed, 3, placed as u64, attempt);
+        let node = (h % n as u64) as usize;
+        let dir = ((h >> 8) % 4) as usize;
+        if wiring.neighbour(node, dir).is_none() {
+            continue;
+        }
+        let start = 1 + (h >> 16) % (horizon / 2).max(1);
+        let len = 1 + (h >> 32) % (horizon / 4).max(1);
+        let kind = if placed.is_multiple_of(2) {
+            LinkFaultKind::StuckIdle
+        } else {
+            LinkFaultKind::BitFlip {
+                mask: ((h >> 40) as u16) | 1,
+            }
+        };
+        plan.add_link_fault(
+            node,
+            dir,
+            LinkFault {
+                window: Window::new(start, start + len),
+                kind,
+            },
+        );
+        placed += 1;
+    }
+
+    plan.set_inject(InjectFaults {
+        drop_per_mille: 20 + (mix(seed, 4, 0, 0) % 30) as u16,
+        corrupt_per_mille: 20 + (mix(seed, 4, 1, 0) % 30) as u16,
+        mask: (mix(seed, 4, 2, 0) as u16) | 1,
+    });
+    plan
+}
+
+/// What the applier decided for the packet currently streaming through a
+/// `(node, vc)` stimuli stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Pass,
+    Drop,
+    Corrupt,
+}
+
+/// Per-`(node, vc)` stream state: the pending action and how many packet
+/// heads have been seen (the packet ordinal that seeds each decision).
+#[derive(Debug, Clone, Copy)]
+struct StreamState {
+    action: Action,
+    packets: u64,
+}
+
+/// Applies a plan's [`InjectFaults`] to generated stimuli, packet by
+/// packet, before they reach an engine.
+///
+/// Each `(node, vc)` stream counts packet heads; the fate of packet `k`
+/// is `mix(seed ^ SALT, node, vc, k)` reduced to a per-mille roll —
+/// independent of timing, batching, or engine, so every backend sees the
+/// identical post-fault stimuli. Dropped packets are removed whole (head
+/// through tail); corrupted packets have their body/tail payloads XOR-ed
+/// with the plan mask (heads are spared so routing stays meaningful —
+/// corruption models payload damage, not misdelivery).
+#[derive(Debug)]
+pub struct InjectApplier {
+    inject: InjectFaults,
+    seed: u64,
+    streams: Vec<[StreamState; NUM_VCS]>,
+    dropped_flits: u64,
+    corrupted_flits: u64,
+}
+
+impl InjectApplier {
+    /// Build an applier for `plan` covering `num_nodes` streams; `None`
+    /// if the plan carries no injection faults.
+    pub fn from_plan(plan: &FaultPlan, num_nodes: usize) -> Option<InjectApplier> {
+        let inject = plan.inject?;
+        Some(InjectApplier {
+            inject,
+            seed: plan.seed ^ INJECT_SALT,
+            streams: vec![
+                [StreamState {
+                    action: Action::Pass,
+                    packets: 0,
+                }; NUM_VCS];
+                num_nodes
+            ],
+            dropped_flits: 0,
+            corrupted_flits: 0,
+        })
+    }
+
+    /// Filter one generated batch for stream `(node, vc)`, preserving
+    /// order. Packets may span batches; the stream state carries the
+    /// in-progress decision across calls.
+    pub fn filter(&mut self, node: usize, vc: usize, entries: Vec<StimEntry>) -> Vec<StimEntry> {
+        let st = &mut self.streams[node][vc];
+        let mut out = Vec::with_capacity(entries.len());
+        for mut e in entries {
+            if e.flit.kind.is_head() {
+                let roll = mix(self.seed, node as u64, vc as u64, st.packets) % 1000;
+                st.packets += 1;
+                let drop = self.inject.drop_per_mille as u64;
+                let corrupt = drop + self.inject.corrupt_per_mille as u64;
+                st.action = if roll < drop {
+                    Action::Drop
+                } else if roll < corrupt {
+                    Action::Corrupt
+                } else {
+                    Action::Pass
+                };
+            }
+            match st.action {
+                Action::Pass => out.push(e),
+                Action::Drop => self.dropped_flits += 1,
+                Action::Corrupt => {
+                    if !e.flit.kind.is_head() {
+                        e.flit.payload ^= self.inject.mask;
+                        self.corrupted_flits += 1;
+                    }
+                    out.push(e);
+                }
+            }
+        }
+        out
+    }
+
+    /// Flits removed before injection so far (whole dropped packets).
+    pub fn dropped_flits(&self) -> u64 {
+        self.dropped_flits
+    }
+
+    /// Body/tail flits whose payloads were XOR-corrupted so far.
+    pub fn corrupted_flits(&self) -> u64 {
+        self.corrupted_flits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::{Coord, Flit, Topology};
+
+    fn entries(n: usize) -> Vec<StimEntry> {
+        // Two 4-flit packets plus one single-flit packet, repeated.
+        let mut v = Vec::new();
+        let mut i = 0;
+        while v.len() < n {
+            let head = Flit::head(Coord::new(1, 1), 3);
+            v.push(StimEntry { ts: i, flit: head });
+            for k in 0..3u16 {
+                let kind = if k == 2 {
+                    noc_types::FlitKind::Tail
+                } else {
+                    noc_types::FlitKind::Body
+                };
+                v.push(StimEntry {
+                    ts: i,
+                    flit: Flit {
+                        kind,
+                        payload: 0x100 + k,
+                    },
+                });
+            }
+            v.push(StimEntry {
+                ts: i,
+                flit: Flit::head_tail(Coord::new(0, 0), 3),
+            });
+            i += 1;
+        }
+        v.truncate(n);
+        v
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_respects_wiring() {
+        let cfg = NetworkConfig::new(3, 3, Topology::Mesh, 4);
+        let a = random_plan(&cfg, 0xABCD, 200);
+        let b = random_plan(&cfg, 0xABCD, 200);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let wiring = Wiring::new(&cfg);
+        for (node, dir, _) in a.link_sites() {
+            assert!(
+                wiring.neighbour(node, dir).is_some(),
+                "link fault on a non-existent link ({node}, {dir})"
+            );
+        }
+        let c = random_plan(&cfg, 0xABCE, 200);
+        assert_ne!(a, c, "different seeds should give different plans");
+    }
+
+    #[test]
+    fn filter_is_batch_invariant() {
+        let cfg = NetworkConfig::new(2, 2, Topology::Mesh, 4);
+        let mut plan = random_plan(&cfg, 77, 100);
+        plan.set_inject(InjectFaults {
+            drop_per_mille: 300,
+            corrupt_per_mille: 300,
+            mask: 0x0101,
+        });
+        let all = entries(60);
+
+        let mut one = InjectApplier::from_plan(&plan, 4).unwrap();
+        let whole = one.filter(0, 1, all.clone());
+
+        let mut two = InjectApplier::from_plan(&plan, 4).unwrap();
+        let mut pieces = Vec::new();
+        for chunk in all.chunks(7) {
+            pieces.extend(two.filter(0, 1, chunk.to_vec()));
+        }
+        assert_eq!(whole, pieces, "splitting batches must not change fates");
+        assert!(one.dropped_flits() > 0, "expected some drops at 30%");
+    }
+
+    #[test]
+    fn corrupt_spares_heads() {
+        let cfg = NetworkConfig::new(2, 2, Topology::Mesh, 4);
+        let mut plan = FaultPlan::new(4, 9);
+        let _ = &cfg;
+        plan.set_inject(InjectFaults {
+            drop_per_mille: 0,
+            corrupt_per_mille: 1000,
+            mask: 0xFFFF,
+        });
+        let all = entries(10);
+        let mut ap = InjectApplier::from_plan(&plan, 4).unwrap();
+        let out = ap.filter(1, 0, all.clone());
+        assert_eq!(out.len(), all.len(), "corrupt never removes flits");
+        for (a, b) in all.iter().zip(&out) {
+            if a.flit.kind.is_head() {
+                assert_eq!(a, b, "head flits must pass unmodified");
+            } else {
+                assert_eq!(a.flit.payload ^ 0xFFFF, b.flit.payload);
+            }
+        }
+    }
+}

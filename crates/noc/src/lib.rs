@@ -19,7 +19,11 @@
 //!   registry, phase spans in a [`simtrace::Tracer`] (§5.2's monitoring
 //!   blocks, in software);
 //! * [`diff`] — the differential harness asserting that every engine
-//!   produces bit-identical delivered-flit streams.
+//!   produces bit-identical delivered-flit streams;
+//! * [`fault`] — seeded fault-plan generation and the host-side
+//!   packet-injection fault stage (deterministic, engine-independent);
+//! * [`check`] — the runtime invariant checker (flit conservation,
+//!   queue/ring bounds) behind `RunConfig::check`.
 //!
 //! ```
 //! use noc::{NocEngine, NativeNoc};
@@ -43,12 +47,18 @@
 // the natural shape for port/node-indexed hardware code; iterator zips
 // would obscure which port is which.
 #![allow(clippy::needless_range_loop)]
+// Hot failure paths return typed `SimError`s; panicking escape hatches in
+// library code must be deliberate (`unwrap_or_else` + `unreachable!`
+// with an argument for *why*), not a bare `unwrap()`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
 pub mod build;
+pub mod check;
 pub mod cs;
 pub mod diff;
 pub mod engine;
+pub mod fault;
 pub mod native;
 pub mod obs;
 pub mod runner;
@@ -57,15 +67,18 @@ pub mod shard;
 pub mod wiring;
 
 pub use build::{EngineKind, SimBuilder};
+pub use check::InvariantChecker;
 pub use cs::{Circuit, CsError, CsNativeNoc, CsNoc};
 pub use engine::NocEngine;
+pub use fault::{random_plan, FaultPlan, InjectApplier};
 pub use native::NativeNoc;
 #[allow(deprecated)]
 pub use obs::RunInstr;
 pub use obs::{NocObserver, ObsConfig};
-#[allow(deprecated)]
-pub use runner::run_instrumented;
 pub use runner::{fig1_guarantee, run, run_fig1_point, RunConfig, RunReport};
+#[allow(deprecated)]
+pub use runner::{run_instrumented, run_or_panic};
 pub use seq::SeqNoc;
+pub use seqsim::SimError;
 pub use shard::ShardedSeqEngine;
 pub use wiring::Wiring;

@@ -14,7 +14,9 @@
 
 use crate::engine::{ring_pending, HostPtrs, NocEngine};
 use crate::wiring::Wiring;
+use noc_types::fault::{FaultPlan, NodeFaults};
 use noc_types::{Direction, LinkFwd, NetworkConfig, Port, NUM_PORTS, NUM_VCS};
+use std::sync::Arc;
 use vc_router::iface::{iface_clock, iface_pick};
 use vc_router::{
     comb_fwd, comb_room, comb_select, transfers, AccEntry, IfaceConfig, IfaceRings, OutEntry,
@@ -31,6 +33,9 @@ pub struct NativeNoc {
     rings: Vec<IfaceRings>,
     host: HostPtrs,
     cycle: u64,
+    faults: Option<Arc<FaultPlan>>,
+    /// Per-node fault view (all-empty when no plan is attached).
+    nf: Vec<NodeFaults>,
     // Per-cycle scratch, preallocated.
     rooms: Vec<[[bool; NUM_VCS]; NUM_PORTS]>,
     room_ins: Vec<[[bool; NUM_VCS]; NUM_PORTS]>,
@@ -50,6 +55,17 @@ impl NativeNoc {
     /// select a different router functionality depending on the position
     /// in the network"): per-node input-queue depths.
     pub fn with_depths(cfg: NetworkConfig, iface_cfg: IfaceConfig, depths: &[usize]) -> Self {
+        Self::with_depths_and_faults(cfg, iface_cfg, depths, None)
+    }
+
+    /// [`with_depths`](Self::with_depths) plus an optional deterministic
+    /// fault plan (see [`noc_types::fault`]).
+    pub fn with_depths_and_faults(
+        cfg: NetworkConfig,
+        iface_cfg: IfaceConfig,
+        depths: &[usize],
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         iface_cfg.validate();
         let n = cfg.num_nodes();
         assert_eq!(depths.len(), n, "one depth per node");
@@ -62,6 +78,13 @@ impl NativeNoc {
                 ..RouterCtx::new(&cfg, c)
             })
             .collect();
+        let nf = (0..n)
+            .map(|r| {
+                faults
+                    .as_ref()
+                    .map_or_else(NodeFaults::default, |p| p.node_faults(r))
+            })
+            .collect();
         NativeNoc {
             cfg,
             iface_cfg,
@@ -71,6 +94,8 @@ impl NativeNoc {
             rings: (0..n).map(|_| IfaceRings::new(&iface_cfg)).collect(),
             host: HostPtrs::new(n),
             cycle: 0,
+            faults,
+            nf,
             rooms: vec![[[true; NUM_VCS]; NUM_PORTS]; n],
             room_ins: vec![[[true; NUM_VCS]; NUM_PORTS]; n],
             sels: vec![
@@ -103,11 +128,21 @@ impl NocEngine for NativeNoc {
         self.cycle
     }
 
+    fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
     fn step(&mut self) {
         let n = self.cfg.num_nodes();
 
-        // Pass 1: room wires and injection picks.
+        // Pass 1: room wires and injection picks. A stalled router
+        // advertises no room and offers no stimulus.
         for r in 0..n {
+            if self.nf[r].stalled(self.cycle) {
+                self.rooms[r] = [[false; NUM_VCS]; NUM_PORTS];
+                self.picks[r] = None;
+                continue;
+            }
             self.rooms[r] = comb_room(&self.regs[r], self.ctxs[r].depth);
             self.picks[r] = iface_pick(
                 &self.regs[r].iface,
@@ -118,8 +153,16 @@ impl NocEngine for NativeNoc {
             );
         }
 
-        // Pass 2: arbitration and forward wires.
+        // Pass 2: arbitration and forward wires. A stalled router drives
+        // idle forward links.
         for r in 0..n {
+            if self.nf[r].stalled(self.cycle) {
+                self.sels[r] = Selection {
+                    per_out: [None; NUM_PORTS],
+                };
+                self.fwds[r] = [LinkFwd::IDLE; NUM_PORTS];
+                continue;
+            }
             let mut room_in = [[true; NUM_VCS]; NUM_PORTS];
             for (d, slot) in room_in.iter_mut().enumerate().take(4) {
                 *slot = match self.wiring.neighbour(r, d) {
@@ -136,8 +179,12 @@ impl NocEngine for NativeNoc {
             self.fwds[r] = comb_fwd(&self.regs[r], &trans);
         }
 
-        // Clock edge: all register files update simultaneously.
+        // Clock edge: all register files update simultaneously. A stalled
+        // router holds its registers and ring pointers.
         for r in 0..n {
+            if self.nf[r].stalled(self.cycle) {
+                continue;
+            }
             let mut inputs = RouterInputs {
                 fwd_in: [LinkFwd::IDLE; NUM_PORTS],
                 room_in: self.room_ins[r],
@@ -145,6 +192,14 @@ impl NocEngine for NativeNoc {
             for d in 0..4 {
                 if let Some(nb) = self.wiring.neighbour(r, d) {
                     inputs.fwd_in[d] = self.fwds[nb][Direction::from_index(d).opposite().index()];
+                    if self.nf[r].link_faulty(d) {
+                        // Link faults apply at the receiving input.
+                        inputs.fwd_in[d] = LinkFwd::from_bits(self.nf[r].apply_link(
+                            d,
+                            self.cycle,
+                            inputs.fwd_in[d].to_bits(),
+                        ));
+                    }
                 }
             }
             if let Some((vc, entry)) = self.picks[r] {

@@ -13,10 +13,13 @@
 //! written later; a network that stops accepting traffic for too long is
 //! reported as overloaded and the simulation stops (§5.3).
 
+use crate::check::InvariantChecker;
 use crate::engine::NocEngine;
+use crate::fault::InjectApplier;
 use crate::obs::{NocObserver, ObsConfig};
 use noc_types::{Reassembler, TrafficClass, NUM_VCS};
 use seqsim::DeltaStats;
+use seqsim::SimError;
 use simtrace::lbl;
 use stats::{LatencyStats, LatencySummary, PhaseProfiler, ThroughputCounter};
 use std::collections::{HashMap, VecDeque};
@@ -43,6 +46,10 @@ pub struct RunConfig {
     /// phase in tracer spans, attaches kernel instrumentation, samples
     /// the network and snapshots metrics onto the report.
     pub obs: Option<ObsConfig>,
+    /// Run the invariant checker: structural bounds audited every cycle,
+    /// flit conservation audited every period. A violation aborts the
+    /// run with [`SimError::InvariantViolated`].
+    pub check: bool,
 }
 
 impl Default for RunConfig {
@@ -54,6 +61,7 @@ impl Default for RunConfig {
             period: 512,
             backlog_limit: 8_192,
             obs: None,
+            check: false,
         }
     }
 }
@@ -62,6 +70,12 @@ impl RunConfig {
     /// Builder-style: attach an observability bundle.
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Builder-style: enable the runtime invariant checker.
+    pub fn with_check(mut self) -> Self {
+        self.check = true;
         self
     }
 }
@@ -91,6 +105,16 @@ pub struct RunReport {
     pub saturated: bool,
     /// Offered packets never delivered (in-flight or lost at stop).
     pub unmatched: usize,
+    /// Delivery-stream anomalies tolerated because a fault plan was
+    /// active (truncated worms, corrupted sequence numbers, misrouted
+    /// worm continuations). Always 0 on a clean run — on a clean run the
+    /// same conditions are errors, not counts.
+    pub fault_anomalies: u64,
+    /// Invariant audits performed (0 unless [`RunConfig::check`]).
+    pub invariant_checks: u64,
+    /// Flits dropped by lossy link faults per the conservation ledger
+    /// (0 unless [`RunConfig::check`] and a lossy plan).
+    pub fault_dropped: u64,
     /// Total wall-clock time.
     pub wall: Duration,
     /// System cycles simulated.
@@ -137,7 +161,21 @@ impl RunReport {
 /// period becomes a tracer span, the engine's kernel instrumentation is
 /// attached to the registry, the network is sampled during the simulate
 /// phase, and the report carries a metrics snapshot.
-pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfig) -> RunReport {
+///
+/// # Errors
+///
+/// Returns the engine's own typed failures ([`SimError::Diverged`],
+/// [`SimError::ShardFailed`]) and — on a clean run — delivery-protocol
+/// violations or, with [`RunConfig::check`], invariant violations as
+/// [`SimError::InvariantViolated`]. Under an active fault plan,
+/// delivery-protocol violations are the expected downstream signature of
+/// injected faults and are tolerated and counted in
+/// [`RunReport::fault_anomalies`] instead.
+pub fn run(
+    engine: &mut dyn NocEngine,
+    gen: &mut StimuliGenerator,
+    rc: &RunConfig,
+) -> Result<RunReport, SimError> {
     let disabled = ObsConfig::disabled();
     let instr = rc.obs.as_ref().unwrap_or(&disabled);
     let cfg = engine.config();
@@ -151,6 +189,22 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
     } else {
         None
     };
+
+    let faulty = engine.fault_plan().is_some();
+    let mut inject = engine
+        .fault_plan()
+        .and_then(|p| InjectApplier::from_plan(p, n));
+    let mut checker = if rc.check {
+        let ck = InvariantChecker::new(engine);
+        Some(if instr.enabled() {
+            ck.with_registry(instr.registry.clone())
+        } else {
+            ck
+        })
+    } else {
+        None
+    };
+    let mut fault_anomalies: u64 = 0;
 
     let mut journal: HashMap<(u16, u16), OfferedPacket> = HashMap::new();
     let mut reasm: Vec<Reassembler> = (0..n).map(|_| Reassembler::new()).collect();
@@ -193,6 +247,14 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
             }
             for (node, rings) in w.stim.into_iter().enumerate() {
                 for (vc, entries) in rings.into_iter().enumerate() {
+                    // Packet-level injection faults apply at the stimuli
+                    // boundary, before back-pressure, so their decisions
+                    // depend only on packet ordinals — identical for
+                    // every engine.
+                    let entries = match inject.as_mut() {
+                        Some(ap) => ap.filter(node, vc, entries),
+                        None => entries,
+                    };
                     backlog[node][vc].extend(entries);
                 }
             }
@@ -200,6 +262,7 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
 
         // Phase 2: load stimuli into the device rings (back-pressure:
         // whatever does not fit stays in the backlog).
+        let pushed_before = pushed_flits;
         {
             let _span = instr.tracer.span("phase.load", "runner");
             prof.time("load", || {
@@ -220,6 +283,9 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
                 }
             });
         }
+        if let Some(ck) = checker.as_mut() {
+            ck.note_pushed(pushed_flits - pushed_before);
+        }
         if let Some(obs) = observer.as_ref() {
             let queued: u64 = backlog
                 .iter()
@@ -237,18 +303,38 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
         {
             let mut span = instr.tracer.span("phase.simulate", "runner");
             span.arg("cycles", t1 - t0);
-            prof.time_work("simulate", t1 - t0, || match observer.as_ref() {
-                Some(obs) if instr.sample_every > 0 => {
-                    let mut c = t0;
-                    while c < t1 {
-                        let chunk = instr.sample_every.min(t1 - c);
-                        engine.run(chunk);
-                        c += chunk;
-                        obs.sample(engine);
+            prof.time_work("simulate", t1 - t0, || -> Result<(), SimError> {
+                match checker.as_mut() {
+                    // Checked runs step one cycle at a time so structural
+                    // bounds are audited at every clock edge.
+                    Some(ck) => {
+                        let mut c = t0;
+                        while c < t1 {
+                            engine.try_step()?;
+                            c += 1;
+                            ck.check_bounds(engine)?;
+                            if let Some(obs) = observer.as_ref() {
+                                if instr.sample_every > 0 && (c - t0).is_multiple_of(instr.sample_every) {
+                                    obs.sample(engine);
+                                }
+                            }
+                        }
                     }
+                    None => match observer.as_ref() {
+                        Some(obs) if instr.sample_every > 0 => {
+                            let mut c = t0;
+                            while c < t1 {
+                                let chunk = instr.sample_every.min(t1 - c);
+                                engine.try_run(chunk)?;
+                                c += chunk;
+                                obs.sample(engine);
+                            }
+                        }
+                        _ => engine.try_run(t1 - t0)?,
+                    },
                 }
-                _ => engine.run(t1 - t0),
-            });
+                Ok(())
+            })?;
         }
 
         // Phase 4: retrieve the output and access-delay buffers.
@@ -263,10 +349,17 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
                 }
             });
         }
+        if let Some(ck) = checker.as_mut() {
+            let drained: u64 = retrieved.iter().map(|(_, e)| e.len() as u64).sum();
+            ck.note_delivered(drained);
+            // The rings are drained and counted: a quiescent point, so
+            // the full conservation ledger can be audited.
+            ck.check(engine)?;
+        }
 
         // Phase 5: analyse.
         let _analyse_span = instr.tracer.span("phase.analyse", "runner");
-        prof.time("analyse", || {
+        prof.time("analyse", || -> Result<(), SimError> {
             for a in &acc_entries {
                 if meas(a.ts) {
                     access.record(a.delay);
@@ -274,27 +367,62 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
             }
             for (node, entries) in retrieved.drain(..) {
                 for e in entries {
-                    reasm[node].push(e.cycle, e.vc, e.flit);
+                    if let Err(violation) = reasm[node].try_push(e.cycle, e.vc, e.flit) {
+                        // Truncated worms are the expected downstream
+                        // shape of a dropped head or tail; on a clean run
+                        // they mean a router bug.
+                        if faulty {
+                            fault_anomalies += 1;
+                        } else {
+                            return Err(SimError::InvariantViolated {
+                                cycle: e.cycle,
+                                invariant: "delivery-protocol".to_string(),
+                                details: format!(
+                                    "node {node} vc {}: {violation:?} with no fault plan active",
+                                    e.vc
+                                ),
+                            });
+                        }
+                    }
                 }
                 for pkt in reasm[node].drain_completed() {
                     let seq = pkt.first_body.unwrap_or(0);
-                    let offered = journal
-                        .remove(&(pkt.src_tag as u16, seq))
-                        .unwrap_or_else(|| {
-                            panic!(
-                                "delivered packet (src {}, seq {seq}) was never offered",
-                                pkt.src_tag
-                            )
+                    let offered = match journal.remove(&(pkt.src_tag as u16, seq)) {
+                        Some(o) => o,
+                        None if faulty => {
+                            // A corrupted sequence number or a worm spliced
+                            // by a swallowed tail: unmatchable, skip it.
+                            fault_anomalies += 1;
+                            continue;
+                        }
+                        None => {
+                            return Err(SimError::InvariantViolated {
+                                cycle: pkt.tail_cycle,
+                                invariant: "delivery-journal".to_string(),
+                                details: format!(
+                                    "delivered packet (src {}, seq {seq}) was never offered",
+                                    pkt.src_tag
+                                ),
+                            });
+                        }
+                    };
+                    let dest_node = engine.config().shape.node_id(offered.dest).index();
+                    if pkt.flits as u16 != offered.flits || dest_node != node {
+                        if faulty {
+                            // Length or destination damaged in flight.
+                            fault_anomalies += 1;
+                            continue;
+                        }
+                        return Err(SimError::InvariantViolated {
+                            cycle: pkt.tail_cycle,
+                            invariant: "delivery-journal".to_string(),
+                            details: format!(
+                                "packet (src {}, seq {seq}): delivered {} flits at \
+                                 node {node}, offered {} flits to node {dest_node}",
+                                pkt.src_tag, pkt.flits, offered.flits
+                            ),
                         });
-                    assert_eq!(
-                        pkt.flits as u16, offered.flits,
-                        "packet length corrupted in flight"
-                    );
-                    assert_eq!(
-                        engine.config().shape.node_id(offered.dest).index(),
-                        node,
-                        "packet delivered to the wrong node"
-                    );
+                    }
                     // Volumes and latencies are attributed to the
                     // measurement window by *offer* time, so delivered
                     // rates stay comparable to offered rates.
@@ -309,7 +437,8 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
                     }
                 }
             }
-        });
+            Ok(())
+        })?;
 
         t0 = t1;
     }
@@ -357,7 +486,7 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
         None
     };
 
-    RunReport {
+    Ok(RunReport {
         engine: engine.name(),
         gt: gt.summary(),
         be: be.summary(),
@@ -368,9 +497,24 @@ pub fn run(engine: &mut dyn NocEngine, gen: &mut StimuliGenerator, rc: &RunConfi
         metrics,
         saturated,
         unmatched: journal.len(),
+        fault_anomalies,
+        invariant_checks: checker.as_ref().map_or(0, |ck| ck.checks()),
+        fault_dropped: checker
+            .as_ref()
+            .map_or(0, |ck| ck.fault_dropped().max(0) as u64),
         wall: started.elapsed(),
         cycles: engine.cycle(),
-    }
+    })
+}
+
+/// Panicking shim over [`run`] for hosts that have no error channel.
+#[deprecated(note = "use run(), which returns Result<RunReport, SimError>")]
+pub fn run_or_panic(
+    engine: &mut dyn NocEngine,
+    gen: &mut StimuliGenerator,
+    rc: &RunConfig,
+) -> RunReport {
+    run(engine, gen, rc).unwrap_or_else(|e| panic!("simulation run failed: {e}"))
 }
 
 /// Former two-entry-point API: [`run`] with a separate instrumentation
@@ -381,19 +525,23 @@ pub fn run_instrumented(
     gen: &mut StimuliGenerator,
     rc: &RunConfig,
     instr: &ObsConfig,
-) -> RunReport {
+) -> Result<RunReport, SimError> {
     let rc = rc.clone().with_obs(instr.clone());
     run(engine, gen, &rc)
 }
 
 /// Convenience: route, allocate and run the paper's Fig 1 workload at one
 /// BE load point on a given engine.
+///
+/// # Errors
+///
+/// Propagates every failure class of [`run`].
 pub fn run_fig1_point(
     engine: &mut dyn NocEngine,
     be_load: f64,
     seed: u64,
     rc: &RunConfig,
-) -> RunReport {
+) -> Result<RunReport, SimError> {
     let cfg = engine.config();
     let mut alloc = traffic::GtAllocator::new(cfg);
     let gt_streams = alloc.auto_streams((2, 1), 2048, 128);
@@ -441,13 +589,18 @@ mod tests {
             period: 256,
             backlog_limit: 4_096,
             obs: None,
+            check: true,
         };
-        run_fig1_point(&mut e, load, 7, &rc)
+        run_fig1_point(&mut e, load, 7, &rc).expect("clean run must succeed")
     }
 
     #[test]
     fn fig1_point_runs_and_measures() {
         let r = small_run(0.05);
+        // The checker audited every cycle and every period, silently.
+        assert!(r.invariant_checks > 5_500, "{}", r.invariant_checks);
+        assert_eq!(r.fault_anomalies, 0);
+        assert_eq!(r.fault_dropped, 0);
         assert!(!r.saturated, "4x4 at BE 0.05 must not saturate");
         assert!(r.gt.count > 0, "GT packets measured");
         assert!(r.be.count > 0, "BE packets measured");
@@ -477,6 +630,33 @@ mod tests {
     }
 
     #[test]
+    fn faulty_run_is_tolerated_by_the_checker() {
+        // A lossy fault plan must NOT trip the conservation checker:
+        // the ledger knows stuck-idle links swallow flits and accepts a
+        // monotone non-negative residual, reported as `fault_dropped`.
+        let cfg = NetworkConfig::new(4, 4, Topology::Torus, 4);
+        let plan = std::sync::Arc::new(crate::fault::random_plan(&cfg, 0xBEEF, 4_000));
+        assert!(plan.has_stuck_idle(), "seed must yield a lossy plan");
+        let mut e = crate::build::SimBuilder::new(cfg)
+            .engine(crate::build::EngineKind::Native)
+            .faults(plan)
+            .build();
+        let rc = RunConfig {
+            warmup: 500,
+            measure: 3_000,
+            drain: 2_000,
+            period: 256,
+            backlog_limit: 4_096,
+            obs: None,
+            check: true,
+        };
+        let r =
+            run_fig1_point(&mut *e, 0.10, 7, &rc).expect("faulty run must not trip the checker");
+        assert!(r.invariant_checks > 0);
+        assert!(r.fault_dropped > 0, "stuck-idle plan dropped nothing");
+    }
+
+    #[test]
     fn overload_is_detected() {
         // BE load near 1.0 must saturate a 4x4 torus quickly.
         let cfg = NetworkConfig::new(4, 4, Topology::Torus, 2);
@@ -488,8 +668,9 @@ mod tests {
             period: 256,
             backlog_limit: 512,
             obs: None,
+            check: false,
         };
-        let r = run_fig1_point(&mut e, 0.9, 3, &rc);
+        let r = run_fig1_point(&mut e, 0.9, 3, &rc).expect("overloaded run still succeeds");
         assert!(r.saturated, "0.9 load must overload the network");
         assert!(r.cycles < 20_000, "saturation must stop the run early");
     }

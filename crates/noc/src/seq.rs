@@ -11,8 +11,10 @@
 
 use crate::engine::{ring_pending, HostPtrs, NocEngine};
 use crate::wiring::Wiring;
+use noc_types::fault::FaultPlan;
 use noc_types::{Direction, NetworkConfig, NUM_VCS};
-use seqsim::{DeltaStats, DynamicEngine, Scheduling, SystemSpec};
+use seqsim::{DeltaStats, DynamicEngine, Scheduling, SimError, SystemSpec};
+use std::sync::Arc;
 use vc_router::block::{
     IN_FWD0, IN_ROOM0, IN_WRPTR0, OUT_FWD0, OUT_ROOM0, RING_ACC, RING_OUT, RING_STIM0,
 };
@@ -31,6 +33,7 @@ pub struct SeqNoc {
     /// Queue depth per node (homogeneous networks repeat one value).
     depths: Vec<usize>,
     host: HostPtrs,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl SeqNoc {
@@ -54,6 +57,24 @@ impl SeqNoc {
         )
     }
 
+    /// Build with a deterministic fault plan (paper scheduling). The plan
+    /// is baked into the shared router kind so stall and link faults are
+    /// applied inside `eval`, identically to the native reference.
+    pub fn with_faults(
+        cfg: NetworkConfig,
+        iface_cfg: IfaceConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
+        let n = cfg.num_nodes();
+        Self::with_depths_scheduling_faults(
+            cfg,
+            iface_cfg,
+            &vec![cfg.router.queue_depth; n],
+            Scheduling::HbrRoundRobin,
+            faults,
+        )
+    }
+
     /// Build a *heterogeneous* network (paper §7.1): per-node queue
     /// depths. Each distinct depth becomes one shared block kind — "all
     /// the unique components needed to be instantiated once" (Fig 2b) —
@@ -69,6 +90,18 @@ impl SeqNoc {
         iface_cfg: IfaceConfig,
         depths: &[usize],
         scheduling: Scheduling,
+    ) -> Self {
+        Self::with_depths_scheduling_faults(cfg, iface_cfg, depths, scheduling, None)
+    }
+
+    /// The fully-general constructor: per-node depths, explicit
+    /// scheduling and an optional fault plan.
+    pub fn with_depths_scheduling_faults(
+        cfg: NetworkConfig,
+        iface_cfg: IfaceConfig,
+        depths: &[usize],
+        scheduling: Scheduling,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Self {
         iface_cfg.validate();
         let n = cfg.num_nodes();
@@ -95,12 +128,23 @@ impl SeqNoc {
                     .filter(|(_, &dd)| dd == d)
                     .map(|(c, _)| c)
                     .collect();
-                spec.add_kind(Box::new(RouterBlock::new(kcfg, iface_cfg, coords)))
+                spec.add_kind(Box::new(RouterBlock::with_faults(
+                    kcfg,
+                    iface_cfg,
+                    coords,
+                    faults.clone(),
+                )))
             })
             .collect();
         let blocks: Vec<usize> = depths
             .iter()
-            .map(|d| spec.add_block(kinds[distinct.iter().position(|x| x == d).unwrap()]))
+            .map(|d| {
+                let k = distinct
+                    .iter()
+                    .position(|x| x == d)
+                    .unwrap_or_else(|| unreachable!("every depth is listed in `distinct`"));
+                spec.add_block(kinds[k])
+            })
             .collect();
 
         // Forward and room links. Each router drives its 4 outgoing
@@ -142,6 +186,7 @@ impl SeqNoc {
             fwd_links,
             depths: depths.to_vec(),
             host: HostPtrs::new(n),
+            faults,
         }
     }
 
@@ -188,6 +233,14 @@ impl NocEngine for SeqNoc {
 
     fn step(&mut self) {
         self.engine.step();
+    }
+
+    fn try_step(&mut self) -> Result<(), SimError> {
+        self.engine.try_step()
+    }
+
+    fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     fn probe_link(&self, node: usize, dir: usize) -> Option<vc_router::OutEntry> {

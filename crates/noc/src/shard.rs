@@ -26,11 +26,16 @@
 
 use crate::engine::{ring_pending, HostPtrs, NocEngine};
 use crate::wiring::Wiring;
+use noc_types::fault::FaultPlan;
 use noc_types::{Direction, NetworkConfig, NUM_VCS};
-use seqsim::{DeltaStats, DynamicEngine, KernelInstr, SpinBarrier, SystemSpec, ThreadPool};
+use seqsim::{
+    DeltaStats, DynamicEngine, KernelInstr, SimError, SpinBarrier, SystemSpec, ThreadPool,
+};
 use simtrace::lbl;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use vc_router::block::{
     IN_FWD0, IN_ROOM0, IN_WRPTR0, OUT_FWD0, OUT_ROOM0, RING_ACC, RING_OUT, RING_STIM0,
 };
@@ -103,6 +108,12 @@ pub struct ShardedSeqEngine {
     /// Global node index → (shard, local node index).
     node_map: Vec<(usize, usize)>,
     host: HostPtrs,
+    faults: Option<Arc<FaultPlan>>,
+    /// First failure seen by any worker; once set the engine refuses to
+    /// advance (its shards stopped mid-cycle and are no longer coherent).
+    broken: Option<SimError>,
+    /// Test hook: shard index whose worker panics on its next dispatch.
+    kill_shard: Option<usize>,
 }
 
 impl ShardedSeqEngine {
@@ -113,6 +124,25 @@ impl ShardedSeqEngine {
         Self::with_depths(cfg, iface_cfg, &vec![cfg.router.queue_depth; n], threads)
     }
 
+    /// Build with a deterministic fault plan: stall and link faults are
+    /// baked into every shard's router kinds, so a faulty run is
+    /// bit-identical to the unsharded engines at any shard count.
+    pub fn with_faults(
+        cfg: NetworkConfig,
+        iface_cfg: IfaceConfig,
+        threads: usize,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
+        let n = cfg.num_nodes();
+        Self::with_depths_and_faults(
+            cfg,
+            iface_cfg,
+            &vec![cfg.router.queue_depth; n],
+            threads,
+            faults,
+        )
+    }
+
     /// Heterogeneous variant (paper §7.1): per-node queue depths, as
     /// [`SeqNoc::with_depths`](crate::seq::SeqNoc::with_depths).
     pub fn with_depths(
@@ -120,6 +150,18 @@ impl ShardedSeqEngine {
         iface_cfg: IfaceConfig,
         depths: &[usize],
         threads: usize,
+    ) -> Self {
+        Self::with_depths_and_faults(cfg, iface_cfg, depths, threads, None)
+    }
+
+    /// The fully-general constructor: per-node depths plus an optional
+    /// fault plan.
+    pub fn with_depths_and_faults(
+        cfg: NetworkConfig,
+        iface_cfg: IfaceConfig,
+        depths: &[usize],
+        threads: usize,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Self {
         iface_cfg.validate();
         let n = cfg.num_nodes();
@@ -166,12 +208,23 @@ impl ShardedSeqEngine {
                         .filter(|&g| depths[g] == d)
                         .map(|g| all_coords[g])
                         .collect();
-                    spec.add_kind(Box::new(RouterBlock::new(kcfg, iface_cfg, coords)))
+                    spec.add_kind(Box::new(RouterBlock::with_faults(
+                        kcfg,
+                        iface_cfg,
+                        coords,
+                        faults.clone(),
+                    )))
                 })
                 .collect();
             let blocks: Vec<usize> = local_depths
                 .iter()
-                .map(|d| spec.add_block(kinds[distinct.iter().position(|x| x == d).unwrap()]))
+                .map(|d| {
+                    let k = distinct
+                        .iter()
+                        .position(|x| x == d)
+                        .unwrap_or_else(|| unreachable!("every depth is listed in `distinct`"));
+                    spec.add_block(kinds[k])
+                })
                 .collect();
 
             let mut fwd_links = vec![[usize::MAX; 4]; count];
@@ -273,7 +326,23 @@ impl ShardedSeqEngine {
             node_map,
             host: HostPtrs::new(n),
             shards,
+            faults,
+            broken: None,
+            kill_shard: None,
         }
+    }
+
+    /// The failure that broke this engine, if any.
+    pub fn error(&self) -> Option<&SimError> {
+        self.broken.as_ref()
+    }
+
+    /// Test hook: make shard `s`'s worker panic on the next dispatch, to
+    /// exercise the panic-containment path without a faulty block kind.
+    #[doc(hidden)]
+    pub fn inject_shard_panic(&mut self, s: usize) {
+        assert!(s < self.shards.len(), "shard index out of range");
+        self.kill_shard = Some(s);
     }
 
     /// Number of shards (= worker threads when > 1).
@@ -310,10 +379,36 @@ impl ShardedSeqEngine {
     }
 }
 
+/// Render a caught panic payload for a [`SimError::ShardFailed`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Why a worker stopped early.
+enum WorkerAbort {
+    /// This worker's own failure — it poisoned the barrier and reports
+    /// the typed error.
+    Primary(SimError),
+    /// The barrier came back poisoned: some *other* worker failed. Not
+    /// reported (the primary carries the diagnosis); just exit cleanly.
+    Secondary,
+}
+
 /// Worker body: simulate `cycles` system cycles of one shard, exchanging
 /// boundary values with the other workers each round. Returns the next
 /// round number (identical on every worker — the break decision is a
 /// barrier-synchronised consensus).
+///
+/// Any failure — a non-converging shard-local stabilisation, or a
+/// boundary exchange that never settles — poisons the barrier so the
+/// peers spin free instead of deadlocking, and surfaces as a typed
+/// [`WorkerAbort`] rather than a panic.
 fn run_shard(
     shard: &mut Shard,
     edges: &[EdgeMail],
@@ -321,12 +416,15 @@ fn run_shard(
     barrier: &SpinBarrier,
     mut round: u64,
     cycles: u64,
-) -> u64 {
+) -> Result<u64, WorkerAbort> {
     for _ in 0..cycles {
         shard.engine.begin_cycle();
         let mut rounds_this_cycle = 0u64;
         loop {
-            shard.engine.stabilize();
+            if let Err(e) = shard.engine.try_stabilize() {
+                barrier.poison();
+                return Err(WorkerAbort::Primary(e));
+            }
             let p = (round & 1) as usize;
             // Publish: store every boundary value; raise the shared flag
             // only on change. Relaxed suffices — the barrier's
@@ -340,19 +438,27 @@ fn run_shard(
                     flags[p].store(round, Ordering::Relaxed);
                 }
             }
-            barrier.wait();
+            if barrier.try_wait().is_err() {
+                return Err(WorkerAbort::Secondary);
+            }
             let changed = flags[p].load(Ordering::Relaxed) == round;
             round += 1;
             rounds_this_cycle += 1;
             if !changed {
                 break;
             }
-            assert!(
-                rounds_this_cycle < MAX_ROUNDS_PER_CYCLE,
-                "boundary exchange did not settle within {MAX_ROUNDS_PER_CYCLE} rounds \
-                 in cycle {} — non-converging cross-shard dependency",
-                shard.engine.cycle()
-            );
+            if rounds_this_cycle >= MAX_ROUNDS_PER_CYCLE {
+                // Consensus condition: every worker sees the same
+                // `changed` history, so all hit this bound in the same
+                // round — poisoning is belt-and-braces.
+                barrier.poison();
+                return Err(WorkerAbort::Primary(SimError::Diverged {
+                    cycle: shard.engine.cycle(),
+                    budget: MAX_ROUNDS_PER_CYCLE as u32,
+                    unstable_blocks: Vec::new(),
+                    last_trace: Vec::new(),
+                }));
+            }
             for &(e, dst) in &shard.inbound {
                 shard
                     .engine
@@ -361,7 +467,7 @@ fn run_shard(
         }
         shard.engine.finish_cycle();
     }
-    round
+    Ok(round)
 }
 
 impl NocEngine for ShardedSeqEngine {
@@ -381,41 +487,124 @@ impl NocEngine for ShardedSeqEngine {
         self.run(1);
     }
 
+    fn try_step(&mut self) -> Result<(), SimError> {
+        self.try_run(1)
+    }
+
+    fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
     fn run(&mut self, n: u64) {
+        if let Err(e) = self.try_run(n) {
+            panic!("{e}");
+        }
+    }
+
+    fn try_run(&mut self, n: u64) -> Result<(), SimError> {
+        if let Some(e) = &self.broken {
+            return Err(e.clone());
+        }
         if n == 0 {
-            return;
+            return Ok(());
         }
+        let kill = self.kill_shard.take();
         if self.shards.len() == 1 {
-            // Degenerate P=1: same spec and schedule as SeqNoc, no pool.
-            self.shards[0].engine.run(n);
-            return;
+            // Degenerate P=1: same spec and schedule as SeqNoc, no pool —
+            // but the same containment contract: a panicking shard
+            // surfaces as `ShardFailed`, never as an abort.
+            let sh = &mut self.shards[0];
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if kill == Some(0) {
+                    panic!("injected shard panic");
+                }
+                sh.engine.try_run(n)
+            }));
+            return match outcome {
+                Ok(Ok(())) => Ok(()),
+                Ok(Err(e)) => {
+                    self.broken = Some(e.clone());
+                    Err(e)
+                }
+                Err(payload) => {
+                    let e = SimError::ShardFailed {
+                        shard: 0,
+                        payload: panic_message(payload),
+                    };
+                    self.broken = Some(e.clone());
+                    Err(e)
+                }
+            };
         }
-        let pool = self.pool.as_ref().expect("pool exists when sharded");
+        let Some(pool) = self.pool.as_ref() else {
+            unreachable!("pool exists whenever more than one shard does");
+        };
         let edges = &self.edges[..];
         let flags = &self.flags;
         let barrier = &self.barrier;
         let round0 = self.round;
         let round_out = AtomicU64::new(round0);
+        let failures: Mutex<Vec<(usize, SimError)>> = Mutex::new(Vec::new());
         let tasks: Vec<seqsim::ScopedTask<'_>> = self
             .shards
             .iter_mut()
             .enumerate()
             .map(|(i, shard)| {
                 let round_out = &round_out;
+                let failures = &failures;
                 let t: seqsim::ScopedTask<'_> = Box::new(move || {
                     let span_tracer = shard.tracer.clone();
                     let mut span = span_tracer.span_track("shard.run", "shard", shard.track);
                     span.arg("cycles", n);
-                    let end = run_shard(shard, edges, flags, barrier, round0, n);
-                    if i == 0 {
-                        round_out.store(end, Ordering::Relaxed);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if kill == Some(i) {
+                            panic!("injected shard panic");
+                        }
+                        run_shard(shard, edges, flags, barrier, round0, n)
+                    }));
+                    match outcome {
+                        Ok(Ok(end)) => {
+                            if i == 0 {
+                                round_out.store(end, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(Err(WorkerAbort::Primary(e))) => {
+                            failures
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .push((i, e));
+                        }
+                        Ok(Err(WorkerAbort::Secondary)) => {}
+                        Err(payload) => {
+                            // A panic that escaped `run_shard` (a buggy
+                            // block kind, or the injection hook): free the
+                            // peers, report it as this shard's death.
+                            barrier.poison();
+                            failures.lock().unwrap_or_else(|p| p.into_inner()).push((
+                                i,
+                                SimError::ShardFailed {
+                                    shard: i,
+                                    payload: panic_message(payload),
+                                },
+                            ));
+                        }
                     }
                 });
                 t
             })
             .collect();
         pool.run(tasks);
-        self.round = round_out.load(Ordering::Relaxed);
+        let mut fails = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+        if fails.is_empty() {
+            self.round = round_out.load(Ordering::Relaxed);
+            return Ok(());
+        }
+        // Deterministic report: the lowest-numbered failing shard wins
+        // (a Diverged consensus makes every worker a primary).
+        fails.sort_by_key(|&(i, _)| i);
+        let (_, e) = fails.swap_remove(0);
+        self.broken = Some(e.clone());
+        Err(e)
     }
 
     fn probe_link(&self, node: usize, dir: usize) -> Option<vc_router::OutEntry> {
@@ -590,6 +779,39 @@ mod tests {
                 got, want,
                 "threads={threads}: delivery must be bit-identical"
             );
+        }
+    }
+
+    /// Satellite: a worker that dies mid-dispatch must surface as a
+    /// typed `ShardFailed` — no deadlock on the exchange barrier, no
+    /// process abort — and the engine must refuse to advance afterwards.
+    /// The whole exercise runs under a receive timeout so a regression
+    /// to the old hang fails fast instead of wedging the test suite.
+    #[test]
+    fn panicking_worker_surfaces_shard_failed_without_hanging() {
+        for threads in [1usize, 2, 4] {
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::spawn(move || {
+                let cfg = NetworkConfig::new(4, 2, Topology::Torus, 2);
+                let mut e = ShardedSeqEngine::new(cfg, IfaceConfig::default(), threads);
+                e.run(4); // healthy prefix
+                let victim = e.shard_count() - 1;
+                e.inject_shard_panic(victim);
+                let err = e.try_run(4).expect_err("injected panic must fail the run");
+                let again = e.try_run(1).expect_err("broken engine must stay broken");
+                let _ = tx.send((victim, err, again));
+            });
+            let (victim, err, again) = rx
+                .recv_timeout(std::time::Duration::from_secs(60))
+                .expect("shard failure must not deadlock the engine");
+            match &err {
+                SimError::ShardFailed { shard, payload } => {
+                    assert_eq!(*shard, victim, "threads={threads}");
+                    assert!(payload.contains("injected"), "payload: {payload}");
+                }
+                other => panic!("threads={threads}: expected ShardFailed, got {other}"),
+            }
+            assert_eq!(err, again, "error must be sticky");
         }
     }
 

@@ -18,11 +18,12 @@ fn worklist_and_naive_schedulers_agree_on_a_loaded_network() {
         period: 256,
         backlog_limit: 1 << 20,
         obs: None,
+        check: false,
     };
     let mut reports = Vec::new();
     for scheduling in [Scheduling::HbrRoundRobin, Scheduling::HbrRoundRobinNaive] {
         let mut e = SeqNoc::with_scheduling(cfg, IfaceConfig::default(), scheduling);
-        let r = run_fig1_point(&mut e, 0.10, 7, &rc);
+        let r = run_fig1_point(&mut e, 0.10, 7, &rc).expect("run failed");
         assert!(!r.saturated);
         reports.push(r);
     }

@@ -130,3 +130,39 @@ fn sharded_delta_stats_aggregate_across_shards() {
     e.reset_delta_stats();
     assert_eq!(e.delta_stats().unwrap().system_cycles, 0);
 }
+
+#[test]
+fn sharded_replays_fault_plans_bit_identically() {
+    // Faulty executions must shard exactly like clean ones: the fault
+    // plan is applied inside each router block, so tile boundaries and
+    // barrier rounds cannot change what a fault does or when.
+    let net = NetworkConfig::new(3, 3, Topology::Torus, 4);
+    for seed in [7u64, 1337, 51_966] {
+        let plan = std::sync::Arc::new(noc::random_plan(&net, seed, 1_000));
+        let t = tcfg(net, 0.2, false, seed);
+        let mut reference = SeqNoc::with_faults(net, IfaceConfig::default(), Some(plan.clone()));
+        let want = collect_trace(&mut reference, &t, 1_000, 128);
+        assert!(
+            want.delivered.iter().any(|d| !d.is_empty()),
+            "faulty reference delivered nothing (seed {seed})"
+        );
+        for threads in [1usize, 2, 4] {
+            let mut sharded = ShardedSeqEngine::with_faults(
+                net,
+                IfaceConfig::default(),
+                threads,
+                Some(plan.clone()),
+            );
+            let got = collect_trace(&mut sharded, &t, 1_000, 128);
+            let label = format!("faulty-sharded-p{}", sharded.shard_count());
+            assert_traces_equal("seqsim", &want, &label, &got);
+            for node in 0..net.num_nodes() {
+                assert_eq!(
+                    reference.engine().peek_state(node),
+                    sharded.peek_state(node),
+                    "final faulty state of node {node} diverged ({label}, seed {seed})"
+                );
+            }
+        }
+    }
+}

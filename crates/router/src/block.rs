@@ -24,9 +24,11 @@ use crate::iface::{iface_clock, iface_pick, IfaceConfig, IfaceStore};
 use crate::layout::RegisterLayout;
 use crate::regs::RouterRegs;
 use crate::routing::RouterCtx;
+use noc_types::fault::{FaultPlan, NodeFaults};
 use noc_types::flit::{room_from_bits, room_to_bits, LINK_FWD_BITS, LINK_ROOM_BITS};
 use noc_types::{Coord, LinkFwd, NetworkConfig, Port, NUM_VCS};
 use seqsim::{BlockKind, SideView};
+use std::sync::Arc;
 
 /// Index of the per-VC stimuli rings in the block's side memory.
 pub const RING_STIM0: usize = 0;
@@ -68,6 +70,8 @@ pub struct RouterBlock {
     iface_cfg: IfaceConfig,
     coords: Vec<Coord>,
     layout: RegisterLayout,
+    /// Per-instance fault view (all-empty without a plan).
+    nf: Vec<NodeFaults>,
     /// Decode cache per instance (interior-mutable: `eval` takes `&self`).
     cache: std::cell::RefCell<Vec<Option<DecodeCache>>>,
 }
@@ -77,13 +81,35 @@ impl RouterBlock {
     /// coordinate of instance `i`; instances must be added to the system
     /// in the same order.
     pub fn new(cfg: NetworkConfig, iface_cfg: IfaceConfig, coords: Vec<Coord>) -> Self {
+        Self::with_faults(cfg, iface_cfg, coords, None)
+    }
+
+    /// [`new`](Self::new) plus an optional deterministic fault plan (see
+    /// [`noc_types::fault`]): stall windows freeze an instance's
+    /// registers while it drives idle/no-room outputs, link faults apply
+    /// to the forward-link inputs it consumes.
+    pub fn with_faults(
+        cfg: NetworkConfig,
+        iface_cfg: IfaceConfig,
+        coords: Vec<Coord>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         iface_cfg.validate();
         let layout = RegisterLayout::new(cfg.router.queue_depth);
+        let nf = coords
+            .iter()
+            .map(|&c| {
+                faults.as_ref().map_or_else(NodeFaults::default, |p| {
+                    p.node_faults(cfg.shape.node_id(c).index())
+                })
+            })
+            .collect();
         RouterBlock {
             cfg,
             iface_cfg,
             coords,
             layout,
+            nf,
             cache: std::cell::RefCell::new(Vec::new()),
         }
     }
@@ -165,6 +191,14 @@ impl BlockKind for RouterBlock {
         side: &mut SideView<'_>,
     ) {
         let depth = self.cfg.router.queue_depth;
+        if self.nf[instance].stalled(cycle) {
+            // Stalled: idle forward links, zero room, registers held.
+            // The decode cache is left alone — it is memcmp-validated
+            // against `cur`, so a stale entry simply misses later.
+            outputs.iter_mut().for_each(|w| *w = 0);
+            next.copy_from_slice(cur);
+            return;
+        }
         let mut cache = self.cache.borrow_mut();
         if cache.len() <= instance {
             cache.resize(instance + 1, None);
@@ -183,7 +217,12 @@ impl BlockKind for RouterBlock {
         // Assemble the wires.
         let mut rin = RouterInputs::idle();
         for d in 0..4 {
-            rin.fwd_in[d] = LinkFwd::from_bits(inputs[IN_FWD0 + d]);
+            let mut fwd_word = inputs[IN_FWD0 + d];
+            if self.nf[instance].link_faulty(d) {
+                // Link faults apply at the receiving input.
+                fwd_word = self.nf[instance].apply_link(d, cycle, fwd_word);
+            }
+            rin.fwd_in[d] = LinkFwd::from_bits(fwd_word);
             rin.room_in[d] = room_from_bits(inputs[IN_ROOM0 + d]);
         }
         // room_in[Local] stays all-true: the capture ring always accepts.

@@ -89,19 +89,20 @@ pub fn comb_select(regs: &RouterRegs, ctx: &RouterCtx) -> Selection {
             continue;
         };
         if front.kind.is_head() {
+            // A queue still owning an output VC (possible only when a
+            // link fault swallowed its worm's tail) may not bid its next
+            // head until the worm releases; without faults ownership
+            // always ends before the next head reaches the front.
+            if owned_of[q].is_some() {
+                continue;
+            }
             let in_vc = (q % NUM_VCS) as u8;
             let (port, out_vc) = route(ctx, front.dest(), in_vc);
-            debug_assert!(
-                owned_of[q].is_none(),
-                "queue {q} has a head flit at front while owning an output VC"
-            );
             req_mask[port.index() * NUM_VCS + out_vc as usize] |= 1 << q;
-        } else {
-            assert!(
-                owned_of[q].is_some(),
-                "body/tail flit at queue front without an owned output VC"
-            );
         }
+        // A body/tail front without an owned output VC is an orphan (its
+        // head was dropped by a link fault): it contributes no request
+        // and blocks its queue — identical in every engine.
     }
     let mut per_out = [None; NUM_PORTS];
     for (out, slot) in per_out.iter_mut().enumerate() {

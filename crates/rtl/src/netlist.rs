@@ -29,12 +29,14 @@
 use crate::kernel::{EventKernel, EventStats, SigId};
 use noc::engine::ring_pending;
 use noc::{NocEngine, Wiring};
+use noc_types::fault::{FaultPlan, NodeFaults};
 use noc_types::flit::room_from_bits;
 use noc_types::{
     Direction, Flit, LinkFwd, NetworkConfig, NodeId, Port, NUM_PORTS, NUM_QUEUES, NUM_VCS,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 use vc_router::iface::{iface_clock, iface_pick};
 use vc_router::routing::route;
 use vc_router::{AccEntry, IfaceConfig, IfaceRegs, IfaceRings, OutEntry, RouterCtx, StimEntry};
@@ -114,10 +116,13 @@ pub struct RtlNoc {
     /// cycle (probe support).
     probe_buf: Vec<[u64; 4]>,
     wr_sigs: Vec<[SigId; NUM_VCS]>,
+    /// Queue-occupancy register signals (host "memory peek" support).
+    occ_sigs: Vec<[SigId; NUM_QUEUES]>,
     stim_wr: Vec<[u16; NUM_VCS]>,
     out_rd: Vec<u16>,
     acc_rd: Vec<u16>,
     cycle: u64,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Per-queue register signals.
@@ -133,11 +138,32 @@ struct QueueSigs {
 impl RtlNoc {
     /// Elaborate the netlist for a network configuration.
     pub fn new(cfg: NetworkConfig, iface_cfg: IfaceConfig) -> Self {
+        Self::with_faults(cfg, iface_cfg, None)
+    }
+
+    /// Elaborate with a deterministic fault plan. Stall windows gate the
+    /// room and forward-mux processes (wires forced low) and every
+    /// clocked register process of the router; link faults rewrite the
+    /// forward word at the consuming queue-register process — the same
+    /// application points as the native reference.
+    pub fn with_faults(
+        cfg: NetworkConfig,
+        iface_cfg: IfaceConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         iface_cfg.validate();
         let n = cfg.num_nodes();
         let depth = cfg.router.queue_depth;
         let wiring = Wiring::new(&cfg);
         let mut k = EventKernel::new();
+        let nfs: Vec<NodeFaults> = (0..n)
+            .map(|r| {
+                faults
+                    .as_ref()
+                    .map(|p| p.node_faults(r))
+                    .unwrap_or_default()
+            })
+            .collect();
 
         let clk = k.signal(0);
         k.add_clock(clk, 5);
@@ -207,6 +233,8 @@ impl RtlNoc {
 
         for r in 0..n {
             let ctx_r = RouterCtx::new(&cfg, cfg.shape.coord(NodeId(r as u16)));
+            let has_stall = nfs[r].has_stalls();
+            let has_link = (0..4).any(|d| nfs[r].link_faulty(d));
 
             for q in 0..NUM_QUEUES {
                 let port = q / NUM_VCS;
@@ -226,9 +254,14 @@ impl RtlNoc {
                 // Queue register process (clocked): FIFO slots and
                 // pointers are signals; every register is re-assigned
                 // each cycle (VHDL synchronous-process style).
+                let nf = nfs[r].clone();
                 k.process(&[clk], move |ctx| {
                     if ctx.read(clk) != 1 {
                         return;
+                    }
+                    let cycle = ctx.read(cnt);
+                    if nf.stalled(cycle) {
+                        return; // registers held
                     }
                     let mut rd = ctx.read(qs.rd);
                     let mut wr = ctx.read(qs.wr);
@@ -250,8 +283,13 @@ impl RtlNoc {
                             }
                         }
                     }
-                    // Enqueue the incoming flit for this VC.
-                    let w = LinkFwd::from_bits(ctx.read(enq_sig));
+                    // Enqueue the incoming flit for this VC (rewritten by
+                    // any fault on the link it arrives over).
+                    let mut enq_word = ctx.read(enq_sig);
+                    if port != Port::Local.index() && nf.link_faulty(port) {
+                        enq_word = nf.apply_link(port, cycle, enq_word);
+                    }
+                    let w = LinkFwd::from_bits(enq_word);
                     if w.valid && w.vc as usize == vc && (occ as usize) < depth {
                         ctx.write(qs.slots[wr as usize], w.flit.to_bits());
                         wr = (wr + 1) % depth as u64;
@@ -273,12 +311,24 @@ impl RtlNoc {
                 });
             }
 
-            // Room processes (comb): occupancy compare per VC.
+            // Room processes (comb): occupancy compare per VC. A stall
+            // window forces the wire low; `cnt` joins the sensitivity
+            // (only where a window exists) so the edges of the window
+            // re-evaluate the wire even though no occupancy changed.
             for p in 0..NUM_PORTS {
                 let occs: [SigId; NUM_VCS] =
                     core::array::from_fn(|v| queues[r][p * NUM_VCS + v].occ);
                 let out = room[r][p];
-                k.process(&occs, move |ctx| {
+                let nf = nfs[r].clone();
+                let mut sens: Vec<SigId> = occs.to_vec();
+                if has_stall {
+                    sens.push(cnt);
+                }
+                k.process(&sens, move |ctx| {
+                    if nf.stalled(ctx.read(cnt)) {
+                        ctx.write(out, 0);
+                        return;
+                    }
                     let mut bits = 0u64;
                     for (v, s) in occs.iter().enumerate() {
                         if (ctx.read(*s) as usize) < depth {
@@ -295,9 +345,18 @@ impl RtlNoc {
             for o in 0..NUM_PORTS {
                 for vc in 0..NUM_VCS {
                     let my_ctrl = ctrl[r][o];
+                    let all_ctrls = ctrl[r];
                     let out = cand[r][o * NUM_VCS + vc];
                     let mut sens: Vec<SigId> = sts.to_vec();
                     sens.push(my_ctrl);
+                    if has_link {
+                        // The owner-exclusion scan below reads every
+                        // output's owner table, so the process must wake
+                        // on all of them. Only reachable when a link
+                        // fault can strand a worm mid-transfer, so the
+                        // clean-run event counts stay untouched.
+                        sens.extend(all_ctrls.iter().filter(|&&c| c != my_ctrl));
+                    }
                     k.process(&sens, move |ctx| {
                         let c = ctx.read(my_ctrl);
                         let q = match ctrl_owner(c, vc) {
@@ -308,13 +367,26 @@ impl RtlNoc {
                                 let start = ctrl_inner(c, vc) as usize;
                                 (0..NUM_QUEUES)
                                     .map(|j| (start + j) % NUM_QUEUES)
-                                    .find(|&q| match q_st_front(ctx.read(sts[q])) {
-                                        Some(f) if f.kind.is_head() => {
-                                            let in_vc = (q % NUM_VCS) as u8;
-                                            let (p, ovc) = route(&ctx_r, f.dest(), in_vc);
-                                            p.index() == o && ovc as usize == vc
+                                    .find(|&q| {
+                                        // A queue still owning an output
+                                        // VC (its worm's tail was dropped
+                                        // by a link fault) may not bid
+                                        // its next head until released.
+                                        let owns_elsewhere = all_ctrls.iter().any(|&cs| {
+                                            let cw = ctx.read(cs);
+                                            (0..NUM_VCS).any(|v| ctrl_owner(cw, v) == Some(q as u8))
+                                        });
+                                        if owns_elsewhere {
+                                            return false;
                                         }
-                                        _ => false,
+                                        match q_st_front(ctx.read(sts[q])) {
+                                            Some(f) if f.kind.is_head() => {
+                                                let in_vc = (q % NUM_VCS) as u8;
+                                                let (p, ovc) = route(&ctx_r, f.dest(), in_vc);
+                                                p.index() == o && ovc as usize == vc
+                                            }
+                                            _ => false,
+                                        }
                                     })
                                     .map(|q| q as u8)
                             }
@@ -350,12 +422,20 @@ impl RtlNoc {
                 let my_sel = sel[r][o];
                 let room_sig = room_in_sig(r, o);
                 let out = fwd[r][o];
+                let nf = nfs[r].clone();
                 let mut sens: Vec<SigId> = sts.to_vec();
                 sens.push(my_sel);
                 if room_sig != usize::MAX {
                     sens.push(room_sig);
                 }
+                if has_stall {
+                    sens.push(cnt);
+                }
                 k.process(&sens, move |ctx| {
+                    if nf.stalled(ctx.read(cnt)) {
+                        ctx.write(out, 0);
+                        return;
+                    }
                     let word = match sel_unpack(ctx.read(my_sel)) {
                         Some((vc, q)) => {
                             let room_ok = if room_sig == usize::MAX {
@@ -379,9 +459,13 @@ impl RtlNoc {
                 let sels = sel[r];
                 let ctrls = ctrl[r];
                 let rooms: [SigId; NUM_PORTS] = core::array::from_fn(|o| room_in_sig(r, o));
+                let nf = nfs[r].clone();
                 k.process(&[clk], move |ctx| {
                     if ctx.read(clk) != 1 {
                         return;
+                    }
+                    if nf.stalled(ctx.read(cnt)) {
+                        return; // owner table and rr pointers held
                     }
                     for o in 0..NUM_PORTS {
                         let c = ctx.read(ctrls[o]);
@@ -439,11 +523,15 @@ impl RtlNoc {
                 let wr = wr_sigs[r];
                 let ver = iface_ver[r];
                 let icfg = iface_cfg;
+                let nf = nfs[r].clone();
                 k.process(&[clk], move |ctx| {
                     if ctx.read(clk) != 1 {
                         return;
                     }
                     let cycle = ctx.read(cnt);
+                    if nf.stalled(cycle) {
+                        return; // no stim consume, no delivery
+                    }
                     let mut st = st.borrow_mut();
                     let room_local = room_from_bits(ctx.read(my_room));
                     let pick = iface_pick(&st.regs, &icfg, &st.rings, &room_local, cycle);
@@ -459,6 +547,9 @@ impl RtlNoc {
         let fwd_sigs: Vec<[SigId; 4]> = (0..n)
             .map(|r| core::array::from_fn(|d| fwd[r][d]))
             .collect();
+        let occ_sigs: Vec<[SigId; NUM_QUEUES]> = (0..n)
+            .map(|r| core::array::from_fn(|q| queues[r][q].occ))
+            .collect();
         RtlNoc {
             cfg,
             iface_cfg,
@@ -467,10 +558,12 @@ impl RtlNoc {
             probe_buf: vec![[0; 4]; n],
             fwd_sigs,
             wr_sigs,
+            occ_sigs,
             stim_wr: vec![[0; NUM_VCS]; n],
             out_rd: vec![0; n],
             acc_rd: vec![0; n],
             cycle: 0,
+            faults,
         }
     }
 
@@ -514,6 +607,18 @@ impl NocEngine for RtlNoc {
             vc: w.vc,
             flit: w.flit,
         })
+    }
+
+    fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    fn vc_occupancy(&self, node: usize) -> Option<[u32; NUM_VCS]> {
+        let mut occ = [0u32; NUM_VCS];
+        for q in 0..NUM_QUEUES {
+            occ[q % NUM_VCS] += self.kernel.peek(self.occ_sigs[node][q]) as u32;
+        }
+        Some(occ)
     }
 
     fn stim_capacity(&self) -> usize {

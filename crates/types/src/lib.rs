@@ -24,13 +24,15 @@
 
 pub mod bits;
 pub mod config;
+pub mod fault;
 pub mod flit;
 pub mod geom;
 pub mod packet;
 pub mod topology;
 
 pub use config::{NetworkConfig, RouterConfig, BE_VCS, GT_VCS, NUM_PORTS, NUM_QUEUES, NUM_VCS};
+pub use fault::{FaultPlan, InjectFaults, LinkFault, LinkFaultKind, NodeFaults, Window};
 pub use flit::{Flit, FlitKind, LinkFwd};
 pub use geom::{Coord, Direction, NodeId, Port};
-pub use packet::{PacketSpec, Reassembler, TrafficClass};
+pub use packet::{PacketSpec, ReasmError, Reassembler, ReceivedPacket, TrafficClass};
 pub use topology::{Shape, Topology};

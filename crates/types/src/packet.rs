@@ -107,6 +107,27 @@ pub struct ReceivedPacket {
     pub tail_cycle: u64,
 }
 
+/// A wormhole protocol violation observed at a local output port.
+///
+/// On a fault-free network these indicate a router bug; under an active
+/// fault plan they are the *expected* downstream signature of a dropped
+/// head or tail (the stream stays deterministic, but is no longer a
+/// clean worm sequence), so the host must be able to observe them
+/// without aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReasmError {
+    /// A head flit arrived while a packet was still open on the VC (its
+    /// tail was lost in flight). The open packet is discarded and the
+    /// new head accepted, so reassembly resynchronises.
+    HeadInterleaved {
+        /// Flits of the abandoned partial packet (head included).
+        lost_flits: usize,
+    },
+    /// A body or tail flit arrived with no packet open on the VC (its
+    /// head was lost in flight). The flit is discarded.
+    FlitWithoutHead,
+}
+
 /// Per-destination wormhole reassembler.
 ///
 /// Wormhole routing guarantees that the flits of a packet arrive
@@ -131,14 +152,30 @@ impl Reassembler {
     /// # Panics
     /// Panics on protocol violations: body/tail without a head, or a second
     /// head interleaved on the same VC — these indicate a router bug and
-    /// must abort the simulation rather than corrupt statistics.
+    /// must abort the simulation rather than corrupt statistics. When such
+    /// streams are expected (an active fault plan), use
+    /// [`try_push`](Self::try_push) instead.
     pub fn push(&mut self, cycle: u64, vc: u8, flit: Flit) {
+        match self.try_push(cycle, vc, flit) {
+            Ok(()) => {}
+            Err(ReasmError::HeadInterleaved { .. }) => {
+                panic!("head flit interleaved into open packet on vc {vc}")
+            }
+            Err(ReasmError::FlitWithoutHead) => {
+                panic!("{:?} flit without head on vc {vc}", flit.kind)
+            }
+        }
+    }
+
+    /// Feed one delivered flit, reporting protocol violations instead of
+    /// panicking. On [`ReasmError::HeadInterleaved`] the open packet is
+    /// dropped and the new head accepted; on
+    /// [`ReasmError::FlitWithoutHead`] the flit is discarded. Either way
+    /// reassembly continues deterministically.
+    pub fn try_push(&mut self, cycle: u64, vc: u8, flit: Flit) -> Result<(), ReasmError> {
         let slot = &mut self.in_progress[vc as usize];
         if flit.kind.is_head() {
-            assert!(
-                slot.is_none(),
-                "head flit interleaved into open packet on vc {vc}"
-            );
+            let clobbered = slot.take().map(|p| p.flits);
             let mut pkt = ReceivedPacket {
                 src_tag: flit.src_tag(),
                 vc,
@@ -154,20 +191,27 @@ impl Reassembler {
                 pkt.tail_cycle = 0;
                 *slot = Some(pkt);
             }
+            match clobbered {
+                Some(lost_flits) => Err(ReasmError::HeadInterleaved { lost_flits }),
+                None => Ok(()),
+            }
         } else {
-            let pkt = slot
-                .as_mut()
-                .unwrap_or_else(|| panic!("{:?} flit without head on vc {vc}", flit.kind));
+            let Some(pkt) = slot.as_mut() else {
+                return Err(ReasmError::FlitWithoutHead);
+            };
             pkt.flits += 1;
             if pkt.first_body.is_none() {
                 pkt.first_body = Some(flit.payload);
             }
             pkt.checksum = checksum_step(pkt.checksum, flit.payload);
             if flit.kind.is_tail() {
-                let mut done = slot.take().expect("slot just verified");
+                let Some(mut done) = slot.take() else {
+                    unreachable!("slot just verified non-empty");
+                };
                 done.tail_cycle = cycle;
                 self.completed.push(done);
             }
+            Ok(())
         }
     }
 

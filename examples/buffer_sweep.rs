@@ -28,6 +28,7 @@ fn main() {
         period: 512,
         backlog_limit: 16_384,
         obs: None,
+        check: false,
     };
     let depths = [2usize, 4, 8];
     let loads = [0.05f64, 0.10, 0.14];
@@ -39,7 +40,11 @@ fn main() {
     let results: Vec<(usize, f64, noc::RunReport)> = par_map(grid, |(depth, load)| {
         let cfg = NetworkConfig::new(6, 6, Topology::Torus, depth);
         let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
-        (depth, load, run_fig1_point(&mut engine, load, 2024, &rc))
+        (
+            depth,
+            load,
+            run_fig1_point(&mut engine, load, 2024, &rc).expect("run failed"),
+        )
     });
 
     let energy = EnergyParams::default();

@@ -97,8 +97,9 @@ fn main() {
         period: 256,
         backlog_limit: 1 << 20,
         obs: None,
+        check: false,
     };
-    let r = run_fig1_point(&mut ps, 0.10, 3, &rc);
+    let r = run_fig1_point(&mut ps, 0.10, 3, &rc).expect("run failed");
     let d = r.delta.unwrap();
     println!(
         "packet-switched (dynamic schedule) under GT+BE load: {:.1} delta cycles/system \

@@ -28,6 +28,7 @@ fn main() {
         period: 512,
         backlog_limit: 16_384,
         obs: None,
+        check: false,
     };
     let loads: Vec<f64> = (0..=14).map(|i| i as f64 / 100.0).collect();
 
@@ -35,7 +36,10 @@ fn main() {
     // point.
     let mut points: Vec<(f64, noc::RunReport)> = par_map(loads, |load| {
         let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
-        (load, run_fig1_point(&mut engine, load, 1337, &rc))
+        (
+            load,
+            run_fig1_point(&mut engine, load, 1337, &rc).expect("run failed"),
+        )
     });
     points.sort_by(|a, b| a.0.total_cmp(&b.0));
 

@@ -91,8 +91,9 @@ fn main() {
         period: 512,
         backlog_limit: 16_384,
         obs: None,
+        check: false,
     };
-    let r = run_fig1_point(&mut engine, 0.10, 11, &rc);
+    let r = run_fig1_point(&mut engine, 0.10, 11, &rc).expect("run failed");
     let mut host = Table::new(
         "Measured host profile (this machine, native engine, 6x6 @ BE 0.10)",
         &["Phase", "share"],

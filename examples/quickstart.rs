@@ -23,8 +23,9 @@ fn main() {
         period: 512,
         backlog_limit: 8_192,
         obs: None,
+        check: false,
     };
-    let report = run_fig1_point(&mut engine, 0.05, 42, &rc);
+    let report = run_fig1_point(&mut engine, 0.05, 42, &rc).expect("run failed");
 
     println!("network        : {} {:?}", cfg.shape, cfg.topology);
     println!("engine         : {}", report.engine);

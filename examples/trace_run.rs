@@ -35,6 +35,7 @@ fn main() {
         period: 256,
         backlog_limit: 1 << 16,
         obs: Some(instr.clone()),
+        check: false,
     };
     let report = {
         let mut alloc = traffic::GtAllocator::new(cfg);
@@ -46,7 +47,7 @@ fn main() {
             seed: 42,
         };
         let mut gen = traffic::StimuliGenerator::new(tcfg);
-        noc::run(&mut *engine, &mut gen, &rc)
+        noc::run(&mut *engine, &mut gen, &rc).expect("run failed")
     };
 
     instr.tracer.write_chrome(&trace_path).expect("write trace");

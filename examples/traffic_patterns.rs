@@ -23,6 +23,7 @@ fn main() {
         period: 512,
         backlog_limit: 8_192,
         obs: None,
+        check: false,
     };
     let patterns: Vec<(&str, DestPattern)> = vec![
         ("uniform random", DestPattern::UniformRandom),
@@ -50,7 +51,7 @@ fn main() {
             gt_streams: Vec::new(),
             seed: 77,
         });
-        (name, run(&mut engine, &mut gen, &rc))
+        (name, run(&mut engine, &mut gen, &rc).expect("run failed"))
     });
 
     let mut t = Table::new(

@@ -20,6 +20,14 @@ cargo test -q
 echo "==> sharded differential suite (bit-identity vs SeqNoc)"
 cargo test -q -p noc --test sharded_differential
 
+echo "==> faulty differential suite (bit-identity under fault plans)"
+cargo test -q --test differential_engines engines_agree_under_fault_plans
+cargo test -q -p noc --test sharded_differential sharded_replays_fault_plans
+
+echo "==> invariant-checker smoke (experiments --quick --check --faults)"
+cargo run --release --bin experiments -- --quick --check --faults 2007 \
+    --metrics target/check_metrics.json > /dev/null
+
 echo "==> bench smoke (bench_kernel --quick)"
 cargo build --release --bin bench_kernel
 ./target/release/bench_kernel --quick --out target/BENCH_kernel_smoke.json

@@ -180,7 +180,7 @@ fn bench_loaded(
     cfg: NetworkConfig,
     rc: &RunConfig,
 ) -> Row {
-    let r: RunReport = run_fig1_point(&mut *e, 0.10, 7, rc);
+    let r: RunReport = run_fig1_point(&mut *e, 0.10, 7, rc).expect("run failed");
     assert!(!r.saturated, "{id}: bench workload saturated");
     let sim_wall = r
         .profile
@@ -250,6 +250,7 @@ fn main() {
         period: 256,
         backlog_limit: 1 << 20,
         obs: None,
+        check: false,
     };
 
     let mut rows: Vec<Row> = Vec::new();

@@ -38,11 +38,11 @@ pub use par::par_map;
 /// ```
 pub fn sim(cfg: noc_types::NetworkConfig) -> noc::SimBuilder {
     noc::SimBuilder::new(cfg)
-        .register(noc::EngineKind::CycleSim, |cfg, iface| {
-            Box::new(cyclesim::CycleNoc::new(cfg, iface))
+        .register(noc::EngineKind::CycleSim, |cfg, iface, faults| {
+            Box::new(cyclesim::CycleNoc::with_faults(cfg, iface, faults))
         })
-        .register(noc::EngineKind::Rtl, |cfg, iface| {
-            Box::new(rtl_kernel::RtlNoc::new(cfg, iface))
+        .register(noc::EngineKind::Rtl, |cfg, iface, faults| {
+            Box::new(rtl_kernel::RtlNoc::with_faults(cfg, iface, faults))
         })
 }
 

@@ -98,8 +98,9 @@ fn offered_equals_delivered_after_drain() {
             period: 256,
             backlog_limit: 1 << 14,
             obs: None,
+            check: false,
         };
-        let r = run(&mut engine, &mut gen, &rc);
+        let r = run(&mut engine, &mut gen, &rc).expect("run failed");
         // Unless genuinely saturated, everything offered must arrive.
         if !r.saturated {
             assert_eq!(

@@ -17,8 +17,9 @@ fn extra_at(load: f64) -> (f64, f64) {
         period: 256,
         backlog_limit: 1 << 20,
         obs: None,
+        check: false,
     };
-    let r = run_fig1_point(&mut engine, load, 31, &rc);
+    let r = run_fig1_point(&mut engine, load, 31, &rc).expect("run failed");
     (
         r.throughput.offered_load(),
         r.delta.unwrap().extra_fraction(36),
@@ -68,8 +69,9 @@ fn max_deltas_bounded_by_small_multiple_of_n() {
         period: 256,
         backlog_limit: 1 << 20,
         obs: None,
+        check: false,
     };
-    let r = run_fig1_point(&mut engine, 0.14, 77, &rc);
+    let r = run_fig1_point(&mut engine, 0.14, 77, &rc).expect("run failed");
     let stats = r.delta.unwrap();
     assert!(
         stats.max_deltas_in_cycle <= 2 * 36,

@@ -16,6 +16,7 @@ fn rc() -> RunConfig {
         period: 512,
         backlog_limit: 16_384,
         obs: None,
+        check: true,
     }
 }
 
@@ -32,7 +33,7 @@ fn fig1_shape_holds() {
         .iter()
         .map(|&l| {
             let mut e = NativeNoc::new(cfg, IfaceConfig::default());
-            run_fig1_point(&mut e, l, 99, &rc())
+            run_fig1_point(&mut e, l, 99, &rc()).expect("clean fig1 run")
         })
         .collect();
 
@@ -62,7 +63,7 @@ fn be_only_network_has_low_latency() {
     // time: ~hops + serialization + injection overhead.
     let cfg = NetworkConfig::fig1();
     let mut e = NativeNoc::new(cfg, IfaceConfig::default());
-    let r = run_fig1_point(&mut e, 0.02, 5, &rc());
+    let r = run_fig1_point(&mut e, 0.02, 5, &rc()).expect("clean fig1 run");
     // run_fig1_point always adds GT streams; judge the BE class only.
     assert!(r.be.count > 100);
     assert!(

@@ -27,8 +27,9 @@ fn check_guarantee(net: NetworkConfig, be_load: f64, seed: u64) {
         period: 512,
         backlog_limit: 16_384,
         obs: None,
+        check: false,
     };
-    let r = run(&mut engine, &mut gen, &rc);
+    let r = run(&mut engine, &mut gen, &rc).expect("run failed");
     assert!(r.gt.count > 30, "too few GT packets measured");
     assert!(
         r.gt.max <= worst_guarantee,

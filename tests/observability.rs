@@ -20,6 +20,7 @@ fn instrumented_mesh_run() -> (ObsConfig, noc::RunReport) {
         period: 128,
         backlog_limit: 1 << 16,
         obs: Some(instr.clone()),
+        check: false,
     };
     let tcfg = TrafficConfig {
         net: cfg,
@@ -28,7 +29,7 @@ fn instrumented_mesh_run() -> (ObsConfig, noc::RunReport) {
         seed: 23,
     };
     let mut gen = StimuliGenerator::new(tcfg);
-    let report = noc::run(&mut *engine, &mut gen, &rc);
+    let report = noc::run(&mut *engine, &mut gen, &rc).expect("run failed");
     (instr, report)
 }
 
@@ -117,7 +118,8 @@ fn plain_run_is_unobserved() {
         period: 128,
         backlog_limit: 1 << 16,
         obs: None,
+        check: false,
     };
-    let r = noc::run_fig1_point(&mut *engine, 0.05, 3, &rc);
+    let r = noc::run_fig1_point(&mut *engine, 0.05, 3, &rc).expect("run failed");
     assert!(r.metrics.is_none(), "plain runs carry no metrics snapshot");
 }

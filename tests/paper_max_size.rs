@@ -29,9 +29,10 @@ fn native_runs_256_routers() {
         period: 128,
         backlog_limit: 8_192,
         obs: None,
+        check: false,
     };
     let mut gen = StimuliGenerator::new(traffic(net));
-    let r = run(&mut e, &mut gen, &rc);
+    let r = run(&mut e, &mut gen, &rc).expect("run failed");
     assert!(!r.saturated);
     assert!(r.throughput.delivered_packets > 100);
     assert_eq!(r.unmatched, 0, "flits lost at full scale");
@@ -48,9 +49,10 @@ fn seqsim_runs_256_routers_with_minimum_delta_floor() {
         period: 64,
         backlog_limit: 8_192,
         obs: None,
+        check: false,
     };
     let mut gen = StimuliGenerator::new(traffic(net));
-    let r = run(&mut e, &mut gen, &rc);
+    let r = run(&mut e, &mut gen, &rc).expect("run failed");
     let d = r.delta.expect("delta stats");
     assert_eq!(d.system_cycles, 120);
     assert!(d.delta_cycles >= 120 * 256, "below the delta floor");
