@@ -8,6 +8,7 @@
 //! implementation").
 
 use crate::side::SideView;
+use noc_types::diag::{codes, Diagnostic, Severity, Site};
 
 /// Index of a block kind within a [`SystemSpec`].
 pub type KindId = usize;
@@ -15,6 +16,47 @@ pub type KindId = usize;
 pub type BlockId = usize;
 /// Index of a link within a [`SystemSpec`].
 pub type LinkId = usize;
+
+/// Which of a block's *input* ports an *output* port depends on
+/// combinationally — i.e. within the same system cycle, before the clock
+/// edge. This is the declaration the static analyzer (`speccheck`) uses
+/// to classify producer→consumer edges as *registered* (§4.1: the output
+/// is a function of registered state only, final after the block's first
+/// evaluation) or *combinational* (§4.2: a change on an input can
+/// propagate through to the output mid-cycle, requiring HBR
+/// re-evaluation).
+///
+/// The default is the conservative [`CombInputs::All`]; kinds whose
+/// outputs are functions of state only (like the router's `room` words)
+/// should override with [`CombInputs::None`] to unlock the fast path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CombInputs {
+    /// The output may depend combinationally on every input
+    /// (conservative default).
+    All,
+    /// The output is a function of registered state only — a
+    /// *registered* output in the paper's sense.
+    None,
+    /// The output depends combinationally on exactly these input port
+    /// indices.
+    Some(Vec<usize>),
+}
+
+impl CombInputs {
+    /// Does this output depend combinationally on input port `input`?
+    pub fn depends_on(&self, input: usize) -> bool {
+        match self {
+            CombInputs::All => true,
+            CombInputs::None => false,
+            CombInputs::Some(list) => list.contains(&input),
+        }
+    }
+
+    /// Is the output registered (no combinational input dependency)?
+    pub fn is_registered(&self) -> bool {
+        matches!(self, CombInputs::None)
+    }
+}
 
 /// A shared block implementation: the combinational circuitry plus the
 /// declaration of its register and port shape.
@@ -47,6 +89,18 @@ pub trait BlockKind: Send {
     /// Default: no side memory.
     fn side_rings(&self) -> Vec<usize> {
         Vec::new()
+    }
+
+    /// Which input ports output `port` depends on *combinationally*
+    /// (within the same system cycle). Used by the static analyzer to
+    /// classify edges as registered vs combinational; the conservative
+    /// default declares every output combinational in every input. An
+    /// override must be sound: declaring an input independent that
+    /// actually feeds through combinationally breaks the derived hybrid
+    /// schedule's single-evaluation guarantee.
+    fn comb_inputs(&self, port: usize) -> CombInputs {
+        let _ = port;
+        CombInputs::All
     }
 
     /// Write the reset state into `state` (a zeroed word slice of
@@ -292,18 +346,67 @@ impl SystemSpec {
         self.links[link].reset_value = value;
     }
 
-    /// Check that every port of every block is connected.
+    /// Structurally check the spec: every port connected, every link
+    /// width representable in the 64-bit link-memory word.
     ///
-    /// # Panics
-    /// Panics with a description of the first unconnected port.
-    pub fn validate(&self) {
+    /// Returns every finding as a typed [`Diagnostic`] (error severity —
+    /// an engine must refuse such a spec). Deeper graph analysis —
+    /// multiple writers, combinational loops, reachability, schedule
+    /// derivation — lives in the `speccheck` crate, which builds on the
+    /// same diagnostics.
+    pub fn check(&self) -> Result<(), Vec<Diagnostic>> {
+        let mut ds = Vec::new();
         for (b, inst) in self.blocks.iter().enumerate() {
             for (i, &l) in inst.inputs.iter().enumerate() {
-                assert_ne!(l, usize::MAX, "block {b} input {i} unconnected");
+                if l == usize::MAX {
+                    ds.push(Diagnostic::new(
+                        Severity::Error,
+                        codes::UNCONNECTED_INPUT,
+                        Site::InputPort { block: b, port: i },
+                        format!("block {b} input {i} unconnected"),
+                    ));
+                }
             }
             for (o, &l) in inst.outputs.iter().enumerate() {
-                assert_ne!(l, usize::MAX, "block {b} output {o} unconnected");
+                if l == usize::MAX {
+                    ds.push(Diagnostic::new(
+                        Severity::Error,
+                        codes::UNCONNECTED_OUTPUT,
+                        Site::OutputPort { block: b, port: o },
+                        format!("block {b} output {o} unconnected"),
+                    ));
+                }
             }
+        }
+        for (l, spec) in self.links.iter().enumerate() {
+            if spec.width == 0 || spec.width > 64 {
+                ds.push(Diagnostic::new(
+                    Severity::Error,
+                    codes::WIDTH_OVERFLOW,
+                    Site::Link(l),
+                    format!(
+                        "link {l} is {} bits wide; the link memory holds 1..=64",
+                        spec.width
+                    ),
+                ));
+            }
+        }
+        if ds.is_empty() {
+            Ok(())
+        } else {
+            Err(ds)
+        }
+    }
+
+    /// Deprecated panicking shim over [`check`](Self::check).
+    ///
+    /// # Panics
+    /// Panics with a description of every failed check.
+    #[deprecated(since = "0.1.0", note = "use `check()` and handle the diagnostics")]
+    pub fn validate(&self) {
+        if let Err(ds) = self.check() {
+            let msgs: Vec<String> = ds.iter().map(|d| d.to_string()).collect();
+            panic!("invalid SystemSpec:\n{}", msgs.join("\n"));
         }
     }
 
@@ -345,15 +448,29 @@ mod tests {
         let b = spec.add_block(k);
         spec.wire((a, 0), (b, 0));
         spec.wire((b, 0), (a, 0));
-        spec.validate();
+        spec.check().unwrap();
         assert_eq!(spec.links().len(), 2);
         assert_eq!(spec.blocks()[0].instance_of_kind, 0);
         assert_eq!(spec.blocks()[1].instance_of_kind, 1);
     }
 
     #[test]
+    fn unconnected_input_reported() {
+        let mut spec = SystemSpec::new();
+        let k = spec.add_kind(Box::new(RegisteredDemoKind::new(0)));
+        let a = spec.add_block(k);
+        spec.sink((a, 0));
+        let ds = spec.check().unwrap_err();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, codes::UNCONNECTED_INPUT);
+        assert_eq!(ds[0].severity, Severity::Error);
+        assert_eq!(ds[0].site, Site::InputPort { block: a, port: 0 });
+    }
+
+    #[test]
     #[should_panic(expected = "unconnected")]
-    fn unconnected_input_rejected() {
+    #[allow(deprecated)]
+    fn deprecated_validate_shim_still_panics() {
         let mut spec = SystemSpec::new();
         let k = spec.add_kind(Box::new(RegisteredDemoKind::new(0)));
         let a = spec.add_block(k);

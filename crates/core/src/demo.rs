@@ -14,7 +14,7 @@
 //!   [`DynamicEngine`](crate::dynamic_sched::DynamicEngine) it reproduces
 //!   the dynamic (HBR) schedule with re-evaluations of Fig 5.
 
-use crate::block::{BlockKind, SystemSpec};
+use crate::block::{BlockKind, CombInputs, SystemSpec};
 use crate::side::SideView;
 use noc_types::bits::{BitReader, BitWriter};
 
@@ -195,6 +195,16 @@ impl BlockKind for CombDemoKind {
         let x = inputs[0];
         BitWriter::new(next).put(DEMO_WIDTH, self.f(s, x));
         outputs[0] = self.g(s, x);
+    }
+
+    fn comb_inputs(&self, _port: usize) -> CombInputs {
+        if self.variant == 0 {
+            // `G = s`: registered output, the edge that breaks the ring.
+            CombInputs::None
+        } else {
+            // `G = s ^ x`: the input feeds through combinationally.
+            CombInputs::All
+        }
     }
 }
 

@@ -19,9 +19,76 @@ use crate::side::SideMem;
 use crate::state::StateMemory;
 use crate::trace::{ScheduleTrace, TraceEvent};
 use crate::worklist::Worklist;
+use std::sync::Arc;
+
+/// One contiguous run of a [`HybridSchedule`]'s evaluation order: the
+/// blocks of one SCC of the condensed spec graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridRun {
+    /// First index into [`HybridSchedule::order`].
+    pub start: usize,
+    /// Number of blocks in the run.
+    pub len: usize,
+    /// `false` for a singleton SCC: in condensation topological order
+    /// the block's inputs are already settled when it is reached, so it
+    /// is evaluated exactly once (§4.1 static behaviour). `true` for a
+    /// multi-block (or self-looping) SCC, which the HBR worklist
+    /// iterates to its fixed point (§4.2).
+    pub fixed_point: bool,
+}
+
+/// An analyzer-derived evaluation order: the topological order of the
+/// spec graph's SCC condensation, one [`HybridRun`] per SCC.
+///
+/// Executed by [`Scheduling::Hybrid`], the order is driven through the
+/// engine's ordinary HBR worklist with the round-robin position reset to
+/// the head of the order each system cycle. The HBR machinery is what
+/// makes the schedule *safe* regardless of the analysis: a block whose
+/// inputs change after its evaluation is simply re-evaluated, so
+/// behaviour stays bit-identical to any other order (the engine's
+/// order-independence property). What the analysis buys is that blocks
+/// in singleton SCCs are provably never re-armed — they run exactly once
+/// per cycle — and re-evaluation is confined to the multi-block SCCs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HybridSchedule {
+    /// Evaluation order: a permutation of block ids, SCCs contiguous,
+    /// condensation-topologically sorted.
+    pub order: Vec<usize>,
+    /// The SCC runs partitioning `order`.
+    pub runs: Vec<HybridRun>,
+}
+
+impl HybridSchedule {
+    /// Number of blocks in singleton (single-evaluation) runs.
+    pub fn static_blocks(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| !r.fixed_point)
+            .map(|r| r.len)
+            .sum()
+    }
+
+    /// Panic unless `order` is a permutation of `0..n` and `runs`
+    /// partitions it contiguously.
+    pub fn assert_valid(&self, n: usize) {
+        assert_eq!(self.order.len(), n, "schedule must cover all blocks");
+        let mut seen = vec![false; n];
+        for &b in &self.order {
+            assert!(b < n && !seen[b], "schedule order is not a permutation");
+            seen[b] = true;
+        }
+        let mut at = 0usize;
+        for r in &self.runs {
+            assert_eq!(r.start, at, "schedule runs must tile the order");
+            assert!(r.len > 0, "empty schedule run");
+            at += r.len;
+        }
+        assert_eq!(at, n, "schedule runs must cover the order");
+    }
+}
 
 /// Scheduling policy of the sequential simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Scheduling {
     /// The paper's scheduler: HBR status bits + round-robin over
     /// non-stable blocks, driven by the incremental [`Worklist`] — O(1)
@@ -37,6 +104,13 @@ pub enum Scheduling {
     /// until a pass changes no link value (no HBR bookkeeping; typically
     /// many more delta cycles).
     FullPasses,
+    /// An analyzer-derived [`HybridSchedule`] (see `speccheck`): the HBR
+    /// worklist sweeps the condensation-topological order from its head
+    /// every system cycle, evaluating singleton-SCC blocks exactly once
+    /// and iterating only inside multi-block SCCs. Bit-identical to
+    /// [`HbrRoundRobin`](Scheduling::HbrRoundRobin); fewer delta cycles
+    /// wherever the order avoids avoidable re-evaluations.
+    Hybrid(Arc<HybridSchedule>),
 }
 
 /// A host-visible checkpoint of a running engine.
@@ -69,6 +143,12 @@ pub struct DynamicEngine {
     order: Vec<usize>,
     /// Position in `order` where the next round-robin scan starts.
     rr_pos: usize,
+    /// Restart the round-robin scan at the head of `order` every system
+    /// cycle (instead of continuing from where the last cycle stopped).
+    /// Implied by [`Scheduling::Hybrid`] — a topological sweep must
+    /// start at the condensation head — and settable on its own for
+    /// differential testing.
+    sweep_from_head: bool,
     evaluated: Vec<bool>,
     cycle: u64,
     stats: DeltaStats,
@@ -110,7 +190,10 @@ impl DynamicEngine {
     /// ids). Evaluation order affects only the delta-cycle count, never the
     /// simulated behaviour; the tests verify both properties.
     pub fn with_order(spec: SystemSpec, order: Vec<usize>) -> Self {
-        spec.validate();
+        if let Err(ds) = spec.check() {
+            let msgs: Vec<String> = ds.iter().map(|d| d.to_string()).collect();
+            panic!("invalid SystemSpec:\n{}", msgs.join("\n"));
+        }
         assert_eq!(
             order.len(),
             spec.blocks().len(),
@@ -156,6 +239,7 @@ impl DynamicEngine {
             scheduling: Scheduling::HbrRoundRobin,
             order,
             rr_pos: 0,
+            sweep_from_head: false,
             evaluated: vec![false; n],
             cycle: 0,
             stats: DeltaStats::default(),
@@ -180,8 +264,32 @@ impl DynamicEngine {
     }
 
     /// Select the scheduling policy (default [`Scheduling::HbrRoundRobin`]).
+    ///
+    /// Selecting [`Scheduling::Hybrid`] adopts the schedule's evaluation
+    /// order (replacing the engine's base order, rebuilding the
+    /// worklist) and turns on the per-cycle sweep reset. Call between
+    /// system cycles.
+    ///
+    /// # Panics
+    /// If a hybrid schedule does not cover this spec's blocks.
     pub fn set_scheduling(&mut self, s: Scheduling) {
+        if let Scheduling::Hybrid(schedule) = &s {
+            schedule.assert_valid(self.spec.blocks().len());
+            self.order = schedule.order.clone();
+            self.worklist = Worklist::new(&self.spec, &self.order);
+            self.rr_pos = 0;
+            self.sweep_from_head = true;
+        }
         self.scheduling = s;
+    }
+
+    /// Restart the round-robin scan at the head of the base order every
+    /// system cycle. [`Scheduling::Hybrid`] implies this; exposing it
+    /// separately lets a differential test drive a plain
+    /// [`Scheduling::HbrRoundRobin`] engine through the exact evaluation
+    /// sequence a hybrid engine with the same order produces.
+    pub fn set_sweep_reset(&mut self, on: bool) {
+        self.sweep_from_head = on;
     }
 
     /// Enable schedule tracing (Fig 5 reproduction).
@@ -316,6 +424,9 @@ impl DynamicEngine {
         self.evaluated.iter_mut().for_each(|e| *e = false);
         self.worklist.begin_cycle();
         self.delta_in_cycle = 0;
+        if self.sweep_from_head {
+            self.rr_pos = 0;
+        }
     }
 
     /// Evaluate until every block is stable under the configured
@@ -348,11 +459,18 @@ impl DynamicEngine {
         let cap = (self.cap_factor * n) as u32;
         let before = self.delta_in_cycle;
         let mut delta = self.delta_in_cycle;
-        match self.scheduling {
+        // Cheap clone (at most one Arc bump) so the arms can borrow
+        // `self` mutably.
+        let scheduling = self.scheduling.clone();
+        match scheduling {
             // Round-robin pick of the first non-stable block — the
             // incremental tracker's bitset scan returns exactly the
-            // block the naive rescan below would find.
-            Scheduling::HbrRoundRobin => {
+            // block the naive rescan below would find. A hybrid
+            // schedule runs on the identical machinery: its analysis
+            // went into the base order and the per-cycle sweep reset,
+            // so the worklist sweep visits the condensation in
+            // topological order and never re-arms a singleton SCC.
+            Scheduling::HbrRoundRobin | Scheduling::Hybrid(_) => {
                 while let Some(pos) = self.worklist.next_unstable(self.rr_pos) {
                     let b = self.order[pos];
                     debug_assert!(!self.stable(b));

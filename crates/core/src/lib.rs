@@ -65,7 +65,7 @@
 #![allow(clippy::needless_range_loop)]
 // Library failure paths must be typed (`SimError`), not panics hidden in
 // unwraps. Tests may still unwrap.
-#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod block;
 pub mod check;
@@ -83,9 +83,11 @@ pub mod systolic;
 pub mod trace;
 pub mod worklist;
 
-pub use block::{BlockId, BlockInst, BlockKind, KindId, LinkDriver, LinkId, LinkSpec, SystemSpec};
+pub use block::{
+    BlockId, BlockInst, BlockKind, CombInputs, KindId, LinkDriver, LinkId, LinkSpec, SystemSpec,
+};
 pub use counters::DeltaStats;
-pub use dynamic_sched::{DynamicEngine, Scheduling, Snapshot};
+pub use dynamic_sched::{DynamicEngine, HybridRun, HybridSchedule, Scheduling, Snapshot};
 pub use error::SimError;
 pub use instrument::KernelInstr;
 pub use links::LinkMemory;

@@ -10,6 +10,11 @@
 //! keeps the workers alive across dispatches; [`SpinBarrier`] keeps the
 //! per-round synchronisation cost at a few cache-line round trips.
 
+// The lifetime-erasing transmute in `scope` is the one audited unsafe
+// block of the workspace; everything it touches is joined before the
+// borrow ends.
+#![allow(unsafe_code)]
+
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;

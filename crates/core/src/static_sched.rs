@@ -45,7 +45,6 @@ pub struct StaticEngine {
 impl StaticEngine {
     /// Build an engine over `spec`, evaluating blocks in index order.
     pub fn new(spec: SystemSpec) -> Self {
-        spec.validate();
         let order = (0..spec.blocks().len()).collect();
         Self::with_order(spec, order)
     }
@@ -54,7 +53,10 @@ impl StaticEngine {
     /// block ids). The paper's §4.1 argues the result is order-independent;
     /// the tests verify it.
     pub fn with_order(spec: SystemSpec, order: Vec<usize>) -> Self {
-        spec.validate();
+        if let Err(ds) = spec.check() {
+            let msgs: Vec<String> = ds.iter().map(|d| d.to_string()).collect();
+            panic!("invalid SystemSpec:\n{}", msgs.join("\n"));
+        }
         assert_eq!(
             order.len(),
             spec.blocks().len(),

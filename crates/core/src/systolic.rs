@@ -17,7 +17,7 @@
 //! the accumulated results are read back from the state memory — the
 //! same host/state-memory interaction the NoC simulator uses.
 
-use crate::block::{BlockKind, SystemSpec};
+use crate::block::{BlockKind, CombInputs, SystemSpec};
 use crate::side::SideView;
 use crate::static_sched::StaticEngine;
 use noc_types::bits::{BitReader, BitWriter};
@@ -67,6 +67,13 @@ impl BlockKind for SystolicPe {
         BitWriter::new(next).put(ACC_BITS, acc.wrapping_add(a * b) & mask);
         outputs[0] = a;
         outputs[1] = b;
+    }
+
+    fn comb_inputs(&self, port: usize) -> CombInputs {
+        // Pure pass-through: east is west's operand, south is north's.
+        // (The static engine's double-banked links are what register
+        // the boundary — the combinational path is through the PE.)
+        CombInputs::Some(vec![port])
     }
 }
 
@@ -165,6 +172,11 @@ impl SystolicArray {
     /// Delta statistics (static schedule: exactly `n²` per cycle).
     pub fn stats(&self) -> &crate::counters::DeltaStats {
         self.engine.stats()
+    }
+
+    /// The system spec backing the array (e.g. for static analysis).
+    pub fn spec(&self) -> &SystemSpec {
+        self.engine.spec()
     }
 }
 

@@ -3,6 +3,7 @@
 //! instead of spinning or panicking, and the engine stays broken (but
 //! responsive) afterwards.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use seqsim::demo::CombDemoKind;
 use seqsim::{DynamicEngine, Scheduling, SimError, SystemSpec};
 
@@ -25,7 +26,7 @@ fn non_converging_spec_surfaces_diverged() {
         Scheduling::FullPasses,
     ] {
         let mut eng = DynamicEngine::new(oscillator());
-        eng.set_scheduling(policy);
+        eng.set_scheduling(policy.clone());
         eng.set_delta_budget(8);
         let err = eng.try_step().expect_err("oscillator must diverge");
         let SimError::Diverged {

@@ -6,6 +6,7 @@
 //! register state — across randomly generated signal-acyclic systems,
 //! block counts, evaluation orders and external-input pokes.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use seqsim::demo::CombDemoKind;
 use seqsim::{DeltaStats, DynamicEngine, Scheduling, SystemSpec, TraceEvent};
 

@@ -28,10 +28,11 @@
 use crate::engine::NocEngine;
 use crate::native::NativeNoc;
 use crate::seq::SeqNoc;
-use crate::shard::ShardedSeqEngine;
+use crate::shard::{partition, ShardedSeqEngine};
 use noc_types::fault::FaultPlan;
 use noc_types::NetworkConfig;
-use seqsim::Scheduling;
+use seqsim::{Scheduling, SimError};
+use speccheck::{analyze_graph, check_cut, Analysis, AnalyzeOptions, Severity, SpecGraph};
 use std::sync::Arc;
 use vc_router::IfaceConfig;
 
@@ -75,6 +76,22 @@ impl EngineKind {
     }
 }
 
+/// How the sequential engine schedules delta cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Run the `speccheck` analyzer at build time and adopt its hybrid
+    /// schedule (§4.1 static order over the SCC condensation, §4.2 HBR
+    /// fixed point only inside multi-block SCCs) when no error-severity
+    /// diagnostics exist. Bit-identical to [`SchedulePolicy::Dynamic`]
+    /// by construction — the hybrid order still runs on the HBR
+    /// worklist — but with fewer re-evaluations.
+    #[default]
+    Auto,
+    /// Keep the pure dynamic HBR round-robin scheduler (the paper's
+    /// baseline; used by benches for dynamic-vs-hybrid comparisons).
+    Dynamic,
+}
+
 /// Factory signature external crates register for their engine kinds.
 /// The third argument is the deterministic fault plan, `None` for a
 /// clean run.
@@ -86,6 +103,7 @@ pub struct SimBuilder {
     cfg: NetworkConfig,
     iface: IfaceConfig,
     kind: EngineKind,
+    schedule: SchedulePolicy,
     faults: Option<Arc<FaultPlan>>,
     factories: Vec<(EngineKind, EngineFactory)>,
 }
@@ -98,6 +116,7 @@ impl SimBuilder {
             cfg,
             iface: IfaceConfig::default(),
             kind: EngineKind::Seq,
+            schedule: SchedulePolicy::default(),
             faults: None,
             factories: Vec::new(),
         }
@@ -112,6 +131,13 @@ impl SimBuilder {
     /// Override the host-interface ring configuration.
     pub fn iface(mut self, iface: IfaceConfig) -> Self {
         self.iface = iface;
+        self
+    }
+
+    /// Select the delta-cycle scheduling policy for the sequential
+    /// engine (other kinds ignore it).
+    pub fn schedule(mut self, policy: SchedulePolicy) -> Self {
+        self.schedule = policy;
         self
     }
 
@@ -137,48 +163,115 @@ impl SimBuilder {
         self
     }
 
-    /// Build the engine.
+    /// Run the static analyzer on the network this builder describes —
+    /// the sequential engine's block/link graph — without building an
+    /// engine. For the sharded kind the partition's boundary cuts are
+    /// appended ([`speccheck::codes::SHARD_CUT_COMB`] warnings for each
+    /// combinational forward link crossing shards).
+    pub fn lint(&self) -> Analysis {
+        let seq = SeqNoc::with_faults(self.cfg, self.iface, self.faults.clone());
+        let g = SpecGraph::from_spec(seq.engine().spec());
+        let mut a = analyze_graph(&g, &AnalyzeOptions::default());
+        if let EngineKind::Sharded { threads } = self.kind {
+            let shard_of = partition(self.cfg.num_nodes(), threads);
+            a.diagnostics.extend(check_cut(&g, &shard_of));
+        }
+        a
+    }
+
+    /// Build the engine, reporting misconfiguration as
+    /// [`SimError::Config`] instead of panicking.
     ///
-    /// # Panics
-    ///
-    /// For [`EngineKind::CycleSim`] / [`EngineKind::Rtl`] without a
-    /// registered factory — construct through `soc_sim::sim(cfg)` (which
-    /// pre-registers both) or call [`register`](Self::register).
-    pub fn build(self) -> Box<dyn NocEngine> {
+    /// For the sequential kinds the `speccheck` analyzer runs on the
+    /// assembled spec first: error-severity diagnostics refuse the
+    /// build, and under [`SchedulePolicy::Auto`] the derived hybrid
+    /// schedule is adopted ([`EngineKind::Seq`] only — the naive kind
+    /// exists precisely to keep the unoptimised scheduler measurable).
+    pub fn try_build(self) -> Result<Box<dyn NocEngine>, SimError> {
         // Most-recent registration wins, including over built-ins.
         if let Some((_, f)) = self.factories.iter().rev().find(|(k, _)| *k == self.kind) {
-            return f(self.cfg, self.iface, self.faults);
+            return Ok(f(self.cfg, self.iface, self.faults));
         }
         let n = self.cfg.num_nodes();
         let depths = vec![self.cfg.router.queue_depth; n];
         match self.kind {
-            EngineKind::Native => Box::new(NativeNoc::with_depths_and_faults(
+            EngineKind::Native => Ok(Box::new(NativeNoc::with_depths_and_faults(
                 self.cfg,
                 self.iface,
                 &depths,
                 self.faults,
-            )),
-            EngineKind::Seq => Box::new(SeqNoc::with_faults(self.cfg, self.iface, self.faults)),
-            EngineKind::SeqNaive => Box::new(SeqNoc::with_depths_scheduling_faults(
-                self.cfg,
-                self.iface,
-                &depths,
-                Scheduling::HbrRoundRobinNaive,
-                self.faults,
-            )),
-            EngineKind::Sharded { threads } => Box::new(ShardedSeqEngine::with_faults(
+            ))),
+            EngineKind::Seq => {
+                let mut seq = SeqNoc::with_faults(self.cfg, self.iface, self.faults);
+                let analysis = speccheck::analyze_spec(seq.engine().spec());
+                if analysis.has_errors() {
+                    return Err(config_error(&analysis));
+                }
+                if self.schedule == SchedulePolicy::Auto {
+                    if let Some(schedule) = analysis.schedule {
+                        seq.engine_mut()
+                            .set_scheduling(Scheduling::Hybrid(Arc::new(schedule)));
+                    }
+                }
+                Ok(Box::new(seq))
+            }
+            EngineKind::SeqNaive => {
+                let seq = SeqNoc::with_depths_scheduling_faults(
+                    self.cfg,
+                    self.iface,
+                    &depths,
+                    Scheduling::HbrRoundRobinNaive,
+                    self.faults,
+                );
+                let analysis = speccheck::analyze_spec(seq.engine().spec());
+                if analysis.has_errors() {
+                    return Err(config_error(&analysis));
+                }
+                Ok(Box::new(seq))
+            }
+            EngineKind::Sharded { threads } => Ok(Box::new(ShardedSeqEngine::with_faults(
                 self.cfg,
                 self.iface,
                 threads,
                 self.faults,
-            )),
-            kind @ (EngineKind::CycleSim | EngineKind::Rtl) => panic!(
+            ))),
+            kind @ (EngineKind::CycleSim | EngineKind::Rtl) => Err(SimError::Config(format!(
                 "engine kind {kind:?} is implemented outside the noc crate; \
                  build it through soc_sim::sim(cfg), or register a factory: \
                  SimBuilder::new(cfg).register(kind, |cfg, iface| ...)"
-            ),
+            ))),
         }
     }
+
+    /// Build the engine.
+    ///
+    /// # Panics
+    ///
+    /// On any [`SimError::Config`] from [`try_build`](Self::try_build):
+    /// error-severity analyzer diagnostics, or an
+    /// [`EngineKind::CycleSim`] / [`EngineKind::Rtl`] without a
+    /// registered factory — construct through `soc_sim::sim(cfg)` (which
+    /// pre-registers both) or call [`register`](Self::register).
+    pub fn build(self) -> Box<dyn NocEngine> {
+        match self.try_build() {
+            Ok(e) => e,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// Fold an analysis' error-severity diagnostics into one
+/// [`SimError::Config`].
+fn config_error(a: &Analysis) -> SimError {
+    let errors: Vec<String> = a
+        .with_severity(Severity::Error)
+        .map(|d| d.to_string())
+        .collect();
+    SimError::Config(format!(
+        "spec analysis found {} error(s):\n{}",
+        errors.len(),
+        errors.join("\n")
+    ))
 }
 
 #[cfg(test)]
@@ -219,6 +312,71 @@ mod tests {
     #[should_panic(expected = "implemented outside the noc crate")]
     fn unregistered_external_kind_panics_with_guidance() {
         let _ = SimBuilder::new(cfg()).engine(EngineKind::CycleSim).build();
+    }
+
+    #[test]
+    fn try_build_reports_missing_factory_as_config_error() {
+        let err = SimBuilder::new(cfg())
+            .engine(EngineKind::Rtl)
+            .try_build()
+            .err()
+            .expect("no factory registered");
+        assert!(matches!(err, SimError::Config(_)), "{err:?}");
+    }
+
+    #[test]
+    fn lint_is_clean_for_builtin_networks() {
+        let a = SimBuilder::new(cfg()).lint();
+        assert!(!a.has_errors(), "{:#?}", a.diagnostics);
+        let schedule = a.schedule.as_ref().expect("schedulable");
+        assert_eq!(schedule.order.len(), cfg().num_nodes());
+        assert!(a.convergence_bound <= a.watchdog_budget);
+    }
+
+    #[test]
+    fn lint_flags_shard_cuts_crossing_comb_links() {
+        let a = SimBuilder::new(cfg())
+            .engine(EngineKind::Sharded { threads: 2 })
+            .lint();
+        assert!(!a.has_errors());
+        // Forward links are combinational; the tile boundary cuts them.
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == speccheck::codes::SHARD_CUT_COMB));
+        // One shard: no cut, no warning.
+        let a = SimBuilder::new(cfg())
+            .engine(EngineKind::Sharded { threads: 1 })
+            .lint();
+        assert!(a
+            .diagnostics
+            .iter()
+            .all(|d| d.code != speccheck::codes::SHARD_CUT_COMB));
+    }
+
+    #[test]
+    fn schedule_policies_deliver_identically() {
+        use noc_types::{Coord, Flit};
+        use vc_router::StimEntry;
+        let mut runs = Vec::new();
+        for policy in [SchedulePolicy::Auto, SchedulePolicy::Dynamic] {
+            let mut e = SimBuilder::new(cfg()).schedule(policy).build();
+            for node in 0..cfg().num_nodes() {
+                e.push_stim(
+                    node,
+                    node % 2,
+                    StimEntry {
+                        ts: 0,
+                        flit: Flit::head_tail(Coord::new(2, 1), node as u8),
+                    },
+                );
+            }
+            e.run(20);
+            let dest = cfg().shape.node_id(Coord::new(2, 1)).index();
+            runs.push(e.drain_delivered(dest));
+        }
+        assert!(!runs[0].is_empty());
+        assert_eq!(runs[0], runs[1]);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! assert_eq!(delivered[0].flit, flit);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Positional `for i in 0..n` loops indexing several parallel arrays are
 // the natural shape for port/node-indexed hardware code; iterator zips
@@ -50,7 +51,7 @@
 // Hot failure paths return typed `SimError`s; panicking escape hatches in
 // library code must be deliberate (`unwrap_or_else` + `unreachable!`
 // with an argument for *why*), not a bare `unwrap()`.
-#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
 pub mod build;
@@ -66,7 +67,7 @@ pub mod seq;
 pub mod shard;
 pub mod wiring;
 
-pub use build::{EngineKind, SimBuilder};
+pub use build::{EngineKind, SchedulePolicy, SimBuilder};
 pub use check::InvariantChecker;
 pub use cs::{Circuit, CsError, CsNativeNoc, CsNoc};
 pub use engine::NocEngine;

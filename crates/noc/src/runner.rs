@@ -314,7 +314,9 @@ pub fn run(
                             c += 1;
                             ck.check_bounds(engine)?;
                             if let Some(obs) = observer.as_ref() {
-                                if instr.sample_every > 0 && (c - t0).is_multiple_of(instr.sample_every) {
+                                if instr.sample_every > 0
+                                    && (c - t0).is_multiple_of(instr.sample_every)
+                                {
                                     obs.sample(engine);
                                 }
                             }

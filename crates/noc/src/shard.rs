@@ -46,6 +46,28 @@ use vc_router::{AccEntry, IfaceConfig, OutEntry, RouterBlock, RouterRegs, StimEn
 /// most three (evaluate → room corrections → quiescent confirmation).
 const MAX_ROUNDS_PER_CYCLE: u64 = 64;
 
+/// Shard boundaries of the contiguous tiling the engine uses:
+/// `bounds[s]..bounds[s + 1]` are shard `s`'s global node indices
+/// (`threads` clamped to `1..=n`).
+pub fn partition_bounds(n: usize, threads: usize) -> Vec<usize> {
+    let p = threads.min(n).max(1);
+    (0..=p).map(|s| s * n / p).collect()
+}
+
+/// Shard index of every node under the engine's contiguous tiling — the
+/// partition `speccheck::check_cut` audits for combinational boundary
+/// cuts.
+pub fn partition(n: usize, threads: usize) -> Vec<usize> {
+    let bounds = partition_bounds(n, threads);
+    let mut shard_of = vec![0usize; n];
+    for s in 0..bounds.len() - 1 {
+        for g in bounds[s]..bounds[s + 1] {
+            shard_of[g] = s;
+        }
+    }
+    shard_of
+}
+
 /// One cross-shard wire's mailbox: two banks indexed by exchange-round
 /// parity. Producers store into `banks[round & 1]` before the round's
 /// barrier; consumers load the same bank after it. The *other* bank is
@@ -167,14 +189,9 @@ impl ShardedSeqEngine {
         let n = cfg.num_nodes();
         assert_eq!(depths.len(), n, "one depth per node");
         assert!(threads >= 1, "at least one shard");
-        let p = threads.min(n).max(1);
-        let bounds: Vec<usize> = (0..=p).map(|s| s * n / p).collect();
-        let mut shard_of = vec![0usize; n];
-        for s in 0..p {
-            for g in bounds[s]..bounds[s + 1] {
-                shard_of[g] = s;
-            }
-        }
+        let bounds = partition_bounds(n, threads);
+        let p = bounds.len() - 1;
+        let shard_of = partition(n, threads);
         let wiring = Wiring::new(&cfg);
         let all_coords: Vec<_> = cfg.shape.coords().collect();
 

@@ -3,6 +3,7 @@
 //! naive full-rescan scheduler — identical latency statistics, traffic
 //! volumes and delta-cycle counts for a real routed workload.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{run_fig1_point, RunConfig, SeqNoc};
 use noc_types::{NetworkConfig, Topology};
 use seqsim::Scheduling;

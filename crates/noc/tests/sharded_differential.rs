@@ -9,6 +9,7 @@
 //! seeds, the delivered-flit streams, access logs *and the final raw
 //! register state of every router* are bit-identical to [`SeqNoc`].
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::diff::{assert_traces_equal, collect_trace};
 use noc::{NocEngine, SeqNoc, ShardedSeqEngine};
 use noc_types::{NetworkConfig, Topology};

@@ -30,7 +30,9 @@
 //! assert!((f - 91_666.0).abs() < 100.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod energy;
 pub mod phases;

@@ -27,7 +27,7 @@ use crate::routing::RouterCtx;
 use noc_types::fault::{FaultPlan, NodeFaults};
 use noc_types::flit::{room_from_bits, room_to_bits, LINK_FWD_BITS, LINK_ROOM_BITS};
 use noc_types::{Coord, LinkFwd, NetworkConfig, Port, NUM_VCS};
-use seqsim::{BlockKind, SideView};
+use seqsim::{BlockKind, CombInputs, SideView};
 use std::sync::Arc;
 
 /// Index of the per-VC stimuli rings in the block's side memory.
@@ -178,6 +178,22 @@ impl BlockKind for RouterBlock {
 
     fn reset(&self, state: &mut [u64]) {
         RouterRegs::new().pack(self.cfg.router.queue_depth, state);
+    }
+
+    fn comb_inputs(&self, port: usize) -> CombInputs {
+        if (OUT_FWD0..OUT_FWD0 + 4).contains(&port) {
+            // A forward word carries flits only into neighbour *room*:
+            // `transfers(sel, room_in)` gates the queue heads, so the
+            // four room inputs feed through combinationally. The
+            // forward inputs and write pointers reach only `clock`/
+            // `iface_clock` — next-state, never outputs.
+            CombInputs::Some((IN_ROOM0..IN_ROOM0 + 4).collect())
+        } else {
+            // Room words are `comb_room(&regs)` — functions of
+            // registered state only (the paper's structural reason the
+            // router network is signal-acyclic).
+            CombInputs::None
+        }
     }
 
     fn eval(

@@ -321,10 +321,13 @@ pub fn cs_path(cfg: &NetworkConfig, src: Coord, dest: Coord) -> Vec<(Coord, Port
         if port == Port::Local {
             return path;
         }
+        let dir = port
+            .direction()
+            .unwrap_or_else(|| unreachable!("non-Local route hop has a direction"));
         cur = cfg
             .topology
-            .neighbour(cfg.shape, cur, port.direction().expect("non-local"))
-            .expect("route used a missing link");
+            .neighbour(cfg.shape, cur, dir)
+            .unwrap_or_else(|| unreachable!("route stepped onto a missing link at {cur:?}"));
     }
     unreachable!("routing did not terminate");
 }

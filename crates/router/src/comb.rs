@@ -165,7 +165,7 @@ pub fn comb_fwd(regs: &RouterRegs, trans: &[Option<(u8, u8)>; NUM_PORTS]) -> [Li
             vc,
             regs.queues[q as usize]
                 .front()
-                .expect("granted queue must have a flit"),
+                .unwrap_or_else(|| unreachable!("arbiter granted empty queue {q}")),
         ),
         None => LinkFwd::IDLE,
     })

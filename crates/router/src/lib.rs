@@ -45,7 +45,9 @@
 //! assert_eq!(vc, 2); // GT streams keep their reserved VC
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 // Positional `for i in 0..n` loops indexing several parallel arrays are
 // the natural shape for port/node-indexed hardware code; iterator zips
 // would obscure which port is which.

@@ -4,6 +4,7 @@
 //! from a deterministic splitmix64 stream so the suite needs no external
 //! dependencies and every failure reproduces exactly.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc_types::bits::words_for_bits;
 use noc_types::{Coord, Flit, FlitKind, NetworkConfig, Port, Shape, Topology, NUM_QUEUES, NUM_VCS};
 use std::collections::VecDeque;

@@ -70,11 +70,23 @@ impl ProcCtx<'_> {
 
 type ProcFn = Box<dyn FnMut(&mut ProcCtx)>;
 
+/// Declared port map of one process (static introspection; the kernel
+/// itself schedules purely by sensitivity, these are metadata for the
+/// spec-graph adapter and diagnostics).
+#[derive(Debug, Clone, Default)]
+struct ProcPorts {
+    name: String,
+    sens: Vec<SigId>,
+    reads: Vec<SigId>,
+    writes: Vec<SigId>,
+}
+
 /// The event-driven simulation kernel.
 pub struct EventKernel {
     values: Vec<u64>,
     sens: Vec<Vec<ProcId>>,
     procs: Vec<ProcFn>,
+    ports: Vec<ProcPorts>,
     timed: BinaryHeap<Reverse<(u64, u64, SigId, u64)>>,
     seq: u64,
     /// Free-running clock: (signal, half period). Toggles are generated
@@ -96,6 +108,7 @@ impl EventKernel {
             values: Vec::new(),
             sens: Vec::new(),
             procs: Vec::new(),
+            ports: Vec::new(),
             timed: BinaryHeap::new(),
             seq: 0,
             clock: None,
@@ -110,18 +123,88 @@ impl EventKernel {
         self.values.len() - 1
     }
 
-    /// Register a process with its sensitivity list.
+    /// Register a process with its sensitivity list. The declared read
+    /// set defaults to the sensitivity list (a well-formed combinational
+    /// process) and the write set to unknown; use [`process_rw`] to
+    /// declare both for static analysis.
+    ///
+    /// [`process_rw`]: EventKernel::process_rw
     pub fn process(
         &mut self,
         sensitivity: &[SigId],
         f: impl FnMut(&mut ProcCtx) + 'static,
     ) -> ProcId {
+        self.process_rw("proc", sensitivity, sensitivity, &[], f)
+    }
+
+    /// Register a process with a full declared port map: `name` for
+    /// diagnostics, the sensitivity list, every signal the body may
+    /// `read` (a clocked process reads data signals it is not sensitive
+    /// to) and every signal it may `write`. The declarations do not
+    /// affect scheduling; they feed the `speccheck` spec-graph adapter,
+    /// which uses a clock-only sensitivity list to classify a process's
+    /// outputs as registered.
+    pub fn process_rw(
+        &mut self,
+        name: &str,
+        sensitivity: &[SigId],
+        reads: &[SigId],
+        writes: &[SigId],
+        f: impl FnMut(&mut ProcCtx) + 'static,
+    ) -> ProcId {
         self.procs.push(Box::new(f));
+        let mut reads = reads.to_vec();
+        for &s in sensitivity {
+            if !reads.contains(&s) {
+                reads.push(s);
+            }
+        }
+        self.ports.push(ProcPorts {
+            name: name.to_string(),
+            sens: sensitivity.to_vec(),
+            reads,
+            writes: writes.to_vec(),
+        });
         let id = self.procs.len() - 1;
         for &s in sensitivity {
             self.sens[s].push(id);
         }
         id
+    }
+
+    /// Number of signals created so far.
+    pub fn signal_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of registered processes.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The free-running clock signal, if installed.
+    pub fn clock_signal(&self) -> Option<SigId> {
+        self.clock.map(|(s, ..)| s)
+    }
+
+    /// Declared name of process `p`.
+    pub fn proc_name(&self, p: ProcId) -> &str {
+        &self.ports[p].name
+    }
+
+    /// Sensitivity list of process `p`.
+    pub fn proc_sens(&self, p: ProcId) -> &[SigId] {
+        &self.ports[p].sens
+    }
+
+    /// Declared read set of process `p` (always ⊇ the sensitivity list).
+    pub fn proc_reads(&self, p: ProcId) -> &[SigId] {
+        &self.ports[p].reads
+    }
+
+    /// Declared write set of process `p` (empty = undeclared).
+    pub fn proc_writes(&self, p: ProcId) -> &[SigId] {
+        &self.ports[p].writes
     }
 
     /// Install the free-running clock on `sig` with the given half

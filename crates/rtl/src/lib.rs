@@ -19,14 +19,18 @@
 //! moving flit touches a dozen signals, each waking several processes —
 //! and that slowness is the paper's motivation for the FPGA simulator.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 // Positional `for i in 0..n` loops indexing several parallel arrays are
 // the natural shape for port/node-indexed hardware code; iterator zips
 // would obscure which port is which.
 #![allow(clippy::needless_range_loop)]
 
 pub mod kernel;
+pub mod lint;
 pub mod netlist;
 
 pub use kernel::{EventKernel, EventStats, ProcId, SigId};
+pub use lint::kernel_graph;
 pub use netlist::RtlNoc;

@@ -53,6 +53,14 @@ fn q_st_front(bits: u64) -> Option<Flit> {
     ((bits >> 18) & 1 == 1).then(|| Flit::from_bits(bits & 0x3FFFF))
 }
 
+/// Dedup a declared read/write list (boundary ports repeat the shared
+/// constant-zero signal).
+fn uniq(mut v: Vec<SigId>) -> Vec<SigId> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
 /// ctrl word layout per output: 4 × (owner 6b | inner_rr 5b) | outer_rr 2b.
 fn ctrl_owner(bits: u64, vc: usize) -> Option<u8> {
     vc_router::regs::owner_decode(((bits >> (vc * 11)) & 0x3F) as u8)
@@ -170,7 +178,7 @@ impl RtlNoc {
         let zero = k.signal(0);
         // Global cycle-counter register: pre-edge value = current cycle.
         let cnt = k.signal(0);
-        k.process(&[clk], move |ctx| {
+        k.process_rw("cycle-counter", &[clk], &[clk, cnt], &[cnt], move |ctx| {
             if ctx.read(clk) == 1 {
                 let v = ctx.read(cnt) + 1;
                 ctx.write(cnt, v);
@@ -181,7 +189,10 @@ impl RtlNoc {
         let queues: Vec<[QueueSigs; NUM_QUEUES]> = (0..n)
             .map(|_| {
                 core::array::from_fn(|_| QueueSigs {
-                    slots: core::array::from_fn(|_| k.signal(0)),
+                    // Slots past the configured depth alias the shared
+                    // constant-zero signal instead of allocating dead
+                    // signals the spec-graph lint would flag.
+                    slots: core::array::from_fn(|i| if i < depth { k.signal(0) } else { zero }),
                     rd: k.signal(0),
                     wr: k.signal(0),
                     occ: k.signal(0),
@@ -255,7 +266,21 @@ impl RtlNoc {
                 // pointers are signals; every register is re-assigned
                 // each cycle (VHDL synchronous-process style).
                 let nf = nfs[r].clone();
-                k.process(&[clk], move |ctx| {
+                let reads = uniq(
+                    [clk, cnt, qs.rd, qs.wr, qs.occ, enq_sig]
+                        .into_iter()
+                        .chain(my_sels)
+                        .chain(rooms.into_iter().filter(|&s| s != usize::MAX))
+                        .collect(),
+                );
+                let writes = uniq(
+                    qs.slots[..depth]
+                        .iter()
+                        .copied()
+                        .chain([qs.rd, qs.wr, qs.occ])
+                        .collect(),
+                );
+                k.process_rw("queue-reg", &[clk], &reads, &writes, move |ctx| {
                     if ctx.read(clk) != 1 {
                         return;
                     }
@@ -304,7 +329,7 @@ impl RtlNoc {
                 let mut sens: Vec<SigId> = qs.slots[..depth].to_vec();
                 sens.push(qs.rd);
                 sens.push(qs.occ);
-                k.process(&sens, move |ctx| {
+                k.process_rw("queue-front", &sens, &sens, &[qs.st], move |ctx| {
                     let occ = ctx.read(qs.occ);
                     let front = (occ > 0).then(|| ctx.read(qs.slots[ctx.read(qs.rd) as usize]));
                     ctx.write(qs.st, q_st_pack(front, occ));
@@ -324,7 +349,8 @@ impl RtlNoc {
                 if has_stall {
                     sens.push(cnt);
                 }
-                k.process(&sens, move |ctx| {
+                let reads = uniq(occs.iter().copied().chain([cnt]).collect());
+                k.process_rw("room", &sens, &reads, &[out], move |ctx| {
                     if nf.stalled(ctx.read(cnt)) {
                         ctx.write(out, 0);
                         return;
@@ -357,7 +383,8 @@ impl RtlNoc {
                         // clean-run event counts stay untouched.
                         sens.extend(all_ctrls.iter().filter(|&&c| c != my_ctrl));
                     }
-                    k.process(&sens, move |ctx| {
+                    let reads = uniq(sts.iter().copied().chain(all_ctrls).collect());
+                    k.process_rw("candidate", &sens, &reads, &[out], move |ctx| {
                         let c = ctx.read(my_ctrl);
                         let q = match ctrl_owner(c, vc) {
                             Some(owner_q) => (q_st_front(ctx.read(sts[owner_q as usize]))
@@ -403,7 +430,7 @@ impl RtlNoc {
                 let out = sel[r][o];
                 let mut sens: Vec<SigId> = cands.to_vec();
                 sens.push(my_ctrl);
-                k.process(&sens, move |ctx| {
+                k.process_rw("vc-select", &sens, &sens, &[out], move |ctx| {
                     let outer = ctrl_outer(ctx.read(my_ctrl)) as usize;
                     let mut grant = None;
                     for kv in 0..NUM_VCS {
@@ -431,7 +458,13 @@ impl RtlNoc {
                 if has_stall {
                     sens.push(cnt);
                 }
-                k.process(&sens, move |ctx| {
+                let mut reads: Vec<SigId> = sts.to_vec();
+                reads.extend([my_sel, cnt]);
+                if room_sig != usize::MAX {
+                    reads.push(room_sig);
+                }
+                let reads = uniq(reads);
+                k.process_rw("fwd-mux", &sens, &reads, &[out], move |ctx| {
                     if nf.stalled(ctx.read(cnt)) {
                         ctx.write(out, 0);
                         return;
@@ -460,7 +493,16 @@ impl RtlNoc {
                 let ctrls = ctrl[r];
                 let rooms: [SigId; NUM_PORTS] = core::array::from_fn(|o| room_in_sig(r, o));
                 let nf = nfs[r].clone();
-                k.process(&[clk], move |ctx| {
+                let reads = uniq(
+                    [clk, cnt]
+                        .into_iter()
+                        .chain(ctrls)
+                        .chain(sels)
+                        .chain(sts)
+                        .chain(rooms.into_iter().filter(|&s| s != usize::MAX))
+                        .collect(),
+                );
+                k.process_rw("switch-ctrl", &[clk], &reads, &ctrls, move |ctx| {
                     if ctx.read(clk) != 1 {
                         return;
                     }
@@ -480,8 +522,10 @@ impl RtlNoc {
                                 room_from_bits(ctx.read(rooms[o]))[vc as usize]
                             };
                             if room_ok {
-                                let f = q_st_front(ctx.read(sts[q as usize]))
-                                    .expect("granted queue has a front flit");
+                                let f =
+                                    q_st_front(ctx.read(sts[q as usize])).unwrap_or_else(|| {
+                                        unreachable!("arbiter granted empty queue {q}")
+                                    });
                                 if f.kind.is_head() {
                                     inner[vc as usize] = ((q as usize + 1) % NUM_QUEUES) as u8;
                                 }
@@ -505,7 +549,8 @@ impl RtlNoc {
                 let my_offer = offer[r];
                 let ver = iface_ver[r];
                 let icfg = iface_cfg;
-                k.process(&[ver, my_room, cnt], move |ctx| {
+                let sens = [ver, my_room, cnt];
+                k.process_rw("iface-offer", &sens, &sens, &[my_offer], move |ctx| {
                     let st = st.borrow();
                     let room_local = room_from_bits(ctx.read(my_room));
                     let pick = iface_pick(&st.regs, &icfg, &st.rings, &room_local, ctx.read(cnt));
@@ -524,7 +569,13 @@ impl RtlNoc {
                 let ver = iface_ver[r];
                 let icfg = iface_cfg;
                 let nf = nfs[r].clone();
-                k.process(&[clk], move |ctx| {
+                let reads = uniq(
+                    [clk, cnt, my_room, local_fwd]
+                        .into_iter()
+                        .chain(wr)
+                        .collect(),
+                );
+                k.process_rw("iface-clock", &[clk], &reads, &[ver], move |ctx| {
                     if ctx.read(clk) != 1 {
                         return;
                     }
@@ -570,6 +621,17 @@ impl RtlNoc {
     /// Kernel activity counters.
     pub fn kernel_stats(&self) -> EventStats {
         self.kernel.stats()
+    }
+
+    /// The underlying event kernel (static introspection).
+    pub fn kernel(&self) -> &EventKernel {
+        &self.kernel
+    }
+
+    /// The host-poked signals (stimuli write pointers): external
+    /// drivers for the spec-graph adapter.
+    pub fn poked_signals(&self) -> Vec<SigId> {
+        self.wr_sigs.iter().flatten().copied().collect()
     }
 }
 

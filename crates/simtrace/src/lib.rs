@@ -36,7 +36,9 @@
 //! simtrace::json::validate(&registry.snapshot_json()).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod json;
 pub mod metrics;

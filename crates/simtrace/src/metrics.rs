@@ -199,7 +199,10 @@ impl Registry {
     /// with the same identity return handles to the same counter.
     pub fn counter(&self, name: &str, labels: &[(&str, String)]) -> Counter {
         let id = MetricId::new(name, labels);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some((_, c)) = inner.counters.iter().find(|(i, _)| *i == id) {
             return c.clone();
         }
@@ -211,7 +214,10 @@ impl Registry {
     /// Get or register the gauge `name` with `labels`.
     pub fn gauge(&self, name: &str, labels: &[(&str, String)]) -> Gauge {
         let id = MetricId::new(name, labels);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some((_, g)) = inner.gauges.iter().find(|(i, _)| *i == id) {
             return g.clone();
         }
@@ -223,7 +229,10 @@ impl Registry {
     /// Get or register the histogram `name` with `labels`.
     pub fn hist(&self, name: &str, labels: &[(&str, String)]) -> Hist {
         let id = MetricId::new(name, labels);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some((_, h)) = inner.hists.iter().find(|(i, _)| *i == id) {
             return h.clone();
         }
@@ -235,7 +244,10 @@ impl Registry {
     /// Render a deterministic JSON snapshot of every registered metric
     /// (sorted by name, then labels).
     pub fn snapshot_json(&self) -> String {
-        let inner = self.inner.lock().unwrap();
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::with_capacity(4096);
         out.push_str("{\"counters\":[");
         let mut counters: Vec<_> = inner.counters.iter().collect();
@@ -313,7 +325,10 @@ impl Registry {
 
     /// Number of registered metrics (all kinds).
     pub fn len(&self) -> usize {
-        let inner = self.inner.lock().unwrap();
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.counters.len() + inner.gauges.len() + inner.hists.len()
     }
 
@@ -325,7 +340,10 @@ impl Registry {
     /// Current value of a registered counter (tests and reports).
     pub fn counter_value(&self, name: &str, labels: &[(&str, String)]) -> Option<u64> {
         let id = MetricId::new(name, labels);
-        let inner = self.inner.lock().unwrap();
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner
             .counters
             .iter()
@@ -336,7 +354,10 @@ impl Registry {
     /// Current value of a registered gauge.
     pub fn gauge_value(&self, name: &str, labels: &[(&str, String)]) -> Option<i64> {
         let id = MetricId::new(name, labels);
-        let inner = self.inner.lock().unwrap();
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner
             .gauges
             .iter()

@@ -226,7 +226,11 @@ impl Tracer {
             track,
             args: vec![("name", ArgValue::Str(name.to_string()))],
         };
-        inner.events.lock().unwrap().push(ev);
+        inner
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ev);
     }
 
     /// Record an instant event.
@@ -248,7 +252,11 @@ impl Tracer {
             track: 0,
             args: args.to_vec(),
         };
-        inner.events.lock().unwrap().push(ev);
+        inner
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ev);
     }
 
     /// Record a counter sample (renders as a graph track in Perfetto).
@@ -265,7 +273,11 @@ impl Tracer {
             track: 0,
             args: values.iter().map(|&(k, v)| (k, ArgValue::F64(v))).collect(),
         };
-        inner.events.lock().unwrap().push(ev);
+        inner
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ev);
     }
 
     fn record_span(
@@ -289,14 +301,21 @@ impl Tracer {
             track,
             args,
         };
-        inner.events.lock().unwrap().push(ev);
+        inner
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ev);
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.inner
-            .as_ref()
-            .map_or(0, |i| i.events.lock().unwrap().len())
+        self.inner.as_ref().map_or(0, |i| {
+            i.events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len()
+        })
     }
 
     /// True when no events were recorded (or the tracer is disabled).
@@ -311,7 +330,10 @@ impl Tracer {
         let mut out = String::with_capacity(64 * self.len() + 64);
         out.push_str("{\"traceEvents\":[");
         if let Some(inner) = self.inner.as_ref() {
-            let events = inner.events.lock().unwrap();
+            let events = inner
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             for (i, e) in events.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -327,7 +349,10 @@ impl Tracer {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(64 * self.len());
         if let Some(inner) = self.inner.as_ref() {
-            let events = inner.events.lock().unwrap();
+            let events = inner
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             for e in events.iter() {
                 e.write_json(&mut out);
                 out.push('\n');
@@ -349,7 +374,12 @@ impl Tracer {
     /// Names of all recorded events (tests).
     pub fn event_names(&self) -> Vec<&'static str> {
         self.inner.as_ref().map_or(Vec::new(), |i| {
-            i.events.lock().unwrap().iter().map(|e| e.name).collect()
+            i.events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter()
+                .map(|e| e.name)
+                .collect()
         })
     }
 }

@@ -1,0 +1,131 @@
+//! Iterative Tarjan strongly-connected components.
+//!
+//! The schedule derivation condenses the *full* block graph (every
+//! producer→consumer edge, registered or combinational): a topological
+//! order over the condensation is exactly the order in which every
+//! block's register-only inputs are already settled when it is reached,
+//! which is what licenses the §4.1 single evaluation for singleton
+//! components. Tarjan emits components in reverse topological order of
+//! the condensation, so the schedule is the reversed emission order.
+
+/// Compute the strongly-connected components of a directed graph given
+/// as an adjacency list. Returns the components in **reverse
+/// topological order** of the condensation (Tarjan's emission order: a
+/// component is finished only after everything it reaches). Each
+/// component's node list is sorted ascending.
+pub fn strongly_connected_components(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS frame: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == UNVISITED {
+                    frames.push((w, 0));
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap_or_else(|| unreachable!("scc stack"));
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_singletons_in_reverse_topo_order() {
+        // 0 → 1 → 2
+        let adj = vec![vec![1], vec![2], vec![]];
+        let comps = strongly_connected_components(&adj);
+        assert_eq!(comps, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn ring_is_one_component() {
+        let adj = vec![vec![1], vec![2], vec![0]];
+        let comps = strongly_connected_components(&adj);
+        assert_eq!(comps, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn mixed_graph_condenses() {
+        // {0,1} ⇄ cycle, feeding 2 → 3; 4 isolated.
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![], vec![]];
+        let comps = strongly_connected_components(&adj);
+        // Reverse topo: 3 before 2 before {0,1}; 4 anywhere independent.
+        let pos = |needle: &[usize]| {
+            comps
+                .iter()
+                .position(|c| c == needle)
+                .unwrap_or_else(|| panic!("missing {needle:?} in {comps:?}"))
+        };
+        assert!(pos(&[3]) < pos(&[2]));
+        assert!(pos(&[2]) < pos(&[0, 1]));
+        assert_eq!(comps.len(), 4);
+    }
+
+    #[test]
+    fn self_loop_is_still_a_singleton() {
+        let adj = vec![vec![0]];
+        let comps = strongly_connected_components(&adj);
+        assert_eq!(comps, vec![vec![0]]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // 50k-node chain: a recursive Tarjan would blow the stack.
+        let n = 50_000;
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
+        let comps = strongly_connected_components(&adj);
+        assert_eq!(comps.len(), n);
+        assert_eq!(comps[0], vec![n - 1]);
+    }
+}

@@ -16,7 +16,9 @@
 //! * [`series`] — (x, y…) series collection and CSV export for the
 //!   figure-reproducing sweeps.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod histogram;
 pub mod latency;

@@ -69,11 +69,14 @@ impl GtAllocator {
             if port == Port::Local {
                 return links;
             }
+            let dir = port
+                .direction()
+                .unwrap_or_else(|| unreachable!("non-Local route hop has a direction"));
             cur = self
                 .cfg
                 .topology
-                .neighbour(self.cfg.shape, cur, port.direction().expect("non-local"))
-                .expect("route used a missing link");
+                .neighbour(self.cfg.shape, cur, dir)
+                .unwrap_or_else(|| unreachable!("route stepped onto a missing link at {cur:?}"));
         }
         unreachable!("route did not terminate");
     }

@@ -36,7 +36,9 @@
 //! assert!(!window.offered.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 // Positional `for i in 0..n` loops indexing several parallel arrays are
 // the natural shape for port/node-indexed hardware code; iterator zips
 // would obscure which port is which.

@@ -157,7 +157,11 @@ impl StimuliGenerator {
                     .cfg
                     .be
                     .sample_gap(&mut self.node_rng[node])
-                    .expect("load > 0");
+                    .unwrap_or_else(|| {
+                        // `next_be` is only armed when the offered load is
+                        // positive, and the load is immutable after build.
+                        unreachable!("armed BE generator has zero load")
+                    });
                 self.next_be[node] = Some(t + gap);
             }
         }

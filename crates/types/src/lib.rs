@@ -19,11 +19,16 @@
 //!   of 256 routers").
 //! * [`config`] — router and network configuration (queue depth, shape,
 //!   topology) shared by all engines.
+//! * [`diag`] — typed machine-readable diagnostics emitted by the static
+//!   spec analyzers (`speccheck`, `SystemSpec::check`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bits;
 pub mod config;
+pub mod diag;
 pub mod fault;
 pub mod flit;
 pub mod geom;
@@ -31,6 +36,7 @@ pub mod packet;
 pub mod topology;
 
 pub use config::{NetworkConfig, RouterConfig, BE_VCS, GT_VCS, NUM_PORTS, NUM_QUEUES, NUM_VCS};
+pub use diag::{Diagnostic, Severity, Site};
 pub use fault::{FaultPlan, InjectFaults, LinkFault, LinkFaultKind, NodeFaults, Window};
 pub use flit::{Flit, FlitKind, LinkFwd};
 pub use geom::{Coord, Direction, NodeId, Port};

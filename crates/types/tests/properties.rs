@@ -4,6 +4,7 @@
 //! stream so the suite needs no external dependencies and every failure
 //! reproduces exactly.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc_types::bits::{get_bits, set_bits, words_for_bits};
 use noc_types::{Coord, Flit, FlitKind, LinkFwd, NodeId, PacketSpec, Reassembler, TrafficClass};
 

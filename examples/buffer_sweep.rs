@@ -12,6 +12,7 @@
 //! cargo run --release --example buffer_sweep
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{run_fig1_point, NativeNoc, RunConfig};
 use noc_types::{NetworkConfig, Topology};
 use platform::energy::noc_types_run::RunLike;

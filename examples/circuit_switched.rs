@@ -15,6 +15,7 @@
 //! cargo run --release --example circuit_switched
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{run_fig1_point, CsNoc, RunConfig, SeqNoc};
 use noc_types::{Coord, NetworkConfig, Topology};
 use stats::Table;

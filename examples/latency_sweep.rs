@@ -11,6 +11,7 @@
 //! cargo run --release --example latency_sweep [--csv]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{fig1_guarantee, run_fig1_point, NativeNoc, RunConfig};
 use noc_types::NetworkConfig;
 use soc_sim::par_map;

@@ -16,6 +16,7 @@
 //! cargo run --release --example profile_phases
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{run_fig1_point, NativeNoc, RunConfig};
 use noc_types::NetworkConfig;
 use platform::{FpgaTimingModel, PhaseParams, Scenario};

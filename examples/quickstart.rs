@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{run_fig1_point, NativeNoc, RunConfig};
 use noc_types::{NetworkConfig, Topology};
 use stats::table::{fmt_f, fmt_hz};

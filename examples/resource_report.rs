@@ -11,6 +11,7 @@
 //! cargo run --release --example resource_report
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use platform::{FpgaDevice, ResourceModel};
 use stats::Table;
 use vc_router::RegisterLayout;

@@ -8,6 +8,7 @@
 //! cargo run --release --example saturation [--csv]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::analysis::{saturation_load, saturation_sweep, to_series};
 use noc::{NativeNoc, NocEngine, RunConfig};
 use noc_types::{NetworkConfig, Topology};

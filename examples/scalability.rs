@@ -9,6 +9,7 @@
 //! cargo run --release --example scalability
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use platform::{FpgaDevice, FpgaTimingModel, PhaseParams, ResourceModel, Scenario};
 use stats::table::fmt_hz;
 use stats::Table;

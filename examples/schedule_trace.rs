@@ -13,6 +13,7 @@
 //! cargo run --release --example schedule_trace
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use seqsim::demo::{comb_demo, registered_demo};
 use seqsim::{DynamicEngine, StaticEngine};
 

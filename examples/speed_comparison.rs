@@ -13,6 +13,7 @@
 //! cargo run --release --example speed_comparison [--quick]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use cyclesim::CycleNoc;
 use noc::{run_fig1_point, NativeNoc, NocEngine, RunConfig, SeqNoc};
 use noc_types::NetworkConfig;

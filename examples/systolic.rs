@@ -7,6 +7,7 @@
 //! cargo run --release --example systolic
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use seqsim::systolic::{reference_multiply, SystolicArray};
 use stats::Table;
 

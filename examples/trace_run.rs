@@ -12,6 +12,7 @@
 //! `kernel.cycle` instant per simulated cycle plus a `kernel.deltas`
 //! counter track, and `noc.occupancy` graphs the queued flits per VC.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{EngineKind, ObsConfig, RunConfig, SimBuilder};
 use noc_types::{NetworkConfig, Topology};
 use simtrace::{Registry, Tracer};

@@ -7,6 +7,7 @@
 //! cargo run --release --example traffic_patterns
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{run, NativeNoc, RunConfig};
 use noc_types::{Coord, NetworkConfig, Topology};
 use soc_sim::par_map;

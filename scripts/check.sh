@@ -17,6 +17,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> speclint (zero error-severity diagnostics on built-in topologies)"
+./target/release/speclint --all-topologies --format json --out target/speclint_report.json
+
 echo "==> sharded differential suite (bit-identity vs SeqNoc)"
 cargo test -q -p noc --test sharded_differential
 

@@ -14,17 +14,24 @@
 //!   phase alone* via [`RunReport::sim_cycles_per_sec`].
 //!
 //! Plus a `seqsim-naive` row (the retained full-rescan scheduler) as the
-//! baseline the incremental worklist is measured against, an idle
-//! scaling sweep from 2 to 256 routers for the sequential and native
-//! kernels, and a `seqsim-sharded` thread sweep (1 → the machine's CPU
-//! count) on both 6x6 workloads. Every row carries a `threads` field
-//! (1 for the single-threaded engines).
+//! baseline the incremental worklist is measured against, a
+//! `seqsim-dynamic` row (the same engine with the analyzer-derived
+//! hybrid schedule switched off) for the dynamic-vs-hybrid comparison,
+//! an idle scaling sweep from 2 to 256 routers for the sequential and
+//! native kernels, and a `seqsim-sharded` thread sweep (1 → the
+//! machine's CPU count) on both 6x6 workloads. Every row carries a
+//! `threads` field (1 for the single-threaded engines) and a `schedule`
+//! field: `"hybrid"` iff the engine adopted the `speccheck` SCC
+//! schedule at build time, `"dynamic"` for every pure delta-driven run.
+//! A final `speccheck/analyze` row times the build-time analyzer pass
+//! itself (spec assembly + graph extraction + condensation + lints).
 //!
 //! `--quick` shrinks every cycle budget and the thread sweep (the CI
 //! smoke configuration); the output schema is identical. The JSON is
 //! self-checked with [`simtrace::json::validate`] before it is written.
 
-use noc::{run_fig1_point, EngineKind, NocEngine, RunConfig, RunReport};
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use noc::{run_fig1_point, EngineKind, NocEngine, RunConfig, RunReport, SchedulePolicy};
 use noc_types::{NetworkConfig, Topology};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -42,6 +49,9 @@ struct Row {
     /// Worker threads evaluating the network (1 for every engine except
     /// the sharded one).
     threads: usize,
+    /// `"hybrid"` when the engine adopted the analyzer's SCC-condensed
+    /// schedule at build time, `"dynamic"` otherwise.
+    schedule: &'static str,
     cycles: u64,
     wall_s: f64,
     cycles_per_sec: f64,
@@ -52,6 +62,9 @@ struct Row {
 struct EngineSpec {
     id: &'static str,
     kind: EngineKind,
+    /// Delta-cycle scheduling policy handed to the builder (only the
+    /// sequential worklist kind acts on it).
+    policy: SchedulePolicy,
     /// Idle cycle budget at 6x6 for the full (non-quick) run; loaded
     /// budgets come from the shared [`RunConfig`].
     idle_cycles: u64,
@@ -59,13 +72,27 @@ struct EngineSpec {
 
 impl EngineSpec {
     fn make(&self, cfg: NetworkConfig) -> Box<dyn NocEngine> {
-        soc_sim::sim(cfg).engine(self.kind).build()
+        soc_sim::sim(cfg)
+            .engine(self.kind)
+            .schedule(self.policy)
+            .build()
     }
 
     fn threads(&self) -> usize {
         match self.kind {
             EngineKind::Sharded { threads } => threads,
             _ => 1,
+        }
+    }
+
+    /// The `schedule` label the rows report: only the sequential
+    /// worklist engine under [`SchedulePolicy::Auto`] adopts the
+    /// analyzer's hybrid schedule.
+    fn schedule(&self) -> &'static str {
+        if self.kind == EngineKind::Seq && self.policy == SchedulePolicy::Auto {
+            "hybrid"
+        } else {
+            "dynamic"
         }
     }
 }
@@ -75,26 +102,37 @@ fn engines() -> Vec<EngineSpec> {
         EngineSpec {
             id: "native",
             kind: EngineKind::Native,
+            policy: SchedulePolicy::Auto,
             idle_cycles: 50_000,
         },
         EngineSpec {
             id: "seqsim",
             kind: EngineKind::Seq,
+            policy: SchedulePolicy::Auto,
+            idle_cycles: 20_000,
+        },
+        EngineSpec {
+            id: "seqsim-dynamic",
+            kind: EngineKind::Seq,
+            policy: SchedulePolicy::Dynamic,
             idle_cycles: 20_000,
         },
         EngineSpec {
             id: "seqsim-naive",
             kind: EngineKind::SeqNaive,
+            policy: SchedulePolicy::Dynamic,
             idle_cycles: 5_000,
         },
         EngineSpec {
             id: "cyclesim",
             kind: EngineKind::CycleSim,
+            policy: SchedulePolicy::Auto,
             idle_cycles: 20_000,
         },
         EngineSpec {
             id: "rtl",
             kind: EngineKind::Rtl,
+            policy: SchedulePolicy::Auto,
             idle_cycles: 5_000,
         },
     ]
@@ -139,6 +177,7 @@ fn bench_idle(
     id: &'static str,
     mut e: Box<dyn NocEngine>,
     threads: usize,
+    schedule: &'static str,
     cfg: NetworkConfig,
     cycles: u64,
 ) -> Row {
@@ -163,6 +202,7 @@ fn bench_idle(
         workload: "idle",
         routers: cfg.num_nodes(),
         threads,
+        schedule,
         cycles,
         wall_s: wall,
         cycles_per_sec: cycles as f64 / wall,
@@ -177,6 +217,7 @@ fn bench_loaded(
     id: &'static str,
     mut e: Box<dyn NocEngine>,
     threads: usize,
+    schedule: &'static str,
     cfg: NetworkConfig,
     rc: &RunConfig,
 ) -> Row {
@@ -200,6 +241,7 @@ fn bench_loaded(
         workload: "loaded",
         routers: cfg.num_nodes(),
         threads,
+        schedule,
         cycles: r.cycles,
         wall_s: sim_wall,
         cycles_per_sec: r.sim_cycles_per_sec(),
@@ -216,6 +258,8 @@ fn push_row(out: &mut String, row: &Row) {
     simtrace::json::write_str(out, row.kernel);
     out.push_str(", \"workload\": ");
     simtrace::json::write_str(out, row.workload);
+    out.push_str(", \"schedule\": ");
+    simtrace::json::write_str(out, row.schedule);
     let _ = write!(
         out,
         ", \"routers\": {}, \"threads\": {}, \"cycles\": {}, \"wall_s\": ",
@@ -263,12 +307,20 @@ fn main() {
             spec.id,
             spec.make(cfg),
             spec.threads(),
+            spec.schedule(),
             cfg,
             (spec.idle_cycles / div).max(200),
         );
         eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
         rows.push(row);
-        let row = bench_loaded(spec.id, spec.make(cfg), spec.threads(), cfg, &rc);
+        let row = bench_loaded(
+            spec.id,
+            spec.make(cfg),
+            spec.threads(),
+            spec.schedule(),
+            cfg,
+            &rc,
+        );
         eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
         rows.push(row);
     }
@@ -284,12 +336,13 @@ fn main() {
             "seqsim-sharded",
             mk(),
             threads,
+            "dynamic",
             cfg,
             (20_000 / div).max(200),
         );
         eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
         rows.push(row);
-        let row = bench_loaded("seqsim-sharded", mk(), threads, cfg, &rc);
+        let row = bench_loaded("seqsim-sharded", mk(), threads, "dynamic", cfg, &rc);
         eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
         rows.push(row);
     }
@@ -321,6 +374,7 @@ fn main() {
                 spec.id,
                 spec.make(swept),
                 spec.threads(),
+                spec.schedule(),
                 swept,
                 (4_000 / div).max(200),
             );
@@ -329,8 +383,37 @@ fn main() {
         }
     }
 
+    // Build-time analyzer cost on the bench network: spec assembly,
+    // graph extraction, SCC condensation and the lint passes — what
+    // every `SchedulePolicy::Auto` build pays before cycle zero.
+    let reps = if quick { 5u64 } else { 50 };
+    eprintln!("# speccheck analyzer ({reps} passes)");
+    let start = Instant::now();
+    let mut analysis = None;
+    for _ in 0..reps {
+        analysis = Some(soc_sim::sim(cfg).lint());
+    }
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let analysis = analysis.expect("at least one analyzer pass");
+    assert!(!analysis.has_errors(), "bench topology must lint clean");
+    let row = Row {
+        id: format!("speccheck/analyze/{}x{}", cfg.shape.w, cfg.shape.h),
+        engine: "speccheck",
+        kernel: "speccheck",
+        workload: "analyze",
+        routers: cfg.num_nodes(),
+        threads: 1,
+        schedule: "hybrid",
+        cycles: reps,
+        wall_s: wall,
+        cycles_per_sec: reps as f64 / wall,
+        deltas_per_sec: None,
+    };
+    eprintln!("  {:<32} {:>10.1} passes/s", row.id, row.cycles_per_sec);
+    rows.push(row);
+
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"soc-sim/bench_kernel/v2\",\n");
+    json.push_str("{\n  \"schema\": \"soc-sim/bench_kernel/v3\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,
@@ -338,7 +421,7 @@ fn main() {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     );
     json.push_str(
-        "  \"workloads\": {\"idle\": \"no traffic\", \"loaded\": \"fig1 GT + BE 0.10, seed 7, simulate phase only\"},\n",
+        "  \"workloads\": {\"idle\": \"no traffic\", \"loaded\": \"fig1 GT + BE 0.10, seed 7, simulate phase only\", \"analyze\": \"speccheck static pass, cycles = passes\"},\n",
     );
     json.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {

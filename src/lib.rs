@@ -17,7 +17,9 @@
 //! * [`traffic`], [`stats`], [`platform`] — traffic generation, statistics
 //!   and the ARM+FPGA platform model.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod par;
 

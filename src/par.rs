@@ -85,7 +85,9 @@ pub(crate) fn par_map_chunked<T: Send, U: Send>(
                     }
                     // Uncontended by construction: the atomic index hands
                     // each chunk to exactly one worker.
-                    let mut guard = tasks[k].lock().unwrap();
+                    let mut guard = tasks[k]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     let (batch, slots) = &mut *guard;
                     for (off, (slot, item)) in
                         slots.iter_mut().zip(std::mem::take(batch)).enumerate()
@@ -98,7 +100,7 @@ pub(crate) fn par_map_chunked<T: Send, U: Send>(
                                 // and every downcast of that misses.
                                 first_panic
                                     .lock()
-                                    .unwrap()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                                     .get_or_insert((k * chunk + off, payload_message(p.as_ref())));
                             }
                         }
@@ -107,15 +109,19 @@ pub(crate) fn par_map_chunked<T: Send, U: Send>(
             })
             .collect();
         for h in handles {
-            h.join().expect("worker threads catch item panics");
+            h.join()
+                .unwrap_or_else(|_| unreachable!("worker threads catch item panics"));
         }
     });
     drop(tasks);
-    if let Some((index, msg)) = first_panic.into_inner().unwrap() {
+    if let Some((index, msg)) = first_panic
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
         resume_unwind(Box::new(format!("par_map item {index} panicked: {msg}")));
     }
     out.into_iter()
-        .map(|slot| slot.expect("every chunk was processed"))
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("every chunk was processed")))
         .collect()
 }
 

@@ -5,6 +5,7 @@
 //! half of the paper's "automatic transformations should be possible"
 //! remark about the register extraction.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc_types::{NetworkConfig, Topology};
 use seqsim::check::{check_block, random_probes};
 use seqsim::demo::{CombDemoKind, RegisteredDemoKind};

@@ -13,6 +13,7 @@
 //! Cases come from a deterministic splitmix64 stream, so every failure
 //! reproduces exactly without an external property-testing framework.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::diff::{assert_traces_equal, collect_trace};
 use noc::{run, NativeNoc, RunConfig, SeqNoc};
 use noc_types::{NetworkConfig, Topology};

@@ -3,6 +3,7 @@
 //! surplus scales with the offered load at roughly the paper's 1.5–2×
 //! factor; an idle network needs no re-evaluations at all.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{run_fig1_point, NocEngine, RunConfig, SeqNoc};
 use noc_types::{NetworkConfig, Topology};
 use vc_router::IfaceConfig;

@@ -6,6 +6,7 @@
 //! identical seeded traffic — "without compromising the cycle and bit
 //! level accuracy" (§1).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::diff::{assert_traces_equal, collect_trace, Trace};
 use noc::EngineKind;
 use noc_types::{NetworkConfig, Topology};

@@ -4,6 +4,7 @@
 //! load, GT packets (256 B) are slower than BE packets (10 B), and the
 //! guarantee line is flat.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{fig1_guarantee, run_fig1_point, NativeNoc, RunConfig};
 use noc_types::NetworkConfig;
 use vc_router::IfaceConfig;

@@ -3,6 +3,7 @@
 //! the analytic guarantee regardless of BE interference — the property
 //! Fig 1 plots and §2.1 argues from the round-robin arbitration.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{run, NativeNoc, RunConfig};
 use noc_types::{NetworkConfig, Topology};
 use traffic::{BeConfig, GtAllocator, StimuliGenerator, TrafficConfig};

@@ -4,6 +4,7 @@
 //! router."): per-node queue depths, one shared block implementation per
 //! distinct depth, engines still bit-identical.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::diff::{assert_traces_equal, collect_trace};
 use noc::{NativeNoc, SeqNoc};
 use noc_types::{NetworkConfig, Topology};

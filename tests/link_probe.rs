@@ -4,6 +4,7 @@
 //! must agree bit-for-bit across engines, and link utilisation must track
 //! offered load.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use cyclesim::CycleNoc;
 use noc::{NativeNoc, NocEngine, SeqNoc};
 use noc_types::{NetworkConfig, Topology};

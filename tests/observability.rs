@@ -4,6 +4,7 @@
 //! and (b) a valid metrics snapshot carrying delta-cycle counters,
 //! re-evaluation counts and per-VC occupancy gauges.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{EngineKind, ObsConfig, RunConfig, SimBuilder};
 use noc_types::{NetworkConfig, Topology, NUM_VCS};
 use simtrace::{json, lbl, Registry, Tracer};

@@ -3,6 +3,7 @@
 //! from 2 to 256 routers", §6). Smoke-checks both the native and the
 //! sequential engine at full scale.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{run, NativeNoc, RunConfig, SeqNoc};
 use noc_types::NetworkConfig;
 use traffic::{BeConfig, StimuliGenerator, TrafficConfig};

@@ -3,6 +3,7 @@
 //! buffers, pointers) in the host's address map (§5.1); reading it out
 //! and writing it back must resume a bit-identical simulation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::{NocEngine, SeqNoc};
 use noc_types::{NetworkConfig, Topology};
 use traffic::{BeConfig, StimuliGenerator, TrafficConfig};
