@@ -398,18 +398,6 @@ impl SystemSpec {
         }
     }
 
-    /// Deprecated panicking shim over [`check`](Self::check).
-    ///
-    /// # Panics
-    /// Panics with a description of every failed check.
-    #[deprecated(since = "0.1.0", note = "use `check()` and handle the diagnostics")]
-    pub fn validate(&self) {
-        if let Err(ds) = self.check() {
-            let msgs: Vec<String> = ds.iter().map(|d| d.to_string()).collect();
-            panic!("invalid SystemSpec:\n{}", msgs.join("\n"));
-        }
-    }
-
     /// The registered kinds.
     pub fn kinds(&self) -> &[Box<dyn BlockKind>] {
         &self.kinds
@@ -465,17 +453,6 @@ mod tests {
         assert_eq!(ds[0].code, codes::UNCONNECTED_INPUT);
         assert_eq!(ds[0].severity, Severity::Error);
         assert_eq!(ds[0].site, Site::InputPort { block: a, port: 0 });
-    }
-
-    #[test]
-    #[should_panic(expected = "unconnected")]
-    #[allow(deprecated)]
-    fn deprecated_validate_shim_still_panics() {
-        let mut spec = SystemSpec::new();
-        let k = spec.add_kind(Box::new(RegisteredDemoKind::new(0)));
-        let a = spec.add_block(k);
-        spec.sink((a, 0));
-        spec.validate();
     }
 
     #[test]

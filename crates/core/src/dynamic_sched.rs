@@ -15,6 +15,7 @@ use crate::counters::DeltaStats;
 use crate::error::SimError;
 use crate::instrument::KernelInstr;
 use crate::links::LinkMemory;
+use crate::profiler::KernelProfiler;
 use crate::side::SideMem;
 use crate::state::StateMemory;
 use crate::trace::{ScheduleTrace, TraceEvent};
@@ -177,6 +178,9 @@ pub struct DynamicEngine {
     /// `try_*` call returns a clone of it: a diverged engine holds a
     /// half-settled cycle whose state must not be advanced further.
     broken: Option<SimError>,
+    /// Per-block/per-SCC profiler (`None` = off: the hot path pays one
+    /// pointer null-check per evaluation, nothing else).
+    profiler: Option<Box<KernelProfiler>>,
 }
 
 impl DynamicEngine {
@@ -252,6 +256,7 @@ impl DynamicEngine {
             cap_factor: 64,
             delta_in_cycle: 0,
             broken: None,
+            profiler: None,
         }
     }
 
@@ -313,6 +318,22 @@ impl DynamicEngine {
         self.instr = instr;
     }
 
+    /// Attach a per-block/per-SCC profiler (see [`KernelProfiler`]).
+    /// Replaces any previous profiler. Call between system cycles.
+    pub fn attach_profiler(&mut self, p: KernelProfiler) {
+        self.profiler = Some(Box::new(p));
+    }
+
+    /// Detach and return the profiler, if one was attached.
+    pub fn take_profiler(&mut self) -> Option<Box<KernelProfiler>> {
+        self.profiler.take()
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&KernelProfiler> {
+        self.profiler.as_deref()
+    }
+
     /// Is block `b` stable? (evaluated, and every adjacent link read.)
     fn stable(&self, b: usize) -> bool {
         if !self.evaluated[b] {
@@ -328,6 +349,10 @@ impl DynamicEngine {
     /// Evaluate block `b` once (one delta cycle). Returns `true` when any
     /// output link value changed.
     fn eval_block(&mut self, b: usize, delta: u32) -> bool {
+        // Timestamp covers the whole evaluation (input gather through
+        // worklist updates), so per-block self time sums to the loop's
+        // wall time minus only the scheduler's block-picking overhead.
+        let prof_t0 = self.profiler.as_ref().and_then(|p| p.begin_eval());
         let inst = &self.spec.blocks()[b];
         for (i, &l) in inst.inputs.iter().enumerate() {
             self.in_buf[i] = self.links.value(l);
@@ -375,6 +400,9 @@ impl DynamicEngine {
             }
         }
         self.instr.record_eval(self.cycle, delta, b, re_evaluation);
+        if let Some(p) = self.profiler.as_mut() {
+            p.end_eval(b, re_evaluation, prof_t0);
+        }
         if let Some(t) = self.trace.as_mut() {
             t.push(TraceEvent {
                 system_cycle: self.cycle,
@@ -426,6 +454,9 @@ impl DynamicEngine {
         self.delta_in_cycle = 0;
         if self.sweep_from_head {
             self.rr_pos = 0;
+        }
+        if let Some(p) = self.profiler.as_mut() {
+            p.begin_cycle();
         }
     }
 
@@ -550,6 +581,9 @@ impl DynamicEngine {
         self.state.swap();
         self.stats.record_cycle(delta as u64, n as u64);
         self.instr.record_cycle(self.cycle, delta as u64, n as u64);
+        if let Some(p) = self.profiler.as_mut() {
+            p.end_cycle();
+        }
         self.cycle += 1;
         self.delta_in_cycle = 0;
     }

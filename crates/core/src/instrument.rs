@@ -9,7 +9,7 @@
 //! registered counters and an enabled tracer; the engine code does not
 //! change.
 
-use simtrace::{lbl, Counter, Registry, Tracer};
+use simtrace::{lbl, Counter, Hist, Registry, Tracer};
 
 /// Instrumentation handles threaded through a delta-cycle engine.
 #[derive(Clone)]
@@ -29,6 +29,10 @@ pub struct KernelInstr {
     /// scheduler — a block evaluated again after its first evaluation
     /// of the system cycle (`kernel.hbr_retries`).
     pub hbr_retries: Counter,
+    /// Distribution of delta cycles per system cycle
+    /// (`kernel.deltas_per_cycle`) — the percentile view of the paper's
+    /// "1.5–2× input load" re-evaluation overhead.
+    pub deltas_hist: Hist,
 }
 
 impl KernelInstr {
@@ -40,6 +44,7 @@ impl KernelInstr {
             evals: Counter::detached(),
             re_evals: Counter::detached(),
             hbr_retries: Counter::detached(),
+            deltas_hist: Hist::detached(),
         }
     }
 
@@ -54,6 +59,7 @@ impl KernelInstr {
             evals: registry.counter("kernel.evals", &labels),
             re_evals: registry.counter("kernel.re_evals", &labels),
             hbr_retries: registry.counter("kernel.hbr_retries", &labels),
+            deltas_hist: registry.hist("kernel.deltas_per_cycle", &labels),
         }
     }
 
@@ -66,6 +72,7 @@ impl KernelInstr {
         self.evals.add(deltas);
         let re = deltas.saturating_sub(blocks);
         self.re_evals.add(re);
+        self.deltas_hist.record(deltas);
         if self.tracer.enabled() {
             self.tracer.instant(
                 "kernel.cycle",

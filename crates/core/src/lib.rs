@@ -76,6 +76,7 @@ pub mod error;
 pub mod instrument;
 pub mod links;
 pub mod pool;
+pub mod profiler;
 pub mod side;
 pub mod state;
 pub mod static_sched;
@@ -92,6 +93,7 @@ pub use error::SimError;
 pub use instrument::KernelInstr;
 pub use links::LinkMemory;
 pub use pool::{BarrierPoisoned, ScopedTask, SpinBarrier, ThreadPool};
+pub use profiler::KernelProfiler;
 pub use side::{SideMem, SideView};
 pub use state::StateMemory;
 pub use static_sched::StaticEngine;

@@ -105,6 +105,7 @@ pub struct SimBuilder {
     kind: EngineKind,
     schedule: SchedulePolicy,
     faults: Option<Arc<FaultPlan>>,
+    profile: Option<u64>,
     factories: Vec<(EngineKind, EngineFactory)>,
 }
 
@@ -118,6 +119,7 @@ impl SimBuilder {
             kind: EngineKind::Seq,
             schedule: SchedulePolicy::default(),
             faults: None,
+            profile: None,
             factories: Vec::new(),
         }
     }
@@ -151,6 +153,16 @@ impl SimBuilder {
             "fault plan sized for a different network"
         );
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attach a graph-attributed kernel profiler to the built engine,
+    /// timing every `sample_every`-th system cycle (see
+    /// [`NocEngine::attach_profiler`]). Kinds without a delta-cycle
+    /// kernel (native, external factories without profiler support)
+    /// ignore it — [`NocEngine::take_profile`] then returns `None`.
+    pub fn profile(mut self, sample_every: u64) -> Self {
+        self.profile = Some(sample_every);
         self
     }
 
@@ -188,6 +200,15 @@ impl SimBuilder {
     /// schedule is adopted ([`EngineKind::Seq`] only — the naive kind
     /// exists precisely to keep the unoptimised scheduler measurable).
     pub fn try_build(self) -> Result<Box<dyn NocEngine>, SimError> {
+        let profile = self.profile;
+        let mut engine = self.try_build_engine()?;
+        if let Some(sample_every) = profile {
+            engine.attach_profiler(sample_every);
+        }
+        Ok(engine)
+    }
+
+    fn try_build_engine(self) -> Result<Box<dyn NocEngine>, SimError> {
         // Most-recent registration wins, including over built-ins.
         if let Some((_, f)) = self.factories.iter().rev().find(|(k, _)| *k == self.kind) {
             return Ok(f(self.cfg, self.iface, self.faults));
@@ -377,6 +398,26 @@ mod tests {
         }
         assert!(!runs[0].is_empty());
         assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn profile_knob_attaches_a_profiler() {
+        let mut e = SimBuilder::new(cfg())
+            .engine(EngineKind::Seq)
+            .profile(1)
+            .build();
+        e.run(5);
+        let report = e.take_profile(0.01).expect("seq engine profiles");
+        assert_eq!(report.engine, "seqsim");
+        assert_eq!(report.entries.len(), cfg().num_nodes());
+        assert!(report.entries.iter().all(|b| b.evals >= 5));
+        // The native golden model has no delta-cycle kernel to profile.
+        let mut native = SimBuilder::new(cfg())
+            .engine(EngineKind::Native)
+            .profile(1)
+            .build();
+        native.run(5);
+        assert!(native.take_profile(0.01).is_none());
     }
 
     #[test]

@@ -95,6 +95,26 @@ pub trait NocEngine {
         let _ = (registry, tracer);
     }
 
+    /// Attach a per-block/per-SCC profiler to the engine's kernel,
+    /// timing every `sample_every`-th system cycle (see
+    /// `seqsim::KernelProfiler`). Returns `false` where unsupported.
+    /// Sequential backends attribute blocks through the `speccheck`
+    /// condensation; re-attaching resets any accumulated profile.
+    fn attach_profiler(&mut self, sample_every: u64) -> bool {
+        let _ = sample_every;
+        false
+    }
+
+    /// Harvest the profile accumulated since
+    /// [`attach_profiler`](Self::attach_profiler), detaching the
+    /// profiler. `wall_s` is the caller-measured wall clock of the
+    /// profiled region (flows into the report). `None` when no profiler
+    /// was attached.
+    fn take_profile(&mut self, wall_s: f64) -> Option<simtrace::ProfileReport> {
+        let _ = wall_s;
+        None
+    }
+
     /// Delta-cycle statistics (sequential simulator only).
     fn delta_stats(&self) -> Option<DeltaStats> {
         None

@@ -73,12 +73,8 @@ pub use cs::{Circuit, CsError, CsNativeNoc, CsNoc};
 pub use engine::NocEngine;
 pub use fault::{random_plan, FaultPlan, InjectApplier};
 pub use native::NativeNoc;
-#[allow(deprecated)]
-pub use obs::RunInstr;
 pub use obs::{NocObserver, ObsConfig};
 pub use runner::{fig1_guarantee, run, run_fig1_point, RunConfig, RunReport};
-#[allow(deprecated)]
-pub use runner::{run_instrumented, run_or_panic};
 pub use seq::SeqNoc;
 pub use seqsim::SimError;
 pub use shard::ShardedSeqEngine;

@@ -189,8 +189,13 @@ pub fn run(
     } else {
         None
     };
+    let mut framer = instr
+        .frames_active()
+        .then(|| simtrace::FrameStreamer::new(instr.registry.clone()));
 
     let faulty = engine.fault_plan().is_some();
+    let fault_drops =
+        (instr.enabled() && faulty).then(|| instr.registry.counter("fault.injected_drops", &[]));
     let mut inject = engine
         .fault_plan()
         .and_then(|p| InjectApplier::from_plan(p, n));
@@ -252,7 +257,14 @@ pub fn run(
                     // depend only on packet ordinals — identical for
                     // every engine.
                     let entries = match inject.as_mut() {
-                        Some(ap) => ap.filter(node, vc, entries),
+                        Some(ap) => {
+                            let before = entries.len();
+                            let kept = ap.filter(node, vc, entries);
+                            if let Some(c) = fault_drops.as_ref() {
+                                c.add((before - kept.len()) as u64);
+                            }
+                            kept
+                        }
                         None => entries,
                     };
                     backlog[node][vc].extend(entries);
@@ -304,6 +316,7 @@ pub fn run(
             let mut span = instr.tracer.span("phase.simulate", "runner");
             span.arg("cycles", t1 - t0);
             prof.time_work("simulate", t1 - t0, || -> Result<(), SimError> {
+                let framing = framer.is_some();
                 match checker.as_mut() {
                     // Checked runs step one cycle at a time so structural
                     // bounds are audited at every clock edge.
@@ -320,20 +333,51 @@ pub fn run(
                                     obs.sample(engine);
                                 }
                             }
-                        }
-                    }
-                    None => match observer.as_ref() {
-                        Some(obs) if instr.sample_every > 0 => {
-                            let mut c = t0;
-                            while c < t1 {
-                                let chunk = instr.sample_every.min(t1 - c);
-                                engine.try_run(chunk)?;
-                                c += chunk;
-                                obs.sample(engine);
+                            if framing && c.is_multiple_of(instr.frame_every) {
+                                if let Some(fr) = framer.as_mut() {
+                                    instr.emit_frame(&fr.cut(c));
+                                }
                             }
                         }
-                        _ => engine.try_run(t1 - t0)?,
-                    },
+                    }
+                    None => {
+                        let sampling = observer.is_some() && instr.sample_every > 0;
+                        if !sampling && !framing {
+                            engine.try_run(t1 - t0)?;
+                        } else {
+                            // Step to the next sample or frame boundary,
+                            // whichever comes first. Sample boundaries are
+                            // period-relative (as before); frame boundaries
+                            // are absolute system cycles, so frames line up
+                            // across periods.
+                            let mut c = t0;
+                            while c < t1 {
+                                let mut next = t1;
+                                if sampling {
+                                    next = next.min(
+                                        c + instr.sample_every - (c - t0) % instr.sample_every,
+                                    );
+                                }
+                                if framing {
+                                    next = next.min(c + instr.frame_every - c % instr.frame_every);
+                                }
+                                engine.try_run(next - c)?;
+                                c = next;
+                                if sampling
+                                    && (c == t1 || (c - t0).is_multiple_of(instr.sample_every))
+                                {
+                                    if let Some(obs) = observer.as_ref() {
+                                        obs.sample(engine);
+                                    }
+                                }
+                                if framing && c.is_multiple_of(instr.frame_every) {
+                                    if let Some(fr) = framer.as_mut() {
+                                        instr.emit_frame(&fr.cut(c));
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
                 Ok(())
             })?;
@@ -487,6 +531,13 @@ pub fn run(
     } else {
         None
     };
+    // A closing frame carries whatever moved since the last boundary —
+    // including the run-level gauges just published — then the sinks are
+    // flushed so files on disk are complete when `run` returns.
+    if let Some(fr) = framer.as_mut() {
+        instr.emit_frame(&fr.cut(engine.cycle()));
+        instr.finish_frames();
+    }
 
     Ok(RunReport {
         engine: engine.name(),
@@ -507,29 +558,6 @@ pub fn run(
         wall: started.elapsed(),
         cycles: engine.cycle(),
     })
-}
-
-/// Panicking shim over [`run`] for hosts that have no error channel.
-#[deprecated(note = "use run(), which returns Result<RunReport, SimError>")]
-pub fn run_or_panic(
-    engine: &mut dyn NocEngine,
-    gen: &mut StimuliGenerator,
-    rc: &RunConfig,
-) -> RunReport {
-    run(engine, gen, rc).unwrap_or_else(|e| panic!("simulation run failed: {e}"))
-}
-
-/// Former two-entry-point API: [`run`] with a separate instrumentation
-/// argument. Equivalent to `run` with `rc.obs = Some(instr.clone())`.
-#[deprecated(note = "fold the bundle into the config: run(engine, gen, &rc.with_obs(obs))")]
-pub fn run_instrumented(
-    engine: &mut dyn NocEngine,
-    gen: &mut StimuliGenerator,
-    rc: &RunConfig,
-    instr: &ObsConfig,
-) -> Result<RunReport, SimError> {
-    let rc = rc.clone().with_obs(instr.clone());
-    run(engine, gen, &rc)
 }
 
 /// Convenience: route, allocate and run the paper's Fig 1 workload at one
@@ -656,6 +684,77 @@ mod tests {
             run_fig1_point(&mut *e, 0.10, 7, &rc).expect("faulty run must not trip the checker");
         assert!(r.invariant_checks > 0);
         assert!(r.fault_dropped > 0, "stuck-idle plan dropped nothing");
+    }
+
+    #[test]
+    fn frames_stream_during_the_simulate_phase() {
+        let cfg = NetworkConfig::new(4, 4, Topology::Torus, 2);
+        let mut e = NativeNoc::new(cfg, IfaceConfig::default());
+        let buf = simtrace::FrameBuffer::new();
+        let obs = ObsConfig::new(64).with_frames(256, buf.clone());
+        let rc = RunConfig {
+            warmup: 500,
+            measure: 2_000,
+            drain: 500,
+            period: 512,
+            backlog_limit: 4_096,
+            obs: Some(obs),
+            check: false,
+        };
+        let r = run_fig1_point(&mut e, 0.05, 7, &rc).expect("clean run");
+        assert_eq!(r.cycles, 3_000);
+        let frames = buf.frames();
+        // A boundary every 256 cycles over 3000 cycles, plus the closing
+        // frame cut after the run-level gauges are published.
+        assert_eq!(frames.len(), 3_000 / 256 + 1, "{}", frames.len());
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.seq, i as u64, "frame seq must be dense");
+            simtrace::json::validate(&f.to_json()).expect("frame is valid JSON");
+        }
+        assert!(
+            frames.windows(2).all(|w| w[0].cycle < w[1].cycle),
+            "frame cycles must be strictly increasing"
+        );
+        let last = frames.last().expect("closing frame");
+        assert_eq!(last.cycle, 3_000);
+        assert!(
+            last.totals
+                .gauges
+                .iter()
+                .any(|(id, v, _)| id.name == "run.cycles" && *v == 3_000),
+            "closing frame carries the run-level gauges"
+        );
+        // The periodic frames carry link-activity deltas from the sampler.
+        assert!(
+            frames
+                .iter()
+                .any(|f| f.counters.iter().any(|(id, _)| id.name == "noc.samples")),
+            "sampled counters must appear as frame deltas"
+        );
+    }
+
+    #[test]
+    fn faulty_instrumented_run_counts_injection_drops() {
+        let cfg = NetworkConfig::new(4, 4, Topology::Torus, 4);
+        let plan = std::sync::Arc::new(crate::fault::random_plan(&cfg, 0xBEEF, 4_000));
+        let mut e = crate::build::SimBuilder::new(cfg)
+            .engine(crate::build::EngineKind::Native)
+            .faults(plan)
+            .build();
+        let obs = ObsConfig::new(0);
+        let registry = obs.registry.clone();
+        let rc = RunConfig {
+            warmup: 500,
+            measure: 3_000,
+            drain: 1_000,
+            period: 256,
+            backlog_limit: 4_096,
+            obs: Some(obs),
+            check: false,
+        };
+        run_fig1_point(&mut *e, 0.10, 7, &rc).expect("faulty run succeeds");
+        let drops = registry.counter_value("fault.injected_drops", &[]);
+        assert!(drops.is_some(), "drop counter registered on faulty runs");
     }
 
     #[test]

@@ -104,6 +104,18 @@ struct Shard {
     tracer: simtrace::Tracer,
     /// Trace track (Chrome tid) this shard's spans render on.
     track: u64,
+    /// Read the clock around stabilise/barrier segments? Off until
+    /// instrumentation is attached, so the dark path never calls
+    /// `Instant::now`.
+    timing: bool,
+    /// Nanoseconds spent stabilising + publishing (`shard.busy_ns`).
+    busy_ns: simtrace::Counter,
+    /// Nanoseconds spent inside the exchange barrier
+    /// (`shard.barrier_wait_ns`) — the imbalance signal: a shard with
+    /// little work waits while the slowest one computes.
+    wait_ns: simtrace::Counter,
+    /// Exchange rounds needed per system cycle (`shard.rounds`).
+    rounds_hist: simtrace::Hist,
 }
 
 /// The sharded parallel sequential-simulator engine.
@@ -298,6 +310,10 @@ impl ShardedSeqEngine {
                 last: Vec::new(),
                 tracer: simtrace::Tracer::disabled(),
                 track: 0,
+                timing: false,
+                busy_ns: simtrace::Counter::detached(),
+                wait_ns: simtrace::Counter::detached(),
+                rounds_hist: simtrace::Hist::detached(),
             });
         }
 
@@ -434,10 +450,17 @@ fn run_shard(
     mut round: u64,
     cycles: u64,
 ) -> Result<u64, WorkerAbort> {
+    // Busy/barrier-wait nanoseconds, accumulated locally and flushed to
+    // the shard's counters once per dispatch. Only measured when
+    // instrumentation turned `shard.timing` on — the dark path never
+    // reads the clock.
+    let mut busy = 0u64;
+    let mut wait = 0u64;
     for _ in 0..cycles {
         shard.engine.begin_cycle();
         let mut rounds_this_cycle = 0u64;
         loop {
+            let mut seg = shard.timing.then(std::time::Instant::now);
             if let Err(e) = shard.engine.try_stabilize() {
                 barrier.poison();
                 return Err(WorkerAbort::Primary(e));
@@ -455,8 +478,16 @@ fn run_shard(
                     flags[p].store(round, Ordering::Relaxed);
                 }
             }
+            if let Some(t0) = seg {
+                let now = std::time::Instant::now();
+                busy += (now - t0).as_nanos() as u64;
+                seg = Some(now);
+            }
             if barrier.try_wait().is_err() {
                 return Err(WorkerAbort::Secondary);
+            }
+            if let Some(t0) = seg {
+                wait += t0.elapsed().as_nanos() as u64;
             }
             let changed = flags[p].load(Ordering::Relaxed) == round;
             round += 1;
@@ -482,7 +513,12 @@ fn run_shard(
                     .write_boundary(dst, edges[e].banks[p].load(Ordering::Relaxed));
             }
         }
+        shard.rounds_hist.record(rounds_this_cycle);
         shard.engine.finish_cycle();
+    }
+    if shard.timing {
+        shard.busy_ns.add(busy);
+        shard.wait_ns.add(wait);
     }
     Ok(round)
 }
@@ -669,7 +705,56 @@ impl NocEngine for ShardedSeqEngine {
             registry
                 .gauge("shard.boundary_in", &labels)
                 .set(shard.inbound.len() as i64);
+            // Imbalance telemetry: compute vs barrier-wait time per
+            // worker, plus the rounds-to-stabilize distribution.
+            shard.timing = true;
+            shard.busy_ns = registry.counter("shard.busy_ns", &labels);
+            shard.wait_ns = registry.counter("shard.barrier_wait_ns", &labels);
+            shard.rounds_hist = registry.hist("shard.rounds", &labels);
         }
+    }
+
+    fn attach_profiler(&mut self, sample_every: u64) -> bool {
+        for shard in &mut self.shards {
+            let p =
+                crate::seq::attributed_profiler(shard.engine.spec(), sample_every, shard.node_lo);
+            shard.engine.attach_profiler(p);
+        }
+        true
+    }
+
+    fn take_profile(&mut self, wall_s: f64) -> Option<simtrace::ProfileReport> {
+        // Merge the per-shard reports into one: block indices become
+        // global node indices, SCC indices are offset per shard so they
+        // stay disjoint.
+        let mut merged: Option<simtrace::ProfileReport> = None;
+        let mut scc_base = 0usize;
+        for shard in &mut self.shards {
+            let Some(p) = shard.engine.take_profiler() else {
+                continue;
+            };
+            let r = p.report("seqsim-sharded", wall_s, shard.node_lo);
+            let m = merged.get_or_insert_with(|| simtrace::ProfileReport {
+                engine: r.engine.clone(),
+                cycles: r.cycles,
+                wall_s,
+                entries: Vec::new(),
+                sccs: Vec::new(),
+            });
+            let mut local_max = 0usize;
+            for mut e in r.entries {
+                local_max = local_max.max(e.scc + 1);
+                e.scc += scc_base;
+                m.entries.push(e);
+            }
+            for mut s in r.sccs {
+                local_max = local_max.max(s.scc + 1);
+                s.scc += scc_base;
+                m.sccs.push(s);
+            }
+            scc_base += local_max;
+        }
+        merged
     }
 
     fn stim_capacity(&self) -> usize {
@@ -891,5 +976,59 @@ mod tests {
         let chrome = t.to_chrome_json();
         assert!(chrome.contains("shard.run"), "per-shard spans: {chrome}");
         assert!(chrome.contains("\"tid\":2"), "per-shard track: {chrome}");
+
+        // Imbalance telemetry: every worker reports compute time and a
+        // rounds-to-stabilize distribution covering every cycle.
+        let snap = r.snapshot();
+        for shard in 0..2usize {
+            let labels = [("shard", lbl(shard))];
+            assert!(
+                r.counter_value("shard.busy_ns", &labels).unwrap_or(0) > 0,
+                "shard {shard} busy time"
+            );
+            assert!(
+                r.counter_value("shard.barrier_wait_ns", &labels).is_some(),
+                "shard {shard} barrier wait"
+            );
+            let rounds = snap.hist("shard.rounds", &labels).expect("rounds hist");
+            assert_eq!(rounds.count, 8, "one rounds sample per cycle");
+            assert!(rounds.max >= 1);
+        }
+    }
+
+    #[test]
+    fn sharded_profile_merges_all_nodes_with_disjoint_sccs() {
+        let cfg = NetworkConfig::new(3, 2, Topology::Torus, 2);
+        let mut e = ShardedSeqEngine::new(cfg, IfaceConfig::default(), 2);
+        assert!(e.take_profile(0.0).is_none(), "no profiler attached yet");
+        assert!(e.attach_profiler(1));
+        e.run(6);
+        let p = e.take_profile(0.25).expect("profile present");
+        assert_eq!(p.engine, "seqsim-sharded");
+        assert_eq!(p.cycles, 6);
+        assert!((p.wall_s - 0.25).abs() < 1e-12);
+        assert_eq!(p.entries.len(), 6, "one row per global node");
+        let mut blocks: Vec<usize> = p.entries.iter().map(|x| x.block).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, (0..6).collect::<Vec<_>>());
+        for row in &p.entries {
+            // At least one eval per cycle; boundary-exchange rounds may
+            // re-evaluate edge nodes on top.
+            assert!(row.evals >= 6, "evals {} < cycles", row.evals);
+            assert!(row.self_ns > 0, "sample_every=1 times every eval");
+        }
+        // SCC indices from different shards must not collide when the
+        // members differ.
+        for a in &p.entries {
+            for b in &p.entries {
+                if a.scc == b.scc {
+                    assert_eq!(
+                        a.fixed_point, b.fixed_point,
+                        "colliding SCC ids describe one SCC"
+                    );
+                }
+            }
+        }
+        assert!(e.take_profile(0.0).is_none(), "harvest detaches");
     }
 }

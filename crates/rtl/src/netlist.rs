@@ -131,6 +131,16 @@ pub struct RtlNoc {
     acc_rd: Vec<u16>,
     cycle: u64,
     faults: Option<Arc<FaultPlan>>,
+    instr: Option<RtlInstr>,
+}
+
+/// Registry handles publishing the event kernel's activity counters as
+/// `rtl.*` series (deltas added once per system cycle).
+struct RtlInstr {
+    events: simtrace::Counter,
+    activations: simtrace::Counter,
+    deltas: simtrace::Counter,
+    last: EventStats,
 }
 
 /// Per-queue register signals.
@@ -615,6 +625,7 @@ impl RtlNoc {
             acc_rd: vec![0; n],
             cycle: 0,
             faults,
+            instr: None,
         }
     }
 
@@ -657,6 +668,27 @@ impl NocEngine for RtlNoc {
         }
         self.kernel.advance_cycles(1);
         self.cycle += 1;
+        if let Some(i) = self.instr.as_mut() {
+            let s = self.kernel.stats();
+            i.events.add(s.events - i.last.events);
+            i.activations.add(s.activations - i.last.activations);
+            i.deltas.add(s.deltas - i.last.deltas);
+            i.last = s;
+        }
+    }
+
+    fn attach_instrumentation(
+        &mut self,
+        registry: &simtrace::Registry,
+        _tracer: &simtrace::Tracer,
+    ) {
+        let labels = [("engine", simtrace::lbl("rtl"))];
+        self.instr = Some(RtlInstr {
+            events: registry.counter("rtl.events", &labels),
+            activations: registry.counter("rtl.activations", &labels),
+            deltas: registry.counter("rtl.deltas", &labels),
+            last: self.kernel.stats(),
+        });
     }
 
     fn probe_link(&self, node: usize, dir: usize) -> Option<vc_router::OutEntry> {
@@ -805,5 +837,33 @@ mod tests {
         busy.run(30);
         assert!(busy.kernel_stats().events > idle.kernel_stats().events);
         assert!(busy.kernel_stats().activations > idle.kernel_stats().activations);
+    }
+
+    #[test]
+    fn instrumentation_publishes_kernel_activity_counters() {
+        let cfg = NetworkConfig::new(3, 3, Topology::Torus, 4);
+        let mut e = RtlNoc::new(cfg, IfaceConfig::default());
+        e.run(5);
+        let before = e.kernel_stats();
+        let registry = simtrace::Registry::new();
+        e.attach_instrumentation(&registry, &simtrace::Tracer::disabled());
+        e.push_stim(
+            0,
+            0,
+            StimEntry {
+                ts: 5,
+                flit: Flit::head_tail(Coord::new(2, 1), 0),
+            },
+        );
+        e.run(12);
+        let labels = [("engine", simtrace::lbl("rtl"))];
+        let events = registry.counter_value("rtl.events", &labels).unwrap();
+        let deltas = registry.counter_value("rtl.deltas", &labels).unwrap();
+        // Counters carry only the activity after attachment.
+        assert_eq!(events, e.kernel_stats().events - before.events);
+        assert_eq!(deltas, e.kernel_stats().deltas - before.deltas);
+        assert!(registry
+            .counter_value("rtl.activations", &labels)
+            .is_some_and(|a| a > 0));
     }
 }

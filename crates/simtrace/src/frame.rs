@@ -1,0 +1,348 @@
+//! # frame — periodic telemetry frames
+//!
+//! Every K system cycles the runner cuts a [`Frame`]: the counter/
+//! histogram *deltas* since the previous frame plus current gauge
+//! values and the full cumulative snapshot. Frames flow into a
+//! [`FrameSink`] — [`JsonlSink`] appends one JSON object per line (the
+//! streaming form a future daemon tails), [`PromSink`] rewrites a
+//! Prometheus-exposition text file with the cumulative totals (the form
+//! a scraper reads), and [`FrameBuffer`] keeps them in memory for
+//! tests.
+//!
+//! [`FrameStreamer`] owns the delta bookkeeping: give it the live
+//! [`Registry`] and call [`FrameStreamer::cut`] at each frame boundary.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::json;
+use crate::metrics::{MetricsSnapshot, Registry, SeriesId};
+use crate::prom;
+
+/// One telemetry frame: what changed since the previous frame, plus the
+/// cumulative state for sinks that need absolute values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Frame {
+    /// Frame number, starting at 0.
+    pub seq: u64,
+    /// System cycle at which the frame was cut.
+    pub cycle: u64,
+    /// Microseconds of wall clock since the stream started.
+    pub wall_us: u64,
+    /// Counter increments since the previous frame (only series that
+    /// moved).
+    pub counters: Vec<(SeriesId, u64)>,
+    /// Current gauge values (all registered gauges).
+    pub gauges: Vec<(SeriesId, i64)>,
+    /// Histogram activity since the previous frame: `(id, count delta,
+    /// sum delta)` for series that recorded samples.
+    pub hists: Vec<(SeriesId, u64, u64)>,
+    /// Full cumulative snapshot at frame time (what [`PromSink`]
+    /// renders).
+    pub totals: MetricsSnapshot,
+}
+
+impl Frame {
+    /// Render the frame as a single-line JSON object (deterministic;
+    /// the JSONL streaming form). The cumulative `totals` are *not*
+    /// serialized — frames on the wire carry deltas only.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"cycle\":");
+        out.push_str(&self.cycle.to_string());
+        out.push_str(",\"wall_us\":");
+        out.push_str(&self.wall_us.to_string());
+        out.push_str(",\"counters\":[");
+        for (i, (id, delta)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_series_id(&mut out, id);
+            out.push_str(",\"delta\":");
+            out.push_str(&delta.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, (id, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_series_id(&mut out, id);
+            out.push_str(",\"value\":");
+            out.push_str(&value.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"hists\":[");
+        for (i, (id, dcount, dsum)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_series_id(&mut out, id);
+            out.push_str(",\"count\":");
+            out.push_str(&dcount.to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&dsum.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn write_series_id(out: &mut String, id: &SeriesId) {
+    out.push_str("{\"name\":");
+    json::write_str(out, &id.name);
+    if !id.labels.is_empty() {
+        out.push_str(",\"labels\":{");
+        for (i, (k, v)) in id.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(out, k);
+            out.push(':');
+            json::write_str(out, v);
+        }
+        out.push('}');
+    }
+}
+
+/// Where frames go. Implementations must tolerate being called from the
+/// runner's hot path: `emit` runs between simulation chunks, never
+/// inside the kernel loop.
+pub trait FrameSink: Send {
+    /// Consume one frame.
+    fn emit(&mut self, frame: &Frame) -> std::io::Result<()>;
+
+    /// Flush any buffered output; called once after the last frame.
+    fn finish(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Appends one JSON object per line to a writer — the streaming JSONL
+/// sink.
+pub struct JsonlSink<W: Write + Send> {
+    w: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(w: W) -> Self {
+        Self { w }
+    }
+
+    /// Take the writer back (tests).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write + Send> FrameSink for JsonlSink<W> {
+    fn emit(&mut self, frame: &Frame) -> std::io::Result<()> {
+        self.w.write_all(frame.to_json().as_bytes())?;
+        self.w.write_all(b"\n")
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// Rewrites a Prometheus exposition-format text file with the frame's
+/// cumulative totals on every emit — the file a node-exporter-style
+/// scraper would read.
+pub struct PromSink {
+    path: std::path::PathBuf,
+}
+
+impl PromSink {
+    /// Sink writing to `path`.
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+}
+
+impl FrameSink for PromSink {
+    fn emit(&mut self, frame: &Frame) -> std::io::Result<()> {
+        std::fs::write(&self.path, prom::render(&frame.totals))
+    }
+}
+
+/// In-memory sink for tests; cloning shares the buffer, so a clone can
+/// be kept while the original is boxed into the runner.
+#[derive(Clone, Default)]
+pub struct FrameBuffer {
+    frames: Arc<Mutex<Vec<Frame>>>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of all frames captured so far.
+    pub fn frames(&self) -> Vec<Frame> {
+        self.frames
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Number of frames captured.
+    pub fn len(&self) -> usize {
+        self.frames
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no frame has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl FrameSink for FrameBuffer {
+    fn emit(&mut self, frame: &Frame) -> std::io::Result<()> {
+        self.frames
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(frame.clone());
+        Ok(())
+    }
+}
+
+/// Cuts frames from a live [`Registry`], tracking the previous snapshot
+/// so each frame carries deltas.
+pub struct FrameStreamer {
+    registry: Registry,
+    prev: MetricsSnapshot,
+    seq: u64,
+    started: std::time::Instant,
+}
+
+impl FrameStreamer {
+    /// Start streaming from `registry`; the first cut reports deltas
+    /// from an empty baseline (i.e. absolute values).
+    pub fn new(registry: Registry) -> Self {
+        Self {
+            registry,
+            prev: MetricsSnapshot::default(),
+            seq: 0,
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Cut a frame at system cycle `cycle`.
+    pub fn cut(&mut self, cycle: u64) -> Frame {
+        let totals = self.registry.snapshot();
+        let mut frame = Frame {
+            seq: self.seq,
+            cycle,
+            wall_us: self.started.elapsed().as_micros() as u64,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+            totals: MetricsSnapshot::default(),
+        };
+        for (id, value) in &totals.counters {
+            let before = self
+                .prev
+                .counters
+                .iter()
+                .find(|(p, _)| p == id)
+                .map_or(0, |&(_, v)| v);
+            let delta = value.saturating_sub(before);
+            if delta > 0 {
+                frame.counters.push((id.clone(), delta));
+            }
+        }
+        for (id, value, _peak) in &totals.gauges {
+            frame.gauges.push((id.clone(), *value));
+        }
+        for (id, h) in &totals.hists {
+            let (bc, bs) = self
+                .prev
+                .hists
+                .iter()
+                .find(|(p, _)| p == id)
+                .map_or((0, 0), |(_, p)| (p.count, p.sum));
+            let dc = h.count.saturating_sub(bc);
+            if dc > 0 {
+                frame.hists.push((id.clone(), dc, h.sum.saturating_sub(bs)));
+            }
+        }
+        self.prev = totals.clone();
+        frame.totals = totals;
+        self.seq += 1;
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::lbl;
+
+    #[test]
+    fn streamer_cuts_delta_frames() {
+        let r = Registry::new();
+        let c = r.counter("kernel.evals", &[("engine", lbl("seqsim"))]);
+        let g = r.gauge("occ", &[]);
+        let h = r.hist("rounds", &[]);
+        let mut fs = FrameStreamer::new(r);
+
+        c.add(10);
+        g.set(4);
+        h.record(3);
+        let f0 = fs.cut(64);
+        assert_eq!(f0.seq, 0);
+        assert_eq!(f0.cycle, 64);
+        assert_eq!(f0.counters.len(), 1);
+        assert_eq!(f0.counters[0].1, 10);
+        assert_eq!(f0.gauges[0].1, 4);
+        assert_eq!(f0.hists[0], (f0.hists[0].0.clone(), 1, 3));
+
+        c.add(5);
+        g.set(2);
+        let f1 = fs.cut(128);
+        assert_eq!(f1.seq, 1);
+        assert_eq!(f1.counters[0].1, 5, "second frame carries the delta");
+        assert_eq!(f1.gauges[0].1, 2, "gauges report current value");
+        assert!(f1.hists.is_empty(), "idle hist omitted from frame");
+
+        let f2 = fs.cut(192);
+        assert!(f2.counters.is_empty(), "idle counters omitted");
+    }
+
+    #[test]
+    fn jsonl_sink_emits_valid_lines() {
+        let r = Registry::new();
+        r.counter("a \"quoted\"", &[("k", lbl("v\\w"))]).add(1);
+        let mut fs = FrameStreamer::new(r);
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&fs.cut(0)).expect("emit");
+        sink.emit(&fs.cut(64)).expect("emit");
+        sink.finish().expect("finish");
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::validate(line).expect("valid JSON line");
+        }
+    }
+
+    #[test]
+    fn frame_buffer_shares_frames_across_clones() {
+        let buf = FrameBuffer::new();
+        let mut handle = buf.clone();
+        let mut fs = FrameStreamer::new(Registry::new());
+        handle.emit(&fs.cut(0)).expect("emit");
+        assert_eq!(buf.len(), 1);
+        assert!(!buf.is_empty());
+        assert_eq!(buf.frames()[0].cycle, 0);
+    }
+}

@@ -1,11 +1,204 @@
-//! Minimal JSON writing (and a validating reader for tests).
+//! Minimal JSON writing, a validating reader, and a value-tree parser.
 //!
 //! The observability layer must not pull serialization crates into the
 //! offline build, and the subset of JSON it emits is tiny: objects,
 //! arrays, strings, integers and finite floats. This module hand-rolls
-//! exactly that subset.
+//! exactly that subset. The [`parse`] tree reader exists for the
+//! consumers of our own output — the `simprof` diff CLI, the bench
+//! regression gate and snapshot percentile computation all re-read
+//! documents this workspace wrote.
 
 use std::fmt::Write as _;
+
+/// A parsed JSON value ([`parse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers included; `as u64`/`as i64` truncate).
+    Num(f64),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order (our writers emit deterministic
+    /// orderings, which a `Vec` preserves and a map would not).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member `key` of an object (`None` on non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items (`None` on non-arrays).
+    pub fn items(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload (`None` on non-strings).
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload (`None` on non-numbers).
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64` (truncating; `None` on
+    /// non-numbers and negatives).
+    pub fn u64(&self) -> Option<u64> {
+        self.num().filter(|v| *v >= 0.0).map(|v| v as u64)
+    }
+}
+
+/// Parse one well-formed JSON value into a [`JsonValue`] tree. Accepts
+/// exactly what [`validate`] accepts.
+pub fn parse(s: &str) -> Result<JsonValue, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let v = parse_tree(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn parse_tree(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            let mut members = Vec::new();
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string_value(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_tree(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            let mut items = Vec::new();
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_tree(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string_value(b, pos).map(JsonValue::Str),
+        Some(b't') => parse_lit(b, pos, b"true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, b"false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, b"null").map(|()| JsonValue::Null),
+        Some(_) => {
+            let start = *pos;
+            parse_number(b, pos)?;
+            let text = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| format!("non-UTF-8 number at byte {start}"))?;
+            text.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("unparseable number at byte {start}"))
+        }
+    }
+}
+
+/// Parse a string literal, resolving escapes.
+fn parse_string_value(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    parse_string(b, pos)?;
+    // Validated: the bytes `start+1 .. *pos-1` are a well-formed string
+    // body; resolve its escapes.
+    let body = &b[start + 1..*pos - 1];
+    let mut out = String::with_capacity(body.len());
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i] != b'\\' {
+            // Copy a run of plain bytes (valid UTF-8 by construction —
+            // the input was a &str).
+            let run = i;
+            while i < body.len() && body[i] != b'\\' {
+                i += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&body[run..i]).map_err(|_| "non-UTF-8 string".to_string())?,
+            );
+            continue;
+        }
+        i += 1;
+        match body[i] {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hex = std::str::from_utf8(&body[i + 1..i + 5])
+                    .map_err(|_| "bad \\u escape".to_string())?;
+                let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                // Surrogate pairs are not emitted by our writers;
+                // unpaired surrogates decode to the replacement char.
+                out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                i += 4;
+            }
+            _ => return Err("bad escape".to_string()),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
 
 /// Append a JSON string literal (with escaping) to `out`.
 pub fn write_str(out: &mut String, s: &str) {
@@ -214,6 +407,43 @@ mod tests {
         let mut out = String::new();
         write_f64(&mut out, f64::NAN);
         assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn parser_builds_trees_and_resolves_escapes() {
+        let v =
+            parse(r#"{"a":[1,2.5,-3e2,"x",true,false,null],"b":{"c":"q\"\\\nA"}}"#).expect("parse");
+        assert_eq!(v.get("a").and_then(|a| a.items()).map(<[_]>::len), Some(7));
+        let a = v.get("a").and_then(|a| a.items()).expect("array");
+        assert_eq!(a[0].u64(), Some(1));
+        assert_eq!(a[1].num(), Some(2.5));
+        assert_eq!(a[2].num(), Some(-300.0));
+        assert_eq!(a[3].str(), Some("x"));
+        assert_eq!(a[4], JsonValue::Bool(true));
+        assert_eq!(a[6], JsonValue::Null);
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(JsonValue::str),
+            Some("q\"\\\nA")
+        );
+        assert!(parse("[1,").is_err());
+        assert!(parse("[1] junk").is_err());
+    }
+
+    #[test]
+    fn writer_and_parser_round_trip_strings() {
+        for s in [
+            "plain",
+            "quo\"te",
+            "back\\slash",
+            "ctl\u{1}\u{1f}\ttab\nnl\rcr",
+            "uni 🦀 ok",
+            "",
+        ] {
+            let mut out = String::new();
+            write_str(&mut out, s);
+            let v = parse(&out).expect("written strings parse");
+            assert_eq!(v.str(), Some(s), "round trip of {s:?}");
+        }
     }
 
     #[test]

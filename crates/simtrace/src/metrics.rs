@@ -136,6 +136,229 @@ impl Hist {
             self.0.sum.load(Ordering::Relaxed) as f64 / n as f64
         }
     }
+
+    /// A consistent point-in-time copy of the histogram, including the
+    /// per-bucket boundaries/counts a percentile needs.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let c = &self.0;
+        let count = c.count.load(Ordering::Relaxed);
+        let buckets = c
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, cell)| {
+                let n = cell.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_le(b), n))
+            })
+            .collect();
+        HistSnapshot {
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: if count > 0 {
+                c.min.load(Ordering::Relaxed)
+            } else {
+                0
+            },
+            max: c.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Inclusive upper bound of power-of-two bucket `b` (bucket 0 holds the
+/// value 0; bucket 64 holds everything above `u64::MAX / 2`).
+fn bucket_le(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A detached, analyzable copy of one histogram: exact count/sum/min/max
+/// plus the occupied power-of-two buckets as `(le, count)` pairs
+/// (`le` = inclusive upper bound). This is what `snapshot_json` renders,
+/// so a consumer holding only the JSON can rebuild it
+/// ([`MetricsSnapshot::from_json`]) and compute percentiles without the
+/// live registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Occupied buckets, ascending by `le`: `(inclusive upper bound,
+    /// samples in bucket)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// The value at quantile `q` (0.0 ..= 1.0), resolved to the upper
+    /// bound of the bucket holding that sample — a conservative
+    /// (over-)estimate, exact for `q = 1.0` (returns `max`) and tight
+    /// within one power of two elsewhere. Returns 0 on an empty
+    /// histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(le, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // The top bucket's bound is the exact max.
+                return le.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One metric's identity in a [`MetricsSnapshot`]: name plus sorted
+/// `key=value` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesId {
+    /// Metric name (e.g. `kernel.evals`).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+}
+
+/// A detached point-in-time copy of a whole [`Registry`], deterministic
+/// ordering (sorted by name, then labels). [`Registry::snapshot`]
+/// produces it; [`MetricsSnapshot::from_json`] rebuilds one from a
+/// `snapshot_json` document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter series and their values.
+    pub counters: Vec<(SeriesId, u64)>,
+    /// Gauge series: `(id, value, peak)`.
+    pub gauges: Vec<(SeriesId, i64, i64)>,
+    /// Histogram series.
+    pub hists: Vec<(SeriesId, HistSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter `name` with `labels`, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, String)]) -> Option<u64> {
+        let id = series_id(name, labels);
+        self.counters
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of the gauge `name` with `labels`, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, String)]) -> Option<i64> {
+        let id = series_id(name, labels);
+        self.gauges
+            .iter()
+            .find(|(i, _, _)| *i == id)
+            .map(|&(_, v, _)| v)
+    }
+
+    /// The histogram `name` with `labels`, if present.
+    pub fn hist(&self, name: &str, labels: &[(&str, String)]) -> Option<&HistSnapshot> {
+        let id = series_id(name, labels);
+        self.hists.iter().find(|(i, _)| *i == id).map(|(_, h)| h)
+    }
+
+    /// Rebuild a snapshot from a [`Registry::snapshot_json`] document,
+    /// so percentiles and diffs can be computed offline.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let doc = json::parse(s)?;
+        let id_of = |v: &json::JsonValue| -> Result<SeriesId, String> {
+            let name = v
+                .get("name")
+                .and_then(json::JsonValue::str)
+                .ok_or("series missing name")?
+                .to_string();
+            let mut labels = Vec::new();
+            if let Some(json::JsonValue::Obj(members)) = v.get("labels") {
+                for (k, lv) in members {
+                    labels.push((
+                        k.clone(),
+                        lv.str().ok_or("non-string label value")?.to_string(),
+                    ));
+                }
+            }
+            Ok(SeriesId { name, labels })
+        };
+        let num = |v: &json::JsonValue, key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(json::JsonValue::num)
+                .ok_or_else(|| format!("series missing {key}"))
+        };
+        let mut snap = MetricsSnapshot::default();
+        for c in doc
+            .get("counters")
+            .and_then(json::JsonValue::items)
+            .unwrap_or(&[])
+        {
+            snap.counters.push((id_of(c)?, num(c, "value")? as u64));
+        }
+        for g in doc
+            .get("gauges")
+            .and_then(json::JsonValue::items)
+            .unwrap_or(&[])
+        {
+            snap.gauges
+                .push((id_of(g)?, num(g, "value")? as i64, num(g, "peak")? as i64));
+        }
+        for h in doc
+            .get("histograms")
+            .and_then(json::JsonValue::items)
+            .unwrap_or(&[])
+        {
+            let mut hist = HistSnapshot {
+                count: num(h, "count")? as u64,
+                sum: num(h, "sum")? as u64,
+                min: h.get("min").and_then(json::JsonValue::u64).unwrap_or(0),
+                max: h.get("max").and_then(json::JsonValue::u64).unwrap_or(0),
+                buckets: Vec::new(),
+            };
+            for b in h
+                .get("buckets")
+                .and_then(json::JsonValue::items)
+                .unwrap_or(&[])
+            {
+                hist.buckets
+                    .push((num(b, "le")? as u64, num(b, "count")? as u64));
+            }
+            snap.hists.push((id_of(h)?, hist));
+        }
+        Ok(snap)
+    }
+}
+
+fn series_id(name: &str, labels: &[(&str, String)]) -> SeriesId {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    labels.sort();
+    SeriesId {
+        name: name.to_string(),
+        labels,
+    }
 }
 
 /// A metric's identity: name plus sorted `key=value` labels.
@@ -318,6 +541,38 @@ impl Registry {
         out
     }
 
+    /// A typed point-in-time copy of every registered metric, in the
+    /// same deterministic order as [`Registry::snapshot_json`]. Unlike
+    /// the JSON string this keeps histogram buckets directly
+    /// addressable, so percentiles come for free.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let to_series = |id: &MetricId| SeriesId {
+            name: id.name.clone(),
+            labels: id.labels.clone(),
+        };
+        let mut snap = MetricsSnapshot::default();
+        let mut counters: Vec<_> = inner.counters.iter().collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (id, c) in counters {
+            snap.counters.push((to_series(id), c.get()));
+        }
+        let mut gauges: Vec<_> = inner.gauges.iter().collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        for (id, g) in gauges {
+            snap.gauges.push((to_series(id), g.get(), g.peak()));
+        }
+        let mut hists: Vec<_> = inner.hists.iter().collect();
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        for (id, h) in hists {
+            snap.hists.push((to_series(id), h.snapshot()));
+        }
+        snap
+    }
+
     /// Write the snapshot to a file.
     pub fn write_snapshot(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.snapshot_json())
@@ -406,6 +661,55 @@ mod tests {
         }
         assert_eq!(h.count(), 5);
         assert!((h.mean() - 161.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hist_snapshot_carries_buckets_and_percentiles() {
+        let h = Hist::detached();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 1000);
+        // Bucket bounds are inclusive powers of two minus one.
+        assert!(s.buckets.iter().any(|&(le, _)| le == 1023));
+        // p50 of 1..=1000 lives in the 512..=1023 bucket.
+        assert_eq!(s.percentile(0.5), 511);
+        assert_eq!(s.percentile(1.0), 1000);
+        assert_eq!(s.percentile(0.0), 1);
+        assert_eq!(HistSnapshot::default().percentile(0.9), 0);
+    }
+
+    #[test]
+    fn typed_snapshot_round_trips_through_json() {
+        let r = Registry::new();
+        r.counter("kernel.evals", &[("engine", lbl("seqsim"))])
+            .add(42);
+        r.gauge("occ", &[("node", lbl(3))]).set(7);
+        r.gauge("occ", &[("node", lbl(3))]).set(2);
+        let h = r.hist("lat \"q\"", &[]);
+        h.record(0);
+        h.record(900);
+        r.hist("empty", &[]); // registered, never recorded
+
+        let typed = r.snapshot();
+        let parsed = MetricsSnapshot::from_json(&r.snapshot_json()).expect("parse");
+        assert_eq!(typed, parsed);
+
+        assert_eq!(
+            parsed.counter("kernel.evals", &[("engine", lbl("seqsim"))]),
+            Some(42)
+        );
+        assert_eq!(parsed.gauge("occ", &[("node", lbl(3))]), Some(2));
+        let lat = parsed.hist("lat \"q\"", &[]).expect("hist present");
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.max, 900);
+        assert_eq!(lat.percentile(1.0), 900);
+        assert_eq!(parsed.hist("empty", &[]).map(|h| h.count), Some(0));
+        assert_eq!(parsed.hist("missing", &[]), None);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! # prom — Prometheus exposition-format rendering
+//!
+//! Renders a [`MetricsSnapshot`] as Prometheus text exposition format
+//! (version 0.0.4): counters and gauges as plain samples, histograms as
+//! cumulative `_bucket{le=...}` series plus `_sum`/`_count`. Metric
+//! names are sanitized (`.` and any other invalid character become
+//! `_`); gauge peaks surface as a companion `<name>_peak` gauge.
+//!
+//! The output is deterministic for a given snapshot — same series
+//! order as `snapshot_json`.
+
+use crate::metrics::{HistSnapshot, MetricsSnapshot, SeriesId};
+
+/// Render the whole snapshot as exposition text.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut last_name = String::new();
+    for (id, value) in &snap.counters {
+        type_line(&mut out, &mut last_name, &id.name, "counter");
+        sample(&mut out, &id.name, &id.labels, None, &value.to_string());
+    }
+    for (id, value, peak) in &snap.gauges {
+        type_line(&mut out, &mut last_name, &id.name, "gauge");
+        sample(&mut out, &id.name, &id.labels, None, &value.to_string());
+        let peak_name = format!("{}_peak", id.name);
+        type_line(&mut out, &mut last_name, &peak_name, "gauge");
+        sample(&mut out, &peak_name, &id.labels, None, &peak.to_string());
+    }
+    for (id, h) in &snap.hists {
+        type_line(&mut out, &mut last_name, &id.name, "histogram");
+        render_hist(&mut out, id, h);
+    }
+    out
+}
+
+fn render_hist(out: &mut String, id: &SeriesId, h: &HistSnapshot) {
+    let mut cumulative = 0u64;
+    for &(le, n) in &h.buckets {
+        cumulative += n;
+        sample(
+            out,
+            &format!("{}_bucket", id.name),
+            &id.labels,
+            Some(&le.to_string()),
+            &cumulative.to_string(),
+        );
+    }
+    sample(
+        out,
+        &format!("{}_bucket", id.name),
+        &id.labels,
+        Some("+Inf"),
+        &h.count.to_string(),
+    );
+    sample(
+        out,
+        &format!("{}_sum", id.name),
+        &id.labels,
+        None,
+        &h.sum.to_string(),
+    );
+    sample(
+        out,
+        &format!("{}_count", id.name),
+        &id.labels,
+        None,
+        &h.count.to_string(),
+    );
+}
+
+/// `# TYPE` header, emitted once per metric name.
+fn type_line(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    let clean = sanitize(name);
+    if *last != clean {
+        out.push_str("# TYPE ");
+        out.push_str(&clean);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+        *last = clean;
+    }
+}
+
+fn sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    le: Option<&str>,
+    value: &str,
+) {
+    out.push_str(&sanitize(name));
+    if !labels.is_empty() || le.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&sanitize(k));
+            out.push_str("=\"");
+            escape_label(out, v);
+            out.push('"');
+        }
+        if let Some(le) = le {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(le);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Prometheus metric/label names: `[a-zA-Z_:][a-zA-Z0-9_:]*`; anything
+/// else becomes `_` (`noc.vc_occupancy` → `noc_vc_occupancy`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .enumerate()
+        .map(|(i, c)| match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => c,
+            '0'..='9' if i > 0 => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Label values escape `\`, `"` and newline per the exposition spec.
+fn escape_label(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{lbl, Registry};
+
+    #[test]
+    fn renders_counters_gauges_and_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("kernel.evals", &[("engine", lbl("seqsim"))])
+            .add(17);
+        r.gauge("noc.vc_occupancy", &[("node", lbl(3))]).set(5);
+        let h = r.hist("shard.rounds", &[("shard", lbl(0))]);
+        h.record(1);
+        h.record(1);
+        h.record(6);
+        let text = render(&r.snapshot());
+
+        assert!(text.contains("# TYPE kernel_evals counter\n"));
+        assert!(text.contains("kernel_evals{engine=\"seqsim\"} 17\n"));
+        assert!(text.contains("# TYPE noc_vc_occupancy gauge\n"));
+        assert!(text.contains("noc_vc_occupancy{node=\"3\"} 5\n"));
+        assert!(text.contains("noc_vc_occupancy_peak{node=\"3\"} 5\n"));
+        assert!(text.contains("# TYPE shard_rounds histogram\n"));
+        // Buckets are cumulative: two samples <= 1, all three <= 7.
+        assert!(text.contains("shard_rounds_bucket{shard=\"0\",le=\"1\"} 2\n"));
+        assert!(text.contains("shard_rounds_bucket{shard=\"0\",le=\"7\"} 3\n"));
+        assert!(text.contains("shard_rounds_bucket{shard=\"0\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("shard_rounds_sum{shard=\"0\"} 8\n"));
+        assert!(text.contains("shard_rounds_count{shard=\"0\"} 3\n"));
+    }
+
+    #[test]
+    fn sanitizes_names_and_escapes_label_values() {
+        let r = Registry::new();
+        r.counter("weird.name-1", &[("k", "a\"b\\c\nd".to_string())])
+            .inc();
+        let text = render(&r.snapshot());
+        assert!(text.contains("weird_name_1{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+}

@@ -93,6 +93,19 @@ impl Analysis {
             .filter(move |d| d.severity == severity)
     }
 
+    /// Block → SCC index map over the schedule-ordered
+    /// [`sccs`](Self::sccs) — the attribution table a profiler needs to
+    /// charge block self-time to its condensation component.
+    pub fn scc_of(&self) -> Vec<usize> {
+        let mut map = vec![0usize; self.n_blocks];
+        for (s, scc) in self.sccs.iter().enumerate() {
+            for &b in &scc.blocks {
+                map[b] = s;
+            }
+        }
+        map
+    }
+
     /// Render the whole report as one JSON object.
     pub fn to_json(&self) -> String {
         let mut s = String::new();

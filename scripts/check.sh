@@ -27,12 +27,23 @@ echo "==> faulty differential suite (bit-identity under fault plans)"
 cargo test -q --test differential_engines engines_agree_under_fault_plans
 cargo test -q -p noc --test sharded_differential sharded_replays_fault_plans
 
-echo "==> invariant-checker smoke (experiments --quick --check --faults)"
+echo "==> invariant-checker + profiler smoke (experiments --quick --check --faults --profile)"
 cargo run --release --bin experiments -- --quick --check --faults 2007 \
-    --metrics target/check_metrics.json > /dev/null
+    --metrics target/check_metrics.json --profile target/profile.json > /dev/null
+
+echo "==> simprof reads its own artefacts back"
+./target/release/simprof summary target/profile.json --top 5 > /dev/null
+./target/release/simprof flame target/profile.json --out target/profile_check.folded
+./target/release/simprof diff target/profile.json target/profile.json > /dev/null
 
 echo "==> bench smoke (bench_kernel --quick)"
 cargo build --release --bin bench_kernel
 ./target/release/bench_kernel --quick --out target/BENCH_kernel_smoke.json
+
+if [[ -f BENCH_baseline.json && "${BENCH_SKIP_CHECK:-0}" != 1 ]]; then
+    echo "==> bench regression gate (simprof bench-check vs BENCH_baseline.json)"
+    ./target/release/simprof bench-check BENCH_baseline.json \
+        target/BENCH_kernel_smoke.json --max-drop "${BENCH_MAX_DROP:-25}"
+fi
 
 echo "All checks passed."

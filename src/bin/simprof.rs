@@ -1,0 +1,290 @@
+//! `simprof` — summarize, diff and gate kernel profiles.
+//!
+//! ```text
+//! simprof summary PROFILE.json [--top N]
+//! simprof diff OLD.json NEW.json [--top N]
+//! simprof flame PROFILE.json [--out FILE]
+//! simprof bench-check BASELINE.json CURRENT.json [--max-drop PCT]
+//! ```
+//!
+//! * `summary` prints a profile's ranked hotspots and per-SCC
+//!   convergence accounting (bound vs. worst observed consumption).
+//! * `diff` joins two profiles by block name and prints the top-N
+//!   self-time regressions (`simprof diff old.json new.json`).
+//! * `flame` emits the collapsed-stack flamegraph text (feed it to
+//!   `flamegraph.pl`, `inferno-flamegraph` or speedscope).
+//! * `bench-check` compares two `bench_kernel` outputs row by row and
+//!   exits non-zero when any row's `cycles_per_sec` dropped more than
+//!   `--max-drop` percent (default 25) — the CI regression gate behind
+//!   `scripts/bench.sh`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use simtrace::json::JsonValue;
+use simtrace::ProfileReport;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: simprof summary PROFILE.json [--top N]\n       \
+         simprof diff OLD.json NEW.json [--top N]\n       \
+         simprof flame PROFILE.json [--out FILE]\n       \
+         simprof bench-check BASELINE.json CURRENT.json [--max-drop PCT]"
+    );
+    ExitCode::from(2)
+}
+
+/// Value of `--flag V`, if present.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn load_profile(path: &str) -> Result<ProfileReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    ProfileReport::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Nanoseconds as a human-readable column.
+fn ns(v: u64) -> String {
+    if v >= 1_000_000_000 {
+        format!("{:.2}s", v as f64 / 1e9)
+    } else if v >= 1_000_000 {
+        format!("{:.2}ms", v as f64 / 1e6)
+    } else if v >= 1_000 {
+        format!("{:.1}us", v as f64 / 1e3)
+    } else {
+        format!("{v}ns")
+    }
+}
+
+fn ns_signed(v: i64) -> String {
+    if v < 0 {
+        format!("-{}", ns(v.unsigned_abs()))
+    } else {
+        format!("+{}", ns(v as u64))
+    }
+}
+
+fn summary(report: &ProfileReport, top: usize) {
+    let total = report.self_ns_total();
+    println!(
+        "profile: engine={} cycles={} wall={:.3}s self-time={} ({} blocks, {} evals)",
+        report.engine,
+        report.cycles,
+        report.wall_s,
+        ns(total),
+        report.entries.len(),
+        report.evals_total()
+    );
+    if report.wall_s > 0.0 {
+        println!(
+            "coverage: self-time / wall = {:.1} %",
+            100.0 * total as f64 / (report.wall_s * 1e9)
+        );
+    }
+    println!("\ntop {top} blocks by self time:");
+    println!(
+        "{:>5} {:>6} {:<24} {:>10} {:>12} {:>10} {:>6}",
+        "rank", "scc", "block", "self", "evals", "retries", "share"
+    );
+    for (rank, e) in report.hotspots(top).iter().enumerate() {
+        let share = if total > 0 {
+            100.0 * e.self_ns as f64 / total as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>5} {:>5}{} {:<24} {:>10} {:>12} {:>10} {share:>5.1}%",
+            rank + 1,
+            e.scc,
+            if e.fixed_point { "*" } else { " " },
+            e.name,
+            ns(e.self_ns),
+            e.evals,
+            e.hbr_retries,
+        );
+    }
+    if !report.sccs.is_empty() {
+        println!("\nmulti-block SCCs (fixed-point convergence):");
+        println!(
+            "{:>5} {:>7} {:>7} {:>9} {:>10}",
+            "scc", "blocks", "bound", "consumed", "retries"
+        );
+        for s in &report.sccs {
+            println!(
+                "{:>5} {:>7} {:>7} {:>9} {:>10}",
+                s.scc, s.blocks, s.bound, s.consumed_max, s.hbr_retries
+            );
+        }
+        println!("(* = block inside a fixed-point SCC)");
+    }
+}
+
+fn diff(old: &ProfileReport, new: &ProfileReport, top: usize) {
+    println!(
+        "diff: {} ({} cycles) -> {} ({} cycles), top {top} regressions by self-time delta",
+        old.engine, old.cycles, new.engine, new.cycles
+    );
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>8} {:>12} {:>12}",
+        "block", "old", "new", "delta", "ratio", "old evals", "new evals"
+    );
+    for row in old.diff(new).into_iter().take(top) {
+        println!(
+            "{:<24} {:>10} {:>10} {:>10} {:>7.2}x {:>12} {:>12}",
+            row.name,
+            ns(row.old_self_ns),
+            ns(row.new_self_ns),
+            ns_signed(row.delta_ns()),
+            row.ratio(),
+            row.old_evals,
+            row.new_evals
+        );
+    }
+    let (t_old, t_new) = (old.self_ns_total() as i64, new.self_ns_total() as i64);
+    println!(
+        "total self-time: {} -> {} ({})",
+        ns(t_old as u64),
+        ns(t_new as u64),
+        ns_signed(t_new - t_old)
+    );
+}
+
+/// One `bench_kernel` row relevant to the gate.
+struct BenchRow {
+    id: String,
+    cycles_per_sec: f64,
+}
+
+fn load_bench(path: &str) -> Result<Vec<BenchRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = simtrace::json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::items)
+        .ok_or_else(|| format!("{path}: no \"rows\" array — not a bench_kernel output?"))?;
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        out.push(BenchRow {
+            id: r
+                .get("id")
+                .and_then(JsonValue::str)
+                .ok_or_else(|| format!("{path}: bench row missing id"))?
+                .to_string(),
+            cycles_per_sec: r
+                .get("cycles_per_sec")
+                .and_then(JsonValue::num)
+                .ok_or_else(|| format!("{path}: bench row missing cycles_per_sec"))?,
+        });
+    }
+    Ok(out)
+}
+
+/// Compare bench rows by id; any drop beyond `max_drop_pct` fails.
+fn bench_check(baseline: &str, current: &str, max_drop_pct: f64) -> Result<bool, String> {
+    let base = load_bench(baseline)?;
+    let cur = load_bench(current)?;
+    let mut ok = true;
+    let mut compared = 0usize;
+    println!(
+        "bench-check: {} vs {} (fail on >{max_drop_pct:.0}% throughput drop)",
+        baseline, current
+    );
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| c.id == b.id) else {
+            println!("  MISSING {:<40} (row absent from current run)", b.id);
+            ok = false;
+            continue;
+        };
+        compared += 1;
+        let change = if b.cycles_per_sec > 0.0 {
+            100.0 * (c.cycles_per_sec - b.cycles_per_sec) / b.cycles_per_sec
+        } else {
+            0.0
+        };
+        let failed = change < -max_drop_pct;
+        if failed {
+            ok = false;
+        }
+        if failed || change.abs() > max_drop_pct / 2.0 {
+            println!(
+                "  {} {:<40} {:>12.1} -> {:>12.1} cycles/s ({:+.1}%)",
+                if failed { "FAIL" } else { "  ok" },
+                b.id,
+                b.cycles_per_sec,
+                c.cycles_per_sec,
+                change
+            );
+        }
+    }
+    println!(
+        "bench-check: {compared} rows compared, verdict: {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    Ok(ok)
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let top: usize = flag(&args, "--top")
+        .map(|v| v.parse().map_err(|_| "--top requires an integer"))
+        .transpose()?
+        .unwrap_or(10);
+    match args.first().map(String::as_str) {
+        Some("summary") => {
+            let Some(path) = args.get(1) else {
+                return Ok(usage());
+            };
+            summary(&load_profile(path)?, top);
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("diff") => {
+            let (Some(old), Some(new)) = (args.get(1), args.get(2)) else {
+                return Ok(usage());
+            };
+            diff(&load_profile(old)?, &load_profile(new)?, top);
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("flame") => {
+            let Some(path) = args.get(1) else {
+                return Ok(usage());
+            };
+            let folded = load_profile(path)?.collapsed();
+            match flag(&args, "--out") {
+                Some(out) => {
+                    std::fs::write(out, &folded).map_err(|e| format!("writing {out}: {e}"))?;
+                    eprintln!("wrote {out} ({} stacks)", folded.lines().count());
+                }
+                None => print!("{folded}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("bench-check") => {
+            let (Some(base), Some(cur)) = (args.get(1), args.get(2)) else {
+                return Ok(usage());
+            };
+            let max_drop: f64 = flag(&args, "--max-drop")
+                .map(|v| v.parse().map_err(|_| "--max-drop requires a number"))
+                .transpose()?
+                .unwrap_or(25.0);
+            if bench_check(base, cur, max_drop)? {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        _ => Ok(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("simprof: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
