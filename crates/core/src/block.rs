@@ -132,6 +132,17 @@ pub trait BlockKind: Send {
         outputs: &mut [u64],
         side: &mut SideView<'_>,
     );
+
+    /// A specialized execution unit for the compiled engine
+    /// ([`crate::compile::CompiledEngine`]): keeps decoded per-instance
+    /// state between cycles, splitting `eval` into per-level comb passes
+    /// and one clock edge. Must be observably bit-identical to `eval`
+    /// (the differential suites enforce this). Default: `None`, which
+    /// makes the compiler fall back to packed `eval` opcodes — always
+    /// correct, just slower.
+    fn compile(&self) -> Option<Box<dyn crate::compile::CompiledExec>> {
+        None
+    }
 }
 
 /// What drives a link.

@@ -1,0 +1,1828 @@
+//! Schedule compilation: lower a checked [`SystemSpec`] into a flat
+//! bytecode program over one contiguous `u64` arena, plus the
+//! interpreter engine that executes it.
+//!
+//! The hybrid scheduler ([`DynamicEngine`](crate::DynamicEngine) with a
+//! `speccheck` schedule) still *interprets* the spec every delta cycle:
+//! virtual `BlockKind::eval` calls, per-link change tracking, worklist
+//! scans. This module compiles the schedule once, ahead of time:
+//!
+//! * **Arena** — every link value and both state banks live at fixed
+//!   `u64` offsets in one contiguous allocation ([`Arena`]); a link read
+//!   is one indexed load, the bank swap is an XOR of one offset.
+//! * **Bytecode** — the per-cycle work is a flat [`Op`] list executed by
+//!   a computed-dispatch `match` ([`CompiledEngine::try_step`]). Gather
+//!   and scatter port↔link moves are table-driven
+//!   ([`CompiledProgram::gathers`] / [`scatters`](CompiledProgram::scatters)).
+//! * **HBR elision** — when the port-level combinational graph is
+//!   acyclic (the analyzer's single-evaluation proof), the program is a
+//!   straight line: one comb pass per dependency level, then one
+//!   state-update pass. No change detection, no re-evaluation, no
+//!   worklist — each value is written exactly once per cycle, after
+//!   everything it depends on has settled.
+//! * **Specialized opcodes** — a [`BlockKind`] may provide a
+//!   [`CompiledExec`] ([`BlockKind::compile`]) that keeps its register
+//!   state *decoded* between cycles, eliding the per-delta pack/unpack
+//!   of the generic path; kinds without one fall back to packed
+//!   [`Op::CombPacked`] / [`Op::UpdatePacked`] evaluation, which is
+//!   bit-identical by construction.
+//!
+//! If the comb graph is cyclic the compiler degrades to a bounded
+//! fixed-point program ([`ProgramMode::FixedPoint`]): full passes over
+//! all blocks until no link changes, with a divergence budget — the
+//! semantics of [`Scheduling::FullPasses`](crate::Scheduling::FullPasses).
+//!
+//! # Why the straight-line program is bit-identical
+//!
+//! Level ℓ of an output port is defined over the *declared* comb
+//! dependencies ([`BlockKind::comb_inputs`]): a port at level ℓ depends
+//! only on links driven by ports at levels < ℓ (plus registered state,
+//! constants and externals). The program scatters all level-0 outputs,
+//! then all level-1 outputs, … so by the time an op runs, every link it
+//! is allowed to read holds its settled value for this cycle. A packed
+//! fallback op evaluates the whole block but scatters *only* the ports
+//! of its level, so not-yet-settled garbage it may compute from stale
+//! inputs never reaches a link; its side-ring writes are idempotent by
+//! the [`BlockKind`] contract (the HBR engine re-evaluates under the
+//! same assumption). The final update pass then sees exactly the link
+//! values a parallel-settled hardware cycle would produce.
+
+use crate::block::{CombInputs, LinkDriver, SystemSpec};
+use crate::counters::DeltaStats;
+use crate::error::SimError;
+use crate::profiler::KernelProfiler;
+use crate::side::{SideMem, SideView};
+use noc_types::bits::words_for_bits;
+
+/// Default fixed-point pass budget per system cycle (cyclic specs only).
+pub const DEFAULT_MAX_PASSES: u32 = 64;
+
+// ---------------------------------------------------------------------------
+// Specialized execution units
+// ---------------------------------------------------------------------------
+
+/// A specialized, decoded-state execution unit for one [`BlockKind`].
+///
+/// The compiled engine keeps one exec per kind; it owns the *decoded*
+/// register state of every instance of that kind, so the per-cycle path
+/// never packs/unpacks bit fields. The engine synchronizes decoded and
+/// packed state only at snapshot/restore/peek boundaries via
+/// [`load`](CompiledExec::load) / [`store`](CompiledExec::store).
+pub trait CompiledExec: Send {
+    /// Replace instance `instance`'s decoded state by unpacking `packed`
+    /// (same encoding as [`BlockKind::reset`] state words).
+    fn load(&mut self, instance: usize, packed: &[u64]);
+
+    /// Pack instance `instance`'s decoded state into `packed`.
+    fn store(&self, instance: usize, packed: &mut [u64]);
+
+    /// Evaluate comb pass `pass` (0-based over the kind's distinct comb
+    /// levels, ascending) for `instance`. `inputs` is port-indexed; only
+    /// the ports gathered for this op (the union of the pass's declared
+    /// comb dependencies) are fresh. Write the pass's output ports into
+    /// the port-indexed `outputs`; the interpreter scatters them.
+    fn comb(
+        &mut self,
+        instance: usize,
+        pass: usize,
+        inputs: &[u64],
+        cycle: u64,
+        outputs: &mut [u64],
+        side: &mut SideView<'_>,
+    );
+
+    /// Commit the clock edge for `instance`: consume the settled
+    /// `inputs` (all ports fresh) and advance the decoded register state
+    /// in place. Runs exactly once per system cycle.
+    fn update(&mut self, instance: usize, inputs: &[u64], cycle: u64, side: &mut SideView<'_>);
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode
+// ---------------------------------------------------------------------------
+
+/// A `(start, len)` window into one of the program's side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRange {
+    /// First entry index.
+    pub start: u32,
+    /// Number of entries.
+    pub len: u32,
+}
+
+impl OpRange {
+    /// The window as a `usize` range, for indexing the side table.
+    pub fn as_range(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+}
+
+/// One gather move: `in_buf[port] = arena.link(link)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatherMove {
+    /// Destination input port.
+    pub port: u32,
+    /// Source arena link offset.
+    pub link: u32,
+}
+
+/// One scatter move: `arena.set_link(link, out_buf[port] & mask)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScatterMove {
+    /// Source output port.
+    pub port: u32,
+    /// Destination arena link offset.
+    pub link: u32,
+    /// Link width mask.
+    pub mask: u64,
+}
+
+/// One bytecode instruction. `kind` / `block` / `instance` are
+/// back-pointers into the spec (`block` also drives profiler
+/// attribution); `gather` / `scatter` index the program's side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Specialized comb pass via the kind's [`CompiledExec`].
+    Comb {
+        /// Kind id (exec table index).
+        kind: u32,
+        /// Block-local comb pass index (see [`CompiledExec::comb`]).
+        pass: u32,
+        /// Block id (attribution / side rings).
+        block: u32,
+        /// Instance index within the kind.
+        instance: u32,
+        /// Input moves (the pass's declared comb dependencies).
+        gather: OpRange,
+        /// Output moves (this level's ports only).
+        scatter: OpRange,
+    },
+    /// Packed-fallback comb pass: full [`BlockKind::eval`] with current
+    /// state, next-state words discarded, only this level's outputs
+    /// scattered.
+    CombPacked {
+        /// Kind id.
+        kind: u32,
+        /// Block-local comb pass index (disassembly only).
+        pass: u32,
+        /// Block id.
+        block: u32,
+        /// Instance index within the kind.
+        instance: u32,
+        /// Input moves (all input ports).
+        gather: OpRange,
+        /// Output moves (this level's ports only).
+        scatter: OpRange,
+    },
+    /// Specialized clock edge via the kind's [`CompiledExec`].
+    Update {
+        /// Kind id (exec table index).
+        kind: u32,
+        /// Block id.
+        block: u32,
+        /// Instance index within the kind.
+        instance: u32,
+        /// Input moves (all input ports).
+        gather: OpRange,
+    },
+    /// Packed-fallback clock edge: full [`BlockKind::eval`] writing the
+    /// next-state bank; outputs discarded (already scattered by the comb
+    /// passes).
+    UpdatePacked {
+        /// Kind id.
+        kind: u32,
+        /// Block id.
+        block: u32,
+        /// Instance index within the kind.
+        instance: u32,
+        /// Input moves (all input ports).
+        gather: OpRange,
+    },
+    /// Fixed-point full evaluation (cyclic comb graphs only): full
+    /// [`BlockKind::eval`], next-state bank written, all outputs
+    /// scattered with change detection.
+    EvalFull {
+        /// Kind id.
+        kind: u32,
+        /// Block id.
+        block: u32,
+        /// Instance index within the kind.
+        instance: u32,
+        /// Input moves (all input ports).
+        gather: OpRange,
+        /// Output moves (all output ports).
+        scatter: OpRange,
+    },
+}
+
+impl Op {
+    /// The block this op is attributed to.
+    pub fn block(&self) -> usize {
+        match *self {
+            Op::Comb { block, .. }
+            | Op::CombPacked { block, .. }
+            | Op::Update { block, .. }
+            | Op::UpdatePacked { block, .. }
+            | Op::EvalFull { block, .. } => block as usize,
+        }
+    }
+
+    /// The scatter window, if this op writes links.
+    pub fn scatter(&self) -> Option<OpRange> {
+        match *self {
+            Op::Comb { scatter, .. }
+            | Op::CombPacked { scatter, .. }
+            | Op::EvalFull { scatter, .. } => Some(scatter),
+            Op::Update { .. } | Op::UpdatePacked { .. } => None,
+        }
+    }
+}
+
+/// How the program advances one system cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramMode {
+    /// Acyclic comb graph: one pass over `ops[..update_start]` (comb,
+    /// grouped by dependency level), one pass over
+    /// `ops[update_start..]` (updates). HBR fully elided.
+    StraightLine {
+        /// Number of comb dependency levels.
+        levels: u32,
+    },
+    /// Cyclic comb graph: repeat full passes over all ops until no link
+    /// changes, up to `max_passes` per cycle (then
+    /// [`SimError::Diverged`]).
+    FixedPoint {
+        /// Pass budget per system cycle.
+        max_passes: u32,
+    },
+}
+
+/// Options for [`CompiledProgram::compile`].
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Block evaluation order inside each pass (e.g. the hybrid
+    /// schedule's topological order). Defaults to spec order; any
+    /// permutation is bit-identical in straight-line mode.
+    pub order: Option<Vec<usize>>,
+    /// Fixed-point pass budget per cycle (cyclic specs only).
+    pub max_passes: u32,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            order: None,
+            max_passes: DEFAULT_MAX_PASSES,
+        }
+    }
+}
+
+/// A compiled schedule: the bytecode, its gather/scatter side tables,
+/// and the arena geometry it addresses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    /// Execution mode.
+    pub mode: ProgramMode,
+    /// The flat instruction list. In straight-line mode,
+    /// `ops[..update_start]` are comb passes in level order and
+    /// `ops[update_start..]` are updates; in fixed-point mode the whole
+    /// list is the per-pass body.
+    pub ops: Vec<Op>,
+    /// Gather side table ([`OpRange`]-indexed).
+    pub gathers: Vec<GatherMove>,
+    /// Scatter side table ([`OpRange`]-indexed).
+    pub scatters: Vec<ScatterMove>,
+    /// First update op (straight-line mode; `0` in fixed-point mode).
+    pub update_start: usize,
+    /// Number of blocks in the source spec.
+    pub n_blocks: usize,
+    /// Number of links in the source spec (= arena link words).
+    pub n_links: usize,
+}
+
+impl CompiledProgram {
+    /// Lower `spec` into a program. Chooses straight-line mode when the
+    /// port-level comb graph is acyclic (always, for the NoC router
+    /// specs — the analyzer proves it), fixed-point mode otherwise.
+    pub fn compile(spec: &SystemSpec, opts: &CompileOptions) -> CompiledProgram {
+        let blocks = spec.blocks();
+        let kinds = spec.kinds();
+        let links = spec.links();
+        let nb = blocks.len();
+
+        let order: Vec<usize> = match &opts.order {
+            Some(o) => {
+                assert_eq!(o.len(), nb, "order must list every block exactly once");
+                o.clone()
+            }
+            None => (0..nb).collect(),
+        };
+
+        // Which kinds ship a specialized exec? (Probe once; the engine
+        // instantiates its own copies.)
+        let has_exec: Vec<bool> = kinds.iter().map(|k| k.compile().is_some()).collect();
+
+        // ---- port-level comb levels (Kahn) ----
+        let mut port_base = vec![0usize; nb + 1];
+        for b in 0..nb {
+            port_base[b + 1] = port_base[b] + blocks[b].outputs.len();
+        }
+        let np = port_base[nb];
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); np];
+        let mut indeg = vec![0u32; np];
+        for (b, inst) in blocks.iter().enumerate() {
+            let kind = &kinds[inst.kind];
+            for p in 0..inst.outputs.len() {
+                let v = (port_base[b] + p) as u32;
+                let ci = kind.comb_inputs(p);
+                if ci.is_registered() {
+                    continue;
+                }
+                for (i, &l) in inst.inputs.iter().enumerate() {
+                    if !ci.depends_on(i) {
+                        continue;
+                    }
+                    if let LinkDriver::Block { block, port } = links[l].driver {
+                        adj[port_base[block] + port].push(v);
+                        indeg[v as usize] += 1;
+                    }
+                }
+            }
+        }
+        let mut level = vec![0u32; np];
+        let mut queue: Vec<u32> = (0..np as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut processed = 0usize;
+        while let Some(u) = queue.pop() {
+            processed += 1;
+            for &v in &adj[u as usize] {
+                let lv = level[u as usize] + 1;
+                if lv > level[v as usize] {
+                    level[v as usize] = lv;
+                }
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        let cyclic = processed < np;
+
+        let mut prog = CompiledProgram {
+            mode: ProgramMode::StraightLine { levels: 0 },
+            ops: Vec::new(),
+            gathers: Vec::new(),
+            scatters: Vec::new(),
+            update_start: 0,
+            n_blocks: nb,
+            n_links: links.len(),
+        };
+        let mask_of = |l: usize| -> u64 {
+            let w = links[l].width;
+            if w >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << w) - 1
+            }
+        };
+        let push_gather = |tbl: &mut Vec<GatherMove>, ports: &[usize], b: usize| -> OpRange {
+            let start = tbl.len() as u32;
+            for &i in ports {
+                tbl.push(GatherMove {
+                    port: i as u32,
+                    link: blocks[b].inputs[i] as u32,
+                });
+            }
+            OpRange {
+                start,
+                len: tbl.len() as u32 - start,
+            }
+        };
+
+        if cyclic {
+            // Degenerate mode: bounded fixed-point full passes.
+            prog.mode = ProgramMode::FixedPoint {
+                max_passes: opts.max_passes.max(1),
+            };
+            for &b in &order {
+                let inst = &blocks[b];
+                let all_in: Vec<usize> = (0..inst.inputs.len()).collect();
+                let gather = push_gather(&mut prog.gathers, &all_in, b);
+                let sstart = prog.scatters.len() as u32;
+                for (p, &l) in inst.outputs.iter().enumerate() {
+                    prog.scatters.push(ScatterMove {
+                        port: p as u32,
+                        link: l as u32,
+                        mask: mask_of(l),
+                    });
+                }
+                prog.ops.push(Op::EvalFull {
+                    kind: inst.kind as u32,
+                    block: b as u32,
+                    instance: inst.instance_of_kind as u32,
+                    gather,
+                    scatter: OpRange {
+                        start: sstart,
+                        len: prog.scatters.len() as u32 - sstart,
+                    },
+                });
+            }
+            return prog;
+        }
+
+        // ---- straight-line emission ----
+        let n_levels = if np == 0 {
+            0
+        } else {
+            level.iter().max().map_or(0, |&m| m + 1)
+        };
+        for lvl in 0..n_levels {
+            for &b in &order {
+                let inst = &blocks[b];
+                let kind = &kinds[inst.kind];
+                let outs_at: Vec<usize> = (0..inst.outputs.len())
+                    .filter(|&p| level[port_base[b] + p] == lvl)
+                    .collect();
+                if outs_at.is_empty() {
+                    continue;
+                }
+                // Block-local pass index: how many distinct lower levels
+                // this block's ports occupy.
+                let pass = (0..inst.outputs.len())
+                    .filter(|&p| level[port_base[b] + p] < lvl)
+                    .map(|p| level[port_base[b] + p])
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len() as u32;
+                let sstart = prog.scatters.len() as u32;
+                for &p in &outs_at {
+                    let l = inst.outputs[p];
+                    prog.scatters.push(ScatterMove {
+                        port: p as u32,
+                        link: l as u32,
+                        mask: mask_of(l),
+                    });
+                }
+                let scatter = OpRange {
+                    start: sstart,
+                    len: prog.scatters.len() as u32 - sstart,
+                };
+                if has_exec[inst.kind] {
+                    // Gather only the pass's declared comb dependencies.
+                    let mut deps = std::collections::BTreeSet::new();
+                    for &p in &outs_at {
+                        match kind.comb_inputs(p) {
+                            CombInputs::None => {}
+                            CombInputs::All => {
+                                deps.extend(0..inst.inputs.len());
+                            }
+                            CombInputs::Some(list) => deps.extend(list),
+                        }
+                    }
+                    let deps: Vec<usize> = deps.into_iter().collect();
+                    let gather = push_gather(&mut prog.gathers, &deps, b);
+                    prog.ops.push(Op::Comb {
+                        kind: inst.kind as u32,
+                        pass,
+                        block: b as u32,
+                        instance: inst.instance_of_kind as u32,
+                        gather,
+                        scatter,
+                    });
+                } else {
+                    let all_in: Vec<usize> = (0..inst.inputs.len()).collect();
+                    let gather = push_gather(&mut prog.gathers, &all_in, b);
+                    prog.ops.push(Op::CombPacked {
+                        kind: inst.kind as u32,
+                        pass,
+                        block: b as u32,
+                        instance: inst.instance_of_kind as u32,
+                        gather,
+                        scatter,
+                    });
+                }
+            }
+        }
+        prog.update_start = prog.ops.len();
+        for &b in &order {
+            let inst = &blocks[b];
+            let all_in: Vec<usize> = (0..inst.inputs.len()).collect();
+            let gather = push_gather(&mut prog.gathers, &all_in, b);
+            if has_exec[inst.kind] {
+                prog.ops.push(Op::Update {
+                    kind: inst.kind as u32,
+                    block: b as u32,
+                    instance: inst.instance_of_kind as u32,
+                    gather,
+                });
+            } else {
+                prog.ops.push(Op::UpdatePacked {
+                    kind: inst.kind as u32,
+                    block: b as u32,
+                    instance: inst.instance_of_kind as u32,
+                    gather,
+                });
+            }
+        }
+        prog.mode = ProgramMode::StraightLine { levels: n_levels };
+        prog
+    }
+
+    /// Render the program as parseable text (one op per line). The
+    /// inverse is [`CompiledProgram::parse`].
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("; seqsim compiled program\n");
+        match self.mode {
+            ProgramMode::StraightLine { levels } => {
+                let _ = writeln!(out, "mode straight levels={levels}");
+            }
+            ProgramMode::FixedPoint { max_passes } => {
+                let _ = writeln!(out, "mode fixed_point max_passes={max_passes}");
+            }
+        }
+        let _ = writeln!(out, "blocks {}", self.n_blocks);
+        let _ = writeln!(out, "links {}", self.n_links);
+        let _ = writeln!(out, "update_start {}", self.update_start);
+        let g = |r: OpRange| -> String {
+            let moves: Vec<String> = self.gathers[r.as_range()]
+                .iter()
+                .map(|m| format!("({},{})", m.port, m.link))
+                .collect();
+            format!("[{}]", moves.join(","))
+        };
+        let s = |r: OpRange| -> String {
+            let moves: Vec<String> = self.scatters[r.as_range()]
+                .iter()
+                .map(|m| format!("({},{},{:#x})", m.port, m.link, m.mask))
+                .collect();
+            format!("[{}]", moves.join(","))
+        };
+        for op in &self.ops {
+            match *op {
+                Op::Comb {
+                    kind,
+                    pass,
+                    block,
+                    instance,
+                    gather,
+                    scatter,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "op comb k={kind} p={pass} b={block} i={instance} g={} s={}",
+                        g(gather),
+                        s(scatter)
+                    );
+                }
+                Op::CombPacked {
+                    kind,
+                    pass,
+                    block,
+                    instance,
+                    gather,
+                    scatter,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "op comb_packed k={kind} p={pass} b={block} i={instance} g={} s={}",
+                        g(gather),
+                        s(scatter)
+                    );
+                }
+                Op::Update {
+                    kind,
+                    block,
+                    instance,
+                    gather,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "op update k={kind} b={block} i={instance} g={}",
+                        g(gather)
+                    );
+                }
+                Op::UpdatePacked {
+                    kind,
+                    block,
+                    instance,
+                    gather,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "op update_packed k={kind} b={block} i={instance} g={}",
+                        g(gather)
+                    );
+                }
+                Op::EvalFull {
+                    kind,
+                    block,
+                    instance,
+                    gather,
+                    scatter,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "op eval_full k={kind} b={block} i={instance} g={} s={}",
+                        g(gather),
+                        s(scatter)
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the output of [`disassemble`](Self::disassemble) back into
+    /// a program (round-trips exactly, `PartialEq`-comparable).
+    pub fn parse(text: &str) -> Result<CompiledProgram, String> {
+        let mut prog = CompiledProgram {
+            mode: ProgramMode::StraightLine { levels: 0 },
+            ops: Vec::new(),
+            gathers: Vec::new(),
+            scatters: Vec::new(),
+            update_start: 0,
+            n_blocks: 0,
+            n_links: 0,
+        };
+        fn field(line: &str, key: &str) -> Result<String, String> {
+            let pat = format!("{key}=");
+            let start = line
+                .find(&pat)
+                .ok_or_else(|| format!("missing {key}= in `{line}`"))?
+                + pat.len();
+            let rest = &line[start..];
+            let end = if rest.starts_with('[') {
+                rest.find(']').map(|i| i + 1)
+            } else {
+                Some(rest.find(' ').unwrap_or(rest.len()))
+            }
+            .ok_or_else(|| format!("unterminated {key}= in `{line}`"))?;
+            Ok(rest[..end].to_string())
+        }
+        fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+            s.parse().map_err(|_| format!("bad number `{s}`"))
+        }
+        fn tuples(list: &str) -> Result<Vec<Vec<String>>, String> {
+            let inner = list
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| format!("bad list `{list}`"))?;
+            let mut out = Vec::new();
+            for part in inner.split("),").filter(|p| !p.is_empty()) {
+                let t = part.trim_start_matches('(').trim_end_matches(')');
+                out.push(t.split(',').map(str::to_string).collect());
+            }
+            Ok(out)
+        }
+        let parse_gather = |prog: &mut CompiledProgram, line: &str| -> Result<OpRange, String> {
+            let start = prog.gathers.len() as u32;
+            for t in tuples(&field(line, "g")?)? {
+                if t.len() != 2 {
+                    return Err(format!("bad gather tuple in `{line}`"));
+                }
+                prog.gathers.push(GatherMove {
+                    port: num(&t[0])?,
+                    link: num(&t[1])?,
+                });
+            }
+            Ok(OpRange {
+                start,
+                len: prog.gathers.len() as u32 - start,
+            })
+        };
+        let parse_scatter = |prog: &mut CompiledProgram, line: &str| -> Result<OpRange, String> {
+            let start = prog.scatters.len() as u32;
+            for t in tuples(&field(line, "s")?)? {
+                if t.len() != 3 {
+                    return Err(format!("bad scatter tuple in `{line}`"));
+                }
+                let mask = t[2]
+                    .strip_prefix("0x")
+                    .ok_or_else(|| format!("bad mask `{}`", t[2]))
+                    .and_then(|h| {
+                        u64::from_str_radix(h, 16).map_err(|_| format!("bad mask `{h}`"))
+                    })?;
+                prog.scatters.push(ScatterMove {
+                    port: num(&t[0])?,
+                    link: num(&t[1])?,
+                    mask,
+                });
+            }
+            Ok(OpRange {
+                start,
+                len: prog.scatters.len() as u32 - start,
+            })
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with(';') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("mode ") {
+                prog.mode = if rest.starts_with("straight") {
+                    ProgramMode::StraightLine {
+                        levels: num(&field(rest, "levels")?)?,
+                    }
+                } else if rest.starts_with("fixed_point") {
+                    ProgramMode::FixedPoint {
+                        max_passes: num(&field(rest, "max_passes")?)?,
+                    }
+                } else {
+                    return Err(format!("unknown mode `{rest}`"));
+                };
+            } else if let Some(rest) = line.strip_prefix("blocks ") {
+                prog.n_blocks = num(rest.trim())?;
+            } else if let Some(rest) = line.strip_prefix("links ") {
+                prog.n_links = num(rest.trim())?;
+            } else if let Some(rest) = line.strip_prefix("update_start ") {
+                prog.update_start = num(rest.trim())?;
+            } else if let Some(rest) = line.strip_prefix("op ") {
+                let kind = num(&field(rest, "k")?)?;
+                let block = num(&field(rest, "b")?)?;
+                let instance = num(&field(rest, "i")?)?;
+                if rest.starts_with("comb_packed ") {
+                    let pass = num(&field(rest, "p")?)?;
+                    let gather = parse_gather(&mut prog, rest)?;
+                    let scatter = parse_scatter(&mut prog, rest)?;
+                    prog.ops.push(Op::CombPacked {
+                        kind,
+                        pass,
+                        block,
+                        instance,
+                        gather,
+                        scatter,
+                    });
+                } else if rest.starts_with("comb ") {
+                    let pass = num(&field(rest, "p")?)?;
+                    let gather = parse_gather(&mut prog, rest)?;
+                    let scatter = parse_scatter(&mut prog, rest)?;
+                    prog.ops.push(Op::Comb {
+                        kind,
+                        pass,
+                        block,
+                        instance,
+                        gather,
+                        scatter,
+                    });
+                } else if rest.starts_with("update_packed ") {
+                    let gather = parse_gather(&mut prog, rest)?;
+                    prog.ops.push(Op::UpdatePacked {
+                        kind,
+                        block,
+                        instance,
+                        gather,
+                    });
+                } else if rest.starts_with("update ") {
+                    let gather = parse_gather(&mut prog, rest)?;
+                    prog.ops.push(Op::Update {
+                        kind,
+                        block,
+                        instance,
+                        gather,
+                    });
+                } else if rest.starts_with("eval_full ") {
+                    let gather = parse_gather(&mut prog, rest)?;
+                    let scatter = parse_scatter(&mut prog, rest)?;
+                    prog.ops.push(Op::EvalFull {
+                        kind,
+                        block,
+                        instance,
+                        gather,
+                        scatter,
+                    });
+                } else {
+                    return Err(format!("unknown op `{rest}`"));
+                }
+            } else {
+                return Err(format!("unknown line `{line}`"));
+            }
+        }
+        Ok(prog)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+/// One contiguous `u64` allocation holding every link value (word
+/// offset = [`LinkId`](crate::block::LinkId)) followed by both packed
+/// state banks. The bank swap is the paper's offset-pointer switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arena {
+    words: Vec<u64>,
+    n_links: usize,
+    /// Per-block word offset within a bank.
+    state_off: Vec<usize>,
+    /// Per-block word count.
+    state_len: Vec<usize>,
+    bank_words: usize,
+    /// Current bank (0/1).
+    cur: usize,
+}
+
+impl Arena {
+    /// Allocate and reset an arena for `spec`: link words take their
+    /// reset values, both state banks are zeroed.
+    pub fn new(spec: &SystemSpec) -> Arena {
+        let n_links = spec.links().len();
+        let mut state_off = Vec::with_capacity(spec.blocks().len());
+        let mut state_len = Vec::with_capacity(spec.blocks().len());
+        let mut off = 0usize;
+        for b in spec.blocks() {
+            let w = words_for_bits(spec.kinds()[b.kind].state_bits());
+            state_off.push(off);
+            state_len.push(w);
+            off += w;
+        }
+        let mut words = vec![0u64; n_links + 2 * off];
+        for (l, ls) in spec.links().iter().enumerate() {
+            words[l] = ls.reset_value;
+        }
+        Arena {
+            words,
+            n_links,
+            state_off,
+            state_len,
+            bank_words: off,
+            cur: 0,
+        }
+    }
+
+    /// Read link `l`.
+    #[inline]
+    pub fn link(&self, l: usize) -> u64 {
+        self.words[l]
+    }
+
+    /// Write link `l`.
+    #[inline]
+    pub fn set_link(&mut self, l: usize, v: u64) {
+        self.words[l] = v;
+    }
+
+    /// Current-state words of block `b`.
+    #[inline]
+    pub fn cur(&self, b: usize) -> &[u64] {
+        let start = self.n_links + self.cur * self.bank_words + self.state_off[b];
+        &self.words[start..start + self.state_len[b]]
+    }
+
+    /// Current-state words of block `b`, writable (reset / sync only).
+    #[inline]
+    pub fn cur_mut(&mut self, b: usize) -> &mut [u64] {
+        let start = self.n_links + self.cur * self.bank_words + self.state_off[b];
+        &mut self.words[start..start + self.state_len[b]]
+    }
+
+    /// Current- and next-state words of block `b` simultaneously.
+    #[inline]
+    pub fn cur_and_next_mut(&mut self, b: usize) -> (&[u64], &mut [u64]) {
+        let len = self.state_len[b];
+        if len == 0 {
+            return (&[], &mut []);
+        }
+        let cur_start = self.n_links + self.cur * self.bank_words + self.state_off[b];
+        let next_start = self.n_links + (self.cur ^ 1) * self.bank_words + self.state_off[b];
+        if cur_start < next_start {
+            let (lo, hi) = self.words.split_at_mut(next_start);
+            (&lo[cur_start..cur_start + len], &mut hi[..len])
+        } else {
+            let (lo, hi) = self.words.split_at_mut(cur_start);
+            (&hi[..len], &mut lo[next_start..next_start + len])
+        }
+    }
+
+    /// Copy the current bank of block `b` into its next bank (reset).
+    pub fn copy_cur_to_next(&mut self, b: usize) {
+        let (cur, next) = self.cur_and_next_mut(b);
+        let tmp: Vec<u64> = cur.to_vec();
+        next.copy_from_slice(&tmp);
+    }
+
+    /// Switch the bank pointer: next becomes current. O(1).
+    #[inline]
+    pub fn swap(&mut self) {
+        self.cur ^= 1;
+    }
+
+    /// Number of link words (state banks start here).
+    pub fn n_links(&self) -> usize {
+        self.n_links
+    }
+
+    /// Total arena words (links + both banks).
+    pub fn total_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// A full engine snapshot: the arena (custom-exec state packed in),
+/// side rings, cycle number and stats. Restore is bit-exact.
+#[derive(Debug, Clone)]
+pub struct CompiledSnapshot {
+    arena: Arena,
+    side: SideMem,
+    cycle: u64,
+    stats: DeltaStats,
+}
+
+/// The compiled-schedule engine: executes a [`CompiledProgram`] over an
+/// [`Arena`] with a computed-dispatch interpreter loop.
+pub struct CompiledEngine {
+    spec: SystemSpec,
+    prog: CompiledProgram,
+    /// One exec per kind (None = packed fallback).
+    execs: Vec<Option<Box<dyn CompiledExec>>>,
+    arena: Arena,
+    side: SideMem,
+    /// Per block: decoded exec state is newer than the arena words.
+    dirty: Vec<bool>,
+    in_buf: Vec<u64>,
+    out_buf: Vec<u64>,
+    /// Next-state scratch for packed comb passes (discarded).
+    scratch: Vec<u64>,
+    cycle: u64,
+    stats: DeltaStats,
+    broken: Option<SimError>,
+    profiler: Option<Box<KernelProfiler>>,
+}
+
+impl CompiledEngine {
+    /// Compile `spec` with default options and build an engine.
+    ///
+    /// # Panics
+    /// If `spec.check()` fails.
+    pub fn new(spec: SystemSpec) -> CompiledEngine {
+        Self::with_options(spec, &CompileOptions::default())
+    }
+
+    /// Compile `spec` with `opts` and build an engine.
+    ///
+    /// # Panics
+    /// If `spec.check()` fails.
+    pub fn with_options(spec: SystemSpec, opts: &CompileOptions) -> CompiledEngine {
+        if let Err(diags) = spec.check() {
+            panic!("invalid spec: {diags:?}");
+        }
+        let prog = CompiledProgram::compile(&spec, opts);
+        let execs: Vec<Option<Box<dyn CompiledExec>>> =
+            if matches!(prog.mode, ProgramMode::FixedPoint { .. }) {
+                // Fixed-point mode always uses packed full evaluation.
+                spec.kinds().iter().map(|_| None).collect()
+            } else {
+                spec.kinds().iter().map(|k| k.compile()).collect()
+            };
+        let mut arena = Arena::new(&spec);
+        for (b, inst) in spec.blocks().iter().enumerate() {
+            spec.kinds()[inst.kind].reset(arena.cur_mut(b));
+            arena.copy_cur_to_next(b);
+        }
+        let rings: Vec<Vec<usize>> = spec
+            .blocks()
+            .iter()
+            .map(|b| spec.kinds()[b.kind].side_rings())
+            .collect();
+        let side = SideMem::new(&rings);
+        let max_ports = spec
+            .blocks()
+            .iter()
+            .map(|b| b.inputs.len().max(b.outputs.len()))
+            .max()
+            .unwrap_or(0);
+        let max_words = spec
+            .blocks()
+            .iter()
+            .map(|b| words_for_bits(spec.kinds()[b.kind].state_bits()))
+            .max()
+            .unwrap_or(0);
+        let mut eng = CompiledEngine {
+            dirty: vec![false; spec.blocks().len()],
+            in_buf: vec![0; max_ports],
+            out_buf: vec![0; max_ports],
+            scratch: vec![0; max_words],
+            execs,
+            arena,
+            side,
+            cycle: 0,
+            stats: DeltaStats::default(),
+            broken: None,
+            profiler: None,
+            prog,
+            spec,
+        };
+        eng.load_execs();
+        eng
+    }
+
+    /// (Re)load every custom exec's decoded state from the arena's
+    /// current bank.
+    fn load_execs(&mut self) {
+        for (b, inst) in self.spec.blocks().iter().enumerate() {
+            if let Some(exec) = self.execs[inst.kind].as_mut() {
+                exec.load(inst.instance_of_kind, self.arena.cur(b));
+            }
+            self.dirty[b] = false;
+        }
+    }
+
+    /// The compiled program being executed.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.prog
+    }
+
+    /// The source spec.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// Current system cycle (number of completed cycles).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The sticky error, if the engine diverged.
+    pub fn error(&self) -> Option<&SimError> {
+        self.broken.as_ref()
+    }
+
+    /// Current value of link `l`.
+    pub fn link_value(&self, l: usize) -> u64 {
+        self.arena.link(l)
+    }
+
+    /// Drive an [`External`](LinkDriver::External) link.
+    ///
+    /// # Panics
+    /// If the link is not external.
+    pub fn set_external(&mut self, l: usize, v: u64) {
+        assert!(
+            matches!(self.spec.links()[l].driver, LinkDriver::External),
+            "link {l} is not external"
+        );
+        self.arena.set_link(l, v);
+    }
+
+    /// Packed current-state words of block `b` (packs decoded exec
+    /// state on demand).
+    pub fn peek_state(&self, b: usize) -> Vec<u64> {
+        let inst = &self.spec.blocks()[b];
+        if self.dirty[b] {
+            if let Some(exec) = self.execs[inst.kind].as_ref() {
+                let mut out = vec![0u64; self.arena.state_len[b]];
+                exec.store(inst.instance_of_kind, &mut out);
+                return out;
+            }
+        }
+        self.arena.cur(b).to_vec()
+    }
+
+    /// Delta statistics (updates count one delta per block per cycle;
+    /// fixed-point passes beyond the first count as re-evaluations).
+    pub fn stats(&self) -> &DeltaStats {
+        &self.stats
+    }
+
+    /// Reset the delta statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = DeltaStats::default();
+    }
+
+    /// Side-ring memory (host access to iface rings).
+    pub fn side(&self) -> &SideMem {
+        &self.side
+    }
+
+    /// Mutable side-ring memory.
+    pub fn side_mut(&mut self) -> &mut SideMem {
+        &mut self.side
+    }
+
+    /// Attach a profiler (op self time and eval counts are attributed
+    /// to blocks through the opcode back-pointers).
+    pub fn attach_profiler(&mut self, p: KernelProfiler) {
+        self.profiler = Some(Box::new(p));
+    }
+
+    /// Detach and return the profiler.
+    pub fn take_profiler(&mut self) -> Option<Box<KernelProfiler>> {
+        self.profiler.take()
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&KernelProfiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Capture a bit-exact snapshot (custom-exec state packed into the
+    /// arena copy).
+    pub fn snapshot(&self) -> CompiledSnapshot {
+        let mut arena = self.arena.clone();
+        for (b, inst) in self.spec.blocks().iter().enumerate() {
+            if self.dirty[b] {
+                if let Some(exec) = self.execs[inst.kind].as_ref() {
+                    exec.store(inst.instance_of_kind, arena.cur_mut(b));
+                }
+            }
+        }
+        CompiledSnapshot {
+            arena,
+            side: self.side.clone(),
+            cycle: self.cycle,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Restore a snapshot taken on an engine built from the same spec.
+    pub fn restore(&mut self, snap: &CompiledSnapshot) {
+        self.arena = snap.arena.clone();
+        self.side = snap.side.clone();
+        self.cycle = snap.cycle;
+        self.stats = snap.stats.clone();
+        self.broken = None;
+        self.load_execs();
+    }
+
+    /// Advance one system cycle.
+    ///
+    /// # Panics
+    /// On a sticky error (use [`try_step`](Self::try_step)).
+    pub fn step(&mut self) {
+        if let Err(e) = self.try_step() {
+            panic!("{e}");
+        }
+    }
+
+    /// Advance one system cycle, surfacing divergence as an error
+    /// (sticky: further calls keep failing).
+    pub fn try_step(&mut self) -> Result<(), SimError> {
+        if let Some(e) = &self.broken {
+            return Err(e.clone());
+        }
+        if let Some(p) = self.profiler.as_mut() {
+            p.begin_cycle();
+        }
+        let deltas = match self.prog.mode {
+            ProgramMode::StraightLine { .. } => {
+                self.run_straight();
+                (self.prog.ops.len() - self.prog.update_start) as u64
+            }
+            ProgramMode::FixedPoint { max_passes } => {
+                let passes = match self.run_fixed_point(max_passes) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        self.broken = Some(e.clone());
+                        return Err(e);
+                    }
+                };
+                passes as u64 * self.prog.ops.len() as u64
+            }
+        };
+        self.arena.swap();
+        self.stats.record_cycle(deltas, self.prog.n_blocks as u64);
+        if let Some(p) = self.profiler.as_mut() {
+            p.end_cycle();
+        }
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Run `n` system cycles.
+    ///
+    /// # Panics
+    /// On a sticky error (use [`try_run`](Self::try_run)).
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Run `n` system cycles, stopping at the first error.
+    pub fn try_run(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.try_step()?;
+        }
+        Ok(())
+    }
+
+    /// The straight-line interpreter: one pass over the comb section
+    /// (level order), one pass over the updates. No change detection.
+    fn run_straight(&mut self) {
+        let cycle = self.cycle;
+        for idx in 0..self.prog.ops.len() {
+            let op = self.prog.ops[idx];
+            match op {
+                Op::Comb {
+                    kind,
+                    pass,
+                    block,
+                    instance,
+                    gather,
+                    scatter,
+                } => {
+                    let t0 = self.profiler.as_ref().and_then(|p| p.begin_eval());
+                    for m in &self.prog.gathers[gather.as_range()] {
+                        self.in_buf[m.port as usize] = self.arena.words[m.link as usize];
+                    }
+                    let Some(exec) = self.execs[kind as usize].as_mut() else {
+                        unreachable!("comb op for kind {kind} without exec");
+                    };
+                    exec.comb(
+                        instance as usize,
+                        pass as usize,
+                        &self.in_buf,
+                        cycle,
+                        &mut self.out_buf,
+                        &mut self.side.view(block as usize),
+                    );
+                    for m in &self.prog.scatters[scatter.as_range()] {
+                        self.arena.words[m.link as usize] = self.out_buf[m.port as usize] & m.mask;
+                    }
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.end_op(block as usize, t0);
+                    }
+                }
+                Op::CombPacked {
+                    kind,
+                    block,
+                    instance,
+                    gather,
+                    scatter,
+                    ..
+                } => {
+                    let t0 = self.profiler.as_ref().and_then(|p| p.begin_eval());
+                    for m in &self.prog.gathers[gather.as_range()] {
+                        self.in_buf[m.port as usize] = self.arena.words[m.link as usize];
+                    }
+                    let b = block as usize;
+                    let n_in = self.spec.blocks()[b].inputs.len();
+                    let n_out = self.spec.blocks()[b].outputs.len();
+                    let sw = self.arena.state_len[b];
+                    self.spec.kinds()[kind as usize].eval(
+                        instance as usize,
+                        self.arena.cur(b),
+                        &self.in_buf[..n_in],
+                        cycle,
+                        &mut self.scratch[..sw],
+                        &mut self.out_buf[..n_out],
+                        &mut self.side.view(b),
+                    );
+                    for m in &self.prog.scatters[scatter.as_range()] {
+                        self.arena.words[m.link as usize] = self.out_buf[m.port as usize] & m.mask;
+                    }
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.end_op(b, t0);
+                    }
+                }
+                Op::Update {
+                    kind,
+                    block,
+                    instance,
+                    gather,
+                } => {
+                    let t0 = self.profiler.as_ref().and_then(|p| p.begin_eval());
+                    for m in &self.prog.gathers[gather.as_range()] {
+                        self.in_buf[m.port as usize] = self.arena.words[m.link as usize];
+                    }
+                    let Some(exec) = self.execs[kind as usize].as_mut() else {
+                        unreachable!("update op for kind {kind} without exec");
+                    };
+                    exec.update(
+                        instance as usize,
+                        &self.in_buf,
+                        cycle,
+                        &mut self.side.view(block as usize),
+                    );
+                    self.dirty[block as usize] = true;
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.end_eval(block as usize, false, t0);
+                    }
+                }
+                Op::UpdatePacked {
+                    kind,
+                    block,
+                    instance,
+                    gather,
+                } => {
+                    let t0 = self.profiler.as_ref().and_then(|p| p.begin_eval());
+                    for m in &self.prog.gathers[gather.as_range()] {
+                        self.in_buf[m.port as usize] = self.arena.words[m.link as usize];
+                    }
+                    let b = block as usize;
+                    let n_in = self.spec.blocks()[b].inputs.len();
+                    let n_out = self.spec.blocks()[b].outputs.len();
+                    // Split borrows: out_buf/in_buf/side are separate
+                    // fields from arena; kinds/spec are read-only.
+                    let CompiledEngine {
+                        spec,
+                        arena,
+                        in_buf,
+                        out_buf,
+                        side,
+                        ..
+                    } = self;
+                    let (cur, next) = arena.cur_and_next_mut(b);
+                    spec.kinds()[kind as usize].eval(
+                        instance as usize,
+                        cur,
+                        &in_buf[..n_in],
+                        cycle,
+                        next,
+                        &mut out_buf[..n_out],
+                        &mut side.view(b),
+                    );
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.end_eval(b, false, t0);
+                    }
+                }
+                Op::EvalFull { .. } => {
+                    unreachable!("eval_full op in straight-line program");
+                }
+            }
+        }
+    }
+
+    /// The fixed-point interpreter (cyclic comb graphs): full packed
+    /// passes until no link changes, bounded by `max_passes`.
+    fn run_fixed_point(&mut self, max_passes: u32) -> Result<u32, SimError> {
+        let cycle = self.cycle;
+        let mut passes = 0u32;
+        loop {
+            let mut unstable: Vec<usize> = Vec::new();
+            for idx in 0..self.prog.ops.len() {
+                let Op::EvalFull {
+                    kind,
+                    block,
+                    instance,
+                    gather,
+                    scatter,
+                } = self.prog.ops[idx]
+                else {
+                    unreachable!("non-eval_full op in fixed-point program");
+                };
+                let t0 = self.profiler.as_ref().and_then(|p| p.begin_eval());
+                for m in &self.prog.gathers[gather.as_range()] {
+                    self.in_buf[m.port as usize] = self.arena.words[m.link as usize];
+                }
+                let b = block as usize;
+                let n_in = self.spec.blocks()[b].inputs.len();
+                let n_out = self.spec.blocks()[b].outputs.len();
+                let CompiledEngine {
+                    spec,
+                    arena,
+                    in_buf,
+                    out_buf,
+                    side,
+                    ..
+                } = self;
+                let (cur, next) = arena.cur_and_next_mut(b);
+                spec.kinds()[kind as usize].eval(
+                    instance as usize,
+                    cur,
+                    &in_buf[..n_in],
+                    cycle,
+                    next,
+                    &mut out_buf[..n_out],
+                    &mut side.view(b),
+                );
+                let mut changed = false;
+                for m in &self.prog.scatters[scatter.as_range()] {
+                    let v = self.out_buf[m.port as usize] & m.mask;
+                    if self.arena.words[m.link as usize] != v {
+                        self.arena.words[m.link as usize] = v;
+                        changed = true;
+                    }
+                }
+                if changed {
+                    unstable.push(b);
+                }
+                if let Some(p) = self.profiler.as_mut() {
+                    p.end_eval(b, passes > 0, t0);
+                }
+            }
+            passes += 1;
+            if unstable.is_empty() {
+                return Ok(passes);
+            }
+            if passes >= max_passes {
+                return Err(SimError::Diverged {
+                    cycle,
+                    budget: max_passes * self.prog.ops.len() as u32,
+                    unstable_blocks: unstable,
+                    last_trace: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for CompiledEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledEngine")
+            .field("cycle", &self.cycle)
+            .field("mode", &self.prog.mode)
+            .field("ops", &self.prog.ops.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockKind;
+    use crate::demo::{comb_demo, comb_demo_reference, RegisteredDemoKind, DEMO_WIDTH};
+    use crate::dynamic_sched::DynamicEngine;
+    use noc_types::bits::BitReader;
+
+    fn state16(words: &[u64]) -> u64 {
+        BitReader::new(words).take(DEMO_WIDTH)
+    }
+
+    #[test]
+    fn comb_chain_compiles_to_levelled_straight_line() {
+        // ext -> F -> F -> F -> sink: three comb levels, settled in one
+        // pass each, no fixed point anywhere.
+        let mut spec = SystemSpec::new();
+        let k = spec.add_kind(Box::new(RegisteredDemoKind::new(0)));
+        let b1 = spec.add_block(k);
+        let b2 = spec.add_block(k);
+        let b3 = spec.add_block(k);
+        spec.external((b1, 0), 2);
+        spec.wire((b1, 0), (b2, 0));
+        spec.wire((b2, 0), (b3, 0));
+        let out = spec.sink((b3, 0));
+        let mut eng = CompiledEngine::new(spec);
+        match eng.program().mode {
+            ProgramMode::StraightLine { levels } => assert_eq!(levels, 3),
+            m => panic!("expected straight-line, got {m:?}"),
+        }
+        eng.step();
+        let f = |x: u64| (x * 3 + 1) & 0xFFFF;
+        assert_eq!(eng.link_value(out), f(f(f(2))));
+    }
+
+    #[test]
+    fn comb_demo_matches_reference_and_dynamic_engine() {
+        for cycles in [1u64, 2, 3, 25] {
+            let (spec, _) = comb_demo();
+            let mut eng = CompiledEngine::new(spec);
+            // The demo ring is signal-acyclic: B0's registered output
+            // breaks it, so the compiler must prove straight-line.
+            assert!(matches!(
+                eng.program().mode,
+                ProgramMode::StraightLine { .. }
+            ));
+            eng.run(cycles);
+            let expect = comb_demo_reference(cycles);
+            let got = [
+                state16(&eng.peek_state(0)),
+                state16(&eng.peek_state(1)),
+                state16(&eng.peek_state(2)),
+            ];
+            assert_eq!(got, expect, "after {cycles} cycles");
+
+            let (spec, _) = comb_demo();
+            let mut dy = DynamicEngine::new(spec);
+            dy.run(cycles);
+            for b in 0..3 {
+                assert_eq!(eng.peek_state(b), dy.peek_state(b).to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_needs_minimum_deltas_only() {
+        let (spec, _) = comb_demo();
+        let mut eng = CompiledEngine::new(spec);
+        eng.run(40);
+        assert_eq!(eng.stats().system_cycles, 40);
+        assert_eq!(eng.stats().delta_cycles, 40 * 3, "one update per block");
+        assert_eq!(eng.stats().re_evaluations, 0, "HBR fully elided");
+    }
+
+    #[test]
+    fn order_is_irrelevant_in_straight_line_mode() {
+        let mut results = Vec::new();
+        for order in [vec![0usize, 1, 2], vec![2, 1, 0], vec![1, 2, 0]] {
+            let (spec, _) = comb_demo();
+            let mut eng = CompiledEngine::with_options(
+                spec,
+                &CompileOptions {
+                    order: Some(order),
+                    ..CompileOptions::default()
+                },
+            );
+            eng.run(25);
+            results.push([
+                state16(&eng.peek_state(0)),
+                state16(&eng.peek_state(1)),
+                state16(&eng.peek_state(2)),
+            ]);
+        }
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let (spec, _) = comb_demo();
+        let mut eng = CompiledEngine::new(spec);
+        eng.run(13);
+        let snap = eng.snapshot();
+        eng.run(29);
+        let tail: Vec<Vec<u64>> = (0..3).map(|b| eng.peek_state(b)).collect();
+        eng.restore(&snap);
+        assert_eq!(eng.cycle(), 13);
+        eng.run(29);
+        for b in 0..3 {
+            assert_eq!(eng.peek_state(b), tail[b], "block {b}");
+        }
+    }
+
+    #[test]
+    fn disassembly_round_trips() {
+        let (spec, _) = comb_demo();
+        let eng = CompiledEngine::new(spec);
+        let text = eng.program().disassemble();
+        let parsed = CompiledProgram::parse(&text).expect("parse");
+        assert_eq!(&parsed, eng.program());
+        // And a second render is identical.
+        assert_eq!(parsed.disassemble(), text);
+    }
+
+    #[test]
+    fn every_link_written_by_at_most_one_op() {
+        let (spec, _) = comb_demo();
+        let eng = CompiledEngine::new(spec);
+        let prog = eng.program();
+        let mut writers = vec![0u32; prog.n_links];
+        for op in &prog.ops {
+            if let Some(r) = op.scatter() {
+                for m in &prog.scatters[r.as_range()] {
+                    writers[m.link as usize] += 1;
+                }
+            }
+        }
+        assert!(writers.iter().all(|&w| w <= 1));
+    }
+
+    /// A two-block truly comb-cyclic system (a ^ b feedback) to drive
+    /// the fixed-point fallback.
+    struct XorKind {
+        converging: bool,
+    }
+
+    impl BlockKind for XorKind {
+        fn name(&self) -> &str {
+            "xor"
+        }
+        fn state_bits(&self) -> usize {
+            0
+        }
+        fn input_widths(&self) -> Vec<usize> {
+            vec![8]
+        }
+        fn output_widths(&self) -> Vec<usize> {
+            vec![8]
+        }
+        fn reset(&self, _state: &mut [u64]) {}
+        fn eval(
+            &self,
+            _instance: usize,
+            _cur: &[u64],
+            inputs: &[u64],
+            _cycle: u64,
+            _next: &mut [u64],
+            outputs: &mut [u64],
+            _side: &mut SideView<'_>,
+        ) {
+            // Converging: settles to a fixed point (x -> x | 1).
+            // Diverging: oscillates forever (x -> !x).
+            outputs[0] = if self.converging {
+                inputs[0] | 1
+            } else {
+                !inputs[0] & 0xFF
+            };
+        }
+        // CombInputs::All by default: a comb cycle through both blocks.
+    }
+
+    /// `n`-block comb ring (cyclic at every length; an odd inverter
+    /// ring has no fixed point).
+    fn comb_ring(n: usize, converging: bool) -> SystemSpec {
+        let mut spec = SystemSpec::new();
+        let k = spec.add_kind(Box::new(XorKind { converging }));
+        let blocks: Vec<usize> = (0..n).map(|_| spec.add_block(k)).collect();
+        for i in 0..n {
+            spec.wire((blocks[i], 0), (blocks[(i + 1) % n], 0));
+        }
+        spec
+    }
+
+    #[test]
+    fn cyclic_spec_falls_back_to_fixed_point() {
+        let mut eng = CompiledEngine::new(comb_ring(2, true));
+        assert!(matches!(eng.program().mode, ProgramMode::FixedPoint { .. }));
+        eng.try_run(5).expect("converging ring settles");
+        assert!(eng.stats().delta_cycles >= 5 * 2);
+    }
+
+    #[test]
+    fn fixed_point_divergence_is_a_typed_sticky_error() {
+        let mut eng = CompiledEngine::new(comb_ring(1, false));
+        let err = eng.try_step().expect_err("oscillator cannot settle");
+        match &err {
+            SimError::Diverged {
+                cycle,
+                unstable_blocks,
+                ..
+            } => {
+                assert_eq!(*cycle, 0);
+                assert!(!unstable_blocks.is_empty());
+            }
+            e => panic!("expected Diverged, got {e:?}"),
+        }
+        assert_eq!(eng.try_step().expect_err("sticky"), err);
+    }
+
+    #[test]
+    fn profiler_attributes_ops_to_blocks() {
+        let (spec, _) = comb_demo();
+        let n = spec.blocks().len();
+        let mut eng = CompiledEngine::new(spec);
+        eng.attach_profiler(KernelProfiler::new(n, 1));
+        eng.run(10);
+        let report = eng
+            .take_profiler()
+            .expect("attached")
+            .report("seqsim-compiled", 0.0, 0);
+        assert_eq!(report.cycles, 10);
+        for e in &report.entries {
+            assert_eq!(e.evals, 10, "one update per block per cycle");
+            assert_eq!(e.hbr_retries, 0);
+            assert!(e.self_ns > 0, "comb op time folded into block self time");
+        }
+    }
+
+    /// Toy kind with a specialized exec: a 16-bit accumulator whose
+    /// port 0 is the registered value and port 1 the comb sum.
+    struct AccKind;
+
+    impl BlockKind for AccKind {
+        fn name(&self) -> &str {
+            "acc"
+        }
+        fn state_bits(&self) -> usize {
+            16
+        }
+        fn input_widths(&self) -> Vec<usize> {
+            vec![16]
+        }
+        fn output_widths(&self) -> Vec<usize> {
+            vec![16, 16]
+        }
+        fn reset(&self, state: &mut [u64]) {
+            state[0] = 1;
+        }
+        fn eval(
+            &self,
+            _instance: usize,
+            cur: &[u64],
+            inputs: &[u64],
+            _cycle: u64,
+            next: &mut [u64],
+            outputs: &mut [u64],
+            _side: &mut SideView<'_>,
+        ) {
+            let s = cur[0];
+            outputs[0] = s;
+            outputs[1] = (s + inputs[0]) & 0xFFFF;
+            next[0] = (s + inputs[0]) & 0xFFFF;
+        }
+        fn comb_inputs(&self, port: usize) -> CombInputs {
+            if port == 0 {
+                CombInputs::None
+            } else {
+                CombInputs::All
+            }
+        }
+        fn compile(&self) -> Option<Box<dyn CompiledExec>> {
+            Some(Box::new(AccExec { s: Vec::new() }))
+        }
+    }
+
+    struct AccExec {
+        s: Vec<u64>,
+    }
+
+    impl AccExec {
+        fn slot(&mut self, instance: usize) -> &mut u64 {
+            if self.s.len() <= instance {
+                self.s.resize(instance + 1, 0);
+            }
+            &mut self.s[instance]
+        }
+    }
+
+    impl CompiledExec for AccExec {
+        fn load(&mut self, instance: usize, packed: &[u64]) {
+            *self.slot(instance) = packed[0];
+        }
+        fn store(&self, instance: usize, packed: &mut [u64]) {
+            packed[0] = self.s[instance];
+        }
+        fn comb(
+            &mut self,
+            instance: usize,
+            pass: usize,
+            inputs: &[u64],
+            _cycle: u64,
+            outputs: &mut [u64],
+            _side: &mut SideView<'_>,
+        ) {
+            let s = self.s[instance];
+            if pass == 0 {
+                outputs[0] = s;
+            } else {
+                outputs[1] = (s + inputs[0]) & 0xFFFF;
+            }
+        }
+        fn update(
+            &mut self,
+            instance: usize,
+            inputs: &[u64],
+            _cycle: u64,
+            _side: &mut SideView<'_>,
+        ) {
+            let slot = self.slot(instance);
+            *slot = (*slot + inputs[0]) & 0xFFFF;
+        }
+    }
+
+    fn acc_pair() -> SystemSpec {
+        // Registered ports close the ring; comb ports go to sinks.
+        let mut spec = SystemSpec::new();
+        let k = spec.add_kind(Box::new(AccKind));
+        let a = spec.add_block(k);
+        let b = spec.add_block(k);
+        spec.wire((a, 0), (b, 0));
+        spec.wire((b, 0), (a, 0));
+        spec.sink((a, 1));
+        spec.sink((b, 1));
+        spec
+    }
+
+    #[test]
+    fn specialized_exec_matches_packed_dynamic_engine() {
+        let mut eng = CompiledEngine::new(acc_pair());
+        assert!(
+            eng.program()
+                .ops
+                .iter()
+                .any(|op| matches!(op, Op::Comb { .. })),
+            "custom exec should produce specialized comb ops"
+        );
+        assert!(eng
+            .program()
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::Update { .. })));
+        let mut dy = DynamicEngine::new(acc_pair());
+        for cycle in 1..=40u64 {
+            eng.step();
+            dy.step();
+            for b in 0..2 {
+                assert_eq!(
+                    eng.peek_state(b),
+                    dy.peek_state(b).to_vec(),
+                    "block {b} cycle {cycle}"
+                );
+            }
+            for l in 0..eng.spec().links().len() {
+                assert_eq!(
+                    eng.link_value(l),
+                    dy.link_value(l),
+                    "link {l} cycle {cycle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_external_drives_links() {
+        let mut spec = SystemSpec::new();
+        let k = spec.add_kind(Box::new(crate::demo::RegisteredDemoKind::new(0)));
+        let b = spec.add_block(k);
+        let ext = spec.external((b, 0), 3);
+        let out = spec.sink((b, 0));
+        let mut eng = CompiledEngine::new(spec);
+        eng.step();
+        assert_eq!(eng.link_value(out), (3 * 3 + 1) & 0xFFFF);
+        eng.set_external(ext, 10);
+        eng.step();
+        assert_eq!(eng.link_value(out), 31);
+    }
+}

@@ -69,6 +69,7 @@
 
 pub mod block;
 pub mod check;
+pub mod compile;
 pub mod counters;
 pub mod demo;
 pub mod dynamic_sched;
@@ -86,6 +87,9 @@ pub mod worklist;
 
 pub use block::{
     BlockId, BlockInst, BlockKind, CombInputs, KindId, LinkDriver, LinkId, LinkSpec, SystemSpec,
+};
+pub use compile::{
+    CompileOptions, CompiledEngine, CompiledExec, CompiledProgram, CompiledSnapshot, ProgramMode,
 };
 pub use counters::DeltaStats;
 pub use dynamic_sched::{DynamicEngine, HybridRun, HybridSchedule, Scheduling, Snapshot};

@@ -137,6 +137,17 @@ impl KernelProfiler {
         }
     }
 
+    /// Charge op wall time to `block` without counting an evaluation.
+    /// Used by the compiled engine for its comb-pass opcodes: the time
+    /// folds into the block's per-eval self time (the update op is the
+    /// one counted evaluation), so report scaling stays correct.
+    #[inline]
+    pub fn end_op(&mut self, block: usize, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.timed_ns[block] += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
     /// Close a system cycle: fold this cycle's per-block eval counts
     /// into the per-SCC round maxima and reset them.
     pub fn end_cycle(&mut self) {

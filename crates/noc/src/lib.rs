@@ -12,6 +12,9 @@
 //! * [`seq`] — the sequential simulator backend: one
 //!   [`seqsim::DynamicEngine`] running [`vc_router::RouterBlock`]s, the
 //!   software twin of the paper's FPGA design (Fig 7);
+//! * [`compiled`] — the same spec lowered once, at build time, into a
+//!   flat bytecode kernel ([`seqsim::CompiledEngine`]) — bit-identical
+//!   to [`seq`], several times faster;
 //! * [`runner`] — the five-phase loop (generate / load / simulate /
 //!   retrieve / analyse) with phase profiling and latency analysis;
 //! * [`obs`] — observability for a run: occupancy gauges, link-activity
@@ -56,6 +59,7 @@
 pub mod analysis;
 pub mod build;
 pub mod check;
+pub mod compiled;
 pub mod cs;
 pub mod diff;
 pub mod engine;
@@ -69,6 +73,7 @@ pub mod wiring;
 
 pub use build::{EngineKind, SchedulePolicy, SimBuilder};
 pub use check::InvariantChecker;
+pub use compiled::CompiledNoc;
 pub use cs::{Circuit, CsError, CsNativeNoc, CsNoc};
 pub use engine::NocEngine;
 pub use fault::{random_plan, FaultPlan, InjectApplier};

@@ -103,79 +103,7 @@ impl SeqNoc {
         scheduling: Scheduling,
         faults: Option<Arc<FaultPlan>>,
     ) -> Self {
-        iface_cfg.validate();
-        let n = cfg.num_nodes();
-        assert_eq!(depths.len(), n, "one depth per node");
-        let wiring = Wiring::new(&cfg);
-        let mut spec = SystemSpec::new();
-        // One shared kind per distinct depth, coords listed in node order
-        // (= instance order within the kind).
-        let mut distinct: Vec<usize> = Vec::new();
-        for &d in depths {
-            if !distinct.contains(&d) {
-                distinct.push(d);
-            }
-        }
-        let kinds: Vec<usize> = distinct
-            .iter()
-            .map(|&d| {
-                let mut kcfg = cfg;
-                kcfg.router.queue_depth = d;
-                let coords: Vec<_> = cfg
-                    .shape
-                    .coords()
-                    .zip(depths)
-                    .filter(|(_, &dd)| dd == d)
-                    .map(|(c, _)| c)
-                    .collect();
-                spec.add_kind(Box::new(RouterBlock::with_faults(
-                    kcfg,
-                    iface_cfg,
-                    coords,
-                    faults.clone(),
-                )))
-            })
-            .collect();
-        let blocks: Vec<usize> = depths
-            .iter()
-            .map(|d| {
-                let k = distinct
-                    .iter()
-                    .position(|x| x == d)
-                    .unwrap_or_else(|| unreachable!("every depth is listed in `distinct`"));
-                spec.add_block(kinds[k])
-            })
-            .collect();
-
-        // Forward and room links. Each router drives its 4 outgoing
-        // forward links and its 4 room links (describing its own input
-        // queues); the consumer is the neighbour across the link.
-        let mut fwd_links = vec![[usize::MAX; 4]; n];
-        for r in 0..n {
-            for d in 0..4 {
-                match wiring.neighbour(r, d) {
-                    Some(nb) => {
-                        let opp = Direction::from_index(d).opposite().index();
-                        fwd_links[r][d] =
-                            spec.wire((blocks[r], OUT_FWD0 + d), (blocks[nb], IN_FWD0 + opp));
-                        spec.wire((blocks[r], OUT_ROOM0 + d), (blocks[nb], IN_ROOM0 + opp));
-                    }
-                    None => {
-                        // Mesh edge: dangling outputs, tied-off inputs
-                        // (no flits arrive; no room beyond the edge).
-                        fwd_links[r][d] = spec.sink((blocks[r], OUT_FWD0 + d));
-                        spec.sink((blocks[r], OUT_ROOM0 + d));
-                        spec.tie_off((blocks[r], IN_FWD0 + d), 0);
-                        spec.tie_off((blocks[r], IN_ROOM0 + d), 0);
-                    }
-                }
-            }
-        }
-        // Host-written stimuli write pointers.
-        let wr_links: Vec<[usize; NUM_VCS]> = (0..n)
-            .map(|r| core::array::from_fn(|v| spec.external((blocks[r], IN_WRPTR0 + v), 0)))
-            .collect();
-
+        let (spec, wr_links, fwd_links) = build_noc_spec(&cfg, iface_cfg, depths, &faults);
         let mut engine = DynamicEngine::new(spec);
         engine.set_scheduling(scheduling);
         SeqNoc {
@@ -185,7 +113,7 @@ impl SeqNoc {
             wr_links,
             fwd_links,
             depths: depths.to_vec(),
-            host: HostPtrs::new(n),
+            host: HostPtrs::new(cfg.num_nodes()),
             faults,
         }
     }
@@ -216,6 +144,93 @@ impl SeqNoc {
     pub fn peek_regs(&self, node: usize) -> RouterRegs {
         RouterRegs::unpack(self.depths[node], self.engine.peek_state(node))
     }
+}
+
+/// Build the NoC [`SystemSpec`] shared by the interpreting ([`SeqNoc`])
+/// and compiled ([`crate::compiled::CompiledNoc`]) sequential backends:
+/// one shared [`RouterBlock`] kind per distinct queue depth, the
+/// forward/room wiring between neighbours, tied-off inputs and sunk
+/// outputs at mesh edges, and one external write-pointer link per
+/// stimuli ring. Returns `(spec, wr_links, fwd_links)`.
+pub(crate) fn build_noc_spec(
+    cfg: &NetworkConfig,
+    iface_cfg: IfaceConfig,
+    depths: &[usize],
+    faults: &Option<Arc<FaultPlan>>,
+) -> (SystemSpec, Vec<[usize; NUM_VCS]>, Vec<[usize; 4]>) {
+    iface_cfg.validate();
+    let n = cfg.num_nodes();
+    assert_eq!(depths.len(), n, "one depth per node");
+    let wiring = Wiring::new(cfg);
+    let mut spec = SystemSpec::new();
+    // One shared kind per distinct depth, coords listed in node order
+    // (= instance order within the kind).
+    let mut distinct: Vec<usize> = Vec::new();
+    for &d in depths {
+        if !distinct.contains(&d) {
+            distinct.push(d);
+        }
+    }
+    let kinds: Vec<usize> = distinct
+        .iter()
+        .map(|&d| {
+            let mut kcfg = *cfg;
+            kcfg.router.queue_depth = d;
+            let coords: Vec<_> = cfg
+                .shape
+                .coords()
+                .zip(depths)
+                .filter(|(_, &dd)| dd == d)
+                .map(|(c, _)| c)
+                .collect();
+            spec.add_kind(Box::new(RouterBlock::with_faults(
+                kcfg,
+                iface_cfg,
+                coords,
+                faults.clone(),
+            )))
+        })
+        .collect();
+    let blocks: Vec<usize> = depths
+        .iter()
+        .map(|d| {
+            let k = distinct
+                .iter()
+                .position(|x| x == d)
+                .unwrap_or_else(|| unreachable!("every depth is listed in `distinct`"));
+            spec.add_block(kinds[k])
+        })
+        .collect();
+
+    // Forward and room links. Each router drives its 4 outgoing
+    // forward links and its 4 room links (describing its own input
+    // queues); the consumer is the neighbour across the link.
+    let mut fwd_links = vec![[usize::MAX; 4]; n];
+    for r in 0..n {
+        for d in 0..4 {
+            match wiring.neighbour(r, d) {
+                Some(nb) => {
+                    let opp = Direction::from_index(d).opposite().index();
+                    fwd_links[r][d] =
+                        spec.wire((blocks[r], OUT_FWD0 + d), (blocks[nb], IN_FWD0 + opp));
+                    spec.wire((blocks[r], OUT_ROOM0 + d), (blocks[nb], IN_ROOM0 + opp));
+                }
+                None => {
+                    // Mesh edge: dangling outputs, tied-off inputs
+                    // (no flits arrive; no room beyond the edge).
+                    fwd_links[r][d] = spec.sink((blocks[r], OUT_FWD0 + d));
+                    spec.sink((blocks[r], OUT_ROOM0 + d));
+                    spec.tie_off((blocks[r], IN_FWD0 + d), 0);
+                    spec.tie_off((blocks[r], IN_ROOM0 + d), 0);
+                }
+            }
+        }
+    }
+    // Host-written stimuli write pointers.
+    let wr_links: Vec<[usize; NUM_VCS]> = (0..n)
+        .map(|r| core::array::from_fn(|v| spec.external((blocks[r], IN_WRPTR0 + v), 0)))
+        .collect();
+    (spec, wr_links, fwd_links)
 }
 
 /// A [`seqsim::KernelProfiler`] with its attribution taken from the

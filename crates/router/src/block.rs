@@ -19,14 +19,15 @@
 //! ring, 5 = access-delay ring.
 
 use crate::clock::clock;
-use crate::comb::{comb_fwd, comb_room, comb_select, transfers, RouterInputs};
+use crate::comb::{comb_fwd, comb_room, comb_select, transfers, RouterInputs, Selection};
 use crate::iface::{iface_clock, iface_pick, IfaceConfig, IfaceStore};
 use crate::layout::RegisterLayout;
 use crate::regs::RouterRegs;
 use crate::routing::RouterCtx;
 use noc_types::fault::{FaultPlan, NodeFaults};
 use noc_types::flit::{room_from_bits, room_to_bits, LINK_FWD_BITS, LINK_ROOM_BITS};
-use noc_types::{Coord, LinkFwd, NetworkConfig, Port, NUM_VCS};
+use noc_types::{Coord, LinkFwd, NetworkConfig, Port, NUM_PORTS, NUM_VCS};
+use seqsim::compile::CompiledExec;
 use seqsim::{BlockKind, CombInputs, SideView};
 use std::sync::Arc;
 
@@ -302,6 +303,175 @@ impl BlockKind for RouterBlock {
                 });
             }
         }
+    }
+
+    fn compile(&self) -> Option<Box<dyn CompiledExec>> {
+        Some(Box::new(CompiledRouter {
+            cfg: self.cfg,
+            iface_cfg: self.iface_cfg,
+            coords: self.coords.clone(),
+            nf: self.nf.clone(),
+            regs: Vec::new(),
+            room: Vec::new(),
+            sel: Vec::new(),
+            fwd: Vec::new(),
+        }))
+    }
+}
+
+/// The router's specialized execution unit for the compiled engine
+/// ([`seqsim::compile::CompiledEngine`]).
+///
+/// Register files stay *decoded* between cycles, so the steady-state
+/// path never touches [`RouterRegs::pack`]/[`RouterRegs::unpack`] — the
+/// cost the generic [`BlockKind::eval`] path pays (or memcmp-guards)
+/// every delta. The three passes mirror `eval`'s internal phases
+/// exactly, so the compiled engine is bit-identical by construction:
+///
+/// * comb pass 0 — room outputs, `f(registered state)` only;
+/// * comb pass 1 — arbitration + forward outputs, `f(state, room in)`
+///   (the only combinational feed-through the kind declares);
+/// * update — stimuli pick, `clock`, `iface_clock`, registers advanced
+///   in place.
+#[derive(Debug, Clone)]
+struct CompiledRouter {
+    cfg: NetworkConfig,
+    iface_cfg: IfaceConfig,
+    coords: Vec<Coord>,
+    nf: Vec<NodeFaults>,
+    /// Per-instance decoded register file.
+    regs: Vec<RouterRegs>,
+    /// Per-instance room outputs cached from comb pass 0 (consumed by
+    /// the update pass's stimuli pick).
+    room: Vec<[[bool; NUM_VCS]; NUM_PORTS]>,
+    /// Per-instance arbitration cached from comb pass 1.
+    sel: Vec<Selection>,
+    /// Per-instance forward words cached from comb pass 1 (the Local
+    /// word feeds `iface_clock`).
+    fwd: Vec<[LinkFwd; NUM_PORTS]>,
+}
+
+impl CompiledRouter {
+    fn ctx(&self, instance: usize) -> RouterCtx {
+        RouterCtx {
+            coord: self.coords[instance],
+            shape: self.cfg.shape,
+            topology: self.cfg.topology,
+            depth: self.cfg.router.queue_depth,
+        }
+    }
+}
+
+impl CompiledExec for CompiledRouter {
+    fn load(&mut self, instance: usize, packed: &[u64]) {
+        if self.regs.len() <= instance {
+            let n = instance + 1;
+            self.regs.resize(n, RouterRegs::new());
+            self.room.resize(n, [[true; NUM_VCS]; NUM_PORTS]);
+            self.sel.resize(
+                n,
+                Selection {
+                    per_out: [None; NUM_PORTS],
+                },
+            );
+            self.fwd.resize(n, [LinkFwd::IDLE; NUM_PORTS]);
+        }
+        self.regs[instance] = RouterRegs::unpack(self.cfg.router.queue_depth, packed);
+    }
+
+    fn store(&self, instance: usize, packed: &mut [u64]) {
+        self.regs[instance].pack(self.cfg.router.queue_depth, packed);
+    }
+
+    fn comb(
+        &mut self,
+        instance: usize,
+        pass: usize,
+        inputs: &[u64],
+        cycle: u64,
+        outputs: &mut [u64],
+        _side: &mut SideView<'_>,
+    ) {
+        let stalled = self.nf[instance].stalled(cycle);
+        if pass == 0 {
+            // Room outputs: f(registered state) only.
+            if stalled {
+                for d in 0..4 {
+                    outputs[OUT_ROOM0 + d] = 0;
+                }
+                return;
+            }
+            let room = comb_room(&self.regs[instance], self.cfg.router.queue_depth);
+            for d in 0..4 {
+                outputs[OUT_ROOM0 + d] = room_to_bits(room[d]);
+            }
+            self.room[instance] = room;
+        } else {
+            // Forward outputs: arbitration gated by neighbour room.
+            if stalled {
+                for d in 0..4 {
+                    outputs[OUT_FWD0 + d] = 0;
+                }
+                return;
+            }
+            let mut room_in = [[true; NUM_VCS]; NUM_PORTS];
+            for d in 0..4 {
+                room_in[d] = room_from_bits(inputs[IN_ROOM0 + d]);
+            }
+            let ctx = self.ctx(instance);
+            let regs = &self.regs[instance];
+            let sel = comb_select(regs, &ctx);
+            let trans = transfers(&sel, &room_in);
+            let fwd = comb_fwd(regs, &trans);
+            for d in 0..4 {
+                outputs[OUT_FWD0 + d] = fwd[d].to_bits();
+            }
+            self.sel[instance] = sel;
+            self.fwd[instance] = fwd;
+        }
+    }
+
+    fn update(&mut self, instance: usize, inputs: &[u64], cycle: u64, side: &mut SideView<'_>) {
+        if self.nf[instance].stalled(cycle) {
+            // Registers held, no side effects — `eval`'s early return.
+            return;
+        }
+        let ctx = self.ctx(instance);
+        let iface_cfg = self.iface_cfg;
+        let mut rin = RouterInputs::idle();
+        for d in 0..4 {
+            let mut fwd_word = inputs[IN_FWD0 + d];
+            if self.nf[instance].link_faulty(d) {
+                fwd_word = self.nf[instance].apply_link(d, cycle, fwd_word);
+            }
+            rin.fwd_in[d] = LinkFwd::from_bits(fwd_word);
+            rin.room_in[d] = room_from_bits(inputs[IN_ROOM0 + d]);
+        }
+        let mut store = SideStore { view: side };
+        let pick = iface_pick(
+            &self.regs[instance].iface,
+            &iface_cfg,
+            &store,
+            &self.room[instance][Port::Local.index()],
+            cycle,
+        );
+        if let Some((vc, entry)) = pick {
+            rin.fwd_in[Port::Local.index()] = LinkFwd::flit(vc, entry.flit);
+        }
+        let sel = self.sel[instance];
+        let fwd_local = self.fwd[instance][Port::Local.index()];
+        let regs = &mut self.regs[instance];
+        clock(regs, &ctx, &rin, Some(&sel));
+        let wr_inputs: [u16; NUM_VCS] = core::array::from_fn(|v| inputs[IN_WRPTR0 + v] as u16);
+        iface_clock(
+            &mut regs.iface,
+            &iface_cfg,
+            &mut store,
+            pick,
+            fwd_local,
+            wr_inputs,
+            cycle,
+        );
     }
 }
 

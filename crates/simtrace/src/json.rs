@@ -66,6 +66,14 @@ impl JsonValue {
     pub fn u64(&self) -> Option<u64> {
         self.num().filter(|v| *v >= 0.0).map(|v| v as u64)
     }
+
+    /// The boolean payload (`None` on non-booleans).
+    pub fn bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Parse one well-formed JSON value into a [`JsonValue`] tree. Accepts

@@ -173,6 +173,10 @@ pub mod codes {
     /// The worst-case convergence bound of a combinational SCC exceeds
     /// the divergence watchdog budget.
     pub const CONVERGENCE_BUDGET: &str = "convergence-budget";
+    /// The port-level combinational graph is cyclic, so the compiled
+    /// engine cannot lower the spec to straight-line code and falls
+    /// back to bounded fixed-point passes.
+    pub const COMPILE_FALLBACK: &str = "compile-fallback";
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Kernel throughput benchmark: builds the harness and writes
-# BENCH_kernel.json (schema soc-sim/bench_kernel/v3) in the repo root.
+# BENCH_kernel.json (schema soc-sim/bench_kernel/v4) in the repo root.
 # Every row carries a "threads" field; the seqsim-sharded rows sweep the
 # worker count from 1 to the host's CPU count (--quick: threads 1 and 2).
 #

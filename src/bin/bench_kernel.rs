@@ -3,8 +3,13 @@
 //! Table 3), written as machine-readable JSON.
 //!
 //! ```text
-//! cargo run --release --bin bench_kernel [--quick] [--out FILE]
+//! cargo run --release --bin bench_kernel [--quick] [--out FILE] [--engines a,b,c]
 //! ```
+//!
+//! `--engines` filters the matrix to a comma-separated list of engine
+//! ids (e.g. `--engines seqsim,seqsim-compiled` re-runs just the
+//! compiled-vs-hybrid comparison in seconds); `seqsim-sharded` selects
+//! the thread sweep and `speccheck` the analyzer row.
 //!
 //! Two workloads per engine on the paper's 6x6 torus (depth 2):
 //!
@@ -17,6 +22,8 @@
 //! baseline the incremental worklist is measured against, a
 //! `seqsim-dynamic` row (the same engine with the analyzer-derived
 //! hybrid schedule switched off) for the dynamic-vs-hybrid comparison,
+//! a `seqsim-compiled` row (the hybrid schedule lowered at build time
+//! into a flat bytecode kernel, `schedule: "compiled"`),
 //! an idle scaling sweep from 2 to 256 routers for the sequential and
 //! native kernels, and a `seqsim-sharded` thread sweep (1 → the
 //! machine's CPU count) on both 6x6 workloads. Every row carries a
@@ -50,7 +57,8 @@ struct Row {
     /// the sharded one).
     threads: usize,
     /// `"hybrid"` when the engine adopted the analyzer's SCC-condensed
-    /// schedule at build time, `"dynamic"` otherwise.
+    /// schedule at build time, `"compiled"` when that schedule was
+    /// lowered into a bytecode program, `"dynamic"` otherwise.
     schedule: &'static str,
     cycles: u64,
     wall_s: f64,
@@ -85,14 +93,15 @@ impl EngineSpec {
         }
     }
 
-    /// The `schedule` label the rows report: only the sequential
-    /// worklist engine under [`SchedulePolicy::Auto`] adopts the
-    /// analyzer's hybrid schedule.
+    /// The `schedule` label the rows report: the sequential worklist
+    /// engine under [`SchedulePolicy::Auto`] adopts the analyzer's
+    /// hybrid schedule; the compiled engine lowers that same schedule
+    /// into its bytecode program at build time.
     fn schedule(&self) -> &'static str {
-        if self.kind == EngineKind::Seq && self.policy == SchedulePolicy::Auto {
-            "hybrid"
-        } else {
-            "dynamic"
+        match self.kind {
+            EngineKind::Seq if self.policy == SchedulePolicy::Auto => "hybrid",
+            EngineKind::SeqCompiled => "compiled",
+            _ => "dynamic",
         }
     }
 }
@@ -110,6 +119,12 @@ fn engines() -> Vec<EngineSpec> {
             kind: EngineKind::Seq,
             policy: SchedulePolicy::Auto,
             idle_cycles: 20_000,
+        },
+        EngineSpec {
+            id: "seqsim-compiled",
+            kind: EngineKind::SeqCompiled,
+            policy: SchedulePolicy::Auto,
+            idle_cycles: 50_000,
         },
         EngineSpec {
             id: "seqsim-dynamic",
@@ -284,6 +299,17 @@ fn main() {
         .position(|a| a == "--out")
         .map(|i| args[i + 1].clone())
         .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+    // `--engines a,b,c` restricts the matrix to the listed engine ids
+    // (the scaling/thread sweeps and the analyzer row included).
+    let only: Option<Vec<String>> = args.iter().position(|a| a == "--engines").map(|i| {
+        args.get(i + 1)
+            .expect("--engines needs a comma-separated list")
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()
+    });
+    let keep = |id: &str| only.as_ref().is_none_or(|l| l.iter().any(|x| x == id));
     let div = if quick { 10 } else { 1 };
 
     let cfg = NetworkConfig::fig1();
@@ -303,6 +329,9 @@ fn main() {
         if quick { "quick" } else { "full" }
     );
     for spec in engines() {
+        if !keep(spec.id) {
+            continue;
+        }
         let row = bench_idle(
             spec.id,
             spec.make(cfg),
@@ -327,7 +356,11 @@ fn main() {
 
     // Sharded thread sweep on the 6x6 workloads: the parallel-schedule
     // scaling curve (threads = shards = workers).
-    let sweep = thread_sweep(quick);
+    let sweep = if keep("seqsim-sharded") {
+        thread_sweep(quick)
+    } else {
+        Vec::new()
+    };
     eprintln!("# sharded thread sweep (threads in {sweep:?})");
     for &threads in &sweep {
         let kind = EngineKind::Sharded { threads };
@@ -367,6 +400,7 @@ fn main() {
     for spec in engines()
         .into_iter()
         .filter(|s| s.id == "seqsim" || s.id == "native")
+        .filter(|s| keep(s.id))
     {
         for &(w, h) in shapes {
             let swept = NetworkConfig::new(w as u8, h as u8, Topology::Torus, 2);
@@ -386,34 +420,36 @@ fn main() {
     // Build-time analyzer cost on the bench network: spec assembly,
     // graph extraction, SCC condensation and the lint passes — what
     // every `SchedulePolicy::Auto` build pays before cycle zero.
-    let reps = if quick { 5u64 } else { 50 };
-    eprintln!("# speccheck analyzer ({reps} passes)");
-    let start = Instant::now();
-    let mut analysis = None;
-    for _ in 0..reps {
-        analysis = Some(soc_sim::sim(cfg).lint());
+    if keep("speccheck") {
+        let reps = if quick { 5u64 } else { 50 };
+        eprintln!("# speccheck analyzer ({reps} passes)");
+        let start = Instant::now();
+        let mut analysis = None;
+        for _ in 0..reps {
+            analysis = Some(soc_sim::sim(cfg).lint());
+        }
+        let wall = start.elapsed().as_secs_f64().max(1e-9);
+        let analysis = analysis.expect("at least one analyzer pass");
+        assert!(!analysis.has_errors(), "bench topology must lint clean");
+        let row = Row {
+            id: format!("speccheck/analyze/{}x{}", cfg.shape.w, cfg.shape.h),
+            engine: "speccheck",
+            kernel: "speccheck",
+            workload: "analyze",
+            routers: cfg.num_nodes(),
+            threads: 1,
+            schedule: "hybrid",
+            cycles: reps,
+            wall_s: wall,
+            cycles_per_sec: reps as f64 / wall,
+            deltas_per_sec: None,
+        };
+        eprintln!("  {:<32} {:>10.1} passes/s", row.id, row.cycles_per_sec);
+        rows.push(row);
     }
-    let wall = start.elapsed().as_secs_f64().max(1e-9);
-    let analysis = analysis.expect("at least one analyzer pass");
-    assert!(!analysis.has_errors(), "bench topology must lint clean");
-    let row = Row {
-        id: format!("speccheck/analyze/{}x{}", cfg.shape.w, cfg.shape.h),
-        engine: "speccheck",
-        kernel: "speccheck",
-        workload: "analyze",
-        routers: cfg.num_nodes(),
-        threads: 1,
-        schedule: "hybrid",
-        cycles: reps,
-        wall_s: wall,
-        cycles_per_sec: reps as f64 / wall,
-        deltas_per_sec: None,
-    };
-    eprintln!("  {:<32} {:>10.1} passes/s", row.id, row.cycles_per_sec);
-    rows.push(row);
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"soc-sim/bench_kernel/v3\",\n");
+    json.push_str("{\n  \"schema\": \"soc-sim/bench_kernel/v4\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,

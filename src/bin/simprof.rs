@@ -106,7 +106,18 @@ fn summary(report: &ProfileReport, top: usize) {
             e.hbr_retries,
         );
     }
-    if !report.sccs.is_empty() {
+    if report.sccs.is_empty() {
+        // Compiled-kernel reports (and acyclic specs on the worklist
+        // engine) legitimately have no fixed-point SCC rows: the comb
+        // opcode time is already rolled up into each block's self time
+        // via the opcode→block back-pointers.
+        if report.engine.contains("compiled") {
+            println!(
+                "\nstraight-line compiled program: no fixed-point SCCs, HBR checks \
+                 elided; opcode self time is attributed per block above"
+            );
+        }
+    } else {
         println!("\nmulti-block SCCs (fixed-point convergence):");
         println!(
             "{:>5} {:>7} {:>7} {:>9} {:>10}",
@@ -158,7 +169,16 @@ struct BenchRow {
     cycles_per_sec: f64,
 }
 
-fn load_bench(path: &str) -> Result<Vec<BenchRow>, String> {
+/// A parsed `bench_kernel` output: its rows plus the run-configuration
+/// flag the gate must not silently compare across.
+struct BenchFile {
+    /// `"quick": true/false` from the header (`None` on pre-v3 files
+    /// that never recorded it).
+    quick: Option<bool>,
+    rows: Vec<BenchRow>,
+}
+
+fn load_bench(path: &str) -> Result<BenchFile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let doc = simtrace::json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     let rows = doc
@@ -179,23 +199,71 @@ fn load_bench(path: &str) -> Result<Vec<BenchRow>, String> {
                 .ok_or_else(|| format!("{path}: bench row missing cycles_per_sec"))?,
         });
     }
-    Ok(out)
+    Ok(BenchFile {
+        quick: doc.get("quick").and_then(JsonValue::bool),
+        rows: out,
+    })
+}
+
+fn quick_label(q: Option<bool>) -> &'static str {
+    match q {
+        Some(true) => "quick",
+        Some(false) => "full",
+        None => "unknown",
+    }
 }
 
 /// Compare bench rows by id; any drop beyond `max_drop_pct` fails.
 fn bench_check(baseline: &str, current: &str, max_drop_pct: f64) -> Result<bool, String> {
-    let base = load_bench(baseline)?;
-    let cur = load_bench(current)?;
+    let base_file = load_bench(baseline)?;
+    let cur_file = load_bench(current)?;
+    let (base, cur) = (&base_file.rows, &cur_file.rows);
     let mut ok = true;
     let mut compared = 0usize;
     println!(
         "bench-check: {} vs {} (fail on >{max_drop_pct:.0}% throughput drop)",
         baseline, current
     );
-    for b in &base {
+    // Cycle budgets (and therefore measured rates) differ between quick
+    // and full runs: a cross-mode comparison is apples to oranges, and a
+    // quick-mode baseline makes the gate permanently lenient. Warn
+    // loudly rather than silently passing.
+    if base_file.quick != cur_file.quick || base_file.quick.is_none() {
+        println!(
+            "  WARNING comparing a {} baseline against a {} run — cycle \
+             budgets differ, percentages are not meaningful; re-record the \
+             baseline with a matching full bench run",
+            quick_label(base_file.quick),
+            quick_label(cur_file.quick)
+        );
+    } else if base_file.quick == Some(true) {
+        println!(
+            "  WARNING both files are --quick runs: short budgets are noisy; \
+             the committed baseline should be a full run"
+        );
+    }
+    for c in cur {
+        if !base.iter().any(|b| b.id == c.id) {
+            println!(
+                "  NEW     {:<40} (no baseline counterpart — not gated)",
+                c.id
+            );
+        }
+    }
+    // In a like-for-like comparison a vanished row is a lost benchmark
+    // and fails the gate; across quick/full modes the smaller sweep
+    // budgets legitimately emit fewer rows, so it only warns.
+    let same_mode = base_file.quick.is_some() && base_file.quick == cur_file.quick;
+    for b in base {
         let Some(c) = cur.iter().find(|c| c.id == b.id) else {
-            println!("  MISSING {:<40} (row absent from current run)", b.id);
-            ok = false;
+            println!(
+                "  MISSING {:<40} (row absent from current run{})",
+                b.id,
+                if same_mode { "" } else { " — not gated" }
+            );
+            if same_mode {
+                ok = false;
+            }
             continue;
         };
         compared += 1;

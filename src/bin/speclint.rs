@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! cargo run --release --bin speclint -- \
-//!     [--all-topologies] [--format text|json] [--out FILE]
+//!     [--all-topologies] [--format text|json] [--out FILE] [--emit-program FILE]
 //! ```
+//!
+//! `--emit-program FILE` additionally lowers the bench network (the
+//! paper's 6x6 torus) through the schedule compiler and writes the
+//! bytecode program's disassembly to `FILE` — a reviewable CI artifact
+//! that also re-parses via `seqsim::CompiledProgram::parse`.
 //!
 //! Each target is analyzed before any cycle is simulated: the block/link
 //! graph is extracted, SCC-condensed, and linted (multiple writers, dead
@@ -185,6 +190,25 @@ fn run() -> Result<i32, SimError> {
         )));
     }
     let out = flag_path(&args, "--out")?;
+
+    if let Some(path) = flag_path(&args, "--emit-program")? {
+        let cfg = NetworkConfig::fig1();
+        let e = noc::CompiledNoc::new(cfg, IfaceConfig::default());
+        let prog = e.engine().program();
+        let text = prog.disassemble();
+        // The artifact must stay machine-readable: a program that fails
+        // to re-parse is a bug in the disassembler, not the spec.
+        seqsim::CompiledProgram::parse(&text)
+            .map_err(|e| SimError::Config(format!("emitted program does not re-parse: {e}")))?;
+        std::fs::write(&path, &text)
+            .map_err(|e| SimError::Config(format!("cannot write {}: {e}", path.display())))?;
+        eprintln!(
+            "speclint: wrote compiled 6x6 torus program to {} ({} ops, {} links)",
+            path.display(),
+            prog.ops.len(),
+            prog.n_links
+        );
+    }
 
     let rows = all_targets();
     let rendered = if format == "json" {

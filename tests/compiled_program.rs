@@ -1,0 +1,75 @@
+//! Properties of the compiled bytecode program at NoC scale: the
+//! disassembly is a faithful, re-parseable encoding of the program, and
+//! the arena has single-writer discipline — every link offset is
+//! scattered to by at most one opcode (exactly one for block-driven
+//! links), mirroring the one-driver-per-wire rule of the hardware.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use noc::CompiledNoc;
+use noc_types::{NetworkConfig, Topology};
+use seqsim::{CompiledProgram, ProgramMode};
+use vc_router::IfaceConfig;
+
+fn programs() -> Vec<(String, CompiledProgram)> {
+    [
+        NetworkConfig::new(4, 4, Topology::Torus, 4),
+        NetworkConfig::new(3, 2, Topology::Mesh, 2),
+        NetworkConfig::new(2, 1, Topology::Torus, 8),
+    ]
+    .into_iter()
+    .map(|cfg| {
+        let e = CompiledNoc::new(cfg, IfaceConfig::default());
+        (
+            format!("{}x{} {:?}", cfg.shape.w, cfg.shape.h, cfg.topology),
+            e.engine().program().clone(),
+        )
+    })
+    .collect()
+}
+
+#[test]
+fn noc_programs_are_straight_line() {
+    for (name, prog) in programs() {
+        assert!(
+            matches!(prog.mode, ProgramMode::StraightLine { .. }),
+            "{name}: the NoC comb graph is acyclic, must not fall back"
+        );
+    }
+}
+
+#[test]
+fn disassembly_round_trips_at_noc_scale() {
+    for (name, prog) in programs() {
+        let text = prog.disassemble();
+        let parsed = CompiledProgram::parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: disassembly does not re-parse: {e}"));
+        assert_eq!(parsed, prog, "{name}: round-trip changed the program");
+    }
+}
+
+#[test]
+fn every_link_offset_has_at_most_one_writer() {
+    for (name, prog) in programs() {
+        let mut writers = vec![0u32; prog.n_links];
+        for op in &prog.ops {
+            if let Some(r) = op.scatter() {
+                for mv in &prog.scatters[r.as_range()] {
+                    writers[mv.link as usize] += 1;
+                }
+            }
+        }
+        assert!(
+            writers.iter().all(|&w| w <= 1),
+            "{name}: some arena link offset is written by more than one opcode"
+        );
+        // Every gathered (read) link is either block-driven — written by
+        // exactly one scatter — or an external/tie-off initialized at
+        // arena construction (never scattered).
+        let gathered: std::collections::BTreeSet<u32> =
+            prog.gathers.iter().map(|g| g.link).collect();
+        assert!(
+            gathered.iter().all(|&l| (l as usize) < prog.n_links),
+            "{name}: gather reads outside the link region"
+        );
+    }
+}

@@ -26,9 +26,10 @@ fn traffic_for(net: NetworkConfig, load: f64, gt: bool, seed: u64) -> TrafficCon
     }
 }
 
-const KINDS: [(&str, EngineKind); 6] = [
+const KINDS: [(&str, EngineKind); 7] = [
     ("native", EngineKind::Native),
     ("seqsim", EngineKind::Seq),
+    ("seqsim-compiled", EngineKind::SeqCompiled),
     ("seqsim-sharded-p2", EngineKind::Sharded { threads: 2 }),
     ("seqsim-sharded-p3", EngineKind::Sharded { threads: 3 }),
     ("systemc", EngineKind::CycleSim),
