@@ -143,6 +143,30 @@ pub trait BlockKind: Send {
     fn compile(&self) -> Option<Box<dyn crate::compile::CompiledExec>> {
         None
     }
+
+    /// Opt this kind into GSIM-style bitwise lane packing in the batched
+    /// engine: 64 lanes of a width-1 signal share one `u64` word, and
+    /// `eval` is called once on the packed words instead of once per
+    /// lane.
+    ///
+    /// **Proof obligation.** Returning `true` asserts all of:
+    ///
+    /// * every input and output port is exactly 1 bit wide, and
+    ///   `state_bits() == 0` and `side_rings()` is empty (the batcher
+    ///   statically rejects the kind otherwise);
+    /// * `eval` computes each output as a *lanewise bitwise* function of
+    ///   the inputs — bit `j` of every output depends only on bit `j` of
+    ///   the inputs. Shifts, adds, comparisons against the numeric value
+    ///   of an input, and any `cycle`- or `instance`-dependent behaviour
+    ///   that is not the same for all 64 bits all break this;
+    /// * the function is identical across instances of the kind.
+    ///
+    /// The static checks cover the shape constraints only; the lanewise
+    /// property is enforced empirically by the batched differential
+    /// suites. Default: `false` (per-lane evaluation, always correct).
+    fn bit_parallel(&self) -> bool {
+        false
+    }
 }
 
 /// What drives a link.

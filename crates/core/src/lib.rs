@@ -67,6 +67,7 @@
 // unwraps. Tests may still unwrap.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod batch;
 pub mod block;
 pub mod check;
 pub mod compile;
@@ -85,6 +86,7 @@ pub mod systolic;
 pub mod trace;
 pub mod worklist;
 
+pub use batch::{check_lane_structure, BatchedEngine, BatchedProgram, BatchedSnapshot};
 pub use block::{
     BlockId, BlockInst, BlockKind, CombInputs, KindId, LinkDriver, LinkId, LinkSpec, SystemSpec,
 };

@@ -23,6 +23,28 @@ use std::thread::JoinHandle;
 /// A boxed task with a caller-chosen (non-`'static`) borrow lifetime.
 pub type ScopedTask<'a> = Box<dyn FnOnce() + Send + 'a>;
 
+/// The shared worker-count knob for every parallel sweep in the
+/// workspace (the batched engine's lane groups, `par_map` in the root
+/// crate).
+///
+/// Resolution order: an `explicit` count from a builder method wins;
+/// otherwise the `SOC_SIM_THREADS` environment variable (a positive
+/// integer; unparsable or zero values are ignored); otherwise the host's
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn worker_count(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("SOC_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Worker {

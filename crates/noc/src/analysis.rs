@@ -4,7 +4,7 @@
 //! this is reported to the user and simulation is stopped", §5.3).
 
 use crate::engine::NocEngine;
-use crate::runner::{run, RunConfig, RunReport};
+use crate::runner::{run_impl, RunConfig, RunReport};
 use stats::Series;
 use traffic::{BeConfig, StimuliGenerator, TrafficConfig};
 
@@ -42,7 +42,7 @@ pub fn saturation_sweep(
                 gt_streams: Vec::new(),
                 seed,
             });
-            let r: RunReport = run(engine.as_mut(), &mut gen, rc)
+            let r: RunReport = run_impl(engine.as_mut(), &mut gen, rc)
                 .unwrap_or_else(|e| panic!("saturation sweep run failed at load {load}: {e}"));
             SaturationPoint {
                 offered: load,

@@ -25,10 +25,13 @@
 //! [`SimBuilder::register`]. The `soc_sim` meta-crate's `sim(cfg)`
 //! pre-registers both, so end users never see the difference.
 
+use crate::batched::BatchedNoc;
 use crate::compiled::CompiledNoc;
 use crate::engine::NocEngine;
 use crate::native::NativeNoc;
+use crate::runner::RunConfig;
 use crate::seq::SeqNoc;
+use crate::session::Session;
 use crate::shard::{partition, ShardedSeqEngine};
 use noc_types::fault::FaultPlan;
 use noc_types::NetworkConfig;
@@ -66,6 +69,19 @@ pub enum EngineKind {
         /// Worker/shard count (clamped to the node count; 1 runs inline).
         threads: usize,
     },
+    /// The lane-batched engine: `lanes` independent simulations of one
+    /// topology (per-lane fault plans, stimuli and seeds) advanced in
+    /// lockstep by a single walk of the compiled bytecode over an
+    /// arena-of-lanes ([`crate::BatchedNoc`]). Each lane is bit-identical
+    /// to [`EngineKind::SeqCompiled`] with that lane's configuration.
+    ///
+    /// Not a single [`NocEngine`] — build through
+    /// [`SimBuilder::session`] and drive lanes via
+    /// [`Session::run_each`](crate::Session::run_each).
+    Batched {
+        /// Number of simulation lanes in the batch.
+        lanes: usize,
+    },
 }
 
 impl EngineKind {
@@ -79,6 +95,7 @@ impl EngineKind {
             EngineKind::CycleSim => "systemc",
             EngineKind::Rtl => "rtl",
             EngineKind::Sharded { .. } => "seqsim-sharded",
+            EngineKind::Batched { .. } => "seqsim-batched",
         }
     }
 }
@@ -112,6 +129,9 @@ pub struct SimBuilder {
     kind: EngineKind,
     schedule: SchedulePolicy,
     faults: Option<Arc<FaultPlan>>,
+    lane_faults: Option<Vec<Option<Arc<FaultPlan>>>>,
+    threads: Option<usize>,
+    run_config: RunConfig,
     profile: Option<u64>,
     factories: Vec<(EngineKind, EngineFactory)>,
 }
@@ -126,6 +146,9 @@ impl SimBuilder {
             kind: EngineKind::Seq,
             schedule: SchedulePolicy::default(),
             faults: None,
+            lane_faults: None,
+            threads: None,
+            run_config: RunConfig::default(),
             profile: None,
             factories: Vec::new(),
         }
@@ -160,6 +183,42 @@ impl SimBuilder {
             "fault plan sized for a different network"
         );
         self.faults = Some(plan);
+        self
+    }
+
+    /// Per-lane fault plans for [`EngineKind::Batched`] — the
+    /// lane-divergent *contents* the batch lint allows (topology must
+    /// stay identical). `None` entries run clean. Scalar kinds ignore
+    /// this; a batched session without it falls back to broadcasting
+    /// [`faults`](Self::faults) (or clean lanes) across the batch.
+    pub fn lane_faults(mut self, plans: Vec<Option<Arc<FaultPlan>>>) -> Self {
+        for (lane, plan) in plans.iter().enumerate() {
+            if let Some(p) = plan {
+                assert_eq!(
+                    p.num_nodes(),
+                    self.cfg.num_nodes(),
+                    "lane {lane} fault plan sized for a different network"
+                );
+            }
+        }
+        self.lane_faults = Some(plans);
+        self
+    }
+
+    /// Worker threads for the batched engine's lane groups. Unset, the
+    /// shared knob applies: the `SOC_SIM_THREADS` environment variable,
+    /// then the machine's available parallelism
+    /// ([`seqsim::pool::worker_count`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// The run parameters a [`Session`] built from this builder starts
+    /// with ([`Session::set_run_config`](crate::Session::set_run_config)
+    /// can change them later).
+    pub fn run_config(mut self, rc: RunConfig) -> Self {
+        self.run_config = rc;
         self
     }
 
@@ -271,6 +330,11 @@ impl SimBuilder {
                 threads,
                 self.faults,
             ))),
+            EngineKind::Batched { lanes } => Err(SimError::Config(format!(
+                "the batched engine drives {lanes} lanes and is not a single NocEngine; \
+                 build it through SimBuilder::session() and drive it via Session::run_each \
+                 (or Session::batched_mut for direct lane access)"
+            ))),
             kind @ (EngineKind::CycleSim | EngineKind::Rtl) => Err(SimError::Config(format!(
                 "engine kind {kind:?} is implemented outside the noc crate; \
                  build it through soc_sim::sim(cfg), or register a factory: \
@@ -279,20 +343,80 @@ impl SimBuilder {
         }
     }
 
+    /// Build a typed [`Session`]: the engine plus its run parameters,
+    /// with [`Session::run`](crate::Session::run) /
+    /// [`Session::run_each`](crate::Session::run_each) replacing the
+    /// free-function runner. This is the only way to build
+    /// [`EngineKind::Batched`]; every scalar kind works too.
+    ///
+    /// ```
+    /// use noc::{EngineKind, RunConfig, SimBuilder};
+    /// use noc_types::{NetworkConfig, Topology};
+    ///
+    /// let cfg = NetworkConfig::new(3, 3, Topology::Torus, 4);
+    /// let mut session = SimBuilder::new(cfg)
+    ///     .engine(EngineKind::Batched { lanes: 2 })
+    ///     .run_config(RunConfig::new().warmup(100).cycles(400).drain(200))
+    ///     .session()
+    ///     .expect("clean network");
+    /// let reports = session.run_fig1(0.05, 7).expect("clean run");
+    /// assert_eq!(reports.len(), 2);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Everything [`try_build`](Self::try_build) reports, plus a
+    /// lane-count mismatch between [`EngineKind::Batched`] and
+    /// [`lane_faults`](Self::lane_faults).
+    pub fn session(self) -> Result<Session, SimError> {
+        match self.kind {
+            EngineKind::Batched { lanes } => {
+                let threads = seqsim::pool::worker_count(self.threads);
+                let lane_faults = match self.lane_faults {
+                    Some(plans) => {
+                        if plans.len() != lanes {
+                            return Err(SimError::Config(format!(
+                                "EngineKind::Batched {{ lanes: {lanes} }} with {} lane_faults \
+                                 entries — give exactly one (possibly None) per lane",
+                                plans.len()
+                            )));
+                        }
+                        plans
+                    }
+                    None => vec![self.faults; lanes],
+                };
+                let mut noc = BatchedNoc::with_faults(self.cfg, self.iface, lane_faults, threads)?;
+                if let Some(sample_every) = self.profile {
+                    noc.attach_profiler(sample_every);
+                }
+                Ok(Session::from_batched(noc, self.run_config))
+            }
+            _ => {
+                let rc = self.run_config.clone();
+                let engine = self.try_build()?;
+                Ok(Session::scalar(engine, rc))
+            }
+        }
+    }
+
     /// Build the engine.
     ///
     /// # Panics
     ///
     /// On any [`SimError::Config`] from [`try_build`](Self::try_build):
-    /// error-severity analyzer diagnostics, or an
+    /// error-severity analyzer diagnostics, an [`EngineKind::Batched`]
+    /// (which only [`session`](Self::session) can build), or an
     /// [`EngineKind::CycleSim`] / [`EngineKind::Rtl`] without a
     /// registered factory — construct through `soc_sim::sim(cfg)` (which
     /// pre-registers both) or call [`register`](Self::register).
+    #[deprecated(
+        since = "0.2.0",
+        note = "panics on misconfiguration; use `try_build()` for a bare engine \
+                or `session()` for the typed run API"
+    )]
     pub fn build(self) -> Box<dyn NocEngine> {
-        match self.try_build() {
-            Ok(e) => e,
-            Err(e) => panic!("{e}"),
-        }
+        self.try_build()
+            .unwrap_or_else(|e| panic!("{e}" /* misconfiguration: see try_build */))
     }
 }
 
@@ -328,7 +452,10 @@ mod tests {
             (EngineKind::SeqCompiled, "seqsim-compiled"),
             (EngineKind::Sharded { threads: 2 }, "seqsim-sharded"),
         ] {
-            let mut e = SimBuilder::new(cfg()).engine(kind).build();
+            let mut e = SimBuilder::new(cfg())
+                .engine(kind)
+                .try_build()
+                .expect("builtin kind builds");
             assert_eq!(e.name(), name, "{kind:?}");
             e.run(5);
             assert_eq!(e.cycle(), 5);
@@ -341,14 +468,25 @@ mod tests {
             stim_cap: 32,
             ..IfaceConfig::default()
         };
-        let e = SimBuilder::new(cfg()).iface(iface).build();
+        let e = SimBuilder::new(cfg())
+            .iface(iface)
+            .try_build()
+            .expect("default kind builds");
         assert_eq!(e.stim_capacity(), 32);
     }
 
     #[test]
-    #[should_panic(expected = "implemented outside the noc crate")]
-    fn unregistered_external_kind_panics_with_guidance() {
-        let _ = SimBuilder::new(cfg()).engine(EngineKind::CycleSim).build();
+    fn unregistered_external_kind_errors_with_guidance() {
+        let err = SimBuilder::new(cfg())
+            .engine(EngineKind::CycleSim)
+            .try_build()
+            .err()
+            .expect("no factory registered");
+        assert!(
+            err.to_string()
+                .contains("implemented outside the noc crate"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -401,7 +539,11 @@ mod tests {
             (EngineKind::Seq, SchedulePolicy::Dynamic),
             (EngineKind::SeqCompiled, SchedulePolicy::Auto),
         ] {
-            let mut e = SimBuilder::new(cfg()).engine(kind).schedule(policy).build();
+            let mut e = SimBuilder::new(cfg())
+                .engine(kind)
+                .schedule(policy)
+                .try_build()
+                .expect("builtin kind builds");
             for node in 0..cfg().num_nodes() {
                 e.push_stim(
                     node,
@@ -426,7 +568,8 @@ mod tests {
         let mut e = SimBuilder::new(cfg())
             .engine(EngineKind::Seq)
             .profile(1)
-            .build();
+            .try_build()
+            .expect("seq engine builds");
         e.run(5);
         let report = e.take_profile(0.01).expect("seq engine profiles");
         assert_eq!(report.engine, "seqsim");
@@ -436,7 +579,8 @@ mod tests {
         let mut native = SimBuilder::new(cfg())
             .engine(EngineKind::Native)
             .profile(1)
-            .build();
+            .try_build()
+            .expect("native engine builds");
         native.run(5);
         assert!(native.take_profile(0.01).is_none());
     }
@@ -448,7 +592,8 @@ mod tests {
             .register(EngineKind::CycleSim, |cfg, iface, _faults| {
                 Box::new(NativeNoc::new(cfg, iface))
             })
-            .build();
+            .try_build()
+            .expect("registered factory builds");
         assert_eq!(e.name(), "native");
     }
 }

@@ -230,7 +230,10 @@ mod tests {
 
     fn run_checked(kind: EngineKind) -> InvariantChecker {
         let cfg = NetworkConfig::new(3, 3, Topology::Torus, 4);
-        let mut engine = SimBuilder::new(cfg).engine(kind).build();
+        let mut engine = SimBuilder::new(cfg)
+            .engine(kind)
+            .try_build()
+            .expect("builtin kind builds");
         let tcfg = TrafficConfig {
             net: cfg,
             be: BeConfig::fig1(0.2),
@@ -280,7 +283,9 @@ mod tests {
     #[test]
     fn lost_flits_are_reported_as_typed_violations() {
         let cfg = NetworkConfig::new(2, 2, Topology::Torus, 4);
-        let engine = SimBuilder::new(cfg).build();
+        let engine = SimBuilder::new(cfg)
+            .try_build()
+            .expect("default kind builds");
         let mut checker = InvariantChecker::new(engine.as_ref());
         // Claim a push that never happened backwards: pretend 5 flits were
         // pushed while the engine is empty -> 5 lost, no lossy site.
@@ -298,7 +303,9 @@ mod tests {
     #[test]
     fn created_flits_are_reported() {
         let cfg = NetworkConfig::new(2, 2, Topology::Torus, 4);
-        let engine = SimBuilder::new(cfg).build();
+        let engine = SimBuilder::new(cfg)
+            .try_build()
+            .expect("default kind builds");
         let mut checker = InvariantChecker::new(engine.as_ref());
         checker.note_delivered(3);
         let err = checker.check(engine.as_ref()).unwrap_err();

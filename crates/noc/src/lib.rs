@@ -57,6 +57,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
+pub mod batched;
 pub mod build;
 pub mod check;
 pub mod compiled;
@@ -68,9 +69,11 @@ pub mod native;
 pub mod obs;
 pub mod runner;
 pub mod seq;
+pub mod session;
 pub mod shard;
 pub mod wiring;
 
+pub use batched::{BatchedNoc, BatchedNocSnapshot};
 pub use build::{EngineKind, SchedulePolicy, SimBuilder};
 pub use check::InvariantChecker;
 pub use compiled::CompiledNoc;
@@ -79,8 +82,12 @@ pub use engine::NocEngine;
 pub use fault::{random_plan, FaultPlan, InjectApplier};
 pub use native::NativeNoc;
 pub use obs::{NocObserver, ObsConfig};
-pub use runner::{fig1_guarantee, run, run_fig1_point, RunConfig, RunReport};
+#[allow(deprecated)]
+// the shim stays exported so external callers get the warning, not a break
+pub use runner::run;
+pub use runner::{fig1_guarantee, run_fig1_point, run_lanes, RunConfig, RunReport};
 pub use seq::SeqNoc;
 pub use seqsim::SimError;
+pub use session::Session;
 pub use shard::ShardedSeqEngine;
 pub use wiring::Wiring;

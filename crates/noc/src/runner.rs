@@ -13,11 +13,12 @@
 //! written later; a network that stops accepting traffic for too long is
 //! reported as overloaded and the simulation stops (§5.3).
 
+use crate::batched::BatchedNoc;
 use crate::check::InvariantChecker;
 use crate::engine::NocEngine;
 use crate::fault::InjectApplier;
 use crate::obs::{NocObserver, ObsConfig};
-use noc_types::{Reassembler, TrafficClass, NUM_VCS};
+use noc_types::{NetworkConfig, Reassembler, TrafficClass, NUM_VCS};
 use seqsim::DeltaStats;
 use seqsim::SimError;
 use simtrace::lbl;
@@ -25,7 +26,7 @@ use stats::{LatencyStats, LatencySummary, PhaseProfiler, ThroughputCounter};
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 use traffic::{OfferedPacket, StimuliGenerator};
-use vc_router::StimEntry;
+use vc_router::{AccEntry, OutEntry, StimEntry};
 
 /// Runner parameters.
 #[derive(Debug, Clone)]
@@ -67,16 +68,76 @@ impl Default for RunConfig {
 }
 
 impl RunConfig {
-    /// Builder-style: attach an observability bundle.
-    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+    /// Start from the defaults and chain the setters below:
+    ///
+    /// ```
+    /// use noc::RunConfig;
+    /// let rc = RunConfig::new().cycles(5_000).warmup(500).check(true);
+    /// assert_eq!(rc.measure, 5_000);
+    /// ```
+    ///
+    /// The struct-literal style (`RunConfig { measure: 5_000,
+    /// ..Default::default() }`) keeps working; the fields stay public.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Warm-up cycles excluded from statistics.
+    pub fn warmup(mut self, n: u64) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Measured cycles.
+    pub fn measure(mut self, n: u64) -> Self {
+        self.measure = n;
+        self
+    }
+
+    /// Measured cycles — alias for [`measure`](Self::measure), reading
+    /// better at call sites: `RunConfig::new().cycles(10_000)`.
+    pub fn cycles(self, n: u64) -> Self {
+        self.measure(n)
+    }
+
+    /// Drain cycles after generation stops.
+    pub fn drain(mut self, n: u64) -> Self {
+        self.drain = n;
+        self
+    }
+
+    /// Cycles per generate/load/simulate/retrieve/analyse round.
+    pub fn period(mut self, n: u64) -> Self {
+        self.period = n;
+        self
+    }
+
+    /// Host backlog limit before the run is declared saturated.
+    pub fn backlog_limit(mut self, n: usize) -> Self {
+        self.backlog_limit = n;
+        self
+    }
+
+    /// Attach an observability bundle.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
         self.obs = Some(obs);
         self
     }
 
-    /// Builder-style: enable the runtime invariant checker.
-    pub fn with_check(mut self) -> Self {
-        self.check = true;
+    /// Enable (or disable) the runtime invariant checker.
+    pub fn check(mut self, on: bool) -> Self {
+        self.check = on;
         self
+    }
+
+    /// Builder-style: attach an observability bundle.
+    pub fn with_obs(self, obs: ObsConfig) -> Self {
+        self.obs(obs)
+    }
+
+    /// Builder-style: enable the runtime invariant checker.
+    pub fn with_check(self) -> Self {
+        self.check(true)
     }
 }
 
@@ -154,6 +215,178 @@ impl RunReport {
     }
 }
 
+/// Phase-5 delivery analysis for one simulation: the offered-packet
+/// journal, per-node worm reassembly, latency/throughput accounting and
+/// the fault-anomaly ledger. One instance per scalar run; one per *lane*
+/// of a batched run — the analysis is identical either way, which is
+/// what makes the lane-vs-scalar differential meaningful.
+struct DeliveryAnalyzer {
+    cfg: NetworkConfig,
+    faulty: bool,
+    warmup: u64,
+    gen_end: u64,
+    journal: HashMap<(u16, u16), OfferedPacket>,
+    reasm: Vec<Reassembler>,
+    gt: LatencyStats,
+    be: LatencyStats,
+    access: LatencyStats,
+    tp: ThroughputCounter,
+    fault_anomalies: u64,
+}
+
+/// What [`DeliveryAnalyzer::finish`] hands back for the report.
+struct DeliveryOutcome {
+    gt: LatencySummary,
+    be: LatencySummary,
+    access: LatencySummary,
+    throughput: ThroughputCounter,
+    fault_anomalies: u64,
+    unmatched: usize,
+}
+
+impl DeliveryAnalyzer {
+    fn new(cfg: NetworkConfig, faulty: bool, rc: &RunConfig) -> Self {
+        let n = cfg.num_nodes();
+        DeliveryAnalyzer {
+            cfg,
+            faulty,
+            warmup: rc.warmup,
+            gen_end: rc.warmup + rc.measure,
+            journal: HashMap::new(),
+            reasm: (0..n).map(|_| Reassembler::new()).collect(),
+            gt: LatencyStats::new(),
+            be: LatencyStats::new(),
+            access: LatencyStats::new(),
+            tp: ThroughputCounter {
+                nodes: n as u64,
+                ..Default::default()
+            },
+            fault_anomalies: 0,
+        }
+    }
+
+    /// Is `ts` inside the measurement window?
+    fn measured(&self, ts: u64) -> bool {
+        ts >= self.warmup && ts < self.gen_end
+    }
+
+    /// Journal a generated window's offered packets.
+    fn note_offered(&mut self, offered: &[OfferedPacket]) {
+        for p in offered {
+            self.journal.insert((p.src.0, p.seq), *p);
+            if self.measured(p.ts) {
+                self.tp.offered_flits += p.flits as u64;
+            }
+        }
+    }
+
+    /// Record drained access-delay entries.
+    fn note_access(&mut self, entries: &[AccEntry]) {
+        for a in entries {
+            if self.measured(a.ts) {
+                self.access.record(a.delay);
+            }
+        }
+    }
+
+    /// Reassemble one node's drained output entries, match completed
+    /// packets against the journal, record latencies.
+    ///
+    /// On a clean run every protocol violation is an
+    /// [`SimError::InvariantViolated`]; under an active fault plan the
+    /// same conditions are the expected downstream signature of injected
+    /// faults and are counted in the anomaly ledger instead.
+    fn note_delivered(&mut self, node: usize, entries: Vec<OutEntry>) -> Result<(), SimError> {
+        for e in entries {
+            if let Err(violation) = self.reasm[node].try_push(e.cycle, e.vc, e.flit) {
+                // Truncated worms are the expected downstream shape of a
+                // dropped head or tail; on a clean run they mean a
+                // router bug.
+                if self.faulty {
+                    self.fault_anomalies += 1;
+                } else {
+                    return Err(SimError::InvariantViolated {
+                        cycle: e.cycle,
+                        invariant: "delivery-protocol".to_string(),
+                        details: format!(
+                            "node {node} vc {}: {violation:?} with no fault plan active",
+                            e.vc
+                        ),
+                    });
+                }
+            }
+        }
+        for pkt in self.reasm[node].drain_completed() {
+            let seq = pkt.first_body.unwrap_or(0);
+            let offered = match self.journal.remove(&(pkt.src_tag as u16, seq)) {
+                Some(o) => o,
+                None if self.faulty => {
+                    // A corrupted sequence number or a worm spliced by a
+                    // swallowed tail: unmatchable, skip it.
+                    self.fault_anomalies += 1;
+                    continue;
+                }
+                None => {
+                    return Err(SimError::InvariantViolated {
+                        cycle: pkt.tail_cycle,
+                        invariant: "delivery-journal".to_string(),
+                        details: format!(
+                            "delivered packet (src {}, seq {seq}) was never offered",
+                            pkt.src_tag
+                        ),
+                    });
+                }
+            };
+            let dest_node = self.cfg.shape.node_id(offered.dest).index();
+            if pkt.flits as u16 != offered.flits || dest_node != node {
+                if self.faulty {
+                    // Length or destination damaged in flight.
+                    self.fault_anomalies += 1;
+                    continue;
+                }
+                return Err(SimError::InvariantViolated {
+                    cycle: pkt.tail_cycle,
+                    invariant: "delivery-journal".to_string(),
+                    details: format!(
+                        "packet (src {}, seq {seq}): delivered {} flits at \
+                         node {node}, offered {} flits to node {dest_node}",
+                        pkt.src_tag, pkt.flits, offered.flits
+                    ),
+                });
+            }
+            // Volumes and latencies are attributed to the measurement
+            // window by *offer* time, so delivered rates stay comparable
+            // to offered rates.
+            if self.measured(offered.ts) {
+                self.tp.delivered_packets += 1;
+                self.tp.delivered_flits += pkt.flits as u64;
+                let latency = pkt.tail_cycle - offered.ts;
+                match offered.class {
+                    TrafficClass::GuaranteedThroughput => self.gt.record(latency),
+                    TrafficClass::BestEffort => self.be.record(latency),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Close the books: fix the injected-flit count and the window
+    /// extents, summarize the latency distributions.
+    fn finish(mut self, injected_flits: u64) -> DeliveryOutcome {
+        self.tp.injected_flits = injected_flits;
+        self.tp.cycles = self.gen_end - self.warmup;
+        self.tp.gen_cycles = self.gen_end;
+        DeliveryOutcome {
+            gt: self.gt.summary(),
+            be: self.be.summary(),
+            access: self.access.summary(),
+            throughput: self.tp,
+            fault_anomalies: self.fault_anomalies,
+            unmatched: self.journal.len(),
+        }
+    }
+}
+
 /// Drive `engine` with `gen`'s traffic through the five-phase loop.
 ///
 /// Observability is part of [`RunConfig`]: with `obs: None` the run is
@@ -171,7 +404,21 @@ impl RunReport {
 /// delivery-protocol violations are the expected downstream signature of
 /// injected faults and are tolerated and counted in
 /// [`RunReport::fault_anomalies`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a typed session instead: `SimBuilder::session()` then `Session::run`"
+)]
 pub fn run(
+    engine: &mut dyn NocEngine,
+    gen: &mut StimuliGenerator,
+    rc: &RunConfig,
+) -> Result<RunReport, SimError> {
+    run_impl(engine, gen, rc)
+}
+
+/// The five-phase loop over one scalar engine (see [`run`] for the
+/// contract). Crate-internal: [`crate::Session`] is the public door.
+pub(crate) fn run_impl(
     engine: &mut dyn NocEngine,
     gen: &mut StimuliGenerator,
     rc: &RunConfig,
@@ -209,21 +456,11 @@ pub fn run(
     } else {
         None
     };
-    let mut fault_anomalies: u64 = 0;
-
-    let mut journal: HashMap<(u16, u16), OfferedPacket> = HashMap::new();
-    let mut reasm: Vec<Reassembler> = (0..n).map(|_| Reassembler::new()).collect();
+    let mut an = DeliveryAnalyzer::new(cfg, faulty, rc);
     let mut backlog: Vec<[VecDeque<StimEntry>; NUM_VCS]> = (0..n)
         .map(|_| core::array::from_fn(|_| VecDeque::new()))
         .collect();
 
-    let mut gt = LatencyStats::new();
-    let mut be = LatencyStats::new();
-    let mut access = LatencyStats::new();
-    let mut tp = ThroughputCounter {
-        nodes: n as u64,
-        ..Default::default()
-    };
     let mut pushed_flits: u64 = 0;
     let mut saturated = false;
     let mut delta_reset_done = false;
@@ -233,7 +470,6 @@ pub fn run(
 
     let gen_end = rc.warmup + rc.measure;
     let total_end = gen_end + rc.drain;
-    let meas = |ts: u64| ts >= rc.warmup && ts < gen_end;
 
     let mut t0 = 0u64;
     while t0 < total_end && !saturated {
@@ -244,12 +480,7 @@ pub fn run(
             let mut span = instr.tracer.span("phase.generate", "runner");
             span.arg("t0", t0);
             let w = prof.time("generate", || gen.generate(t0, t1.min(gen_end)));
-            for p in &w.offered {
-                journal.insert((p.src.0, p.seq), *p);
-                if meas(p.ts) {
-                    tp.offered_flits += p.flits as u64;
-                }
-            }
+            an.note_offered(&w.offered);
             for (node, rings) in w.stim.into_iter().enumerate() {
                 for (vc, entries) in rings.into_iter().enumerate() {
                     // Packet-level injection faults apply at the stimuli
@@ -406,82 +637,9 @@ pub fn run(
         // Phase 5: analyse.
         let _analyse_span = instr.tracer.span("phase.analyse", "runner");
         prof.time("analyse", || -> Result<(), SimError> {
-            for a in &acc_entries {
-                if meas(a.ts) {
-                    access.record(a.delay);
-                }
-            }
+            an.note_access(&acc_entries);
             for (node, entries) in retrieved.drain(..) {
-                for e in entries {
-                    if let Err(violation) = reasm[node].try_push(e.cycle, e.vc, e.flit) {
-                        // Truncated worms are the expected downstream
-                        // shape of a dropped head or tail; on a clean run
-                        // they mean a router bug.
-                        if faulty {
-                            fault_anomalies += 1;
-                        } else {
-                            return Err(SimError::InvariantViolated {
-                                cycle: e.cycle,
-                                invariant: "delivery-protocol".to_string(),
-                                details: format!(
-                                    "node {node} vc {}: {violation:?} with no fault plan active",
-                                    e.vc
-                                ),
-                            });
-                        }
-                    }
-                }
-                for pkt in reasm[node].drain_completed() {
-                    let seq = pkt.first_body.unwrap_or(0);
-                    let offered = match journal.remove(&(pkt.src_tag as u16, seq)) {
-                        Some(o) => o,
-                        None if faulty => {
-                            // A corrupted sequence number or a worm spliced
-                            // by a swallowed tail: unmatchable, skip it.
-                            fault_anomalies += 1;
-                            continue;
-                        }
-                        None => {
-                            return Err(SimError::InvariantViolated {
-                                cycle: pkt.tail_cycle,
-                                invariant: "delivery-journal".to_string(),
-                                details: format!(
-                                    "delivered packet (src {}, seq {seq}) was never offered",
-                                    pkt.src_tag
-                                ),
-                            });
-                        }
-                    };
-                    let dest_node = engine.config().shape.node_id(offered.dest).index();
-                    if pkt.flits as u16 != offered.flits || dest_node != node {
-                        if faulty {
-                            // Length or destination damaged in flight.
-                            fault_anomalies += 1;
-                            continue;
-                        }
-                        return Err(SimError::InvariantViolated {
-                            cycle: pkt.tail_cycle,
-                            invariant: "delivery-journal".to_string(),
-                            details: format!(
-                                "packet (src {}, seq {seq}): delivered {} flits at \
-                                 node {node}, offered {} flits to node {dest_node}",
-                                pkt.src_tag, pkt.flits, offered.flits
-                            ),
-                        });
-                    }
-                    // Volumes and latencies are attributed to the
-                    // measurement window by *offer* time, so delivered
-                    // rates stay comparable to offered rates.
-                    if meas(offered.ts) {
-                        tp.delivered_packets += 1;
-                        tp.delivered_flits += pkt.flits as u64;
-                        let latency = pkt.tail_cycle - offered.ts;
-                        match offered.class {
-                            TrafficClass::GuaranteedThroughput => gt.record(latency),
-                            TrafficClass::BestEffort => be.record(latency),
-                        }
-                    }
-                }
+                an.note_delivered(node, entries)?;
             }
             Ok(())
         })?;
@@ -498,9 +656,7 @@ pub fn run(
                 .sum::<u64>()
         })
         .sum();
-    tp.injected_flits = pushed_flits.saturating_sub(ring_fill);
-    tp.cycles = rc.measure;
-    tp.gen_cycles = gen_end;
+    let out = an.finish(pushed_flits.saturating_sub(ring_fill));
 
     let delta = engine.delta_stats();
     let metrics = if instr.enabled() {
@@ -541,16 +697,16 @@ pub fn run(
 
     Ok(RunReport {
         engine: engine.name(),
-        gt: gt.summary(),
-        be: be.summary(),
-        access: access.summary(),
-        throughput: tp,
+        gt: out.gt,
+        be: out.be,
+        access: out.access,
+        throughput: out.throughput,
         profile: prof.rows(),
         delta,
         metrics,
         saturated,
-        unmatched: journal.len(),
-        fault_anomalies,
+        unmatched: out.unmatched,
+        fault_anomalies: out.fault_anomalies,
         invariant_checks: checker.as_ref().map_or(0, |ck| ck.checks()),
         fault_dropped: checker
             .as_ref()
@@ -572,17 +728,204 @@ pub fn run_fig1_point(
     seed: u64,
     rc: &RunConfig,
 ) -> Result<RunReport, SimError> {
-    let cfg = engine.config();
+    let mut gen = fig1_generator(engine.config(), be_load, seed);
+    run_impl(engine, &mut gen, rc)
+}
+
+/// Route, allocate and package the paper's Fig 1 workload for `cfg`'s
+/// network as a stimuli generator.
+pub(crate) fn fig1_generator(cfg: NetworkConfig, be_load: f64, seed: u64) -> StimuliGenerator {
     let mut alloc = traffic::GtAllocator::new(cfg);
     let gt_streams = alloc.auto_streams((2, 1), 2048, 128);
-    let tcfg = traffic::TrafficConfig {
+    StimuliGenerator::new(traffic::TrafficConfig {
         net: cfg,
         be: traffic::BeConfig::fig1(be_load),
         gt_streams,
         seed,
-    };
-    let mut gen = StimuliGenerator::new(tcfg);
-    run(engine, &mut gen, rc)
+    })
+}
+
+/// The five-phase loop over a *batched* engine: one stimuli generator
+/// per lane; per-lane generate / load / retrieve / analyse around one
+/// shared simulate phase that advances every lane in lockstep.
+///
+/// Returns one [`RunReport`] per lane. The per-lane delivery analysis is
+/// exactly the scalar loop's ([`DeliveryAnalyzer`]), so each lane's
+/// report is directly comparable to a scalar run of that lane's
+/// configuration — the batched differential suite asserts equality.
+///
+/// Any lane saturating stops the whole batch: lanes share one clock, so
+/// a stalled lane would distort every lane's drain window. Each report
+/// carries the shared verdict in [`RunReport::saturated`].
+///
+/// # Errors
+///
+/// [`SimError::Config`] when the generator count does not match the lane
+/// count, or when [`RunConfig::obs`] / [`RunConfig::check`] are set —
+/// observability and the invariant checker are scalar-only (they audit
+/// one engine, not a batch). Delivery-protocol violations surface as in
+/// the scalar loop, per lane.
+pub fn run_lanes(
+    noc: &mut BatchedNoc,
+    gens: &mut [StimuliGenerator],
+    rc: &RunConfig,
+) -> Result<Vec<RunReport>, SimError> {
+    let lanes = noc.lanes();
+    if gens.len() != lanes {
+        return Err(SimError::Config(format!(
+            "batched run needs one stimuli generator per lane: {} generators, {lanes} lanes",
+            gens.len()
+        )));
+    }
+    if rc.obs.is_some() {
+        return Err(SimError::Config(
+            "RunConfig::obs is not supported for batched runs (scalar engines only)".into(),
+        ));
+    }
+    if rc.check {
+        return Err(SimError::Config(
+            "RunConfig::check is not supported for batched runs (scalar engines only)".into(),
+        ));
+    }
+    let cfg = noc.config();
+    let n = cfg.num_nodes();
+    let started = Instant::now();
+    let mut prof = PhaseProfiler::new();
+
+    let mut analyzers: Vec<DeliveryAnalyzer> = (0..lanes)
+        .map(|lane| DeliveryAnalyzer::new(cfg, noc.fault_plan(lane).is_some(), rc))
+        .collect();
+    let mut injects: Vec<Option<InjectApplier>> = (0..lanes)
+        .map(|lane| {
+            noc.fault_plan(lane)
+                .and_then(|p| InjectApplier::from_plan(p, n))
+        })
+        .collect();
+    let mut backlog: Vec<Vec<[VecDeque<StimEntry>; NUM_VCS]>> = (0..lanes)
+        .map(|_| {
+            (0..n)
+                .map(|_| core::array::from_fn(|_| VecDeque::new()))
+                .collect()
+        })
+        .collect();
+    let mut pushed: Vec<u64> = vec![0; lanes];
+    let mut saturated = false;
+    let mut delta_reset_done = false;
+
+    let gen_end = rc.warmup + rc.measure;
+    let total_end = gen_end + rc.drain;
+
+    let mut t0 = 0u64;
+    while t0 < total_end && !saturated {
+        let t1 = (t0 + rc.period).min(total_end);
+
+        // Phase 1: generate, per lane.
+        if t0 < gen_end {
+            prof.time("generate", || {
+                for lane in 0..lanes {
+                    let w = gens[lane].generate(t0, t1.min(gen_end));
+                    analyzers[lane].note_offered(&w.offered);
+                    for (node, rings) in w.stim.into_iter().enumerate() {
+                        for (vc, entries) in rings.into_iter().enumerate() {
+                            let entries = match injects[lane].as_mut() {
+                                Some(ap) => ap.filter(node, vc, entries),
+                                None => entries,
+                            };
+                            backlog[lane][node][vc].extend(entries);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Phase 2: load, per lane (back-pressure per lane).
+        prof.time("load", || {
+            for lane in 0..lanes {
+                for node in 0..n {
+                    for vc in 0..NUM_VCS {
+                        while let Some(&e) = backlog[lane][node][vc].front() {
+                            if noc.push_stim(lane, node, vc, e) {
+                                backlog[lane][node][vc].pop_front();
+                                pushed[lane] += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        if backlog[lane][node][vc].len() > rc.backlog_limit {
+                            saturated = true;
+                        }
+                    }
+                }
+            }
+        });
+
+        // Phase 3: simulate — ONE pass advances every lane.
+        if !delta_reset_done && t0 >= rc.warmup {
+            noc.reset_delta_stats();
+            delta_reset_done = true;
+        }
+        prof.time_work("simulate", t1 - t0, || noc.try_run(t1 - t0))?;
+
+        // Phase 4 + 5: retrieve and analyse, per lane.
+        let (retrieved, accs) = prof.time("retrieve", || {
+            let mut r: Vec<(usize, usize, Vec<OutEntry>)> = Vec::with_capacity(lanes * n);
+            let mut a: Vec<Vec<AccEntry>> = vec![Vec::new(); lanes];
+            for lane in 0..lanes {
+                for node in 0..n {
+                    r.push((lane, node, noc.drain_delivered(lane, node)));
+                    a[lane].extend(noc.drain_access(lane, node));
+                }
+            }
+            (r, a)
+        });
+        prof.time("analyse", || -> Result<(), SimError> {
+            for (lane, acc) in accs.iter().enumerate() {
+                analyzers[lane].note_access(acc);
+            }
+            for (lane, node, entries) in retrieved {
+                analyzers[lane].note_delivered(node, entries)?;
+            }
+            Ok(())
+        })?;
+
+        t0 = t1;
+    }
+
+    let cap = noc.stim_capacity();
+    let wall = started.elapsed();
+    let profile = prof.rows();
+    let cycles = noc.cycle();
+    let mut reports = Vec::with_capacity(lanes);
+    for (lane, an) in analyzers.into_iter().enumerate() {
+        let ring_fill: u64 = (0..n)
+            .map(|node| {
+                (0..NUM_VCS)
+                    .map(|vc| (cap - noc.stim_free(lane, node, vc)) as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        let out = an.finish(pushed[lane].saturating_sub(ring_fill));
+        reports.push(RunReport {
+            engine: "seqsim-batched",
+            gt: out.gt,
+            be: out.be,
+            access: out.access,
+            throughput: out.throughput,
+            // Wall-clock phases are shared by the whole batch; each lane
+            // sees the same rows.
+            profile: profile.clone(),
+            delta: Some(noc.delta_stats(lane)),
+            metrics: None,
+            saturated,
+            unmatched: out.unmatched,
+            fault_anomalies: out.fault_anomalies,
+            invariant_checks: 0,
+            fault_dropped: 0,
+            wall,
+            cycles,
+        });
+    }
+    Ok(reports)
 }
 
 /// The analytic GT guarantee for the Fig 1 workload on `cfg`'s network
@@ -670,7 +1013,8 @@ mod tests {
         let mut e = crate::build::SimBuilder::new(cfg)
             .engine(crate::build::EngineKind::Native)
             .faults(plan)
-            .build();
+            .try_build()
+            .expect("faulty native engine builds");
         let rc = RunConfig {
             warmup: 500,
             measure: 3_000,
@@ -740,7 +1084,8 @@ mod tests {
         let mut e = crate::build::SimBuilder::new(cfg)
             .engine(crate::build::EngineKind::Native)
             .faults(plan)
-            .build();
+            .try_build()
+            .expect("faulty native engine builds");
         let obs = ObsConfig::new(0);
         let registry = obs.registry.clone();
         let rc = RunConfig {

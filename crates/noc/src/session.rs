@@ -1,0 +1,323 @@
+//! The typed session façade: one engine (scalar or lane-batched) bound
+//! to its [`RunConfig`], with typed entry points replacing the free
+//! `run(engine, gen, &rc)` function.
+//!
+//! A [`Session`] is what [`SimBuilder::session`](crate::SimBuilder::session)
+//! returns. It owns the engine, remembers the run parameters, runs
+//! five-phase campaigns and keeps the resulting [`RunReport`]s for
+//! lane-wise inspection:
+//!
+//! ```
+//! use noc::{EngineKind, RunConfig, SimBuilder};
+//! use noc_types::{NetworkConfig, Topology};
+//!
+//! let cfg = NetworkConfig::new(3, 3, Topology::Torus, 4);
+//! let mut session = SimBuilder::new(cfg)
+//!     .engine(EngineKind::SeqCompiled)
+//!     .run_config(RunConfig::new().warmup(100).cycles(400).drain(200))
+//!     .session()
+//!     .expect("clean network");
+//! session.run_fig1(0.05, 7).expect("clean run");
+//! for (lane, report) in session.lanes().enumerate() {
+//!     assert!(report.throughput.delivered_packets > 0, "lane {lane}");
+//! }
+//! ```
+
+use crate::batched::BatchedNoc;
+use crate::engine::NocEngine;
+use crate::runner::{fig1_generator, run_impl, run_lanes, RunConfig, RunReport};
+use noc_types::NetworkConfig;
+use seqsim::SimError;
+use traffic::StimuliGenerator;
+
+/// The engine a session drives: any scalar backend, or the lane-batched
+/// engine (which is not a [`NocEngine`] — every host access carries a
+/// lane index).
+enum SessionInner {
+    Scalar(Box<dyn NocEngine>),
+    Batched(Box<BatchedNoc>),
+}
+
+/// A simulator bound to its run parameters — see the [module
+/// docs](self).
+pub struct Session {
+    inner: SessionInner,
+    rc: RunConfig,
+    reports: Vec<RunReport>,
+}
+
+impl Session {
+    pub(crate) fn scalar(engine: Box<dyn NocEngine>, rc: RunConfig) -> Self {
+        Session {
+            inner: SessionInner::Scalar(engine),
+            rc,
+            reports: Vec::new(),
+        }
+    }
+
+    pub(crate) fn from_batched(noc: BatchedNoc, rc: RunConfig) -> Self {
+        Session {
+            inner: SessionInner::Batched(Box::new(noc)),
+            rc,
+            reports: Vec::new(),
+        }
+    }
+
+    /// The engine's stable name (bench row id).
+    pub fn name(&self) -> &'static str {
+        match &self.inner {
+            SessionInner::Scalar(e) => e.name(),
+            SessionInner::Batched(b) => b.name(),
+        }
+    }
+
+    /// The simulated network configuration.
+    pub fn config(&self) -> NetworkConfig {
+        match &self.inner {
+            SessionInner::Scalar(e) => e.config(),
+            SessionInner::Batched(b) => b.config(),
+        }
+    }
+
+    /// Number of simulation lanes this session drives (1 for every
+    /// scalar kind).
+    pub fn lane_count(&self) -> usize {
+        match &self.inner {
+            SessionInner::Scalar(_) => 1,
+            SessionInner::Batched(b) => b.lanes(),
+        }
+    }
+
+    /// The run parameters used by [`run`](Self::run) /
+    /// [`run_each`](Self::run_each) / [`run_fig1`](Self::run_fig1).
+    pub fn run_config(&self) -> &RunConfig {
+        &self.rc
+    }
+
+    /// Replace the run parameters for subsequent runs.
+    pub fn set_run_config(&mut self, rc: RunConfig) {
+        self.rc = rc;
+    }
+
+    /// Drive the session with one stimuli generator through the
+    /// five-phase loop and return the report (also kept, see
+    /// [`lanes`](Self::lanes)).
+    ///
+    /// # Errors
+    ///
+    /// Everything the five-phase loop reports (engine failures,
+    /// delivery-protocol and invariant violations); additionally
+    /// [`SimError::Config`] when the session drives more than one lane —
+    /// a batch needs one generator per lane, via
+    /// [`run_each`](Self::run_each).
+    pub fn run(&mut self, gen: &mut StimuliGenerator) -> Result<&RunReport, SimError> {
+        match &mut self.inner {
+            SessionInner::Scalar(e) => {
+                let report = run_impl(e.as_mut(), gen, &self.rc)?;
+                self.reports = vec![report];
+            }
+            SessionInner::Batched(noc) if noc.lanes() == 1 => {
+                self.reports = run_lanes(noc, std::slice::from_mut(gen), &self.rc)?;
+            }
+            SessionInner::Batched(noc) => {
+                return Err(SimError::Config(format!(
+                    "this session drives {} lanes; give one generator per lane \
+                     via Session::run_each",
+                    noc.lanes()
+                )));
+            }
+        }
+        Ok(&self.reports[0])
+    }
+
+    /// Drive every lane with its own stimuli generator — mixed seeds,
+    /// loads and (via the builder's per-lane fault plans) fault
+    /// campaigns in one pass. Scalar sessions accept exactly one
+    /// generator. Returns one report per lane, in lane order.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] when `gens.len() != lane_count()`, plus
+    /// everything the five-phase loop reports.
+    pub fn run_each(&mut self, gens: &mut [StimuliGenerator]) -> Result<&[RunReport], SimError> {
+        match &mut self.inner {
+            SessionInner::Scalar(e) => {
+                if gens.len() != 1 {
+                    return Err(SimError::Config(format!(
+                        "scalar session: expected 1 stimuli generator, got {}",
+                        gens.len()
+                    )));
+                }
+                let report = run_impl(e.as_mut(), &mut gens[0], &self.rc)?;
+                self.reports = vec![report];
+            }
+            SessionInner::Batched(noc) => {
+                self.reports = run_lanes(noc, gens, &self.rc)?;
+            }
+        }
+        Ok(&self.reports)
+    }
+
+    /// Run the paper's Fig 1 workload at one BE load point on every
+    /// lane. Lane `i` uses seed `seed + i`, so a batch sweeps seeds in
+    /// one pass; a scalar session runs seed `seed` exactly like the old
+    /// `run_fig1_point`.
+    ///
+    /// # Errors
+    ///
+    /// Everything the five-phase loop reports.
+    pub fn run_fig1(&mut self, be_load: f64, seed: u64) -> Result<&[RunReport], SimError> {
+        let cfg = self.config();
+        let mut gens: Vec<StimuliGenerator> = (0..self.lane_count())
+            .map(|lane| fig1_generator(cfg, be_load, seed.wrapping_add(lane as u64)))
+            .collect();
+        self.run_each(&mut gens)
+    }
+
+    /// Per-lane reports of the most recent run, in lane order (empty
+    /// before the first run). Scalar sessions yield one report.
+    pub fn lanes(&self) -> impl Iterator<Item = &RunReport> {
+        self.reports.iter()
+    }
+
+    /// The reports of the most recent run as a slice.
+    pub fn reports(&self) -> &[RunReport] {
+        &self.reports
+    }
+
+    /// The first (for scalar sessions: the only) report of the most
+    /// recent run.
+    pub fn report(&self) -> Option<&RunReport> {
+        self.reports.first()
+    }
+
+    /// The scalar engine, for host access between runs (`None` for
+    /// batched sessions).
+    pub fn engine(&self) -> Option<&dyn NocEngine> {
+        match &self.inner {
+            SessionInner::Scalar(e) => Some(e.as_ref()),
+            SessionInner::Batched(_) => None,
+        }
+    }
+
+    /// Mutable scalar engine access (`None` for batched sessions).
+    pub fn engine_mut(&mut self) -> Option<&mut dyn NocEngine> {
+        match &mut self.inner {
+            SessionInner::Scalar(e) => Some(e.as_mut()),
+            SessionInner::Batched(_) => None,
+        }
+    }
+
+    /// The batched engine, for lane-indexed host access (`None` for
+    /// scalar sessions).
+    pub fn batched(&self) -> Option<&BatchedNoc> {
+        match &self.inner {
+            SessionInner::Scalar(_) => None,
+            SessionInner::Batched(b) => Some(b),
+        }
+    }
+
+    /// Mutable batched engine access (`None` for scalar sessions).
+    pub fn batched_mut(&mut self) -> Option<&mut BatchedNoc> {
+        match &mut self.inner {
+            SessionInner::Scalar(_) => None,
+            SessionInner::Batched(b) => Some(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{EngineKind, SimBuilder};
+    use noc_types::Topology;
+
+    fn cfg() -> NetworkConfig {
+        NetworkConfig::new(3, 2, Topology::Torus, 2)
+    }
+
+    fn rc() -> RunConfig {
+        RunConfig::new()
+            .warmup(100)
+            .cycles(600)
+            .drain(300)
+            .period(128)
+    }
+
+    #[test]
+    fn scalar_session_runs_and_keeps_the_report() {
+        let mut s = SimBuilder::new(cfg())
+            .engine(EngineKind::SeqCompiled)
+            .run_config(rc())
+            .session()
+            .expect("clean network");
+        assert_eq!(s.lane_count(), 1);
+        assert_eq!(s.name(), "seqsim-compiled");
+        let r = s.run_fig1(0.05, 7).expect("clean run");
+        assert_eq!(r.len(), 1);
+        assert!(r[0].throughput.delivered_packets > 0);
+        assert_eq!(s.lanes().count(), 1);
+        assert!(s.engine().is_some() && s.batched().is_none());
+    }
+
+    #[test]
+    fn batched_session_reports_one_lane_at_a_time_identically_to_scalar() {
+        let mut batched = SimBuilder::new(cfg())
+            .engine(EngineKind::Batched { lanes: 3 })
+            .threads(1)
+            .run_config(rc())
+            .session()
+            .expect("clean network");
+        assert_eq!(batched.lane_count(), 3);
+        let reports: Vec<RunReport> = batched.run_fig1(0.05, 7).expect("clean run").to_vec();
+        assert_eq!(reports.len(), 3);
+        // Lane i of the batch must match a scalar compiled run with the
+        // same seed, delivered flit for delivered flit.
+        for (lane, br) in reports.iter().enumerate() {
+            let mut scalar = SimBuilder::new(cfg())
+                .engine(EngineKind::SeqCompiled)
+                .run_config(rc())
+                .session()
+                .expect("clean network");
+            let sr = &scalar.run_fig1(0.05, 7 + lane as u64).expect("clean run")[0];
+            assert_eq!(br.throughput.delivered_flits, sr.throughput.delivered_flits);
+            assert_eq!(br.throughput.offered_flits, sr.throughput.offered_flits);
+            assert_eq!(br.gt.mean, sr.gt.mean, "lane {lane} GT latency");
+            assert_eq!(br.be.mean, sr.be.mean, "lane {lane} BE latency");
+            assert_eq!(br.delta, sr.delta, "lane {lane} delta stats");
+        }
+    }
+
+    #[test]
+    fn multi_lane_session_refuses_a_single_generator() {
+        let mut s = SimBuilder::new(cfg())
+            .engine(EngineKind::Batched { lanes: 2 })
+            .threads(1)
+            .session()
+            .expect("clean network");
+        let mut gen = crate::runner::fig1_generator(cfg(), 0.05, 7);
+        let err = s.run(&mut gen).expect_err("2 lanes, 1 generator");
+        assert!(err.to_string().contains("run_each"), "{err}");
+    }
+
+    #[test]
+    fn batched_kind_cannot_build_a_bare_engine() {
+        let err = SimBuilder::new(cfg())
+            .engine(EngineKind::Batched { lanes: 2 })
+            .try_build()
+            .err()
+            .expect("batched needs a session");
+        assert!(err.to_string().contains("session"), "{err}");
+    }
+
+    #[test]
+    fn lane_fault_count_mismatch_is_a_config_error() {
+        let err = SimBuilder::new(cfg())
+            .engine(EngineKind::Batched { lanes: 3 })
+            .lane_faults(vec![None, None])
+            .session()
+            .err()
+            .expect("2 plans for 3 lanes");
+        assert!(err.to_string().contains("lane"), "{err}");
+    }
+}

@@ -28,7 +28,10 @@ fn traffic_for(cfg: NetworkConfig) -> TrafficConfig {
 }
 
 fn run_policy(cfg: NetworkConfig, policy: SchedulePolicy, cycles: u64) -> noc::diff::Trace {
-    let mut e = SimBuilder::new(cfg).schedule(policy).build();
+    let mut e = SimBuilder::new(cfg)
+        .schedule(policy)
+        .try_build()
+        .expect("seq engine builds");
     collect_trace(e.as_mut(), &traffic_for(cfg), cycles, 64)
 }
 
@@ -55,7 +58,10 @@ fn hybrid_spends_fewer_deltas_on_idle_6x6_mesh() {
     let cycles = 200u64;
     let mut totals = Vec::new();
     for policy in [SchedulePolicy::Auto, SchedulePolicy::Dynamic] {
-        let mut e = SimBuilder::new(cfg).schedule(policy).build();
+        let mut e = SimBuilder::new(cfg)
+            .schedule(policy)
+            .try_build()
+            .expect("seq engine builds");
         e.run(cycles);
         let stats = e.delta_stats().expect("seq engine exposes delta stats");
         assert_eq!(stats.system_cycles, cycles);

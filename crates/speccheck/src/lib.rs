@@ -38,7 +38,9 @@ pub mod analyze;
 pub mod graph;
 pub mod scc;
 
-pub use analyze::{analyze_graph, analyze_spec, check_cut, Analysis, AnalyzeOptions, SccInfo};
+pub use analyze::{
+    analyze_graph, analyze_spec, check_batch, check_cut, Analysis, AnalyzeOptions, SccInfo,
+};
 pub use graph::{GraphBlock, GraphLink, LinkClass, SpecGraph};
 pub use noc_types::diag::{codes, Diagnostic, Severity, Site};
 pub use scc::strongly_connected_components;

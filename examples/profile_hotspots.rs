@@ -26,7 +26,11 @@ use stats::Table;
 
 fn profile_engine(name: &str, kind: EngineKind, cfg: NetworkConfig, rc: &RunConfig) -> f64 {
     // sample_every = 1: time every cycle (measured, not extrapolated).
-    let mut engine = SimBuilder::new(cfg).engine(kind).profile(1).build();
+    let mut engine = SimBuilder::new(cfg)
+        .engine(kind)
+        .profile(1)
+        .try_build()
+        .expect("profiled engine builds");
     let r = run_fig1_point(&mut *engine, 0.10, 7, rc).expect("run failed");
     let sim_wall = r
         .profile

@@ -27,17 +27,19 @@ fn main() {
     );
 
     let cfg = NetworkConfig::new(4, 4, Topology::Mesh, 2);
-    let mut engine = SimBuilder::new(cfg).engine(EngineKind::Seq).build();
     let instr = ObsConfig::with(Registry::new(), Tracer::new(), 32);
-    let rc = RunConfig {
-        warmup: 200,
-        measure: 1_000,
-        drain: 500,
-        period: 256,
-        backlog_limit: 1 << 16,
-        obs: Some(instr.clone()),
-        check: false,
-    };
+    let rc = RunConfig::new()
+        .warmup(200)
+        .measure(1_000)
+        .drain(500)
+        .period(256)
+        .backlog_limit(1 << 16)
+        .obs(instr.clone());
+    let mut session = SimBuilder::new(cfg)
+        .engine(EngineKind::Seq)
+        .run_config(rc)
+        .session()
+        .expect("seq engine builds");
     let report = {
         let mut alloc = traffic::GtAllocator::new(cfg);
         let gt_streams = alloc.auto_streams((2, 1), 2048, 128);
@@ -48,7 +50,7 @@ fn main() {
             seed: 42,
         };
         let mut gen = traffic::StimuliGenerator::new(tcfg);
-        noc::run(&mut *engine, &mut gen, &rc).expect("run failed")
+        session.run(&mut gen).expect("run failed").clone()
     };
 
     instr.tracer.write_chrome(&trace_path).expect("write trace");
@@ -59,7 +61,7 @@ fn main() {
 
     println!(
         "{} on a 4x4 mesh: {} cycles, {} GT + {} BE packets, {:.1} deltas/cycle",
-        engine.name(),
+        session.name(),
         report.cycles,
         report.gt.count,
         report.be.count,

@@ -8,24 +8,20 @@
 //! ```
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use noc::{run, NativeNoc, RunConfig};
+use noc::{EngineKind, RunConfig, SimBuilder};
 use noc_types::{Coord, NetworkConfig, Topology};
 use soc_sim::par_map;
 use stats::Table;
 use traffic::{BeConfig, DestPattern, StimuliGenerator, TrafficConfig};
-use vc_router::IfaceConfig;
 
 fn main() {
     let cfg = NetworkConfig::new(6, 6, Topology::Torus, 2);
-    let rc = RunConfig {
-        warmup: 1_500,
-        measure: 12_000,
-        drain: 4_000,
-        period: 512,
-        backlog_limit: 8_192,
-        obs: None,
-        check: false,
-    };
+    let rc = RunConfig::new()
+        .warmup(1_500)
+        .measure(12_000)
+        .drain(4_000)
+        .period(512)
+        .backlog_limit(8_192);
     let patterns: Vec<(&str, DestPattern)> = vec![
         ("uniform random", DestPattern::UniformRandom),
         ("transpose", DestPattern::Transpose),
@@ -41,7 +37,11 @@ fn main() {
     ];
 
     let results: Vec<_> = par_map(patterns, |(name, pattern)| {
-        let mut engine = NativeNoc::new(cfg, IfaceConfig::default());
+        let mut session = SimBuilder::new(cfg)
+            .engine(EngineKind::Native)
+            .run_config(rc.clone())
+            .session()
+            .expect("native engine builds");
         let mut gen = StimuliGenerator::new(TrafficConfig {
             net: cfg,
             be: BeConfig {
@@ -52,7 +52,7 @@ fn main() {
             gt_streams: Vec::new(),
             seed: 77,
         });
-        (name, run(&mut engine, &mut gen, &rc).expect("run failed"))
+        (name, session.run(&mut gen).expect("run failed").clone())
     });
 
     let mut t = Table::new(

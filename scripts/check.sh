@@ -29,6 +29,9 @@ cargo test -q -p noc compiled
 cargo test -q --test compiled_program
 cargo test -q --test snapshot compiled
 
+echo "==> batched differential suite (lane-vs-scalar bit-identity)"
+cargo test -q -p noc --test batched_differential
+
 echo "==> faulty differential suite (bit-identity under fault plans)"
 cargo test -q --test differential_engines engines_agree_under_fault_plans
 cargo test -q -p noc --test sharded_differential sharded_replays_fault_plans

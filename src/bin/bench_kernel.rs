@@ -25,13 +25,18 @@
 //! a `seqsim-compiled` row (the hybrid schedule lowered at build time
 //! into a flat bytecode kernel, `schedule: "compiled"`),
 //! an idle scaling sweep from 2 to 256 routers for the sequential and
-//! native kernels, and a `seqsim-sharded` thread sweep (1 → the
-//! machine's CPU count) on both 6x6 workloads. Every row carries a
-//! `threads` field (1 for the single-threaded engines) and a `schedule`
-//! field: `"hybrid"` iff the engine adopted the `speccheck` SCC
-//! schedule at build time, `"dynamic"` for every pure delta-driven run.
-//! A final `speccheck/analyze` row times the build-time analyzer pass
-//! itself (spec assembly + graph extraction + condensation + lints).
+//! native kernels, a `seqsim-sharded` thread sweep (1 → the
+//! machine's CPU count) on both 6x6 workloads, and a `seqsim-batched`
+//! lane sweep (1 → 8 lanes; quick: {1, 4}) that times a whole campaign
+//! — build plus L independent Fig 1 runs — as one SoA batch against L
+//! back-to-back compiled builds+runs. Every row carries `threads`,
+//! `lanes` (1 for every scalar engine), a derived
+//! `sims_per_sec_per_core`, and a `schedule` field: `"hybrid"` iff the
+//! engine adopted the `speccheck` SCC schedule at build time,
+//! `"compiled"` for the bytecode kernels, `"dynamic"` for every pure
+//! delta-driven run. A final `speccheck/analyze` row times the
+//! build-time analyzer pass itself (spec assembly + graph extraction +
+//! condensation + lints).
 //!
 //! `--quick` shrinks every cycle budget and the thread sweep (the CI
 //! smoke configuration); the output schema is identical. The JSON is
@@ -60,6 +65,9 @@ struct Row {
     /// schedule at build time, `"compiled"` when that schedule was
     /// lowered into a bytecode program, `"dynamic"` otherwise.
     schedule: &'static str,
+    /// Independent simulations advanced per step (1 for every scalar
+    /// engine; the batched engine's lane count).
+    lanes: usize,
     cycles: u64,
     wall_s: f64,
     cycles_per_sec: f64,
@@ -83,7 +91,8 @@ impl EngineSpec {
         soc_sim::sim(cfg)
             .engine(self.kind)
             .schedule(self.policy)
-            .build()
+            .try_build()
+            .expect("bench engine builds")
     }
 
     fn threads(&self) -> usize {
@@ -218,6 +227,7 @@ fn bench_idle(
         routers: cfg.num_nodes(),
         threads,
         schedule,
+        lanes: 1,
         cycles,
         wall_s: wall,
         cycles_per_sec: cycles as f64 / wall,
@@ -257,6 +267,7 @@ fn bench_loaded(
         routers: cfg.num_nodes(),
         threads,
         schedule,
+        lanes: 1,
         cycles: r.cycles,
         wall_s: sim_wall,
         cycles_per_sec: r.sim_cycles_per_sec(),
@@ -277,12 +288,14 @@ fn push_row(out: &mut String, row: &Row) {
     simtrace::json::write_str(out, row.schedule);
     let _ = write!(
         out,
-        ", \"routers\": {}, \"threads\": {}, \"cycles\": {}, \"wall_s\": ",
-        row.routers, row.threads, row.cycles
+        ", \"routers\": {}, \"threads\": {}, \"lanes\": {}, \"cycles\": {}, \"wall_s\": ",
+        row.routers, row.threads, row.lanes, row.cycles
     );
     simtrace::json::write_f64(out, row.wall_s);
     out.push_str(", \"cycles_per_sec\": ");
     simtrace::json::write_f64(out, row.cycles_per_sec);
+    out.push_str(", \"sims_per_sec_per_core\": ");
+    simtrace::json::write_f64(out, row.cycles_per_sec / row.threads.max(1) as f64);
     out.push_str(", \"deltas_per_sec\": ");
     match row.deltas_per_sec {
         Some(d) => simtrace::json::write_f64(out, d),
@@ -364,7 +377,12 @@ fn main() {
     eprintln!("# sharded thread sweep (threads in {sweep:?})");
     for &threads in &sweep {
         let kind = EngineKind::Sharded { threads };
-        let mk = || soc_sim::sim(cfg).engine(kind).build();
+        let mk = || {
+            soc_sim::sim(cfg)
+                .engine(kind)
+                .try_build()
+                .expect("sharded engine builds")
+        };
         let row = bench_idle(
             "seqsim-sharded",
             mk(),
@@ -377,6 +395,105 @@ fn main() {
         rows.push(row);
         let row = bench_loaded("seqsim-sharded", mk(), threads, "dynamic", cfg, &rc);
         eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
+        rows.push(row);
+    }
+
+    // Batched lane sweep: a campaign of L independent Fig 1 runs (lane i
+    // seeded 7+i) as one SoA batch vs L separate compiled builds+runs.
+    // Walls include the build: the batch analyzes its topology once,
+    // the sequential reference pays the analyzer per instance. The rate
+    // is aggregate lane-cycles per second over the whole campaign.
+    let lane_sweep: Vec<usize> = if keep("seqsim-batched") {
+        if quick {
+            vec![1, 4]
+        } else {
+            vec![1, 2, 4, 8]
+        }
+    } else {
+        Vec::new()
+    };
+    eprintln!("# batched lane sweep (lanes in {lane_sweep:?})");
+    for &lanes in &lane_sweep {
+        let threads = seqsim::pool::worker_count(None);
+        let start = Instant::now();
+        let mut session = soc_sim::sim(cfg)
+            .engine(EngineKind::Batched { lanes })
+            .run_config(rc.clone())
+            .session()
+            .expect("batched session builds");
+        let cycles = {
+            let reports = session.run_fig1(0.10, 7).expect("batched campaign runs");
+            assert!(
+                reports.iter().all(|r| !r.saturated),
+                "batched bench workload saturated"
+            );
+            reports[0].cycles
+        };
+        let wall = start.elapsed().as_secs_f64().max(1e-9);
+        let row = Row {
+            id: format!(
+                "seqsim-batched/campaign/{}x{}/l{lanes}",
+                cfg.shape.w, cfg.shape.h
+            ),
+            engine: "seqsim-batched",
+            kernel: "seqsim-batched",
+            workload: "campaign",
+            routers: cfg.num_nodes(),
+            threads,
+            schedule: "compiled",
+            lanes,
+            cycles,
+            wall_s: wall,
+            cycles_per_sec: lanes as f64 * cycles as f64 / wall,
+            deltas_per_sec: None,
+        };
+        eprintln!(
+            "  {:<32} {:>10.1} lane-cycles/s",
+            row.id, row.cycles_per_sec
+        );
+        let batched_rate = row.cycles_per_sec;
+        rows.push(row);
+
+        // Sequential reference: the same L campaigns, one compiled
+        // engine each, run back to back on one core.
+        let start = Instant::now();
+        let mut total_cycles = 0u64;
+        for lane in 0..lanes {
+            let mut s = soc_sim::sim(cfg)
+                .engine(EngineKind::SeqCompiled)
+                .run_config(rc.clone())
+                .session()
+                .expect("compiled session builds");
+            let r = &s
+                .run_fig1(0.10, 7 + lane as u64)
+                .expect("compiled campaign runs")[0];
+            assert!(!r.saturated, "compiled bench workload saturated");
+            total_cycles += r.cycles;
+        }
+        let wall = start.elapsed().as_secs_f64().max(1e-9);
+        let row = Row {
+            id: format!(
+                "seqsim-compiled/campaign/{}x{}/l{lanes}",
+                cfg.shape.w, cfg.shape.h
+            ),
+            engine: "seqsim-compiled",
+            kernel: "seqsim-compiled",
+            workload: "campaign",
+            routers: cfg.num_nodes(),
+            threads: 1,
+            schedule: "compiled",
+            lanes,
+            cycles: total_cycles / lanes as u64,
+            wall_s: wall,
+            cycles_per_sec: total_cycles as f64 / wall,
+            deltas_per_sec: None,
+        };
+        eprintln!(
+            "  {:<32} {:>10.1} lane-cycles/s ({:.2}x batched)",
+            row.id,
+            row.cycles_per_sec,
+            batched_rate / row.cycles_per_sec.max(1e-9)
+        );
         rows.push(row);
     }
 
@@ -439,6 +556,7 @@ fn main() {
             routers: cfg.num_nodes(),
             threads: 1,
             schedule: "hybrid",
+            lanes: 1,
             cycles: reps,
             wall_s: wall,
             cycles_per_sec: reps as f64 / wall,
@@ -449,7 +567,7 @@ fn main() {
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"soc-sim/bench_kernel/v4\",\n");
+    json.push_str("{\n  \"schema\": \"soc-sim/bench_kernel/v5\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,
@@ -457,7 +575,7 @@ fn main() {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     );
     json.push_str(
-        "  \"workloads\": {\"idle\": \"no traffic\", \"loaded\": \"fig1 GT + BE 0.10, seed 7, simulate phase only\", \"analyze\": \"speccheck static pass, cycles = passes\"},\n",
+        "  \"workloads\": {\"idle\": \"no traffic\", \"loaded\": \"fig1 GT + BE 0.10, seed 7, simulate phase only\", \"campaign\": \"L independent fig1 runs incl. build, rate = aggregate lane-cycles/s\", \"analyze\": \"speccheck static pass, cycles = passes\"},\n",
     );
     json.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {

@@ -91,7 +91,7 @@ fn profile_hotspots(quick: bool, path: &PathBuf) -> Result<(), SimError> {
     let mut e = SimBuilder::new(cfg)
         .engine(EngineKind::Seq)
         .profile(1)
-        .build();
+        .try_build()?;
     let r = run_fig1_point(&mut *e, 0.10, 7, &rc)?;
     let sim_wall = r
         .profile
@@ -196,7 +196,10 @@ fn fault_differential(seed: u64) -> Result<(), SimError> {
     println!("| engine | delivered flits | bit-identical |");
     println!("|---|---|---|");
     for kind in kinds {
-        let mut e = soc_sim::sim(cfg).engine(kind).faults(plan.clone()).build();
+        let mut e = soc_sim::sim(cfg)
+            .engine(kind)
+            .faults(plan.clone())
+            .try_build()?;
         let t = collect_trace(e.as_mut(), &tcfg, cycles, 128);
         let delivered: usize = t.delivered.iter().map(Vec::len).sum();
         match reference.as_ref() {
@@ -243,10 +246,14 @@ fn real_main() -> Result<(), SimError> {
     let guarantee = fig1_guarantee(cfg);
     let loads = [0.0f64, 0.04, 0.08, 0.11, 0.14];
     let raw = par_map(loads.to_vec(), |l| {
-        let mut e = SimBuilder::new(cfg)
+        let mut e = match SimBuilder::new(cfg)
             .iface(icfg)
             .engine(EngineKind::Native)
-            .build();
+            .try_build()
+        {
+            Ok(e) => e,
+            Err(err) => return (l, Err(err)),
+        };
         (l, run_fig1_point(&mut *e, l, 1337, &rc))
     });
     let mut points: Vec<(f64, noc::RunReport)> = Vec::with_capacity(raw.len());
@@ -300,21 +307,24 @@ fn real_main() -> Result<(), SimError> {
     // ---- Table 3 + §6 ----
     let timing = FpgaTimingModel::default();
     let params = PhaseParams::default();
+    // Observe the sequential run when either output was requested.
+    let obs_cfg = (trace_path.is_some() || metrics_path.is_some())
+        .then(|| ObsConfig::with(Registry::new(), Tracer::new(), 64));
+    let mut rc_seq = RunConfig::new()
+        .warmup(300)
+        .measure(1_500 * scale)
+        .drain(0)
+        .period(256)
+        .backlog_limit(1 << 20)
+        .check(check);
+    if let Some(obs) = obs_cfg.clone() {
+        rc_seq = rc_seq.obs(obs);
+    }
     let mut seq = SimBuilder::new(cfg)
         .iface(icfg)
         .engine(EngineKind::Seq)
-        .build();
-    let rc_seq = RunConfig {
-        warmup: 300,
-        measure: 1_500 * scale,
-        drain: 0,
-        period: 256,
-        backlog_limit: 1 << 20,
-        // Observe the sequential run when either output was requested.
-        obs: (trace_path.is_some() || metrics_path.is_some())
-            .then(|| ObsConfig::with(Registry::new(), Tracer::new(), 64)),
-        check,
-    };
+        .run_config(rc_seq)
+        .session()?;
     let r = {
         let mut alloc = traffic::GtAllocator::new(cfg);
         let gt_streams = alloc.auto_streams((2, 1), 2048, 128);
@@ -325,15 +335,15 @@ fn real_main() -> Result<(), SimError> {
             seed: 7,
         };
         let mut gen = traffic::StimuliGenerator::new(tcfg);
-        noc::run(&mut *seq, &mut gen, &rc_seq)?
+        seq.run(&mut gen)?.clone()
     };
-    if let (Some(p), Some(obs)) = (trace_path.as_ref(), rc_seq.obs.as_ref()) {
+    if let (Some(p), Some(obs)) = (trace_path.as_ref(), obs_cfg.as_ref()) {
         obs.tracer
             .write_chrome(p)
             .map_err(|e| SimError::Config(format!("writing trace {}: {e}", p.display())))?;
         eprintln!("trace: {} events -> {}", obs.tracer.len(), p.display());
     }
-    if let (Some(p), Some(obs)) = (metrics_path.as_ref(), rc_seq.obs.as_ref()) {
+    if let (Some(p), Some(obs)) = (metrics_path.as_ref(), obs_cfg.as_ref()) {
         obs.registry
             .write_snapshot(p)
             .map_err(|e| SimError::Config(format!("writing metrics {}: {e}", p.display())))?;

@@ -2,8 +2,10 @@
 //!
 //! The figure-reproducing sweeps run one engine per sweep point; the
 //! points are embarrassingly parallel. This is a dependency-free
-//! `std::thread::scope` map that bounds the worker count by the available
-//! parallelism.
+//! `std::thread::scope` map that bounds the worker count by the shared
+//! knob ([`seqsim::pool::worker_count`]): the `SOC_SIM_THREADS`
+//! environment variable when set, the available parallelism otherwise —
+//! the same resolution the batched engine's lane groups use.
 //!
 //! Work is claimed in *chunks* through a single atomic index — the old
 //! per-item `Mutex<Option<T>>` input and output slots (two lock round
@@ -25,7 +27,7 @@ use std::sync::Mutex;
 /// have drained the remaining chunks; the re-raised payload is a
 /// `String` of the form `par_map item <i> panicked: <message>`.
 pub fn par_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
-    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let workers = seqsim::pool::worker_count(None);
     // ~4 claims per worker: coarse enough that claiming is a rare atomic
     // op, fine enough to balance uneven item costs.
     let chunk = items.len().div_ceil(workers * 4).max(1);
@@ -67,9 +69,7 @@ pub(crate) fn par_map_chunked<T: Send, U: Send>(
             .collect()
     };
 
-    let workers = std::thread::available_parallelism()
-        .map_or(1, |p| p.get())
-        .min(tasks.len());
+    let workers = seqsim::pool::worker_count(None).min(tasks.len());
     let next = AtomicUsize::new(0);
     // First panic from `f` as (item index, message); caught per item so
     // the claiming loop keeps draining — one bad item never strands the

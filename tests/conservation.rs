@@ -15,7 +15,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::diff::{assert_traces_equal, collect_trace};
-use noc::{run, NativeNoc, RunConfig, SeqNoc};
+use noc::{EngineKind, NativeNoc, RunConfig, SeqNoc, SimBuilder};
 use noc_types::{NetworkConfig, Topology};
 use traffic::{BeConfig, DestPattern, GtAllocator, StimuliGenerator, TrafficConfig};
 use vc_router::IfaceConfig;
@@ -91,17 +91,18 @@ fn offered_equals_delivered_after_drain() {
             gt_streams,
             seed,
         });
-        let mut engine = NativeNoc::new(net, IfaceConfig::default());
-        let rc = RunConfig {
-            warmup: 0,
-            measure: 2_000,
-            drain: 3_000,
-            period: 256,
-            backlog_limit: 1 << 14,
-            obs: None,
-            check: false,
-        };
-        let r = run(&mut engine, &mut gen, &rc).expect("run failed");
+        let rc = RunConfig::new()
+            .warmup(0)
+            .measure(2_000)
+            .drain(3_000)
+            .period(256)
+            .backlog_limit(1 << 14);
+        let mut session = SimBuilder::new(net)
+            .engine(EngineKind::Native)
+            .run_config(rc)
+            .session()
+            .expect("native engine builds");
+        let r = session.run(&mut gen).expect("run failed");
         // Unless genuinely saturated, everything offered must arrive.
         if !r.saturated {
             assert_eq!(

@@ -45,7 +45,10 @@ fn all_traces(
     KINDS
         .iter()
         .map(|&(name, kind)| {
-            let mut e = soc_sim::sim(net).engine(kind).build();
+            let mut e = soc_sim::sim(net)
+                .engine(kind)
+                .try_build()
+                .expect("engine builds");
             (name, collect_trace(&mut *e, t, cycles, period))
         })
         .collect()
@@ -117,7 +120,11 @@ fn engines_agree_under_fault_plans() {
         let traces: Vec<(&'static str, Trace)> = KINDS
             .iter()
             .map(|&(name, kind)| {
-                let mut e = soc_sim::sim(net).engine(kind).faults(plan.clone()).build();
+                let mut e = soc_sim::sim(net)
+                    .engine(kind)
+                    .faults(plan.clone())
+                    .try_build()
+                    .expect("faulty engine builds");
                 (name, collect_trace(&mut *e, &t, 1_200, 128))
             })
             .collect();
@@ -125,7 +132,10 @@ fn engines_agree_under_fault_plans() {
 
         // The plan must actually bite: the faulty trace differs from a
         // clean run of the same traffic.
-        let mut clean_engine = soc_sim::sim(net).engine(EngineKind::Native).build();
+        let mut clean_engine = soc_sim::sim(net)
+            .engine(EngineKind::Native)
+            .try_build()
+            .expect("native engine builds");
         let clean = collect_trace(&mut *clean_engine, &t, 1_200, 128);
         assert_ne!(
             clean, traces[0].1,

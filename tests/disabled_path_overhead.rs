@@ -49,7 +49,10 @@ fn allocs() -> u64 {
 #[test]
 fn dark_hot_loop_does_not_allocate() {
     let cfg = NetworkConfig::new(4, 4, Topology::Torus, 2);
-    let mut engine = SimBuilder::new(cfg).engine(EngineKind::Seq).build();
+    let mut engine = SimBuilder::new(cfg)
+        .engine(EngineKind::Seq)
+        .try_build()
+        .expect("seq engine builds");
 
     // Warm up: first cycles grow worklists, link scratch and ring
     // buffers to their steady-state capacity.

@@ -4,10 +4,9 @@
 //! Fig 1 plots and §2.1 argues from the round-robin arbitration.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use noc::{run, NativeNoc, RunConfig};
+use noc::{EngineKind, RunConfig, SimBuilder};
 use noc_types::{NetworkConfig, Topology};
 use traffic::{BeConfig, GtAllocator, StimuliGenerator, TrafficConfig};
-use vc_router::IfaceConfig;
 
 fn check_guarantee(net: NetworkConfig, be_load: f64, seed: u64) {
     let mut alloc = GtAllocator::new(net);
@@ -20,17 +19,18 @@ fn check_guarantee(net: NetworkConfig, be_load: f64, seed: u64) {
         gt_streams: streams,
         seed,
     });
-    let mut engine = NativeNoc::new(net, IfaceConfig::default());
-    let rc = RunConfig {
-        warmup: 1_000,
-        measure: 8_000,
-        drain: 3_000,
-        period: 512,
-        backlog_limit: 16_384,
-        obs: None,
-        check: false,
-    };
-    let r = run(&mut engine, &mut gen, &rc).expect("run failed");
+    let rc = RunConfig::new()
+        .warmup(1_000)
+        .measure(8_000)
+        .drain(3_000)
+        .period(512)
+        .backlog_limit(16_384);
+    let mut session = SimBuilder::new(net)
+        .engine(EngineKind::Native)
+        .run_config(rc)
+        .session()
+        .expect("native engine builds");
+    let r = session.run(&mut gen).expect("run failed");
     assert!(r.gt.count > 30, "too few GT packets measured");
     assert!(
         r.gt.max <= worst_guarantee,

@@ -12,17 +12,19 @@ use traffic::{BeConfig, StimuliGenerator, TrafficConfig};
 
 fn instrumented_mesh_run() -> (ObsConfig, noc::RunReport) {
     let cfg = NetworkConfig::new(4, 4, Topology::Mesh, 2);
-    let mut engine = SimBuilder::new(cfg).engine(EngineKind::Seq).build();
     let instr = ObsConfig::with(Registry::new(), Tracer::new(), 32);
-    let rc = RunConfig {
-        warmup: 100,
-        measure: 400,
-        drain: 200,
-        period: 128,
-        backlog_limit: 1 << 16,
-        obs: Some(instr.clone()),
-        check: false,
-    };
+    let rc = RunConfig::new()
+        .warmup(100)
+        .measure(400)
+        .drain(200)
+        .period(128)
+        .backlog_limit(1 << 16)
+        .obs(instr.clone());
+    let mut session = SimBuilder::new(cfg)
+        .engine(EngineKind::Seq)
+        .run_config(rc)
+        .session()
+        .expect("seq engine builds");
     let tcfg = TrafficConfig {
         net: cfg,
         be: BeConfig::fig1(0.10),
@@ -30,7 +32,7 @@ fn instrumented_mesh_run() -> (ObsConfig, noc::RunReport) {
         seed: 23,
     };
     let mut gen = StimuliGenerator::new(tcfg);
-    let report = noc::run(&mut *engine, &mut gen, &rc).expect("run failed");
+    let report = session.run(&mut gen).expect("run failed").clone();
     (instr, report)
 }
 
@@ -111,16 +113,17 @@ fn metrics_snapshot_has_kernel_and_noc_series() {
 #[test]
 fn plain_run_is_unobserved() {
     let cfg = NetworkConfig::new(3, 3, Topology::Torus, 2);
-    let mut engine = SimBuilder::new(cfg).engine(EngineKind::Seq).build();
-    let rc = RunConfig {
-        warmup: 50,
-        measure: 200,
-        drain: 100,
-        period: 128,
-        backlog_limit: 1 << 16,
-        obs: None,
-        check: false,
-    };
-    let r = noc::run_fig1_point(&mut *engine, 0.05, 3, &rc).expect("run failed");
+    let rc = RunConfig::new()
+        .warmup(50)
+        .measure(200)
+        .drain(100)
+        .period(128)
+        .backlog_limit(1 << 16);
+    let mut session = SimBuilder::new(cfg)
+        .engine(EngineKind::Seq)
+        .run_config(rc)
+        .session()
+        .expect("seq engine builds");
+    let r = &session.run_fig1(0.05, 3).expect("run failed")[0];
     assert!(r.metrics.is_none(), "plain runs carry no metrics snapshot");
 }

@@ -4,10 +4,9 @@
 //! sequential engine at full scale.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use noc::{run, NativeNoc, RunConfig, SeqNoc};
+use noc::{EngineKind, RunConfig, SimBuilder};
 use noc_types::NetworkConfig;
 use traffic::{BeConfig, StimuliGenerator, TrafficConfig};
-use vc_router::IfaceConfig;
 
 fn traffic(net: NetworkConfig) -> TrafficConfig {
     TrafficConfig {
@@ -22,18 +21,18 @@ fn traffic(net: NetworkConfig) -> TrafficConfig {
 fn native_runs_256_routers() {
     let net = NetworkConfig::paper_max();
     assert_eq!(net.num_nodes(), 256);
-    let mut e = NativeNoc::new(net, IfaceConfig::default());
-    let rc = RunConfig {
-        warmup: 0,
-        measure: 400,
-        drain: 600,
-        period: 128,
-        backlog_limit: 8_192,
-        obs: None,
-        check: false,
-    };
+    let rc = RunConfig::new()
+        .warmup(0)
+        .measure(400)
+        .drain(600)
+        .period(128);
+    let mut session = SimBuilder::new(net)
+        .engine(EngineKind::Native)
+        .run_config(rc)
+        .session()
+        .expect("native engine builds");
     let mut gen = StimuliGenerator::new(traffic(net));
-    let r = run(&mut e, &mut gen, &rc).expect("run failed");
+    let r = session.run(&mut gen).expect("run failed");
     assert!(!r.saturated);
     assert!(r.throughput.delivered_packets > 100);
     assert_eq!(r.unmatched, 0, "flits lost at full scale");
@@ -42,19 +41,15 @@ fn native_runs_256_routers() {
 #[test]
 fn seqsim_runs_256_routers_with_minimum_delta_floor() {
     let net = NetworkConfig::paper_max();
-    let mut e = SeqNoc::new(net, IfaceConfig::default());
-    let rc = RunConfig {
-        warmup: 0,
-        measure: 120,
-        drain: 0,
-        period: 64,
-        backlog_limit: 8_192,
-        obs: None,
-        check: false,
-    };
+    let rc = RunConfig::new().warmup(0).measure(120).drain(0).period(64);
+    let mut session = SimBuilder::new(net)
+        .engine(EngineKind::Seq)
+        .run_config(rc)
+        .session()
+        .expect("seq engine builds");
     let mut gen = StimuliGenerator::new(traffic(net));
-    let r = run(&mut e, &mut gen, &rc).expect("run failed");
-    let d = r.delta.expect("delta stats");
+    let r = session.run(&mut gen).expect("run failed");
+    let d = r.delta.clone().expect("delta stats");
     assert_eq!(d.system_cycles, 120);
     assert!(d.delta_cycles >= 120 * 256, "below the delta floor");
     // Sparse traffic: modest re-evaluation overhead.

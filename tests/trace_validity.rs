@@ -206,11 +206,15 @@ fn profiling_does_not_perturb_delivery() {
         gt_streams: Vec::new(),
         seed: 42,
     };
-    let mut plain = SimBuilder::new(cfg).engine(EngineKind::Seq).build();
+    let mut plain = SimBuilder::new(cfg)
+        .engine(EngineKind::Seq)
+        .try_build()
+        .expect("seq engine builds");
     let mut profiled = SimBuilder::new(cfg)
         .engine(EngineKind::Seq)
         .profile(4)
-        .build();
+        .try_build()
+        .expect("profiled seq engine builds");
     let a = noc::diff::collect_trace(plain.as_mut(), &tcfg, 600, 128);
     let b = noc::diff::collect_trace(profiled.as_mut(), &tcfg, 600, 128);
     noc::diff::assert_traces_equal("seqsim", &a, "seqsim+profiler", &b);
