@@ -20,6 +20,7 @@ fn deltas_for(scheduling: Scheduling, load: f64) -> f64 {
         period: 256,
         backlog_limit: 1 << 20,
         obs: None,
+        ..RunConfig::default()
     };
     let r = run_fig1_point(&mut engine, load, 17, &rc);
     r.delta.unwrap().avg_deltas_per_cycle()
@@ -59,6 +60,7 @@ fn bench_hbr(c: &mut Criterion) {
                 period: 200,
                 backlog_limit: 1 << 20,
                 obs: None,
+                ..RunConfig::default()
             };
             let _ = run_fig1_point(&mut engine, 0.10, 3, &rc);
             b.iter(|| {

@@ -29,6 +29,7 @@ fn bench_depths(c: &mut Criterion) {
                 period: 256,
                 backlog_limit: 1 << 20,
                 obs: None,
+                ..RunConfig::default()
             };
             let _ = run_fig1_point(&mut engine, 0.10, 3, &rc);
             b.iter(|| {

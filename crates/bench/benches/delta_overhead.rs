@@ -21,6 +21,7 @@ fn measure_extra(load: f64) -> (f64, f64) {
         period: 256,
         backlog_limit: 1 << 20,
         obs: None,
+        ..RunConfig::default()
     };
     let r = run_fig1_point(&mut engine, load, 31, &rc);
     let stats = r.delta.expect("seqsim reports deltas");
@@ -59,6 +60,7 @@ fn bench_delta(c: &mut Criterion) {
                 period: 256,
                 backlog_limit: 1 << 20,
                 obs: None,
+                ..RunConfig::default()
             };
             let _ = run_fig1_point(&mut engine, load, 3, &rc);
             b.iter(|| {

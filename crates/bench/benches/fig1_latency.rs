@@ -17,6 +17,7 @@ fn quick_rc() -> RunConfig {
         period: 512,
         backlog_limit: 16_384,
         obs: None,
+        ..RunConfig::default()
     }
 }
 

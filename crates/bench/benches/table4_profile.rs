@@ -53,6 +53,7 @@ fn bench_period(c: &mut Criterion) {
                 period: 512,
                 backlog_limit: 16_384,
                 obs: None,
+                ..RunConfig::default()
             };
             run(&mut engine, &mut gen, &rc).cycles
         })

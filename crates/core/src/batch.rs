@@ -415,6 +415,84 @@ struct CoreSnapshot {
     active: Vec<bool>,
     active_words: Vec<u64>,
     cur: usize,
+    poisoned: Vec<Option<(u64, String)>>,
+}
+
+impl CoreSnapshot {
+    fn encode(&self, e: &mut crate::wire::Enc) {
+        e.u64s(&self.links);
+        e.u64s(&self.state);
+        e.u64s(&self.packed);
+        e.usize(self.sides.len());
+        for s in &self.sides {
+            s.encode(e);
+        }
+        e.u64(self.cycle);
+        e.usize(self.stats.len());
+        for s in &self.stats {
+            s.encode(e);
+        }
+        e.bools(&self.active);
+        e.u64s(&self.active_words);
+        e.usize(self.cur);
+        e.usize(self.poisoned.len());
+        for p in &self.poisoned {
+            match p {
+                Some((cycle, payload)) => {
+                    e.bool(true);
+                    e.u64(*cycle);
+                    e.str(payload);
+                }
+                None => e.bool(false),
+            }
+        }
+    }
+
+    fn decode(d: &mut crate::wire::Dec<'_>) -> Result<Self, crate::wire::WireError> {
+        let links = d.u64s()?;
+        let state = d.u64s()?;
+        let packed = d.u64s()?;
+        let n_sides = d.usize()?;
+        let mut sides = Vec::new();
+        for _ in 0..n_sides {
+            sides.push(SideMem::decode(d)?);
+        }
+        let cycle = d.u64()?;
+        let n_stats = d.usize()?;
+        let mut stats = Vec::new();
+        for _ in 0..n_stats {
+            stats.push(DeltaStats::decode(d)?);
+        }
+        let active = d.bools()?;
+        let active_words = d.u64s()?;
+        let cur = d.usize()?;
+        let n_poisoned = d.usize()?;
+        let mut poisoned = Vec::new();
+        for _ in 0..n_poisoned {
+            poisoned.push(if d.bool()? {
+                Some((d.u64()?, d.str()?))
+            } else {
+                None
+            });
+        }
+        if cur > 1 || active.len() != stats.len() || poisoned.len() != active.len() {
+            return Err(crate::wire::WireError::new(
+                "inconsistent batched-core snapshot layout",
+            ));
+        }
+        Ok(CoreSnapshot {
+            links,
+            state,
+            packed,
+            sides,
+            cycle,
+            stats,
+            active,
+            active_words,
+            cur,
+            poisoned,
+        })
+    }
 }
 
 /// One contiguous group of lanes, advanced single-threaded by one walk
@@ -457,7 +535,27 @@ struct BatchedCore {
     active: Vec<bool>,
     /// `active` as packed mask words (tail lanes zero).
     active_words: Vec<u64>,
+    /// `poisoned[lane]`: the cycle and panic payload of a quarantined
+    /// lane. A poisoned lane is also inactive, but unlike a halted lane
+    /// its exec state was NOT synced back (it may be mid-evaluation);
+    /// the bank holds the last consistent pre-panic words.
+    poisoned: Vec<Option<(u64, String)>>,
+    /// Chaos knob: deliberately panic `lane`'s next per-lane op at the
+    /// given cycle (testing only; not part of snapshots).
+    chaos_panic: Vec<Option<u64>>,
     profiler: Option<Box<KernelProfiler>>,
+}
+
+/// Render a `catch_unwind` payload as text (panic messages are almost
+/// always `&str` or `String`).
+fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl BatchedCore {
@@ -528,6 +626,8 @@ impl BatchedCore {
             stats: vec![DeltaStats::default(); lanes],
             active: vec![true; lanes],
             active_words,
+            poisoned: vec![None; lanes],
+            chaos_panic: vec![None; lanes],
             cycle: 0,
             cur: 0,
             profiler: None,
@@ -660,6 +760,21 @@ impl BatchedCore {
         self.active_words[lane / 64] &= !(1u64 << (lane % 64));
     }
 
+    /// Quarantine a lane whose evaluation panicked: mask it out of every
+    /// future write and record the payload. Unlike [`halt_lane`]
+    /// (`Self::halt_lane`) the decoded exec state is *not* synced back —
+    /// a panic may have left it mid-evaluation — so the dirty flags are
+    /// cleared and host peeks read the last consistent bank words.
+    fn quarantine(&mut self, lane: usize, cycle: u64, payload: String) {
+        if self.poisoned[lane].is_some() {
+            return;
+        }
+        self.poisoned[lane] = Some((cycle, payload));
+        self.active[lane] = false;
+        self.active_words[lane / 64] &= !(1u64 << (lane % 64));
+        self.dirty[lane].iter_mut().for_each(|d| *d = false);
+    }
+
     fn snapshot(&self) -> CoreSnapshot {
         let mut state = self.state.clone();
         for j in 0..self.lanes {
@@ -685,6 +800,7 @@ impl BatchedCore {
             active: self.active.clone(),
             active_words: self.active_words.clone(),
             cur: self.cur,
+            poisoned: self.poisoned.clone(),
         }
     }
 
@@ -698,6 +814,7 @@ impl BatchedCore {
         self.active = snap.active.clone();
         self.active_words = snap.active_words.clone();
         self.cur = snap.cur;
+        self.poisoned = snap.poisoned.clone();
         self.load_execs();
     }
 
@@ -790,7 +907,14 @@ impl BatchedCore {
         }
     }
 
+    /// Run one per-lane op over every active lane. Each lane's body runs
+    /// under `catch_unwind`: a panicking lane (a buggy exec, or the
+    /// chaos knob) is quarantined via [`quarantine`](Self::quarantine)
+    /// and the remaining lanes continue untouched. Bitwise ops are not
+    /// isolated this way — one eval advances up to 64 lanes at once, so
+    /// a panic there cannot be attributed to a single lane.
     fn run_per_lane_op(&mut self, op: Op, cycle: u64, lanes: usize) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         match op {
             Op::Comb {
                 kind,
@@ -805,23 +929,32 @@ impl BatchedCore {
                     if !self.active[j] {
                         continue;
                     }
-                    for m in &self.prog.scalar.gathers[gather.as_range()] {
-                        self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
-                    }
-                    let Some(exec) = self.execs[j][kind as usize].as_mut() else {
-                        unreachable!("comb op for kind {kind} without exec");
-                    };
-                    exec.comb(
-                        instance as usize,
-                        pass as usize,
-                        &self.in_buf,
-                        cycle,
-                        &mut self.out_buf,
-                        &mut self.sides[j].view(block as usize),
-                    );
-                    for m in &self.prog.scalar.scatters[scatter.as_range()] {
-                        self.links[m.link as usize * lanes + j] =
-                            self.out_buf[m.port as usize] & m.mask;
+                    let chaos = self.chaos_panic[j];
+                    let res = catch_unwind(AssertUnwindSafe(|| {
+                        if chaos == Some(cycle) {
+                            panic!("chaos: injected panic in lane {j} at cycle {cycle}");
+                        }
+                        for m in &self.prog.scalar.gathers[gather.as_range()] {
+                            self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
+                        }
+                        let Some(exec) = self.execs[j][kind as usize].as_mut() else {
+                            unreachable!("comb op for kind {kind} without exec");
+                        };
+                        exec.comb(
+                            instance as usize,
+                            pass as usize,
+                            &self.in_buf,
+                            cycle,
+                            &mut self.out_buf,
+                            &mut self.sides[j].view(block as usize),
+                        );
+                        for m in &self.prog.scalar.scatters[scatter.as_range()] {
+                            self.links[m.link as usize * lanes + j] =
+                                self.out_buf[m.port as usize] & m.mask;
+                        }
+                    }));
+                    if let Err(p) = res {
+                        self.quarantine(j, cycle, panic_payload(p.as_ref()));
                     }
                 }
                 if let Some(p) = self.profiler.as_mut() {
@@ -842,36 +975,45 @@ impl BatchedCore {
                     if !self.active[j] {
                         continue;
                     }
-                    for m in &self.prog.scalar.gathers[gather.as_range()] {
-                        self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
-                    }
-                    let n_in = self.specs[j].blocks()[b].inputs.len();
-                    let n_out = self.specs[j].blocks()[b].outputs.len();
-                    let (off, len) = (self.state_off[b], self.state_len[b]);
-                    let start = self.cur * self.bank_lane_words + off * lanes + j * len;
-                    // Split borrows: `state` read-only, `scratch` is the
-                    // discarded next-state buffer — separate fields.
-                    let BatchedCore {
-                        specs,
-                        state,
-                        in_buf,
-                        out_buf,
-                        scratch,
-                        sides,
-                        ..
-                    } = self;
-                    specs[j].kinds()[kind as usize].eval(
-                        instance as usize,
-                        &state[start..start + len],
-                        &in_buf[..n_in],
-                        cycle,
-                        &mut scratch[..len],
-                        &mut out_buf[..n_out],
-                        &mut sides[j].view(b),
-                    );
-                    for m in &self.prog.scalar.scatters[scatter.as_range()] {
-                        self.links[m.link as usize * lanes + j] =
-                            self.out_buf[m.port as usize] & m.mask;
+                    let chaos = self.chaos_panic[j];
+                    let res = catch_unwind(AssertUnwindSafe(|| {
+                        if chaos == Some(cycle) {
+                            panic!("chaos: injected panic in lane {j} at cycle {cycle}");
+                        }
+                        for m in &self.prog.scalar.gathers[gather.as_range()] {
+                            self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
+                        }
+                        let n_in = self.specs[j].blocks()[b].inputs.len();
+                        let n_out = self.specs[j].blocks()[b].outputs.len();
+                        let (off, len) = (self.state_off[b], self.state_len[b]);
+                        let start = self.cur * self.bank_lane_words + off * lanes + j * len;
+                        // Split borrows: `state` read-only, `scratch` is the
+                        // discarded next-state buffer — separate fields.
+                        let BatchedCore {
+                            specs,
+                            state,
+                            in_buf,
+                            out_buf,
+                            scratch,
+                            sides,
+                            ..
+                        } = self;
+                        specs[j].kinds()[kind as usize].eval(
+                            instance as usize,
+                            &state[start..start + len],
+                            &in_buf[..n_in],
+                            cycle,
+                            &mut scratch[..len],
+                            &mut out_buf[..n_out],
+                            &mut sides[j].view(b),
+                        );
+                        for m in &self.prog.scalar.scatters[scatter.as_range()] {
+                            self.links[m.link as usize * lanes + j] =
+                                self.out_buf[m.port as usize] & m.mask;
+                        }
+                    }));
+                    if let Err(p) = res {
+                        self.quarantine(j, cycle, panic_payload(p.as_ref()));
                     }
                 }
                 if let Some(p) = self.profiler.as_mut() {
@@ -889,19 +1031,28 @@ impl BatchedCore {
                     if !self.active[j] {
                         continue;
                     }
-                    for m in &self.prog.scalar.gathers[gather.as_range()] {
-                        self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
+                    let chaos = self.chaos_panic[j];
+                    let res = catch_unwind(AssertUnwindSafe(|| {
+                        if chaos == Some(cycle) {
+                            panic!("chaos: injected panic in lane {j} at cycle {cycle}");
+                        }
+                        for m in &self.prog.scalar.gathers[gather.as_range()] {
+                            self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
+                        }
+                        let Some(exec) = self.execs[j][kind as usize].as_mut() else {
+                            unreachable!("update op for kind {kind} without exec");
+                        };
+                        exec.update(
+                            instance as usize,
+                            &self.in_buf,
+                            cycle,
+                            &mut self.sides[j].view(block as usize),
+                        );
+                        self.dirty[j][block as usize] = true;
+                    }));
+                    if let Err(p) = res {
+                        self.quarantine(j, cycle, panic_payload(p.as_ref()));
                     }
-                    let Some(exec) = self.execs[j][kind as usize].as_mut() else {
-                        unreachable!("update op for kind {kind} without exec");
-                    };
-                    exec.update(
-                        instance as usize,
-                        &self.in_buf,
-                        cycle,
-                        &mut self.sides[j].view(block as usize),
-                    );
-                    self.dirty[j][block as usize] = true;
                 }
                 if let Some(p) = self.profiler.as_mut() {
                     p.end_eval(block as usize, false, t0);
@@ -919,39 +1070,48 @@ impl BatchedCore {
                     if !self.active[j] {
                         continue;
                     }
-                    for m in &self.prog.scalar.gathers[gather.as_range()] {
-                        self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
+                    let chaos = self.chaos_panic[j];
+                    let res = catch_unwind(AssertUnwindSafe(|| {
+                        if chaos == Some(cycle) {
+                            panic!("chaos: injected panic in lane {j} at cycle {cycle}");
+                        }
+                        for m in &self.prog.scalar.gathers[gather.as_range()] {
+                            self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
+                        }
+                        let n_in = self.specs[j].blocks()[b].inputs.len();
+                        let n_out = self.specs[j].blocks()[b].outputs.len();
+                        // Split borrows: state is a separate field from the
+                        // buffers and sides; specs are read-only.
+                        let BatchedCore {
+                            specs,
+                            state,
+                            in_buf,
+                            out_buf,
+                            sides,
+                            ..
+                        } = self;
+                        let (cur, next) = cur_next_split(
+                            state,
+                            self.cur,
+                            self.bank_lane_words,
+                            self.state_off[b],
+                            self.state_len[b],
+                            lanes,
+                            j,
+                        );
+                        specs[j].kinds()[kind as usize].eval(
+                            instance as usize,
+                            cur,
+                            &in_buf[..n_in],
+                            cycle,
+                            next,
+                            &mut out_buf[..n_out],
+                            &mut sides[j].view(b),
+                        );
+                    }));
+                    if let Err(p) = res {
+                        self.quarantine(j, cycle, panic_payload(p.as_ref()));
                     }
-                    let n_in = self.specs[j].blocks()[b].inputs.len();
-                    let n_out = self.specs[j].blocks()[b].outputs.len();
-                    // Split borrows: state is a separate field from the
-                    // buffers and sides; specs are read-only.
-                    let BatchedCore {
-                        specs,
-                        state,
-                        in_buf,
-                        out_buf,
-                        sides,
-                        ..
-                    } = self;
-                    let (cur, next) = cur_next_split(
-                        state,
-                        self.cur,
-                        self.bank_lane_words,
-                        self.state_off[b],
-                        self.state_len[b],
-                        lanes,
-                        j,
-                    );
-                    specs[j].kinds()[kind as usize].eval(
-                        instance as usize,
-                        cur,
-                        &in_buf[..n_in],
-                        cycle,
-                        next,
-                        &mut out_buf[..n_out],
-                        &mut sides[j].view(b),
-                    );
                 }
                 if let Some(p) = self.profiler.as_mut() {
                     p.end_eval(b, false, t0);
@@ -972,6 +1132,31 @@ impl BatchedCore {
 #[derive(Debug, Clone)]
 pub struct BatchedSnapshot {
     cores: Vec<CoreSnapshot>,
+}
+
+impl BatchedSnapshot {
+    /// Serialize the snapshot for a durable checkpoint.
+    pub fn encode(&self, e: &mut crate::wire::Enc) {
+        e.usize(self.cores.len());
+        for c in &self.cores {
+            c.encode(e);
+        }
+    }
+
+    /// Rebuild a snapshot encoded by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::wire::WireError`] when the payload is truncated or
+    /// internally inconsistent.
+    pub fn decode(d: &mut crate::wire::Dec<'_>) -> Result<Self, crate::wire::WireError> {
+        let n = d.usize()?;
+        let mut cores = Vec::new();
+        for _ in 0..n {
+            cores.push(CoreSnapshot::decode(d)?);
+        }
+        Ok(BatchedSnapshot { cores })
+    }
 }
 
 /// The lane-batched engine: N structurally identical simulations
@@ -1080,6 +1265,31 @@ impl BatchedEngine {
     pub fn halt_lane(&mut self, lane: usize) {
         let (g, j) = self.lane_of[lane];
         self.groups[g].halt_lane(j);
+    }
+
+    /// The quarantine record of `lane`: the system cycle it was poisoned
+    /// at and the panic payload, or `None` while the lane is healthy.
+    pub fn lane_poisoned(&self, lane: usize) -> Option<(u64, &str)> {
+        let (g, j) = self.lane_of[lane];
+        self.groups[g].poisoned[j]
+            .as_ref()
+            .map(|(c, p)| (*c, p.as_str()))
+    }
+
+    /// Quarantine `lane` from the host side (e.g. an invariant violation
+    /// detected by the runner): the lane is masked out like a panicking
+    /// lane, with `payload` as its quarantine record.
+    pub fn quarantine_lane(&mut self, lane: usize, cycle: u64, payload: String) {
+        let (g, j) = self.lane_of[lane];
+        self.groups[g].quarantine(j, cycle, payload);
+    }
+
+    /// Chaos knob (testing): deliberately panic `lane`'s next per-lane
+    /// evaluation at system cycle `cycle`, exercising the quarantine
+    /// path end to end.
+    pub fn poison_lane_at(&mut self, lane: usize, cycle: u64) {
+        let (g, j) = self.lane_of[lane];
+        self.groups[g].chaos_panic[j] = Some(cycle);
     }
 
     /// Value of link `l` in `lane`.

@@ -915,6 +915,43 @@ impl Arena {
     pub fn total_words(&self) -> usize {
         self.words.len()
     }
+
+    /// Serialize the arena (layout and every word) for a durable
+    /// checkpoint.
+    pub fn encode(&self, e: &mut crate::wire::Enc) {
+        e.usize(self.n_links);
+        e.usizes(&self.state_off);
+        e.usizes(&self.state_len);
+        e.usize(self.bank_words);
+        e.usize(self.cur);
+        e.u64s(&self.words);
+    }
+
+    /// Rebuild an arena encoded by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::wire::WireError`] on underrun or an inconsistent layout.
+    pub fn decode(d: &mut crate::wire::Dec<'_>) -> Result<Self, crate::wire::WireError> {
+        let n_links = d.usize()?;
+        let state_off = d.usizes()?;
+        let state_len = d.usizes()?;
+        let bank_words = d.usize()?;
+        let cur = d.usize()?;
+        let words = d.u64s()?;
+        if state_off.len() != state_len.len() || cur > 1 || words.len() != n_links + 2 * bank_words
+        {
+            return Err(crate::wire::WireError::new("inconsistent arena layout"));
+        }
+        Ok(Arena {
+            words,
+            n_links,
+            state_off,
+            state_len,
+            bank_words,
+            cur,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -929,6 +966,31 @@ pub struct CompiledSnapshot {
     side: SideMem,
     cycle: u64,
     stats: DeltaStats,
+}
+
+impl CompiledSnapshot {
+    /// Serialize the snapshot for a durable checkpoint.
+    pub fn encode(&self, e: &mut crate::wire::Enc) {
+        self.arena.encode(e);
+        self.side.encode(e);
+        e.u64(self.cycle);
+        self.stats.encode(e);
+    }
+
+    /// Rebuild a snapshot encoded by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::wire::WireError`] when the payload is truncated or
+    /// internally inconsistent.
+    pub fn decode(d: &mut crate::wire::Dec<'_>) -> Result<Self, crate::wire::WireError> {
+        Ok(CompiledSnapshot {
+            arena: Arena::decode(d)?,
+            side: SideMem::decode(d)?,
+            cycle: d.u64()?,
+            stats: DeltaStats::decode(d)?,
+        })
+    }
 }
 
 /// The compiled-schedule engine: executes a [`CompiledProgram`] over an

@@ -57,6 +57,30 @@ impl DeltaStats {
             self.re_evaluations as f64 / min as f64
         }
     }
+
+    /// Serialize all counters for a durable checkpoint.
+    pub fn encode(&self, e: &mut crate::wire::Enc) {
+        e.u64(self.system_cycles);
+        e.u64(self.delta_cycles);
+        e.u64(self.re_evaluations);
+        e.u64(self.deltas_last_cycle);
+        e.u64(self.max_deltas_in_cycle);
+    }
+
+    /// Rebuild counters encoded by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::wire::WireError`] on underrun.
+    pub fn decode(d: &mut crate::wire::Dec<'_>) -> Result<Self, crate::wire::WireError> {
+        Ok(DeltaStats {
+            system_cycles: d.u64()?,
+            delta_cycles: d.u64()?,
+            re_evaluations: d.u64()?,
+            deltas_last_cycle: d.u64()?,
+            max_deltas_in_cycle: d.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -132,6 +132,35 @@ pub struct Snapshot {
     stats: DeltaStats,
 }
 
+impl Snapshot {
+    /// Serialize the snapshot for a durable checkpoint.
+    pub fn encode(&self, e: &mut crate::wire::Enc) {
+        self.state.encode(e);
+        self.links.encode(e);
+        self.side.encode(e);
+        e.usize(self.rr_pos);
+        e.u64(self.cycle);
+        self.stats.encode(e);
+    }
+
+    /// Rebuild a snapshot encoded by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::wire::WireError`] when the payload is truncated or
+    /// internally inconsistent.
+    pub fn decode(d: &mut crate::wire::Dec<'_>) -> Result<Self, crate::wire::WireError> {
+        Ok(Snapshot {
+            state: StateMemory::decode(d)?,
+            links: LinkMemory::decode(d)?,
+            side: SideMem::decode(d)?,
+            rr_pos: d.usize()?,
+            cycle: d.u64()?,
+            stats: DeltaStats::decode(d)?,
+        })
+    }
+}
+
 /// Sequential engine with the paper's dynamic (HBR-driven) schedule.
 pub struct DynamicEngine {
     spec: SystemSpec,

@@ -48,6 +48,35 @@ pub enum SimError {
     },
     /// The run was mis-configured (bad flag value, impossible request).
     Config(String),
+    /// The supervisor's watchdog saw no per-cycle progress within its
+    /// stall timeout: the campaign hung (a livelock, a wedged worker)
+    /// and was cancelled.
+    Stalled {
+        /// Last system cycle the heartbeat reported before progress
+        /// stopped.
+        last_cycle: u64,
+        /// The stall timeout that expired, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// A batched lane panicked (or was poisoned by the host) and was
+    /// quarantined: its state froze at `cycle` and the remaining lanes
+    /// finished untouched.
+    LaneQuarantined {
+        /// The quarantined lane index.
+        lane: usize,
+        /// System cycle at which the lane was poisoned.
+        cycle: u64,
+        /// The panic payload (or the host's quarantine reason).
+        payload: String,
+    },
+    /// A supervised campaign attempt crashed (panicked outside any
+    /// lane's isolation) and was caught by the supervisor.
+    Crashed {
+        /// 1-based attempt number that crashed.
+        attempt: u32,
+        /// The panic payload.
+        payload: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -77,6 +106,21 @@ impl fmt::Display for SimError {
                 "invariant `{invariant}` violated at cycle {cycle}: {details}"
             ),
             SimError::Config(msg) => write!(f, "configuration error: {msg}"),
+            SimError::Stalled {
+                last_cycle,
+                timeout_ms,
+            } => write!(
+                f,
+                "campaign stalled: no progress past cycle {last_cycle} within {timeout_ms} ms"
+            ),
+            SimError::LaneQuarantined {
+                lane,
+                cycle,
+                payload,
+            } => write!(f, "lane {lane} quarantined at cycle {cycle}: {payload}"),
+            SimError::Crashed { attempt, payload } => {
+                write!(f, "campaign attempt {attempt} crashed: {payload}")
+            }
         }
     }
 }
@@ -114,5 +158,24 @@ mod tests {
         };
         assert!(e.to_string().contains("`conservation`"));
         assert!(SimError::Config("bad".into()).to_string().contains("bad"));
+
+        let e = SimError::Stalled {
+            last_cycle: 4096,
+            timeout_ms: 2000,
+        };
+        assert!(e.to_string().contains("4096") && e.to_string().contains("2000 ms"));
+
+        let e = SimError::LaneQuarantined {
+            lane: 2,
+            cycle: 300,
+            payload: "chaos".into(),
+        };
+        assert!(e.to_string().contains("lane 2") && e.to_string().contains("cycle 300"));
+
+        let e = SimError::Crashed {
+            attempt: 1,
+            payload: "boom".into(),
+        };
+        assert!(e.to_string().contains("attempt 1") && e.to_string().contains("boom"));
     }
 }

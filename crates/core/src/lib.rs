@@ -84,6 +84,7 @@ pub mod state;
 pub mod static_sched;
 pub mod systolic;
 pub mod trace;
+pub mod wire;
 pub mod worklist;
 
 pub use batch::{check_lane_structure, BatchedEngine, BatchedProgram, BatchedSnapshot};
@@ -104,4 +105,5 @@ pub use side::{SideMem, SideView};
 pub use state::StateMemory;
 pub use static_sched::StaticEngine;
 pub use trace::{ScheduleTrace, TraceEvent};
+pub use wire::{Dec, Enc, WireError};
 pub use worklist::Worklist;

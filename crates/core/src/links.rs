@@ -9,6 +9,7 @@
 //! at the start of each system cycle.
 
 use crate::block::{LinkDriver, LinkSpec};
+use crate::wire::{Dec, Enc, WireError};
 
 /// Single-banked link memory with per-link HBR bits.
 #[derive(Debug, Clone)]
@@ -125,6 +126,66 @@ impl LinkMemory {
     /// lives in link memory.
     pub fn all_read(&self) -> bool {
         self.hbr.iter().all(|&b| b)
+    }
+
+    /// Serialize values, HBR bits, widths and drivers for a durable
+    /// checkpoint.
+    pub fn encode(&self, e: &mut Enc) {
+        e.u64s(&self.values);
+        e.usizes(&self.widths);
+        e.bools(&self.hbr);
+        e.usize(self.drivers.len());
+        for d in &self.drivers {
+            match *d {
+                LinkDriver::Block { block, port } => {
+                    e.u8(0);
+                    e.usize(block);
+                    e.usize(port);
+                }
+                LinkDriver::Const(v) => {
+                    e.u8(1);
+                    e.u64(v);
+                }
+                LinkDriver::External => e.u8(2),
+            }
+        }
+    }
+
+    /// Rebuild a memory encoded by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on underrun, an unknown driver tag, or mismatched
+    /// per-link vector lengths.
+    pub fn decode(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let values = d.u64s()?;
+        let widths = d.usizes()?;
+        let hbr = d.bools()?;
+        let n = d.usize()?;
+        let mut drivers = Vec::with_capacity(n.min(values.len()));
+        for _ in 0..n {
+            drivers.push(match d.u8()? {
+                0 => LinkDriver::Block {
+                    block: d.usize()?,
+                    port: d.usize()?,
+                },
+                1 => LinkDriver::Const(d.u64()?),
+                2 => LinkDriver::External,
+                t => return Err(WireError::new(format!("unknown link driver tag {t}"))),
+            });
+        }
+        if widths.len() != values.len()
+            || hbr.len() != values.len()
+            || drivers.len() != values.len()
+        {
+            return Err(WireError::new("inconsistent link-memory layout"));
+        }
+        Ok(LinkMemory {
+            values,
+            widths,
+            hbr,
+            drivers,
+        })
     }
 }
 

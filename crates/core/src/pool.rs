@@ -29,18 +29,29 @@ pub type ScopedTask<'a> = Box<dyn FnOnce() + Send + 'a>;
 ///
 /// Resolution order: an `explicit` count from a builder method wins;
 /// otherwise the `SOC_SIM_THREADS` environment variable (a positive
-/// integer; unparsable or zero values are ignored); otherwise the host's
+/// integer; an unparsable or zero value is ignored with a once-per-process
+/// stderr warning naming it); otherwise the host's
 /// [`std::thread::available_parallelism`]. Always at least 1.
 pub fn worker_count(explicit: Option<usize>) -> usize {
     if let Some(n) = explicit {
         return n.max(1);
     }
-    if let Some(n) = std::env::var("SOC_SIM_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
+    if let Ok(v) = std::env::var("SOC_SIM_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => {
+                // Warn once so a misconfigured deployment (e.g.
+                // SOC_SIM_THREADS=0 or a typo) is visible instead of
+                // silently falling back to all cores.
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring SOC_SIM_THREADS={v:?}: \
+                         not a positive integer; using available parallelism"
+                    );
+                });
+            }
+        }
     }
     std::thread::available_parallelism().map_or(1, |p| p.get())
 }

@@ -61,6 +61,36 @@ impl SideMem {
     pub fn capacity(&self, block: usize, ring: usize) -> usize {
         self.rings[block][ring].len()
     }
+
+    /// Serialize every ring (shape and contents) for a durable checkpoint.
+    pub fn encode(&self, e: &mut crate::wire::Enc) {
+        e.usize(self.rings.len());
+        for block in &self.rings {
+            e.usize(block.len());
+            for ring in block {
+                e.u64s(ring);
+            }
+        }
+    }
+
+    /// Rebuild a side memory encoded by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::wire::WireError`] on underrun or a corrupt length prefix.
+    pub fn decode(d: &mut crate::wire::Dec<'_>) -> Result<Self, crate::wire::WireError> {
+        let n_blocks = d.usize()?;
+        let mut rings = Vec::new();
+        for _ in 0..n_blocks {
+            let n_rings = d.usize()?;
+            let mut block = Vec::new();
+            for _ in 0..n_rings {
+                block.push(d.u64s()?);
+            }
+            rings.push(block);
+        }
+        Ok(SideMem { rings })
+    }
 }
 
 /// One block's slice of the side memory.

@@ -11,6 +11,7 @@
 //! the two banks live in one allocation and are selected by an offset —
 //! the software equivalent of the paper's pointer switch.
 
+use crate::wire::{Dec, Enc, WireError};
 use noc_types::bits::words_for_bits;
 
 /// Double-buffered, bit-packed register memory for all block instances.
@@ -131,6 +132,39 @@ impl StateMemory {
     /// memory).
     pub fn total_bits(&self) -> usize {
         self.words.len() * 64
+    }
+
+    /// Serialize the full memory (layout and both banks) for a durable
+    /// checkpoint.
+    pub fn encode(&self, e: &mut Enc) {
+        e.usizes(&self.offsets);
+        e.usizes(&self.lens);
+        e.usize(self.bank_words);
+        e.usize(self.cur);
+        e.u64s(&self.words);
+    }
+
+    /// Rebuild a memory encoded by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on underrun or an internally inconsistent layout.
+    pub fn decode(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let offsets = d.usizes()?;
+        let lens = d.usizes()?;
+        let bank_words = d.usize()?;
+        let cur = d.usize()?;
+        let words = d.u64s()?;
+        if offsets.len() != lens.len() || cur > 1 || words.len() != bank_words * 2 {
+            return Err(WireError::new("inconsistent state-memory layout"));
+        }
+        Ok(StateMemory {
+            words,
+            offsets,
+            lens,
+            bank_words,
+            cur,
+        })
     }
 }
 

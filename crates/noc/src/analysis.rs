@@ -92,6 +92,7 @@ mod tests {
             backlog_limit: 2_048,
             obs: None,
             check: false,
+            ..RunConfig::default()
         };
         let loads = [0.05, 0.15, 0.60, 0.90];
         let mut mk =

@@ -28,6 +28,10 @@ use std::sync::Arc;
 use vc_router::block::{RING_ACC, RING_OUT, RING_STIM0};
 use vc_router::{AccEntry, IfaceConfig, OutEntry, RouterRegs, StimEntry};
 
+/// Wire version of [`BatchedNoc`] checkpoints (engine-distinct so a
+/// checkpoint can never be restored into the wrong backend).
+const CKPT_VERSION: u32 = 0x4254_0001; // "BT" 1
+
 /// A checkpoint of the whole batch: engine state of every lane plus the
 /// per-lane host-side ring pointers.
 #[derive(Debug, Clone)]
@@ -210,6 +214,72 @@ impl BatchedNoc {
     pub fn restore(&mut self, snap: &BatchedNocSnapshot) {
         self.engine.restore(&snap.engine);
         self.host = snap.host.clone();
+    }
+
+    /// Serialize the whole batch (engine state of every lane plus the
+    /// per-lane host ring pointers) as durable checkpoint bytes — the
+    /// batched counterpart of [`NocEngine::save_state`].
+    ///
+    /// [`NocEngine::save_state`]: crate::NocEngine::save_state
+    pub fn save_state(&self) -> Option<Vec<u8>> {
+        let mut e = seqsim::Enc::new();
+        self.engine.snapshot().encode(&mut e);
+        e.usize(self.host.len());
+        for h in &self.host {
+            h.encode(&mut e);
+        }
+        Some(seqsim::wire::seal(CKPT_VERSION, &e.into_bytes()))
+    }
+
+    /// Restore state captured by [`save_state`](Self::save_state) on an
+    /// identically built batch.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] when the bytes are corrupt, truncated, the
+    /// wrong engine's, or carry a different lane count.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), SimError> {
+        let ckpt =
+            |e: seqsim::WireError| SimError::Config(format!("seqsim-batched checkpoint: {e}"));
+        let payload = seqsim::wire::open(bytes, CKPT_VERSION).map_err(ckpt)?;
+        let mut d = seqsim::Dec::new(payload);
+        let engine = BatchedSnapshot::decode(&mut d).map_err(ckpt)?;
+        let lanes = d.usize().map_err(ckpt)?;
+        if lanes != self.host.len() {
+            return Err(SimError::Config(format!(
+                "seqsim-batched checkpoint carries {lanes} lanes, batch has {}",
+                self.host.len()
+            )));
+        }
+        let mut host = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            host.push(HostPtrs::decode(&mut d).map_err(ckpt)?);
+        }
+        if !d.finished() {
+            return Err(ckpt(seqsim::WireError::new("trailing bytes")));
+        }
+        self.engine.restore(&engine);
+        self.host = host;
+        Ok(())
+    }
+
+    /// Has `lane` been quarantined? Returns the cycle and panic payload
+    /// recorded at quarantine time.
+    pub fn lane_poisoned(&self, lane: usize) -> Option<(u64, &str)> {
+        self.engine.lane_poisoned(lane)
+    }
+
+    /// Quarantine `lane` from the host side (invariant violation found
+    /// during analysis): the lane stops advancing, its last consistent
+    /// state stays readable, remaining lanes are untouched.
+    pub fn quarantine_lane(&mut self, lane: usize, cycle: u64, payload: String) {
+        self.engine.quarantine_lane(lane, cycle, payload);
+    }
+
+    /// Chaos knob: arm a deliberate panic inside `lane`'s per-lane exec
+    /// at system cycle `cycle` (exercises the quarantine path in tests).
+    pub fn poison_lane_at(&mut self, lane: usize, cycle: u64) {
+        self.engine.poison_lane_at(lane, cycle);
     }
 
     /// Device-side register file of one router in one lane.

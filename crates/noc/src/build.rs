@@ -12,7 +12,8 @@
 //! let cfg = NetworkConfig::new(3, 3, Topology::Torus, 4);
 //! let mut engine = SimBuilder::new(cfg)
 //!     .engine(EngineKind::Sharded { threads: 2 })
-//!     .build();
+//!     .try_build()
+//!     .expect("engine builds");
 //! engine.run(100);
 //! assert_eq!(engine.cycle(), 100);
 //! ```
@@ -397,26 +398,6 @@ impl SimBuilder {
                 Ok(Session::scalar(engine, rc))
             }
         }
-    }
-
-    /// Build the engine.
-    ///
-    /// # Panics
-    ///
-    /// On any [`SimError::Config`] from [`try_build`](Self::try_build):
-    /// error-severity analyzer diagnostics, an [`EngineKind::Batched`]
-    /// (which only [`session`](Self::session) can build), or an
-    /// [`EngineKind::CycleSim`] / [`EngineKind::Rtl`] without a
-    /// registered factory — construct through `soc_sim::sim(cfg)` (which
-    /// pre-registers both) or call [`register`](Self::register).
-    #[deprecated(
-        since = "0.2.0",
-        note = "panics on misconfiguration; use `try_build()` for a bare engine \
-                or `session()` for the typed run API"
-    )]
-    pub fn build(self) -> Box<dyn NocEngine> {
-        self.try_build()
-            .unwrap_or_else(|e| panic!("{e}" /* misconfiguration: see try_build */))
     }
 }
 

@@ -113,6 +113,28 @@ impl InvariantChecker {
         }
     }
 
+    /// Serialize the conservation ledger (pushed/delivered counts,
+    /// residual, audit counters) for a durable checkpoint. The bounds
+    /// and lossiness are rebuilt from the engine on resume.
+    pub(crate) fn encode(&self, e: &mut seqsim::Enc) {
+        e.u64(self.pushed);
+        e.u64(self.delivered);
+        e.i64(self.last_residual);
+        e.u64(self.checks);
+        e.u64(self.violations);
+    }
+
+    /// Restore a ledger captured by [`encode`](Self::encode) onto a
+    /// checker freshly built for the same engine.
+    pub(crate) fn decode_into(&mut self, d: &mut seqsim::Dec<'_>) -> Result<(), seqsim::WireError> {
+        self.pushed = d.u64()?;
+        self.delivered = d.u64()?;
+        self.last_residual = d.i64()?;
+        self.checks = d.u64()?;
+        self.violations = d.u64()?;
+        Ok(())
+    }
+
     /// Audit the structural bounds only (stim rings, queue occupancy).
     /// Safe to call every cycle — unlike [`check`](Self::check) it does
     /// not need the delivered rings drained.

@@ -24,6 +24,10 @@ use std::sync::Arc;
 use vc_router::block::{RING_ACC, RING_OUT, RING_STIM0};
 use vc_router::{AccEntry, IfaceConfig, OutEntry, RouterRegs, StimEntry};
 
+/// Wire version of [`CompiledNoc`] checkpoints (engine-distinct so a
+/// checkpoint can never be restored into the wrong backend).
+const CKPT_VERSION: u32 = 0x4350_0001; // "CP" 1
+
 /// The compiled (bytecode-kernel) NoC engine.
 pub struct CompiledNoc {
     cfg: NetworkConfig,
@@ -243,6 +247,28 @@ impl NocEngine for CompiledNoc {
 
     fn reset_delta_stats(&mut self) {
         self.engine.reset_stats();
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut e = seqsim::Enc::new();
+        self.engine.snapshot().encode(&mut e);
+        self.host.encode(&mut e);
+        Some(seqsim::wire::seal(CKPT_VERSION, &e.into_bytes()))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), SimError> {
+        let ckpt =
+            |e: seqsim::WireError| SimError::Config(format!("seqsim-compiled checkpoint: {e}"));
+        let payload = seqsim::wire::open(bytes, CKPT_VERSION).map_err(ckpt)?;
+        let mut d = seqsim::Dec::new(payload);
+        let snap = seqsim::CompiledSnapshot::decode(&mut d).map_err(ckpt)?;
+        let host = HostPtrs::decode(&mut d).map_err(ckpt)?;
+        if !d.finished() {
+            return Err(ckpt(seqsim::WireError::new("trailing bytes")));
+        }
+        self.engine.restore(&snap);
+        self.host = host;
+        Ok(())
     }
 }
 

@@ -138,6 +138,31 @@ pub trait NocEngine {
         }
         Ok(())
     }
+
+    /// Serialize the engine's complete simulation state (snapshot + host
+    /// ring pointers) as durable checkpoint bytes, or `None` where the
+    /// backend has no snapshot support. Call between system cycles — at
+    /// the runner's period boundary the rings are drained and the state
+    /// quiescent.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore state captured by [`save_state`](Self::save_state) on an
+    /// identically built engine; subsequent simulation is bit-identical
+    /// to the original run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] where the backend has no snapshot support or
+    /// the bytes are malformed for this engine.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), SimError> {
+        let _ = bytes;
+        Err(SimError::Config(format!(
+            "engine `{}` does not support checkpoint restore",
+            self.name()
+        )))
+    }
 }
 
 /// Host-side ring pointer bookkeeping shared by the backends.
@@ -159,6 +184,59 @@ impl HostPtrs {
             out_rd: vec![0; n],
             acc_rd: vec![0; n],
         }
+    }
+
+    /// Serialize the pointers for a durable checkpoint.
+    pub fn encode(&self, e: &mut seqsim::Enc) {
+        e.usize(self.stim_wr.len());
+        for node in &self.stim_wr {
+            for &p in node {
+                e.u16(p);
+            }
+        }
+        e.usize(self.out_rd.len());
+        for &p in &self.out_rd {
+            e.u16(p);
+        }
+        e.usize(self.acc_rd.len());
+        for &p in &self.acc_rd {
+            e.u16(p);
+        }
+    }
+
+    /// Rebuild pointers encoded by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`seqsim::WireError`] on underrun or mismatched node counts.
+    pub fn decode(d: &mut seqsim::Dec<'_>) -> Result<Self, seqsim::WireError> {
+        let n = d.usize()?;
+        let mut stim_wr = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let mut node = [0u16; noc_types::NUM_VCS];
+            for p in &mut node {
+                *p = d.u16()?;
+            }
+            stim_wr.push(node);
+        }
+        let n_out = d.usize()?;
+        let mut out_rd = Vec::with_capacity(n_out.min(1 << 20));
+        for _ in 0..n_out {
+            out_rd.push(d.u16()?);
+        }
+        let n_acc = d.usize()?;
+        let mut acc_rd = Vec::with_capacity(n_acc.min(1 << 20));
+        for _ in 0..n_acc {
+            acc_rd.push(d.u16()?);
+        }
+        if out_rd.len() != stim_wr.len() || acc_rd.len() != stim_wr.len() {
+            return Err(seqsim::WireError::new("host pointer node-count mismatch"));
+        }
+        Ok(HostPtrs {
+            stim_wr,
+            out_rd,
+            acc_rd,
+        })
     }
 }
 

@@ -180,6 +180,56 @@ impl InjectApplier {
         out
     }
 
+    /// Serialize the applier's mutable state (per-stream decisions and
+    /// ordinals, drop/corrupt counters) for a durable checkpoint. The
+    /// plan-derived `inject`/`seed` are rebuilt from the fault plan on
+    /// resume, so only run state is written.
+    pub(crate) fn encode(&self, e: &mut seqsim::Enc) {
+        e.usize(self.streams.len());
+        for node in &self.streams {
+            for st in node {
+                e.u8(match st.action {
+                    Action::Pass => 0,
+                    Action::Drop => 1,
+                    Action::Corrupt => 2,
+                });
+                e.u64(st.packets);
+            }
+        }
+        e.u64(self.dropped_flits);
+        e.u64(self.corrupted_flits);
+    }
+
+    /// Restore state captured by [`encode`](Self::encode) onto an
+    /// applier freshly built from the same plan.
+    pub(crate) fn decode_into(&mut self, d: &mut seqsim::Dec<'_>) -> Result<(), seqsim::WireError> {
+        let n = d.usize()?;
+        if n != self.streams.len() {
+            return Err(seqsim::WireError::new(format!(
+                "inject applier covers {n} nodes, engine has {}",
+                self.streams.len()
+            )));
+        }
+        for node in &mut self.streams {
+            for st in node.iter_mut() {
+                st.action = match d.u8()? {
+                    0 => Action::Pass,
+                    1 => Action::Drop,
+                    2 => Action::Corrupt,
+                    t => {
+                        return Err(seqsim::WireError::new(format!(
+                            "unknown inject action tag {t}"
+                        )))
+                    }
+                };
+                st.packets = d.u64()?;
+            }
+        }
+        self.dropped_flits = d.u64()?;
+        self.corrupted_flits = d.u64()?;
+        Ok(())
+    }
+
     /// Flits removed before injection so far (whole dropped packets).
     pub fn dropped_flits(&self) -> u64 {
         self.dropped_flits

@@ -60,6 +60,7 @@ pub mod analysis;
 pub mod batched;
 pub mod build;
 pub mod check;
+pub mod ckpt;
 pub mod compiled;
 pub mod cs;
 pub mod diff;
@@ -71,23 +72,25 @@ pub mod runner;
 pub mod seq;
 pub mod session;
 pub mod shard;
+pub mod supervise;
 pub mod wiring;
 
 pub use batched::{BatchedNoc, BatchedNocSnapshot};
 pub use build::{EngineKind, SchedulePolicy, SimBuilder};
 pub use check::InvariantChecker;
+pub use ckpt::{CampaignCkpt, CheckpointConfig};
 pub use compiled::CompiledNoc;
 pub use cs::{Circuit, CsError, CsNativeNoc, CsNoc};
 pub use engine::NocEngine;
 pub use fault::{random_plan, FaultPlan, InjectApplier};
 pub use native::NativeNoc;
 pub use obs::{NocObserver, ObsConfig};
-#[allow(deprecated)]
-// the shim stays exported so external callers get the warning, not a break
-pub use runner::run;
-pub use runner::{fig1_guarantee, run_fig1_point, run_lanes, RunConfig, RunReport};
+pub use runner::{
+    fig1_guarantee, run_fig1_point, run_lanes, ChaosConfig, Heartbeat, RunConfig, RunReport,
+};
 pub use seq::SeqNoc;
 pub use seqsim::SimError;
 pub use session::Session;
 pub use shard::ShardedSeqEngine;
+pub use supervise::{SuperviseReport, Supervisor};
 pub use wiring::Wiring;

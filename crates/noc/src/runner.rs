@@ -15,18 +15,140 @@
 
 use crate::batched::BatchedNoc;
 use crate::check::InvariantChecker;
+use crate::ckpt::{self, CampaignCkpt, CheckpointConfig};
 use crate::engine::NocEngine;
 use crate::fault::InjectApplier;
 use crate::obs::{NocObserver, ObsConfig};
-use noc_types::{NetworkConfig, Reassembler, TrafficClass, NUM_VCS};
+use noc_types::{Coord, NetworkConfig, NodeId, Reassembler, ReceivedPacket, TrafficClass, NUM_VCS};
 use seqsim::DeltaStats;
 use seqsim::SimError;
+use seqsim::{Dec, Enc, WireError};
 use simtrace::lbl;
 use stats::{LatencyStats, LatencySummary, PhaseProfiler, ThroughputCounter};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use traffic::{OfferedPacket, StimuliGenerator};
 use vc_router::{AccEntry, OutEntry, StimEntry};
+
+/// When a heartbeat or chaos hook is attached, the simulate phase
+/// advances the engine in chunks of at most this many cycles so the
+/// pulse stays fresh without paying per-cycle dispatch.
+const PULSE_CHUNK: u64 = 64;
+
+/// A progress pulse shared between a running campaign and its watchdog.
+///
+/// The runner beats it after every simulate-phase advance (it ticks only
+/// during phase 3 — the other phases are host-side and fast); the
+/// supervisor polls [`ticks`](Self::ticks) and declares the run stalled
+/// when no progress arrives within its timeout. [`cancel`](Self::cancel)
+/// asks the runner to stop at the next pulse. Clones share one state.
+#[derive(Debug, Clone, Default)]
+pub struct Heartbeat {
+    inner: Arc<HeartbeatInner>,
+}
+
+#[derive(Debug, Default)]
+struct HeartbeatInner {
+    cycle: AtomicU64,
+    ticks: AtomicU64,
+    cancel: AtomicBool,
+}
+
+impl Heartbeat {
+    /// A fresh heartbeat: zero ticks, not cancelled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record progress up to system cycle `cycle`.
+    pub fn beat(&self, cycle: u64) {
+        self.inner.cycle.store(cycle, Ordering::Relaxed);
+        self.inner.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total beats so far (monotone; the watchdog's progress signal).
+    pub fn ticks(&self) -> u64 {
+        self.inner.ticks.load(Ordering::Relaxed)
+    }
+
+    /// The last system cycle reported by [`beat`](Self::beat).
+    pub fn last_cycle(&self) -> u64 {
+        self.inner.cycle.load(Ordering::Relaxed)
+    }
+
+    /// Ask the runner to stop at its next pulse.
+    pub fn cancel(&self) {
+        self.inner.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`cancel`](Self::cancel) been called?
+    pub fn cancelled(&self) -> bool {
+        self.inner.cancel.load(Ordering::Relaxed)
+    }
+}
+
+/// Deterministic fault injection into the *runner itself* (not the
+/// simulated network): an injected panic and/or an injected hang at a
+/// chosen system cycle, for exercising the supervisor's recovery paths.
+///
+/// Each trigger fires at most once per [`ChaosConfig`] *instance
+/// lineage*: clones share the fired flags, so a supervisor retry that
+/// re-clones the config does not re-panic — exactly the semantics a real
+/// transient fault has.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosConfig {
+    /// Panic (once) at the first pulse at or after this cycle.
+    pub panic_at: Option<u64>,
+    /// Sleep (once) for [`hang_ms`](Self::hang_ms) at the first pulse at
+    /// or after this cycle.
+    pub hang_at: Option<u64>,
+    /// How long the injected hang sleeps, in milliseconds.
+    pub hang_ms: u64,
+    /// (panic fired, hang fired) — shared across clones.
+    fired: Arc<(AtomicBool, AtomicBool)>,
+}
+
+impl ChaosConfig {
+    /// No chaos armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a one-shot panic at `cycle`.
+    pub fn panic_at(mut self, cycle: u64) -> Self {
+        self.panic_at = Some(cycle);
+        self
+    }
+
+    /// Arm a one-shot `ms`-millisecond hang at `cycle`.
+    pub fn hang_at(mut self, cycle: u64, ms: u64) -> Self {
+        self.hang_at = Some(cycle);
+        self.hang_ms = ms;
+        self
+    }
+
+    /// Fire any armed trigger whose cycle has been reached. Called by the
+    /// runner at every simulate-phase pulse.
+    ///
+    /// # Panics
+    ///
+    /// Panics (once) when the armed panic trigger fires — that is its
+    /// entire purpose; the supervisor catches it.
+    pub fn fire(&self, cycle: u64) {
+        if let Some(at) = self.hang_at {
+            if cycle >= at && !self.fired.1.swap(true, Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(self.hang_ms));
+            }
+        }
+        if let Some(at) = self.panic_at {
+            if cycle >= at && !self.fired.0.swap(true, Ordering::Relaxed) {
+                panic!("chaos: injected panic at cycle {cycle}");
+            }
+        }
+    }
+}
 
 /// Runner parameters.
 #[derive(Debug, Clone)]
@@ -51,6 +173,18 @@ pub struct RunConfig {
     /// flit conservation audited every period. A violation aborts the
     /// run with [`SimError::InvariantViolated`].
     pub check: bool,
+    /// Durable checkpointing: `Some` cuts a crash-consistent checkpoint
+    /// file on the configured cadence at the quiescent point after the
+    /// analyse phase, and (when [`CheckpointConfig::resume`] is set)
+    /// resumes from the newest valid one instead of starting at cycle 0.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Progress pulse for an external watchdog; beaten after every
+    /// simulate-phase advance. Attached by the supervisor.
+    pub heartbeat: Option<Heartbeat>,
+    /// Runner-level fault injection (panic/hang) for chaos testing.
+    /// Scalar runs only; batched lanes are poisoned through
+    /// [`BatchedNoc::poison_lane_at`] instead.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for RunConfig {
@@ -63,6 +197,9 @@ impl Default for RunConfig {
             backlog_limit: 8_192,
             obs: None,
             check: false,
+            checkpoint: None,
+            heartbeat: None,
+            chaos: None,
         }
     }
 }
@@ -139,6 +276,40 @@ impl RunConfig {
     pub fn with_check(self) -> Self {
         self.check(true)
     }
+
+    /// Cut a durable checkpoint every `every` cycles into `dir` (keeping
+    /// the newest 3 files; see [`CheckpointConfig`] for the knobs).
+    pub fn checkpoint_every(mut self, every: u64, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint = Some(CheckpointConfig::new(every, dir));
+        self
+    }
+
+    /// Attach a fully-configured checkpoint policy.
+    pub fn with_checkpoint(mut self, ck: CheckpointConfig) -> Self {
+        self.checkpoint = Some(ck);
+        self
+    }
+
+    /// Resume from the newest valid checkpoint (no-op without a
+    /// checkpoint config, or when the directory holds none).
+    pub fn resume(mut self, on: bool) -> Self {
+        if let Some(c) = self.checkpoint.as_mut() {
+            c.resume = on;
+        }
+        self
+    }
+
+    /// Attach a watchdog heartbeat.
+    pub fn heartbeat(mut self, hb: Heartbeat) -> Self {
+        self.heartbeat = Some(hb);
+        self
+    }
+
+    /// Arm runner-level chaos injection.
+    pub fn chaos(mut self, ch: ChaosConfig) -> Self {
+        self.chaos = Some(ch);
+        self
+    }
 }
 
 /// Everything measured in one run.
@@ -176,6 +347,12 @@ pub struct RunReport {
     /// Flits dropped by lossy link faults per the conservation ledger
     /// (0 unless [`RunConfig::check`] and a lossy plan).
     pub fault_dropped: u64,
+    /// Durable checkpoints written during this run (0 unless
+    /// [`RunConfig::checkpoint`]).
+    pub checkpoints_written: u64,
+    /// The cycle this run resumed from, when it restarted from a
+    /// checkpoint instead of cycle 0.
+    pub resumed_at: Option<u64>,
     /// Total wall-clock time.
     pub wall: Duration,
     /// System cycles simulated.
@@ -385,17 +562,255 @@ impl DeliveryAnalyzer {
             unmatched: self.journal.len(),
         }
     }
+
+    /// Serialize the analyzer's run state (journal, in-flight worms,
+    /// latency words, throughput ledger, anomaly count) for a durable
+    /// checkpoint. The config-derived fields (`cfg`, `faulty`, window
+    /// extents) are rebuilt by the constructor on resume.
+    fn encode(&self, e: &mut Enc) {
+        let mut keys: Vec<(u16, u16)> = self.journal.keys().copied().collect();
+        keys.sort_unstable();
+        e.usize(keys.len());
+        for k in keys {
+            let p = &self.journal[&k];
+            e.u64(p.ts);
+            e.u16(p.src.0);
+            e.u8(p.dest.x);
+            e.u8(p.dest.y);
+            e.u8(match p.class {
+                TrafficClass::GuaranteedThroughput => 1,
+                TrafficClass::BestEffort => 0,
+            });
+            e.u8(p.ring_vc);
+            e.u16(p.flits);
+            e.u16(p.seq);
+        }
+        e.usize(self.reasm.len());
+        for r in &self.reasm {
+            for slot in r.open_slots() {
+                e.bool(slot.is_some());
+                if let Some(pkt) = slot {
+                    encode_received(e, pkt);
+                }
+            }
+        }
+        e.u64s(&self.gt.to_words());
+        e.u64s(&self.be.to_words());
+        e.u64s(&self.access.to_words());
+        e.u64(self.tp.offered_flits);
+        e.u64(self.tp.injected_flits);
+        e.u64(self.tp.delivered_flits);
+        e.u64(self.tp.delivered_packets);
+        e.u64(self.tp.cycles);
+        e.u64(self.tp.gen_cycles);
+        e.u64(self.tp.nodes);
+        e.u64(self.fault_anomalies);
+    }
+
+    /// Restore state captured by [`encode`](Self::encode) onto an
+    /// analyzer freshly built for the same run.
+    fn decode_into(&mut self, d: &mut Dec<'_>) -> Result<(), WireError> {
+        self.journal.clear();
+        let entries = d.usize()?;
+        for _ in 0..entries {
+            let ts = d.u64()?;
+            let src = NodeId(d.u16()?);
+            let dest = Coord::new(d.u8()?, d.u8()?);
+            let class = match d.u8()? {
+                1 => TrafficClass::GuaranteedThroughput,
+                0 => TrafficClass::BestEffort,
+                t => return Err(WireError::new(format!("unknown traffic-class tag {t}"))),
+            };
+            let p = OfferedPacket {
+                ts,
+                src,
+                dest,
+                class,
+                ring_vc: d.u8()?,
+                flits: d.u16()?,
+                seq: d.u16()?,
+            };
+            self.journal.insert((p.src.0, p.seq), p);
+        }
+        let nodes = d.usize()?;
+        if nodes != self.reasm.len() {
+            return Err(WireError::new(format!(
+                "checkpoint reassembly covers {nodes} nodes, run has {}",
+                self.reasm.len()
+            )));
+        }
+        for r in self.reasm.iter_mut() {
+            let mut slots: [Option<ReceivedPacket>; NUM_VCS] = Default::default();
+            for slot in slots.iter_mut() {
+                if d.bool()? {
+                    *slot = Some(decode_received(d)?);
+                }
+            }
+            // Completed packets are drained every period; a cut happens
+            // at the quiescent point, so the backlog is empty.
+            *r = Reassembler::from_state(slots, Vec::new());
+        }
+        let stats = |words: Vec<u64>| {
+            LatencyStats::from_words(&words)
+                .ok_or_else(|| WireError::new("malformed latency-stats words"))
+        };
+        self.gt = stats(d.u64s()?)?;
+        self.be = stats(d.u64s()?)?;
+        self.access = stats(d.u64s()?)?;
+        self.tp.offered_flits = d.u64()?;
+        self.tp.injected_flits = d.u64()?;
+        self.tp.delivered_flits = d.u64()?;
+        self.tp.delivered_packets = d.u64()?;
+        self.tp.cycles = d.u64()?;
+        self.tp.gen_cycles = d.u64()?;
+        self.tp.nodes = d.u64()?;
+        self.fault_anomalies = d.u64()?;
+        Ok(())
+    }
 }
 
-/// Drive `engine` with `gen`'s traffic through the five-phase loop.
+/// Serialize one in-flight reassembly slot.
+fn encode_received(e: &mut Enc, pkt: &ReceivedPacket) {
+    e.u8(pkt.src_tag);
+    e.u8(pkt.vc);
+    e.usize(pkt.flits);
+    e.bool(pkt.first_body.is_some());
+    e.u16(pkt.first_body.unwrap_or(0));
+    e.u32(pkt.checksum);
+    e.u64(pkt.head_cycle);
+    e.u64(pkt.tail_cycle);
+}
+
+/// Mirror of [`encode_received`].
+fn decode_received(d: &mut Dec<'_>) -> Result<ReceivedPacket, WireError> {
+    let src_tag = d.u8()?;
+    let vc = d.u8()?;
+    let flits = d.usize()?;
+    let has_body = d.bool()?;
+    let body = d.u16()?;
+    Ok(ReceivedPacket {
+        src_tag,
+        vc,
+        flits,
+        first_body: has_body.then_some(body),
+        checksum: d.u32()?,
+        head_cycle: d.u64()?,
+        tail_cycle: d.u64()?,
+    })
+}
+
+/// Serialize the host side of one lane (or of the one scalar "lane"):
+/// analyzer, backlog queues, pushed-flit count and the optional inject
+/// applier and invariant-checker ledgers.
+fn encode_lane_state(
+    e: &mut Enc,
+    an: &DeliveryAnalyzer,
+    backlog: &[[VecDeque<StimEntry>; NUM_VCS]],
+    pushed: u64,
+    inject: Option<&InjectApplier>,
+    checker: Option<&InvariantChecker>,
+) {
+    an.encode(e);
+    e.usize(backlog.len());
+    for rings in backlog {
+        for q in rings {
+            e.usize(q.len());
+            for entry in q {
+                e.u64(entry.to_bits());
+            }
+        }
+    }
+    e.u64(pushed);
+    e.bool(inject.is_some());
+    if let Some(ap) = inject {
+        ap.encode(e);
+    }
+    e.bool(checker.is_some());
+    if let Some(ck) = checker {
+        ck.encode(e);
+    }
+}
+
+/// Mirror of [`encode_lane_state`]: restore onto freshly-built host
+/// state for the same configuration. A mismatch between the
+/// checkpoint's optional sections and the run's (fault plan present vs
+/// absent, checker on vs off) is an error in both directions — it means
+/// the checkpoint belongs to a differently-configured campaign.
+fn decode_lane_state(
+    d: &mut Dec<'_>,
+    an: &mut DeliveryAnalyzer,
+    backlog: &mut [[VecDeque<StimEntry>; NUM_VCS]],
+    pushed: &mut u64,
+    inject: Option<&mut InjectApplier>,
+    checker: Option<&mut InvariantChecker>,
+) -> Result<(), WireError> {
+    an.decode_into(d)?;
+    let nodes = d.usize()?;
+    if nodes != backlog.len() {
+        return Err(WireError::new(format!(
+            "checkpoint backlog covers {nodes} nodes, run has {}",
+            backlog.len()
+        )));
+    }
+    for rings in backlog.iter_mut() {
+        for q in rings.iter_mut() {
+            q.clear();
+            let len = d.usize()?;
+            for _ in 0..len {
+                q.push_back(StimEntry::from_bits(d.u64()?));
+            }
+        }
+    }
+    *pushed = d.u64()?;
+    match (d.bool()?, inject) {
+        (true, Some(ap)) => ap.decode_into(d)?,
+        (false, None) => {}
+        (true, None) => {
+            return Err(WireError::new(
+                "checkpoint carries inject-applier state, run has no fault plan",
+            ))
+        }
+        (false, Some(_)) => {
+            return Err(WireError::new(
+                "run has a fault plan, checkpoint carries no inject-applier state",
+            ))
+        }
+    }
+    match (d.bool()?, checker) {
+        (true, Some(ck)) => ck.decode_into(d)?,
+        (false, None) => {}
+        (true, None) => {
+            return Err(WireError::new(
+                "checkpoint carries a checker ledger, run has checking off",
+            ))
+        }
+        (false, Some(_)) => {
+            return Err(WireError::new(
+                "run has checking on, checkpoint carries no checker ledger",
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// The campaign identity a checkpoint is fingerprinted with: engine
+/// name, network config, run extents, lane count and the caller's tag.
+fn campaign_fingerprint(engine: &str, cfg: &NetworkConfig, rc: &RunConfig, lanes: usize) -> u64 {
+    let tag = rc.checkpoint.as_ref().map_or(0, |c| c.tag);
+    ckpt::fingerprint(&format!(
+        "{engine}|{cfg:?}|w{}|m{}|d{}|p{}|l{lanes}|t{tag}",
+        rc.warmup, rc.measure, rc.drain, rc.period
+    ))
+}
+
+/// The five-phase loop over one scalar engine. Crate-internal:
+/// [`crate::Session`] is the public door.
 ///
 /// Observability is part of [`RunConfig`]: with `obs: None` the run is
 /// dark and free of overhead; with `obs: Some(..)` every phase of every
 /// period becomes a tracer span, the engine's kernel instrumentation is
 /// attached to the registry, the network is sampled during the simulate
 /// phase, and the report carries a metrics snapshot.
-///
-/// # Errors
 ///
 /// Returns the engine's own typed failures ([`SimError::Diverged`],
 /// [`SimError::ShardFailed`]) and — on a clean run — delivery-protocol
@@ -404,20 +819,6 @@ impl DeliveryAnalyzer {
 /// delivery-protocol violations are the expected downstream signature of
 /// injected faults and are tolerated and counted in
 /// [`RunReport::fault_anomalies`] instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a typed session instead: `SimBuilder::session()` then `Session::run`"
-)]
-pub fn run(
-    engine: &mut dyn NocEngine,
-    gen: &mut StimuliGenerator,
-    rc: &RunConfig,
-) -> Result<RunReport, SimError> {
-    run_impl(engine, gen, rc)
-}
-
-/// The five-phase loop over one scalar engine (see [`run`] for the
-/// contract). Crate-internal: [`crate::Session`] is the public door.
 pub(crate) fn run_impl(
     engine: &mut dyn NocEngine,
     gen: &mut StimuliGenerator,
@@ -471,7 +872,58 @@ pub(crate) fn run_impl(
     let gen_end = rc.warmup + rc.measure;
     let total_end = gen_end + rc.drain;
 
+    let ck_cfg = rc.checkpoint.clone();
+    let fp = campaign_fingerprint(engine.name(), &cfg, rc, 1);
+    let mut ckpt_enabled = ck_cfg.is_some();
+    let mut last_ckpt = 0u64;
+    let mut checkpoints_written = 0u64;
+    let mut resumed_at: Option<u64> = None;
+
     let mut t0 = 0u64;
+    if let Some(c) = ck_cfg.as_ref().filter(|c| c.resume) {
+        let (found, rejected) = ckpt::latest_valid(&c.dir, fp);
+        if instr.enabled() && rejected > 0 {
+            instr
+                .registry
+                .counter(simtrace::recover::CHECKPOINTS_REJECTED, &[])
+                .add(rejected);
+        }
+        if let Some(saved) = found {
+            let bad = |e: WireError| SimError::Config(format!("campaign checkpoint: {e}"));
+            engine.load_state(&saved.engine_state)?;
+            let mut d = Dec::new(&saved.host_state);
+            decode_lane_state(
+                &mut d,
+                &mut an,
+                &mut backlog,
+                &mut pushed_flits,
+                inject.as_mut(),
+                checker.as_mut(),
+            )
+            .map_err(bad)?;
+            if !d.finished() {
+                return Err(bad(WireError::new("trailing bytes")));
+            }
+            saturated = saved.saturated;
+            delta_reset_done = saved.delta_reset_done;
+            t0 = saved.t0;
+            last_ckpt = saved.t0;
+            resumed_at = Some(saved.t0);
+            // Fast-forward the generator to the cut: offered packets up
+            // to t0 are already journalled (or delivered), so the replay
+            // window's output is discarded.
+            let replay_to = saved.t0.min(gen_end);
+            if replay_to > 0 {
+                let _ = gen.generate(0, replay_to);
+            }
+            if instr.enabled() {
+                instr
+                    .registry
+                    .counter(simtrace::recover::RESUMES, &[])
+                    .inc();
+            }
+        }
+    }
     while t0 < total_end && !saturated {
         let t1 = (t0 + rc.period).min(total_end);
 
@@ -548,6 +1000,19 @@ pub(crate) fn run_impl(
             span.arg("cycles", t1 - t0);
             prof.time_work("simulate", t1 - t0, || -> Result<(), SimError> {
                 let framing = framer.is_some();
+                let pulse = |c: u64| -> Result<(), SimError> {
+                    if let Some(hb) = rc.heartbeat.as_ref() {
+                        hb.beat(c);
+                        if hb.cancelled() {
+                            return Err(SimError::Config("run cancelled by supervisor".into()));
+                        }
+                    }
+                    if let Some(ch) = rc.chaos.as_ref() {
+                        ch.fire(c);
+                    }
+                    Ok(())
+                };
+                let pulsing = rc.heartbeat.is_some() || rc.chaos.is_some();
                 match checker.as_mut() {
                     // Checked runs step one cycle at a time so structural
                     // bounds are audited at every clock edge.
@@ -557,6 +1022,9 @@ pub(crate) fn run_impl(
                             engine.try_step()?;
                             c += 1;
                             ck.check_bounds(engine)?;
+                            if pulsing {
+                                pulse(c)?;
+                            }
                             if let Some(obs) = observer.as_ref() {
                                 if instr.sample_every > 0
                                     && (c - t0).is_multiple_of(instr.sample_every)
@@ -573,14 +1041,16 @@ pub(crate) fn run_impl(
                     }
                     None => {
                         let sampling = observer.is_some() && instr.sample_every > 0;
-                        if !sampling && !framing {
+                        if !sampling && !framing && !pulsing {
                             engine.try_run(t1 - t0)?;
                         } else {
                             // Step to the next sample or frame boundary,
                             // whichever comes first. Sample boundaries are
                             // period-relative (as before); frame boundaries
                             // are absolute system cycles, so frames line up
-                            // across periods.
+                            // across periods. A heartbeat/chaos pulse caps
+                            // the stride so the watchdog signal stays
+                            // fresh.
                             let mut c = t0;
                             while c < t1 {
                                 let mut next = t1;
@@ -592,8 +1062,14 @@ pub(crate) fn run_impl(
                                 if framing {
                                     next = next.min(c + instr.frame_every - c % instr.frame_every);
                                 }
+                                if pulsing {
+                                    next = next.min(c + PULSE_CHUNK);
+                                }
                                 engine.try_run(next - c)?;
                                 c = next;
+                                if pulsing {
+                                    pulse(c)?;
+                                }
                                 if sampling
                                     && (c == t1 || (c - t0).is_multiple_of(instr.sample_every))
                                 {
@@ -635,14 +1111,70 @@ pub(crate) fn run_impl(
         }
 
         // Phase 5: analyse.
-        let _analyse_span = instr.tracer.span("phase.analyse", "runner");
-        prof.time("analyse", || -> Result<(), SimError> {
-            an.note_access(&acc_entries);
-            for (node, entries) in retrieved.drain(..) {
-                an.note_delivered(node, entries)?;
+        {
+            let _analyse_span = instr.tracer.span("phase.analyse", "runner");
+            prof.time("analyse", || -> Result<(), SimError> {
+                an.note_access(&acc_entries);
+                for (node, entries) in retrieved.drain(..) {
+                    an.note_delivered(node, entries)?;
+                }
+                Ok(())
+            })?;
+        }
+
+        // Checkpoint cut: the analyse phase just drained every ring, so
+        // this is a quiescent point — engine state plus host state fully
+        // describe the campaign.
+        if let Some(c) = ck_cfg.as_ref() {
+            if ckpt_enabled && t1 - last_ckpt >= c.every && t1 < total_end {
+                match engine.save_state() {
+                    Some(engine_state) => {
+                        let mut e = Enc::new();
+                        encode_lane_state(
+                            &mut e,
+                            &an,
+                            &backlog,
+                            pushed_flits,
+                            inject.as_ref(),
+                            checker.as_ref(),
+                        );
+                        let cut = CampaignCkpt {
+                            fingerprint: fp,
+                            t0: t1,
+                            saturated,
+                            delta_reset_done,
+                            engine_state,
+                            host_state: e.into_bytes(),
+                        };
+                        match ckpt::write_checkpoint(&c.dir, c.keep, &cut) {
+                            Ok(_) => {
+                                checkpoints_written += 1;
+                                last_ckpt = t1;
+                                if instr.enabled() {
+                                    instr
+                                        .registry
+                                        .counter(simtrace::recover::CHECKPOINTS_WRITTEN, &[])
+                                        .inc();
+                                }
+                            }
+                            // A full disk must degrade the run to
+                            // checkpoint-less, never abort it.
+                            Err(err) => {
+                                eprintln!("warning: checkpoint at cycle {t1} failed: {err}");
+                            }
+                        }
+                    }
+                    None => {
+                        eprintln!(
+                            "warning: engine `{}` has no checkpoint support; \
+                             checkpointing disabled for this run",
+                            engine.name()
+                        );
+                        ckpt_enabled = false;
+                    }
+                }
             }
-            Ok(())
-        })?;
+        }
 
         t0 = t1;
     }
@@ -711,6 +1243,8 @@ pub(crate) fn run_impl(
         fault_dropped: checker
             .as_ref()
             .map_or(0, |ck| ck.fault_dropped().max(0) as u64),
+        checkpoints_written,
+        resumed_at,
         wall: started.elapsed(),
         cycles: engine.cycle(),
     })
@@ -721,7 +1255,8 @@ pub(crate) fn run_impl(
 ///
 /// # Errors
 ///
-/// Propagates every failure class of [`run`].
+/// Propagates every failure class of the five-phase loop (see
+/// [`crate::Session::run`]).
 pub fn run_fig1_point(
     engine: &mut dyn NocEngine,
     be_load: f64,
@@ -749,27 +1284,40 @@ pub(crate) fn fig1_generator(cfg: NetworkConfig, be_load: f64, seed: u64) -> Sti
 /// per lane; per-lane generate / load / retrieve / analyse around one
 /// shared simulate phase that advances every lane in lockstep.
 ///
-/// Returns one [`RunReport`] per lane. The per-lane delivery analysis is
-/// exactly the scalar loop's ([`DeliveryAnalyzer`]), so each lane's
-/// report is directly comparable to a scalar run of that lane's
+/// Returns one `Result<RunReport, SimError>` per lane. The per-lane
+/// delivery analysis is exactly the scalar loop's, so each healthy
+/// lane's report is directly comparable to a scalar run of that lane's
 /// configuration — the batched differential suite asserts equality.
 ///
-/// Any lane saturating stops the whole batch: lanes share one clock, so
-/// a stalled lane would distort every lane's drain window. Each report
-/// carries the shared verdict in [`RunReport::saturated`].
+/// **Graceful degradation:** a lane that panics inside the kernel (or
+/// trips a delivery-protocol invariant during analysis) is quarantined —
+/// masked out of the activity set, its state frozen at the failure cycle
+/// — and the remaining lanes finish untouched and bit-identical to a
+/// run without the sick lane. The quarantined lane's slot carries
+/// [`SimError::LaneQuarantined`] (or the tripped invariant).
+///
+/// Any *healthy* lane saturating stops the whole batch: lanes share one
+/// clock, so a stalled lane would distort every lane's drain window.
+/// Each report carries the shared verdict in [`RunReport::saturated`].
+///
+/// [`RunConfig::checkpoint`] and [`RunConfig::heartbeat`] work as in
+/// the scalar loop (the checkpoint covers every lane, quarantine state
+/// included, in one file). [`RunConfig::chaos`] is scalar-only — poison
+/// a lane through [`BatchedNoc::poison_lane_at`] instead.
 ///
 /// # Errors
 ///
-/// [`SimError::Config`] when the generator count does not match the lane
-/// count, or when [`RunConfig::obs`] / [`RunConfig::check`] are set —
-/// observability and the invariant checker are scalar-only (they audit
-/// one engine, not a batch). Delivery-protocol violations surface as in
-/// the scalar loop, per lane.
+/// The *outer* error is campaign-fatal: [`SimError::Config`] when the
+/// generator count does not match the lane count, when
+/// [`RunConfig::obs`] / [`RunConfig::check`] / [`RunConfig::chaos`] are
+/// set (scalar-only), when a resume checkpoint is malformed, or when the
+/// supervisor cancels the run. Per-lane failures come back in the inner
+/// `Result`s.
 pub fn run_lanes(
     noc: &mut BatchedNoc,
     gens: &mut [StimuliGenerator],
     rc: &RunConfig,
-) -> Result<Vec<RunReport>, SimError> {
+) -> Result<Vec<Result<RunReport, SimError>>, SimError> {
     let lanes = noc.lanes();
     if gens.len() != lanes {
         return Err(SimError::Config(format!(
@@ -785,6 +1333,13 @@ pub fn run_lanes(
     if rc.check {
         return Err(SimError::Config(
             "RunConfig::check is not supported for batched runs (scalar engines only)".into(),
+        ));
+    }
+    if rc.chaos.is_some() {
+        return Err(SimError::Config(
+            "RunConfig::chaos is not supported for batched runs; \
+             use BatchedNoc::poison_lane_at to poison a lane"
+                .into(),
         ));
     }
     let cfg = noc.config();
@@ -812,17 +1367,79 @@ pub fn run_lanes(
     let mut saturated = false;
     let mut delta_reset_done = false;
 
+    // One error slot per lane; a filled slot takes the lane out of every
+    // subsequent phase. Pre-poisoned lanes (host called
+    // `poison_lane_at` before the run) start out quarantined.
+    let lane_quarantined = |noc: &BatchedNoc, lane: usize| {
+        noc.lane_poisoned(lane)
+            .map(|(cycle, payload)| SimError::LaneQuarantined {
+                lane,
+                cycle,
+                payload: payload.to_string(),
+            })
+    };
+    let mut lane_err: Vec<Option<SimError>> =
+        (0..lanes).map(|lane| lane_quarantined(noc, lane)).collect();
+
     let gen_end = rc.warmup + rc.measure;
     let total_end = gen_end + rc.drain;
 
+    let ck_cfg = rc.checkpoint.clone();
+    let fp = campaign_fingerprint("seqsim-batched", &cfg, rc, lanes);
+    let mut ckpt_enabled = ck_cfg.is_some();
+    let mut last_ckpt = 0u64;
+    let mut checkpoints_written = 0u64;
+    let mut resumed_at: Option<u64> = None;
+
     let mut t0 = 0u64;
-    while t0 < total_end && !saturated {
+    if let Some(c) = ck_cfg.as_ref().filter(|c| c.resume) {
+        let (found, _rejected) = ckpt::latest_valid(&c.dir, fp);
+        if let Some(saved) = found {
+            let bad = |e: WireError| SimError::Config(format!("campaign checkpoint: {e}"));
+            noc.load_state(&saved.engine_state)?;
+            let mut d = Dec::new(&saved.host_state);
+            for lane in 0..lanes {
+                decode_lane_state(
+                    &mut d,
+                    &mut analyzers[lane],
+                    &mut backlog[lane],
+                    &mut pushed[lane],
+                    injects[lane].as_mut(),
+                    None,
+                )
+                .map_err(bad)?;
+            }
+            if !d.finished() {
+                return Err(bad(WireError::new("trailing bytes")));
+            }
+            saturated = saved.saturated;
+            delta_reset_done = saved.delta_reset_done;
+            t0 = saved.t0;
+            last_ckpt = saved.t0;
+            resumed_at = Some(saved.t0);
+            let replay_to = saved.t0.min(gen_end);
+            if replay_to > 0 {
+                for g in gens.iter_mut() {
+                    let _ = g.generate(0, replay_to);
+                }
+            }
+            // Quarantine verdicts travel inside the engine snapshot.
+            for (lane, slot) in lane_err.iter_mut().enumerate() {
+                *slot = lane_quarantined(noc, lane);
+            }
+        }
+    }
+
+    while t0 < total_end && !saturated && lane_err.iter().any(|e| e.is_none()) {
         let t1 = (t0 + rc.period).min(total_end);
 
-        // Phase 1: generate, per lane.
+        // Phase 1: generate, per healthy lane.
         if t0 < gen_end {
             prof.time("generate", || {
                 for lane in 0..lanes {
+                    if lane_err[lane].is_some() {
+                        continue;
+                    }
                     let w = gens[lane].generate(t0, t1.min(gen_end));
                     analyzers[lane].note_offered(&w.offered);
                     for (node, rings) in w.stim.into_iter().enumerate() {
@@ -838,9 +1455,12 @@ pub fn run_lanes(
             });
         }
 
-        // Phase 2: load, per lane (back-pressure per lane).
+        // Phase 2: load, per healthy lane (back-pressure per lane).
         prof.time("load", || {
             for lane in 0..lanes {
+                if lane_err[lane].is_some() {
+                    continue;
+                }
                 for node in 0..n {
                     for vc in 0..NUM_VCS {
                         while let Some(&e) = backlog[lane][node][vc].front() {
@@ -859,18 +1479,46 @@ pub fn run_lanes(
             }
         });
 
-        // Phase 3: simulate — ONE pass advances every lane.
+        // Phase 3: simulate — ONE pass advances every healthy lane (a
+        // lane that panics mid-pass is quarantined by the kernel and the
+        // others keep going).
         if !delta_reset_done && t0 >= rc.warmup {
             noc.reset_delta_stats();
             delta_reset_done = true;
         }
-        prof.time_work("simulate", t1 - t0, || noc.try_run(t1 - t0))?;
+        prof.time_work("simulate", t1 - t0, || -> Result<(), SimError> {
+            match rc.heartbeat.as_ref() {
+                None => noc.try_run(t1 - t0),
+                Some(hb) => {
+                    let mut c = t0;
+                    while c < t1 {
+                        let next = t1.min(c + PULSE_CHUNK);
+                        noc.try_run(next - c)?;
+                        c = next;
+                        hb.beat(c);
+                        if hb.cancelled() {
+                            return Err(SimError::Config("run cancelled by supervisor".into()));
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        })?;
+        // Pick up lanes the kernel quarantined during the pass.
+        for (lane, slot) in lane_err.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = lane_quarantined(noc, lane);
+            }
+        }
 
-        // Phase 4 + 5: retrieve and analyse, per lane.
+        // Phase 4 + 5: retrieve and analyse, per healthy lane.
         let (retrieved, accs) = prof.time("retrieve", || {
             let mut r: Vec<(usize, usize, Vec<OutEntry>)> = Vec::with_capacity(lanes * n);
             let mut a: Vec<Vec<AccEntry>> = vec![Vec::new(); lanes];
             for lane in 0..lanes {
+                if lane_err[lane].is_some() {
+                    continue;
+                }
                 for node in 0..n {
                     r.push((lane, node, noc.drain_delivered(lane, node)));
                     a[lane].extend(noc.drain_access(lane, node));
@@ -878,15 +1526,64 @@ pub fn run_lanes(
             }
             (r, a)
         });
-        prof.time("analyse", || -> Result<(), SimError> {
+        prof.time("analyse", || {
             for (lane, acc) in accs.iter().enumerate() {
-                analyzers[lane].note_access(acc);
+                if lane_err[lane].is_none() {
+                    analyzers[lane].note_access(acc);
+                }
             }
             for (lane, node, entries) in retrieved {
-                analyzers[lane].note_delivered(node, entries)?;
+                if lane_err[lane].is_some() {
+                    continue;
+                }
+                if let Err(e) = analyzers[lane].note_delivered(node, entries) {
+                    // A delivery-protocol violation condemns this lane,
+                    // not the batch: freeze it and carry on.
+                    let cycle = noc.cycle();
+                    noc.quarantine_lane(lane, cycle, e.to_string());
+                    lane_err[lane] = Some(e);
+                }
             }
-            Ok(())
-        })?;
+        });
+
+        // Checkpoint cut at the batch's quiescent point, covering every
+        // lane (quarantined ones travel inside the engine snapshot).
+        if let Some(c) = ck_cfg.as_ref() {
+            if ckpt_enabled && t1 - last_ckpt >= c.every && t1 < total_end {
+                if let Some(engine_state) = noc.save_state() {
+                    let mut e = Enc::new();
+                    for lane in 0..lanes {
+                        encode_lane_state(
+                            &mut e,
+                            &analyzers[lane],
+                            &backlog[lane],
+                            pushed[lane],
+                            injects[lane].as_ref(),
+                            None,
+                        );
+                    }
+                    let cut = CampaignCkpt {
+                        fingerprint: fp,
+                        t0: t1,
+                        saturated,
+                        delta_reset_done,
+                        engine_state,
+                        host_state: e.into_bytes(),
+                    };
+                    match ckpt::write_checkpoint(&c.dir, c.keep, &cut) {
+                        Ok(_) => {
+                            checkpoints_written += 1;
+                            last_ckpt = t1;
+                        }
+                        Err(err) => {
+                            eprintln!("warning: checkpoint at cycle {t1} failed: {err}");
+                        }
+                    }
+                } else {
+                    ckpt_enabled = false;
+                }
+            }
+        }
 
         t0 = t1;
     }
@@ -895,8 +1592,12 @@ pub fn run_lanes(
     let wall = started.elapsed();
     let profile = prof.rows();
     let cycles = noc.cycle();
-    let mut reports = Vec::with_capacity(lanes);
+    let mut reports: Vec<Result<RunReport, SimError>> = Vec::with_capacity(lanes);
     for (lane, an) in analyzers.into_iter().enumerate() {
+        if let Some(err) = lane_err[lane].take() {
+            reports.push(Err(err));
+            continue;
+        }
         let ring_fill: u64 = (0..n)
             .map(|node| {
                 (0..NUM_VCS)
@@ -905,7 +1606,7 @@ pub fn run_lanes(
             })
             .sum();
         let out = an.finish(pushed[lane].saturating_sub(ring_fill));
-        reports.push(RunReport {
+        reports.push(Ok(RunReport {
             engine: "seqsim-batched",
             gt: out.gt,
             be: out.be,
@@ -921,9 +1622,11 @@ pub fn run_lanes(
             fault_anomalies: out.fault_anomalies,
             invariant_checks: 0,
             fault_dropped: 0,
+            checkpoints_written,
+            resumed_at,
             wall,
             cycles,
-        });
+        }));
     }
     Ok(reports)
 }
@@ -963,6 +1666,7 @@ mod tests {
             backlog_limit: 4_096,
             obs: None,
             check: true,
+            ..RunConfig::default()
         };
         run_fig1_point(&mut e, load, 7, &rc).expect("clean run must succeed")
     }
@@ -1023,6 +1727,7 @@ mod tests {
             backlog_limit: 4_096,
             obs: None,
             check: true,
+            ..RunConfig::default()
         };
         let r =
             run_fig1_point(&mut *e, 0.10, 7, &rc).expect("faulty run must not trip the checker");
@@ -1044,6 +1749,7 @@ mod tests {
             backlog_limit: 4_096,
             obs: Some(obs),
             check: false,
+            ..RunConfig::default()
         };
         let r = run_fig1_point(&mut e, 0.05, 7, &rc).expect("clean run");
         assert_eq!(r.cycles, 3_000);
@@ -1096,6 +1802,7 @@ mod tests {
             backlog_limit: 4_096,
             obs: Some(obs),
             check: false,
+            ..RunConfig::default()
         };
         run_fig1_point(&mut *e, 0.10, 7, &rc).expect("faulty run succeeds");
         let drops = registry.counter_value("fault.injected_drops", &[]);
@@ -1115,6 +1822,7 @@ mod tests {
             backlog_limit: 512,
             obs: None,
             check: false,
+            ..RunConfig::default()
         };
         let r = run_fig1_point(&mut e, 0.9, 3, &rc).expect("overloaded run still succeeds");
         assert!(r.saturated, "0.9 load must overload the network");

@@ -20,6 +20,10 @@ use vc_router::block::{
 };
 use vc_router::{AccEntry, IfaceConfig, OutEntry, RouterBlock, RouterRegs, StimEntry};
 
+/// Wire version of [`SeqNoc`] checkpoints (engine-distinct so a
+/// checkpoint can never be restored into the wrong backend).
+const CKPT_VERSION: u32 = 0x5351_0001; // "SQ" 1
+
 /// The sequential (FPGA-method) NoC engine.
 pub struct SeqNoc {
     cfg: NetworkConfig,
@@ -402,6 +406,27 @@ impl NocEngine for SeqNoc {
 
     fn reset_delta_stats(&mut self) {
         self.engine.reset_stats();
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut e = seqsim::Enc::new();
+        self.engine.snapshot().encode(&mut e);
+        self.host.encode(&mut e);
+        Some(seqsim::wire::seal(CKPT_VERSION, &e.into_bytes()))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), SimError> {
+        let ckpt = |e: seqsim::WireError| SimError::Config(format!("seqsim checkpoint: {e}"));
+        let payload = seqsim::wire::open(bytes, CKPT_VERSION).map_err(ckpt)?;
+        let mut d = seqsim::Dec::new(payload);
+        let snap = seqsim::Snapshot::decode(&mut d).map_err(ckpt)?;
+        let host = HostPtrs::decode(&mut d).map_err(ckpt)?;
+        if !d.finished() {
+            return Err(ckpt(seqsim::WireError::new("trailing bytes")));
+        }
+        self.engine.restore(&snap);
+        self.host = host;
+        Ok(())
     }
 }
 

@@ -44,6 +44,7 @@ pub struct Session {
     inner: SessionInner,
     rc: RunConfig,
     reports: Vec<RunReport>,
+    outcomes: Vec<Result<RunReport, SimError>>,
 }
 
 impl Session {
@@ -52,6 +53,7 @@ impl Session {
             inner: SessionInner::Scalar(engine),
             rc,
             reports: Vec::new(),
+            outcomes: Vec::new(),
         }
     }
 
@@ -60,6 +62,7 @@ impl Session {
             inner: SessionInner::Batched(Box::new(noc)),
             rc,
             reports: Vec::new(),
+            outcomes: Vec::new(),
         }
     }
 
@@ -114,10 +117,14 @@ impl Session {
         match &mut self.inner {
             SessionInner::Scalar(e) => {
                 let report = run_impl(e.as_mut(), gen, &self.rc)?;
-                self.reports = vec![report];
+                self.reports = vec![report.clone()];
+                self.outcomes = vec![Ok(report)];
             }
             SessionInner::Batched(noc) if noc.lanes() == 1 => {
-                self.reports = run_lanes(noc, std::slice::from_mut(gen), &self.rc)?;
+                let mut outcomes = run_lanes(noc, std::slice::from_mut(gen), &self.rc)?;
+                let lane0 = outcomes.remove(0);
+                self.outcomes = vec![lane0.clone()];
+                self.reports = vec![lane0?];
             }
             SessionInner::Batched(noc) => {
                 return Err(SimError::Config(format!(
@@ -138,8 +145,34 @@ impl Session {
     /// # Errors
     ///
     /// [`SimError::Config`] when `gens.len() != lane_count()`, plus
-    /// everything the five-phase loop reports.
+    /// everything the five-phase loop reports. When some lanes were
+    /// quarantined but others finished, the *first* failed lane's error
+    /// is returned — use [`run_each_outcomes`](Self::run_each_outcomes)
+    /// to get the healthy lanes' reports alongside the per-lane errors.
     pub fn run_each(&mut self, gens: &mut [StimuliGenerator]) -> Result<&[RunReport], SimError> {
+        self.run_each_outcomes(gens)?;
+        if let Some(err) = self.outcomes.iter().find_map(|r| r.as_ref().err()) {
+            return Err(err.clone());
+        }
+        Ok(&self.reports)
+    }
+
+    /// Like [`run_each`](Self::run_each), but a quarantined lane does
+    /// not fail the call: the returned slice carries one
+    /// `Result<RunReport, SimError>` per lane, in lane order — healthy
+    /// lanes' reports (bit-identical to a run without the sick lanes)
+    /// next to the quarantined lanes' typed errors.
+    ///
+    /// # Errors
+    ///
+    /// Only *campaign-fatal* failures: a generator-count mismatch, a
+    /// scalar engine failure, a malformed resume checkpoint, or a
+    /// supervisor cancellation. Per-lane failures come back in the
+    /// slice, not here.
+    pub fn run_each_outcomes(
+        &mut self,
+        gens: &mut [StimuliGenerator],
+    ) -> Result<&[Result<RunReport, SimError>], SimError> {
         match &mut self.inner {
             SessionInner::Scalar(e) => {
                 if gens.len() != 1 {
@@ -149,13 +182,27 @@ impl Session {
                     )));
                 }
                 let report = run_impl(e.as_mut(), &mut gens[0], &self.rc)?;
-                self.reports = vec![report];
+                self.reports = vec![report.clone()];
+                self.outcomes = vec![Ok(report)];
             }
             SessionInner::Batched(noc) => {
-                self.reports = run_lanes(noc, gens, &self.rc)?;
+                let outcomes = run_lanes(noc, gens, &self.rc)?;
+                self.reports = outcomes
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok().cloned())
+                    .collect();
+                self.outcomes = outcomes;
             }
         }
-        Ok(&self.reports)
+        Ok(&self.outcomes)
+    }
+
+    /// Per-lane outcomes of the most recent run, in lane order (empty
+    /// before the first run): `Ok(report)` for healthy lanes,
+    /// `Err(SimError)` for quarantined ones. [`reports`](Self::reports)
+    /// keeps only the healthy subset.
+    pub fn lane_outcomes(&self) -> &[Result<RunReport, SimError>] {
+        &self.outcomes
     }
 
     /// Run the paper's Fig 1 workload at one BE load point on every
@@ -172,6 +219,25 @@ impl Session {
             .map(|lane| fig1_generator(cfg, be_load, seed.wrapping_add(lane as u64)))
             .collect();
         self.run_each(&mut gens)
+    }
+
+    /// [`run_fig1`](Self::run_fig1) with per-lane outcomes: quarantined
+    /// lanes surface as `Err` entries instead of failing the call.
+    ///
+    /// # Errors
+    ///
+    /// Campaign-fatal failures only, as in
+    /// [`run_each_outcomes`](Self::run_each_outcomes).
+    pub fn run_fig1_outcomes(
+        &mut self,
+        be_load: f64,
+        seed: u64,
+    ) -> Result<&[Result<RunReport, SimError>], SimError> {
+        let cfg = self.config();
+        let mut gens: Vec<StimuliGenerator> = (0..self.lane_count())
+            .map(|lane| fig1_generator(cfg, be_load, seed.wrapping_add(lane as u64)))
+            .collect();
+        self.run_each_outcomes(&mut gens)
     }
 
     /// Per-lane reports of the most recent run, in lane order (empty

@@ -1,0 +1,239 @@
+//! The campaign supervisor: panic isolation, a hang watchdog and
+//! bounded retry-with-resume around the five-phase runner.
+//!
+//! A long simulation campaign fails in three distinct ways and each
+//! deserves a different treatment:
+//!
+//! * **deterministic errors** (a diverged fixed point, an invariant
+//!   violation, a bad config) reproduce on every attempt — the
+//!   supervisor returns them immediately, *without* retrying;
+//! * **crashes** (a panic anywhere in the runner or kernel) are caught
+//!   at the thread boundary with `catch_unwind`, surfaced as
+//!   [`SimError::Crashed`] and retried with exponential backoff;
+//! * **hangs** (a livelock, a wedged worker) are detected by a watchdog
+//!   polling the runner's [`Heartbeat`]: no progress within the stall
+//!   timeout cancels the run, surfaces [`SimError::Stalled`] and
+//!   retries.
+//!
+//! Retries resume from the newest valid checkpoint when the run config
+//! carries a [`CheckpointConfig`](crate::CheckpointConfig) — the
+//! checkpoint format guarantees the resumed trajectory is bit-identical
+//! to an uninterrupted run — and restart from cycle 0 otherwise.
+//!
+//! The heartbeat only ticks during the simulate phase (the host-side
+//! phases are fast); size `stall_timeout` for the longest plausible gap
+//! between simulate pulses, not for the whole campaign.
+
+use crate::runner::{Heartbeat, RunConfig, RunReport};
+use seqsim::SimError;
+use simtrace::Registry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// What one supervised campaign reports back: the final run report plus
+/// the recovery history that produced it.
+#[derive(Debug, Clone)]
+pub struct SuperviseReport {
+    /// The successful run's report.
+    pub report: RunReport,
+    /// Attempts consumed, including the successful one (1 = clean run).
+    pub attempts: u32,
+    /// Attempts that resumed from a checkpoint.
+    pub resumes: u64,
+    /// Human-readable record of each failed attempt, oldest first.
+    pub failures: Vec<String>,
+}
+
+/// Runs campaigns on a worker thread under panic isolation, a heartbeat
+/// watchdog and a bounded retry budget.
+#[derive(Clone)]
+pub struct Supervisor {
+    /// Total attempts allowed (first run included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+    /// No heartbeat progress within this window declares the run hung.
+    pub stall_timeout: Duration,
+    /// Watchdog polling interval.
+    pub poll: Duration,
+    /// Grace period after cancelling a hung run before abandoning its
+    /// thread.
+    pub grace: Duration,
+    registry: Option<Registry>,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor {
+            max_attempts: 3,
+            backoff: Duration::from_millis(100),
+            stall_timeout: Duration::from_secs(2),
+            poll: Duration::from_millis(20),
+            grace: Duration::from_millis(200),
+            registry: None,
+        }
+    }
+}
+
+/// What the worker thread sends back (the report is boxed to keep the
+/// channel message small).
+enum Outcome {
+    Done(Result<Box<RunReport>, SimError>),
+    Panicked(String),
+}
+
+/// Render a panic payload for the error message.
+fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Supervisor {
+    /// A supervisor with the default budget: 3 attempts, 100 ms initial
+    /// backoff, 2 s stall timeout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total attempts allowed (at least 1).
+    pub fn max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Backoff before the first retry (doubles each retry).
+    pub fn backoff(mut self, d: Duration) -> Self {
+        self.backoff = d;
+        self
+    }
+
+    /// Declare the run hung after this long without heartbeat progress.
+    pub fn stall_timeout(mut self, d: Duration) -> Self {
+        self.stall_timeout = d;
+        self
+    }
+
+    /// Watchdog polling interval.
+    pub fn poll(mut self, d: Duration) -> Self {
+        self.poll = d;
+        self
+    }
+
+    /// Publish `recover.*` counters (resumes) into `registry`.
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Run `campaign` under supervision.
+    ///
+    /// `campaign` receives a clone of `rc` with a fresh [`Heartbeat`]
+    /// attached (and, on retries, `resume` turned on when `rc` carries a
+    /// checkpoint config) and is expected to drive one full run — e.g.
+    /// `move |rc| session.with_config(rc).run(&mut gen)` shaped logic, or
+    /// [`run_fig1_point`](crate::run_fig1_point) directly.
+    ///
+    /// # Errors
+    ///
+    /// Deterministic [`SimError`]s from the campaign are returned
+    /// immediately without retry. [`SimError::Crashed`] /
+    /// [`SimError::Stalled`] are returned once the attempt budget is
+    /// exhausted — the error describes the *last* attempt; earlier ones
+    /// are in the lost [`SuperviseReport::failures`] history.
+    pub fn run_campaign<F>(&self, rc: &RunConfig, campaign: F) -> Result<SuperviseReport, SimError>
+    where
+        F: Fn(RunConfig) -> Result<RunReport, SimError> + Send + Sync + 'static,
+    {
+        let campaign = std::sync::Arc::new(campaign);
+        let mut failures: Vec<String> = Vec::new();
+        let mut resumes = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let hb = Heartbeat::new();
+            let mut rc_try = rc.clone();
+            rc_try.heartbeat = Some(hb.clone());
+            if attempt > 1 && rc_try.checkpoint.is_some() {
+                rc_try = rc_try.resume(true);
+                resumes += 1;
+                if let Some(reg) = &self.registry {
+                    reg.counter(simtrace::recover::RESUMES, &[]).inc();
+                }
+            }
+
+            let (tx, rx) = mpsc::channel::<Outcome>();
+            let f = campaign.clone();
+            let worker = std::thread::spawn(move || {
+                let outcome = match catch_unwind(AssertUnwindSafe(|| f(rc_try))) {
+                    Ok(res) => Outcome::Done(res.map(Box::new)),
+                    Err(p) => Outcome::Panicked(panic_payload(p)),
+                };
+                // The watchdog may have abandoned us; a dead receiver is
+                // fine.
+                let _ = tx.send(outcome);
+            });
+
+            let mut last_ticks = hb.ticks();
+            let mut last_progress = Instant::now();
+            let err = loop {
+                match rx.recv_timeout(self.poll) {
+                    Ok(Outcome::Done(Ok(report))) => {
+                        let _ = worker.join();
+                        return Ok(SuperviseReport {
+                            report: *report,
+                            attempts: attempt,
+                            resumes,
+                            failures,
+                        });
+                    }
+                    // Deterministic failure: retrying would reproduce it.
+                    Ok(Outcome::Done(Err(e))) => {
+                        let _ = worker.join();
+                        return Err(e);
+                    }
+                    Ok(Outcome::Panicked(payload)) => {
+                        let _ = worker.join();
+                        break SimError::Crashed { attempt, payload };
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        let ticks = hb.ticks();
+                        if ticks != last_ticks {
+                            last_ticks = ticks;
+                            last_progress = Instant::now();
+                        } else if last_progress.elapsed() >= self.stall_timeout {
+                            // Hung: ask the runner to stop, give it a
+                            // grace period, then abandon the thread (it
+                            // parks on a dead channel if it ever wakes).
+                            hb.cancel();
+                            std::thread::sleep(self.grace);
+                            break SimError::Stalled {
+                                last_cycle: hb.last_cycle(),
+                                timeout_ms: self.stall_timeout.as_millis() as u64,
+                            };
+                        }
+                    }
+                    // Worker died without reporting: treat as a crash.
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        let _ = worker.join();
+                        break SimError::Crashed {
+                            attempt,
+                            payload: "worker thread exited without reporting".to_string(),
+                        };
+                    }
+                }
+            };
+
+            failures.push(format!("attempt {attempt}: {err}"));
+            if attempt >= self.max_attempts {
+                return Err(err);
+            }
+            std::thread::sleep(self.backoff * 2u32.saturating_pow(attempt - 1));
+        }
+    }
+}

@@ -42,6 +42,16 @@ fn rc() -> RunConfig {
         .backlog_limit(1 << 16)
 }
 
+/// A campaign where every lane is expected healthy: unwrap each
+/// per-lane result into the flat report list the assertions walk.
+fn all_ok(lanes: Vec<Result<RunReport, noc::SimError>>) -> Vec<RunReport> {
+    lanes
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|e| panic!("lane {i} failed: {e}")))
+        .collect()
+}
+
 /// Every comparable field of two run reports, asserted equal.
 fn assert_reports_equal(ctx: &str, lane: &RunReport, scalar: &RunReport) {
     assert_eq!(lane.cycles, scalar.cycles, "{ctx}: cycles");
@@ -81,7 +91,7 @@ fn lanes_with_mixed_seeds_match_scalar_compiled_runs() {
     let seeds = [11u64, 2_222, 333_333];
     let mut batch = BatchedNoc::new(cfg, IfaceConfig::default(), seeds.len(), 1).expect("build");
     let mut gens: Vec<StimuliGenerator> = seeds.iter().map(|&s| fig1_gen(cfg, s)).collect();
-    let reports = run_lanes(&mut batch, &mut gens, &rc()).expect("batched run");
+    let reports = all_ok(run_lanes(&mut batch, &mut gens, &rc()).expect("batched run"));
 
     for (lane, &seed) in seeds.iter().enumerate() {
         let mut scalar = CompiledNoc::new(cfg, IfaceConfig::default());
@@ -115,7 +125,7 @@ fn per_lane_fault_plans_stay_bit_identical_to_faulty_scalars() {
     let mut batch = BatchedNoc::with_faults(cfg, IfaceConfig::default(), lane_faults.clone(), 1)
         .expect("build");
     let mut gens: Vec<StimuliGenerator> = seeds.iter().map(|&s| fig1_gen(cfg, s)).collect();
-    let reports = run_lanes(&mut batch, &mut gens, &rc()).expect("batched faulty run");
+    let reports = all_ok(run_lanes(&mut batch, &mut gens, &rc()).expect("batched faulty run"));
 
     for (lane, (&seed, faults)) in seeds.iter().zip(&lane_faults).enumerate() {
         let mut scalar = CompiledNoc::with_faults(cfg, IfaceConfig::default(), faults.clone());
@@ -164,7 +174,7 @@ fn mid_campaign_snapshot_restores_the_whole_batch() {
             .iter()
             .map(|&s| fig1_gen(cfg, s.wrapping_mul(3)))
             .collect();
-        let reports = run_lanes(batch, &mut gens, &rc()).expect("replay campaign");
+        let reports = all_ok(run_lanes(batch, &mut gens, &rc()).expect("replay campaign"));
         let regs = (0..seeds.len())
             .map(|lane| {
                 (0..cfg.num_nodes())
@@ -210,7 +220,7 @@ fn session_run_each_matches_run_lanes() {
 
     let mut direct = BatchedNoc::new(cfg, IfaceConfig::default(), seeds.len(), 1).expect("build");
     let mut gens: Vec<StimuliGenerator> = seeds.iter().map(|&s| fig1_gen(cfg, s)).collect();
-    let via_runner = run_lanes(&mut direct, &mut gens, &rc()).expect("direct campaign");
+    let via_runner = all_ok(run_lanes(&mut direct, &mut gens, &rc()).expect("direct campaign"));
 
     for lane in 0..seeds.len() {
         assert_reports_equal(

@@ -20,6 +20,7 @@ fn worklist_and_naive_schedulers_agree_on_a_loaded_network() {
         backlog_limit: 1 << 20,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
     let mut reports = Vec::new();
     for scheduling in [Scheduling::HbrRoundRobin, Scheduling::HbrRoundRobinNaive] {

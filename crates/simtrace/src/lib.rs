@@ -50,6 +50,7 @@ pub mod json;
 pub mod metrics;
 pub mod prof;
 pub mod prom;
+pub mod recover;
 pub mod trace;
 
 pub use frame::{Frame, FrameBuffer, FrameSink, FrameStreamer, JsonlSink, PromSink};

@@ -1,0 +1,47 @@
+//! Canonical metric names of the resilience layer.
+//!
+//! The supervisor and the checkpointing runner publish their recovery
+//! bookkeeping as ordinary registry counters so it flows through the
+//! same telemetry frames (and Prometheus exposition) as every other
+//! `run.*`/`check.*` series. The names live here — next to the metrics
+//! substrate, away from any one publisher — so dashboards, the frame
+//! streamer and the chaos harness agree on one spelling.
+
+/// Counter: durable checkpoints written by the runner.
+pub const CHECKPOINTS_WRITTEN: &str = "recover.checkpoints_written";
+
+/// Counter: campaign resumes from a checkpoint (supervisor retries plus
+/// explicit `--resume` restarts).
+pub const RESUMES: &str = "recover.resumes";
+
+/// Counter: batched-engine lanes quarantined after a panic or an
+/// invariant violation.
+pub const LANES_QUARANTINED: &str = "recover.lanes_quarantined";
+
+/// Counter: checkpoint files rejected at resume time (truncated,
+/// bit-flipped, wrong engine or wrong campaign fingerprint).
+pub const CHECKPOINTS_REJECTED: &str = "recover.checkpoints_rejected";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn recover_series_flow_into_snapshots() {
+        let r = Registry::new();
+        r.counter(CHECKPOINTS_WRITTEN, &[]).inc();
+        r.counter(RESUMES, &[]).add(2);
+        r.counter(LANES_QUARANTINED, &[]).inc();
+        r.counter(CHECKPOINTS_REJECTED, &[]).inc();
+        let snap = r.snapshot_json();
+        for name in [
+            CHECKPOINTS_WRITTEN,
+            RESUMES,
+            LANES_QUARANTINED,
+            CHECKPOINTS_REJECTED,
+        ] {
+            assert!(snap.contains(name), "{name} missing from snapshot");
+        }
+    }
+}

@@ -153,6 +153,41 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// The full histogram as a self-describing `u64` word vector
+    /// (`[bucket_width, n_buckets, buckets.., overflow, count, sum, min,
+    /// max]`) — the serialization surface for checkpointing without a
+    /// wire-format dependency in this crate.
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut w = Vec::with_capacity(self.buckets.len() + 7);
+        w.push(self.bucket_width);
+        w.push(self.buckets.len() as u64);
+        w.extend_from_slice(&self.buckets);
+        w.extend_from_slice(&[self.overflow, self.count, self.sum, self.min, self.max]);
+        w
+    }
+
+    /// Rebuild a histogram from [`to_words`](Self::to_words) output.
+    /// `None` when the word vector is malformed (wrong length, zero
+    /// geometry).
+    pub fn from_words(words: &[u64]) -> Option<Self> {
+        let (&bucket_width, rest) = words.split_first()?;
+        let (&n, rest) = rest.split_first()?;
+        let n = usize::try_from(n).ok()?;
+        if bucket_width == 0 || n == 0 || rest.len() != n + 5 {
+            return None;
+        }
+        let (buckets, tail) = rest.split_at(n);
+        Some(Histogram {
+            bucket_width,
+            buckets: buckets.to_vec(),
+            overflow: tail[0],
+            count: tail[1],
+            sum: tail[2],
+            min: tail[3],
+            max: tail[4],
+        })
+    }
 }
 
 #[cfg(test)]
@@ -254,5 +289,22 @@ mod tests {
         let mut a = Histogram::new(10, 10);
         let b = Histogram::new(5, 10);
         a.merge(&b);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut h = Histogram::new(10, 10);
+        for v in [5u64, 15, 15, 95, 250] {
+            h.record(v);
+        }
+        let w = h.to_words();
+        assert_eq!(Histogram::from_words(&w), Some(h.clone()));
+        // Empty histograms round-trip too (min is the u64::MAX sentinel).
+        let e = Histogram::new(1, 4);
+        assert_eq!(Histogram::from_words(&e.to_words()), Some(e));
+        // Malformed vectors are rejected, not mis-parsed.
+        assert_eq!(Histogram::from_words(&w[..w.len() - 1]), None);
+        assert_eq!(Histogram::from_words(&[]), None);
+        assert_eq!(Histogram::from_words(&[0, 1, 0, 0, 0, 0, 0, 0]), None);
     }
 }

@@ -58,6 +58,18 @@ impl LatencyStats {
     pub fn merge(&mut self, other: &LatencyStats) {
         self.hist.merge(&other.hist);
     }
+
+    /// The recorder as a self-describing word vector (see
+    /// [`Histogram::to_words`]) for checkpointing.
+    pub fn to_words(&self) -> Vec<u64> {
+        self.hist.to_words()
+    }
+
+    /// Rebuild a recorder from [`to_words`](Self::to_words) output.
+    /// `None` when the word vector is malformed.
+    pub fn from_words(words: &[u64]) -> Option<Self> {
+        Histogram::from_words(words).map(|hist| LatencyStats { hist })
+    }
 }
 
 /// Summary statistics of a latency population.

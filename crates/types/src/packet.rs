@@ -224,6 +224,25 @@ impl Reassembler {
     pub fn drain_completed(&mut self) -> Vec<ReceivedPacket> {
         core::mem::take(&mut self.completed)
     }
+
+    /// The per-VC in-progress slots (in-flight worms), for host
+    /// checkpointing. Slot `vc` is the packet currently open on that VC.
+    pub fn open_slots(&self) -> &[Option<ReceivedPacket>; NUM_VCS] {
+        &self.in_progress
+    }
+
+    /// Rebuild a reassembler from checkpointed state: the per-VC open
+    /// slots and the completed-packet backlog (normally empty — the
+    /// runner drains completions every period).
+    pub fn from_state(
+        in_progress: [Option<ReceivedPacket>; NUM_VCS],
+        completed: Vec<ReceivedPacket>,
+    ) -> Self {
+        Reassembler {
+            in_progress,
+            completed,
+        }
+    }
 }
 
 /// One step of the order-sensitive payload checksum.

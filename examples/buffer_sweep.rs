@@ -30,6 +30,7 @@ fn main() {
         backlog_limit: 16_384,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
     let depths = [2usize, 4, 8];
     let loads = [0.05f64, 0.10, 0.14];

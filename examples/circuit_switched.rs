@@ -99,6 +99,7 @@ fn main() {
         backlog_limit: 1 << 20,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
     let r = run_fig1_point(&mut ps, 0.10, 3, &rc).expect("run failed");
     let d = r.delta.unwrap();

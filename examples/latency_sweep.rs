@@ -30,6 +30,7 @@ fn main() {
         backlog_limit: 16_384,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
     let loads: Vec<f64> = (0..=14).map(|i| i as f64 / 100.0).collect();
 

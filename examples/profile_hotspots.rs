@@ -115,6 +115,7 @@ fn main() {
         backlog_limit: 1 << 20,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
     let seq = profile_engine("sequential engine", EngineKind::Seq, cfg, &rc);
     let compiled = profile_engine("compiled kernel", EngineKind::SeqCompiled, cfg, &rc);

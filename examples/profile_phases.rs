@@ -93,6 +93,7 @@ fn main() {
         backlog_limit: 16_384,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
     let r = run_fig1_point(&mut engine, 0.10, 11, &rc).expect("run failed");
     let mut host = Table::new(

@@ -25,6 +25,7 @@ fn main() {
         backlog_limit: 8_192,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
     let report = run_fig1_point(&mut engine, 0.05, 42, &rc).expect("run failed");
 

@@ -26,6 +26,7 @@ fn main() {
         backlog_limit: 4_096,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
     let loads: Vec<f64> = [0.02, 0.06, 0.10, 0.14, 0.20, 0.28, 0.36, 0.44, 0.52, 0.60].to_vec();
     let mut mk = || -> Box<dyn NocEngine> { Box::new(NativeNoc::new(cfg, IfaceConfig::default())) };

@@ -33,6 +33,7 @@ fn measure(engine: &mut dyn NocEngine, cycles: u64) -> (f64, f64, Option<f64>) {
         backlog_limit: 1 << 20,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
     let r = run_fig1_point(engine, 0.10, 7, &rc).expect("run failed");
     let deltas = r.delta.as_ref().map(|d| d.avg_deltas_per_cycle());

@@ -36,6 +36,12 @@ echo "==> faulty differential suite (bit-identity under fault plans)"
 cargo test -q --test differential_engines engines_agree_under_fault_plans
 cargo test -q -p noc --test sharded_differential sharded_replays_fault_plans
 
+echo "==> resilience suite (checkpoint round-trips, kill-and-resume, quarantine, supervisor)"
+cargo test -q -p noc --test resilience
+
+echo "==> chaos smoke (injected panic + hang + poisoned lane + corrupt checkpoint)"
+cargo run --release --bin chaos -- --dir target/chaos 2> /dev/null
+
 echo "==> invariant-checker + profiler smoke (experiments --quick --check --faults --profile)"
 cargo run --release --bin experiments -- --quick --check --faults 2007 \
     --metrics target/check_metrics.json --profile target/profile.json > /dev/null

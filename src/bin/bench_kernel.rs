@@ -334,6 +334,7 @@ fn main() {
         backlog_limit: 1 << 20,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
 
     let mut rows: Vec<Row> = Vec::new();
@@ -365,6 +366,38 @@ fn main() {
         );
         eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
         rows.push(row);
+    }
+
+    // Checkpoint overhead: the compiled engine's loaded workload with a
+    // durable checkpoint cut every 1024 cycles — compare against the
+    // plain `seqsim-compiled/loaded` row to price the resilience layer.
+    if keep("seqsim-compiled") {
+        let dir = std::env::temp_dir().join(format!("socsim-bench-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rc_ckpt = rc.clone().checkpoint_every(1024, &dir);
+        eprintln!("# checkpoint overhead (every 1024 cycles)");
+        let spec = EngineSpec {
+            id: "seqsim-compiled",
+            kind: EngineKind::SeqCompiled,
+            policy: SchedulePolicy::Auto,
+            idle_cycles: 0,
+        };
+        let mut row = bench_loaded(
+            spec.id,
+            spec.make(cfg),
+            spec.threads(),
+            spec.schedule(),
+            cfg,
+            &rc_ckpt,
+        );
+        row.id = format!(
+            "seqsim-compiled/loaded-ckpt/{}x{}",
+            cfg.shape.w, cfg.shape.h
+        );
+        row.workload = "loaded-ckpt";
+        eprintln!("  {:<32} {:>10.1} cycles/s", row.id, row.cycles_per_sec);
+        rows.push(row);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     // Sharded thread sweep on the 6x6 workloads: the parallel-schedule

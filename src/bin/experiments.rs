@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run --release --bin experiments \
 //!     [--quick] [--trace FILE] [--metrics FILE] [--check] [--faults SEED] \
-//!     [--profile FILE]
+//!     [--profile FILE] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //! ```
 //!
 //! `--trace FILE` writes a Chrome trace-event JSON of the sequential
@@ -21,6 +21,11 @@
 //! JSON to FILE (plus FILE.folded flamegraph text, FILE.frames.jsonl
 //! telemetry frames and FILE.prom Prometheus exposition) and prints the
 //! hotspot table — then feed the outputs to `simprof`.
+//! `--checkpoint-dir DIR` makes the Table 3/§6 sequential run cut a
+//! durable checkpoint every `--checkpoint-every N` cycles (default 1024)
+//! into DIR; with `--resume`, that run restarts from the newest valid
+//! checkpoint there instead of cycle 0 — kill the process mid-run and
+//! re-invoke with `--resume` to watch it pick up bit-identically.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use noc::diff::{assert_traces_equal, collect_trace};
@@ -85,6 +90,7 @@ fn profile_hotspots(quick: bool, path: &PathBuf) -> Result<(), SimError> {
         backlog_limit: 1 << 20,
         obs: Some(obs),
         check: false,
+        ..RunConfig::default()
     };
     // sample_every = 1: time every system cycle, so self time is measured
     // rather than extrapolated and coverage vs. wall is tight.
@@ -228,6 +234,14 @@ fn real_main() -> Result<(), SimError> {
     let metrics_path = flag_path(&args, "--metrics")?;
     let faults_seed = flag_u64(&args, "--faults")?;
     let profile_path = flag_path(&args, "--profile")?;
+    let checkpoint_dir = flag_path(&args, "--checkpoint-dir")?;
+    let checkpoint_every = flag_u64(&args, "--checkpoint-every")?.unwrap_or(1024);
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && checkpoint_dir.is_none() {
+        return Err(SimError::Config(
+            "--resume needs --checkpoint-dir DIR to resume from".to_string(),
+        ));
+    }
     let scale = if quick { 1 } else { 3 };
     let cfg = NetworkConfig::fig1();
     let icfg = IfaceConfig::default();
@@ -242,6 +256,7 @@ fn real_main() -> Result<(), SimError> {
         backlog_limit: 16_384,
         obs: None,
         check,
+        ..RunConfig::default()
     };
     let guarantee = fig1_guarantee(cfg);
     let loads = [0.0f64, 0.04, 0.08, 0.11, 0.14];
@@ -320,6 +335,11 @@ fn real_main() -> Result<(), SimError> {
     if let Some(obs) = obs_cfg.clone() {
         rc_seq = rc_seq.obs(obs);
     }
+    if let Some(dir) = checkpoint_dir.as_ref() {
+        rc_seq = rc_seq
+            .with_checkpoint(noc::CheckpointConfig::new(checkpoint_every, dir.clone()))
+            .resume(resume);
+    }
     let mut seq = SimBuilder::new(cfg)
         .iface(icfg)
         .engine(EngineKind::Seq)
@@ -337,6 +357,20 @@ fn real_main() -> Result<(), SimError> {
         let mut gen = traffic::StimuliGenerator::new(tcfg);
         seq.run(&mut gen)?.clone()
     };
+    if let Some(dir) = checkpoint_dir.as_ref() {
+        match r.resumed_at {
+            Some(cycle) => eprintln!(
+                "checkpoints: resumed from cycle {cycle}, wrote {} more into {}",
+                r.checkpoints_written,
+                dir.display()
+            ),
+            None => eprintln!(
+                "checkpoints: wrote {} into {}",
+                r.checkpoints_written,
+                dir.display()
+            ),
+        }
+    }
     if let (Some(p), Some(obs)) = (trace_path.as_ref(), obs_cfg.as_ref()) {
         obs.tracer
             .write_chrome(p)

@@ -34,7 +34,10 @@ pub use par::par_map;
 /// use noc::EngineKind;
 ///
 /// let cfg = noc_types::NetworkConfig::new(3, 3, noc_types::Topology::Torus, 2);
-/// let mut engine = soc_sim::sim(cfg).engine(EngineKind::Rtl).build();
+/// let mut engine = soc_sim::sim(cfg)
+///     .engine(EngineKind::Rtl)
+///     .try_build()
+///     .expect("engine builds");
 /// engine.run(10);
 /// assert_eq!(engine.name(), "rtl");
 /// ```

@@ -19,6 +19,7 @@ fn extra_at(load: f64) -> (f64, f64) {
         backlog_limit: 1 << 20,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
     let r = run_fig1_point(&mut engine, load, 31, &rc).expect("run failed");
     (
@@ -71,6 +72,7 @@ fn max_deltas_bounded_by_small_multiple_of_n() {
         backlog_limit: 1 << 20,
         obs: None,
         check: false,
+        ..RunConfig::default()
     };
     let r = run_fig1_point(&mut engine, 0.14, 77, &rc).expect("run failed");
     let stats = r.delta.unwrap();

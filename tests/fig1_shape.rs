@@ -18,6 +18,7 @@ fn rc() -> RunConfig {
         backlog_limit: 16_384,
         obs: None,
         check: true,
+        ..RunConfig::default()
     }
 }
 

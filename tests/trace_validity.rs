@@ -176,6 +176,7 @@ fn early_stopped_run_emits_wellformed_trace_and_frames() {
         backlog_limit: 512,
         obs: Some(obs.clone()),
         check: false,
+        ..RunConfig::default()
     };
     let r = noc::run_fig1_point(&mut engine, 0.9, 3, &rc).expect("saturated run still returns Ok");
     assert!(r.saturated, "premise: the run must stop early");
