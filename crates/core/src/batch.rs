@@ -29,7 +29,7 @@
 //! AND their writes with an active-mask word, so a halted lane's state
 //! stays bit-exact across bank swaps.
 
-use crate::block::{LinkDriver, SystemSpec};
+use crate::block::{BitExpr, BlockInst, LinkDriver, SystemSpec};
 use crate::compile::{CompileOptions, CompiledExec, CompiledProgram, Op, ProgramMode};
 use crate::counters::DeltaStats;
 use crate::error::SimError;
@@ -85,6 +85,23 @@ pub fn check_lane_structure(specs: &[SystemSpec]) -> Result<(), SimError> {
                     return Err(fail(
                         lane,
                         format!("kind {k} comb declaration differs on port {p}"),
+                    ));
+                }
+                // Bit semantics feed the packed-expression lowering: one
+                // shared program evaluates every lane, so the declared
+                // boolean model must be lane-invariant.
+                if ka.bit_semantics(p) != kb.bit_semantics(p) {
+                    return Err(fail(
+                        lane,
+                        format!("kind {k} bit semantics differ on output {p}"),
+                    ));
+                }
+            }
+            for p in 0..ka.input_widths().len() {
+                if ka.input_bits_used(p) != kb.input_bits_used(p) {
+                    return Err(fail(
+                        lane,
+                        format!("kind {k} input-bit liveness differs on input {p}"),
                     ));
                 }
             }
@@ -159,8 +176,95 @@ impl PackedRange {
     }
 }
 
+/// A [`BitExpr`] lowered onto packed slabs: every `In{port,bit}` leaf is
+/// resolved to the slab holding that bit lanewise, so one evaluation
+/// computes the output bit of up to 64 lanes at once.
+#[derive(Debug, Clone)]
+enum SlabExpr {
+    /// All lanes `0` / all lanes `1`.
+    Const(bool),
+    /// The packed word of one slab.
+    Slab(u32),
+    /// Lanewise NOT.
+    Not(Box<SlabExpr>),
+    /// Lanewise AND.
+    And(Box<SlabExpr>, Box<SlabExpr>),
+    /// Lanewise OR.
+    Or(Box<SlabExpr>, Box<SlabExpr>),
+    /// Lanewise XOR.
+    Xor(Box<SlabExpr>, Box<SlabExpr>),
+}
+
+impl SlabExpr {
+    /// Evaluate over packed word `w` of every referenced slab.
+    fn eval(&self, packed: &[u64], lane_words: usize, w: usize) -> u64 {
+        match self {
+            SlabExpr::Const(false) => 0,
+            SlabExpr::Const(true) => !0u64,
+            SlabExpr::Slab(s) => packed[*s as usize * lane_words + w],
+            SlabExpr::Not(a) => !a.eval(packed, lane_words, w),
+            SlabExpr::And(a, b) => a.eval(packed, lane_words, w) & b.eval(packed, lane_words, w),
+            SlabExpr::Or(a, b) => a.eval(packed, lane_words, w) | b.eval(packed, lane_words, w),
+            SlabExpr::Xor(a, b) => a.eval(packed, lane_words, w) ^ b.eval(packed, lane_words, w),
+        }
+    }
+
+    /// Lower `e` (an output-bit expression of `inst`) onto packed
+    /// slabs. `None` when the expression is opaque or references a bit
+    /// whose arena word is not packed (the block then stays per-lane).
+    fn lower(
+        e: &BitExpr,
+        inst: &BlockInst,
+        scalar: &CompiledProgram,
+        packed_of: &[Option<u32>],
+    ) -> Option<SlabExpr> {
+        let bin = |a: &BitExpr,
+                   b: &BitExpr,
+                   inst: &BlockInst,
+                   scalar: &CompiledProgram,
+                   packed_of: &[Option<u32>]|
+         -> Option<(Box<SlabExpr>, Box<SlabExpr>)> {
+            Some((
+                Box::new(SlabExpr::lower(a, inst, scalar, packed_of)?),
+                Box::new(SlabExpr::lower(b, inst, scalar, packed_of)?),
+            ))
+        };
+        match e {
+            BitExpr::Const(v) => Some(SlabExpr::Const(*v)),
+            BitExpr::In { port, bit } => {
+                let l = inst.inputs[*port];
+                packed_of[scalar.bit_word(l, *bit)].map(SlabExpr::Slab)
+            }
+            BitExpr::Not(a) => Some(SlabExpr::Not(Box::new(SlabExpr::lower(
+                a, inst, scalar, packed_of,
+            )?))),
+            BitExpr::And(a, b) => {
+                let (a, b) = bin(a, b, inst, scalar, packed_of)?;
+                Some(SlabExpr::And(a, b))
+            }
+            BitExpr::Or(a, b) => {
+                let (a, b) = bin(a, b, inst, scalar, packed_of)?;
+                Some(SlabExpr::Or(a, b))
+            }
+            BitExpr::Xor(a, b) => {
+                let (a, b) = bin(a, b, inst, scalar, packed_of)?;
+                Some(SlabExpr::Xor(a, b))
+            }
+            BitExpr::Opaque { .. } => None,
+        }
+    }
+}
+
+/// One packed-expression write: `packed[slab] = expr` (masked by the
+/// active-lane word).
+#[derive(Debug, Clone)]
+struct ExprWrite {
+    slab: u32,
+    expr: SlabExpr,
+}
+
 /// One batched instruction.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum BatchOp {
     /// Execute the scalar op once per active lane over the strided
     /// slabs.
@@ -174,6 +278,12 @@ enum BatchOp {
         gather: PackedRange,
         scatter: PackedRange,
     },
+    /// Evaluate the block's declared [`BitExpr`] semantics directly on
+    /// packed slabs, one [`ExprWrite`] per output bit at this comb
+    /// level. Requires bitflow-sliced input and output links (every
+    /// referenced bit must live in its own packed sub-word); no `eval`
+    /// call is made at all.
+    Expr { block: u32, writes: Vec<ExprWrite> },
 }
 
 /// A [`CompiledProgram`] lowered for lane batching: per-lane ops keep
@@ -187,7 +297,9 @@ pub struct BatchedProgram {
     ops: Vec<BatchOp>,
     pgathers: Vec<PackedMove>,
     pscatters: Vec<PackedMove>,
-    /// Link id -> packed slab index (None = per-lane representation).
+    /// Arena word (link id, or per-bit sub-word of a sliced link) ->
+    /// packed slab index (None = per-lane representation). Sub-words
+    /// always pack: they hold one bit per lane by construction.
     packed_of_link: Vec<Option<u32>>,
     n_packed: usize,
     /// Per-lane deltas per cycle, identical to the scalar engine's
@@ -268,13 +380,22 @@ impl BatchedProgram {
             }
         }
 
-        let mut packed_of_link: Vec<Option<u32>> = vec![None; links.len()];
+        // Arena words: spec links first, then per-bit sub-words of
+        // sliced links. Width-1 links between bitwise parties pack under
+        // the rule above; sub-words pack unconditionally (each holds one
+        // bit per lane by construction, whoever reads or writes it).
+        let n_words = links.len() + prog.n_sub();
+        let mut packed_of_link: Vec<Option<u32>> = vec![None; n_words];
         let mut n_packed = 0usize;
         for l in 0..links.len() {
             if link_packs(links, &bitwise, l) {
                 packed_of_link[l] = Some(n_packed as u32);
                 n_packed += 1;
             }
+        }
+        for w in links.len()..n_words {
+            packed_of_link[w] = Some(n_packed as u32);
+            n_packed += 1;
         }
         let slab_of = |l: usize| -> u32 {
             match packed_of_link[l] {
@@ -283,11 +404,100 @@ impl BatchedProgram {
             }
         };
 
+        // Packed-expression eligibility: a stateless ring-free block
+        // whose every output bit has a pure declared `BitExpr` and whose
+        // every referenced bit (inputs and outputs) lives in a packed
+        // word. In practice that means bitflow sliced the block's links:
+        // unsliced multi-bit words never pack, and a width-1 output of a
+        // non-`bit_parallel` block doesn't either.
+        let expr_ok: Vec<bool> = blocks
+            .iter()
+            .enumerate()
+            .map(|(b, inst)| {
+                if bitwise[b] {
+                    return false;
+                }
+                let k = &kinds[inst.kind];
+                if k.state_bits() != 0 || !k.side_rings().is_empty() {
+                    return false;
+                }
+                let out_widths = k.output_widths();
+                if inst.outputs.len() != out_widths.len()
+                    || inst.inputs.len() != k.input_widths().len()
+                {
+                    return false;
+                }
+                for (p, &width) in out_widths.iter().enumerate() {
+                    let Some(sem) = k.bit_semantics(p) else {
+                        return false;
+                    };
+                    if sem.bits.len() != width {
+                        return false;
+                    }
+                    for bit in 0..width {
+                        if packed_of_link[prog.bit_word(inst.outputs[p], bit)].is_none() {
+                            return false;
+                        }
+                    }
+                    for e in &sem.bits {
+                        if !e.is_pure() {
+                            return false;
+                        }
+                        for (port, in_bit) in e.deps() {
+                            if packed_of_link[prog.bit_word(inst.inputs[port], in_bit)].is_none() {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                true
+            })
+            .collect();
+
         let mut ops = Vec::with_capacity(prog.ops.len());
         let mut pgathers = Vec::new();
         let mut pscatters = Vec::new();
         for (i, &op) in prog.ops.iter().enumerate() {
             let b = op.block();
+            if expr_ok[b] {
+                if i >= prog.update_start {
+                    // Stateless and ring-free: the clock edge is a no-op
+                    // (still counted in `scalar_deltas`, like bitwise).
+                    continue;
+                }
+                // One write per scatter move of this comb level: the
+                // move's shift is the output bit index, its target word
+                // the bit's packed sub-word.
+                let inst = &blocks[b];
+                let k = &kinds[inst.kind];
+                let writes: Vec<ExprWrite> = op
+                    .scatter()
+                    .map(|r| {
+                        prog.scatters[r.as_range()]
+                            .iter()
+                            .map(|m| {
+                                let sem = k.bit_semantics(m.port as usize).unwrap_or_else(|| {
+                                    unreachable!("expr block lost its semantics")
+                                });
+                                let e = &sem.bits[m.shift as usize];
+                                let expr = SlabExpr::lower(e, inst, &prog, &packed_of_link)
+                                    .unwrap_or_else(|| {
+                                        unreachable!("expr eligibility proved lowerable")
+                                    });
+                                ExprWrite {
+                                    slab: slab_of(m.link as usize),
+                                    expr,
+                                }
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                ops.push(BatchOp::Expr {
+                    block: b as u32,
+                    writes,
+                });
+                continue;
+            }
             if !bitwise[b] {
                 ops.push(BatchOp::PerLane(op));
                 continue;
@@ -358,16 +568,19 @@ impl BatchedProgram {
         &self.scalar
     }
 
-    /// Number of links promoted to bit-packed representation.
+    /// Number of arena words (width-1 links and per-bit sub-words of
+    /// sliced links) promoted to bit-packed representation.
     pub fn packed_links(&self) -> usize {
         self.n_packed
     }
 
-    /// Number of bitwise (64-lanes-per-eval) ops.
+    /// Number of bitwise (64-lanes-per-eval) ops: packed `eval` calls on
+    /// width-1 blocks plus packed-expression ops on bitflow-sliced
+    /// blocks.
     pub fn bitwise_ops(&self) -> usize {
         self.ops
             .iter()
-            .filter(|o| matches!(o, BatchOp::Bitwise { .. }))
+            .filter(|o| matches!(o, BatchOp::Bitwise { .. } | BatchOp::Expr { .. }))
             .count()
     }
 }
@@ -579,6 +792,20 @@ impl BatchedCore {
         let mut packed = vec![0u64; prog.n_packed * lane_words];
         for (j, spec) in specs.iter().enumerate() {
             for (l, ls) in spec.links().iter().enumerate() {
+                if let Some(sl) = prog.scalar.slice_of(l) {
+                    // Sliced link: spread the per-lane reset bits over
+                    // the per-bit sub-word slabs (the parent's own word
+                    // is dead in a sliced program).
+                    for bit in 0..sl.width as usize {
+                        if (ls.reset_value >> bit) & 1 == 1 {
+                            let s = prog.packed_of_link[sl.base as usize + bit]
+                                .unwrap_or_else(|| unreachable!("sub-words always pack"))
+                                as usize;
+                            packed[s * lane_words + j / 64] |= 1u64 << (j % 64);
+                        }
+                    }
+                    continue;
+                }
                 match prog.packed_of_link[l] {
                     Some(s) => {
                         if ls.reset_value & 1 == 1 {
@@ -699,8 +926,19 @@ impl BatchedCore {
         self.state[start..start + len].to_vec()
     }
 
-    /// Value of link `l` in `lane` (bit-extracted if packed).
+    /// Value of link `l` in `lane` (bit-extracted if packed,
+    /// reassembled from its sub-word slabs if sliced).
     fn link_value(&self, lane: usize, l: usize) -> u64 {
+        if let Some(sl) = self.prog.scalar.slice_of(l) {
+            let mut v = 0u64;
+            for bit in 0..sl.width as usize {
+                let s = self.prog.packed_of_link[sl.base as usize + bit]
+                    .unwrap_or_else(|| unreachable!("sub-words always pack"))
+                    as usize;
+                v |= ((self.packed[s * self.lane_words + lane / 64] >> (lane % 64)) & 1) << bit;
+            }
+            return v;
+        }
         match self.prog.packed_of_link[l] {
             Some(s) => (self.packed[s as usize * self.lane_words + lane / 64] >> (lane % 64)) & 1,
             None => self.links[l * self.lanes + lane],
@@ -724,6 +962,54 @@ impl BatchedCore {
                 }
             }
             None => self.links[l * self.lanes + lane] = v,
+        }
+    }
+
+    /// Run lane `j`'s gather window of a per-lane op: the scalar
+    /// [`GatherMove`](crate::compile::GatherMove) semantics (shift +
+    /// accumulate, reassembling sliced links bit by bit) over the
+    /// strided per-lane slabs, with packed words read via lane-bit
+    /// extraction.
+    #[inline]
+    fn gather_lane(&mut self, r: std::ops::Range<usize>, j: usize, lanes: usize) {
+        for i in r {
+            let m = self.prog.scalar.gathers[i];
+            let w = m.link as usize;
+            let word = match self.prog.packed_of_link[w] {
+                Some(s) => (self.packed[s as usize * self.lane_words + j / 64] >> (j % 64)) & 1,
+                None => self.links[w * lanes + j],
+            };
+            let v = word << m.shift;
+            if m.acc {
+                self.in_buf[m.port as usize] |= v;
+            } else {
+                self.in_buf[m.port as usize] = v;
+            }
+        }
+    }
+
+    /// Run lane `j`'s scatter window of a per-lane op: the scalar
+    /// [`ScatterMove`](crate::compile::ScatterMove) semantics (shift +
+    /// mask, slicing output words bit by bit) with packed words written
+    /// via lane-bit insertion.
+    #[inline]
+    fn scatter_lane(&mut self, r: std::ops::Range<usize>, j: usize, lanes: usize) {
+        for i in r {
+            let m = self.prog.scalar.scatters[i];
+            let w = m.link as usize;
+            let v = (self.out_buf[m.port as usize] >> m.shift) & m.mask;
+            match self.prog.packed_of_link[w] {
+                Some(s) => {
+                    let slot = &mut self.packed[s as usize * self.lane_words + j / 64];
+                    let bit = 1u64 << (j % 64);
+                    if v & 1 == 1 {
+                        *slot |= bit;
+                    } else {
+                        *slot &= !bit;
+                    }
+                }
+                None => self.links[w * lanes + j] = v,
+            }
         }
     }
 
@@ -848,11 +1134,32 @@ impl BatchedCore {
     fn run_ops(&mut self) {
         let cycle = self.cycle;
         let lanes = self.lanes;
-        for idx in 0..self.prog.ops.len() {
-            let bop = self.prog.ops[idx];
+        // Expression ops hold owned `SlabExpr` trees; iterate over a
+        // cheap `Arc` clone of the program so `self` stays free for the
+        // per-op bodies.
+        let ops_prog = Arc::clone(&self.prog);
+        for bop in ops_prog.ops.iter() {
             match bop {
-                BatchOp::PerLane(op) => self.run_per_lane_op(op, cycle, lanes),
-                BatchOp::Bitwise {
+                BatchOp::PerLane(op) => self.run_per_lane_op(*op, cycle, lanes),
+                BatchOp::Expr { block, writes } => {
+                    let t0 = self.profiler.as_ref().and_then(|p| p.begin_eval());
+                    let b = *block as usize;
+                    for w in 0..self.lane_words {
+                        let act = self.active_words[w];
+                        if act == 0 {
+                            continue;
+                        }
+                        for wr in writes {
+                            let val = wr.expr.eval(&self.packed, self.lane_words, w);
+                            let slot = &mut self.packed[wr.slab as usize * self.lane_words + w];
+                            *slot = (*slot & !act) | (val & act);
+                        }
+                    }
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.end_op(b, t0);
+                    }
+                }
+                &BatchOp::Bitwise {
                     kind,
                     block,
                     instance,
@@ -934,9 +1241,7 @@ impl BatchedCore {
                         if chaos == Some(cycle) {
                             panic!("chaos: injected panic in lane {j} at cycle {cycle}");
                         }
-                        for m in &self.prog.scalar.gathers[gather.as_range()] {
-                            self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
-                        }
+                        self.gather_lane(gather.as_range(), j, lanes);
                         let Some(exec) = self.execs[j][kind as usize].as_mut() else {
                             unreachable!("comb op for kind {kind} without exec");
                         };
@@ -948,10 +1253,7 @@ impl BatchedCore {
                             &mut self.out_buf,
                             &mut self.sides[j].view(block as usize),
                         );
-                        for m in &self.prog.scalar.scatters[scatter.as_range()] {
-                            self.links[m.link as usize * lanes + j] =
-                                self.out_buf[m.port as usize] & m.mask;
-                        }
+                        self.scatter_lane(scatter.as_range(), j, lanes);
                     }));
                     if let Err(p) = res {
                         self.quarantine(j, cycle, panic_payload(p.as_ref()));
@@ -980,9 +1282,7 @@ impl BatchedCore {
                         if chaos == Some(cycle) {
                             panic!("chaos: injected panic in lane {j} at cycle {cycle}");
                         }
-                        for m in &self.prog.scalar.gathers[gather.as_range()] {
-                            self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
-                        }
+                        self.gather_lane(gather.as_range(), j, lanes);
                         let n_in = self.specs[j].blocks()[b].inputs.len();
                         let n_out = self.specs[j].blocks()[b].outputs.len();
                         let (off, len) = (self.state_off[b], self.state_len[b]);
@@ -1007,10 +1307,7 @@ impl BatchedCore {
                             &mut out_buf[..n_out],
                             &mut sides[j].view(b),
                         );
-                        for m in &self.prog.scalar.scatters[scatter.as_range()] {
-                            self.links[m.link as usize * lanes + j] =
-                                self.out_buf[m.port as usize] & m.mask;
-                        }
+                        self.scatter_lane(scatter.as_range(), j, lanes);
                     }));
                     if let Err(p) = res {
                         self.quarantine(j, cycle, panic_payload(p.as_ref()));
@@ -1036,9 +1333,7 @@ impl BatchedCore {
                         if chaos == Some(cycle) {
                             panic!("chaos: injected panic in lane {j} at cycle {cycle}");
                         }
-                        for m in &self.prog.scalar.gathers[gather.as_range()] {
-                            self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
-                        }
+                        self.gather_lane(gather.as_range(), j, lanes);
                         let Some(exec) = self.execs[j][kind as usize].as_mut() else {
                             unreachable!("update op for kind {kind} without exec");
                         };
@@ -1075,9 +1370,7 @@ impl BatchedCore {
                         if chaos == Some(cycle) {
                             panic!("chaos: injected panic in lane {j} at cycle {cycle}");
                         }
-                        for m in &self.prog.scalar.gathers[gather.as_range()] {
-                            self.in_buf[m.port as usize] = self.links[m.link as usize * lanes + j];
-                        }
+                        self.gather_lane(gather.as_range(), j, lanes);
                         let n_in = self.specs[j].blocks()[b].inputs.len();
                         let n_out = self.specs[j].blocks()[b].outputs.len();
                         // Split borrows: state is a separate field from the
@@ -1889,6 +2182,275 @@ mod tests {
         for j in 0..lanes {
             assert_eq!(be.link_value(j, out), !(j as u64) & 1, "lane {j}");
         }
+    }
+
+    // ---- bitflow slicing / packed expressions ----
+
+    /// 4-bit register: out = state, next = in. Per-lane (no
+    /// `bit_parallel`), so its sliced links exercise the per-lane
+    /// sub-word gather/scatter path.
+    struct Reg4;
+
+    impl BlockKind for Reg4 {
+        fn name(&self) -> &str {
+            "reg4"
+        }
+        fn state_bits(&self) -> usize {
+            4
+        }
+        fn input_widths(&self) -> Vec<usize> {
+            vec![4]
+        }
+        fn output_widths(&self) -> Vec<usize> {
+            vec![4]
+        }
+        fn reset(&self, state: &mut [u64]) {
+            state[0] = 0b1010;
+        }
+        fn eval(
+            &self,
+            _instance: usize,
+            cur: &[u64],
+            inputs: &[u64],
+            _cycle: u64,
+            next: &mut [u64],
+            outputs: &mut [u64],
+            _side: &mut SideView<'_>,
+        ) {
+            outputs[0] = cur[0];
+            next[0] = inputs[0] & 0xF;
+        }
+        fn comb_inputs(&self, _port: usize) -> CombInputs {
+            CombInputs::None
+        }
+    }
+
+    /// Stateless 4-bit mixer with exact declared bit semantics:
+    /// out[i] = in[i] ^ in[i+1] for i < 3, out[3] = !in[3]. With its
+    /// links sliced it lowers to a packed-expression op.
+    struct Rot4;
+
+    impl BlockKind for Rot4 {
+        fn name(&self) -> &str {
+            "rot4"
+        }
+        fn state_bits(&self) -> usize {
+            0
+        }
+        fn input_widths(&self) -> Vec<usize> {
+            vec![4]
+        }
+        fn output_widths(&self) -> Vec<usize> {
+            vec![4]
+        }
+        fn reset(&self, _state: &mut [u64]) {}
+        fn eval(
+            &self,
+            _instance: usize,
+            _cur: &[u64],
+            inputs: &[u64],
+            _cycle: u64,
+            _next: &mut [u64],
+            outputs: &mut [u64],
+            _side: &mut SideView<'_>,
+        ) {
+            let x = inputs[0];
+            let mut o = 0u64;
+            for i in 0..3 {
+                o |= (((x >> i) ^ (x >> (i + 1))) & 1) << i;
+            }
+            o |= ((!(x >> 3)) & 1) << 3;
+            outputs[0] = o;
+        }
+        fn bit_semantics(&self, port: usize) -> Option<crate::block::BitSemantics> {
+            if port != 0 {
+                return None;
+            }
+            let inb = |bit: usize| Box::new(BitExpr::In { port: 0, bit });
+            let mut bits: Vec<BitExpr> = (0..3).map(|i| BitExpr::Xor(inb(i), inb(i + 1))).collect();
+            bits.push(BitExpr::Not(inb(3)));
+            Some(crate::block::BitSemantics { bits })
+        }
+    }
+
+    /// ext -> reg4 -> rot4 -> reg4 -> sink, with both 4-bit interior
+    /// links sliced into per-bit sub-words.
+    fn sliced_spec() -> (SystemSpec, usize, CompileOptions) {
+        let mut spec = SystemSpec::new();
+        let kr = spec.add_kind(Box::new(Reg4));
+        let kx = spec.add_kind(Box::new(Rot4));
+        let r_in = spec.add_block(kr);
+        let rot = spec.add_block(kx);
+        let r_out = spec.add_block(kr);
+        let ext = spec.external((r_in, 0), 0);
+        let l1 = spec.wire((r_in, 0), (rot, 0));
+        let l2 = spec.wire((rot, 0), (r_out, 0));
+        spec.sink((r_out, 0));
+        let opts = CompileOptions {
+            slice: crate::compile::SlicePlan {
+                links: vec![l1, l2],
+            },
+            ..Default::default()
+        };
+        (spec, ext, opts)
+    }
+
+    /// Lane-distinct, cycle-varying 4-bit external value.
+    fn ext4(lane: usize, cycle: u64) -> u64 {
+        (lane as u64 * 5 + cycle * 3 + 1) & 0xF
+    }
+
+    /// Plain (unsliced) scalar reference run of `sliced_spec`.
+    fn sliced_scalar_reference(lane: usize, cycles: u64) -> CompiledEngine {
+        let (spec, ext, _) = sliced_spec();
+        let mut eng = CompiledEngine::new(spec);
+        for c in 0..cycles {
+            eng.set_external(ext, ext4(lane, c));
+            eng.step();
+        }
+        eng
+    }
+
+    #[test]
+    fn sliced_links_pack_and_expr_blocks_go_bitwise() {
+        // 67 lanes: exercises the tail mask of the second packed word.
+        let lanes = 67usize;
+        let (_, ext, opts) = sliced_spec();
+        let specs: Vec<SystemSpec> = (0..lanes).map(|_| sliced_spec().0).collect();
+        let mut be = BatchedEngine::new(specs, &opts, 2).expect("build");
+        assert!(
+            be.program().bitwise_ops() > 0,
+            "rot4 must lower to a packed-expression op"
+        );
+        assert!(
+            be.program().packed_links() >= 8,
+            "both sliced links' sub-words must pack"
+        );
+        let cycles = 9u64;
+        for c in 0..cycles {
+            for j in 0..lanes {
+                be.set_external(j, ext, ext4(j, c));
+            }
+            be.run(1);
+        }
+        // Sliced + batched must be bit-identical to a plain scalar run.
+        for j in 0..lanes {
+            let scalar = sliced_scalar_reference(j, cycles);
+            assert_lane_matches(&be, j, &scalar);
+        }
+    }
+
+    #[test]
+    fn sliced_snapshot_and_halt_stay_bit_exact() {
+        let lanes = 66usize;
+        let (_, ext, opts) = sliced_spec();
+        let specs: Vec<SystemSpec> = (0..lanes).map(|_| sliced_spec().0).collect();
+        let mut be = BatchedEngine::new(specs, &opts, 1).expect("build");
+        let drive = |be: &mut BatchedEngine, from: u64, to: u64, skip: Option<usize>| {
+            for c in from..to {
+                for j in 0..lanes {
+                    if Some(j) != skip {
+                        be.set_external(j, ext, ext4(j, c));
+                    }
+                }
+                be.run(1);
+            }
+        };
+        drive(&mut be, 0, 4, None);
+        let snap = be.snapshot();
+        // Halt lane 65 (tail of the second packed word) and keep going.
+        be.halt_lane(65);
+        let frozen: Vec<u64> = (0..be.spec(65).links().len())
+            .map(|l| be.link_value(65, l))
+            .collect();
+        drive(&mut be, 4, 9, Some(65));
+        for (l, &v) in frozen.iter().enumerate() {
+            assert_eq!(be.link_value(65, l), v, "halted lane link {l}");
+        }
+        for j in 0..3 {
+            let scalar = sliced_scalar_reference(j, 9);
+            assert_lane_matches(&be, j, &scalar);
+        }
+        // Restore rewinds every lane (packed sub-words included).
+        let tail: Vec<Vec<u64>> = (0..lanes)
+            .map(|j| {
+                (0..be.spec(j).links().len())
+                    .map(|l| be.link_value(j, l))
+                    .collect()
+            })
+            .collect();
+        be.restore(&snap);
+        assert_eq!(be.cycle(), 4);
+        be.halt_lane(65);
+        drive(&mut be, 4, 9, Some(65));
+        for j in 0..lanes {
+            for (l, &v) in tail[j].iter().enumerate() {
+                assert_eq!(be.link_value(j, l), v, "lane {j} link {l} after restore");
+            }
+        }
+    }
+
+    #[test]
+    fn divergent_bit_semantics_are_rejected() {
+        /// Same shape as `Rot4` but different declared semantics.
+        struct Rot4Other;
+        impl BlockKind for Rot4Other {
+            fn name(&self) -> &str {
+                "rot4"
+            }
+            fn state_bits(&self) -> usize {
+                0
+            }
+            fn input_widths(&self) -> Vec<usize> {
+                vec![4]
+            }
+            fn output_widths(&self) -> Vec<usize> {
+                vec![4]
+            }
+            fn reset(&self, _state: &mut [u64]) {}
+            fn eval(
+                &self,
+                _instance: usize,
+                _cur: &[u64],
+                inputs: &[u64],
+                _cycle: u64,
+                _next: &mut [u64],
+                outputs: &mut [u64],
+                _side: &mut SideView<'_>,
+            ) {
+                outputs[0] = inputs[0];
+            }
+            fn bit_semantics(&self, port: usize) -> Option<crate::block::BitSemantics> {
+                if port != 0 {
+                    return None;
+                }
+                Some(crate::block::BitSemantics {
+                    bits: (0..4).map(|bit| BitExpr::In { port: 0, bit }).collect(),
+                })
+            }
+        }
+        let build = |other: bool| {
+            let mut spec = SystemSpec::new();
+            let kr = spec.add_kind(Box::new(Reg4));
+            let kx: usize = if other {
+                spec.add_kind(Box::new(Rot4Other))
+            } else {
+                spec.add_kind(Box::new(Rot4))
+            };
+            let r_in = spec.add_block(kr);
+            let rot = spec.add_block(kx);
+            spec.external((r_in, 0), 0);
+            spec.wire((r_in, 0), (rot, 0));
+            spec.sink((rot, 0));
+            spec
+        };
+        let err = BatchedEngine::new(
+            vec![build(false), build(true)],
+            &CompileOptions::default(),
+            1,
+        )
+        .expect_err("divergent semantics");
+        assert!(err.to_string().contains(codes::BATCH_DIVERGENT_TOPOLOGY));
     }
 
     // ---- structural lint and mode rejection ----

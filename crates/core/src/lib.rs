@@ -89,10 +89,12 @@ pub mod worklist;
 
 pub use batch::{check_lane_structure, BatchedEngine, BatchedProgram, BatchedSnapshot};
 pub use block::{
-    BlockId, BlockInst, BlockKind, CombInputs, KindId, LinkDriver, LinkId, LinkSpec, SystemSpec,
+    BitExpr, BitSemantics, BlockId, BlockInst, BlockKind, CombInputs, KindId, LinkDriver, LinkId,
+    LinkSpec, SystemSpec,
 };
 pub use compile::{
     CompileOptions, CompiledEngine, CompiledExec, CompiledProgram, CompiledSnapshot, ProgramMode,
+    SlicePlan,
 };
 pub use counters::DeltaStats;
 pub use dynamic_sched::{DynamicEngine, HybridRun, HybridSchedule, Scheduling, Snapshot};

@@ -74,6 +74,34 @@ impl BatchedNoc {
         lane_faults: Vec<Option<Arc<FaultPlan>>>,
         threads: usize,
     ) -> Result<Self, SimError> {
+        Self::build(cfg, iface_cfg, lane_faults, threads, false)
+    }
+
+    /// [`with_faults`](Self::with_faults) with the **packed control
+    /// plane** enabled: the spec routes every inter-router credit link
+    /// through a [`vc_router::CreditStage`] identity block, the bitflow
+    /// pass proves those 4-bit links bit-independent, and the compiler
+    /// slices them so the batched engine lowers the stages to packed
+    /// 64-lanes-per-op bitwise expressions (ROADMAP item 1). Observable
+    /// behaviour — registers, deliveries, accounting, forward-link
+    /// values — is bit-identical to the unpacked build; only the
+    /// delta-eval accounting differs (the stages are extra blocks).
+    pub fn with_packed_control(
+        cfg: NetworkConfig,
+        iface_cfg: IfaceConfig,
+        lane_faults: Vec<Option<Arc<FaultPlan>>>,
+        threads: usize,
+    ) -> Result<Self, SimError> {
+        Self::build(cfg, iface_cfg, lane_faults, threads, true)
+    }
+
+    fn build(
+        cfg: NetworkConfig,
+        iface_cfg: IfaceConfig,
+        lane_faults: Vec<Option<Arc<FaultPlan>>>,
+        threads: usize,
+        packed_control: bool,
+    ) -> Result<Self, SimError> {
         if lane_faults.is_empty() {
             return Err(SimError::Config(
                 "batched engine needs at least one lane".into(),
@@ -96,7 +124,7 @@ impl BatchedNoc {
         let mut wr_links = Vec::new();
         let mut fwd_links = Vec::new();
         for faults in &lane_faults {
-            let (spec, wl, fl) = build_noc_spec(&cfg, iface_cfg, &depths, faults);
+            let (spec, wl, fl) = build_noc_spec(&cfg, iface_cfg, &depths, faults, packed_control);
             wr_links = wl;
             fwd_links = fl;
             specs.push(spec);
@@ -129,8 +157,19 @@ impl BatchedNoc {
                 .join("; ");
             return Err(SimError::Config(msg));
         }
+        // The slice plan is sound by construction (bitflow only nominates
+        // links whose writer semantics are bit-independent), so applying
+        // it can reshape the packed tables but never the simulated
+        // values. It is gated on the opt-in anyway: the base spec has no
+        // sliceable links, and an empty plan keeps the word layout
+        // byte-identical with earlier checkpoints.
         let opts = CompileOptions {
             order: analysis.schedule.map(|h| h.order),
+            slice: if packed_control {
+                analysis.bitflow.slice.clone()
+            } else {
+                Default::default()
+            },
             ..CompileOptions::default()
         };
         let lanes = lane_faults.len();
@@ -491,6 +530,130 @@ mod tests {
     fn snapshot_restore_round_trips_the_whole_batch() {
         let cfg = NetworkConfig::new(3, 2, Topology::Mesh, 2);
         let mut b = BatchedNoc::new(cfg, IfaceConfig::default(), 2, 2).expect("build");
+        for lane in 0..2 {
+            b.push_stim(
+                lane,
+                0,
+                0,
+                StimEntry {
+                    ts: 0,
+                    flit: Flit::head_tail(Coord::new(2, 1), lane as u8),
+                },
+            );
+        }
+        b.run(5);
+        let snap = b.snapshot();
+        b.run(10);
+        let after: Vec<Vec<RouterRegs>> = (0..2)
+            .map(|lane| (0..6).map(|n| b.peek_regs(lane, n)).collect())
+            .collect();
+        b.restore(&snap);
+        assert_eq!(b.cycle(), 5);
+        b.run(10);
+        for lane in 0..2 {
+            for n in 0..6 {
+                assert_eq!(b.peek_regs(lane, n), after[lane][n], "lane {lane} node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_control_matches_scalar_compiled_bit_for_bit() {
+        // The packed-control build inserts CreditStage blocks and slices
+        // the credit links; every observable (registers, deliveries,
+        // accounting, forward-link probes) must still equal a scalar
+        // compiled run of the *base* spec. Delta stats are exempt: the
+        // stages are extra blocks, so eval accounting legitimately
+        // differs.
+        let cfg = NetworkConfig::new(3, 2, Topology::Mesh, 2);
+        let lanes = 3usize;
+        let mut b =
+            BatchedNoc::with_packed_control(cfg, IfaceConfig::default(), vec![None; lanes], 1)
+                .expect("build");
+        assert!(
+            b.engine().program().bitwise_ops() > 0,
+            "credit stages should lower to packed bitwise ops"
+        );
+        assert!(b.engine().program().packed_links() > 0);
+        let mut scalars: Vec<CompiledNoc> = (0..lanes)
+            .map(|_| CompiledNoc::new(cfg, IfaceConfig::default()))
+            .collect();
+        for lane in 0..lanes {
+            let dest = Coord::new((lane as u8) % 3, 1);
+            let entry = StimEntry {
+                ts: 0,
+                flit: Flit::head_tail(dest, lane as u8),
+            };
+            assert!(b.push_stim(lane, lane, 0, entry));
+            assert!(scalars[lane].push_stim(lane, 0, entry));
+        }
+        b.run(15);
+        for s in &mut scalars {
+            s.run(15);
+        }
+        for lane in 0..lanes {
+            for node in 0..cfg.num_nodes() {
+                assert_eq!(
+                    b.peek_regs(lane, node),
+                    scalars[lane].peek_regs(node),
+                    "lane {lane} node {node}"
+                );
+                assert_eq!(
+                    b.drain_delivered(lane, node),
+                    scalars[lane].drain_delivered(node)
+                );
+                assert_eq!(b.drain_access(lane, node), scalars[lane].drain_access(node));
+                for dir in 0..4 {
+                    assert_eq!(
+                        b.probe_link(lane, node, dir),
+                        scalars[lane].probe_link(node, dir),
+                        "lane {lane} node {node} dir {dir}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_control_fault_lanes_still_match_scalar() {
+        use noc_types::fault::Window;
+        let cfg = NetworkConfig::new(3, 2, Topology::Torus, 2);
+        let mut p = FaultPlan::new(cfg.num_nodes(), 11);
+        p.add_stall(1, Window::new(2, 8));
+        let plan = Arc::new(p);
+        let mut b = BatchedNoc::with_packed_control(
+            cfg,
+            IfaceConfig::default(),
+            vec![None, Some(plan.clone())],
+            1,
+        )
+        .expect("build");
+        assert!(b.engine().program().bitwise_ops() > 0);
+        let mut clean = CompiledNoc::new(cfg, IfaceConfig::default());
+        let mut faulty = CompiledNoc::with_faults(cfg, IfaceConfig::default(), Some(plan));
+        let entry = StimEntry {
+            ts: 0,
+            flit: Flit::head_tail(Coord::new(2, 1), 0),
+        };
+        for lane in 0..2 {
+            assert!(b.push_stim(lane, 0, 0, entry));
+        }
+        assert!(clean.push_stim(0, 0, entry));
+        assert!(faulty.push_stim(0, 0, entry));
+        b.run(20);
+        clean.run(20);
+        faulty.run(20);
+        for node in 0..cfg.num_nodes() {
+            assert_eq!(b.peek_regs(0, node), clean.peek_regs(node), "clean lane");
+            assert_eq!(b.peek_regs(1, node), faulty.peek_regs(node), "faulty lane");
+        }
+    }
+
+    #[test]
+    fn packed_control_snapshot_restore_round_trips() {
+        let cfg = NetworkConfig::new(3, 2, Topology::Mesh, 2);
+        let mut b = BatchedNoc::with_packed_control(cfg, IfaceConfig::default(), vec![None; 2], 2)
+            .expect("build");
         for lane in 0..2 {
             b.push_stim(
                 lane,

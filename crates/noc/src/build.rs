@@ -131,6 +131,7 @@ pub struct SimBuilder {
     schedule: SchedulePolicy,
     faults: Option<Arc<FaultPlan>>,
     lane_faults: Option<Vec<Option<Arc<FaultPlan>>>>,
+    packed_control: bool,
     threads: Option<usize>,
     run_config: RunConfig,
     profile: Option<u64>,
@@ -148,6 +149,7 @@ impl SimBuilder {
             schedule: SchedulePolicy::default(),
             faults: None,
             lane_faults: None,
+            packed_control: false,
             threads: None,
             run_config: RunConfig::default(),
             profile: None,
@@ -203,6 +205,18 @@ impl SimBuilder {
             }
         }
         self.lane_faults = Some(plans);
+        self
+    }
+
+    /// Enable the **packed control plane** for [`EngineKind::Batched`]:
+    /// credit links are routed through `CreditStage` identity blocks,
+    /// the bitflow analysis proves them bit-independent, and the batched
+    /// compiler slices them into per-bit sub-words evaluated as packed
+    /// 64-lanes-per-op bitwise expressions
+    /// ([`BatchedNoc::with_packed_control`]). Observable behaviour is
+    /// bit-identical to the default build. Scalar kinds ignore it.
+    pub fn packed_control(mut self, enabled: bool) -> Self {
+        self.packed_control = enabled;
         self
     }
 
@@ -386,7 +400,11 @@ impl SimBuilder {
                     }
                     None => vec![self.faults; lanes],
                 };
-                let mut noc = BatchedNoc::with_faults(self.cfg, self.iface, lane_faults, threads)?;
+                let mut noc = if self.packed_control {
+                    BatchedNoc::with_packed_control(self.cfg, self.iface, lane_faults, threads)?
+                } else {
+                    BatchedNoc::with_faults(self.cfg, self.iface, lane_faults, threads)?
+                };
                 if let Some(sample_every) = self.profile {
                     noc.attach_profiler(sample_every);
                 }
@@ -564,6 +582,20 @@ mod tests {
             .expect("native engine builds");
         native.run(5);
         assert!(native.take_profile(0.01).is_none());
+    }
+
+    #[test]
+    fn packed_control_session_runs_with_packed_ops() {
+        let mut session = SimBuilder::new(cfg())
+            .engine(EngineKind::Batched { lanes: 2 })
+            .packed_control(true)
+            .threads(1)
+            .session()
+            .expect("packed batched session builds");
+        let b = session.batched_mut().expect("batched session");
+        assert!(b.engine().program().bitwise_ops() > 0);
+        b.run(10);
+        assert_eq!(b.cycle(), 10);
     }
 
     #[test]

@@ -197,9 +197,10 @@ fn list_checkpoints(dir: &Path) -> std::io::Result<Vec<String>> {
 
 /// Scan `dir` newest-first for a valid checkpoint of the campaign with
 /// `fp`. Corrupt, truncated, foreign-version or foreign-campaign files
-/// are skipped with a warning on stderr. Returns the checkpoint and the
-/// number of files rejected along the way (flows into the
-/// `recover.checkpoints_rejected` counter).
+/// are skipped; the rejection count is returned (it flows into the
+/// `recover.checkpoints_rejected` counter) and summarised in a single
+/// stderr warning per scan — a campaign directory can hold hundreds of
+/// stale files and per-file lines drown real diagnostics.
 pub fn latest_valid(dir: &Path, fp: u64) -> (Option<CampaignCkpt>, u64) {
     let mut files = match list_checkpoints(dir) {
         Ok(f) => f,
@@ -208,33 +209,33 @@ pub fn latest_valid(dir: &Path, fp: u64) -> (Option<CampaignCkpt>, u64) {
     files.sort();
     files.reverse();
     let mut rejected = 0u64;
+    let warn = |rejected: u64| {
+        if rejected > 0 {
+            eprintln!(
+                "warning: skipped {rejected} corrupt or foreign checkpoint file(s) in {} \
+                 (campaign fingerprint {fp:016x})",
+                dir.display()
+            );
+        }
+    };
     for name in files {
         let path = dir.join(&name);
         let data = match std::fs::read(&path) {
             Ok(d) => d,
-            Err(e) => {
-                eprintln!("warning: skipping checkpoint {}: {e}", path.display());
+            Err(_) => {
                 rejected += 1;
                 continue;
             }
         };
         match CampaignCkpt::from_bytes(&data) {
-            Ok(ckpt) if ckpt.fingerprint == fp => return (Some(ckpt), rejected),
-            Ok(ckpt) => {
-                eprintln!(
-                    "warning: skipping checkpoint {}: belongs to a different \
-                     campaign (fingerprint {:016x}, want {fp:016x})",
-                    path.display(),
-                    ckpt.fingerprint
-                );
-                rejected += 1;
+            Ok(ckpt) if ckpt.fingerprint == fp => {
+                warn(rejected);
+                return (Some(ckpt), rejected);
             }
-            Err(e) => {
-                eprintln!("warning: skipping checkpoint {}: {e}", path.display());
-                rejected += 1;
-            }
+            Ok(_) | Err(_) => rejected += 1,
         }
     }
+    warn(rejected);
     (None, rejected)
 }
 

@@ -28,7 +28,7 @@ use noc_types::fault::{FaultPlan, NodeFaults};
 use noc_types::flit::{room_from_bits, room_to_bits, LINK_FWD_BITS, LINK_ROOM_BITS};
 use noc_types::{Coord, LinkFwd, NetworkConfig, Port, NUM_PORTS, NUM_VCS};
 use seqsim::compile::CompiledExec;
-use seqsim::{BlockKind, CombInputs, SideView};
+use seqsim::{BitExpr, BitSemantics, BlockKind, CombInputs, SideView};
 use std::sync::Arc;
 
 /// Index of the per-VC stimuli rings in the block's side memory.
@@ -197,6 +197,28 @@ impl BlockKind for RouterBlock {
         }
     }
 
+    fn bit_semantics(&self, port: usize) -> Option<BitSemantics> {
+        // The bit-level restatement of `comb_inputs`: room output bits
+        // are functions of registered state only (opaque value, no
+        // combinational input deps), forward output bits may feed
+        // through any bit of the four room inputs. Bitflow uses the
+        // dependency lists for bit-independence proofs; the values stay
+        // Unknown.
+        let deps: Vec<(usize, usize)> = if (OUT_FWD0..OUT_FWD0 + 4).contains(&port) {
+            (IN_ROOM0..IN_ROOM0 + 4)
+                .flat_map(|p| (0..LINK_ROOM_BITS).map(move |b| (p, b)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let width = self.output_widths()[port];
+        Some(BitSemantics {
+            bits: (0..width)
+                .map(|_| BitExpr::Opaque { deps: deps.clone() })
+                .collect(),
+        })
+    }
+
     fn eval(
         &self,
         instance: usize,
@@ -316,6 +338,61 @@ impl BlockKind for RouterBlock {
             sel: Vec::new(),
             fwd: Vec::new(),
         }))
+    }
+}
+
+/// A transparent credit-pipeline stage: one [`LINK_ROOM_BITS`]-wide
+/// combinational buffer, `out = in`.
+///
+/// Structurally a wire — splicing one into a room link changes nothing
+/// about the NoC's behavior (room words are functions of registered
+/// state, so no combinational cycle forms and no clock of latency is
+/// added). Its value is its *declared bit semantics*: each output bit
+/// is a pure [`BitExpr::In`] copy of the matching input bit, which
+/// bitflow uses to prove the credit control plane bit-independent and
+/// the batched engine uses to evaluate the sliced credit links as
+/// packed expressions, 64 lanes per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CreditStage;
+
+impl BlockKind for CreditStage {
+    fn name(&self) -> &str {
+        "credit-stage"
+    }
+
+    fn state_bits(&self) -> usize {
+        0
+    }
+
+    fn input_widths(&self) -> Vec<usize> {
+        vec![LINK_ROOM_BITS]
+    }
+
+    fn output_widths(&self) -> Vec<usize> {
+        vec![LINK_ROOM_BITS]
+    }
+
+    fn reset(&self, _state: &mut [u64]) {}
+
+    fn bit_semantics(&self, port: usize) -> Option<BitSemantics> {
+        (port == 0).then(|| BitSemantics {
+            bits: (0..LINK_ROOM_BITS)
+                .map(|bit| BitExpr::In { port: 0, bit })
+                .collect(),
+        })
+    }
+
+    fn eval(
+        &self,
+        _instance: usize,
+        _cur: &[u64],
+        inputs: &[u64],
+        _cycle: u64,
+        _next: &mut [u64],
+        outputs: &mut [u64],
+        _side: &mut SideView<'_>,
+    ) {
+        outputs[0] = inputs[0] & ((1u64 << LINK_ROOM_BITS) - 1);
     }
 }
 

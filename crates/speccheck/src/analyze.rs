@@ -59,8 +59,12 @@ pub struct Analysis {
     pub comb_edges: usize,
     /// Producer→consumer edges classified registered.
     pub registered_edges: usize,
-    /// Every finding, in detection order.
+    /// Every finding, sorted by `(code, site)` with exact repeats
+    /// removed (see [`normalize_diagnostics`]) so reports are stable
+    /// across analyzer-internal ordering changes.
     pub diagnostics: Vec<Diagnostic>,
+    /// The bit-level dataflow result (values, liveness, slice plan).
+    pub bitflow: crate::bitflow::Bitflow,
     /// The SCCs of the full block graph in schedule (topological)
     /// order.
     pub sccs: Vec<SccInfo>,
@@ -131,6 +135,7 @@ impl Analysis {
             ));
         }
         s.push_str(&format!("\"watchdog_budget\":{},", self.watchdog_budget));
+        s.push_str(&format!("\"bitflow\":{},", self.bitflow.to_json()));
         s.push_str(&format!(
             "\"max_severity\":{},",
             self.max_severity()
@@ -488,17 +493,47 @@ pub fn analyze_graph(g: &SpecGraph, opts: &AnalyzeOptions) -> Analysis {
         Some(h)
     };
 
+    let bitflow = crate::bitflow::bitflow_graph(g);
+    ds.extend(bitflow.diagnostics.iter().cloned());
+    normalize_diagnostics(&mut ds);
+
     Analysis {
         n_blocks: n,
         n_links: nl,
         comb_edges,
         registered_edges,
         diagnostics: ds,
+        bitflow,
         sccs,
         schedule,
         convergence_bound: bound_total,
         watchdog_budget,
     }
+}
+
+/// Canonicalize a diagnostic list for emission: sort by
+/// `(code, site, severity, message)` and drop exact repeats, so the
+/// report is deterministic under analyzer-internal ordering changes and
+/// a defect detected by two passes surfaces once.
+pub fn normalize_diagnostics(ds: &mut Vec<Diagnostic>) {
+    fn site_key(s: &Site) -> (u8, usize, usize) {
+        match *s {
+            Site::System => (0, 0, 0),
+            Site::Block(b) => (1, b, 0),
+            Site::Link(l) => (2, l, 0),
+            Site::InputPort { block, port } => (3, block, port),
+            Site::OutputPort { block, port } => (4, block, port),
+        }
+    }
+    ds.sort_by(|a, b| {
+        (a.code, site_key(&a.site), a.severity, a.message.as_str()).cmp(&(
+            b.code,
+            site_key(&b.site),
+            b.severity,
+            b.message.as_str(),
+        ))
+    });
+    ds.dedup();
 }
 
 /// Order a multi-block SCC's members by greedy two-coloring of their
@@ -608,6 +643,7 @@ pub fn check_cut(g: &SpecGraph, shard_of: &[usize]) -> Vec<Diagnostic> {
             ));
         }
     }
+    normalize_diagnostics(&mut ds);
     ds
 }
 
@@ -682,6 +718,22 @@ pub fn check_batch(lanes: &[SpecGraph]) -> Vec<Diagnostic> {
                     "host visibility differs".to_string(),
                 ));
             }
+            if ba.bit_sem != bb.bit_sem {
+                ds.push(diverge(
+                    Site::Block(b),
+                    lane,
+                    "bit-level semantics differ (lanes would disagree on \
+                     packed expression lowering)"
+                        .to_string(),
+                ));
+            }
+            if ba.in_used != bb.in_used {
+                ds.push(diverge(
+                    Site::Block(b),
+                    lane,
+                    "input-bit liveness differs".to_string(),
+                ));
+            }
         }
         for (l, (la, lb)) in base.links.iter().zip(&g.links).enumerate() {
             if la.width != lb.width {
@@ -706,6 +758,7 @@ pub fn check_batch(lanes: &[SpecGraph]) -> Vec<Diagnostic> {
             }
         }
     }
+    normalize_diagnostics(&mut ds);
     ds
 }
 

@@ -184,6 +184,16 @@ pub mod codes {
     /// same topology; only per-lane *contents* (fault plans, seeds,
     /// reset values, traffic) may differ.
     pub const BATCH_DIVERGENT_TOPOLOGY: &str = "batch-divergent-topology";
+    /// A wire link bit is provably constant in every cycle (bitflow
+    /// proved it `Const0`/`Const1` from the drivers' bit semantics).
+    pub const CONST_BIT: &str = "const-bit";
+    /// A link bit no consumer ever reads (the consuming port's
+    /// `input_bits_used` mask excludes it).
+    pub const DEAD_BIT: &str = "dead-bit";
+    /// A multi-bit link whose live (non-constant, non-dead) bits fit a
+    /// narrower word than declared; the message carries the inferred
+    /// live width.
+    pub const NARROWABLE_LINK: &str = "narrowable-link";
 }
 
 #[cfg(test)]

@@ -19,7 +19,8 @@ cargo test -q
 
 echo "==> speclint (zero error-severity diagnostics on built-in topologies)"
 ./target/release/speclint --all-topologies --format json --out target/speclint_report.json \
-    --emit-program target/compiled_program.txt
+    --emit-program target/compiled_program.txt \
+    --emit-bitflow target/bitflow_report.json
 
 echo "==> sharded differential suite (bit-identity vs SeqNoc)"
 cargo test -q -p noc --test sharded_differential

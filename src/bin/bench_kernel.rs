@@ -72,6 +72,9 @@ struct Row {
     wall_s: f64,
     cycles_per_sec: f64,
     deltas_per_sec: Option<f64>,
+    /// Packed 64-lanes-per-eval bitwise ops in the compiled program
+    /// (nonzero only for the batched engine's packed control plane).
+    bitwise_ops: usize,
 }
 
 /// One engine configuration of the bench matrix.
@@ -232,6 +235,7 @@ fn bench_idle(
         wall_s: wall,
         cycles_per_sec: cycles as f64 / wall,
         deltas_per_sec: deltas,
+        bitwise_ops: 0,
     }
 }
 
@@ -272,6 +276,7 @@ fn bench_loaded(
         wall_s: sim_wall,
         cycles_per_sec: r.sim_cycles_per_sec(),
         deltas_per_sec: r.deltas_per_sec(),
+        bitwise_ops: 0,
     }
 }
 
@@ -301,6 +306,7 @@ fn push_row(out: &mut String, row: &Row) {
         Some(d) => simtrace::json::write_f64(out, d),
         None => out.push_str("null"),
     }
+    let _ = write!(out, ", \"bitwise_ops\": {}", row.bitwise_ops);
     out.push('}');
 }
 
@@ -435,7 +441,10 @@ fn main() {
     // seeded 7+i) as one SoA batch vs L separate compiled builds+runs.
     // Walls include the build: the batch analyzes its topology once,
     // the sequential reference pays the analyzer per instance. The rate
-    // is aggregate lane-cycles per second over the whole campaign.
+    // is aggregate lane-cycles per second over the whole campaign. The
+    // batch opts into the packed control plane, so the bitflow-sliced
+    // credit links lower to real packed bitwise ops (ROADMAP item 1);
+    // lane observables stay bit-identical to the scalar compiled runs.
     let lane_sweep: Vec<usize> = if keep("seqsim-batched") {
         if quick {
             vec![1, 4]
@@ -451,9 +460,20 @@ fn main() {
         let start = Instant::now();
         let mut session = soc_sim::sim(cfg)
             .engine(EngineKind::Batched { lanes })
+            .packed_control(true)
             .run_config(rc.clone())
             .session()
             .expect("batched session builds");
+        let bitwise_ops = session
+            .batched()
+            .expect("batched session")
+            .engine()
+            .program()
+            .bitwise_ops();
+        assert!(
+            bitwise_ops > 0,
+            "fig-1 packed control plane must compile to packed bitwise ops"
+        );
         let cycles = {
             let reports = session.run_fig1(0.10, 7).expect("batched campaign runs");
             assert!(
@@ -479,6 +499,7 @@ fn main() {
             wall_s: wall,
             cycles_per_sec: lanes as f64 * cycles as f64 / wall,
             deltas_per_sec: None,
+            bitwise_ops,
         };
         eprintln!(
             "  {:<32} {:>10.1} lane-cycles/s",
@@ -520,6 +541,7 @@ fn main() {
             wall_s: wall,
             cycles_per_sec: total_cycles as f64 / wall,
             deltas_per_sec: None,
+            bitwise_ops: 0,
         };
         eprintln!(
             "  {:<32} {:>10.1} lane-cycles/s ({:.2}x batched)",
@@ -594,13 +616,14 @@ fn main() {
             wall_s: wall,
             cycles_per_sec: reps as f64 / wall,
             deltas_per_sec: None,
+            bitwise_ops: 0,
         };
         eprintln!("  {:<32} {:>10.1} passes/s", row.id, row.cycles_per_sec);
         rows.push(row);
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"soc-sim/bench_kernel/v5\",\n");
+    json.push_str("{\n  \"schema\": \"soc-sim/bench_kernel/v6\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,

@@ -16,7 +16,10 @@
 //! * `bench-check` compares two `bench_kernel` outputs row by row and
 //!   exits non-zero when any row's `cycles_per_sec` dropped more than
 //!   `--max-drop` percent (default 25) — the CI regression gate behind
-//!   `scripts/bench.sh`.
+//!   `scripts/bench.sh`. Rows absent from the baseline are recorded in a
+//!   `BASELINE.seen.json` sidecar; once such a row shows up in two
+//!   consecutive runs it gates against the previous run's rate instead
+//!   of staying ungated until the baseline is re-recorded.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use simtrace::json::JsonValue;
@@ -213,6 +216,40 @@ fn quick_label(q: Option<bool>) -> &'static str {
     }
 }
 
+/// Sidecar next to `baseline` recording the rows the previous
+/// bench-check run saw that the baseline lacks. Same shape as a
+/// `bench_kernel` output, so [`load_bench`] reads it back.
+fn seen_path(baseline: &str) -> String {
+    format!("{baseline}.seen.json")
+}
+
+fn write_seen(path: &str, quick: Option<bool>, rows: &[&BenchRow]) -> std::io::Result<()> {
+    let mut s = String::from("{\n");
+    if let Some(q) = quick {
+        s.push_str(&format!("  \"quick\": {q},\n"));
+    }
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"cycles_per_sec\": {:.1}}}{}\n",
+            r.id,
+            r.cycles_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+/// The percentage change from `base` to `cur` (0 when `base` is 0).
+fn pct_change(base: f64, cur: f64) -> f64 {
+    if base > 0.0 {
+        100.0 * (cur - base) / base
+    } else {
+        0.0
+    }
+}
+
 /// Compare bench rows by id; any drop beyond `max_drop_pct` fails.
 fn bench_check(baseline: &str, current: &str, max_drop_pct: f64) -> Result<bool, String> {
     let base_file = load_bench(baseline)?;
@@ -242,13 +279,47 @@ fn bench_check(baseline: &str, current: &str, max_drop_pct: f64) -> Result<bool,
              the committed baseline should be a full run"
         );
     }
+    // Rows the baseline lacks would otherwise stay ungated until someone
+    // re-records it. Instead the sidecar remembers them run to run: the
+    // first sighting just records, the second sighting onward gates the
+    // row against its own previous rate.
+    let seen = load_bench(&seen_path(baseline))
+        .ok()
+        .filter(|s| s.quick == cur_file.quick);
+    let mut new_rows: Vec<&BenchRow> = Vec::new();
     for c in cur {
-        if !base.iter().any(|b| b.id == c.id) {
-            println!(
-                "  NEW     {:<40} (no baseline counterpart — not gated)",
-                c.id
-            );
+        if base.iter().any(|b| b.id == c.id) {
+            continue;
         }
+        new_rows.push(c);
+        let prev = seen
+            .as_ref()
+            .and_then(|s| s.rows.iter().find(|p| p.id == c.id));
+        match prev {
+            Some(p) => {
+                let change = pct_change(p.cycles_per_sec, c.cycles_per_sec);
+                let failed = change < -max_drop_pct;
+                if failed {
+                    ok = false;
+                }
+                println!(
+                    "  {} {:<40} {:>12.1} -> {:>12.1} cycles/s ({:+.1}%, vs previous run; \
+                     row absent from baseline)",
+                    if failed { "FAIL" } else { "  ok" },
+                    c.id,
+                    p.cycles_per_sec,
+                    c.cycles_per_sec,
+                    change
+                );
+            }
+            None => println!(
+                "  NEW     {:<40} (no baseline counterpart — gated from its next run)",
+                c.id
+            ),
+        }
+    }
+    if let Err(e) = write_seen(&seen_path(baseline), cur_file.quick, &new_rows) {
+        println!("  WARNING could not record the new-row sidecar: {e}");
     }
     // In a like-for-like comparison a vanished row is a lost benchmark
     // and fails the gate; across quick/full modes the smaller sweep
@@ -267,11 +338,7 @@ fn bench_check(baseline: &str, current: &str, max_drop_pct: f64) -> Result<bool,
             continue;
         };
         compared += 1;
-        let change = if b.cycles_per_sec > 0.0 {
-            100.0 * (c.cycles_per_sec - b.cycles_per_sec) / b.cycles_per_sec
-        } else {
-            0.0
-        };
+        let change = pct_change(b.cycles_per_sec, c.cycles_per_sec);
         let failed = change < -max_drop_pct;
         if failed {
             ok = false;
@@ -354,5 +421,81 @@ fn main() -> ExitCode {
             eprintln!("simprof: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_json(quick: bool, rows: &[(&str, f64)]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(id, cps)| format!("    {{\"id\": \"{id}\", \"cycles_per_sec\": {cps:.1}}}"))
+            .collect();
+        format!(
+            "{{\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        )
+    }
+
+    #[test]
+    fn new_rows_gate_on_their_second_consecutive_sighting() {
+        let dir = std::env::temp_dir().join(format!("socsim-simprof-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        let (base_s, cur_s) = (base.to_str().unwrap(), cur.to_str().unwrap());
+        let _ = std::fs::remove_file(seen_path(base_s));
+        std::fs::write(&base, bench_json(false, &[("old-row", 1000.0)])).unwrap();
+
+        // First sighting of new-row: recorded, not gated.
+        std::fs::write(
+            &cur,
+            bench_json(false, &[("old-row", 1000.0), ("new-row", 800.0)]),
+        )
+        .unwrap();
+        assert!(bench_check(base_s, cur_s, 25.0).unwrap());
+        // Second sighting with a >25% drop vs the previous run: gated.
+        std::fs::write(
+            &cur,
+            bench_json(false, &[("old-row", 1000.0), ("new-row", 300.0)]),
+        )
+        .unwrap();
+        assert!(!bench_check(base_s, cur_s, 25.0).unwrap());
+        // A steady rate passes, and the sidecar tracks the newest value.
+        std::fs::write(
+            &cur,
+            bench_json(false, &[("old-row", 1000.0), ("new-row", 310.0)]),
+        )
+        .unwrap();
+        assert!(bench_check(base_s, cur_s, 25.0).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sidecar_from_a_different_mode_does_not_gate() {
+        let dir = std::env::temp_dir().join(format!("socsim-simprof-mode-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        let (base_s, cur_s) = (base.to_str().unwrap(), cur.to_str().unwrap());
+        let _ = std::fs::remove_file(seen_path(base_s));
+        std::fs::write(&base, bench_json(true, &[("old-row", 1000.0)])).unwrap();
+        std::fs::write(
+            &cur,
+            bench_json(true, &[("old-row", 1000.0), ("new-row", 800.0)]),
+        )
+        .unwrap();
+        assert!(bench_check(base_s, cur_s, 25.0).unwrap());
+        // Same row collapses in a *full* run: the quick-mode sidecar
+        // must not gate it (budgets differ), only re-record it.
+        std::fs::write(
+            &cur,
+            bench_json(false, &[("old-row", 1000.0), ("new-row", 100.0)]),
+        )
+        .unwrap();
+        assert!(bench_check(base_s, cur_s, 25.0).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -3,13 +3,19 @@
 //!
 //! ```text
 //! cargo run --release --bin speclint -- \
-//!     [--all-topologies] [--format text|json] [--out FILE] [--emit-program FILE]
+//!     [--all-topologies] [--format text|json] [--out FILE] \
+//!     [--emit-program FILE] [--emit-bitflow FILE]
 //! ```
 //!
 //! `--emit-program FILE` additionally lowers the bench network (the
 //! paper's 6x6 torus) through the schedule compiler and writes the
 //! bytecode program's disassembly to `FILE` — a reviewable CI artifact
 //! that also re-parses via `seqsim::CompiledProgram::parse`.
+//!
+//! `--emit-bitflow FILE` writes the per-target bit-level dataflow
+//! summaries (constant/dead bit counts, narrowable links, the slice
+//! plan) as a JSON array — the artifact CI uploads so bitflow
+//! regressions show up in review, not in production campaigns.
 //!
 //! Each target is analyzed before any cycle is simulated: the block/link
 //! graph is extracted, SCC-condensed, and linted (multiple writers, dead
@@ -77,6 +83,17 @@ fn all_targets() -> Vec<Row> {
         analysis: SimBuilder::new(cfg)
             .engine(EngineKind::Sharded { threads: 4 })
             .lint(),
+    });
+    // The packed-control overlay: credit links routed through
+    // CreditStage blocks. This is the one built-in target where the
+    // bitflow pass proves nontrivial slices, so the emitted artifact
+    // shows the analysis actually firing.
+    let cfg = NetworkConfig::new(3, 3, Topology::Torus, 4);
+    let b = noc::BatchedNoc::with_packed_control(cfg, IfaceConfig::default(), vec![None], 1)
+        .expect("packed-control overlay builds");
+    rows.push(Row {
+        name: "torus-3x3-packed".into(),
+        analysis: analyze_spec(b.engine().spec(0)),
     });
     // The kernel-level demo systems (§4.1 / §4.2 regimes).
     let (spec, _) = comb_demo();
@@ -211,6 +228,27 @@ fn run() -> Result<i32, SimError> {
     }
 
     let rows = all_targets();
+
+    if let Some(path) = flag_path(&args, "--emit-bitflow")? {
+        let mut s = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "  {{\"name\": \"{}\", \"bitflow\": {}}}{}\n",
+                r.name,
+                r.analysis.bitflow.to_json(),
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("]\n");
+        std::fs::write(&path, &s)
+            .map_err(|e| SimError::Config(format!("cannot write {}: {e}", path.display())))?;
+        eprintln!(
+            "speclint: wrote bitflow summaries for {} targets to {}",
+            rows.len(),
+            path.display()
+        );
+    }
+
     let rendered = if format == "json" {
         render_json(&rows)
     } else {
